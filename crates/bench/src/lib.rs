@@ -1,0 +1,32 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Each bench regenerates a miniature version of one paper table/figure:
+//! the same configurations and workloads as `ss-harness`, scaled down so
+//! `cargo bench` completes in minutes. The full-scale numbers come from
+//! `cargo run -r -p ss-harness --bin experiments` and are recorded in
+//! EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ss_core::{run_kernel, RunLength};
+use ss_types::{SchedPolicyKind, SimConfig, SimStats};
+use ss_workloads::KernelSpec;
+
+/// Miniature run length used inside bench iterations.
+pub const BENCH_LEN: RunLength = RunLength { warmup: 500, measure: 4_000 };
+
+/// Builds one of the paper's machine shapes.
+pub fn machine(delay: u64, policy: SchedPolicyKind, banked: bool, shifting: bool) -> SimConfig {
+    SimConfig::builder()
+        .issue_to_execute_delay(delay)
+        .sched_policy(policy)
+        .banked_l1d(banked)
+        .schedule_shifting(shifting)
+        .build()
+}
+
+/// Runs a miniature simulation (the unit of work every bench measures).
+pub fn mini_run(cfg: SimConfig, spec: KernelSpec) -> SimStats {
+    run_kernel(cfg, spec, BENCH_LEN)
+}

@@ -1,0 +1,334 @@
+//! Branch-prediction substrate: TAGE direction prediction, a 2-way BTB,
+//! and a return-address stack, behind a single pipeline-facing facade.
+//!
+//! The pipeline calls [`BranchPredictor::on_branch_fetch`] for every
+//! fetched branch (getting a redirect PC plus `Copy` metadata),
+//! [`BranchPredictor::on_mispredict`] when Execute discovers a wrong
+//! prediction (restores speculative history), and
+//! [`BranchPredictor::on_commit`] to train the tables in retirement order.
+//!
+//! # Example
+//!
+//! ```
+//! use ss_bpred::BranchPredictor;
+//! use ss_types::{BranchKind, Pc, PredictorConfig};
+//!
+//! let mut bp = BranchPredictor::new(&PredictorConfig::default());
+//! let pred = bp.on_branch_fetch(Pc::new(0x1000), BranchKind::Conditional, Pc::new(0x1004));
+//! // ... pipeline compares pred.next_pc with the actual successor ...
+//! bp.on_commit(Pc::new(0x1000), BranchKind::Conditional, true, Pc::new(0x2000), &pred.meta);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bimodal;
+pub mod btb;
+pub mod history;
+pub mod ras;
+pub mod tage;
+
+pub use bimodal::{Bimodal, BimodalMeta};
+pub use btb::Btb;
+pub use history::{GlobalHistory, HistoryCheckpoint};
+pub use ras::{Ras, RasCheckpoint};
+pub use tage::{geometric_lengths, Tage, TageMeta};
+
+use ss_types::{BranchKind, Pc, PredictorConfig};
+
+/// Direction-predictor metadata, carried from fetch to commit.
+#[derive(Debug, Clone, Copy)]
+pub enum DirMeta {
+    /// TAGE prediction metadata.
+    Tage(TageMeta),
+    /// Bimodal prediction metadata (AB3 ablation).
+    Bimodal(BimodalMeta),
+}
+
+/// Everything the pipeline must carry per in-flight branch to repair and
+/// train the predictor. Plain `Copy` data — no allocation per branch.
+#[derive(Debug, Clone, Copy)]
+pub struct PredMeta {
+    dir: Option<DirMeta>,
+    hist_cp: Option<HistoryCheckpoint>,
+    ras_cp: RasCheckpoint,
+}
+
+/// The fetch-time prediction for one branch.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchPrediction {
+    /// Predicted direction (always `true` for unconditional kinds).
+    pub taken: bool,
+    /// The PC fetch should proceed to. Falls back to the fall-through
+    /// when the direction is not-taken *or* no target is known (cold
+    /// BTB/RAS), which is what a real frontend does.
+    pub next_pc: Pc,
+    /// Repair/training metadata.
+    pub meta: PredMeta,
+}
+
+enum Dir {
+    Tage(Box<Tage>),
+    Bimodal(Bimodal),
+}
+
+/// The combined branch predictor (direction + target + returns).
+pub struct BranchPredictor {
+    dir: Dir,
+    btb: Btb,
+    ras: Ras,
+}
+
+impl std::fmt::Debug for BranchPredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BranchPredictor")
+            .field(
+                "dir",
+                &match self.dir {
+                    Dir::Tage(_) => "tage",
+                    Dir::Bimodal(_) => "bimodal",
+                },
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl BranchPredictor {
+    /// Builds the predictor complex from the machine configuration.
+    pub fn new(cfg: &PredictorConfig) -> Self {
+        let dir = if cfg.bimodal_only {
+            Dir::Bimodal(Bimodal::new(cfg.tage_log_base_entries + 2))
+        } else {
+            Dir::Tage(Box::new(Tage::new(cfg)))
+        };
+        BranchPredictor {
+            dir,
+            btb: Btb::new(cfg.btb_entries, cfg.btb_ways),
+            ras: Ras::new(cfg.ras_entries),
+        }
+    }
+
+    /// Predicts a fetched branch and speculatively updates history/RAS.
+    /// `fallthrough` is the PC of the next sequential instruction.
+    pub fn on_branch_fetch(
+        &mut self,
+        pc: Pc,
+        kind: BranchKind,
+        fallthrough: Pc,
+    ) -> BranchPrediction {
+        let hist_cp = match &self.dir {
+            Dir::Tage(t) => Some(t.checkpoint()),
+            Dir::Bimodal(_) => None,
+        };
+        let ras_cp = self.ras.checkpoint();
+
+        let (taken, dir_meta) = match kind {
+            BranchKind::Conditional => match &mut self.dir {
+                Dir::Tage(t) => {
+                    let (p, m) = t.predict(pc);
+                    (p, Some(DirMeta::Tage(m)))
+                }
+                Dir::Bimodal(b) => {
+                    let (p, m) = b.predict(pc);
+                    (p, Some(DirMeta::Bimodal(m)))
+                }
+            },
+            _ => (true, None),
+        };
+
+        // Target selection.
+        let target = if taken {
+            match kind {
+                BranchKind::Return => self.ras.pop().or_else(|| self.btb.lookup(pc)),
+                _ => self.btb.lookup(pc),
+            }
+        } else {
+            None
+        };
+        if matches!(kind, BranchKind::Call) {
+            self.ras.push(fallthrough);
+        }
+        // Speculative history insertion for conditional branches.
+        if matches!(kind, BranchKind::Conditional) {
+            if let Dir::Tage(t) = &mut self.dir {
+                t.push_history(taken, pc);
+            }
+        }
+
+        let next_pc = if taken { target.unwrap_or(fallthrough) } else { fallthrough };
+        BranchPrediction { taken, next_pc, meta: PredMeta { dir: dir_meta, hist_cp, ras_cp } }
+    }
+
+    /// Repairs speculative state after Execute discovers a misprediction
+    /// of this branch, then redoes the branch's own correct speculative
+    /// action (history push, RAS push/pop). `fallthrough` is the branch's
+    /// sequential successor (the return address for calls).
+    pub fn on_mispredict(
+        &mut self,
+        pc: Pc,
+        kind: BranchKind,
+        actual_taken: bool,
+        fallthrough: Pc,
+        meta: &PredMeta,
+    ) {
+        if let (Dir::Tage(t), Some(cp)) = (&mut self.dir, &meta.hist_cp) {
+            t.restore(cp);
+        }
+        self.ras.restore(&meta.ras_cp);
+        match kind {
+            BranchKind::Call => self.ras.push(fallthrough),
+            BranchKind::Return => {
+                let _ = self.ras.pop();
+            }
+            _ => {}
+        }
+        if matches!(kind, BranchKind::Conditional) {
+            if let Dir::Tage(t) = &mut self.dir {
+                t.push_history(actual_taken, pc);
+            }
+        }
+    }
+
+    /// Trains the direction tables and the BTB with the resolved outcome,
+    /// in retirement order.
+    pub fn on_commit(
+        &mut self,
+        pc: Pc,
+        kind: BranchKind,
+        actual_taken: bool,
+        actual_target: Pc,
+        meta: &PredMeta,
+    ) {
+        if matches!(kind, BranchKind::Conditional) {
+            match (&mut self.dir, &meta.dir) {
+                (Dir::Tage(t), Some(DirMeta::Tage(m))) => t.update(actual_taken, m),
+                (Dir::Bimodal(b), Some(DirMeta::Bimodal(m))) => b.update(actual_taken, m),
+                _ => {}
+            }
+        }
+        if actual_taken {
+            self.btb.update(pc, actual_target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp() -> BranchPredictor {
+        BranchPredictor::new(&PredictorConfig::default())
+    }
+
+    #[test]
+    fn conditional_loop_becomes_predictable() {
+        let mut p = bp();
+        let pc = Pc::new(0x1000);
+        let ft = Pc::new(0x1004);
+        let tgt = Pc::new(0x0F00);
+        let mut wrong = 0;
+        for i in 0..2000u64 {
+            let taken = i % 8 != 7;
+            let pred = p.on_branch_fetch(pc, BranchKind::Conditional, ft);
+            let actual_next = if taken { tgt } else { ft };
+            if pred.next_pc != actual_next {
+                wrong += 1;
+                p.on_mispredict(pc, BranchKind::Conditional, taken, ft, &pred.meta);
+            }
+            p.on_commit(pc, BranchKind::Conditional, taken, tgt, &pred.meta);
+        }
+        assert!(wrong < 100, "loop branch + BTB should converge, wrong={wrong}");
+    }
+
+    #[test]
+    fn btb_cold_miss_then_learned_target() {
+        let mut p = bp();
+        let pc = Pc::new(0x2000);
+        let ft = Pc::new(0x2004);
+        let tgt = Pc::new(0x3000);
+        let pred = p.on_branch_fetch(pc, BranchKind::Direct, ft);
+        assert!(pred.taken);
+        assert_eq!(pred.next_pc, ft, "cold BTB: no redirect possible");
+        p.on_commit(pc, BranchKind::Direct, true, tgt, &pred.meta);
+        let pred2 = p.on_branch_fetch(pc, BranchKind::Direct, ft);
+        assert_eq!(pred2.next_pc, tgt, "target learned");
+    }
+
+    #[test]
+    fn call_return_pairs_predict_via_ras() {
+        let mut p = bp();
+        let call_pc = Pc::new(0x4000);
+        let ret_pc = Pc::new(0x8000);
+        let callee = Pc::new(0x8000 - 16);
+        // teach the BTB the call target
+        let pred = p.on_branch_fetch(call_pc, BranchKind::Call, call_pc.step(4));
+        p.on_commit(call_pc, BranchKind::Call, true, callee, &pred.meta);
+        // second call: target known, RAS holds the return address
+        let pred = p.on_branch_fetch(call_pc, BranchKind::Call, call_pc.step(4));
+        assert_eq!(pred.next_pc, callee);
+        let rpred = p.on_branch_fetch(ret_pc, BranchKind::Return, ret_pc.step(4));
+        assert_eq!(rpred.next_pc, call_pc.step(4), "return predicted from RAS");
+    }
+
+    #[test]
+    fn mispredict_repair_restores_ras() {
+        let mut p = bp();
+        let call_pc = Pc::new(0x4000);
+        // push a return address speculatively
+        let pred = p.on_branch_fetch(call_pc, BranchKind::Call, call_pc.step(4));
+        // wrong path consumed the RAS entry
+        let _ = p.on_branch_fetch(Pc::new(0x9000), BranchKind::Return, Pc::new(0x9004));
+        // the call itself was mispredicted (target): repair
+        p.on_mispredict(call_pc, BranchKind::Call, true, call_pc.step(4), &pred.meta);
+        // RAS must again contain the call's return address
+        let rpred = p.on_branch_fetch(Pc::new(0xA000), BranchKind::Return, Pc::new(0xA004));
+        assert_eq!(rpred.next_pc, call_pc.step(4));
+    }
+
+    #[test]
+    fn bimodal_ablation_runs() {
+        let cfg = PredictorConfig { bimodal_only: true, ..Default::default() };
+        let mut p = BranchPredictor::new(&cfg);
+        let pc = Pc::new(0x1000);
+        let ft = Pc::new(0x1004);
+        let mut wrong = 0;
+        for i in 0..1000u64 {
+            let taken = i % 2 == 0; // alternating: bimodal cannot learn
+            let pred = p.on_branch_fetch(pc, BranchKind::Conditional, ft);
+            if pred.taken != taken {
+                wrong += 1;
+                p.on_mispredict(pc, BranchKind::Conditional, taken, ft, &pred.meta);
+            }
+            p.on_commit(pc, BranchKind::Conditional, taken, Pc::new(0x0F00), &pred.meta);
+        }
+        assert!(wrong > 300, "bimodal must not learn alternation, wrong={wrong}");
+    }
+
+    #[test]
+    fn tage_beats_bimodal_on_history_patterns() {
+        let run = |bimodal: bool| -> u64 {
+            let cfg = PredictorConfig { bimodal_only: bimodal, ..Default::default() };
+            let mut p = BranchPredictor::new(&cfg);
+            let pc = Pc::new(0x1000);
+            let ft = Pc::new(0x1004);
+            let tgt = Pc::new(0x0F00);
+            let mut wrong = 0;
+            for i in 0..4000u64 {
+                let taken = (i % 3 == 0) ^ (i % 5 == 0);
+                let pred = p.on_branch_fetch(pc, BranchKind::Conditional, ft);
+                if pred.taken != taken {
+                    wrong += 1;
+                    p.on_mispredict(pc, BranchKind::Conditional, taken, ft, &pred.meta);
+                }
+                p.on_commit(pc, BranchKind::Conditional, taken, tgt, &pred.meta);
+            }
+            wrong
+        };
+        let tage_wrong = run(false);
+        let bimodal_wrong = run(true);
+        assert!(
+            tage_wrong * 2 < bimodal_wrong,
+            "TAGE ({tage_wrong}) should beat bimodal ({bimodal_wrong}) by 2x on a period-15 pattern"
+        );
+    }
+}

@@ -1,0 +1,1381 @@
+//! The cycle-level out-of-order pipeline with speculative scheduling and
+//! Alpha-21264-style replay.
+//!
+//! Stage order within [`Simulator::tick`] (one call = one cycle):
+//!
+//! 1. **Commit** — retire up to 8 completed µ-ops from the ROB head;
+//!    train the branch predictor, hit/miss filter, and criticality table.
+//! 2. **Execute** — the issue group from `now − delay − 1` reaches the
+//!    execution stage. Every µ-op verifies its operands against the
+//!    physical-register scoreboard; a missing operand is a *schedule
+//!    misspeculation*: all µ-ops in flight between Issue and Execute are
+//!    squashed into the recovery buffer (or back to their retained IQ
+//!    entries for loads/stores) and one issue cycle is lost (§3.1).
+//! 3. **Issue** — the recovery buffer's head group has priority; the
+//!    scheduler fills the holes (Morancho-style). Up to 6 µ-ops across
+//!    the Table 1 port mix; loads consult the wakeup-policy engine and
+//!    (optionally) Schedule Shifting decides the wakeup of the second
+//!    load of the group.
+//! 4. **Dispatch** — rename and insert into ROB/IQ/LSQ.
+//! 5. **Fetch** — up to 8 µ-ops from two 16-byte blocks over at most one
+//!    taken branch; wrong-path µ-ops are synthesized past a mispredicted
+//!    branch until it resolves.
+
+use crate::rename::{PhysRef, RenameUnit};
+use crate::window::{FetchedUop, RobEntry, UopState};
+use ss_bpred::BranchPredictor;
+use ss_isa::MicroOp;
+use ss_mem::{MemLevel, MemoryHierarchy};
+use ss_memdep::StoreSets;
+use ss_sched::{BankPredictor, SchedEngine, WakeupDecision};
+use ss_types::{
+    BankInterleaving, CritCriterion, Cycle, OpClass, ReplayCause, ReplayScheme, SeqNum,
+    ShiftPolicy, SimConfig, SimStats,
+};
+use ss_workloads::{TraceSource, WrongPathGen};
+use std::collections::VecDeque;
+
+/// Cycles without a commit after which the simulator assumes a modeling
+/// deadlock and panics with diagnostics.
+const WATCHDOG_CYCLES: u64 = 200_000;
+
+/// A point-in-time view of pipeline occupancy, for tracing/debugging
+/// tools (see the `trace` binary in `ss-harness`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineSnapshot {
+    /// Current cycle.
+    pub cycle: Cycle,
+    /// Occupied reorder-buffer entries.
+    pub rob: usize,
+    /// Occupied issue-queue entries.
+    pub iq: u32,
+    /// Occupied load-queue entries.
+    pub lq: u32,
+    /// Occupied store-queue entries.
+    pub sq: u32,
+    /// µ-ops in the frontend pipe.
+    pub frontend: usize,
+    /// µ-ops waiting in the recovery buffer.
+    pub recovery: usize,
+    /// µ-ops in the issue-to-execute pipe.
+    pub inflight: usize,
+    /// Fetch currently on the wrong path.
+    pub wrong_path: bool,
+    /// Committed µ-ops so far.
+    pub committed: u64,
+    /// Issue events so far.
+    pub issued: u64,
+    /// Replayed µ-ops so far.
+    pub replayed: u64,
+}
+
+/// Per-cycle issue-stage context shared by the replay and scheduler
+/// selection loops (drives Schedule Shifting decisions).
+#[derive(Debug, Default)]
+struct IssueCycleState {
+    loads_issued: u32,
+    /// Predicted bank of the first load issued this cycle (only tracked
+    /// under [`ShiftPolicy::Predicted`]).
+    first_load_bank: Option<u8>,
+    /// PRF reads per (register class, bank) this cycle (banked-PRF model).
+    prf_reads: [[u8; 16]; 2],
+}
+
+/// The simulator: one out-of-order core running one trace.
+pub struct Simulator<T> {
+    cfg: SimConfig,
+    delay: u64,
+    trace: T,
+    wp_gen: WrongPathGen,
+    bpred: BranchPredictor,
+    mem: MemoryHierarchy,
+    store_sets: StoreSets,
+    engine: SchedEngine,
+    bank_pred: BankPredictor,
+    rename: RenameUnit,
+
+    rob: VecDeque<RobEntry>,
+    frontend: VecDeque<FetchedUop>,
+    frontend_cap: usize,
+    /// Issue groups in the issue-to-execute pipe, keyed by issue cycle.
+    inflight: VecDeque<(Cycle, Vec<SeqNum>)>,
+    /// Replay groups, keyed by original issue cycle (head group replays
+    /// first; the scheduler fills holes).
+    recovery: VecDeque<(Cycle, Vec<SeqNum>)>,
+
+    iq_used: u32,
+    lq_used: u32,
+    sq_used: u32,
+    /// Reusable per-cycle scratch for the issue stage (avoids two heap
+    /// allocations per simulated cycle on the hot path).
+    scratch_candidates: Vec<SeqNum>,
+    muldiv_free: Cycle,
+    fpdiv_free: [Cycle; 2],
+
+    now: Cycle,
+    next_seq: SeqNum,
+    /// Issue is suppressed for this cycle (replay handled this cycle).
+    issue_blocked_at: Option<Cycle>,
+    /// Fetching synthesized wrong-path µ-ops.
+    wrong_path_mode: bool,
+    /// Next correct-path µ-op (lookahead buffer over the trace).
+    pending_correct: Option<MicroOp>,
+    fetch_stall_until: Cycle,
+    last_commit_at: Cycle,
+    /// Wake revisions that take effect when the hit/miss *signal* exists
+    /// (one cycle before data return — paper footnote 2). Revising at the
+    /// load's execute would let the scheduler cancel doomed wakeups the
+    /// hardware could not have known about yet, erasing the replays the
+    /// paper observes at small issue-to-execute delays.
+    deferred_wakes: Vec<(Cycle, PhysRef, Cycle)>,
+    /// Ring of recent correct-path load addresses; wrong-path loads probe
+    /// near these (real wrong paths touch the program's own data, so they
+    /// mostly hit — probing a disjoint region would fabricate misses and
+    /// inflate wrong-path-induced replays).
+    recent_load_addrs: [ss_types::Addr; 64],
+    recent_load_idx: usize,
+    wp_rng: u64,
+
+    stats: SimStats,
+    /// Memory-order violations (Store Sets training events).
+    pub memdep_violations: u64,
+}
+
+impl<T: TraceSource> Simulator<T> {
+    /// Builds a simulator for `cfg` running `trace`.
+    pub fn new(cfg: SimConfig, trace: T) -> Self {
+        cfg.validate();
+        let delay = cfg.issue_to_execute_delay;
+        let frontend_cap = (cfg.frontend_width as u64 * (cfg.frontend_depth() + 2)) as usize;
+        Simulator {
+            delay,
+            bpred: BranchPredictor::new(&cfg.predictor),
+            mem: MemoryHierarchy::new(&cfg),
+            store_sets: StoreSets::new(1024, 131_072),
+            engine: SchedEngine::new(&cfg),
+            bank_pred: BankPredictor::new(cfg.bank_predictor_entries),
+            rename: RenameUnit::new(cfg.int_prf, cfg.fp_prf),
+            rob: VecDeque::with_capacity(cfg.rob_entries as usize),
+            frontend: VecDeque::with_capacity(frontend_cap),
+            frontend_cap,
+            inflight: VecDeque::new(),
+            recovery: VecDeque::new(),
+            iq_used: 0,
+            lq_used: 0,
+            sq_used: 0,
+            scratch_candidates: Vec::with_capacity(256),
+            muldiv_free: Cycle::ZERO,
+            fpdiv_free: [Cycle::ZERO; 2],
+            now: Cycle::ZERO,
+            next_seq: SeqNum::FIRST,
+            issue_blocked_at: None,
+            wrong_path_mode: false,
+            pending_correct: None,
+            fetch_stall_until: Cycle::ZERO,
+            last_commit_at: Cycle::ZERO,
+            deferred_wakes: Vec::new(),
+            recent_load_addrs: [ss_types::Addr::new(0x1_0000_0000); 64],
+            recent_load_idx: 0,
+            wp_rng: 0x2545_F491_4F6C_DD1D,
+            stats: SimStats::default(),
+            memdep_violations: 0,
+            wp_gen: WrongPathGen::new(0x57A7_5EED),
+            cfg,
+            trace,
+        }
+    }
+
+    /// The machine configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current statistics (memory counters freshly exported).
+    pub fn stats(&mut self) -> SimStats {
+        self.mem.export_into(&mut self.stats);
+        let es = self.engine.stats;
+        self.stats.loads_spec_woken = es.speculative;
+        self.stats.loads_conservative = es.conservative;
+        self.stats.filter_sure_hit = es.sure_hit;
+        self.stats.filter_sure_miss = es.sure_miss;
+        self.stats.filter_unstable = es.unstable;
+        self.stats.crit_predicted_critical = es.critical;
+        self.stats.crit_predicted_noncritical = es.noncritical;
+        self.stats.memdep_violations = self.memdep_violations;
+        self.stats.clone()
+    }
+
+    /// Runs until at least `n` more µ-ops commit (the final cycle may
+    /// overshoot by up to the retire width); returns statistics
+    /// accumulated since the start of the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline stops committing for an extended period
+    /// (a modeling bug, not a workload property).
+    pub fn run_committed(&mut self, n: u64) -> SimStats {
+        let target = self.stats.committed_uops + n;
+        while self.stats.committed_uops < target {
+            self.tick();
+            if self.now.since(self.last_commit_at) >= WATCHDOG_CYCLES {
+                self.dump_deadlock();
+            }
+        }
+        self.stats()
+    }
+
+    /// Captures the current pipeline occupancy (cheap; no simulation
+    /// side effects).
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            cycle: self.now,
+            rob: self.rob.len(),
+            iq: self.iq_used,
+            lq: self.lq_used,
+            sq: self.sq_used,
+            frontend: self.frontend.len(),
+            recovery: self.recovery.iter().map(|(_, g)| g.len()).sum(),
+            inflight: self.inflight.iter().map(|(_, g)| g.len()).sum(),
+            wrong_path: self.wrong_path_mode,
+            committed: self.stats.committed_uops,
+            issued: self.stats.issued_total,
+            replayed: self.stats.replayed_miss + self.stats.replayed_bank,
+        }
+    }
+
+    /// Panics with a detailed picture of the stuck window (watchdog).
+    fn dump_deadlock(&self) -> ! {
+        let mut msg = format!(
+            "pipeline deadlock at {}: rob={} iq={} lq={} sq={} recovery_groups={} wp={}\n",
+            self.now,
+            self.rob.len(),
+            self.iq_used,
+            self.lq_used,
+            self.sq_used,
+            self.recovery.len(),
+            self.wrong_path_mode,
+        );
+        for e in self.rob.iter().take(12) {
+            let srcs: Vec<String> = e
+                .srcs
+                .iter()
+                .flatten()
+                .map(|s| {
+                    format!(
+                        "{:?}/w{:?}/a{:?}",
+                        s.reg,
+                        self.rename.wake_at(*s),
+                        self.rename.avail_at(*s)
+                    )
+                })
+                .collect();
+            msg += &format!(
+                "  {} {} {:?} issued={}@{:?} rec={} iq={} dep={:?} srcs={srcs:?}\n",
+                e.seq,
+                e.uop.class,
+                e.state,
+                e.times_issued,
+                e.issue_cycle,
+                e.in_recovery,
+                e.holds_iq,
+                e.store_dep
+            );
+        }
+        if let Some((c, g)) = self.recovery.front() {
+            msg += &format!("  recovery head group @{c:?}: {g:?}\n");
+        }
+        msg += &format!(
+            "  inflight groups: {:?}\n",
+            self.inflight.iter().map(|(c, g)| (*c, g.len())).collect::<Vec<_>>()
+        );
+        panic!("{msg}");
+    }
+
+    /// Advances the machine one cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        self.stats.cycles += 1;
+        self.apply_deferred_wakes();
+        self.commit();
+        self.execute();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+    }
+
+    /// Applies a pending wake revision for `reg` immediately (a replay
+    /// event observed the late source before its signal-time reschedule).
+    fn force_deferred_wake(&mut self, reg: PhysRef) {
+        let rename = &mut self.rename;
+        self.deferred_wakes.retain(|&(_, r, wake)| {
+            if r == reg {
+                if rename.avail_at(r) != Cycle::NEVER {
+                    rename.set_wake(r, wake);
+                }
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Applies wake revisions whose hit/miss signal has now arrived. A
+    /// revision is dropped if the producing load was squashed since (its
+    /// availability was reset; the re-execution schedules a fresh one).
+    fn apply_deferred_wakes(&mut self) {
+        let now = self.now;
+        let rename = &mut self.rename;
+        self.deferred_wakes.retain(|&(apply_at, reg, wake)| {
+            if apply_at > now {
+                return true;
+            }
+            if rename.avail_at(reg) != Cycle::NEVER {
+                rename.set_wake(reg, wake);
+            }
+            false
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // entry plumbing
+    // ------------------------------------------------------------------
+
+    fn entry(&self, seq: SeqNum) -> Option<&RobEntry> {
+        let base = self.rob.front()?.seq;
+        if seq < base {
+            return None;
+        }
+        self.rob.get((seq.get() - base.get()) as usize)
+    }
+
+    fn entry_mut(&mut self, seq: SeqNum) -> Option<&mut RobEntry> {
+        let base = self.rob.front()?.seq;
+        if seq < base {
+            return None;
+        }
+        self.rob.get_mut((seq.get() - base.get()) as usize)
+    }
+
+    // ------------------------------------------------------------------
+    // commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.retire_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.state != UopState::Done || head.done_at > self.now {
+                break;
+            }
+            let e = self.rob.pop_front().expect("head exists");
+            debug_assert!(!e.wrong_path, "wrong-path µ-op reached commit");
+            self.last_commit_at = self.now;
+            self.stats.committed_uops += 1;
+
+            // Criticality criterion.
+            let critical = match self.cfg.crit_criterion {
+                // Completed while (or after) becoming the commit blocker.
+                CritCriterion::RobHead => e.done_at + 1 >= self.now,
+                // Was the oldest ready µ-op in the IQ when it issued
+                // (Tune's QOLD).
+                CritCriterion::IqOldest => e.was_iq_oldest,
+            };
+            self.engine.on_retire(e.uop.pc, critical);
+
+            match e.uop.class {
+                OpClass::Load => {
+                    self.stats.committed_loads += 1;
+                    self.lq_used -= 1;
+                    self.engine.on_load_commit(e.uop.pc, e.load_l1_hit);
+                }
+                OpClass::Store => {
+                    self.sq_used -= 1;
+                    let addr = e.uop.mem_addr().expect("store has address");
+                    self.mem.store_commit(addr, self.now);
+                }
+                OpClass::Branch(kind) => {
+                    if matches!(kind, ss_types::BranchKind::Conditional) {
+                        self.stats.cond_branches += 1;
+                        if e.mispredicted && e.dir_wrong {
+                            self.stats.cond_mispredicts += 1;
+                        }
+                    }
+                    if e.mispredicted && !e.dir_wrong {
+                        self.stats.target_mispredicts += 1;
+                    }
+                    let b = e.uop.branch.expect("branch payload");
+                    if let Some(pred) = &e.pred {
+                        let target = if b.taken { b.target } else { e.uop.next_pc() };
+                        self.bpred.on_commit(e.uop.pc, kind, b.taken, target, &pred.meta);
+                    }
+                }
+                _ => {}
+            }
+            if let Some((_new, prev)) = e.dst {
+                self.rename.release(prev);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // execute
+    // ------------------------------------------------------------------
+
+    fn execute(&mut self) {
+        // Pop the group that reaches Execute this cycle.
+        let exec_issue_cycle = match self.now.get().checked_sub(self.delay + 1) {
+            Some(c) => Cycle::new(c),
+            None => return,
+        };
+        let group = match self.inflight.front() {
+            Some((c, _)) if *c == exec_issue_cycle => {
+                self.inflight.pop_front().map(|(_, g)| g).unwrap_or_default()
+            }
+            Some((c, _)) => {
+                assert!(
+                    *c > exec_issue_cycle,
+                    "missed issue group: front {c:?} vs exec {exec_issue_cycle:?} at {}",
+                    self.now
+                );
+                return;
+            }
+            None => return,
+        };
+
+        #[cfg(debug_assertions)]
+        let processed_cycle = exec_issue_cycle;
+        let mut replayed = false;
+        for seq in group {
+            // Validate membership: the entry may have been flushed or
+            // squashed since issue.
+            let Some(e) = self.entry(seq) else { continue };
+            if e.state != UopState::InFlight || e.issue_cycle != exec_issue_cycle {
+                continue;
+            }
+            if replayed {
+                // Already replaying this cycle: the rest of the group is
+                // part of the squashed window.
+                continue;
+            }
+            // Operand verification against ground truth.
+            let late_src = e
+                .srcs
+                .iter()
+                .flatten()
+                .find(|&&s| self.rename.avail_at(s) > self.now)
+                .copied();
+            if let Some(src) = late_src {
+                // The replay detection IS the hardware's notification
+                // that the source is late: apply its pending reschedule
+                // now so squashed dependents wait for the residue instead
+                // of recirculating blindly every few cycles.
+                self.force_deferred_wake(src);
+                let cause = self.rename.late_cause(src).unwrap_or(ReplayCause::L1Miss);
+                match self.cfg.replay_scheme {
+                    ReplayScheme::Squash => {
+                        self.trigger_replay(cause);
+                        replayed = true;
+                    }
+                    ReplayScheme::Selective => {
+                        // Pentium-4-style: only this µ-op recycles; the
+                        // rest of the window is untouched and issue
+                        // continues this cycle.
+                        self.stats.add_replay_event(cause);
+                        self.stats.add_replayed(cause, 1);
+                        let mut group = Vec::new();
+                        self.squash_one(seq, &mut group);
+                        if !group.is_empty() {
+                            self.recovery.push_back((self.now, group));
+                        }
+                    }
+                    ReplayScheme::Refetch => {
+                        // Branch-misprediction-style recovery: squash from
+                        // the offender onward and stall fetch for a
+                        // frontend refill.
+                        self.stats.add_replay_event(cause);
+                        let n = self.squash_from(seq);
+                        self.stats.add_replayed(cause, n);
+                        self.issue_blocked_at = Some(self.now);
+                        self.fetch_stall_until = self.now + self.cfg.frontend_depth();
+                        // Group members *older* than the offender are
+                        // unaffected and keep executing, so the loop
+                        // continues without the `replayed` flag; younger
+                        // members were reset to Waiting and fail the
+                        // state re-validation.
+                    }
+                }
+                continue;
+            }
+            self.execute_one(seq);
+        }
+        #[cfg(debug_assertions)]
+        {
+            // Paranoia: nothing issued at or before the processed cycle may
+            // remain InFlight — it would be orphaned forever.
+            if let Some(e) = self
+                .rob
+                .iter()
+                .find(|e| e.state == UopState::InFlight && e.issue_cycle <= processed_cycle)
+            {
+                panic!(
+                    "orphaned in-flight µ-op {} (issued @{:?}, exec target {:?}, now {})",
+                    e.seq, e.issue_cycle, processed_cycle, self.now
+                );
+            }
+        }
+    }
+
+    /// Executes one verified µ-op (`state == InFlight`).
+    fn execute_one(&mut self, seq: SeqNum) {
+        let e = self.entry(seq).expect("validated").clone();
+        let exec_start = self.now;
+        match e.uop.class {
+            OpClass::Load => {
+                let aliasing =
+                    if e.wrong_path { None } else { self.youngest_older_aliasing_store(seq) };
+                if let Some((store_seq, false)) = aliasing {
+                    // Memory-order violation: the aliasing store has not
+                    // executed yet.
+                    self.handle_violation(seq, store_seq);
+                    return;
+                }
+                let addr = e.uop.mem_addr().expect("load has address");
+                let forwarded = matches!(aliasing, Some((_, true)));
+                let (mut extra, mut cause, l1_hit) = if forwarded {
+                    (0u64, None, true)
+                } else {
+                    let r = self.mem.load(e.uop.pc, addr, exec_start, e.wrong_path);
+                    let hit = r.level == MemLevel::L1;
+                    if !e.wrong_path {
+                        self.engine.on_load_outcome(hit);
+                    }
+                    let cause = if !hit {
+                        Some(ReplayCause::L1Miss)
+                    } else if r.bank_delay > 0 {
+                        Some(ReplayCause::BankConflict)
+                    } else {
+                        None
+                    };
+                    (r.extra_latency, cause, hit)
+                };
+                if e.prf_delay > 0 {
+                    extra += u64::from(e.prf_delay);
+                    cause = cause.or(Some(ReplayCause::PrfConflict));
+                }
+                // Train the bank predictor with the actual bank.
+                if !e.wrong_path {
+                    if let Some(banking) = &self.cfg.l1d_banking {
+                        let bank_bits = banking.banks.trailing_zeros();
+                        let actual = match banking.interleaving {
+                            BankInterleaving::Word => {
+                                addr.bits(banking.interleave_bytes.trailing_zeros(), bank_bits)
+                            }
+                            BankInterleaving::Set => {
+                                addr.bits(self.cfg.l1d.line_bytes.trailing_zeros(), bank_bits)
+                            }
+                        };
+                        self.bank_pred.train(e.uop.pc, actual as u8);
+                    }
+                }
+                let v = exec_start + self.cfg.l1d_load_to_use + extra;
+                let dst = e.dst.expect("load writes a register").0;
+                self.rename.set_avail(dst, v, if extra > 0 { cause } else { None });
+                // Wakeup revision: conservative loads wake dependents on
+                // the hit/miss signal (one cycle before data ⇒ they pay
+                // the issue-to-execute delay); speculatively-woken loads
+                // that turned out late re-wake on the known residue (the
+                // Pentium-4-style replay-loop schedule).
+                let spec_wake = self.rename.wake_at(dst);
+                if spec_wake == Cycle::NEVER {
+                    // Conservative wakeup: dependents ride the actual
+                    // hit/miss signal (one cycle before the data), paying
+                    // the issue-to-execute delay on the chain.
+                    self.rename.set_wake(dst, Cycle::new((v.get() - 1).max(self.now.get() + 1)));
+                } else if spec_wake + self.delay + 1 < v {
+                    // Dependents woken at spec_wake would execute before
+                    // the data exists. The hardware only learns this when
+                    // the hit/miss signal arrives (v − 2); until then the
+                    // speculative wakeup stands and dependents selected in
+                    // the meantime replay — exactly the paper's doomed
+                    // issues at small delays. From the signal on, pending
+                    // dependents are rescheduled onto the known residue
+                    // (the Pentium-4-style replay-loop schedule).
+                    let revised = Cycle::new((v.get().saturating_sub(self.delay + 1)).max(self.now.get() + 1));
+                    let signal_at = Cycle::new((v.get() - 2).max(self.now.get()));
+                    if signal_at <= self.now {
+                        self.rename.set_wake(dst, revised);
+                    } else {
+                        self.deferred_wakes.push((signal_at, dst, revised));
+                    }
+                }
+                let em = self.entry_mut(seq).expect("validated");
+                em.load_l1_hit = l1_hit;
+                em.done_at = v;
+                em.state = UopState::Done;
+                if em.holds_iq {
+                    em.holds_iq = false;
+                    self.iq_used -= 1;
+                }
+            }
+            OpClass::Store => {
+                let em = self.entry_mut(seq).expect("validated");
+                em.store_executed = true;
+                em.done_at = exec_start + 1;
+                em.state = UopState::Done;
+                if em.holds_iq {
+                    em.holds_iq = false;
+                    self.iq_used -= 1;
+                }
+                if !e.wrong_path {
+                    self.store_sets.on_store_complete(e.uop.pc, seq);
+                }
+            }
+            OpClass::Branch(kind) => {
+                {
+                    let em = self.entry_mut(seq).expect("validated");
+                    em.done_at = exec_start + 1;
+                    em.state = UopState::Done;
+                }
+                if !e.wrong_path && e.mispredicted && !e.mispred_handled {
+                    // Resolve: flush everything younger, repair the
+                    // predictor, resume correct-path fetch. A later
+                    // memory-order squash may re-execute this branch;
+                    // `mispred_handled` keeps the flush from repeating
+                    // (the refetched path is already correct).
+                    let b = e.uop.branch.expect("branch payload");
+                    if let Some(pred) = &e.pred {
+                        self.bpred.on_mispredict(
+                            e.uop.pc,
+                            kind,
+                            b.taken,
+                            e.uop.next_pc(),
+                            &pred.meta,
+                        );
+                    }
+                    self.flush_younger_than(seq);
+                    self.wrong_path_mode = false;
+                    self.entry_mut(seq).expect("branch entry").mispred_handled = true;
+                }
+            }
+            class => {
+                let lat = class.base_latency();
+                let em = self.entry_mut(seq).expect("validated");
+                em.done_at = exec_start + lat + u64::from(em.prf_delay);
+                em.state = UopState::Done;
+                // avail/wake were set deterministically at issue
+            }
+        }
+    }
+
+    /// Finds the youngest store older than `load_seq` to the same
+    /// quadword, returning `(seq, executed)`. Aliasing is quadword-
+    /// granular — the workloads emit aligned 8-byte accesses only.
+    ///
+    /// An unexecuted match is a memory-order violation if the load
+    /// executes now; an executed match satisfies the load by
+    /// store-to-load forwarding.
+    fn youngest_older_aliasing_store(&self, load_seq: SeqNum) -> Option<(SeqNum, bool)> {
+        let load = self.entry(load_seq)?;
+        let qw = load.uop.mem_addr()?.get() >> 3;
+        let base = self.rob.front()?.seq;
+        let idx = (load_seq.get() - base.get()) as usize;
+        self.rob
+            .iter()
+            .take(idx)
+            .rev()
+            .find(|s| {
+                !s.wrong_path
+                    && s.uop.class.is_store()
+                    && s.uop.mem_addr().map(|a| a.get() >> 3) == Some(qw)
+            })
+            .map(|s| (s.seq, s.store_executed))
+    }
+
+    /// Memory-order violation: train Store Sets, squash the load and
+    /// everything younger back to re-issue, and make the load wait for
+    /// the store.
+    fn handle_violation(&mut self, load_seq: SeqNum, store_seq: SeqNum) {
+        self.memdep_violations += 1;
+        let load_pc = self.entry(load_seq).expect("load").uop.pc;
+        let store_pc = self.entry(store_seq).expect("store").uop.pc;
+        self.store_sets.on_violation(load_pc, store_pc);
+        let _ = self.squash_from(load_seq);
+        let em = self.entry_mut(load_seq).expect("load");
+        em.store_dep = Some(store_seq);
+        self.issue_blocked_at = Some(self.now);
+    }
+
+    /// Alpha-style replay: squash every µ-op between Issue and Execute
+    /// (all in-flight issue groups), lose one issue cycle, and account
+    /// the squashed µ-ops to `cause`.
+    fn trigger_replay(&mut self, cause: ReplayCause) {
+        self.stats.add_replay_event(cause);
+        self.issue_blocked_at = Some(self.now);
+        let groups: Vec<(Cycle, Vec<SeqNum>)> = self.inflight.drain(..).collect();
+        let mut squashed = 0u64;
+        for (issue_cycle, group) in groups {
+            let mut recovery_group = Vec::new();
+            for seq in group {
+                let Some(e) = self.entry(seq) else { continue };
+                if e.state != UopState::InFlight || e.issue_cycle != issue_cycle {
+                    continue;
+                }
+                squashed += 1;
+                self.squash_one(seq, &mut recovery_group);
+            }
+            if !recovery_group.is_empty() {
+                self.recovery.push_back((issue_cycle, recovery_group));
+            }
+        }
+        // The µ-op that detected the misspeculation is part of the
+        // squashed window too (its group was popped before this call);
+        // account it through the caller's `continue` path: the remaining
+        // members of the executing group were skipped, not squashed, so
+        // re-squash any InFlight stragglers with the exec group's cycle.
+        let exec_cycle = Cycle::new(self.now.get() - self.delay - 1);
+        let stragglers: Vec<SeqNum> = self
+            .rob
+            .iter()
+            .filter(|e| e.state == UopState::InFlight && e.issue_cycle == exec_cycle)
+            .map(|e| e.seq)
+            .collect();
+        let mut recovery_group = Vec::new();
+        for seq in stragglers {
+            squashed += 1;
+            self.squash_one(seq, &mut recovery_group);
+        }
+        if !recovery_group.is_empty() {
+            self.recovery.push_front((exec_cycle, recovery_group));
+        }
+        self.stats.add_replayed(cause, squashed);
+    }
+
+    /// Squashes one issued-but-unexecuted µ-op back to a re-issuable
+    /// state. Memory µ-ops still hold their IQ entry and re-issue from
+    /// the scheduler; others go to the recovery buffer.
+    fn squash_one(&mut self, seq: SeqNum, recovery_group: &mut Vec<SeqNum>) {
+        let e = self.entry_mut(seq).expect("squash target");
+        e.state = UopState::Waiting;
+        let is_mem = e.uop.class.is_mem();
+        let dst = e.dst;
+        if !is_mem {
+            e.in_recovery = true;
+            recovery_group.push(seq);
+        }
+        if let Some((new, _)) = dst {
+            self.rename.reset_timing(new);
+        }
+    }
+
+    /// Squashes `from` and everything younger back to re-issue (memory-
+    /// order violation and Refetch recovery; no true refetch — the µ-ops
+    /// stay in the ROB). Returns the number of µ-ops squashed.
+    fn squash_from(&mut self, from: SeqNum) -> u64 {
+        let seqs: Vec<SeqNum> = self
+            .rob
+            .iter()
+            .filter(|e| e.seq >= from && e.state != UopState::Waiting)
+            .map(|e| e.seq)
+            .collect();
+        let n_squashed = seqs.len() as u64;
+        let mut recovery_group = Vec::new();
+        for seq in seqs {
+            let e = self.entry_mut(seq).expect("entry");
+            let was_done = e.state == UopState::Done;
+            e.state = UopState::Waiting;
+            e.done_at = Cycle::NEVER;
+            let is_mem = e.uop.class.is_mem();
+            let is_store = e.uop.class.is_store();
+            let wrong_path = e.wrong_path;
+            let pc = e.uop.pc;
+            let dst = e.dst;
+            let mut reacquire_iq = false;
+            if is_mem {
+                // Re-acquire the IQ entry it released at execute.
+                if was_done && !e.holds_iq {
+                    e.holds_iq = true;
+                    reacquire_iq = true;
+                }
+                if is_store {
+                    e.store_executed = false;
+                }
+            } else if !e.in_recovery {
+                e.in_recovery = true;
+                recovery_group.push(seq);
+            }
+            if reacquire_iq {
+                self.iq_used += 1;
+            }
+            if is_store && !wrong_path {
+                // Make the set's loads wait for this store again.
+                let _ = self.store_sets.on_store_dispatch(pc, seq);
+            }
+            if let Some((new, _)) = dst {
+                self.rename.reset_timing(new);
+            }
+        }
+        // Drop stale in-flight bookkeeping; entries re-validate by state.
+        if !recovery_group.is_empty() {
+            self.recovery.push_back((self.now, recovery_group));
+        }
+        n_squashed
+    }
+
+    // ------------------------------------------------------------------
+    // issue
+    // ------------------------------------------------------------------
+
+    fn issue(&mut self) {
+        if self.issue_blocked_at == Some(self.now) {
+            return;
+        }
+        let mut width = self.cfg.issue_width;
+        let mut alu = self.cfg.alu_ports;
+        let mut muldiv = self.cfg.muldiv_ports;
+        let mut fp = self.cfg.fp_ports;
+        let mut fpmd = self.cfg.fpmuldiv_ports;
+        let mut mem_slots = self.cfg.ldst_ports + self.cfg.store_only_ports;
+        let mut load_slots = self.cfg.max_loads_per_cycle();
+        let mut cycle_state = IssueCycleState::default();
+        let mut issued_group: Vec<SeqNum> = Vec::new();
+
+        // Recovery buffer first (Morancho-style): scan oldest group first,
+        // skipping not-ready entries. (A literal single-group select can
+        // livelock once several replay events interleave group ages, so
+        // the buffer carries per-entry ready bits instead — see DESIGN.md.)
+        let mut replay_candidates = std::mem::take(&mut self.scratch_candidates);
+        replay_candidates.clear();
+        replay_candidates.extend(self.recovery.iter().flat_map(|(_, g)| g.iter().copied()));
+        let mut replayed_now: Vec<SeqNum> = Vec::new();
+        for &seq in &replay_candidates {
+            if width == 0 {
+                break;
+            }
+            if !self.ready_to_issue(seq) {
+                continue;
+            }
+            if !Self::take_ports(
+                self.entry(seq).expect("entry").uop.class,
+                self.now,
+                &mut width,
+                &mut alu,
+                &mut muldiv,
+                &mut fp,
+                &mut fpmd,
+                &mut mem_slots,
+                &mut load_slots,
+                &mut self.muldiv_free,
+                &mut self.fpdiv_free,
+            ) {
+                continue;
+            }
+            self.do_issue(seq, &mut cycle_state);
+            self.stats.recovery_buffer_replays += 1;
+            issued_group.push(seq);
+            replayed_now.push(seq);
+        }
+        if !replayed_now.is_empty() {
+            for (_, group) in &mut self.recovery {
+                group.retain(|s| !replayed_now.contains(s));
+            }
+            self.recovery.retain(|(_, g)| !g.is_empty());
+        }
+
+        // Scheduler: oldest-first scan over IQ-resident µ-ops (reusing
+        // the scratch buffer).
+        if width > 0 {
+            replay_candidates.clear();
+            replay_candidates.extend(
+                self.rob
+                    .iter()
+                    .filter(|e| e.state == UopState::Waiting && !e.in_recovery && e.holds_iq)
+                    .map(|e| e.seq),
+            );
+            let mut first_iq_issue = true;
+            let candidates = std::mem::take(&mut replay_candidates);
+            for &seq in &candidates {
+                if width == 0 {
+                    break;
+                }
+                if !self.ready_to_issue(seq) {
+                    continue;
+                }
+                if !Self::take_ports(
+                    self.entry(seq).expect("entry").uop.class,
+                    self.now,
+                    &mut width,
+                    &mut alu,
+                    &mut muldiv,
+                    &mut fp,
+                    &mut fpmd,
+                    &mut mem_slots,
+                    &mut load_slots,
+                    &mut self.muldiv_free,
+                    &mut self.fpdiv_free,
+                ) {
+                    continue;
+                }
+                self.do_issue(seq, &mut cycle_state);
+                if first_iq_issue {
+                    // The oldest ready IQ entry this cycle: QOLD-critical.
+                    self.entry_mut(seq).expect("just issued").was_iq_oldest = true;
+                    first_iq_issue = false;
+                }
+                issued_group.push(seq);
+            }
+            replay_candidates = candidates;
+        }
+        self.scratch_candidates = replay_candidates;
+
+        if !issued_group.is_empty() {
+            self.inflight.push_back((self.now, issued_group));
+        }
+    }
+
+    /// Source wakeup + memory-dependence readiness.
+    fn ready_to_issue(&self, seq: SeqNum) -> bool {
+        let e = self.entry(seq).unwrap_or_else(|| {
+            panic!(
+                "stale seq {seq} at {}: rob base {:?} len {} recovery {:?}",
+                self.now,
+                self.rob.front().map(|e| e.seq),
+                self.rob.len(),
+                self.recovery.iter().map(|(c, g)| (*c, g.len())).collect::<Vec<_>>()
+            )
+        });
+        for s in e.srcs.iter().flatten() {
+            if self.rename.wake_at(*s) > self.now {
+                return false;
+            }
+        }
+        if let Some(dep) = e.store_dep {
+            if let Some(store) = self.entry(dep) {
+                if store.uop.class.is_store() && !store.store_executed {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Port/unit arbitration. Returns false if the µ-op cannot issue this
+    /// cycle for structural reasons.
+    #[allow(clippy::too_many_arguments)]
+    fn take_ports(
+        class: OpClass,
+        now: Cycle,
+        width: &mut u32,
+        alu: &mut u32,
+        muldiv: &mut u32,
+        fp: &mut u32,
+        fpmd: &mut u32,
+        mem_slots: &mut u32,
+        load_slots: &mut u32,
+        muldiv_free: &mut Cycle,
+        fpdiv_free: &mut [Cycle; 2],
+    ) -> bool {
+        debug_assert!(*width > 0);
+        match class {
+            OpClass::IntAlu | OpClass::Branch(_) => {
+                if *alu == 0 {
+                    return false;
+                }
+                *alu -= 1;
+            }
+            OpClass::IntMul | OpClass::IntDiv => {
+                if *muldiv == 0 || *muldiv_free > now {
+                    return false;
+                }
+                *muldiv -= 1;
+                if class == OpClass::IntDiv {
+                    *muldiv_free = now + class.base_latency();
+                }
+            }
+            OpClass::FpAlu => {
+                if *fp == 0 {
+                    return false;
+                }
+                *fp -= 1;
+            }
+            OpClass::FpMul | OpClass::FpDiv => {
+                if *fpmd == 0 {
+                    return false;
+                }
+                let Some(port) = fpdiv_free.iter().position(|&f| f <= now) else {
+                    return false;
+                };
+                *fpmd -= 1;
+                if class == OpClass::FpDiv {
+                    fpdiv_free[port] = now + class.base_latency();
+                }
+            }
+            OpClass::Load => {
+                if *mem_slots == 0 || *load_slots == 0 {
+                    return false;
+                }
+                *mem_slots -= 1;
+                *load_slots -= 1;
+            }
+            OpClass::Store => {
+                if *mem_slots == 0 {
+                    return false;
+                }
+                *mem_slots -= 1;
+            }
+        }
+        *width -= 1;
+        true
+    }
+
+    /// Issues one µ-op: bookkeeping, wakeup speculation, stats.
+    fn do_issue(&mut self, seq: SeqNum, cycle_state: &mut IssueCycleState) {
+        let delay = self.delay;
+        let now = self.now;
+        let load_to_use = self.cfg.l1d_load_to_use;
+
+        let e = self.entry(seq).expect("entry").clone();
+        self.stats.issued_total += 1;
+        let first_issue = e.times_issued == 0;
+        if first_issue {
+            self.stats.unique_issued += 1;
+            if e.wrong_path {
+                self.stats.wrong_path_issued += 1;
+            }
+        }
+        // Banked-PRF read-port arbitration (§4.2): a µ-op whose issue
+        // group oversubscribes a bank's read ports is delayed one cycle —
+        // discovered at register read, after its dependents were woken.
+        let mut prf_delay = 0u8;
+        if let Some(pb) = self.cfg.prf_banking {
+            for src in e.srcs.iter().flatten() {
+                let bank = src.reg.index() % pb.banks as usize;
+                let reads = &mut cycle_state.prf_reads[src.class.index()][bank];
+                *reads += 1;
+                if u32::from(*reads) > pb.read_ports_per_bank {
+                    prf_delay = 1;
+                }
+            }
+        }
+        // Wakeup speculation for the destination.
+        if let Some((dst, _)) = e.dst {
+            match e.uop.class {
+                OpClass::Load => {
+                    let decision = self.engine.decide(e.uop.pc);
+                    cycle_state.loads_issued += 1;
+                    let shifted = match self.cfg.shift_policy {
+                        ShiftPolicy::Off => false,
+                        ShiftPolicy::Always => cycle_state.loads_issued == 2,
+                        ShiftPolicy::Predicted => {
+                            // Shift only if this load and the group's
+                            // first load are confidently predicted to hit
+                            // the same bank (Yoaz-style).
+                            let my_pred = self.bank_pred.predict(e.uop.pc);
+                            let conflict = cycle_state.loads_issued == 2
+                                && match (cycle_state.first_load_bank, my_pred) {
+                                    (Some(a), Some(b)) => a == b,
+                                    _ => false,
+                                };
+                            if cycle_state.loads_issued == 1 {
+                                cycle_state.first_load_bank = my_pred;
+                            }
+                            conflict
+                        }
+                    };
+                    match decision {
+                        WakeupDecision::Speculative => {
+                            let wake = now + load_to_use + if shifted { 1 } else { 0 };
+                            self.rename.set_wake(dst, wake);
+                        }
+                        WakeupDecision::Conservative => {
+                            self.rename.set_wake(dst, Cycle::NEVER);
+                        }
+                    }
+                    self.rename.set_avail(dst, Cycle::NEVER, None);
+                }
+                class => {
+                    let lat = class.base_latency();
+                    // Dependents are woken on the bypass schedule; a PRF
+                    // read-port delay is only discovered later, so they
+                    // replay against the delayed availability.
+                    self.rename.set_wake(dst, now + lat);
+                    let cause = (prf_delay > 0).then_some(ReplayCause::PrfConflict);
+                    self.rename.set_avail(
+                        dst,
+                        now + delay + 1 + lat + u64::from(prf_delay),
+                        cause,
+                    );
+                }
+            }
+        }
+
+        let em = self.entry_mut(seq).expect("entry");
+        em.state = UopState::InFlight;
+        em.issue_cycle = now;
+        em.times_issued += 1;
+        em.in_recovery = false;
+        em.prf_delay = prf_delay;
+        // Non-memory µ-ops release their IQ entry at (first) issue.
+        if !em.uop.class.is_mem() && em.holds_iq {
+            em.holds_iq = false;
+            self.iq_used -= 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        let mut dispatched = 0;
+        let mut stalled = false;
+        while dispatched < self.cfg.frontend_width {
+            let Some(f) = self.frontend.front() else { break };
+            if f.ready_at > self.now {
+                break;
+            }
+            // Structural resources.
+            if self.rob.len() >= self.cfg.rob_entries as usize
+                || self.iq_used >= self.cfg.iq_entries
+            {
+                stalled = true;
+                break;
+            }
+            let class = f.uop.class;
+            if class.is_load() && self.lq_used >= self.cfg.lq_entries {
+                stalled = true;
+                break;
+            }
+            if class.is_store() && self.sq_used >= self.cfg.sq_entries {
+                stalled = true;
+                break;
+            }
+            if let Some(d) = f.uop.dst {
+                if self.rename.free_count(d.class) == 0 {
+                    stalled = true;
+                    break;
+                }
+            }
+            let f = self.frontend.pop_front().expect("peeked");
+            let seq = self.next_seq;
+            self.next_seq = self.next_seq.next();
+            let mut e = RobEntry::new(seq, f.uop, f.wrong_path);
+            e.pred = f.pred;
+            e.mispredicted = f.mispredicted;
+            e.dir_wrong = f.dir_wrong;
+            // Rename sources then destination (true dependencies only).
+            for (i, s) in f.uop.srcs.iter().enumerate() {
+                if let Some(s) = s {
+                    e.srcs[i] = Some(self.rename.lookup(s.class, s.reg));
+                }
+            }
+            if let Some(d) = f.uop.dst {
+                let (new, prev) =
+                    self.rename.rename_dst(d.class, d.reg).expect("free list checked");
+                e.dst = Some((new, prev));
+            }
+            // Memory-dependence prediction.
+            if !f.wrong_path {
+                if class.is_load() {
+                    e.store_dep = self.store_sets.load_dependence(f.uop.pc);
+                } else if class.is_store() {
+                    e.store_dep = self.store_sets.on_store_dispatch(f.uop.pc, seq);
+                }
+            }
+            if class.is_load() {
+                self.lq_used += 1;
+            }
+            if class.is_store() {
+                self.sq_used += 1;
+            }
+            e.holds_iq = true;
+            self.iq_used += 1;
+            self.rob.push_back(e);
+            dispatched += 1;
+        }
+        if stalled && dispatched == 0 {
+            self.stats.dispatch_stall_cycles += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // fetch
+    // ------------------------------------------------------------------
+
+    fn next_correct_uop(&mut self) -> MicroOp {
+        match self.pending_correct.take() {
+            Some(u) => u,
+            None => self.trace.next_uop(),
+        }
+    }
+
+    fn fetch(&mut self) {
+        if self.now < self.fetch_stall_until {
+            return;
+        }
+        let mut fetched = 0;
+        let mut taken_branches = 0;
+        let mut cur_block: Option<u64> = None;
+        let mut blocks = 1;
+        let block_mask = !(self.cfg.fetch_block_bytes - 1);
+
+        while fetched < self.cfg.frontend_width && self.frontend.len() < self.frontend_cap {
+            // Obtain the next µ-op on the (predicted) fetch path.
+            let (mut uop, wrong_path) = if self.wrong_path_mode {
+                if !self.cfg.wrong_path {
+                    break; // model without wrong-path fetch: just stall
+                }
+                (self.wp_gen.next_uop(), true)
+            } else {
+                let u = self.next_correct_uop();
+                (u, false)
+            };
+            if wrong_path {
+                if let Some(m) = &mut uop.mem {
+                    // Retarget near a recent correct-path address.
+                    self.wp_rng ^= self.wp_rng << 13;
+                    self.wp_rng ^= self.wp_rng >> 7;
+                    self.wp_rng ^= self.wp_rng << 17;
+                    let base = self.recent_load_addrs[(self.wp_rng as usize) & 63];
+                    let jitter = ((self.wp_rng >> 8) % 17) as i64 * 8 - 64;
+                    m.addr = ss_types::Addr::new(base.offset(jitter).get() & !7);
+                }
+            } else if let (OpClass::Load, Some(m)) = (uop.class, &uop.mem) {
+                self.recent_load_addrs[self.recent_load_idx & 63] = m.addr;
+                self.recent_load_idx = self.recent_load_idx.wrapping_add(1);
+            }
+
+            // Fetch-block accounting.
+            let block = uop.pc.get() & block_mask;
+            match cur_block {
+                None => cur_block = Some(block),
+                Some(b) if b != block => {
+                    blocks += 1;
+                    if blocks > self.cfg.fetch_blocks_per_cycle {
+                        // Does not fit this fetch cycle: put it back.
+                        if wrong_path {
+                            // regenerate next cycle from the same PC
+                            self.wp_gen.redirect(uop.pc);
+                        } else {
+                            self.pending_correct = Some(uop);
+                        }
+                        break;
+                    }
+                    cur_block = Some(block);
+                }
+                _ => {}
+            }
+
+            // Instruction-cache access (once per block in spirit; modeled
+            // per µ-op with line granularity inside the cache).
+            let icache_extra = self.mem.icache_fetch(uop.pc, self.now);
+            if icache_extra > 0 {
+                self.fetch_stall_until = self.now + icache_extra;
+            }
+
+            let mut pred = None;
+            let mut mispredicted = false;
+            let mut dir_wrong = false;
+            let mut predicted_taken = false;
+            if uop.class.is_branch() {
+                if wrong_path {
+                    // Wrong-path branches are synthesized never-taken and
+                    // do not consult or pollute the predictor tables (the
+                    // history they would have inserted is restored at
+                    // resolve anyway).
+                    predicted_taken = false;
+                } else {
+                    let OpClass::Branch(kind) = uop.class else { unreachable!() };
+                    let b = uop.branch.expect("branch payload");
+                    let p = self.bpred.on_branch_fetch(uop.pc, kind, uop.next_pc());
+                    predicted_taken = p.taken;
+                    let actual_next = uop.successor_pc();
+                    if p.next_pc != actual_next {
+                        mispredicted = true;
+                        dir_wrong = p.taken != b.taken;
+                    }
+                    pred = Some(p);
+                }
+            }
+
+            let fetched_uop = FetchedUop {
+                uop,
+                wrong_path,
+                ready_at: self.now + self.cfg.frontend_depth(),
+                pred,
+                mispredicted,
+                dir_wrong,
+            };
+            let pred_next = fetched_uop.pred.map(|p| p.next_pc);
+            self.frontend.push_back(fetched_uop);
+            fetched += 1;
+
+            if mispredicted {
+                // Fetch diverges: follow the *predicted* path.
+                self.wrong_path_mode = true;
+                self.wp_gen.redirect(pred_next.expect("mispredicted branch has prediction"));
+                // `diverged` is recorded at dispatch (needs the seq).
+            }
+            if uop.class.is_branch() && predicted_taken {
+                taken_branches += 1;
+                if taken_branches > 1 {
+                    break; // at most one taken branch per fetch cycle
+                }
+            }
+        }
+    }
+
+    /// Flushes every µ-op younger than `branch_seq`: frontend, ROB tail
+    /// (youngest-first rename unwind), recovery buffer, LSQ counters.
+    fn flush_younger_than(&mut self, branch_seq: SeqNum) {
+        // Everything in the frontend was fetched after the branch.
+        self.frontend.clear();
+        self.fetch_stall_until = Cycle::ZERO;
+        while let Some(tail) = self.rob.back() {
+            if tail.seq <= branch_seq {
+                break;
+            }
+            let e = self.rob.pop_back().expect("tail exists");
+            if e.holds_iq {
+                self.iq_used -= 1;
+            }
+            if e.uop.class.is_load() {
+                self.lq_used -= 1;
+            }
+            if e.uop.class.is_store() {
+                self.sq_used -= 1;
+                if !e.wrong_path {
+                    self.store_sets.on_store_complete(e.uop.pc, e.seq);
+                }
+            }
+            if let Some(d) = e.uop.dst {
+                let (new, prev) = e.dst.expect("renamed");
+                self.rename.unwind(d.reg, new, prev);
+            }
+        }
+        // Sequence numbers index the ROB (contiguous); the refetched path
+        // reuses the flushed range. Deferred revisions for unwound
+        // registers are dropped lazily by the avail-reset guard.
+        self.next_seq = branch_seq.next();
+        // Purge stale seqs from replay structures (entries validate by
+        // state, but keep the queues tidy).
+        let last = self.rob.back().map(|e| e.seq);
+        let valid = |s: &SeqNum| last.is_some_and(|l| *s <= l);
+        for (_, g) in &mut self.recovery {
+            g.retain(valid);
+        }
+        self.recovery.retain(|(_, g)| !g.is_empty());
+        for (_, g) in &mut self.inflight {
+            g.retain(valid);
+        }
+    }
+}
+
+impl<T: TraceSource> std::fmt::Debug for Simulator<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("rob", &self.rob.len())
+            .field("iq_used", &self.iq_used)
+            .field("committed", &self.stats.committed_uops)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,56 @@
+//! Convenience runners: build a simulator for a benchmark, warm it up,
+//! measure, and return warmup-corrected statistics.
+
+use crate::pipeline::Simulator;
+use ss_types::{SimConfig, SimStats};
+use ss_workloads::{KernelTrace, KernelSpec, TraceSource};
+
+/// How long to run a measurement, in committed µ-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLength {
+    /// Committed µ-ops of warmup discarded from the statistics.
+    pub warmup: u64,
+    /// Committed µ-ops measured.
+    pub measure: u64,
+}
+
+impl RunLength {
+    /// The default experiment length used by the harness: 200K warmup +
+    /// 2M measured µ-ops (the paper used 50M + 100M on gem5; synthetic
+    /// kernels are stationary and converge much faster — see DESIGN.md).
+    pub const FULL: RunLength = RunLength { warmup: 200_000, measure: 2_000_000 };
+    /// A short smoke-test length for unit/integration tests.
+    pub const SMOKE: RunLength = RunLength { warmup: 5_000, measure: 30_000 };
+}
+
+/// Runs `trace` on a machine described by `cfg` and returns statistics
+/// for the measurement window only.
+pub fn run_trace<T: TraceSource>(cfg: SimConfig, trace: T, len: RunLength) -> SimStats {
+    let mut sim = Simulator::new(cfg, trace);
+    let warm = sim.run_committed(len.warmup);
+    let end = sim.run_committed(len.measure);
+    end.delta(&warm)
+}
+
+/// Runs a kernel spec (convenience wrapper over [`run_trace`]).
+pub fn run_kernel(cfg: SimConfig, spec: KernelSpec, len: RunLength) -> SimStats {
+    run_trace(cfg, KernelTrace::new(spec), len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_types::SchedPolicyKind;
+    use ss_workloads::kernels;
+
+    #[test]
+    fn smoke_run_produces_sane_stats() {
+        let cfg = SimConfig::builder().sched_policy(SchedPolicyKind::AlwaysHit).build();
+        let s = run_kernel(cfg, kernels::fp_compute(1), RunLength::SMOKE);
+        // run_committed stops at the first commit boundary past the target
+        assert!(s.committed_uops >= 30_000 && s.committed_uops < 30_000 + 8);
+        assert!(s.cycles > 0);
+        let ipc = s.ipc();
+        assert!(ipc > 0.1 && ipc < 8.0, "implausible IPC {ipc}");
+    }
+}

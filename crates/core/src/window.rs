@@ -1,0 +1,127 @@
+//! The instruction window: per-µ-op state carried from dispatch to commit.
+
+use crate::rename::PhysRef;
+use ss_bpred::BranchPrediction;
+use ss_isa::MicroOp;
+use ss_types::{Cycle, SeqNum};
+
+/// Scheduling state of a window entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopState {
+    /// Dispatched; waiting in the IQ or the recovery buffer to (re-)issue.
+    Waiting,
+    /// Issued; traversing the issue-to-execute pipe.
+    InFlight,
+    /// Executed successfully; waiting to commit (`done_at` valid).
+    Done,
+}
+
+/// One µ-op in the reorder buffer.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Dynamic sequence number (unique, program order).
+    pub seq: SeqNum,
+    /// The trace record.
+    pub uop: MicroOp,
+    /// Fetched past an unresolved mispredicted branch.
+    pub wrong_path: bool,
+    /// Scheduling state.
+    pub state: UopState,
+    /// Destination rename: `(new, previous)` mapping.
+    pub dst: Option<(PhysRef, PhysRef)>,
+    /// Renamed sources.
+    pub srcs: [Option<PhysRef>; 2],
+    /// Cycle of the most recent issue.
+    pub issue_cycle: Cycle,
+    /// Times issued (first issue counts toward `Unique`).
+    pub times_issued: u32,
+    /// Completion cycle (valid once `state == Done`).
+    pub done_at: Cycle,
+    /// Currently occupies an IQ entry.
+    pub holds_iq: bool,
+    /// Sits in the recovery buffer awaiting replay.
+    pub in_recovery: bool,
+    /// Branch prediction made at fetch (correct-path branches).
+    pub pred: Option<BranchPrediction>,
+    /// Fetch-time knowledge: this branch was mispredicted.
+    pub mispredicted: bool,
+    /// Direction (vs target) was the wrong part.
+    pub dir_wrong: bool,
+    /// The misprediction has been resolved (flush already performed).
+    pub mispred_handled: bool,
+    /// Load outcome recorded at execute: hit the L1D (or forwarded).
+    pub load_l1_hit: bool,
+    /// Store-set predicted producer this µ-op must wait for.
+    pub store_dep: Option<SeqNum>,
+    /// For stores: address generated / data written (exec done).
+    pub store_executed: bool,
+    /// Was the oldest ready µ-op in the IQ when it issued (QOLD
+    /// criticality criterion).
+    pub was_iq_oldest: bool,
+    /// Extra execution delay from a PRF read-port conflict in this µ-op's
+    /// issue group (0 or 1; only with the banked-PRF model).
+    pub prf_delay: u8,
+}
+
+impl RobEntry {
+    /// Creates a freshly-dispatched entry.
+    pub fn new(seq: SeqNum, uop: MicroOp, wrong_path: bool) -> Self {
+        RobEntry {
+            seq,
+            uop,
+            wrong_path,
+            state: UopState::Waiting,
+            dst: None,
+            srcs: [None, None],
+            issue_cycle: Cycle::ZERO,
+            times_issued: 0,
+            done_at: Cycle::NEVER,
+            holds_iq: false,
+            in_recovery: false,
+            pred: None,
+            mispredicted: false,
+            dir_wrong: false,
+            mispred_handled: false,
+            load_l1_hit: false,
+            store_dep: None,
+            store_executed: false,
+            was_iq_oldest: false,
+            prf_delay: 0,
+        }
+    }
+}
+
+/// A µ-op sitting in the frontend pipe between fetch and dispatch.
+#[derive(Debug, Clone)]
+pub struct FetchedUop {
+    /// The trace record.
+    pub uop: MicroOp,
+    /// Fetched on the wrong path.
+    pub wrong_path: bool,
+    /// Cycle at which it reaches the dispatch stage.
+    pub ready_at: Cycle,
+    /// Fetch-time branch prediction.
+    pub pred: Option<BranchPrediction>,
+    /// Fetch-time knowledge of a misprediction.
+    pub mispredicted: bool,
+    /// Direction (vs target) was the wrong part.
+    pub dir_wrong: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_isa::RegRef;
+    use ss_types::{ArchReg, Pc};
+
+    #[test]
+    fn fresh_entry_defaults() {
+        let r = RegRef::int(ArchReg::new(1));
+        let uop = MicroOp::alu(Pc::new(0x100), r, r, None);
+        let e = RobEntry::new(SeqNum::new(7), uop, false);
+        assert_eq!(e.state, UopState::Waiting);
+        assert_eq!(e.times_issued, 0);
+        assert!(!e.holds_iq);
+        assert_eq!(e.done_at, Cycle::NEVER);
+    }
+}

@@ -1,0 +1,88 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [table2|fig3|fig4|fig5|fig7|fig8|sweep|headline|ablations|all]
+//!             [--quick] [--out DIR] [--no-cache]
+//! ```
+//!
+//! Results print as ASCII tables; CSVs land in `--out` (default
+//! `results/`). Simulation results are cached under `results/cache/`.
+
+use ss_core::RunLength;
+use ss_harness::{experiments, Report, Session};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut cache = true;
+    let mut out = PathBuf::from("results");
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--no-cache" => cache = false,
+            "--out" => out = PathBuf::from(it.next().expect("--out needs a directory")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [table2|fig3|fig4|fig5|fig7|fig8|sweep|headline|ablations|replay_schemes|bank_prediction|criticality_criteria|interleaving|energy|prf_banking|all]... [--quick] [--out DIR] [--no-cache]"
+                );
+                return;
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+
+    let len = if quick {
+        RunLength { warmup: 20_000, measure: 150_000 }
+    } else {
+        RunLength { warmup: 50_000, measure: 500_000 }
+    };
+    let cache_dir = cache.then(|| out.join("cache"));
+    let mut sess = Session::new(len, cache_dir);
+
+    let t0 = std::time::Instant::now();
+    let mut reports: Vec<Report> = Vec::new();
+    for w in &which {
+        match w.as_str() {
+            "table2" => reports.push(experiments::table2(&mut sess)),
+            "fig3" => reports.push(experiments::fig3(&mut sess)),
+            "fig4" => reports.push(experiments::fig4(&mut sess)),
+            "fig5" => reports.push(experiments::fig5(&mut sess)),
+            "fig7" => reports.push(experiments::fig7(&mut sess)),
+            "fig8" => reports.push(experiments::fig8(&mut sess)),
+            "sweep" => reports.push(experiments::sweep(&mut sess)),
+            "headline" => reports.push(experiments::headline(&mut sess)),
+            "ablations" => reports.push(experiments::ablations(&mut sess)),
+            "replay_schemes" => reports.push(experiments::replay_schemes(&mut sess)),
+            "bank_prediction" => reports.push(experiments::bank_prediction(&mut sess)),
+            "criticality_criteria" => reports.push(experiments::criticality_criteria(&mut sess)),
+            "interleaving" => reports.push(experiments::interleaving(&mut sess)),
+            "energy" => reports.push(experiments::energy(&mut sess)),
+            "prf_banking" => reports.push(experiments::prf_banking(&mut sess)),
+            "all" => reports.extend(experiments::all(&mut sess)),
+            other => {
+                eprintln!("unknown experiment `{other}` (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    for r in &reports {
+        println!("{}", r.to_text());
+        if let Err(e) = r.write_csvs(&out) {
+            eprintln!("warning: could not write CSVs for {}: {e}", r.id);
+        }
+    }
+    eprintln!(
+        "[{} simulations run, {:.1}s, run length {}+{} µ-ops, CSVs in {}]",
+        sess.simulated,
+        t0.elapsed().as_secs_f64(),
+        sess.run_length().warmup,
+        sess.run_length().measure,
+        out.display()
+    );
+}

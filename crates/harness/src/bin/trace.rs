@@ -1,0 +1,105 @@
+//! Per-cycle pipeline trace: watch the window fill, replay, and drain.
+//!
+//! ```text
+//! trace <benchmark> [--config NAME] [--cycles N] [--skip N] [--every N]
+//! ```
+//!
+//! Prints one line per sampled cycle with the occupancy of every pipeline
+//! structure plus cumulative commit/issue/replay counters — the quickest
+//! way to see a replay storm or a recovery-buffer drain in action.
+//!
+//! `--config` accepts the harness names: `Baseline_d`, `SpecSched_d`,
+//! `SpecSched_d_Shift`, `_Ctr`, `_Filter`, `_Combined`, `_Crit`.
+
+use ss_core::Simulator;
+use ss_harness::configs;
+use ss_workloads::{benchmark, KernelTrace};
+
+fn parse_config(name: &str) -> Option<ss_harness::NamedConfig> {
+    let parts: Vec<&str> = name.split('_').collect();
+    let delay: u64 = parts.get(1)?.parse().ok()?;
+    match (parts[0], parts.get(2).copied()) {
+        ("Baseline", None) => Some(configs::baseline(delay)),
+        ("SpecSched", None) => Some(configs::spec_sched(delay, true)),
+        ("SpecSched", Some("ported")) => Some(configs::spec_sched(delay, false)),
+        ("SpecSched", Some("Shift")) => Some(configs::spec_sched_shift(delay)),
+        ("SpecSched", Some("Ctr")) => Some(configs::spec_sched_ctr(delay)),
+        ("SpecSched", Some("Filter")) => Some(configs::spec_sched_filter(delay)),
+        ("SpecSched", Some("Combined")) => Some(configs::spec_sched_combined(delay)),
+        ("SpecSched", Some("Crit")) => Some(configs::spec_sched_crit(delay)),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bench_name = None;
+    let mut config_name = "SpecSched_4".to_string();
+    let mut cycles = 200u64;
+    let mut skip = 1_000u64;
+    let mut every = 1u64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => config_name = it.next().expect("--config needs a name"),
+            "--cycles" => cycles = it.next().and_then(|v| v.parse().ok()).expect("--cycles N"),
+            "--skip" => skip = it.next().and_then(|v| v.parse().ok()).expect("--skip N"),
+            "--every" => every = it.next().and_then(|v| v.parse().ok()).expect("--every N"),
+            "--help" | "-h" => {
+                eprintln!("usage: trace <benchmark> [--config NAME] [--cycles N] [--skip N] [--every N]");
+                return;
+            }
+            other => bench_name = Some(other.to_string()),
+        }
+    }
+    let bench_name = bench_name.unwrap_or_else(|| "crafty_like".to_string());
+    let Some(bench) = benchmark(&bench_name) else {
+        eprintln!(
+            "unknown benchmark `{bench_name}`; available: {:?}",
+            ss_workloads::benchmark_names()
+        );
+        std::process::exit(2);
+    };
+    let Some(cfg) = parse_config(&config_name) else {
+        eprintln!("unknown config `{config_name}` (e.g. SpecSched_4_Crit)");
+        std::process::exit(2);
+    };
+
+    println!("# {} on {}", bench.name, cfg.name);
+    let mut sim = Simulator::new(cfg.config, KernelTrace::new((bench.build)(0xB5)));
+    for _ in 0..skip {
+        sim.tick();
+    }
+    println!(
+        "{:>9} {:>4} {:>3} {:>3} {:>3} {:>5} {:>4} {:>4} {:>3}  {:>10} {:>10} {:>9}",
+        "cycle", "rob", "iq", "lq", "sq", "front", "recv", "infl", "wp", "committed", "issued", "replayed"
+    );
+    let mut last = sim.snapshot();
+    for i in 0..cycles {
+        sim.tick();
+        if i % every != 0 {
+            continue;
+        }
+        let s = sim.snapshot();
+        let marker = if s.replayed > last.replayed { " <-- replay" } else { "" };
+        println!(
+            "{:>9} {:>4} {:>3} {:>3} {:>3} {:>5} {:>4} {:>4} {:>3}  {:>10} {:>10} {:>9}{}",
+            s.cycle.get(),
+            s.rob,
+            s.iq,
+            s.lq,
+            s.sq,
+            s.frontend,
+            s.recovery,
+            s.inflight,
+            if s.wrong_path { "y" } else { "" },
+            s.committed,
+            s.issued,
+            s.replayed,
+            marker,
+        );
+        last = s;
+    }
+    let stats = sim.stats();
+    println!("\nIPC so far: {:.3}", stats.ipc());
+}

@@ -1,0 +1,301 @@
+//! The named machine configurations of the paper's evaluation (§3–§5).
+//!
+//! * `Baseline_d` — conservative scheduling (no speculation on load
+//!   latency), ideal dual-ported L1D, issue-to-execute delay `d`.
+//! * `SpecSched_d` — speculative scheduling with the Always-Hit policy and
+//!   the Alpha-style replay mechanism; `_banked` variants model the
+//!   8-bank quadword-interleaved L1D.
+//! * `SpecSched_d_Shift` — plus Schedule Shifting (§5.1).
+//! * `SpecSched_d_Ctr` / `_Filter` — global-counter / filter+counter
+//!   hit/miss gating (§5.2).
+//! * `SpecSched_d_Combined` — Shifting + Filter (§5.3).
+//! * `SpecSched_d_Crit` — Shifting + Filter + criticality gating (§5.3).
+
+use ss_types::{
+    BankInterleaving, BankedL1dConfig, CritCriterion, PredictorConfig, PrfBankConfig,
+    ReplayScheme, SchedPolicyKind, ShiftPolicy, SimConfig,
+};
+
+/// A named configuration.
+#[derive(Debug, Clone)]
+pub struct NamedConfig {
+    /// Display / cache-key name (stable across runs).
+    pub name: String,
+    /// The machine description.
+    pub config: SimConfig,
+}
+
+fn base(delay: u64) -> ss_types::SimConfigBuilder {
+    SimConfig::builder().issue_to_execute_delay(delay)
+}
+
+/// `Baseline_d`: conservative scheduling, dual-ported L1D.
+pub fn baseline(delay: u64) -> NamedConfig {
+    NamedConfig {
+        name: format!("Baseline_{delay}"),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::Conservative)
+            .banked_l1d(false)
+            .build(),
+    }
+}
+
+/// `Baseline_0` restricted to one load per cycle (the first bar of
+/// Figure 3).
+pub fn baseline_single_load() -> NamedConfig {
+    NamedConfig {
+        name: "Baseline_0_1ld".to_string(),
+        config: base(0)
+            .sched_policy(SchedPolicyKind::Conservative)
+            .banked_l1d(false)
+            .dual_load_issue(false)
+            .build(),
+    }
+}
+
+/// `SpecSched_d`: Always-Hit speculative scheduling.
+pub fn spec_sched(delay: u64, banked: bool) -> NamedConfig {
+    NamedConfig {
+        name: format!("SpecSched_{delay}{}", if banked { "" } else { "_ported" }),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::AlwaysHit)
+            .banked_l1d(banked)
+            .build(),
+    }
+}
+
+/// `SpecSched_d_Shift`: plus Schedule Shifting.
+pub fn spec_sched_shift(delay: u64) -> NamedConfig {
+    NamedConfig {
+        name: format!("SpecSched_{delay}_Shift"),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::AlwaysHit)
+            .banked_l1d(true)
+            .schedule_shifting(true)
+            .build(),
+    }
+}
+
+/// `SpecSched_d_Ctr`: global-counter hit/miss gating.
+pub fn spec_sched_ctr(delay: u64) -> NamedConfig {
+    NamedConfig {
+        name: format!("SpecSched_{delay}_Ctr"),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::GlobalCounter)
+            .banked_l1d(true)
+            .build(),
+    }
+}
+
+/// `SpecSched_d_Filter`: per-PC filter + global counter.
+pub fn spec_sched_filter(delay: u64) -> NamedConfig {
+    NamedConfig {
+        name: format!("SpecSched_{delay}_Filter"),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::FilterAndCounter)
+            .banked_l1d(true)
+            .build(),
+    }
+}
+
+/// `SpecSched_d_Combined`: Schedule Shifting + filter + counter.
+pub fn spec_sched_combined(delay: u64) -> NamedConfig {
+    NamedConfig {
+        name: format!("SpecSched_{delay}_Combined"),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::FilterAndCounter)
+            .banked_l1d(true)
+            .schedule_shifting(true)
+            .build(),
+    }
+}
+
+/// `SpecSched_d_Crit`: Shifting + filter + criticality gating.
+pub fn spec_sched_crit(delay: u64) -> NamedConfig {
+    NamedConfig {
+        name: format!("SpecSched_{delay}_Crit"),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::Criticality)
+            .banked_l1d(true)
+            .schedule_shifting(true)
+            .build(),
+    }
+}
+
+/// AB1 ablation: the filter without its silencing bit.
+pub fn ablation_no_silence(delay: u64) -> NamedConfig {
+    NamedConfig {
+        name: format!("SpecSched_{delay}_FilterNoSilence"),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::FilterNoSilence)
+            .banked_l1d(true)
+            .build(),
+    }
+}
+
+/// AB2 ablation: a plain banked cache without the Rivers line buffer.
+pub fn ablation_no_line_buffer(delay: u64) -> NamedConfig {
+    NamedConfig {
+        name: format!("SpecSched_{delay}_NoLineBuffer"),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::AlwaysHit)
+            .l1d_banking(Some(BankedL1dConfig { line_buffer: false, ..Default::default() }))
+            .build(),
+    }
+}
+
+/// AB3 ablation: bimodal direction prediction instead of TAGE.
+pub fn ablation_bimodal(delay: u64) -> NamedConfig {
+    NamedConfig {
+        name: format!("SpecSched_{delay}_Bimodal"),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::AlwaysHit)
+            .banked_l1d(true)
+            .predictor(PredictorConfig { bimodal_only: true, ..Default::default() })
+            .build(),
+    }
+}
+
+/// EXT1: the paper's configurations under a different replay scheme
+/// (§2.1 — demonstrates the mechanisms are replay-scheme-agnostic).
+pub fn with_replay_scheme(delay: u64, scheme: ReplayScheme, crit: bool) -> NamedConfig {
+    let tag = match scheme {
+        ReplayScheme::Squash => "Squash",
+        ReplayScheme::Selective => "Selective",
+        ReplayScheme::Refetch => "Refetch",
+    };
+    let (policy, shift, name_mid) = if crit {
+        (SchedPolicyKind::Criticality, true, "_Crit")
+    } else {
+        (SchedPolicyKind::AlwaysHit, false, "")
+    };
+    NamedConfig {
+        name: format!("SpecSched_{delay}{name_mid}_{tag}"),
+        config: base(delay)
+            .sched_policy(policy)
+            .banked_l1d(true)
+            .schedule_shifting(shift)
+            .replay_scheme(scheme)
+            .build(),
+    }
+}
+
+/// EXT2: bank-predicted shifting (Yoaz et al.) instead of unconditional
+/// Schedule Shifting.
+pub fn spec_sched_shift_predicted(delay: u64) -> NamedConfig {
+    NamedConfig {
+        name: format!("SpecSched_{delay}_ShiftPred"),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::AlwaysHit)
+            .banked_l1d(true)
+            .shift_policy(ShiftPolicy::Predicted)
+            .build(),
+    }
+}
+
+/// EXT3: the criticality policy trained with the QOLD (oldest-in-IQ)
+/// criterion instead of ROB-head.
+pub fn spec_sched_crit_qold(delay: u64) -> NamedConfig {
+    NamedConfig {
+        name: format!("SpecSched_{delay}_CritQold"),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::Criticality)
+            .banked_l1d(true)
+            .schedule_shifting(true)
+            .crit_criterion(CritCriterion::IqOldest)
+            .build(),
+    }
+}
+
+/// EXT4: set-interleaved L1D banks (the paper found word and set
+/// interleaving equivalent at equal bank counts).
+pub fn ablation_set_interleaved(delay: u64) -> NamedConfig {
+    NamedConfig {
+        name: format!("SpecSched_{delay}_SetInterleaved"),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::AlwaysHit)
+            .l1d_banking(Some(BankedL1dConfig {
+                interleaving: BankInterleaving::Set,
+                ..Default::default()
+            }))
+            .build(),
+    }
+}
+
+/// EXT6: the banked-PRF replay source the paper's evaluation assumes away
+/// (§4.2/§4.3).
+pub fn with_prf_banking(delay: u64, banks: u32, ports: u32) -> NamedConfig {
+    NamedConfig {
+        name: format!("SpecSched_{delay}_Prf{banks}x{ports}"),
+        config: base(delay)
+            .sched_policy(SchedPolicyKind::AlwaysHit)
+            .banked_l1d(true)
+            .prf_banking(Some(PrfBankConfig { banks, read_ports_per_bank: ports }))
+            .build(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let configs = [
+            baseline(0),
+            baseline_single_load(),
+            baseline(4),
+            spec_sched(4, true),
+            spec_sched(4, false),
+            spec_sched_shift(4),
+            spec_sched_ctr(4),
+            spec_sched_filter(4),
+            spec_sched_combined(4),
+            spec_sched_crit(4),
+            ablation_no_silence(4),
+            ablation_no_line_buffer(4),
+            ablation_bimodal(4),
+        ];
+        let names: std::collections::HashSet<_> = configs.iter().map(|c| &c.name).collect();
+        let ext = [
+            with_replay_scheme(4, ReplayScheme::Selective, false),
+            with_replay_scheme(4, ReplayScheme::Refetch, false),
+            with_replay_scheme(4, ReplayScheme::Selective, true),
+            spec_sched_shift_predicted(4),
+            spec_sched_crit_qold(4),
+            ablation_set_interleaved(4),
+        ];
+        let ext_names: std::collections::HashSet<_> = ext.iter().map(|c| &c.name).collect();
+        assert_eq!(ext_names.len(), ext.len());
+        assert!(!ext.iter().any(|c| names.contains(&c.name)));
+        assert_eq!(names.len(), configs.len());
+        assert_eq!(baseline(4).name, "Baseline_4");
+        assert_eq!(spec_sched(4, true).name, "SpecSched_4");
+        assert_eq!(spec_sched(4, false).name, "SpecSched_4_ported");
+    }
+
+    #[test]
+    fn configs_encode_their_mechanisms() {
+        assert!(!baseline(4).config.sched_policy.may_speculate());
+        assert!(baseline(4).config.l1d_banking.is_none());
+        assert!(spec_sched(4, true).config.l1d_banking.is_some());
+        assert_eq!(spec_sched_shift(4).config.shift_policy, ss_types::ShiftPolicy::Always);
+        assert_eq!(spec_sched_filter(4).config.shift_policy, ss_types::ShiftPolicy::Off);
+        assert_eq!(spec_sched_crit(4).config.shift_policy, ss_types::ShiftPolicy::Always);
+        assert_eq!(spec_sched_crit(4).config.sched_policy, SchedPolicyKind::Criticality);
+        assert!(!baseline_single_load().config.dual_load_issue);
+        let nlb = ablation_no_line_buffer(4);
+        assert!(!nlb.config.l1d_banking.unwrap().line_buffer);
+        assert!(ablation_bimodal(4).config.predictor.bimodal_only);
+        assert_eq!(
+            with_replay_scheme(4, ReplayScheme::Selective, false).config.replay_scheme,
+            ReplayScheme::Selective
+        );
+        assert_eq!(spec_sched_shift_predicted(4).config.shift_policy, ShiftPolicy::Predicted);
+        assert_eq!(spec_sched_crit_qold(4).config.crit_criterion, CritCriterion::IqOldest);
+        assert_eq!(
+            ablation_set_interleaved(4).config.l1d_banking.unwrap().interleaving,
+            BankInterleaving::Set
+        );
+    }
+}

@@ -1,0 +1,847 @@
+//! One regenerator per table/figure of the paper's evaluation.
+//!
+//! Every function takes a [`Session`] (cached simulation results) and
+//! returns a [`Report`] whose tables carry the same rows/series the paper
+//! plots, normalized the same way (performance relative to `Baseline_0`
+//! with a dual-ported L1D; issue counts relative to `Baseline_0`'s
+//! distinct issued µ-ops). Notes compare the paper's headline numbers with
+//! the measured ones.
+
+use crate::configs::{self, NamedConfig};
+use crate::energy::EnergyModel;
+use crate::report::{fmt3, gmean, pct, Report, Table};
+use crate::session::Session;
+use ss_types::{ReplayScheme, SimStats};
+use ss_workloads::BENCHMARKS;
+
+/// Relative reduction `1 − after/before`, 0 when `before` is 0.
+fn reduction(before: u64, after: u64) -> f64 {
+    if before == 0 {
+        0.0
+    } else {
+        1.0 - after as f64 / before as f64
+    }
+}
+
+/// Per-benchmark IPCs of `cfg` normalized to `base` (same benchmark
+/// order), plus the gmean.
+fn norm_ipc(sess: &mut Session, cfg: &NamedConfig, base: &[(&str, SimStats)]) -> (Vec<f64>, f64) {
+    let rows: Vec<f64> = BENCHMARKS
+        .iter()
+        .zip(base)
+        .map(|(b, (bn, bs))| {
+            debug_assert_eq!(b.name, *bn);
+            sess.run(cfg, b).ipc() / bs.ipc()
+        })
+        .collect();
+    let g = gmean(&rows);
+    (rows, g)
+}
+
+fn baseline0(sess: &mut Session) -> Vec<(&'static str, SimStats)> {
+    sess.run_suite(&configs::baseline(0))
+}
+
+fn suite_totals(sess: &mut Session, cfg: &NamedConfig) -> SimStats {
+    let mut total = SimStats::default();
+    for b in &BENCHMARKS {
+        let s = sess.run(cfg, b);
+        total.unique_issued += s.unique_issued;
+        total.issued_total += s.issued_total;
+        total.replayed_miss += s.replayed_miss;
+        total.replayed_bank += s.replayed_bank;
+        total.replayed_prf += s.replayed_prf;
+        total.committed_uops += s.committed_uops;
+        total.cycles += s.cycles;
+        total.wrong_path_issued += s.wrong_path_issued;
+        total.l1d.accesses += s.l1d.accesses;
+        total.l1d.hits += s.l1d.hits;
+        total.l1d.misses += s.l1d.misses;
+        total.l2.accesses += s.l2.accesses;
+        total.l2.hits += s.l2.hits;
+        total.l2.misses += s.l2.misses;
+        total.l2.prefetches += s.l2.prefetches;
+    }
+    total
+}
+
+/// Table 2: the benchmark suite with baseline IPCs and characteristics.
+pub fn table2(sess: &mut Session) -> Report {
+    let base = baseline0(sess);
+    let mut t = Table::new(
+        "Table 2 — benchmark suite (synthetic SPEC substitutes), Baseline_0",
+        &["benchmark", "paper analogue", "IPC", "L1D miss", "branch MPKI"],
+    );
+    for (b, (_, s)) in BENCHMARKS.iter().zip(&base) {
+        t.row(vec![
+            b.name.to_string(),
+            b.paper_analogue.to_string(),
+            fmt3(s.ipc()),
+            pct(s.l1d.miss_ratio()),
+            format!("{:.1}", s.branch_mpki()),
+        ]);
+    }
+    Report {
+        charts: Vec::new(),
+        id: "table2",
+        tables: vec![t],
+        notes: vec![
+            "Paper: 36 SPEC slices, IPC 0.116 (mcf) .. 2.44 (namd). Ours are regime \
+             substitutes; the IPC spread should cover roughly the same range."
+                .into(),
+        ],
+    }
+}
+
+/// Figure 3: slowdown of conservative (non-speculative) scheduling as the
+/// issue-to-execute delay grows, plus the one-load-per-cycle point.
+pub fn fig3(sess: &mut Session) -> Report {
+    let base = baseline0(sess);
+    let cfgs = [
+        configs::baseline_single_load(),
+        configs::baseline(2),
+        configs::baseline(4),
+        configs::baseline(6),
+    ];
+    let mut t = Table::new(
+        "Figure 3 — performance vs Baseline_0 (conservative scheduling, dual-ported L1D)",
+        &["benchmark", "B0 1ld/cyc", "Baseline_2", "Baseline_4", "Baseline_6"],
+    );
+    let mut cols: Vec<(Vec<f64>, f64)> = Vec::new();
+    for c in &cfgs {
+        cols.push(norm_ipc(sess, c, &base));
+    }
+    for (i, b) in BENCHMARKS.iter().enumerate() {
+        t.row(vec![
+            b.name.to_string(),
+            fmt3(cols[0].0[i]),
+            fmt3(cols[1].0[i]),
+            fmt3(cols[2].0[i]),
+            fmt3(cols[3].0[i]),
+        ]);
+    }
+    t.row(vec![
+        "gmean".into(),
+        fmt3(cols[0].1),
+        fmt3(cols[1].1),
+        fmt3(cols[2].1),
+        fmt3(cols[3].1),
+    ]);
+    let chart_rows: Vec<(&str, f64)> = BENCHMARKS
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.name, cols[2].0[i]))
+        .collect();
+    Report {
+        charts: vec![crate::report::bar_chart(
+            "Figure 3 series — Baseline_4 IPC normalized to Baseline_0",
+            &chart_rows,
+        )],
+        id: "fig3",
+        tables: vec![t],
+        notes: vec![
+            format!(
+                "Shape check: performance must drop monotonically with delay \
+                 (measured gmeans {} / {} / {}); the paper shows drops to roughly \
+                 0.95/0.85/0.75 with outliers far lower.",
+                fmt3(cols[1].1),
+                fmt3(cols[2].1),
+                fmt3(cols[3].1)
+            ),
+            "The 1-load/cycle point shows dual-load issue matters even at delay 0.".into(),
+        ],
+    }
+}
+
+/// Figure 4: speculative scheduling (Always Hit) vs delay, dual-ported vs
+/// banked L1D (a), and the issued-µ-op breakdown (b).
+pub fn fig4(sess: &mut Session) -> Report {
+    let base = baseline0(sess);
+    let delays = [0u64, 2, 4, 6];
+    let mut ta = Table::new(
+        "Figure 4a — SpecSched_* performance vs Baseline_0 (dual-ported vs banked L1D)",
+        &[
+            "benchmark",
+            "SS0 ported",
+            "SS2 ported",
+            "SS4 ported",
+            "SS6 ported",
+            "SS0 banked",
+            "SS2 banked",
+            "SS4 banked",
+            "SS6 banked",
+        ],
+    );
+    let mut cols: Vec<(Vec<f64>, f64)> = Vec::new();
+    for &banked in &[false, true] {
+        for &d in &delays {
+            cols.push(norm_ipc(sess, &configs::spec_sched(d, banked), &base));
+        }
+    }
+    for (i, b) in BENCHMARKS.iter().enumerate() {
+        let mut row = vec![b.name.to_string()];
+        row.extend(cols.iter().map(|c| fmt3(c.0[i])));
+        ta.row(row);
+    }
+    let mut grow = vec!["gmean".to_string()];
+    grow.extend(cols.iter().map(|c| fmt3(c.1)));
+    ta.row(grow);
+
+    // (b) issued-µ-op breakdown at delay 4, banked, normalized to the
+    // benchmark's Baseline_0 distinct issued µ-ops.
+    let mut tb = Table::new(
+        "Figure 4b — issued µ-ops normalized to Baseline_0 (SpecSched_4, banked L1D)",
+        &["benchmark", "Unique", "RpldMiss", "RpldBank"],
+    );
+    let ss4 = configs::spec_sched(4, true);
+    for (b, (_, bs)) in BENCHMARKS.iter().zip(&base) {
+        let s = sess.run(&ss4, b);
+        let n = bs.unique_issued as f64;
+        tb.row(vec![
+            b.name.to_string(),
+            fmt3(s.unique_issued as f64 / n),
+            fmt3(s.replayed_miss as f64 / n),
+            fmt3(s.replayed_bank as f64 / n),
+        ]);
+    }
+    // per-delay totals over the whole suite
+    let mut tc = Table::new(
+        "Figure 4b (totals) — suite-wide issued µ-ops vs delay (banked L1D)",
+        &["delay", "Unique", "RpldMiss", "RpldBank", "issued/committed"],
+    );
+    for &d in &delays {
+        let tot = suite_totals(sess, &configs::spec_sched(d, true));
+        tc.row(vec![
+            format!("{d}"),
+            format!("{}", tot.unique_issued),
+            format!("{}", tot.replayed_miss),
+            format!("{}", tot.replayed_bank),
+            fmt3(tot.issued_total as f64 / tot.committed_uops as f64),
+        ]);
+    }
+
+    let gm_p4 = cols[2].1;
+    let gm_b4 = cols[6].1;
+    let chart_rows: Vec<(&str, f64)> = BENCHMARKS
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.name, cols[6].0[i]))
+        .collect();
+    Report {
+        charts: vec![crate::report::bar_chart(
+            "Figure 4a series — SpecSched_4 (banked) IPC normalized to Baseline_0",
+            &chart_rows,
+        )],
+        id: "fig4",
+        tables: vec![ta, tb, tc],
+        notes: vec![
+            format!(
+                "Shape check: banked gmean below ported gmean at delay 4 \
+                 (measured {} banked vs {} ported; the paper reports ~4.7% average \
+                 loss from bank conflicts).",
+                fmt3(gm_b4),
+                fmt3(gm_p4)
+            ),
+            "Replayed µ-ops grow with delay; benchmarks losing most to banking are \
+             those with the biggest RpldBank share (crafty/hmmer/GemsFDTD analogues)."
+                .into(),
+        ],
+    }
+}
+
+/// Figure 5: Schedule Shifting.
+pub fn fig5(sess: &mut Session) -> Report {
+    let base = baseline0(sess);
+    let ss4 = configs::spec_sched(4, true);
+    let shift = configs::spec_sched_shift(4);
+    let (ss4_ipc, ss4_g) = norm_ipc(sess, &ss4, &base);
+    let (sh_ipc, sh_g) = norm_ipc(sess, &shift, &base);
+    let mut t = Table::new(
+        "Figure 5 — Schedule Shifting (SpecSched_4, banked L1D), vs Baseline_0",
+        &["benchmark", "SpecSched_4", "with Shifting", "Unique", "RpldMiss", "RpldBank"],
+    );
+    for (i, (b, (_, bs))) in BENCHMARKS.iter().zip(&base).enumerate() {
+        let s = sess.run(&shift, b);
+        let n = bs.unique_issued as f64;
+        t.row(vec![
+            b.name.to_string(),
+            fmt3(ss4_ipc[i]),
+            fmt3(sh_ipc[i]),
+            fmt3(s.unique_issued as f64 / n),
+            fmt3(s.replayed_miss as f64 / n),
+            fmt3(s.replayed_bank as f64 / n),
+        ]);
+    }
+    t.row(vec!["gmean".into(), fmt3(ss4_g), fmt3(sh_g), "".into(), "".into(), "".into()]);
+    let tot4 = suite_totals(sess, &ss4);
+    let tots = suite_totals(sess, &shift);
+    let bank_red = reduction(tot4.replayed_bank, tots.replayed_bank);
+    let speedup = sh_g / ss4_g - 1.0;
+    let chart_rows: Vec<(&str, f64)> = BENCHMARKS
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.name, sh_ipc[i]))
+        .collect();
+    Report {
+        charts: vec![crate::report::bar_chart(
+            "Figure 5 series — SpecSched_4_Shift IPC normalized to Baseline_0",
+            &chart_rows,
+        )],
+        id: "fig5",
+        tables: vec![t],
+        notes: vec![
+            format!(
+                "RpldBank reduction: paper −74.8% on average; measured {}.",
+                pct(bank_red)
+            ),
+            format!("Speedup over SpecSched_4: paper +2.9% gmean; measured {}.", pct(speedup)),
+        ],
+    }
+}
+
+/// Figure 7: hit/miss filtering (global counter, then counter + filter).
+pub fn fig7(sess: &mut Session) -> Report {
+    let base = baseline0(sess);
+    let ss4 = configs::spec_sched(4, true);
+    let ctr = configs::spec_sched_ctr(4);
+    let filt = configs::spec_sched_filter(4);
+    let (ss4_ipc, ss4_g) = norm_ipc(sess, &ss4, &base);
+    let (ctr_ipc, ctr_g) = norm_ipc(sess, &ctr, &base);
+    let (f_ipc, f_g) = norm_ipc(sess, &filt, &base);
+    let mut t = Table::new(
+        "Figure 7 — hit/miss filtering (delay 4, banked L1D), vs Baseline_0",
+        &["benchmark", "SpecSched_4", "_Ctr", "_Filter", "Filter RpldMiss", "Filter RpldBank"],
+    );
+    for (i, (b, (_, bs))) in BENCHMARKS.iter().zip(&base).enumerate() {
+        let s = sess.run(&filt, b);
+        let n = bs.unique_issued as f64;
+        t.row(vec![
+            b.name.to_string(),
+            fmt3(ss4_ipc[i]),
+            fmt3(ctr_ipc[i]),
+            fmt3(f_ipc[i]),
+            fmt3(s.replayed_miss as f64 / n),
+            fmt3(s.replayed_bank as f64 / n),
+        ]);
+    }
+    t.row(vec![
+        "gmean".into(),
+        fmt3(ss4_g),
+        fmt3(ctr_g),
+        fmt3(f_g),
+        "".into(),
+        "".into(),
+    ]);
+    let tot4 = suite_totals(sess, &ss4);
+    let totc = suite_totals(sess, &ctr);
+    let totf = suite_totals(sess, &filt);
+    Report {
+        charts: Vec::new(),
+        id: "fig7",
+        tables: vec![t],
+        notes: vec![
+            format!(
+                "RpldMiss reduction — global counter: paper −59.3%, measured {}; \
+                 counter+filter: paper −65.0%, measured {}.",
+                pct(reduction(tot4.replayed_miss, totc.replayed_miss)),
+                pct(reduction(tot4.replayed_miss, totf.replayed_miss))
+            ),
+            format!(
+                "Total replayed µ-ops — counter: paper −44.7%, measured {}; \
+                 counter+filter: paper −45.4%, measured {}.",
+                pct(reduction(
+                    tot4.replayed_miss + tot4.replayed_bank,
+                    totc.replayed_miss + totc.replayed_bank
+                )),
+                pct(reduction(
+                    tot4.replayed_miss + tot4.replayed_bank,
+                    totf.replayed_miss + totf.replayed_bank
+                ))
+            ),
+            "Performance should stay roughly flat (the mechanism trades replays, \
+             not latency), with gains only where high IPC meets a high miss rate \
+             (the xalancbmk analogue)."
+                .into(),
+        ],
+    }
+}
+
+/// Figure 8: Combined (Shifting + Filter) and Crit (plus criticality).
+pub fn fig8(sess: &mut Session) -> Report {
+    let base = baseline0(sess);
+    let ss4 = configs::spec_sched(4, true);
+    let comb = configs::spec_sched_combined(4);
+    let crit = configs::spec_sched_crit(4);
+    let (ss4_ipc, ss4_g) = norm_ipc(sess, &ss4, &base);
+    let (co_ipc, co_g) = norm_ipc(sess, &comb, &base);
+    let (cr_ipc, cr_g) = norm_ipc(sess, &crit, &base);
+    let mut t = Table::new(
+        "Figure 8 — SpecSched_4_Combined / SpecSched_4_Crit, vs Baseline_0",
+        &["benchmark", "SpecSched_4", "_Combined", "_Crit", "Crit RpldMiss", "Crit RpldBank"],
+    );
+    for (i, (b, (_, bs))) in BENCHMARKS.iter().zip(&base).enumerate() {
+        let s = sess.run(&crit, b);
+        let n = bs.unique_issued as f64;
+        t.row(vec![
+            b.name.to_string(),
+            fmt3(ss4_ipc[i]),
+            fmt3(co_ipc[i]),
+            fmt3(cr_ipc[i]),
+            fmt3(s.replayed_miss as f64 / n),
+            fmt3(s.replayed_bank as f64 / n),
+        ]);
+    }
+    t.row(vec![
+        "gmean".into(),
+        fmt3(ss4_g),
+        fmt3(co_g),
+        fmt3(cr_g),
+        "".into(),
+        "".into(),
+    ]);
+    let tot4 = suite_totals(sess, &ss4);
+    let totco = suite_totals(sess, &comb);
+    let totcr = suite_totals(sess, &crit);
+    let rep4 = tot4.replayed_miss + tot4.replayed_bank;
+    let chart_rows: Vec<(&str, f64)> = BENCHMARKS
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.name, cr_ipc[i]))
+        .collect();
+    Report {
+        charts: vec![crate::report::bar_chart(
+            "Figure 8 series — SpecSched_4_Crit IPC normalized to Baseline_0",
+            &chart_rows,
+        )],
+        id: "fig8",
+        tables: vec![t],
+        notes: vec![
+            format!(
+                "Speedup over SpecSched_4 — Combined: paper +3.7%, measured {}; \
+                 Crit: paper +3.4%, measured {}.",
+                pct(co_g / ss4_g - 1.0),
+                pct(cr_g / ss4_g - 1.0)
+            ),
+            format!(
+                "Replayed µ-ops — Combined: paper −68.2%, measured {}; Crit: paper \
+                 −90.6%, measured {}.",
+                pct(reduction(rep4, totco.replayed_miss + totco.replayed_bank)),
+                pct(reduction(rep4, totcr.replayed_miss + totcr.replayed_bank))
+            ),
+            format!(
+                "Issued µ-ops per committed — Combined: paper −11.6%, measured {}; \
+                 Crit: paper −13.4%, measured {}.",
+                pct(1.0
+                    - (totco.issued_total as f64 / totco.committed_uops as f64)
+                        / (tot4.issued_total as f64 / tot4.committed_uops as f64)),
+                pct(1.0
+                    - (totcr.issued_total as f64 / totcr.committed_uops as f64)
+                        / (tot4.issued_total as f64 / tot4.committed_uops as f64))
+            ),
+        ],
+    }
+}
+
+/// §5.3 delay sweep: `SpecSched_d_Crit` vs `SpecSched_d` for d ∈ {2, 4, 6}.
+pub fn sweep(sess: &mut Session) -> Report {
+    let mut t = Table::new(
+        "§5.3 sweep — SpecSched_d_Crit vs SpecSched_d (banked L1D)",
+        &["delay", "replay reduction", "issued/committed reduction", "speedup (gmean)"],
+    );
+    let base = baseline0(sess);
+    let mut notes = Vec::new();
+    for d in [2u64, 4, 6] {
+        let ss = configs::spec_sched(d, true);
+        let crit = configs::spec_sched_crit(d);
+        let (_, g_ss) = norm_ipc(sess, &ss, &base);
+        let (_, g_cr) = norm_ipc(sess, &crit, &base);
+        let tot = suite_totals(sess, &ss);
+        let totc = suite_totals(sess, &crit);
+        t.row(vec![
+            format!("{d}"),
+            pct(reduction(
+                tot.replayed_miss + tot.replayed_bank,
+                totc.replayed_miss + totc.replayed_bank,
+            )),
+            pct(1.0
+                - (totc.issued_total as f64 / totc.committed_uops as f64)
+                    / (tot.issued_total as f64 / tot.committed_uops as f64)),
+            pct(g_cr / g_ss - 1.0),
+        ]);
+    }
+    notes.push(
+        "Paper: replay reduction ≈ constant ~90% across delays; issued reduction \
+         11.2% (d=2) / 13.4% (d=4) / 18.7% (d=6); speedups 2.3% / 3.4% / 4.8%."
+            .into(),
+    );
+    Report { charts: Vec::new(), id: "sweep", tables: vec![t], notes }
+}
+
+/// §1/§6 headline numbers, derived from the Figure 4/8 runs.
+pub fn headline(sess: &mut Session) -> Report {
+    let base = baseline0(sess);
+    let ss4 = configs::spec_sched(4, true);
+    let crit = configs::spec_sched_crit(4);
+    let b4 = configs::baseline(4);
+    let tot4 = suite_totals(sess, &ss4);
+    let totcr = suite_totals(sess, &crit);
+    let totb4 = suite_totals(sess, &b4);
+    let (_, g_ss4) = norm_ipc(sess, &ss4, &base);
+    let (_, g_cr) = norm_ipc(sess, &crit, &base);
+
+    let mut t = Table::new(
+        "Headline — SpecSched_4_Crit vs SpecSched_4 (suite-wide)",
+        &["metric", "paper", "measured"],
+    );
+    t.row(vec![
+        "bank-conflict replays avoided".into(),
+        "78.0%".into(),
+        pct(reduction(tot4.replayed_bank, totcr.replayed_bank)),
+    ]);
+    t.row(vec![
+        "L1-miss replays avoided".into(),
+        "96.5%".into(),
+        pct(reduction(tot4.replayed_miss, totcr.replayed_miss)),
+    ]);
+    t.row(vec![
+        "all replays avoided".into(),
+        "90.6%".into(),
+        pct(reduction(
+            tot4.replayed_miss + tot4.replayed_bank,
+            totcr.replayed_miss + totcr.replayed_bank,
+        )),
+    ]);
+    t.row(vec![
+        "issued µ-ops (per committed)".into(),
+        "-13.4%".into(),
+        format!(
+            "{}",
+            pct((totcr.issued_total as f64 / totcr.committed_uops as f64)
+                / (tot4.issued_total as f64 / tot4.committed_uops as f64)
+                - 1.0)
+        ),
+    ]);
+    t.row(vec![
+        "performance vs SpecSched_4".into(),
+        "+3.4%".into(),
+        format!("+{}", pct(g_cr / g_ss4 - 1.0)),
+    ]);
+    t.row(vec![
+        "Baseline_4 issued vs SpecSched_4".into(),
+        "-15.6%".into(),
+        format!(
+            "{}",
+            pct((totb4.issued_total as f64 / totb4.committed_uops as f64)
+                / (tot4.issued_total as f64 / tot4.committed_uops as f64)
+                - 1.0)
+        ),
+    ]);
+    Report { charts: Vec::new(), id: "headline", tables: vec![t], notes: vec![] }
+}
+
+/// Design-choice ablations called out in DESIGN.md (AB1–AB3).
+pub fn ablations(sess: &mut Session) -> Report {
+    let base = baseline0(sess);
+    // AB1: silencing bit
+    let filt = configs::spec_sched_filter(4);
+    let nosil = configs::ablation_no_silence(4);
+    let (_, g_f) = norm_ipc(sess, &filt, &base);
+    let (_, g_n) = norm_ipc(sess, &nosil, &base);
+    let tf = suite_totals(sess, &filt);
+    let tn = suite_totals(sess, &nosil);
+    let mut t1 = Table::new(
+        "AB1 — filter silencing bit (SpecSched_4_Filter vs plain 2-bit counters)",
+        &["variant", "gmean vs B0", "RpldMiss", "RpldBank"],
+    );
+    t1.row(vec![
+        "with silencing".into(),
+        fmt3(g_f),
+        format!("{}", tf.replayed_miss),
+        format!("{}", tf.replayed_bank),
+    ]);
+    t1.row(vec![
+        "no silencing".into(),
+        fmt3(g_n),
+        format!("{}", tn.replayed_miss),
+        format!("{}", tn.replayed_bank),
+    ]);
+
+    // AB2: line buffer
+    let ss4 = configs::spec_sched(4, true);
+    let nlb = configs::ablation_no_line_buffer(4);
+    let (_, g_s) = norm_ipc(sess, &ss4, &base);
+    let (_, g_l) = norm_ipc(sess, &nlb, &base);
+    let ts = suite_totals(sess, &ss4);
+    let tl = suite_totals(sess, &nlb);
+    let mut t2 = Table::new(
+        "AB2 — Rivers single line buffer (banked L1D, SpecSched_4)",
+        &["variant", "gmean vs B0", "RpldBank"],
+    );
+    t2.row(vec!["with line buffer".into(), fmt3(g_s), format!("{}", ts.replayed_bank)]);
+    t2.row(vec!["plain banked".into(), fmt3(g_l), format!("{}", tl.replayed_bank)]);
+
+    // AB3: TAGE vs bimodal
+    let bim = configs::ablation_bimodal(4);
+    let (_, g_b) = norm_ipc(sess, &bim, &base);
+    let tb = suite_totals(sess, &bim);
+    let mut t3 = Table::new(
+        "AB3 — TAGE vs bimodal direction prediction (SpecSched_4)",
+        &["variant", "gmean vs B0", "wrong-path issued"],
+    );
+    t3.row(vec!["TAGE".into(), fmt3(g_s), format!("{}", ts.wrong_path_issued)]);
+    t3.row(vec!["bimodal".into(), fmt3(g_b), format!("{}", tb.wrong_path_issued)]);
+
+    Report {
+        charts: Vec::new(),
+        id: "ablations",
+        tables: vec![t1, t2, t3],
+        notes: vec![
+            "AB1: without silencing the filter flips on unstable loads and loses \
+             either replays or performance."
+                .into(),
+            "AB2: the line buffer absorbs same-set pairs; removing it must increase \
+             RpldBank (the paper notes it already reduces conflicts vs a simple \
+             banked cache)."
+                .into(),
+            "AB3: a weaker predictor issues more wrong-path µ-ops and lowers \
+             performance; replay counts are mostly orthogonal."
+                .into(),
+        ],
+    }
+}
+
+/// EXT1: the paper's premise that its mechanisms are agnostic of the
+/// replay scheme (§2.1), demonstrated by running `SpecSched_4` and
+/// `SpecSched_4_Crit` under all three recovery mechanisms.
+pub fn replay_schemes(sess: &mut Session) -> Report {
+    let base = baseline0(sess);
+    let mut t = Table::new(
+        "EXT1 — replay schemes (delay 4, banked L1D)",
+        &["scheme", "SpecSched_4 gmean", "Crit gmean", "Crit speedup", "replays", "Crit replays", "Crit replay reduction"],
+    );
+    let mut notes = Vec::new();
+    for scheme in [ReplayScheme::Squash, ReplayScheme::Selective, ReplayScheme::Refetch] {
+        let ss = configs::with_replay_scheme(4, scheme, false);
+        let crit = configs::with_replay_scheme(4, scheme, true);
+        let (_, g_ss) = norm_ipc(sess, &ss, &base);
+        let (_, g_cr) = norm_ipc(sess, &crit, &base);
+        let tot = suite_totals(sess, &ss);
+        let totc = suite_totals(sess, &crit);
+        let rep = tot.replayed_miss + tot.replayed_bank;
+        let repc = totc.replayed_miss + totc.replayed_bank;
+        t.row(vec![
+            format!("{scheme:?}"),
+            fmt3(g_ss),
+            fmt3(g_cr),
+            pct(g_cr / g_ss - 1.0),
+            format!("{rep}"),
+            format!("{repc}"),
+            pct(reduction(rep, repc)),
+        ]);
+    }
+    notes.push(
+        "The Crit mechanisms must reduce replays and not lose performance under          *every* scheme; selective replay suffers least from replays in the first          place, squash sits in the middle, refetch is the costly strawman."
+            .into(),
+    );
+    Report { charts: Vec::new(), id: "replay_schemes", tables: vec![t], notes }
+}
+
+/// EXT2: bank-predicted shifting (Yoaz et al., §2.2) vs the paper's
+/// unconditional Schedule Shifting.
+pub fn bank_prediction(sess: &mut Session) -> Report {
+    let base = baseline0(sess);
+    let ss4 = configs::spec_sched(4, true);
+    let always = configs::spec_sched_shift(4);
+    let pred = configs::spec_sched_shift_predicted(4);
+    let (_, g_0) = norm_ipc(sess, &ss4, &base);
+    let (_, g_a) = norm_ipc(sess, &always, &base);
+    let (_, g_p) = norm_ipc(sess, &pred, &base);
+    let t0 = suite_totals(sess, &ss4);
+    let ta = suite_totals(sess, &always);
+    let tp = suite_totals(sess, &pred);
+    let mut t = Table::new(
+        "EXT2 — Schedule Shifting vs bank-predicted shifting (delay 4)",
+        &["variant", "gmean vs B0", "RpldBank", "RpldBank reduction"],
+    );
+    t.row(vec!["no shifting".into(), fmt3(g_0), format!("{}", t0.replayed_bank), "-".into()]);
+    t.row(vec![
+        "Shifting (always)".into(),
+        fmt3(g_a),
+        format!("{}", ta.replayed_bank),
+        pct(reduction(t0.replayed_bank, ta.replayed_bank)),
+    ]);
+    t.row(vec![
+        "Shifting (bank-predicted)".into(),
+        fmt3(g_p),
+        format!("{}", tp.replayed_bank),
+        pct(reduction(t0.replayed_bank, tp.replayed_bank)),
+    ]);
+    Report {
+        charts: Vec::new(),
+        id: "bank_prediction",
+        tables: vec![t],
+        notes: vec![
+            "Predicted shifting avoids the one-cycle wakeup tax on pairs that do              not collide; it trails unconditional shifting in replay elimination              wherever the predictor lacks confidence (cold/irregular PCs)."
+                .into(),
+        ],
+    }
+}
+
+/// EXT3: criticality criterion — ROB-head (paper §5.3) vs QOLD.
+pub fn criticality_criteria(sess: &mut Session) -> Report {
+    let base = baseline0(sess);
+    let ss4 = configs::spec_sched(4, true);
+    let rob = configs::spec_sched_crit(4);
+    let qold = configs::spec_sched_crit_qold(4);
+    let (_, g_ss) = norm_ipc(sess, &ss4, &base);
+    let (_, g_r) = norm_ipc(sess, &rob, &base);
+    let (_, g_q) = norm_ipc(sess, &qold, &base);
+    let t0 = suite_totals(sess, &ss4);
+    let tr = suite_totals(sess, &rob);
+    let tq = suite_totals(sess, &qold);
+    let rep0 = t0.replayed_miss + t0.replayed_bank;
+    let mut t = Table::new(
+        "EXT3 — criticality criterion (SpecSched_4_Crit)",
+        &["criterion", "gmean vs B0", "speedup vs SpecSched_4", "replay reduction"],
+    );
+    t.row(vec![
+        "ROB-head (paper)".into(),
+        fmt3(g_r),
+        pct(g_r / g_ss - 1.0),
+        pct(reduction(rep0, tr.replayed_miss + tr.replayed_bank)),
+    ]);
+    t.row(vec![
+        "QOLD (oldest in IQ)".into(),
+        fmt3(g_q),
+        pct(g_q / g_ss - 1.0),
+        pct(reduction(rep0, tq.replayed_miss + tq.replayed_bank)),
+    ]);
+    Report {
+        charts: Vec::new(),
+        id: "criticality_criteria",
+        tables: vec![t],
+        notes: vec!["Both criteria should land close; the paper calls its choice a proof of concept.".into()],
+    }
+}
+
+/// EXT4: word vs set interleaving of the L1D banks (§4.2: the paper
+/// found them to perform similarly at equal bank counts).
+pub fn interleaving(sess: &mut Session) -> Report {
+    let base = baseline0(sess);
+    let word = configs::spec_sched(4, true);
+    let set = configs::ablation_set_interleaved(4);
+    let (_, g_w) = norm_ipc(sess, &word, &base);
+    let (_, g_s) = norm_ipc(sess, &set, &base);
+    let tw = suite_totals(sess, &word);
+    let ts = suite_totals(sess, &set);
+    let mut t = Table::new(
+        "EXT4 — L1D bank interleaving (SpecSched_4)",
+        &["interleaving", "gmean vs B0", "RpldBank"],
+    );
+    t.row(vec!["word (8B, paper)".into(), fmt3(g_w), format!("{}", tw.replayed_bank)]);
+    t.row(vec!["set (line)".into(), fmt3(g_s), format!("{}", ts.replayed_bank)]);
+    Report {
+        charts: Vec::new(),
+        id: "interleaving",
+        tables: vec![t],
+        notes: vec![
+            "Conflict incidence depends on which address bits the kernels stride              over; the paper reports the two schemes as roughly equivalent on              SPEC."
+                .into(),
+        ],
+    }
+}
+
+/// EXT6: the PRF bank/port replay source (§4.2), which the paper's
+/// monolithic-PRF assumption removes (§4.3). Sweeping the banking shows
+/// the third replay cause the taxonomy reserves.
+pub fn prf_banking(sess: &mut Session) -> Report {
+    let base = baseline0(sess);
+    let mono = configs::spec_sched(4, true);
+    let mut t = Table::new(
+        "EXT6 — banked PRF as a replay source (SpecSched_4, banked L1D)",
+        &["PRF", "gmean vs B0", "RpldPrf", "RpldMiss", "RpldBank"],
+    );
+    let (_, g_m) = norm_ipc(sess, &mono, &base);
+    let tm = suite_totals(sess, &mono);
+    t.row(vec![
+        "monolithic (paper)".into(),
+        fmt3(g_m),
+        format!("{}", tm.replayed_prf),
+        format!("{}", tm.replayed_miss),
+        format!("{}", tm.replayed_bank),
+    ]);
+    for (banks, ports) in [(4u32, 2u32), (2, 1)] {
+        let cfg = configs::with_prf_banking(4, banks, ports);
+        let (_, g) = norm_ipc(sess, &cfg, &base);
+        let tot = suite_totals(sess, &cfg);
+        t.row(vec![
+            format!("{banks} banks x {ports}R"),
+            fmt3(g),
+            format!("{}", tot.replayed_prf),
+            format!("{}", tot.replayed_miss),
+            format!("{}", tot.replayed_bank),
+        ]);
+    }
+    Report {
+        charts: Vec::new(),
+        id: "prf_banking",
+        tables: vec![t],
+        notes: vec![
+            "The paper provisions full PRF ports precisely to isolate the two              cache-side causes; under-ported banks make the third cause dominate              wide-ILP kernels."
+                .into(),
+        ],
+    }
+}
+
+/// EXT5: the energy proxy behind the paper's issued-µ-op argument.
+pub fn energy(sess: &mut Session) -> Report {
+    let model = EnergyModel::default();
+    let mut t = Table::new(
+        "EXT5 — relative energy per committed µ-op (suite-wide, event-cost proxy)",
+        &["config", "energy/committed", "vs SpecSched_4"],
+    );
+    let ss4 = suite_totals(sess, &configs::spec_sched(4, true));
+    let e0 = model.per_committed(&ss4);
+    for cfg in [
+        configs::baseline(4),
+        configs::spec_sched(4, true),
+        configs::spec_sched_shift(4),
+        configs::spec_sched_filter(4),
+        configs::spec_sched_combined(4),
+        configs::spec_sched_crit(4),
+    ] {
+        let tot = suite_totals(sess, &cfg);
+        let e = model.per_committed(&tot);
+        t.row(vec![cfg.name.clone(), fmt3(e), pct(e / e0 - 1.0)]);
+    }
+    Report {
+        charts: Vec::new(),
+        id: "energy",
+        tables: vec![t],
+        notes: vec![
+            "The paper argues replays waste energy even when they cost no time;              the Crit configuration should recover most of the issue-energy gap              back to the conservative baseline while keeping its performance."
+                .into(),
+        ],
+    }
+}
+
+/// Runs every experiment, in paper order, then the extensions.
+pub fn all(sess: &mut Session) -> Vec<Report> {
+    vec![
+        table2(sess),
+        fig3(sess),
+        fig4(sess),
+        fig5(sess),
+        fig7(sess),
+        fig8(sess),
+        sweep(sess),
+        headline(sess),
+        ablations(sess),
+        replay_schemes(sess),
+        bank_prediction(sess),
+        criticality_criteria(sess),
+        interleaving(sess),
+        energy(sess),
+        prf_banking(sess),
+    ]
+}

@@ -1,0 +1,32 @@
+//! Experiment harness regenerating every table and figure of
+//! *Cost-Effective Speculative Scheduling in High Performance Processors*
+//! (Perais et al., ISCA 2015).
+//!
+//! * [`configs`] — the paper's named machine configurations
+//!   (`Baseline_*`, `SpecSched_*`, `_Shift`, `_Ctr`, `_Filter`,
+//!   `_Combined`, `_Crit`) plus the DESIGN.md ablations.
+//! * [`session`] — cached simulation execution.
+//! * [`experiments`] — one regenerator per table/figure; each returns a
+//!   [`report::Report`] with the same rows/series the paper plots.
+//! * [`report`] — tables, gmean, CSV.
+//!
+//! The `experiments` binary drives everything:
+//!
+//! ```text
+//! cargo run -r -p ss-harness --bin experiments -- all
+//! cargo run -r -p ss-harness --bin experiments -- fig5 --quick
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod configs;
+pub mod energy;
+pub mod experiments;
+pub mod report;
+pub mod session;
+
+pub use configs::NamedConfig;
+pub use energy::EnergyModel;
+pub use report::{gmean, Report, Table};
+pub use session::Session;

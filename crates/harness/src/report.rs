@@ -1,0 +1,274 @@
+//! Tabular reporting: ASCII tables (the rows/series the paper's figures
+//! plot), CSV emission, and the geometric-mean helper the paper uses for
+//! averaging speedups.
+
+use std::fmt::Write as _;
+
+/// Geometric mean of a slice of positive values (the paper averages
+/// speedups with gmean — §5).
+///
+/// # Panics
+///
+/// Panics if any value is non-positive or the slice is empty.
+pub fn gmean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "gmean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "gmean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// A simple column-aligned table with a title, rendered as ASCII and CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringify values with [`fmt3`] or `format!`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the ASCII form.
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders the CSV form.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+}
+
+/// Renders a horizontal ASCII bar chart (the terminal rendition of one
+/// figure series). Values are scaled so the longest bar spans the full
+/// width; a `|` tick marks 1.0 when the data straddles it (normalized
+/// performance charts).
+pub fn bar_chart(title: &str, items: &[(&str, f64)]) -> String {
+    use std::fmt::Write as _;
+    const WIDTH: f64 = 50.0;
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    if items.is_empty() {
+        return out;
+    }
+    let max = items.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-9);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let tick = if items.iter().any(|(_, v)| *v < 1.0) && max >= 1.0 {
+        Some((1.0 / max * WIDTH).round() as usize)
+    } else {
+        None
+    };
+    for (label, v) in items {
+        let len = ((v / max) * WIDTH).round().max(0.0) as usize;
+        let mut bar: Vec<char> = std::iter::repeat_n('#', len).collect();
+        if let Some(t) = tick {
+            while bar.len() <= t {
+                bar.push(' ');
+            }
+            if bar[t] == ' ' {
+                bar[t] = '|';
+            }
+        }
+        let bar: String = bar.into_iter().collect();
+        let _ = writeln!(out, "{label:>label_w$} {bar} {v:.3}");
+    }
+    out
+}
+
+/// Formats a ratio/IPC with three decimals.
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// A rendered experiment: one or more tables plus free-form notes that
+/// summarize the paper-vs-measured comparison.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment identifier (e.g. "fig5").
+    pub id: &'static str,
+    /// The tables regenerating the figure/table's rows/series.
+    pub tables: Vec<Table>,
+    /// ASCII bar charts rendering the headline series.
+    pub charts: Vec<String>,
+    /// Headline comparisons ("paper: −74.8% RpldBank, measured: −81%").
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Renders everything as human-readable text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "==== {} ====", self.id);
+        for t in &self.tables {
+            out.push_str(&t.to_ascii());
+            out.push('\n');
+        }
+        for c in &self.charts {
+            out.push_str(c);
+            out.push('\n');
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  * {n}");
+        }
+        out
+    }
+
+    /// Writes each table as `<outdir>/<id>_<n>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csvs(&self, outdir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(outdir)?;
+        for (i, t) in self.tables.iter().enumerate() {
+            let path = outdir.join(format!("{}_{}.csv", self.id, i));
+            std::fs::write(path, t.to_csv())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((gmean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // gmean <= amean
+        let vals = [0.5, 1.5, 2.5];
+        assert!(gmean(&vals) < vals.iter().sum::<f64>() / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gmean_rejects_zero() {
+        let _ = gmean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn table_renders_aligned_ascii_and_csv() {
+        let mut t = Table::new("demo", &["bench", "ipc"]);
+        t.row(vec!["a_long_name".into(), fmt3(1.0)]);
+        t.row(vec!["b".into(), fmt3(12.345)]);
+        let ascii = t.to_ascii();
+        assert!(ascii.contains("## demo"));
+        assert!(ascii.contains("a_long_name"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next(), Some("bench,ipc"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn report_renders_tables_and_notes() {
+        let mut t = Table::new("x", &["c"]);
+        t.row(vec!["1".into()]);
+        let r = Report {
+            id: "fig0",
+            tables: vec![t],
+            charts: vec![bar_chart("series", &[("a", 1.0)])],
+            notes: vec!["paper vs us".into()],
+        };
+        let text = r.to_text();
+        assert!(text.contains("==== fig0 ===="));
+        assert!(text.contains("paper vs us"));
+        assert!(text.contains("## series"));
+    }
+
+    #[test]
+    fn bar_chart_scales_and_ticks() {
+        let chart = bar_chart("ipc vs B0", &[("fast", 1.0), ("slow", 0.5)]);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let fast_bar = lines[1].matches('#').count();
+        let slow_bar = lines[2].matches('#').count();
+        assert_eq!(fast_bar, 50, "longest bar spans the width");
+        assert_eq!(slow_bar, 25, "bars scale linearly");
+        assert!(chart.contains('|'), "the 1.0 tick appears when values straddle it");
+    }
+
+    #[test]
+    fn bar_chart_handles_empty_and_flat() {
+        assert!(bar_chart("empty", &[]).contains("## empty"));
+        let flat = bar_chart("flat", &[("a", 2.0), ("b", 2.0)]);
+        // skip the "## flat" title line when counting bar characters
+        let bars: usize = flat.lines().skip(1).map(|l| l.matches('#').count()).sum();
+        assert_eq!(bars, 100);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt3(1.23456), "1.235");
+        assert_eq!(pct(0.748), "74.8%");
+    }
+}

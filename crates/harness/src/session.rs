@@ -1,0 +1,235 @@
+//! Experiment session: runs (configuration × benchmark) simulations with
+//! an in-memory and on-disk cache so figures sharing configurations (and
+//! repeated invocations) do not re-simulate.
+
+use crate::configs::NamedConfig;
+use ss_core::{run_kernel, RunLength};
+use ss_types::{CacheStats, SimStats};
+use ss_workloads::{Benchmark, BENCHMARKS};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Seed used for all workload generation (fixed for reproducibility).
+pub const WORKLOAD_SEED: u64 = 0xB5;
+
+/// Runs simulations and caches their statistics.
+pub struct Session {
+    len: RunLength,
+    cache_dir: Option<PathBuf>,
+    mem: HashMap<(String, String), SimStats>,
+    /// Simulations actually executed (not served from cache).
+    pub simulated: u64,
+}
+
+impl Session {
+    /// Creates a session with the given run length; `cache_dir` enables
+    /// the on-disk cache.
+    pub fn new(len: RunLength, cache_dir: Option<PathBuf>) -> Self {
+        if let Some(d) = &cache_dir {
+            let _ = std::fs::create_dir_all(d);
+        }
+        Session { len, cache_dir, mem: HashMap::new(), simulated: 0 }
+    }
+
+    /// The run length in use.
+    pub fn run_length(&self) -> RunLength {
+        self.len
+    }
+
+    fn cache_path(&self, cfg: &str, bench: &str) -> Option<PathBuf> {
+        self.cache_dir.as_ref().map(|d| {
+            d.join(format!("{cfg}__{bench}__w{}m{}.kv", self.len.warmup, self.len.measure))
+        })
+    }
+
+    /// Runs (or recalls) one configuration × benchmark.
+    pub fn run(&mut self, cfg: &NamedConfig, bench: &Benchmark) -> SimStats {
+        let key = (cfg.name.clone(), bench.name.to_string());
+        if let Some(s) = self.mem.get(&key) {
+            return s.clone();
+        }
+        if let Some(path) = self.cache_path(&cfg.name, bench.name) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Some(s) = stats_from_kv(&text) {
+                    self.mem.insert(key, s.clone());
+                    return s;
+                }
+            }
+        }
+        let stats = run_kernel(cfg.config.clone(), (bench.build)(WORKLOAD_SEED), self.len);
+        self.simulated += 1;
+        if let Some(path) = self.cache_path(&cfg.name, bench.name) {
+            let _ = std::fs::write(&path, stats_to_kv(&stats));
+        }
+        self.mem.insert(key, stats.clone());
+        stats
+    }
+
+    /// Runs one configuration over the whole benchmark suite, in table
+    /// order.
+    pub fn run_suite(&mut self, cfg: &NamedConfig) -> Vec<(&'static str, SimStats)> {
+        BENCHMARKS.iter().map(|b| (b.name, self.run(cfg, b))).collect()
+    }
+}
+
+macro_rules! stat_fields {
+    ($m:ident) => {
+        $m!(
+            cycles,
+            committed_uops,
+            committed_loads,
+            unique_issued,
+            issued_total,
+            replayed_miss,
+            replayed_bank,
+            replayed_prf,
+            replay_events_miss,
+            replay_events_bank,
+            replay_events_prf,
+            wrong_path_issued,
+            cond_branches,
+            cond_mispredicts,
+            target_mispredicts,
+            bank_delayed_loads,
+            bank_delay_cycles,
+            loads_merged_into_mshr,
+            dram_row_hits,
+            dram_row_misses,
+            loads_spec_woken,
+            loads_conservative,
+            filter_sure_hit,
+            filter_sure_miss,
+            filter_unstable,
+            crit_predicted_critical,
+            crit_predicted_noncritical,
+            memdep_violations,
+            dispatch_stall_cycles,
+            recovery_buffer_replays
+        )
+    };
+}
+
+macro_rules! cache_fields {
+    ($m:ident) => {
+        $m!(accesses, hits, misses, mshr_merges, prefetches, prefetch_hits)
+    };
+}
+
+/// Serializes statistics to a `key value` line format.
+pub fn stats_to_kv(s: &SimStats) -> String {
+    let mut out = String::new();
+    macro_rules! w {
+        ($($f:ident),*) => { $( out.push_str(&format!("{} {}\n", stringify!($f), s.$f)); )* };
+    }
+    stat_fields!(w);
+    macro_rules! wc {
+        ($($f:ident),*) => { $(
+            out.push_str(&format!("l1d.{} {}\n", stringify!($f), s.l1d.$f));
+            out.push_str(&format!("l2.{} {}\n", stringify!($f), s.l2.$f));
+        )* };
+    }
+    cache_fields!(wc);
+    out
+}
+
+/// Parses statistics from the `key value` format; `None` if the file is
+/// unusable. The core progress counters are required; counters added in
+/// newer builds default to 0 so caches written by slightly older builds
+/// (whose behaviour is identical) remain readable.
+pub fn stats_from_kv(text: &str) -> Option<SimStats> {
+    let map: HashMap<&str, u64> = text
+        .lines()
+        .filter_map(|l| {
+            let (k, v) = l.split_once(' ')?;
+            Some((k, v.parse().ok()?))
+        })
+        .collect();
+    // Required sentinels: a cache file without these is garbage.
+    if !map.contains_key("cycles") || !map.contains_key("committed_uops") {
+        return None;
+    }
+    let mut s = SimStats::default();
+    macro_rules! r {
+        ($($f:ident),*) => { $( s.$f = map.get(stringify!($f)).copied().unwrap_or(0); )* };
+    }
+    stat_fields!(r);
+    let mut l1d = CacheStats::default();
+    let mut l2 = CacheStats::default();
+    macro_rules! rc {
+        ($($f:ident),*) => { $(
+            l1d.$f = map.get(concat!("l1d.", stringify!($f))).copied().unwrap_or(0);
+            l2.$f = map.get(concat!("l2.", stringify!($f))).copied().unwrap_or(0);
+        )* };
+    }
+    cache_fields!(rc);
+    s.l1d = l1d;
+    s.l2 = l2;
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+    use ss_workloads::benchmark;
+
+    #[test]
+    fn kv_roundtrip_preserves_all_fields() {
+        let mut s = SimStats::default();
+        s.cycles = 123;
+        s.committed_uops = 456;
+        s.replayed_bank = 7;
+        s.l1d.misses = 9;
+        s.l2.prefetches = 11;
+        s.crit_predicted_critical = 13;
+        let text = stats_to_kv(&s);
+        let back = stats_from_kv(&text).expect("parses");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn malformed_cache_is_rejected() {
+        assert!(stats_from_kv("garbage").is_none());
+        assert!(stats_from_kv("cycles notanumber").is_none());
+        assert!(stats_from_kv("cycles 5").is_none(), "committed_uops required");
+    }
+
+    #[test]
+    fn older_cache_files_default_new_fields() {
+        let s = stats_from_kv("cycles 10
+committed_uops 20
+").expect("parses");
+        assert_eq!(s.cycles, 10);
+        assert_eq!(s.committed_uops, 20);
+        assert_eq!(s.replayed_prf, 0);
+    }
+
+    #[test]
+    fn memory_cache_avoids_resimulation() {
+        let mut sess = Session::new(RunLength { warmup: 1000, measure: 5000 }, None);
+        let cfg = configs::spec_sched(4, true);
+        let bench = benchmark("fp_compute").unwrap();
+        let a = sess.run(&cfg, bench);
+        assert_eq!(sess.simulated, 1);
+        let b = sess.run(&cfg, bench);
+        assert_eq!(sess.simulated, 1, "second call served from memory");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disk_cache_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("ss-harness-test-{}", std::process::id()));
+        let len = RunLength { warmup: 1000, measure: 5000 };
+        let cfg = configs::baseline(0);
+        let bench = benchmark("fp_compute").unwrap();
+        let a = {
+            let mut sess = Session::new(len, Some(dir.clone()));
+            sess.run(&cfg, bench)
+        };
+        let mut sess2 = Session::new(len, Some(dir.clone()));
+        let b = sess2.run(&cfg, bench);
+        assert_eq!(sess2.simulated, 0, "served from disk");
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

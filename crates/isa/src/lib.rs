@@ -1,0 +1,354 @@
+//! µ-op ISA substrate for the speculative-scheduling simulator.
+//!
+//! The simulator is *trace driven*: workloads produce streams of
+//! [`MicroOp`] records carrying everything the timing model needs — PC,
+//! op class, architectural register operands, the effective memory address
+//! for loads/stores, and the resolved outcome for branches. Value semantics
+//! are deliberately absent: the paper's phenomena (speculative scheduling,
+//! replay, bank conflicts) are functions of *timing and dependencies*, not
+//! of data values.
+//!
+//! # Example
+//!
+//! ```
+//! use ss_isa::{MicroOp, RegRef};
+//! use ss_types::{Addr, ArchReg, Pc};
+//!
+//! let r1 = RegRef::int(ArchReg::new(1));
+//! let r2 = RegRef::int(ArchReg::new(2));
+//! let load = MicroOp::load(Pc::new(0x40_0000), r2, r1, Addr::new(0x1000));
+//! assert!(load.class.is_load());
+//! assert_eq!(load.mem_addr(), Some(Addr::new(0x1000)));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ss_types::{Addr, ArchReg, BranchKind, OpClass, Pc, RegClass};
+
+/// A fully-qualified architectural register reference: class + index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegRef {
+    /// Which register file the register lives in.
+    pub class: RegClass,
+    /// The architectural index within that file.
+    pub reg: ArchReg,
+}
+
+impl RegRef {
+    /// An integer register reference.
+    #[inline]
+    pub fn int(reg: ArchReg) -> Self {
+        RegRef { class: RegClass::Int, reg }
+    }
+
+    /// A floating-point register reference.
+    #[inline]
+    pub fn fp(reg: ArchReg) -> Self {
+        RegRef { class: RegClass::Float, reg }
+    }
+}
+
+impl std::fmt::Display for RegRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.reg.get()),
+            RegClass::Float => write!(f, "f{}", self.reg.get()),
+        }
+    }
+}
+
+/// A memory access performed by a load or store µ-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: Addr,
+    /// Access size in bytes. The timing model aliases at quadword (8 B)
+    /// granularity, and all kernels emit aligned 8-byte accesses; the
+    /// field exists so size-aware aliasing can be added without changing
+    /// the trace format.
+    pub size: u8,
+}
+
+/// The resolved outcome of a branch µ-op, known to the trace (the timing
+/// model *predicts* it at fetch and verifies at execute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchOutcome {
+    /// Whether the branch is actually taken.
+    pub taken: bool,
+    /// The actual target when taken (fall-through when not).
+    pub target: Pc,
+}
+
+/// One dynamic µ-op in a trace.
+///
+/// Invariants (enforced by the constructors and [`MicroOp::validate`]):
+/// loads/stores carry a [`MemAccess`]; branches carry a [`BranchOutcome`];
+/// nothing else does. Destination/source register classes follow the op
+/// class (e.g. an [`OpClass::FpMul`] writes a float register).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroOp {
+    /// Instruction address (4-byte instructions in the synthetic ISA).
+    pub pc: Pc,
+    /// Operation class — determines port, latency and scheduler treatment.
+    pub class: OpClass,
+    /// Destination register, if any.
+    pub dst: Option<RegRef>,
+    /// Source registers (up to two).
+    pub srcs: [Option<RegRef>; 2],
+    /// Memory access, present iff `class.is_mem()`.
+    pub mem: Option<MemAccess>,
+    /// Branch outcome, present iff `class.is_branch()`.
+    pub branch: Option<BranchOutcome>,
+}
+
+/// Byte size of every instruction in the synthetic ISA.
+pub const INST_BYTES: u64 = 4;
+
+impl MicroOp {
+    /// A single-cycle integer ALU µ-op `dst = op(src1, src2)`.
+    pub fn alu(pc: Pc, dst: RegRef, src1: RegRef, src2: Option<RegRef>) -> Self {
+        MicroOp {
+            pc,
+            class: OpClass::IntAlu,
+            dst: Some(dst),
+            srcs: [Some(src1), src2],
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// A compute µ-op of an arbitrary non-memory, non-branch class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is a load, store, or branch.
+    pub fn compute(pc: Pc, class: OpClass, dst: RegRef, src1: RegRef, src2: Option<RegRef>) -> Self {
+        assert!(
+            !class.is_mem() && !class.is_branch(),
+            "compute() cannot build {class} µ-ops"
+        );
+        MicroOp { pc, class, dst: Some(dst), srcs: [Some(src1), src2], mem: None, branch: None }
+    }
+
+    /// A load `dst = [addr_reg]` reading the given effective address.
+    pub fn load(pc: Pc, dst: RegRef, addr_reg: RegRef, addr: Addr) -> Self {
+        MicroOp {
+            pc,
+            class: OpClass::Load,
+            dst: Some(dst),
+            srcs: [Some(addr_reg), None],
+            mem: Some(MemAccess { addr, size: 8 }),
+            branch: None,
+        }
+    }
+
+    /// A store `[addr_reg] = data_reg` to the given effective address.
+    pub fn store(pc: Pc, addr_reg: RegRef, data_reg: RegRef, addr: Addr) -> Self {
+        MicroOp {
+            pc,
+            class: OpClass::Store,
+            dst: None,
+            srcs: [Some(addr_reg), Some(data_reg)],
+            mem: Some(MemAccess { addr, size: 8 }),
+            branch: None,
+        }
+    }
+
+    /// A conditional branch testing `cond_reg`.
+    pub fn cond_branch(pc: Pc, cond_reg: RegRef, taken: bool, target: Pc) -> Self {
+        MicroOp {
+            pc,
+            class: OpClass::Branch(BranchKind::Conditional),
+            dst: None,
+            srcs: [Some(cond_reg), None],
+            mem: None,
+            branch: Some(BranchOutcome { taken, target }),
+        }
+    }
+
+    /// An always-taken branch of the given kind (direct, indirect, call,
+    /// return).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is [`BranchKind::Conditional`]; use
+    /// [`MicroOp::cond_branch`] for those.
+    pub fn jump(pc: Pc, kind: BranchKind, target: Pc, src: Option<RegRef>) -> Self {
+        assert!(
+            !matches!(kind, BranchKind::Conditional),
+            "use cond_branch for conditional branches"
+        );
+        MicroOp {
+            pc,
+            class: OpClass::Branch(kind),
+            dst: None,
+            srcs: [src, None],
+            mem: None,
+            branch: Some(BranchOutcome { taken: true, target }),
+        }
+    }
+
+    /// The effective memory address, for loads and stores.
+    #[inline]
+    pub fn mem_addr(&self) -> Option<Addr> {
+        self.mem.map(|m| m.addr)
+    }
+
+    /// The fall-through PC.
+    #[inline]
+    pub fn next_pc(&self) -> Pc {
+        self.pc.step(INST_BYTES)
+    }
+
+    /// The PC control flow actually proceeds to after this µ-op.
+    #[inline]
+    pub fn successor_pc(&self) -> Pc {
+        match self.branch {
+            Some(b) if b.taken => b.target,
+            _ => self.next_pc(),
+        }
+    }
+
+    /// Iterator over the present source registers.
+    pub fn sources(&self) -> impl Iterator<Item = RegRef> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// Checks the structural invariants; used by tests and debug builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.class.is_mem() != self.mem.is_some() {
+            return Err(format!("{}: mem payload mismatch for {}", self.pc, self.class));
+        }
+        if self.class.is_branch() != self.branch.is_some() {
+            return Err(format!("{}: branch payload mismatch for {}", self.pc, self.class));
+        }
+        if self.class.is_store() && self.dst.is_some() {
+            return Err(format!("{}: store must not write a register", self.pc));
+        }
+        if !self.class.is_store() && !self.class.is_branch() && self.dst.is_none() {
+            return Err(format!("{}: {} must write a register", self.pc, self.class));
+        }
+        if let Some(d) = self.dst {
+            // Loads may target either file (integer and FP loads); compute
+            // µ-ops must write their natural class.
+            if !self.class.is_load() && d.class != self.class.reg_class() {
+                return Err(format!(
+                    "{}: {} writes {:?} register",
+                    self.pc, self.class, d.class
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for MicroOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.pc, self.class)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d} <-")?;
+        }
+        for s in self.sources() {
+            write!(f, " {s}")?;
+        }
+        if let Some(m) = self.mem {
+            write!(f, " [{}]", m.addr)?;
+        }
+        if let Some(b) = self.branch {
+            write!(f, " ({} -> {})", if b.taken { "T" } else { "NT" }, b.target)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_types::Addr;
+
+    fn pc() -> Pc {
+        Pc::new(0x40_0000)
+    }
+
+    #[test]
+    fn constructors_validate() {
+        let r1 = RegRef::int(ArchReg::new(1));
+        let r2 = RegRef::int(ArchReg::new(2));
+        let f1 = RegRef::fp(ArchReg::new(1));
+        let ops = [
+            MicroOp::alu(pc(), r1, r2, Some(r2)),
+            MicroOp::compute(pc(), OpClass::FpMul, f1, f1, Some(f1)),
+            MicroOp::load(pc(), r1, r2, Addr::new(64)),
+            MicroOp::store(pc(), r1, r2, Addr::new(64)),
+            MicroOp::cond_branch(pc(), r1, true, Pc::new(0x40_0040)),
+            MicroOp::jump(pc(), BranchKind::Call, Pc::new(0x50_0000), None),
+        ];
+        for op in ops {
+            op.validate().unwrap_or_else(|e| panic!("invalid op {op}: {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot build")]
+    fn compute_rejects_mem_class() {
+        let r = RegRef::int(ArchReg::new(0));
+        let _ = MicroOp::compute(pc(), OpClass::Load, r, r, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cond_branch")]
+    fn jump_rejects_conditional() {
+        let _ = MicroOp::jump(pc(), BranchKind::Conditional, pc(), None);
+    }
+
+    #[test]
+    fn successor_pc_follows_taken_branches() {
+        let r = RegRef::int(ArchReg::new(0));
+        let t = Pc::new(0x41_0000);
+        let taken = MicroOp::cond_branch(pc(), r, true, t);
+        let not_taken = MicroOp::cond_branch(pc(), r, false, t);
+        let alu = MicroOp::alu(pc(), r, r, None);
+        assert_eq!(taken.successor_pc(), t);
+        assert_eq!(not_taken.successor_pc(), pc().step(INST_BYTES));
+        assert_eq!(alu.successor_pc(), pc().step(INST_BYTES));
+    }
+
+    #[test]
+    fn sources_iterates_present_only() {
+        let r1 = RegRef::int(ArchReg::new(1));
+        let alu = MicroOp::alu(pc(), r1, r1, None);
+        assert_eq!(alu.sources().count(), 1);
+        let store = MicroOp::store(pc(), r1, r1, Addr::new(0));
+        assert_eq!(store.sources().count(), 2);
+    }
+
+    #[test]
+    fn validate_catches_class_mismatches() {
+        let r1 = RegRef::int(ArchReg::new(1));
+        let mut op = MicroOp::load(pc(), r1, r1, Addr::new(0));
+        op.mem = None;
+        assert!(op.validate().is_err());
+
+        let mut op = MicroOp::alu(pc(), r1, r1, None);
+        op.dst = None;
+        assert!(op.validate().is_err());
+
+        let mut op = MicroOp::compute(pc(), OpClass::FpAlu, RegRef::fp(ArchReg::new(0)), r1, None);
+        op.dst = Some(r1); // int dst on an FP op
+        assert!(op.validate().is_err());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let r1 = RegRef::int(ArchReg::new(1));
+        let op = MicroOp::load(pc(), r1, r1, Addr::new(0x40));
+        let s = format!("{op}");
+        assert!(s.contains("load"));
+        assert!(s.contains("0x40"));
+    }
+}

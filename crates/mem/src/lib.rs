@@ -1,0 +1,41 @@
+//! Memory-hierarchy substrate for the speculative-scheduling simulator.
+//!
+//! Implements the paper's Table 1 memory system from scratch:
+//!
+//! * [`cache`] — generic set-associative LRU caches with time-aware MSHR
+//!   files (secondary misses merge into outstanding fills).
+//! * [`bank`] — the banked-L1D arbiter: 8 quadword-interleaved banks, two
+//!   ports, a Rivers-style single line buffer (two same-set reads share a
+//!   cycle), and a Sandy-Bridge-style queue for delayed accesses. This is
+//!   the component that produces the paper's `RpldBank` replays.
+//! * [`prefetch`] — a degree-8 PC-indexed stride prefetcher filling the
+//!   L2.
+//! * [`dram`] — a DDR3-1600 bank/row-buffer channel model (min 75-cycle,
+//!   ~max 185-cycle reads).
+//! * [`hierarchy`] — the assembled [`MemoryHierarchy`] the pipeline calls.
+//!
+//! # Example
+//!
+//! ```
+//! use ss_mem::{MemLevel, MemoryHierarchy};
+//! use ss_types::{Addr, Cycle, Pc, SimConfig};
+//!
+//! let mut mem = MemoryHierarchy::new(&SimConfig::default());
+//! let r = mem.load(Pc::new(0x400000), Addr::new(0x10000), Cycle::new(0), false);
+//! assert_eq!(r.level, MemLevel::Dram); // cold caches
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bank;
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+pub mod prefetch;
+
+pub use bank::{BankArbiter, BankGrant};
+pub use cache::{Lookup, MshrFile, MshrOutcome, SetAssocCache};
+pub use dram::Dram;
+pub use hierarchy::{LoadResponse, MemLevel, MemoryHierarchy};
+pub use prefetch::StridePrefetcher;

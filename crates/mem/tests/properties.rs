@@ -1,0 +1,137 @@
+//! Property-based tests for the memory substrate: the cache against a
+//! reference model, MSHR bookkeeping, and the bank arbiter's invariants.
+
+use proptest::prelude::*;
+use ss_mem::{BankArbiter, Lookup, MshrFile, MshrOutcome, SetAssocCache};
+use ss_types::{Addr, BankedL1dConfig, CacheGeometry, Cycle};
+
+/// Reference model: per-set LRU list of tags.
+#[derive(Default, Clone)]
+struct RefCache {
+    sets: std::collections::HashMap<u64, Vec<u64>>,
+    ways: usize,
+}
+
+impl RefCache {
+    fn new(ways: usize) -> Self {
+        RefCache { sets: Default::default(), ways }
+    }
+    fn set_tag(addr: u64) -> (u64, u64) {
+        let line = addr >> 6;
+        (line % 64, line / 64)
+    }
+    fn lookup(&mut self, addr: u64) -> bool {
+        let (set, tag) = Self::set_tag(addr);
+        let list = self.sets.entry(set).or_default();
+        if let Some(pos) = list.iter().position(|&t| t == tag) {
+            let t = list.remove(pos);
+            list.push(t); // most recent at the back
+            true
+        } else {
+            false
+        }
+    }
+    fn fill(&mut self, addr: u64) {
+        let (set, tag) = Self::set_tag(addr);
+        let ways = self.ways;
+        let list = self.sets.entry(set).or_default();
+        if let Some(pos) = list.iter().position(|&t| t == tag) {
+            let t = list.remove(pos);
+            list.push(t);
+            return;
+        }
+        if list.len() == ways {
+            list.remove(0); // evict LRU (front)
+        }
+        list.push(tag);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The set-associative cache agrees with a straightforward per-set
+    /// LRU reference for arbitrary lookup/fill interleavings.
+    #[test]
+    fn cache_matches_lru_reference(ops in proptest::collection::vec((any::<bool>(), 0u64..(1 << 14)), 1..400)) {
+        // 64 sets x 8 ways x 64B = 32 KB (the L1D geometry)
+        let mut cache = SetAssocCache::new(CacheGeometry {
+            capacity_bytes: 32 * 1024,
+            ways: 8,
+            line_bytes: 64,
+        });
+        let mut reference = RefCache::new(8);
+        for (is_fill, raw) in ops {
+            let addr = Addr::new(raw & !7);
+            if is_fill {
+                cache.fill(addr, false);
+                reference.fill(addr.get());
+            } else {
+                let hit = matches!(cache.lookup(addr), Lookup::Hit { .. });
+                let ref_hit = reference.lookup(addr.get());
+                prop_assert_eq!(hit, ref_hit, "divergence at {:?}", addr);
+            }
+        }
+    }
+
+    /// MSHR: outstanding count never exceeds capacity; merged accesses
+    /// always return the original completion; drain delivers everything
+    /// exactly once.
+    #[test]
+    fn mshr_bookkeeping(lines in proptest::collection::vec(0u64..32, 1..100), cap in 1u32..16) {
+        let mut m = MshrFile::new(cap, 64);
+        let mut expected_fills = std::collections::HashSet::new();
+        for (i, line) in lines.iter().enumerate() {
+            let addr = Addr::new(line * 64);
+            match m.access(addr, Cycle::new(1_000 + i as u64), false) {
+                MshrOutcome::Allocated => {
+                    m.set_completion(addr, Cycle::new(1_000 + i as u64));
+                    expected_fills.insert(*line);
+                }
+                MshrOutcome::Merged(c) => prop_assert!(c.get() >= 1_000),
+                MshrOutcome::Full(_) => prop_assert!(m.len() as u32 == cap),
+            }
+            prop_assert!(m.len() as u32 <= cap);
+        }
+        let mut fills = Vec::new();
+        m.drain(Cycle::new(10_000), |a, _| fills.push(a.get() / 64));
+        let fill_set: std::collections::HashSet<u64> = fills.iter().copied().collect();
+        prop_assert_eq!(fill_set.len(), fills.len(), "no duplicate fills");
+        prop_assert_eq!(fill_set, expected_fills);
+        prop_assert!(m.is_empty());
+    }
+
+    /// The bank arbiter never grants more than two accesses per cycle and
+    /// never grants two same-bank different-set accesses together; delays
+    /// are exactly `service_cycle − request_cycle`.
+    #[test]
+    fn bank_arbiter_respects_port_and_bank_limits(
+        reqs in proptest::collection::vec((0u64..8, 0u64..64), 1..200),
+        gap in 0u64..3,
+    ) {
+        let mut arb = BankArbiter::new(BankedL1dConfig::default(), 64, 64);
+        let mut now = 1u64;
+        // service log: (cycle, bank, set)
+        let mut granted: Vec<(u64, u64, u64)> = Vec::new();
+        for (i, (bank, set)) in reqs.iter().enumerate() {
+            if i % 2 == 0 {
+                now += gap;
+            }
+            let addr = Addr::new(set * 64 + bank * 8);
+            let g = arb.request(addr, Cycle::new(now));
+            granted.push((now + g.delay, *bank, *set));
+        }
+        // Per service cycle: at most 2 accesses; same-bank pairs must be
+        // same-set (the line buffer rule).
+        let mut by_cycle: std::collections::HashMap<u64, Vec<(u64, u64)>> = Default::default();
+        for (c, b, s) in granted {
+            by_cycle.entry(c).or_default().push((b, s));
+        }
+        for (c, v) in by_cycle {
+            prop_assert!(v.len() <= 2, "cycle {c} granted {} accesses", v.len());
+            if v.len() == 2 && v[0].0 == v[1].0 {
+                prop_assert_eq!(v[0].1, v[1].1, "same-bank pair must share a set (cycle {})", c);
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The criticality estimator (paper §5.3).
+//!
+//! Proof-of-concept criterion from Fields et al. / Tune et al.: a µ-op is
+//! *critical* if it was at the head of the ROB when it completed during
+//! previous executions. An 8K-entry direct-mapped table of 4-bit signed
+//! counters, incremented when the µ-op retires having been found critical
+//! and decremented otherwise; the sign predicts. Updated at retire time —
+//! off the critical path.
+
+use ss_types::Pc;
+
+/// The criticality table.
+#[derive(Debug, Clone)]
+pub struct CriticalityTable {
+    counters: Vec<i8>,
+    max: i8,
+    min: i8,
+}
+
+impl CriticalityTable {
+    /// Creates a table with `entries` entries (power of two) of `bits`-bit
+    /// signed counters (4 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `bits` not in `2..=7`.
+    pub fn new(entries: u32, bits: u32) -> Self {
+        assert!(entries.is_power_of_two());
+        assert!((2..=7).contains(&bits));
+        let max = (1 << (bits - 1)) - 1;
+        CriticalityTable { counters: vec![0; entries as usize], max, min: -(max + 1) }
+    }
+
+    fn index(&self, pc: Pc) -> usize {
+        (pc.get() >> 2) as usize & (self.counters.len() - 1)
+    }
+
+    /// Whether the µ-op at `pc` is predicted critical. Unseen µ-ops are
+    /// predicted critical (optimistic: keep speculating until proven
+    /// non-critical).
+    pub fn predict_critical(&self, pc: Pc) -> bool {
+        self.counters[self.index(pc)] >= 0
+    }
+
+    /// Trains at retire: `was_rob_head` is whether this µ-op was at the
+    /// ROB head when it completed execution.
+    pub fn on_retire(&mut self, pc: Pc, was_rob_head: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        *c = if was_rob_head { (*c + 1).min(self.max) } else { (*c - 1).max(self.min) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> CriticalityTable {
+        CriticalityTable::new(8192, 4)
+    }
+
+    #[test]
+    fn unseen_is_critical() {
+        assert!(table().predict_critical(Pc::new(0x42)));
+    }
+
+    #[test]
+    fn repeated_noncritical_flips_prediction() {
+        let mut t = table();
+        let pc = Pc::new(0x100);
+        t.on_retire(pc, false);
+        assert!(!t.predict_critical(pc), "one decrement takes 0 to -1");
+        t.on_retire(pc, true);
+        assert!(t.predict_critical(pc));
+    }
+
+    #[test]
+    fn saturation_bounds() {
+        let mut t = table();
+        let pc = Pc::new(0x200);
+        for _ in 0..100 {
+            t.on_retire(pc, false);
+        }
+        // 4-bit signed saturates at -8; 8 increments bring it back
+        for _ in 0..7 {
+            t.on_retire(pc, true);
+            assert!(!t.predict_critical(pc));
+        }
+        t.on_retire(pc, true);
+        assert!(t.predict_critical(pc));
+    }
+
+    #[test]
+    fn hysteresis_tolerates_noise() {
+        let mut t = table();
+        let pc = Pc::new(0x300);
+        for _ in 0..5 {
+            t.on_retire(pc, true);
+        }
+        // a few non-critical sightings do not flip a strongly-critical µ-op
+        t.on_retire(pc, false);
+        t.on_retire(pc, false);
+        assert!(t.predict_critical(pc));
+    }
+
+    #[test]
+    fn distinct_pcs_independent() {
+        let mut t = table();
+        t.on_retire(Pc::new(0x400), false);
+        assert!(!t.predict_critical(Pc::new(0x400)));
+        assert!(t.predict_critical(Pc::new(0x404)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_pow2_rejected() {
+        let _ = CriticalityTable::new(1000, 4);
+    }
+}

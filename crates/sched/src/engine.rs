@@ -1,0 +1,270 @@
+//! The wakeup-policy engine: combines the global counter, the per-PC
+//! filter, and the criticality table into the per-load decision the issue
+//! stage asks for — *may this load wake its dependents speculatively?*
+
+use crate::criticality::CriticalityTable;
+use crate::filter::{FilterPrediction, HitMissFilter};
+use crate::global_counter::GlobalCounter;
+use ss_types::{Pc, SchedPolicyKind, SimConfig};
+
+/// The per-load wakeup decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeupDecision {
+    /// Wake dependents after load-to-use cycles, assuming an L1 hit.
+    Speculative,
+    /// Hold dependents until the hit/miss signal is known.
+    Conservative,
+}
+
+/// Counters describing the engine's decisions, for statistics export.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Loads decided speculative.
+    pub speculative: u64,
+    /// Loads decided conservative.
+    pub conservative: u64,
+    /// Filter said sure-hit.
+    pub sure_hit: u64,
+    /// Filter said sure-miss.
+    pub sure_miss: u64,
+    /// Filter said unstable (silenced).
+    pub unstable: u64,
+    /// Criticality table said critical (consulted loads only).
+    pub critical: u64,
+    /// Criticality table said non-critical.
+    pub noncritical: u64,
+}
+
+/// The policy engine. One instance per simulated core.
+#[derive(Debug, Clone)]
+pub struct SchedEngine {
+    kind: SchedPolicyKind,
+    global: GlobalCounter,
+    filter: HitMissFilter,
+    crit: CriticalityTable,
+    /// Decision counters.
+    pub stats: EngineStats,
+}
+
+impl SchedEngine {
+    /// Builds the engine from the machine configuration.
+    pub fn new(cfg: &SimConfig) -> Self {
+        let use_silencing = cfg.sched_policy != SchedPolicyKind::FilterNoSilence;
+        SchedEngine {
+            kind: cfg.sched_policy,
+            global: GlobalCounter::new(cfg.global_counter_bits),
+            filter: HitMissFilter::new(cfg.filter_entries, cfg.filter_reset_interval, use_silencing),
+            crit: CriticalityTable::new(cfg.crit_entries, cfg.crit_counter_bits),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The policy this engine implements.
+    pub fn kind(&self) -> SchedPolicyKind {
+        self.kind
+    }
+
+    /// Decides, at issue time, whether the load at `pc` may wake its
+    /// dependents speculatively.
+    pub fn decide(&mut self, pc: Pc) -> WakeupDecision {
+        use SchedPolicyKind::*;
+        let d = match self.kind {
+            Conservative => WakeupDecision::Conservative,
+            AlwaysHit => WakeupDecision::Speculative,
+            GlobalCounter => self.global_decision(),
+            FilterAndCounter | FilterNoSilence => match self.filter_predict(pc) {
+                FilterPrediction::SureHit => WakeupDecision::Speculative,
+                FilterPrediction::SureMiss => WakeupDecision::Conservative,
+                FilterPrediction::Unstable => self.global_decision(),
+            },
+            Criticality => match self.filter_predict(pc) {
+                FilterPrediction::SureHit => WakeupDecision::Speculative,
+                FilterPrediction::SureMiss => WakeupDecision::Conservative,
+                FilterPrediction::Unstable => {
+                    if self.crit.predict_critical(pc) {
+                        self.stats.critical += 1;
+                        self.global_decision()
+                    } else {
+                        self.stats.noncritical += 1;
+                        WakeupDecision::Conservative
+                    }
+                }
+            },
+        };
+        match d {
+            WakeupDecision::Speculative => self.stats.speculative += 1,
+            WakeupDecision::Conservative => self.stats.conservative += 1,
+        }
+        d
+    }
+
+    fn filter_predict(&mut self, pc: Pc) -> FilterPrediction {
+        let p = self.filter.predict(pc);
+        match p {
+            FilterPrediction::SureHit => self.stats.sure_hit += 1,
+            FilterPrediction::SureMiss => self.stats.sure_miss += 1,
+            FilterPrediction::Unstable => self.stats.unstable += 1,
+        }
+        p
+    }
+
+    fn global_decision(&self) -> WakeupDecision {
+        if self.global.predict_hit() {
+            WakeupDecision::Speculative
+        } else {
+            WakeupDecision::Conservative
+        }
+    }
+
+    /// Records a load's L1D outcome into the global counter (called at
+    /// execute time, when the hit/miss signal exists).
+    pub fn on_load_outcome(&mut self, hit: bool) {
+        self.global.on_load_outcome(hit);
+    }
+
+    /// Trains the filter with a committed load's L1D outcome.
+    pub fn on_load_commit(&mut self, pc: Pc, hit: bool) {
+        self.filter.on_load_commit(pc, hit);
+    }
+
+    /// Trains the criticality table with a retiring µ-op.
+    pub fn on_retire(&mut self, pc: Pc, was_rob_head: bool) {
+        if self.kind == SchedPolicyKind::Criticality {
+            self.crit.on_retire(pc, was_rob_head);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_types::SimConfig;
+
+    fn engine(kind: SchedPolicyKind) -> SchedEngine {
+        SchedEngine::new(&SimConfig::builder().sched_policy(kind).build())
+    }
+
+    #[test]
+    fn conservative_never_speculates() {
+        let mut e = engine(SchedPolicyKind::Conservative);
+        for i in 0..50u64 {
+            assert_eq!(e.decide(Pc::new(i * 4)), WakeupDecision::Conservative);
+        }
+        assert_eq!(e.stats.speculative, 0);
+    }
+
+    #[test]
+    fn always_hit_always_speculates() {
+        let mut e = engine(SchedPolicyKind::AlwaysHit);
+        for _ in 0..20 {
+            e.on_load_outcome(false); // even under a miss storm
+        }
+        assert_eq!(e.decide(Pc::new(0x100)), WakeupDecision::Speculative);
+    }
+
+    #[test]
+    fn global_counter_gates_on_miss_bursts() {
+        let mut e = engine(SchedPolicyKind::GlobalCounter);
+        assert_eq!(e.decide(Pc::new(0x100)), WakeupDecision::Speculative);
+        for _ in 0..8 {
+            e.on_load_outcome(false);
+        }
+        assert_eq!(e.decide(Pc::new(0x100)), WakeupDecision::Conservative);
+        for _ in 0..16 {
+            e.on_load_outcome(true);
+        }
+        assert_eq!(e.decide(Pc::new(0x100)), WakeupDecision::Speculative);
+    }
+
+    #[test]
+    fn filter_sure_miss_overrides_global_hit() {
+        let mut e = engine(SchedPolicyKind::FilterAndCounter);
+        let pc = Pc::new(0x200);
+        // drive the entry to sure-miss (resets let the counter walk down)
+        let mut e2 = SchedEngine::new(
+            &SimConfig::builder()
+                .sched_policy(SchedPolicyKind::FilterAndCounter)
+                .tweak(|c| c.filter_reset_interval = 1)
+                .build(),
+        );
+        for _ in 0..8 {
+            e2.on_load_commit(pc, false);
+        }
+        assert_eq!(e2.decide(pc), WakeupDecision::Conservative);
+        assert_eq!(e2.stats.sure_miss, 1);
+        // global counter is at max (hit) yet the filter overrides
+        drop(e);
+    }
+
+    #[test]
+    fn filter_unstable_defers_to_global() {
+        let mut e = engine(SchedPolicyKind::FilterAndCounter);
+        let pc = Pc::new(0x300);
+        e.on_load_commit(pc, true);
+        e.on_load_commit(pc, false); // silences
+        assert_eq!(e.decide(pc), WakeupDecision::Speculative, "global says hit");
+        assert_eq!(e.stats.unstable, 1);
+        for _ in 0..8 {
+            e.on_load_outcome(false);
+        }
+        assert_eq!(e.decide(pc), WakeupDecision::Conservative, "global says miss");
+    }
+
+    #[test]
+    fn criticality_gates_unstable_noncritical_loads() {
+        let mut e = engine(SchedPolicyKind::Criticality);
+        let pc = Pc::new(0x400);
+        // silence the filter entry
+        e.on_load_commit(pc, true);
+        e.on_load_commit(pc, false);
+        // non-critical training
+        for _ in 0..4 {
+            e.on_retire(pc, false);
+        }
+        assert_eq!(
+            e.decide(pc),
+            WakeupDecision::Conservative,
+            "unstable + non-critical must not speculate even when global says hit"
+        );
+        assert_eq!(e.stats.noncritical, 1);
+        // critical loads fall back to the global counter (currently hit)
+        for _ in 0..8 {
+            e.on_retire(pc, true);
+        }
+        assert_eq!(e.decide(pc), WakeupDecision::Speculative);
+        assert_eq!(e.stats.critical, 1);
+    }
+
+    #[test]
+    fn criticality_sure_hits_always_speculate() {
+        let mut e = engine(SchedPolicyKind::Criticality);
+        let pc = Pc::new(0x500);
+        for _ in 0..4 {
+            e.on_load_commit(pc, true);
+        }
+        for _ in 0..8 {
+            e.on_retire(pc, false); // non-critical
+        }
+        assert_eq!(e.decide(pc), WakeupDecision::Speculative, "sure hit bypasses criticality");
+    }
+
+    #[test]
+    fn no_silence_ablation_never_reports_unstable() {
+        let mut e = engine(SchedPolicyKind::FilterNoSilence);
+        let pc = Pc::new(0x600);
+        for i in 0..20 {
+            e.on_load_commit(pc, i % 2 == 0);
+            let _ = e.decide(pc);
+        }
+        assert_eq!(e.stats.unstable, 0);
+    }
+
+    #[test]
+    fn decision_counters_add_up() {
+        let mut e = engine(SchedPolicyKind::FilterAndCounter);
+        for i in 0..30u64 {
+            let _ = e.decide(Pc::new(i * 4));
+        }
+        assert_eq!(e.stats.speculative + e.stats.conservative, 30);
+    }
+}

@@ -1,0 +1,43 @@
+//! Speculative-scheduling policies — the paper's contribution.
+//!
+//! The pipeline issues load dependents *speculatively* (assuming an L1
+//! hit) to hide the issue-to-execute delay; wrong guesses force replays.
+//! This crate implements the three replay-reduction mechanisms of
+//! Perais et al. (ISCA 2015):
+//!
+//! * **Schedule Shifting** (§5.1) lives in the issue stage (`ss-core`);
+//!   its decision data — always delay the wakeup of dependents of the
+//!   *second* load of an issue group by one cycle — needs no state, so
+//!   this crate only defines the policy switches.
+//! * the **global hit/miss counter** ([`GlobalCounter`], §5.2),
+//! * the **per-PC hit/miss filter with silencing bits**
+//!   ([`HitMissFilter`], §5.2),
+//! * the **criticality table** ([`CriticalityTable`], §5.3),
+//!
+//! combined by [`SchedEngine`] into the per-load wakeup decision.
+//!
+//! # Example
+//!
+//! ```
+//! use ss_sched::{SchedEngine, WakeupDecision};
+//! use ss_types::{Pc, SchedPolicyKind, SimConfig};
+//!
+//! let cfg = SimConfig::builder().sched_policy(SchedPolicyKind::FilterAndCounter).build();
+//! let mut engine = SchedEngine::new(&cfg);
+//! assert_eq!(engine.decide(Pc::new(0x400)), WakeupDecision::Speculative);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bank_pred;
+pub mod criticality;
+pub mod engine;
+pub mod filter;
+pub mod global_counter;
+
+pub use bank_pred::BankPredictor;
+pub use criticality::CriticalityTable;
+pub use engine::{EngineStats, SchedEngine, WakeupDecision};
+pub use filter::{FilterPrediction, HitMissFilter};
+pub use global_counter::GlobalCounter;

@@ -1,0 +1,114 @@
+//! Property-based tests for the scheduling-policy structures.
+
+use proptest::prelude::*;
+use ss_sched::{FilterPrediction, GlobalCounter, HitMissFilter, SchedEngine, WakeupDecision};
+use ss_types::{Pc, SchedPolicyKind, SimConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The global counter's prediction always reflects its saturating
+    /// arithmetic: after enough consecutive hits it predicts hit, after
+    /// enough consecutive misses it predicts miss — from any state.
+    #[test]
+    fn global_counter_saturation(prefix in proptest::collection::vec(any::<bool>(), 0..100)) {
+        let mut c = GlobalCounter::new(4);
+        for h in prefix {
+            c.on_load_outcome(h);
+        }
+        let mut c2 = c.clone();
+        for _ in 0..16 {
+            c.on_load_outcome(true);
+        }
+        prop_assert!(c.predict_hit());
+        for _ in 0..8 {
+            c2.on_load_outcome(false);
+        }
+        prop_assert!(!c2.predict_hit());
+    }
+
+    /// The filter never predicts `SureHit` for a load observed missing on
+    /// its most recent unsilenced streak, and a long uniform streak always
+    /// ends in the matching sure state.
+    #[test]
+    fn filter_converges_on_uniform_streaks(hit in any::<bool>(), streak in 16u32..64) {
+        // reset interval 4 so silencing cannot freeze the entry forever
+        let mut f = HitMissFilter::new(2048, 4, true);
+        let pc = Pc::new(0x500);
+        for _ in 0..streak {
+            f.on_load_commit(pc, hit);
+        }
+        let want = if hit { FilterPrediction::SureHit } else { FilterPrediction::SureMiss };
+        prop_assert_eq!(f.predict(pc), want);
+    }
+
+    /// Rapidly alternating behaviour (streaks shorter than the counter
+    /// can re-saturate between silence resets) keeps the filter mostly
+    /// silenced — the case the silencing bit exists for. Longer streaks
+    /// legitimately re-earn Sure states within each phase.
+    #[test]
+    fn filter_is_cautious_on_rapidly_alternating_loads(period in 2u32..4) {
+        let mut f = HitMissFilter::new(2048, 10, true);
+        let pc = Pc::new(0x700);
+        let mut unstable = 0;
+        let total = 600;
+        for i in 0..total {
+            if f.predict(pc) == FilterPrediction::Unstable {
+                unstable += 1;
+            }
+            f.on_load_commit(pc, (i / period) % 2 == 0);
+        }
+        prop_assert!(
+            unstable * 3 > total,
+            "rapidly alternating load must be mostly unstable: {unstable}/{total}"
+        );
+    }
+
+    /// Every policy's decision stream is a pure function of its training
+    /// stream (decide() itself never mutates prediction state).
+    #[test]
+    fn decisions_are_read_only(
+        kind in prop_oneof![
+            Just(SchedPolicyKind::AlwaysHit),
+            Just(SchedPolicyKind::GlobalCounter),
+            Just(SchedPolicyKind::FilterAndCounter),
+            Just(SchedPolicyKind::Criticality),
+        ],
+        pcs in proptest::collection::vec(0u64..64, 1..50),
+    ) {
+        let cfg = SimConfig::builder().sched_policy(kind).build();
+        let mut e = SchedEngine::new(&cfg);
+        // train a bit
+        for i in 0..100u64 {
+            e.on_load_outcome(i % 3 == 0);
+            e.on_load_commit(Pc::new((i % 16) * 4), i % 2 == 0);
+            e.on_retire(Pc::new((i % 16) * 4), i % 5 == 0);
+        }
+        // repeated decides for the same PC must agree
+        for pc_idx in pcs {
+            let pc = Pc::new(pc_idx * 4);
+            let first = e.decide(pc);
+            for _ in 0..3 {
+                prop_assert_eq!(e.decide(pc), first);
+            }
+        }
+    }
+
+    /// Conservative never speculates; AlwaysHit never holds back.
+    #[test]
+    fn extreme_policies_are_constant(pc_idx in 0u64..1000) {
+        let pc = Pc::new(pc_idx * 4);
+        let mut cons = SchedEngine::new(
+            &SimConfig::builder().sched_policy(SchedPolicyKind::Conservative).build(),
+        );
+        let mut always = SchedEngine::new(
+            &SimConfig::builder().sched_policy(SchedPolicyKind::AlwaysHit).build(),
+        );
+        for _ in 0..8 {
+            cons.on_load_outcome(true);
+            always.on_load_outcome(false);
+        }
+        prop_assert_eq!(cons.decide(pc), WakeupDecision::Conservative);
+        prop_assert_eq!(always.decide(pc), WakeupDecision::Speculative);
+    }
+}

@@ -1,0 +1,399 @@
+//! Newtyped identifiers used across the simulator.
+//!
+//! Cycles, byte addresses, program counters, dynamic sequence numbers and
+//! register indices are all plain integers at runtime, but confusing them is
+//! a classic simulator bug; the newtypes here make such confusion a type
+//! error ([C-NEWTYPE]).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A simulation cycle number.
+///
+/// Cycles are totally ordered and support adding a `u64` delta:
+///
+/// ```
+/// use ss_types::Cycle;
+/// let c = Cycle::ZERO + 4;
+/// assert_eq!(c.get(), 4);
+/// assert!(c > Cycle::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Cycle zero, the start of simulation.
+    pub const ZERO: Cycle = Cycle(0);
+    /// A cycle far in the future; used as "not yet known".
+    pub const NEVER: Cycle = Cycle(u64::MAX / 2);
+
+    /// Creates a cycle from a raw count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Cycles elapsed since `earlier`, saturating at zero.
+    ///
+    /// ```
+    /// use ss_types::Cycle;
+    /// assert_eq!(Cycle::new(10).since(Cycle::new(4)), 6);
+    /// assert_eq!(Cycle::new(4).since(Cycle::new(10)), 0);
+    /// ```
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+/// A byte address in the simulated (virtual = physical) address space.
+///
+/// Provides the bit-slicing helpers the cache hierarchy needs:
+///
+/// ```
+/// use ss_types::Addr;
+/// let a = Addr::new(0x1_2345);
+/// assert_eq!(a.line(64).get(), 0x1_2340);
+/// assert_eq!(a.bits(3, 3), 0b000); // quadword-bank index of 0x12345
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Address of the cache line containing this address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    #[inline]
+    pub fn line(self, line_bytes: u64) -> Addr {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        Addr(self.0 & !(line_bytes - 1))
+    }
+
+    /// Extracts `count` bits starting at bit `lo`.
+    #[inline]
+    pub const fn bits(self, lo: u32, count: u32) -> u64 {
+        (self.0 >> lo) & ((1u64 << count) - 1)
+    }
+
+    /// Offsets the address by a signed byte delta, wrapping on overflow.
+    #[inline]
+    pub const fn offset(self, delta: i64) -> Addr {
+        Addr(self.0.wrapping_add(delta as u64))
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0.wrapping_add(rhs))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A program counter (instruction address).
+///
+/// Kept distinct from [`Addr`] so data addresses and instruction addresses
+/// cannot be swapped accidentally; predictors index on `Pc`, caches on
+/// `Addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Creates a program counter from a raw instruction address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Pc(raw)
+    }
+
+    /// Returns the raw instruction address.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Extracts `count` bits starting at bit `lo` — predictors index with
+    /// low PC bits.
+    #[inline]
+    pub const fn bits(self, lo: u32, count: u32) -> u64 {
+        (self.0 >> lo) & ((1u64 << count) - 1)
+    }
+
+    /// The PC `bytes` further on (straight-line fall-through).
+    #[inline]
+    pub const fn step(self, bytes: u64) -> Pc {
+        Pc(self.0.wrapping_add(bytes))
+    }
+
+    /// Instruction-address view as a data address (for the L1I).
+    #[inline]
+    pub const fn as_addr(self) -> Addr {
+        Addr(self.0)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc {:#x}", self.0)
+    }
+}
+
+/// A dynamic µ-op sequence number: unique, monotonically increasing in
+/// program order. Younger µ-ops have larger sequence numbers; wrong-path
+/// µ-ops receive sequence numbers too and are discarded on squash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNum(u64);
+
+impl SeqNum {
+    /// The first sequence number.
+    pub const FIRST: SeqNum = SeqNum(0);
+
+    /// Creates a sequence number from a raw index.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        SeqNum(raw)
+    }
+
+    /// Returns the raw index.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The next sequence number in program order.
+    #[inline]
+    pub const fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+
+    /// Whether `self` is older (earlier in program order) than `other`.
+    #[inline]
+    pub fn is_older_than(self, other: SeqNum) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An architectural register index.
+///
+/// The synthetic µ-op ISA exposes 32 integer and 32 floating-point
+/// architectural registers; the class is carried alongside the index in
+/// [`crate::op::RegClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Number of architectural registers per class.
+    pub const COUNT: usize = 32;
+
+    /// Creates an architectural register index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw >= ArchReg::COUNT`.
+    #[inline]
+    pub fn new(raw: u8) -> Self {
+        assert!((raw as usize) < Self::COUNT, "arch reg {raw} out of range");
+        ArchReg(raw)
+    }
+
+    /// Returns the raw register index.
+    #[inline]
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the index as a usize, for table indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A physical register index in one of the register files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysReg(u16);
+
+impl PhysReg {
+    /// Creates a physical register index.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        PhysReg(raw)
+    }
+
+    /// Returns the raw register index.
+    #[inline]
+    pub const fn get(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the index as a usize, for table indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let c = Cycle::new(10);
+        assert_eq!((c + 5).get(), 15);
+        assert_eq!(c + 5 - c, 5);
+        assert_eq!(c.since(Cycle::new(3)), 7);
+        assert_eq!(Cycle::new(3).since(c), 0);
+        let mut m = c;
+        m += 2;
+        assert_eq!(m.get(), 12);
+    }
+
+    #[test]
+    fn cycle_never_is_far_future() {
+        assert!(Cycle::NEVER > Cycle::new(u64::MAX / 4));
+        // NEVER + small deltas must not overflow
+        let _ = Cycle::NEVER + 1000;
+    }
+
+    #[test]
+    fn addr_line_and_bits() {
+        let a = Addr::new(0xDEAD_BEEF);
+        assert_eq!(a.line(64).get(), 0xDEAD_BEC0);
+        assert_eq!(a.line(64).bits(0, 6), 0);
+        // bank index for 8 banks of 8 bytes = bits [3..6)
+        assert_eq!(Addr::new(0x38).bits(3, 3), 7);
+        assert_eq!(Addr::new(0x40).bits(3, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn addr_line_rejects_non_pow2() {
+        let _ = Addr::new(0).line(48);
+    }
+
+    #[test]
+    fn addr_offset_wraps() {
+        assert_eq!(Addr::new(8).offset(-16).get(), u64::MAX - 7);
+        assert_eq!(Addr::new(8).offset(8).get(), 16);
+    }
+
+    #[test]
+    fn pc_step_and_bits() {
+        let pc = Pc::new(0x1000);
+        assert_eq!(pc.step(4).get(), 0x1004);
+        assert_eq!(pc.bits(2, 4), 0);
+        assert_eq!(Pc::new(0x1004).bits(2, 4), 1);
+        assert_eq!(pc.as_addr().get(), 0x1000);
+    }
+
+    #[test]
+    fn seqnum_ordering() {
+        let a = SeqNum::FIRST;
+        let b = a.next();
+        assert!(a.is_older_than(b));
+        assert!(!b.is_older_than(a));
+        assert!(!a.is_older_than(a));
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn arch_reg_bounds() {
+        let r = ArchReg::new(31);
+        assert_eq!(r.index(), 31);
+        assert_eq!(format!("{r}"), "r31");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_rejects_out_of_range() {
+        let _ = ArchReg::new(32);
+    }
+
+    #[test]
+    fn display_impls_nonempty() {
+        assert!(!format!("{}", Cycle::ZERO).is_empty());
+        assert!(!format!("{}", Addr::new(0)).is_empty());
+        assert!(!format!("{}", Pc::new(0)).is_empty());
+        assert!(!format!("{}", SeqNum::FIRST).is_empty());
+        assert!(!format!("{}", PhysReg::new(0)).is_empty());
+    }
+}

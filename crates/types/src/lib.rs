@@ -1,0 +1,46 @@
+//! Shared vocabulary for the speculative-scheduling simulator workspace.
+//!
+//! This crate defines the types every other crate speaks in:
+//!
+//! * [`ids`] — newtyped identifiers ([`Cycle`], [`Addr`], [`Pc`], [`SeqNum`],
+//!   register indices) so cycles, addresses, and indices cannot be confused.
+//! * [`op`] — the µ-op classification ([`OpClass`]) and execution-port model
+//!   used by the issue stage.
+//! * [`config`] — the full machine description ([`SimConfig`]) with a
+//!   builder, defaulting to the paper's Table 1 configuration.
+//! * [`stats`] — the statistics block ([`SimStats`]) every experiment reads,
+//!   including the paper's `Unique` / `RpldMiss` / `RpldBank` issue
+//!   breakdown.
+//! * [`replay`] — the replay-cause taxonomy ([`ReplayCause`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ss_types::{SimConfig, SchedPolicyKind};
+//!
+//! let cfg = SimConfig::builder()
+//!     .issue_to_execute_delay(4)
+//!     .banked_l1d(true)
+//!     .sched_policy(SchedPolicyKind::AlwaysHit)
+//!     .build();
+//! assert_eq!(cfg.issue_to_execute_delay, 4);
+//! assert_eq!(cfg.frontend_depth(), 11); // 15 - 4, constant branch penalty
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod ids;
+pub mod op;
+pub mod replay;
+pub mod stats;
+
+pub use config::{
+    BankInterleaving, BankedL1dConfig, CacheGeometry, CritCriterion, DramConfig, PredictorConfig,
+    PrfBankConfig, ReplayScheme, SchedPolicyKind, ShiftPolicy, SimConfig, SimConfigBuilder,
+};
+pub use ids::{Addr, ArchReg, Cycle, Pc, PhysReg, SeqNum};
+pub use op::{BranchKind, ExecPort, OpClass, RegClass};
+pub use replay::ReplayCause;
+pub use stats::{CacheStats, SimStats};

@@ -1,0 +1,256 @@
+//! µ-op classification and the execution-port model.
+//!
+//! The paper's machine (Table 1) issues up to 6 µ-ops per cycle across:
+//! 4 ALU (1 cycle), 1 MulDiv (3/25 cycles, divide not pipelined),
+//! 2 FP (3 cycles), 2 FPMulDiv (5/10 cycles, divide not pipelined),
+//! 2 load/store AGU ports and 1 extra store port.
+
+use std::fmt;
+
+/// The class of a µ-op, which determines its execution port, latency, and
+/// how the scheduler treats it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation (also used for logical ops,
+    /// shifts, compares and address arithmetic).
+    IntAlu,
+    /// Pipelined integer multiply (3 cycles).
+    IntMul,
+    /// Non-pipelined integer divide (25 cycles).
+    IntDiv,
+    /// Pipelined floating-point add/sub/convert (3 cycles).
+    FpAlu,
+    /// Pipelined floating-point multiply (5 cycles).
+    FpMul,
+    /// Non-pipelined floating-point divide/sqrt (10 cycles).
+    FpDiv,
+    /// Load from memory. Variable latency: the whole point of the paper.
+    Load,
+    /// Store to memory (address + data; retires from the SQ).
+    Store,
+    /// Control-flow µ-op; executes on an ALU port, resolves predictions.
+    Branch(BranchKind),
+}
+
+/// The flavour of a branch µ-op, which drives predictor usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch: direction predicted by TAGE, target by BTB.
+    Conditional,
+    /// Unconditional direct jump: always taken, target from BTB.
+    Direct,
+    /// Indirect jump: always taken, target from BTB (may mispredict target).
+    Indirect,
+    /// Call: pushes the return address onto the RAS.
+    Call,
+    /// Return: target predicted by the RAS.
+    Return,
+}
+
+impl OpClass {
+    /// Base execution latency in cycles, excluding any memory time.
+    ///
+    /// For [`OpClass::Load`] this is the L1 *load-to-use* latency (4 cycles
+    /// in the paper's Table 1): the number of cycles between the load's
+    /// issue and the earliest issue of a dependent, assuming an L1 hit and
+    /// no bank conflict.
+    #[inline]
+    pub const fn base_latency(self) -> u64 {
+        match self {
+            OpClass::IntAlu => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 25,
+            OpClass::FpAlu => 3,
+            OpClass::FpMul => 5,
+            OpClass::FpDiv => 10,
+            OpClass::Load => 4,
+            OpClass::Store => 1,
+            OpClass::Branch(_) => 1,
+        }
+    }
+
+    /// Whether the functional unit is pipelined (can accept a new µ-op
+    /// every cycle). Divides are not (Table 1, `*not pipelined`).
+    #[inline]
+    pub const fn pipelined(self) -> bool {
+        !matches!(self, OpClass::IntDiv | OpClass::FpDiv)
+    }
+
+    /// The execution-port class this µ-op issues to.
+    #[inline]
+    pub const fn port(self) -> ExecPort {
+        match self {
+            OpClass::IntAlu | OpClass::Branch(_) => ExecPort::Alu,
+            OpClass::IntMul | OpClass::IntDiv => ExecPort::MulDiv,
+            OpClass::FpAlu => ExecPort::Fp,
+            OpClass::FpMul | OpClass::FpDiv => ExecPort::FpMulDiv,
+            OpClass::Load => ExecPort::LoadStore,
+            OpClass::Store => ExecPort::LoadStore,
+        }
+    }
+
+    /// Whether this µ-op reads or writes memory.
+    #[inline]
+    pub const fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether this µ-op is a load.
+    #[inline]
+    pub const fn is_load(self) -> bool {
+        matches!(self, OpClass::Load)
+    }
+
+    /// Whether this µ-op is a store.
+    #[inline]
+    pub const fn is_store(self) -> bool {
+        matches!(self, OpClass::Store)
+    }
+
+    /// Whether this µ-op is a branch of any kind.
+    #[inline]
+    pub const fn is_branch(self) -> bool {
+        matches!(self, OpClass::Branch(_))
+    }
+
+    /// The register class of this µ-op's destination (and, by the synthetic
+    /// ISA's convention, its sources).
+    #[inline]
+    pub const fn reg_class(self) -> RegClass {
+        match self {
+            OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => RegClass::Float,
+            _ => RegClass::Int,
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "alu",
+            OpClass::IntMul => "mul",
+            OpClass::IntDiv => "div",
+            OpClass::FpAlu => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch(BranchKind::Conditional) => "br.cond",
+            OpClass::Branch(BranchKind::Direct) => "jmp",
+            OpClass::Branch(BranchKind::Indirect) => "jmp.ind",
+            OpClass::Branch(BranchKind::Call) => "call",
+            OpClass::Branch(BranchKind::Return) => "ret",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the machine's execution-port classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecPort {
+    /// Integer ALU / branch port (4 available, 1-cycle ops).
+    Alu,
+    /// Integer multiply/divide port (1 available).
+    MulDiv,
+    /// Floating-point add port (2 available).
+    Fp,
+    /// Floating-point multiply/divide port (2 available).
+    FpMulDiv,
+    /// Load/store AGU port (2 load-or-store, plus 1 store-only).
+    LoadStore,
+}
+
+impl ExecPort {
+    /// All port classes, for iteration.
+    pub const ALL: [ExecPort; 5] = [
+        ExecPort::Alu,
+        ExecPort::MulDiv,
+        ExecPort::Fp,
+        ExecPort::FpMulDiv,
+        ExecPort::LoadStore,
+    ];
+}
+
+/// Register file class: the machine has separate INT and FP physical
+/// register files (256 entries each in Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RegClass {
+    /// Integer register file.
+    #[default]
+    Int,
+    /// Floating-point register file.
+    Float,
+}
+
+impl RegClass {
+    /// Index for class-keyed arrays (`[thing; 2]`).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Float => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_table1() {
+        assert_eq!(OpClass::IntAlu.base_latency(), 1);
+        assert_eq!(OpClass::IntMul.base_latency(), 3);
+        assert_eq!(OpClass::IntDiv.base_latency(), 25);
+        assert_eq!(OpClass::FpAlu.base_latency(), 3);
+        assert_eq!(OpClass::FpMul.base_latency(), 5);
+        assert_eq!(OpClass::FpDiv.base_latency(), 10);
+        assert_eq!(OpClass::Load.base_latency(), 4); // load-to-use
+    }
+
+    #[test]
+    fn divides_not_pipelined() {
+        assert!(!OpClass::IntDiv.pipelined());
+        assert!(!OpClass::FpDiv.pipelined());
+        assert!(OpClass::IntMul.pipelined());
+        assert!(OpClass::Load.pipelined());
+    }
+
+    #[test]
+    fn port_assignment() {
+        assert_eq!(OpClass::IntAlu.port(), ExecPort::Alu);
+        assert_eq!(OpClass::Branch(BranchKind::Conditional).port(), ExecPort::Alu);
+        assert_eq!(OpClass::Load.port(), ExecPort::LoadStore);
+        assert_eq!(OpClass::Store.port(), ExecPort::LoadStore);
+        assert_eq!(OpClass::FpDiv.port(), ExecPort::FpMulDiv);
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(OpClass::Load.is_load());
+        assert!(!OpClass::Load.is_store());
+        assert!(OpClass::Branch(BranchKind::Return).is_branch());
+    }
+
+    #[test]
+    fn reg_classes() {
+        assert_eq!(OpClass::FpMul.reg_class(), RegClass::Float);
+        assert_eq!(OpClass::Load.reg_class(), RegClass::Int);
+        assert_eq!(RegClass::Int.index(), 0);
+        assert_eq!(RegClass::Float.index(), 1);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for c in [
+            OpClass::IntAlu,
+            OpClass::Load,
+            OpClass::Branch(BranchKind::Call),
+        ] {
+            assert!(!format!("{c}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Replay-cause taxonomy.
+//!
+//! The paper restricts itself to the two dominant replay triggers (§4.3):
+//! L1 data-cache misses and L1 bank conflicts, assuming a monolithic PRF
+//! that provisions full read/write ports. The simulator defaults to the
+//! same assumption but can optionally model a banked PRF (Tseng &
+//! Asanović style), whose read-port conflicts add the third replay cause
+//! the paper describes in §4.2.
+
+use std::fmt;
+
+/// Why a schedule misspeculation (and therefore a replay) happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplayCause {
+    /// The load was assumed to hit in the L1D but missed; dependents were
+    /// issued too early (`RpldMiss` in Figure 4b).
+    L1Miss,
+    /// The load hit, but a bank conflict delayed its access by one or more
+    /// cycles (`RpldBank` in Figure 4b).
+    BankConflict,
+    /// A physical-register-file read-port conflict delayed the producer by
+    /// one cycle (§4.2; only with the optional banked-PRF model).
+    PrfConflict,
+}
+
+impl ReplayCause {
+    /// All causes, for iteration over breakdown tables.
+    pub const ALL: [ReplayCause; 3] =
+        [ReplayCause::L1Miss, ReplayCause::BankConflict, ReplayCause::PrfConflict];
+}
+
+impl fmt::Display for ReplayCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayCause::L1Miss => f.write_str("l1-miss"),
+            ReplayCause::BankConflict => f.write_str("bank-conflict"),
+            ReplayCause::PrfConflict => f.write_str("prf-conflict"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_variant() {
+        assert_eq!(ReplayCause::ALL.len(), 3);
+        assert!(ReplayCause::ALL.contains(&ReplayCause::L1Miss));
+        assert!(ReplayCause::ALL.contains(&ReplayCause::BankConflict));
+        assert!(ReplayCause::ALL.contains(&ReplayCause::PrfConflict));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for c in ReplayCause::ALL {
+            assert!(!format!("{c}").is_empty());
+        }
+    }
+}

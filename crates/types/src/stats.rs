@@ -1,0 +1,345 @@
+//! Simulation statistics.
+//!
+//! [`SimStats`] is the single statistics block filled in by the pipeline
+//! and read by every experiment. It carries the paper's issue breakdown
+//! (`Unique`, `RpldMiss`, `RpldBank` — Figure 4b) plus cache, branch,
+//! scheduling-policy and replay-event counters.
+
+use crate::replay::ReplayCause;
+use std::fmt;
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (excludes prefetches).
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Misses merged into an already-outstanding MSHR.
+    pub mshr_merges: u64,
+    /// Prefetch requests issued from this level.
+    pub prefetches: u64,
+    /// Demand hits on lines brought in by the prefetcher.
+    pub prefetch_hits: u64,
+}
+
+impl CacheStats {
+    /// Demand miss ratio in `[0, 1]`; 0 when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 { 0.0 } else { self.misses as f64 / self.accesses as f64 }
+    }
+}
+
+/// Full statistics for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    // ---- progress ----
+    /// Cycles simulated (excluding warmup if the runner resets stats).
+    pub cycles: u64,
+    /// Correct-path µ-ops committed.
+    pub committed_uops: u64,
+    /// Correct-path loads committed.
+    pub committed_loads: u64,
+
+    // ---- issue breakdown (Figure 4b taxonomy) ----
+    /// Distinct µ-ops that issued at least once (correct + wrong path);
+    /// the paper's `Unique`.
+    pub unique_issued: u64,
+    /// Total issue events (unique + every re-issue).
+    pub issued_total: u64,
+    /// µ-ops squashed-and-replayed attributed to an L1 miss (`RpldMiss`).
+    pub replayed_miss: u64,
+    /// µ-ops squashed-and-replayed attributed to an L1 bank conflict
+    /// (`RpldBank`).
+    pub replayed_bank: u64,
+    /// µ-ops squashed-and-replayed attributed to a PRF read-port conflict
+    /// (only with the optional banked-PRF model).
+    pub replayed_prf: u64,
+    /// Replay events (squash-the-window occurrences) per cause.
+    pub replay_events_miss: u64,
+    /// Replay events attributed to bank conflicts.
+    pub replay_events_bank: u64,
+    /// Replay events attributed to PRF conflicts.
+    pub replay_events_prf: u64,
+    /// Wrong-path µ-ops that issued (subset of `unique_issued`).
+    pub wrong_path_issued: u64,
+
+    // ---- branches ----
+    /// Conditional branches committed.
+    pub cond_branches: u64,
+    /// Conditional branches whose direction was mispredicted.
+    pub cond_mispredicts: u64,
+    /// Branches (any kind) whose target was mispredicted.
+    pub target_mispredicts: u64,
+
+    // ---- memory ----
+    /// L1D statistics (demand loads on the correct path).
+    pub l1d: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Loads whose L1D access was delayed by at least one cycle due to a
+    /// bank conflict.
+    pub bank_delayed_loads: u64,
+    /// Total cycles of bank-conflict queueing across all loads.
+    pub bank_delay_cycles: u64,
+    /// Accesses that found the target line's MSHR already allocated.
+    pub loads_merged_into_mshr: u64,
+    /// DRAM row-buffer hits.
+    pub dram_row_hits: u64,
+    /// DRAM row-buffer misses/conflicts.
+    pub dram_row_misses: u64,
+
+    // ---- scheduling policy decisions ----
+    /// Loads whose dependents were woken speculatively (predicted hit).
+    pub loads_spec_woken: u64,
+    /// Loads whose dependents were held until the hit/miss signal.
+    pub loads_conservative: u64,
+    /// Loads the per-PC filter called a sure hit.
+    pub filter_sure_hit: u64,
+    /// Loads the per-PC filter called a sure miss.
+    pub filter_sure_miss: u64,
+    /// Loads with silenced (unstable) filter entries, deferred to the
+    /// global counter / criticality.
+    pub filter_unstable: u64,
+    /// Loads predicted critical by the criticality table.
+    pub crit_predicted_critical: u64,
+    /// Loads predicted non-critical.
+    pub crit_predicted_noncritical: u64,
+
+    // ---- memory dependence ----
+    /// Memory-order violations (a load executed before an older aliasing
+    /// store; Store Sets training events).
+    pub memdep_violations: u64,
+
+    // ---- window pressure ----
+    /// Cycles in which dispatch stalled for lack of ROB/IQ/LSQ/PRF space.
+    pub dispatch_stall_cycles: u64,
+    /// µ-ops replayed out of the recovery buffer.
+    pub recovery_buffer_replays: u64,
+}
+
+impl SimStats {
+    /// Committed µ-ops per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 { 0.0 } else { self.committed_uops as f64 / self.cycles as f64 }
+    }
+
+    /// Total replayed µ-ops across causes.
+    pub fn replayed_total(&self) -> u64 {
+        self.replayed_miss + self.replayed_bank + self.replayed_prf
+    }
+
+    /// Replayed µ-ops for one cause.
+    pub fn replayed(&self, cause: ReplayCause) -> u64 {
+        match cause {
+            ReplayCause::L1Miss => self.replayed_miss,
+            ReplayCause::BankConflict => self.replayed_bank,
+            ReplayCause::PrfConflict => self.replayed_prf,
+        }
+    }
+
+    /// Records replayed µ-ops against a cause.
+    pub fn add_replayed(&mut self, cause: ReplayCause, n: u64) {
+        match cause {
+            ReplayCause::L1Miss => self.replayed_miss += n,
+            ReplayCause::BankConflict => self.replayed_bank += n,
+            ReplayCause::PrfConflict => self.replayed_prf += n,
+        }
+    }
+
+    /// Records one replay event against a cause.
+    pub fn add_replay_event(&mut self, cause: ReplayCause) {
+        match cause {
+            ReplayCause::L1Miss => self.replay_events_miss += 1,
+            ReplayCause::BankConflict => self.replay_events_bank += 1,
+            ReplayCause::PrfConflict => self.replay_events_prf += 1,
+        }
+    }
+
+    /// Field-wise difference `self − earlier`: the statistics accumulated
+    /// *after* the `earlier` snapshot was taken. Used to discard warmup.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any counter in `earlier` exceeds the
+    /// corresponding counter in `self`.
+    pub fn delta(&self, earlier: &SimStats) -> SimStats {
+        fn sub(a: u64, b: u64) -> u64 {
+            debug_assert!(a >= b, "stats must be monotonic ({a} < {b})");
+            a - b
+        }
+        fn subc(a: CacheStats, b: CacheStats) -> CacheStats {
+            CacheStats {
+                accesses: sub(a.accesses, b.accesses),
+                hits: sub(a.hits, b.hits),
+                misses: sub(a.misses, b.misses),
+                mshr_merges: sub(a.mshr_merges, b.mshr_merges),
+                prefetches: sub(a.prefetches, b.prefetches),
+                prefetch_hits: sub(a.prefetch_hits, b.prefetch_hits),
+            }
+        }
+        SimStats {
+            cycles: sub(self.cycles, earlier.cycles),
+            committed_uops: sub(self.committed_uops, earlier.committed_uops),
+            committed_loads: sub(self.committed_loads, earlier.committed_loads),
+            unique_issued: sub(self.unique_issued, earlier.unique_issued),
+            issued_total: sub(self.issued_total, earlier.issued_total),
+            replayed_miss: sub(self.replayed_miss, earlier.replayed_miss),
+            replayed_bank: sub(self.replayed_bank, earlier.replayed_bank),
+            replayed_prf: sub(self.replayed_prf, earlier.replayed_prf),
+            replay_events_miss: sub(self.replay_events_miss, earlier.replay_events_miss),
+            replay_events_bank: sub(self.replay_events_bank, earlier.replay_events_bank),
+            replay_events_prf: sub(self.replay_events_prf, earlier.replay_events_prf),
+            wrong_path_issued: sub(self.wrong_path_issued, earlier.wrong_path_issued),
+            cond_branches: sub(self.cond_branches, earlier.cond_branches),
+            cond_mispredicts: sub(self.cond_mispredicts, earlier.cond_mispredicts),
+            target_mispredicts: sub(self.target_mispredicts, earlier.target_mispredicts),
+            l1d: subc(self.l1d, earlier.l1d),
+            l2: subc(self.l2, earlier.l2),
+            bank_delayed_loads: sub(self.bank_delayed_loads, earlier.bank_delayed_loads),
+            bank_delay_cycles: sub(self.bank_delay_cycles, earlier.bank_delay_cycles),
+            loads_merged_into_mshr: sub(self.loads_merged_into_mshr, earlier.loads_merged_into_mshr),
+            dram_row_hits: sub(self.dram_row_hits, earlier.dram_row_hits),
+            dram_row_misses: sub(self.dram_row_misses, earlier.dram_row_misses),
+            loads_spec_woken: sub(self.loads_spec_woken, earlier.loads_spec_woken),
+            loads_conservative: sub(self.loads_conservative, earlier.loads_conservative),
+            filter_sure_hit: sub(self.filter_sure_hit, earlier.filter_sure_hit),
+            filter_sure_miss: sub(self.filter_sure_miss, earlier.filter_sure_miss),
+            filter_unstable: sub(self.filter_unstable, earlier.filter_unstable),
+            crit_predicted_critical: sub(self.crit_predicted_critical, earlier.crit_predicted_critical),
+            crit_predicted_noncritical: sub(
+                self.crit_predicted_noncritical,
+                earlier.crit_predicted_noncritical,
+            ),
+            memdep_violations: sub(self.memdep_violations, earlier.memdep_violations),
+            dispatch_stall_cycles: sub(self.dispatch_stall_cycles, earlier.dispatch_stall_cycles),
+            recovery_buffer_replays: sub(self.recovery_buffer_replays, earlier.recovery_buffer_replays),
+        }
+    }
+
+    /// Issue events per committed µ-op — the pipeline-efficiency metric the
+    /// paper's conclusion quotes ("13.4% decrease in the number of issued
+    /// instructions").
+    pub fn issued_per_committed(&self) -> f64 {
+        if self.committed_uops == 0 {
+            0.0
+        } else {
+            self.issued_total as f64 / self.committed_uops as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate in `[0, 1]`.
+    pub fn branch_mispredict_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.cond_mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Mispredictions per kilo-instruction (committed µ-ops).
+    pub fn branch_mpki(&self) -> f64 {
+        if self.committed_uops == 0 {
+            0.0
+        } else {
+            1000.0 * self.cond_mispredicts as f64 / self.committed_uops as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles                {:>14}", self.cycles)?;
+        writeln!(f, "committed µ-ops       {:>14}", self.committed_uops)?;
+        writeln!(f, "IPC                   {:>14.3}", self.ipc())?;
+        writeln!(f, "unique issued         {:>14}", self.unique_issued)?;
+        writeln!(f, "issued total          {:>14}", self.issued_total)?;
+        writeln!(f, "replayed (L1 miss)    {:>14}", self.replayed_miss)?;
+        writeln!(f, "replayed (bank)       {:>14}", self.replayed_bank)?;
+        writeln!(f, "wrong-path issued     {:>14}", self.wrong_path_issued)?;
+        writeln!(
+            f,
+            "L1D miss ratio        {:>14.4}  ({} / {})",
+            self.l1d.miss_ratio(),
+            self.l1d.misses,
+            self.l1d.accesses
+        )?;
+        writeln!(f, "L2 miss ratio         {:>14.4}", self.l2.miss_ratio())?;
+        writeln!(f, "bank-delayed loads    {:>14}", self.bank_delayed_loads)?;
+        writeln!(f, "branch MPKI           {:>14.2}", self.branch_mpki())?;
+        write!(f, "issued / committed    {:>14.3}", self.issued_per_committed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.issued_per_committed(), 0.0);
+        assert_eq!(s.branch_mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn ipc_computation() {
+        let s = SimStats { cycles: 100, committed_uops: 250, ..Default::default() };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_accounting_by_cause() {
+        let mut s = SimStats::default();
+        s.add_replayed(ReplayCause::L1Miss, 10);
+        s.add_replayed(ReplayCause::BankConflict, 4);
+        s.add_replay_event(ReplayCause::L1Miss);
+        assert_eq!(s.replayed(ReplayCause::L1Miss), 10);
+        assert_eq!(s.replayed(ReplayCause::BankConflict), 4);
+        assert_eq!(s.replayed_total(), 14);
+        assert_eq!(s.replay_events_miss, 1);
+        assert_eq!(s.replay_events_bank, 0);
+    }
+
+    #[test]
+    fn cache_miss_ratio() {
+        let c = CacheStats { accesses: 10, hits: 7, misses: 3, ..Default::default() };
+        assert!((c.miss_ratio() - 0.3).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn mpki() {
+        let s = SimStats {
+            committed_uops: 2000,
+            cond_branches: 100,
+            cond_mispredicts: 10,
+            ..Default::default()
+        };
+        assert!((s.branch_mpki() - 5.0).abs() < 1e-12);
+        assert!((s.branch_mispredict_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let early = SimStats { cycles: 100, committed_uops: 50, replayed_bank: 3, ..Default::default() };
+        let late = SimStats { cycles: 300, committed_uops: 200, replayed_bank: 10, ..Default::default() };
+        let d = late.delta(&early);
+        assert_eq!(d.cycles, 200);
+        assert_eq!(d.committed_uops, 150);
+        assert_eq!(d.replayed_bank, 7);
+        assert!((d.ipc() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = SimStats { cycles: 1, committed_uops: 2, ..Default::default() };
+        let out = format!("{s}");
+        assert!(out.contains("IPC"));
+        assert!(out.contains("replayed (bank)"));
+        assert!(out.contains("issued / committed"));
+    }
+}

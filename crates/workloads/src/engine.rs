@@ -1,0 +1,381 @@
+//! The kernel engine: turns a [`KernelSpec`] into an infinite,
+//! deterministic µ-op trace.
+//!
+//! PC layout for a kernel based at `B` (4-byte instructions):
+//!
+//! ```text
+//! B + 4*i              body op i
+//! B + 4*nb             implicit backward loop branch (target B)
+//! B + 4*(nb+1+j)       epilogue op j
+//! B + 4*(nb+1+ne)      implicit jump back to B (outer loop)
+//! B + 0x4000 + 4*k     callee op k
+//! B + 0x4000 + 4*nc    implicit return
+//! ```
+
+use crate::pattern::PatternState;
+use crate::spec::{BodyOp, BranchBehavior, BranchTarget, KernelSpec, Reg};
+use crate::TraceSource;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ss_isa::{MicroOp, RegRef, INST_BYTES};
+use ss_types::{Addr, ArchReg, BranchKind, Pc};
+
+/// Default code base address for kernels.
+const CODE_BASE: u64 = 0x40_0000;
+/// Callee block offset from the kernel base.
+const CALLEE_OFFSET: u64 = 0x4000;
+/// Spacing between the data regions of distinct address patterns.
+const REGION_SPACING: u64 = 1 << 32;
+/// Base of the data address space.
+const DATA_BASE: u64 = 0x1_0000_0000;
+
+fn map_reg(r: Reg) -> RegRef {
+    match r {
+        Reg::Int(i) => RegRef::int(ArchReg::new(i)),
+        Reg::Fp(i) => RegRef::fp(ArchReg::new(i)),
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Position {
+    Body(usize),
+    Epilogue(usize),
+    Callee { idx: usize, resume: usize },
+}
+
+/// A running kernel trace; implements [`TraceSource`].
+#[derive(Debug, Clone)]
+pub struct KernelTrace {
+    spec: KernelSpec,
+    base: Pc,
+    pos: Position,
+    patterns: Vec<PatternState>,
+    /// Occurrence counters: one per body op (branches use theirs), plus
+    /// one extra for the implicit loop branch.
+    counters: Vec<u64>,
+    rng: SmallRng,
+}
+
+impl KernelTrace {
+    /// Builds the trace engine for a validated spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation.
+    pub fn new(spec: KernelSpec) -> Self {
+        spec.validate().unwrap_or_else(|e| panic!("invalid kernel spec: {e}"));
+        let patterns = spec
+            .patterns
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                PatternState::new(
+                    p,
+                    Addr::new(DATA_BASE + i as u64 * REGION_SPACING),
+                    spec.seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64),
+                )
+            })
+            .collect();
+        let n = spec.body.len() + spec.epilogue.len() + spec.callee.len() + 1;
+        KernelTrace {
+            base: Pc::new(CODE_BASE),
+            patterns,
+            counters: vec![0; n],
+            rng: SmallRng::seed_from_u64(spec.seed),
+            pos: Position::Body(0),
+            spec,
+        }
+    }
+
+    /// The kernel spec this trace runs.
+    pub fn spec(&self) -> &KernelSpec {
+        &self.spec
+    }
+
+    fn body_pc(&self, i: usize) -> Pc {
+        self.base.step(i as u64 * INST_BYTES)
+    }
+
+    fn loop_branch_pc(&self) -> Pc {
+        self.body_pc(self.spec.body.len())
+    }
+
+    fn epilogue_pc(&self, j: usize) -> Pc {
+        self.body_pc(self.spec.body.len() + 1 + j)
+    }
+
+    fn outer_jump_pc(&self) -> Pc {
+        self.epilogue_pc(self.spec.epilogue.len())
+    }
+
+    fn callee_pc(&self, k: usize) -> Pc {
+        Pc::new(self.base.get() + CALLEE_OFFSET + k as u64 * INST_BYTES)
+    }
+
+    /// Decides the outcome of a branch given its behaviour and occurrence
+    /// counter.
+    fn outcome(&mut self, behavior: BranchBehavior, counter_idx: usize) -> bool {
+        let count = self.counters[counter_idx];
+        self.counters[counter_idx] += 1;
+        match behavior {
+            BranchBehavior::TakenEvery { period } => (count % period as u64) != (period as u64 - 1),
+            BranchBehavior::Bernoulli { taken_pct } => self.rng.gen_range(0..100u8) < taken_pct,
+            BranchBehavior::Pattern { bits, len } => (bits >> (count % len as u64)) & 1 == 1,
+        }
+    }
+
+    /// Materializes a DSL op at `pc` and computes the next position.
+    fn emit(&mut self, op: BodyOp, pc: Pc, pos: Position) -> (MicroOp, Position) {
+        let advance = |p: Position| -> Position {
+            match p {
+                Position::Body(i) => Position::Body(i + 1), // body end handled by caller
+                Position::Epilogue(j) => Position::Epilogue(j + 1),
+                Position::Callee { idx, resume } => Position::Callee { idx: idx + 1, resume },
+            }
+        };
+        match op {
+            BodyOp::Compute { class, dst, src1, src2 } => (
+                MicroOp::compute(pc, class, map_reg(dst), map_reg(src1), src2.map(map_reg)),
+                advance(pos),
+            ),
+            BodyOp::Load { dst, addr_reg, pattern } => {
+                let addr = self.patterns[pattern].next_addr();
+                (MicroOp::load(pc, map_reg(dst), map_reg(addr_reg), addr), advance(pos))
+            }
+            BodyOp::Store { addr_reg, data_reg, pattern } => {
+                let addr = self.patterns[pattern].next_addr();
+                (MicroOp::store(pc, map_reg(addr_reg), map_reg(data_reg), addr), advance(pos))
+            }
+            BodyOp::StoreLast { addr_reg, data_reg, pattern } => {
+                let addr = self.patterns[pattern].last_addr();
+                (MicroOp::store(pc, map_reg(addr_reg), map_reg(data_reg), addr), advance(pos))
+            }
+            BodyOp::LoadLast { dst, addr_reg, pattern } => {
+                let addr = self.patterns[pattern].last_addr();
+                (MicroOp::load(pc, map_reg(dst), map_reg(addr_reg), addr), advance(pos))
+            }
+            BodyOp::Branch { behavior, target, cond } => {
+                let counter_idx = match pos {
+                    Position::Body(i) => i,
+                    Position::Epilogue(j) => self.spec.body.len() + j,
+                    Position::Callee { idx, .. } => {
+                        self.spec.body.len() + self.spec.epilogue.len() + idx
+                    }
+                };
+                let taken = self.outcome(behavior, counter_idx);
+                let BranchTarget::SkipNext(n) = target;
+                let target_pc = pc.step((1 + n as u64) * INST_BYTES);
+                let next = if taken {
+                    match pos {
+                        Position::Body(i) => Position::Body(i + 1 + n as usize),
+                        Position::Epilogue(j) => Position::Epilogue(j + 1 + n as usize),
+                        Position::Callee { idx, resume } => {
+                            Position::Callee { idx: idx + 1 + n as usize, resume }
+                        }
+                    }
+                } else {
+                    advance(pos)
+                };
+                (MicroOp::cond_branch(pc, map_reg(cond), taken, target_pc), next)
+            }
+            BodyOp::Call => {
+                let resume = match pos {
+                    Position::Body(i) => i + 1,
+                    _ => unreachable!("validated: calls only appear in the body"),
+                };
+                (
+                    MicroOp::jump(pc, BranchKind::Call, self.callee_pc(0), None),
+                    Position::Callee { idx: 0, resume },
+                )
+            }
+        }
+    }
+}
+
+impl TraceSource for KernelTrace {
+    fn next_uop(&mut self) -> MicroOp {
+        let pos = self.pos;
+        let (uop, next) = match pos {
+            Position::Body(i) if i < self.spec.body.len() => {
+                let op = self.spec.body[i];
+                let pc = self.body_pc(i);
+                self.emit(op, pc, pos)
+            }
+            Position::Body(_) => {
+                // Implicit backward loop branch.
+                let counter_idx = self.counters.len() - 1;
+                let taken = self.outcome(self.spec.loop_behavior, counter_idx);
+                let pc = self.loop_branch_pc();
+                let uop = MicroOp::cond_branch(pc, map_reg(self.spec.loop_cond), taken, self.base);
+                let next = if taken { Position::Body(0) } else { Position::Epilogue(0) };
+                (uop, next)
+            }
+            Position::Epilogue(j) if j < self.spec.epilogue.len() => {
+                let op = self.spec.epilogue[j];
+                let pc = self.epilogue_pc(j);
+                self.emit(op, pc, pos)
+            }
+            Position::Epilogue(_) => {
+                // Implicit jump back to the loop top (outer loop).
+                let uop =
+                    MicroOp::jump(self.outer_jump_pc(), BranchKind::Direct, self.base, None);
+                (uop, Position::Body(0))
+            }
+            Position::Callee { idx, resume: _ } if idx < self.spec.callee.len() => {
+                let op = self.spec.callee[idx];
+                let pc = self.callee_pc(idx);
+                self.emit(op, pc, pos)
+            }
+            Position::Callee { resume, .. } => {
+                let ret_target = self.body_pc(resume);
+                let uop = MicroOp::jump(
+                    self.callee_pc(self.spec.callee.len()),
+                    BranchKind::Return,
+                    ret_target,
+                    None,
+                );
+                (uop, Position::Body(resume))
+            }
+        };
+        debug_assert!(uop.validate().is_ok(), "engine emitted invalid µ-op {uop}");
+        self.pos = next;
+        uop
+    }
+
+    fn name(&self) -> &str {
+        self.spec.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::AddrPattern;
+    use crate::spec::{ri, BranchBehavior};
+    use ss_types::OpClass;
+
+    fn simple_spec() -> KernelSpec {
+        let mut s = KernelSpec::new(
+            "simple",
+            vec![
+                BodyOp::Load { dst: ri(1), addr_reg: ri(2), pattern: 0 },
+                BodyOp::Compute { class: OpClass::IntAlu, dst: ri(3), src1: ri(1), src2: None },
+            ],
+        );
+        s.patterns = vec![AddrPattern::stream(1 << 12)];
+        s.loop_behavior = BranchBehavior::TakenEvery { period: 4 };
+        s
+    }
+
+    #[test]
+    fn trace_repeats_body_with_loop_branch() {
+        let mut t = simple_spec().into_source();
+        // body(2) + loop branch = 3 ops per iteration
+        let ops: Vec<MicroOp> = (0..12).map(|_| t.next_uop()).collect();
+        assert!(ops[0].class.is_load());
+        assert_eq!(ops[1].class, OpClass::IntAlu);
+        assert!(ops[2].class.is_branch());
+        assert_eq!(ops[0].pc, ops[3].pc, "second iteration restarts at the body top");
+        // loop branch taken 3 of 4 times
+        let takens: Vec<bool> =
+            ops.iter().filter(|o| o.class.is_branch()).map(|o| o.branch.unwrap().taken).collect();
+        assert_eq!(takens, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn loop_exit_runs_epilogue_then_jumps_back() {
+        let mut s = simple_spec();
+        s.loop_behavior = BranchBehavior::TakenEvery { period: 2 };
+        s.epilogue =
+            vec![BodyOp::Compute { class: OpClass::IntAlu, dst: ri(4), src1: ri(4), src2: None }];
+        let mut t = s.into_source();
+        // iter1 (3 ops, taken), iter2 (3 ops, not taken), epilogue(1), jump(1)
+        let ops: Vec<MicroOp> = (0..9).map(|_| t.next_uop()).collect();
+        assert!(!ops[5].branch.unwrap().taken, "second loop branch exits");
+        assert_eq!(ops[6].class, OpClass::IntAlu); // epilogue
+        assert_eq!(ops[7].class, OpClass::Branch(BranchKind::Direct));
+        assert_eq!(ops[7].branch.unwrap().target, ops[0].pc);
+        assert_eq!(ops[8].pc, ops[0].pc, "control returns to the body");
+    }
+
+    #[test]
+    fn call_enters_callee_and_returns() {
+        let mut s = simple_spec();
+        s.body.push(BodyOp::Call);
+        s.callee =
+            vec![BodyOp::Compute { class: OpClass::IntAlu, dst: ri(5), src1: ri(5), src2: None }];
+        let mut t = s.into_source();
+        let ops: Vec<MicroOp> = (0..6).map(|_| t.next_uop()).collect();
+        assert_eq!(ops[2].class, OpClass::Branch(BranchKind::Call));
+        assert_eq!(ops[3].pc, Pc::new(CODE_BASE + CALLEE_OFFSET));
+        assert_eq!(ops[4].class, OpClass::Branch(BranchKind::Return));
+        // return target = op after the call = implicit loop branch
+        assert_eq!(ops[4].branch.unwrap().target, ops[5].pc);
+        assert!(ops[5].class.is_branch());
+    }
+
+    #[test]
+    fn forward_skip_branch_skips_ops() {
+        let mut s = simple_spec();
+        s.body = vec![
+            BodyOp::Branch {
+                behavior: BranchBehavior::Pattern { bits: 0b01, len: 2 },
+                target: BranchTarget::SkipNext(1),
+                cond: ri(1),
+            },
+            BodyOp::Compute { class: OpClass::IntAlu, dst: ri(3), src1: ri(3), src2: None },
+        ];
+        let mut t = s.into_source();
+        // occurrence 0: bit0 = 1 → taken → skip the ALU
+        let b0 = t.next_uop();
+        assert!(b0.branch.unwrap().taken);
+        let after = t.next_uop();
+        assert!(after.class.is_branch(), "skipped straight to the loop branch");
+        // occurrence 1: bit1 = 0 → not taken → ALU executes
+        let b1 = t.next_uop();
+        assert!(!b1.branch.unwrap().taken);
+        assert_eq!(t.next_uop().class, OpClass::IntAlu);
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let mut a = simple_spec().into_source();
+        let mut b = simple_spec().into_source();
+        for _ in 0..500 {
+            assert_eq!(a.next_uop(), b.next_uop());
+        }
+    }
+
+    #[test]
+    fn all_uops_validate_for_a_long_run() {
+        let mut s = simple_spec();
+        s.body.push(BodyOp::Branch {
+            behavior: BranchBehavior::Bernoulli { taken_pct: 30 },
+            target: BranchTarget::SkipNext(0),
+            cond: ri(3),
+        });
+        s.body.push(BodyOp::Store { addr_reg: ri(2), data_reg: ri(3), pattern: 0 });
+        let mut t = s.into_source();
+        for _ in 0..10_000 {
+            let op = t.next_uop();
+            op.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn successive_pcs_are_consistent() {
+        // Every non-branch µ-op must be followed by the µ-op at its
+        // fall-through PC; every taken branch by its target.
+        let mut t = simple_spec().into_source();
+        let mut prev = t.next_uop();
+        for _ in 0..2000 {
+            let cur = t.next_uop();
+            assert_eq!(
+                cur.pc,
+                prev.successor_pc(),
+                "control-flow discontinuity after {prev}"
+            );
+            prev = cur;
+        }
+    }
+}

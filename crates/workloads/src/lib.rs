@@ -1,0 +1,55 @@
+//! Synthetic workload substrate — the repository's substitute for the
+//! paper's SPEC CPU2000/2006 SimPoint slices.
+//!
+//! SPEC binaries and reference inputs cannot be redistributed or executed
+//! here, so each benchmark is replaced by a *synthetic kernel* engineered
+//! to land in the same microarchitectural regime along the four axes that
+//! drive the paper's results:
+//!
+//! 1. **L1D miss rate** (footprint and access pattern),
+//! 2. **ILP / achievable IPC** (dependency-chain shape),
+//! 3. **L1D bank-conflict incidence** (same-cycle same-bank load pairs),
+//! 4. **branch-misprediction rate** (branch behaviour models).
+//!
+//! The mapping from paper benchmark to kernel is documented on each kernel
+//! constructor in [`kernels`].
+//!
+//! # Example
+//!
+//! ```
+//! use ss_workloads::{kernels, TraceSource};
+//!
+//! let mut trace = kernels::ptr_chase_big(7).into_source();
+//! let op = trace.next_uop();
+//! op.validate().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod kernels;
+pub mod pattern;
+pub mod spec;
+pub mod wrongpath;
+
+pub use engine::KernelTrace;
+pub use kernels::{all_benchmarks, benchmark, benchmark_names, Benchmark, BENCHMARKS};
+pub use pattern::AddrPattern;
+pub use spec::{BodyOp, BranchBehavior, KernelSpec, Reg};
+pub use wrongpath::WrongPathGen;
+
+use ss_isa::MicroOp;
+
+/// An infinite, deterministic stream of dynamic µ-ops.
+///
+/// The pipeline pulls one µ-op at a time; traces never end (runs are
+/// bounded by committed-µ-op budgets instead), which keeps end-of-trace
+/// draining logic out of the timing model.
+pub trait TraceSource {
+    /// Produces the next correct-path µ-op.
+    fn next_uop(&mut self) -> MicroOp;
+
+    /// Human-readable workload name.
+    fn name(&self) -> &str;
+}

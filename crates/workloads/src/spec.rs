@@ -1,0 +1,363 @@
+//! The kernel DSL: a declarative description of a loop nest from which the
+//! engine ([`crate::engine::KernelTrace`]) emits an infinite µ-op trace.
+//!
+//! A kernel is a loop **body** (a straight-line sequence of [`BodyOp`]s
+//! ending in an implicit backward loop branch), an optional **epilogue**
+//! executed on loop exit before jumping back to the top (modelling an
+//! outer loop), and an optional **callee** invoked by [`BodyOp::Call`].
+
+use crate::pattern::AddrPattern;
+use ss_types::OpClass;
+
+/// An abstract register in the kernel DSL, mapped 1:1 onto architectural
+/// registers by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reg {
+    /// Integer register `0..32`.
+    Int(u8),
+    /// Floating-point register `0..32`.
+    Fp(u8),
+}
+
+/// Shorthand for an integer register.
+pub const fn ri(n: u8) -> Reg {
+    Reg::Int(n)
+}
+
+/// Shorthand for a floating-point register.
+pub const fn rf(n: u8) -> Reg {
+    Reg::Fp(n)
+}
+
+/// Direction behaviour of a conditional branch in the DSL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchBehavior {
+    /// Taken `period − 1` times out of every `period` (classic loop
+    /// branch; highly predictable once the predictor warms).
+    TakenEvery {
+        /// Loop trip count; must be ≥ 2.
+        period: u32,
+    },
+    /// Taken with the given probability, independently per instance
+    /// (unpredictable beyond the bias; mispredict rate ≈ `min(p, 1−p)`).
+    Bernoulli {
+        /// Percentage (0–100) of taken outcomes.
+        taken_pct: u8,
+    },
+    /// A fixed repeating outcome pattern (LSB first); history predictors
+    /// learn it perfectly.
+    Pattern {
+        /// Outcome bits, bit i = outcome of occurrence `i mod len`.
+        bits: u32,
+        /// Pattern length in bits (1–32).
+        len: u8,
+    },
+}
+
+/// Where a conditional branch in the body goes when taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchTarget {
+    /// Skip the next `n` body ops (forward if-skip).
+    SkipNext(u8),
+}
+
+/// One static µ-op template in a kernel body, epilogue, or callee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BodyOp {
+    /// A register-to-register compute µ-op.
+    Compute {
+        /// Execution class (must not be a load/store/branch).
+        class: OpClass,
+        /// Destination register.
+        dst: Reg,
+        /// First source.
+        src1: Reg,
+        /// Optional second source.
+        src2: Option<Reg>,
+    },
+    /// A load whose address sequence comes from `pattern`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the address (the dependence carrier).
+        addr_reg: Reg,
+        /// Index into [`KernelSpec::patterns`].
+        pattern: usize,
+    },
+    /// A store whose address sequence comes from `pattern`.
+    Store {
+        /// Register holding the address.
+        addr_reg: Reg,
+        /// Register holding the data.
+        data_reg: Reg,
+        /// Index into [`KernelSpec::patterns`].
+        pattern: usize,
+    },
+    /// A store to the address *most recently produced* by `pattern`
+    /// (read-after-write aliasing with the preceding access — the memory
+    /// dependence the Store Sets predictor exists for).
+    StoreLast {
+        /// Register holding the address.
+        addr_reg: Reg,
+        /// Register holding the data.
+        data_reg: Reg,
+        /// Index into [`KernelSpec::patterns`].
+        pattern: usize,
+    },
+    /// A load from the address most recently produced by `pattern`.
+    LoadLast {
+        /// Destination register.
+        dst: Reg,
+        /// Register holding the address.
+        addr_reg: Reg,
+        /// Index into [`KernelSpec::patterns`].
+        pattern: usize,
+    },
+    /// A forward conditional branch.
+    Branch {
+        /// Direction behaviour.
+        behavior: BranchBehavior,
+        /// Taken target.
+        target: BranchTarget,
+        /// Condition register (timing dependence of the branch).
+        cond: Reg,
+    },
+    /// A call to the kernel's callee block (one level deep).
+    Call,
+}
+
+/// A complete kernel description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpec {
+    /// Kernel name (also the benchmark name in tables).
+    pub name: &'static str,
+    /// Address patterns referenced by loads/stores.
+    pub patterns: Vec<AddrPattern>,
+    /// Loop body; an implicit backward branch with `loop_behavior` is
+    /// appended by the engine.
+    pub body: Vec<BodyOp>,
+    /// Behaviour of the implicit loop-back branch.
+    pub loop_behavior: BranchBehavior,
+    /// Condition register of the loop-back branch.
+    pub loop_cond: Reg,
+    /// Ops executed on loop exit, before the implicit jump back to the
+    /// body (models the outer loop).
+    pub epilogue: Vec<BodyOp>,
+    /// Callee block for [`BodyOp::Call`]; an implicit return is appended.
+    pub callee: Vec<BodyOp>,
+    /// RNG seed for address patterns and Bernoulli branches.
+    pub seed: u64,
+}
+
+impl KernelSpec {
+    /// A minimal spec with the given name and body; customize fields after.
+    pub fn new(name: &'static str, body: Vec<BodyOp>) -> Self {
+        KernelSpec {
+            name,
+            patterns: Vec::new(),
+            body,
+            loop_behavior: BranchBehavior::TakenEvery { period: 64 },
+            loop_cond: ri(0),
+            epilogue: Vec::new(),
+            callee: Vec::new(),
+            seed: 1,
+        }
+    }
+
+    /// Checks structural invariants of the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found: empty body,
+    /// out-of-range pattern index, a skip running past the end of the
+    /// body, a `Call` without a callee or inside the callee, registers out
+    /// of range, or invalid branch behaviour parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.body.is_empty() {
+            return Err(format!("{}: body must not be empty", self.name));
+        }
+        for p in &self.patterns {
+            p.validate();
+        }
+        self.validate_behavior(self.loop_behavior)?;
+        self.validate_block(&self.body, "body", true)?;
+        self.validate_block(&self.epilogue, "epilogue", true)?;
+        self.validate_block(&self.callee, "callee", false)?;
+        Ok(())
+    }
+
+    fn validate_behavior(&self, b: BranchBehavior) -> Result<(), String> {
+        match b {
+            BranchBehavior::TakenEvery { period } if period < 2 => {
+                Err(format!("{}: loop period must be >= 2", self.name))
+            }
+            BranchBehavior::Bernoulli { taken_pct } if taken_pct > 100 => {
+                Err(format!("{}: taken_pct must be <= 100", self.name))
+            }
+            BranchBehavior::Pattern { len, .. } if len == 0 || len > 32 => {
+                Err(format!("{}: pattern length must be in 1..=32", self.name))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn validate_block(&self, block: &[BodyOp], what: &str, calls_ok: bool) -> Result<(), String> {
+        let check_reg = |r: Reg| -> Result<(), String> {
+            let idx = match r {
+                Reg::Int(i) | Reg::Fp(i) => i,
+            };
+            if idx >= 32 {
+                return Err(format!("{}: register index {idx} out of range", self.name));
+            }
+            Ok(())
+        };
+        for (i, op) in block.iter().enumerate() {
+            match *op {
+                BodyOp::Compute { class, dst, src1, src2 } => {
+                    if class.is_mem() || class.is_branch() {
+                        return Err(format!("{}: {what}[{i}] compute has class {class}", self.name));
+                    }
+                    check_reg(dst)?;
+                    check_reg(src1)?;
+                    if let Some(s) = src2 {
+                        check_reg(s)?;
+                    }
+                }
+                BodyOp::Load { dst, addr_reg, pattern } => {
+                    check_reg(dst)?;
+                    check_reg(addr_reg)?;
+                    if pattern >= self.patterns.len() {
+                        return Err(format!("{}: {what}[{i}] pattern {pattern} out of range", self.name));
+                    }
+                }
+                BodyOp::Store { addr_reg, data_reg, pattern }
+                | BodyOp::StoreLast { addr_reg, data_reg, pattern } => {
+                    check_reg(addr_reg)?;
+                    check_reg(data_reg)?;
+                    if pattern >= self.patterns.len() {
+                        return Err(format!("{}: {what}[{i}] pattern {pattern} out of range", self.name));
+                    }
+                }
+                BodyOp::LoadLast { dst, addr_reg, pattern } => {
+                    check_reg(dst)?;
+                    check_reg(addr_reg)?;
+                    if pattern >= self.patterns.len() {
+                        return Err(format!("{}: {what}[{i}] pattern {pattern} out of range", self.name));
+                    }
+                }
+                BodyOp::Branch { behavior, target, cond } => {
+                    self.validate_behavior(behavior)?;
+                    check_reg(cond)?;
+                    let BranchTarget::SkipNext(n) = target;
+                    if i + 1 + n as usize > block.len() {
+                        return Err(format!(
+                            "{}: {what}[{i}] skips {n} ops past the end of the block",
+                            self.name
+                        ));
+                    }
+                }
+                BodyOp::Call => {
+                    if !calls_ok {
+                        return Err(format!("{}: nested calls are not supported", self.name));
+                    }
+                    if self.callee.is_empty() {
+                        return Err(format!("{}: Call used but callee is empty", self.name));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts the spec into a running trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`KernelSpec::validate`].
+    pub fn into_source(self) -> crate::engine::KernelTrace {
+        crate::engine::KernelTrace::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_types::OpClass;
+
+    fn ok_spec() -> KernelSpec {
+        let mut s = KernelSpec::new(
+            "t",
+            vec![
+                BodyOp::Load { dst: ri(1), addr_reg: ri(2), pattern: 0 },
+                BodyOp::Compute { class: OpClass::IntAlu, dst: ri(3), src1: ri(1), src2: None },
+            ],
+        );
+        s.patterns = vec![AddrPattern::stream(1 << 16)];
+        s
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        ok_spec().validate().unwrap();
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let s = KernelSpec::new("t", vec![]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn pattern_out_of_range_rejected() {
+        let mut s = ok_spec();
+        s.body.push(BodyOp::Load { dst: ri(1), addr_reg: ri(1), pattern: 9 });
+        assert!(s.validate().unwrap_err().contains("pattern 9"));
+    }
+
+    #[test]
+    fn skip_past_end_rejected() {
+        let mut s = ok_spec();
+        s.body.push(BodyOp::Branch {
+            behavior: BranchBehavior::Bernoulli { taken_pct: 50 },
+            target: BranchTarget::SkipNext(5),
+            cond: ri(1),
+        });
+        assert!(s.validate().unwrap_err().contains("past the end"));
+    }
+
+    #[test]
+    fn call_without_callee_rejected() {
+        let mut s = ok_spec();
+        s.body.push(BodyOp::Call);
+        assert!(s.validate().unwrap_err().contains("callee is empty"));
+    }
+
+    #[test]
+    fn call_inside_callee_rejected() {
+        let mut s = ok_spec();
+        s.callee = vec![BodyOp::Call];
+        s.body.push(BodyOp::Call);
+        assert!(s.validate().unwrap_err().contains("nested"));
+    }
+
+    #[test]
+    fn compute_with_mem_class_rejected() {
+        let mut s = ok_spec();
+        s.body.push(BodyOp::Compute { class: OpClass::Load, dst: ri(1), src1: ri(1), src2: None });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn register_out_of_range_rejected() {
+        let mut s = ok_spec();
+        s.body.push(BodyOp::Compute { class: OpClass::IntAlu, dst: ri(32), src1: ri(1), src2: None });
+        assert!(s.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn bad_loop_period_rejected() {
+        let mut s = ok_spec();
+        s.loop_behavior = BranchBehavior::TakenEvery { period: 1 };
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Regime tests for the benchmark suite: each kernel must land in the
+//! workload region it substitutes for, measured at the *trace* level
+//! (op-class mix, footprint, branch behaviour) independent of any timing
+//! model.
+
+use ss_workloads::{benchmark, BENCHMARKS, TraceSource};
+use std::collections::HashSet;
+
+struct Mix {
+    loads: f64,
+    stores: f64,
+    branches: f64,
+    taken_branches: u64,
+    distinct_lines: usize,
+    distinct_pcs: usize,
+}
+
+fn characterize(name: &str, n: usize) -> Mix {
+    let mut t = (benchmark(name).expect("known benchmark").build)(7).into_source();
+    let (mut loads, mut stores, mut branches, mut taken) = (0u64, 0u64, 0u64, 0u64);
+    let mut lines = HashSet::new();
+    let mut pcs = HashSet::new();
+    for _ in 0..n {
+        let op = t.next_uop();
+        pcs.insert(op.pc);
+        if op.class.is_load() {
+            loads += 1;
+        }
+        if op.class.is_store() {
+            stores += 1;
+        }
+        if op.class.is_branch() {
+            branches += 1;
+            if op.branch.unwrap().taken {
+                taken += 1;
+            }
+        }
+        if let Some(a) = op.mem_addr() {
+            lines.insert(a.line(64));
+        }
+    }
+    Mix {
+        loads: loads as f64 / n as f64,
+        stores: stores as f64 / n as f64,
+        branches: branches as f64 / n as f64,
+        taken_branches: taken,
+        distinct_lines: lines.len(),
+        distinct_pcs: pcs.len(),
+    }
+}
+
+const N: usize = 40_000;
+
+#[test]
+fn every_kernel_has_sane_op_mix() {
+    for b in &BENCHMARKS {
+        let m = characterize(b.name, N);
+        assert!(m.loads > 0.05, "{}: too few loads ({:.3})", b.name, m.loads);
+        assert!(m.loads < 0.55, "{}: too many loads ({:.3})", b.name, m.loads);
+        assert!(m.branches > 0.001, "{}: no branches", b.name);
+        assert!(m.taken_branches > 0, "{}: no taken branches", b.name);
+        assert!(m.distinct_pcs < 64, "{}: code footprint should be loop-sized", b.name);
+    }
+}
+
+#[test]
+fn footprint_regimes_are_distinct() {
+    // L1-resident kernels touch few distinct lines; DRAM-resident ones
+    // touch many.
+    let resident = characterize("crafty_like", N);
+    assert!(
+        resident.distinct_lines < 1_000,
+        "crafty must be L1-resident: {} lines",
+        resident.distinct_lines
+    );
+    let streaming = characterize("stream_all_miss", N);
+    assert!(
+        streaming.distinct_lines > 5_000,
+        "the stream must open a new line nearly every access: {} lines",
+        streaming.distinct_lines
+    );
+    let chase = characterize("ptr_chase_big", N);
+    assert!(
+        chase.distinct_lines > 5_000,
+        "the chase must wander a huge footprint: {} lines",
+        chase.distinct_lines
+    );
+}
+
+#[test]
+fn store_kernels_actually_store() {
+    for name in ["store_stream", "rmw_hazard", "stream_all_miss"] {
+        let m = characterize(name, N);
+        assert!(m.stores > 0.05, "{name}: stores expected ({:.3})", m.stores);
+    }
+}
+
+#[test]
+fn branchy_kernel_is_branchiest() {
+    let branchy = characterize("branchy_int", N);
+    let compute = characterize("fp_compute", N);
+    assert!(
+        branchy.branches > 2.0 * compute.branches,
+        "branchy_int ({:.3}) must out-branch fp_compute ({:.3})",
+        branchy.branches,
+        compute.branches
+    );
+}
+
+#[test]
+fn suite_covers_both_register_files() {
+    let mut int_dst = false;
+    let mut fp_dst = false;
+    for b in &BENCHMARKS {
+        let mut t = (b.build)(1).into_source();
+        for _ in 0..200 {
+            if let Some(d) = t.next_uop().dst {
+                match d.class {
+                    ss_types::RegClass::Int => int_dst = true,
+                    ss_types::RegClass::Float => fp_dst = true,
+                }
+            }
+        }
+    }
+    assert!(int_dst && fp_dst, "suite must exercise INT and FP renaming");
+}
+
+#[test]
+fn seeds_change_stochastic_kernels_only_stochastically() {
+    // Same seed → identical; the op-class MIX stays stable across seeds
+    // (regimes are seed-independent).
+    let a = characterize("rand_medium", N);
+    let mut t2 = (benchmark("rand_medium").unwrap().build)(99).into_source();
+    let mut loads2 = 0u64;
+    for _ in 0..N {
+        if t2.next_uop().class.is_load() {
+            loads2 += 1;
+        }
+    }
+    let loads2 = loads2 as f64 / N as f64;
+    assert!((a.loads - loads2).abs() < 0.02, "mix must be seed-stable");
+}

@@ -1,0 +1,64 @@
+//! Build your own benchmark with the kernel DSL and sweep the
+//! issue-to-execute delay on it.
+//!
+//! The kernel below is a bank-conflicting variant of a dot product: two
+//! lock-step streams whose phases differ by 512 bytes land in the same
+//! L1D bank every iteration.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use speculative_scheduling::core::{run_kernel, RunLength};
+use speculative_scheduling::prelude::*;
+use speculative_scheduling::workloads::spec::{rf, ri, BodyOp, BranchBehavior, KernelSpec};
+use speculative_scheduling::workloads::AddrPattern;
+
+fn dot_product_conflicting(seed: u64) -> KernelSpec {
+    let mut s = KernelSpec::new(
+        "dot_conflict",
+        vec![
+            // i += step
+            BodyOp::Compute { class: OpClass::IntAlu, dst: ri(2), src1: ri(2), src2: Some(ri(9)) },
+            // a = x[i]; b = y[i]  (same bank, different set)
+            BodyOp::Load { dst: rf(1), addr_reg: ri(2), pattern: 0 },
+            BodyOp::Load { dst: rf(2), addr_reg: ri(2), pattern: 1 },
+            // acc += a * b
+            BodyOp::Compute { class: OpClass::FpMul, dst: rf(3), src1: rf(1), src2: Some(rf(2)) },
+            BodyOp::Compute { class: OpClass::FpAlu, dst: rf(4), src1: rf(4), src2: Some(rf(3)) },
+        ],
+    );
+    s.patterns = vec![
+        AddrPattern::Stride { stride: 8, footprint: 8 << 10, phase: 0 },
+        AddrPattern::Stride { stride: 8, footprint: 8 << 10, phase: 512 },
+    ];
+    s.loop_behavior = BranchBehavior::TakenEvery { period: 128 };
+    s.seed = seed;
+    s
+}
+
+fn main() {
+    println!("{:>6} {:>12} {:>12} {:>12}", "delay", "IPC", "IPC+shift", "RpldBank");
+    for delay in [0u64, 2, 4, 6] {
+        let base = SimConfig::builder()
+            .issue_to_execute_delay(delay)
+            .sched_policy(SchedPolicyKind::AlwaysHit)
+            .banked_l1d(true)
+            .build();
+        let shifted = SimConfig::builder()
+            .issue_to_execute_delay(delay)
+            .sched_policy(SchedPolicyKind::AlwaysHit)
+            .banked_l1d(true)
+            .schedule_shifting(true)
+            .build();
+        let s0 = run_kernel(base, dot_product_conflicting(1), RunLength::SMOKE);
+        let s1 = run_kernel(shifted, dot_product_conflicting(1), RunLength::SMOKE);
+        println!("{:>6} {:>12.3} {:>12.3} {:>12}", delay, s0.ipc(), s1.ipc(), s0.replayed_bank);
+    }
+    println!();
+    println!(
+        "At delay 0 a bank conflict costs one cycle and no replay; as the\n\
+         issue-to-execute delay grows, every conflict squashes the whole\n\
+         in-flight window — unless Schedule Shifting absorbs it."
+    );
+}

@@ -1,0 +1,48 @@
+//! The motivation for speculative scheduling (paper Figures 1–3): as the
+//! distance between Issue and Execute grows, stalling load dependents
+//! until the hit/miss signal costs `delay` extra cycles per load-use —
+//! fatal for pointer-chasing code — while speculative scheduling keeps
+//! the load-to-use latency flat.
+//!
+//! ```text
+//! cargo run --release --example delay_sweep
+//! ```
+
+use speculative_scheduling::core::{run_kernel, RunLength};
+use speculative_scheduling::prelude::*;
+use speculative_scheduling::workloads::kernels;
+
+fn main() {
+    println!("list_walk: an L1-resident linked-list traversal (load-to-use critical)");
+    println!(
+        "{:>6} {:>16} {:>16} {:>10}",
+        "delay", "conservative IPC", "speculative IPC", "replays"
+    );
+    for delay in [0u64, 2, 4, 6] {
+        let conservative = SimConfig::builder()
+            .issue_to_execute_delay(delay)
+            .sched_policy(SchedPolicyKind::Conservative)
+            .banked_l1d(false)
+            .build();
+        let speculative = SimConfig::builder()
+            .issue_to_execute_delay(delay)
+            .sched_policy(SchedPolicyKind::AlwaysHit)
+            .banked_l1d(false)
+            .build();
+        let c = run_kernel(conservative, kernels::list_walk(1), RunLength::SMOKE);
+        let s = run_kernel(speculative, kernels::list_walk(1), RunLength::SMOKE);
+        println!(
+            "{:>6} {:>16.3} {:>16.3} {:>10}",
+            delay,
+            c.ipc(),
+            s.ipc(),
+            s.replayed_total()
+        );
+    }
+    println!();
+    println!(
+        "Conservative scheduling pays `delay` extra cycles per list link\n\
+         (4-cycle load-to-use becomes 4+delay); speculative scheduling stays\n\
+         flat and, since the list is L1-resident, pays ~no replays for it."
+    );
+}

@@ -1,0 +1,56 @@
+//! Schedule Shifting (paper §5.1): always wake the dependents of the
+//! *second* load of an issue group one cycle late, so an L1D bank
+//! conflict between the two loads no longer forces a replay.
+//!
+//! This example runs the bank-conflict-heavy kernels with and without
+//! Schedule Shifting and prints the recovered performance and the
+//! vanished `RpldBank` µ-ops.
+//!
+//! ```text
+//! cargo run --release --example schedule_shifting
+//! ```
+
+use speculative_scheduling::core::{run_kernel, RunLength};
+use speculative_scheduling::prelude::*;
+use speculative_scheduling::workloads::kernels;
+
+fn machine(shifting: bool) -> SimConfig {
+    SimConfig::builder()
+        .issue_to_execute_delay(4)
+        .sched_policy(SchedPolicyKind::AlwaysHit)
+        .banked_l1d(true)
+        .schedule_shifting(shifting)
+        .build()
+}
+
+fn main() {
+    let kernels: [(&str, fn(u64) -> speculative_scheduling::workloads::KernelSpec); 4] = [
+        ("crafty_like", kernels::crafty_like),
+        ("hash_probe", kernels::hash_probe),
+        ("stencil_conflict", kernels::stencil_conflict),
+        ("matrix_fp", kernels::matrix_fp),
+    ];
+    println!(
+        "{:18} {:>9} {:>9} {:>9} {:>12} {:>12}",
+        "kernel", "IPC base", "IPC shift", "speedup", "RpldBank", "RpldBank'"
+    );
+    for (name, k) in kernels {
+        let base = run_kernel(machine(false), k(7), RunLength::SMOKE);
+        let shift = run_kernel(machine(true), k(7), RunLength::SMOKE);
+        println!(
+            "{:18} {:>9.3} {:>9.3} {:>8.1}% {:>12} {:>12}",
+            name,
+            base.ipc(),
+            shift.ipc(),
+            (shift.ipc() / base.ipc() - 1.0) * 100.0,
+            base.replayed_bank,
+            shift.replayed_bank,
+        );
+    }
+    println!();
+    println!(
+        "The paper reports a 74.8% average reduction in bank-conflict replays\n\
+         and +2.9% performance; on these conflict-dominated kernels the effect\n\
+         is far larger because the synthetic load pairs conflict every iteration."
+    );
+}

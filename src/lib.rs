@@ -1,0 +1,37 @@
+//! Facade crate for the speculative-scheduling simulator workspace.
+//!
+//! A from-scratch Rust reproduction of Perais et al., *Cost-Effective
+//! Speculative Scheduling in High Performance Processors* (ISCA 2015).
+//! This crate re-exports the workspace's public API so downstream users and
+//! the examples can depend on a single crate:
+//!
+//! ```
+//! use speculative_scheduling::prelude::*;
+//!
+//! let cfg = SimConfig::builder()
+//!     .issue_to_execute_delay(4)
+//!     .sched_policy(SchedPolicyKind::AlwaysHit)
+//!     .build();
+//! assert_eq!(cfg.frontend_depth(), 11);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ss_bpred as bpred;
+pub use ss_core as core;
+pub use ss_harness as harness;
+pub use ss_isa as isa;
+pub use ss_mem as mem;
+pub use ss_memdep as memdep;
+pub use ss_sched as sched;
+pub use ss_types as types;
+pub use ss_workloads as workloads;
+
+/// Convenient single import for examples and quick experiments.
+pub mod prelude {
+    pub use ss_types::{
+        Addr, ArchReg, Cycle, OpClass, Pc, ReplayCause, SchedPolicyKind, SeqNum, SimConfig,
+        SimStats,
+    };
+}

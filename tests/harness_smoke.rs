@@ -1,0 +1,61 @@
+//! End-to-end smoke test of the experiment harness: every regenerator
+//! must produce a well-formed report at miniature run length (covering
+//! the full configuration matrix and the report plumbing).
+
+use speculative_scheduling::core::RunLength;
+use speculative_scheduling::harness::{experiments, Session};
+
+/// Tiny run: exercises the harness code paths, not the statistics.
+fn session() -> Session {
+    Session::new(RunLength { warmup: 200, measure: 1_500 }, None)
+}
+
+#[test]
+fn every_experiment_produces_a_report() {
+    let mut sess = session();
+    let reports = [
+        experiments::table2(&mut sess),
+        experiments::fig3(&mut sess),
+        experiments::fig5(&mut sess),
+        experiments::headline(&mut sess),
+    ];
+    for r in &reports {
+        assert!(!r.tables.is_empty(), "{}: tables expected", r.id);
+        let text = r.to_text();
+        assert!(text.contains(&format!("==== {} ====", r.id)));
+        // every benchmark row appears in the first table of figure reports
+        if r.id == "fig3" || r.id == "fig5" {
+            assert!(text.contains("crafty_like"));
+            assert!(text.contains("gmean"));
+        }
+    }
+    assert!(sess.simulated > 0);
+}
+
+#[test]
+fn csvs_are_written_per_table() {
+    let mut sess = session();
+    let r = experiments::table2(&mut sess);
+    let dir = std::env::temp_dir().join(format!("ss-csv-test-{}", std::process::id()));
+    r.write_csvs(&dir).expect("csv write");
+    let entries: Vec<_> = std::fs::read_dir(&dir).expect("dir").collect();
+    assert_eq!(entries.len(), r.tables.len());
+    let csv = std::fs::read_to_string(dir.join("table2_0.csv")).expect("csv");
+    assert!(csv.lines().count() > 20, "one row per benchmark");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn session_reuses_results_across_experiments() {
+    let mut sess = session();
+    let _ = experiments::fig5(&mut sess);
+    let after_fig5 = sess.simulated;
+    // fig8 shares Baseline_0 and SpecSched_4 with fig5
+    let _ = experiments::fig8(&mut sess);
+    let fig8_new = sess.simulated - after_fig5;
+    // fig8 adds only the Combined and Crit configurations (2 × suite)
+    assert!(
+        fig8_new <= 2 * 20,
+        "fig8 must reuse fig5's shared configurations, ran {fig8_new}"
+    );
+}

@@ -1,0 +1,191 @@
+//! Integration tests asserting the paper's core phenomena end-to-end,
+//! across all crates: workloads → predictors → memory → pipeline →
+//! statistics.
+
+use speculative_scheduling::core::{run_kernel, RunLength};
+use speculative_scheduling::prelude::*;
+use speculative_scheduling::workloads::kernels;
+
+fn cfg(delay: u64, policy: SchedPolicyKind, banked: bool, shifting: bool) -> SimConfig {
+    SimConfig::builder()
+        .issue_to_execute_delay(delay)
+        .sched_policy(policy)
+        .banked_l1d(banked)
+        .schedule_shifting(shifting)
+        .build()
+}
+
+const LEN: RunLength = RunLength { warmup: 10_000, measure: 60_000 };
+
+/// Figure 3: conservative scheduling on a load-to-use-critical chain
+/// loses exactly the issue-to-execute delay per link.
+#[test]
+fn conservative_scheduling_pays_delay_per_load_use() {
+    let ipc = |d| {
+        run_kernel(cfg(d, SchedPolicyKind::Conservative, false, false), kernels::list_walk(1), LEN)
+            .ipc()
+    };
+    let base = ipc(0);
+    for (d, expected_frac) in [(2u64, 4.0 / 6.0), (4, 4.0 / 8.0), (6, 4.0 / 10.0)] {
+        let frac = ipc(d) / base;
+        assert!(
+            (frac - expected_frac).abs() < 0.05,
+            "delay {d}: measured {frac:.3}, expected ~{expected_frac:.3}"
+        );
+    }
+}
+
+/// Figures 1–2: speculative scheduling hides the issue-to-execute delay
+/// on hitting loads, with essentially no replays.
+#[test]
+fn speculative_scheduling_hides_the_delay() {
+    let base = run_kernel(cfg(0, SchedPolicyKind::Conservative, false, false), kernels::list_walk(1), LEN);
+    let spec = run_kernel(cfg(6, SchedPolicyKind::AlwaysHit, false, false), kernels::list_walk(1), LEN);
+    assert!(
+        spec.ipc() / base.ipc() > 0.97,
+        "speculative at delay 6 should match delay 0: {:.3} vs {:.3}",
+        spec.ipc(),
+        base.ipc()
+    );
+    assert!(
+        spec.replayed_total() * 100 < spec.committed_uops,
+        "L1-resident walk must replay < 1% of µ-ops, got {}",
+        spec.replayed_total()
+    );
+}
+
+/// §4.2 + §5.1: a banked L1D creates bank-conflict replays on same-bank
+/// load pairs; Schedule Shifting removes most of them and recovers
+/// performance.
+#[test]
+fn schedule_shifting_removes_bank_conflict_replays() {
+    let banked = run_kernel(cfg(4, SchedPolicyKind::AlwaysHit, true, false), kernels::crafty_like(1), LEN);
+    let ported = run_kernel(cfg(4, SchedPolicyKind::AlwaysHit, false, false), kernels::crafty_like(1), LEN);
+    let shifted = run_kernel(cfg(4, SchedPolicyKind::AlwaysHit, true, true), kernels::crafty_like(1), LEN);
+
+    assert!(banked.replayed_bank > 10_000, "conflict pair must replay, got {}", banked.replayed_bank);
+    assert_eq!(ported.replayed_bank, 0, "dual-ported L1D has no bank conflicts");
+    assert!(banked.ipc() < ported.ipc() * 0.8, "bank conflicts must cost performance");
+
+    let reduction = 1.0 - shifted.replayed_bank as f64 / banked.replayed_bank as f64;
+    assert!(reduction > 0.7, "paper: −74.8% RpldBank; measured {reduction:.3}");
+    assert!(
+        shifted.ipc() > banked.ipc() * 1.1,
+        "shifting must recover performance: {:.3} vs {:.3}",
+        shifted.ipc(),
+        banked.ipc()
+    );
+}
+
+/// §5.2: hit/miss filtering slashes L1-miss replays on an all-missing
+/// stream without losing performance.
+#[test]
+fn filter_cuts_miss_replays_on_streams() {
+    let always = run_kernel(cfg(4, SchedPolicyKind::AlwaysHit, true, false), kernels::stream_all_miss(1), LEN);
+    let filter =
+        run_kernel(cfg(4, SchedPolicyKind::FilterAndCounter, true, false), kernels::stream_all_miss(1), LEN);
+    assert!(always.replayed_miss > 5_000, "all-miss stream must replay under Always-Hit");
+    let reduction = 1.0 - filter.replayed_miss as f64 / always.replayed_miss as f64;
+    assert!(reduction > 0.6, "paper: ≥65% RpldMiss reduction; measured {reduction:.3}");
+    assert!(
+        filter.ipc() > always.ipc() * 0.95,
+        "filtering must not cost performance: {:.3} vs {:.3}",
+        filter.ipc(),
+        always.ipc()
+    );
+}
+
+/// §5.3: the combined criticality policy removes the vast majority of all
+/// replays while keeping Always-Hit-level performance.
+#[test]
+fn criticality_policy_removes_most_replays() {
+    let mut total_always = 0u64;
+    let mut total_crit = 0u64;
+    let mut ipc_ratio = Vec::new();
+    for k in [kernels::stream_all_miss as fn(u64) -> _, kernels::xalanc_like, kernels::crafty_like] {
+        let a = run_kernel(cfg(4, SchedPolicyKind::AlwaysHit, true, false), k(1), LEN);
+        let c = run_kernel(cfg(4, SchedPolicyKind::Criticality, true, true), k(1), LEN);
+        total_always += a.replayed_total();
+        total_crit += c.replayed_total();
+        ipc_ratio.push(c.ipc() / a.ipc());
+    }
+    let reduction = 1.0 - total_crit as f64 / total_always as f64;
+    assert!(reduction > 0.8, "paper: −90.6% replays; measured {reduction:.3}");
+    assert!(
+        ipc_ratio.iter().all(|r| *r > 0.95),
+        "criticality must not lose performance: {ipc_ratio:?}"
+    );
+}
+
+/// The hit/miss behaviour counters drive the policies: sure-hit loads
+/// speculate, sure-miss loads do not.
+#[test]
+fn policy_decisions_follow_load_behaviour() {
+    let hits =
+        run_kernel(cfg(4, SchedPolicyKind::FilterAndCounter, true, false), kernels::fp_compute(1), LEN);
+    assert!(hits.loads_spec_woken > 90 * hits.loads_conservative.max(1) / 100);
+
+    let misses =
+        run_kernel(cfg(4, SchedPolicyKind::FilterAndCounter, true, false), kernels::stream_all_miss(1), LEN);
+    assert!(
+        misses.loads_conservative > misses.loads_spec_woken,
+        "an all-missing stream must be scheduled conservatively: {} vs {}",
+        misses.loads_conservative,
+        misses.loads_spec_woken
+    );
+}
+
+/// Store Sets: the RMW kernel violates memory ordering at first, then the
+/// predictor learns and violations stop growing. Measured from cycle zero
+/// (warmup would hide the initial violations).
+#[test]
+fn store_sets_learn_rmw_hazards() {
+    let s = run_kernel(
+        cfg(4, SchedPolicyKind::AlwaysHit, true, false),
+        kernels::rmw_hazard(1),
+        RunLength { warmup: 0, measure: 60_000 },
+    );
+    assert!(s.memdep_violations > 0, "the RMW kernel must trip at least one violation");
+    // After learning, violations must be rare relative to the number of
+    // aliasing pairs (~1 per 8 µ-ops).
+    let pairs = s.committed_uops / 8;
+    assert!(
+        s.memdep_violations < pairs / 5,
+        "Store Sets must keep violations rare: {} of ~{} pairs",
+        s.memdep_violations,
+        pairs
+    );
+}
+
+/// Determinism: identical configuration and seed ⇒ identical statistics.
+#[test]
+fn simulation_is_deterministic() {
+    let a = run_kernel(cfg(4, SchedPolicyKind::Criticality, true, true), kernels::mix_int(9), LEN);
+    let b = run_kernel(cfg(4, SchedPolicyKind::Criticality, true, true), kernels::mix_int(9), LEN);
+    assert_eq!(a, b);
+}
+
+/// Bookkeeping invariants that must hold for any cumulative run (a
+/// warmup delta can commit µ-ops whose first issue predates the window,
+/// so these are checked from cycle zero).
+#[test]
+fn statistics_are_internally_consistent() {
+    for k in [kernels::xalanc_like as fn(u64) -> _, kernels::branchy_int, kernels::ptr_chase_big] {
+        let s = run_kernel(
+            cfg(4, SchedPolicyKind::AlwaysHit, true, false),
+            k(1),
+            RunLength { warmup: 0, measure: 60_000 },
+        );
+        assert!(s.issued_total >= s.unique_issued, "re-issues only add");
+        assert!(
+            s.unique_issued >= s.committed_uops,
+            "everything committed must have issued"
+        );
+        assert!(s.l1d.hits + s.l1d.misses == s.l1d.accesses);
+        assert!(s.cond_mispredicts <= s.cond_branches);
+        assert!(
+            s.issued_total - s.unique_issued >= s.recovery_buffer_replays,
+            "recovery replays are a subset of re-issues"
+        );
+    }
+}
