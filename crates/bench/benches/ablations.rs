@@ -1,63 +1,70 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //! AB1 (filter silencing bit), AB2 (Rivers line buffer), AB3 (TAGE vs
-//! bimodal direction prediction).
+//! bimodal direction prediction). Plain `harness = false` timing binary —
+//! no external bench framework.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ss_bench::{machine, mini_run};
+use ss_bench::{machine, mini_run, time_case};
 use ss_types::{BankedL1dConfig, PredictorConfig, SchedPolicyKind as P, SimConfig};
 use ss_workloads::kernels;
-use std::hint::black_box;
-use std::time::Duration;
+
+const ITERS: u32 = 10;
 
 /// AB1: per-PC filter with vs without the silencing bit, on the unstable
 /// hot/cold workload the bit exists for.
-fn ablation_silence(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_silence");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
-    for (label, p) in [("silencing", P::FilterAndCounter), ("no_silencing", P::FilterNoSilence)] {
-        g.bench_function(BenchmarkId::new("hot_cold_mix", label), |b| {
-            b.iter(|| black_box(mini_run(machine(4, p, true, false), kernels::hot_cold_mix(1))))
-        });
+fn ablation_silence() {
+    for (label, p) in [
+        ("silencing", P::FilterAndCounter),
+        ("no_silencing", P::FilterNoSilence),
+    ] {
+        time_case(
+            "ablation_silence",
+            &format!("hot_cold_mix/{label}"),
+            ITERS,
+            || mini_run(machine(4, p, true, false), kernels::hot_cold_mix(1)),
+        );
     }
-    g.finish();
 }
 
 /// AB2: banked L1D with vs without the single line buffer.
-fn ablation_linebuffer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_linebuffer");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
+fn ablation_linebuffer() {
     for (label, line_buffer) in [("line_buffer", true), ("plain_banked", false)] {
         let cfg = SimConfig::builder()
             .issue_to_execute_delay(4)
             .sched_policy(P::AlwaysHit)
-            .l1d_banking(Some(BankedL1dConfig { line_buffer, ..Default::default() }))
+            .l1d_banking(Some(BankedL1dConfig {
+                line_buffer,
+                ..Default::default()
+            }))
             .build();
-        g.bench_function(BenchmarkId::new("grid_stencil", label), |b| {
-            let cfg = cfg.clone();
-            b.iter(|| black_box(mini_run(cfg.clone(), kernels::grid_stencil(1))))
-        });
+        time_case(
+            "ablation_linebuffer",
+            &format!("grid_stencil/{label}"),
+            ITERS,
+            || mini_run(cfg.clone(), kernels::grid_stencil(1)),
+        );
     }
-    g.finish();
 }
 
 /// AB3: TAGE vs bimodal direction prediction on patterned branches.
-fn ablation_bpred(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_bpred");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
+fn ablation_bpred() {
     for (label, bimodal) in [("tage", false), ("bimodal", true)] {
         let cfg = SimConfig::builder()
             .issue_to_execute_delay(4)
             .sched_policy(P::AlwaysHit)
             .banked_l1d(true)
-            .predictor(PredictorConfig { bimodal_only: bimodal, ..Default::default() })
+            .predictor(PredictorConfig {
+                bimodal_only: bimodal,
+                ..Default::default()
+            })
             .build();
-        g.bench_function(BenchmarkId::new("mix_int", label), |b| {
-            let cfg = cfg.clone();
-            b.iter(|| black_box(mini_run(cfg.clone(), kernels::mix_int(1))))
+        time_case("ablation_bpred", &format!("mix_int/{label}"), ITERS, || {
+            mini_run(cfg.clone(), kernels::mix_int(1))
         });
     }
-    g.finish();
 }
 
-criterion_group!(ablations, ablation_silence, ablation_linebuffer, ablation_bpred);
-criterion_main!(ablations);
+fn main() {
+    ablation_silence();
+    ablation_linebuffer();
+    ablation_bpred();
+}

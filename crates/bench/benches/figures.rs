@@ -1,121 +1,117 @@
-//! One Criterion group per paper table/figure: each benchmark measures
-//! the miniature regeneration of that artifact (the representative
-//! configuration × workload pairs its rows are built from).
+//! One bench group per paper table/figure: each case measures the
+//! miniature regeneration of that artifact (the representative
+//! configuration × workload pairs its rows are built from). Plain
+//! `harness = false` timing binary — no external bench framework.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ss_bench::{machine, mini_run};
+use ss_bench::{machine, mini_run, time_case};
 use ss_types::SchedPolicyKind as P;
 use ss_workloads::kernels;
-use std::hint::black_box;
-use std::time::Duration;
 
-fn configure(c: &mut Criterion) -> &mut Criterion {
-    c
-}
+const ITERS: u32 = 10;
 
 /// Table 2: baseline characterization of representative kernels.
-fn table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
+fn table2() {
     for (name, k) in [
         ("fp_compute", kernels::fp_compute as fn(u64) -> _),
         ("crafty_like", kernels::crafty_like),
         ("stream_all_miss", kernels::stream_all_miss),
     ] {
-        g.bench_with_input(BenchmarkId::new("Baseline_0", name), &k, |b, k| {
-            b.iter(|| black_box(mini_run(machine(0, P::Conservative, false, false), k(1))))
+        time_case("table2", &format!("Baseline_0/{name}"), ITERS, || {
+            mini_run(machine(0, P::Conservative, false, false), k(1))
         });
     }
-    g.finish();
 }
 
 /// Figure 3: conservative scheduling across the delay sweep.
-fn fig3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
+fn fig3() {
     for d in [0u64, 2, 4, 6] {
-        g.bench_with_input(BenchmarkId::new("Baseline_d/list_walk", d), &d, |b, &d| {
-            b.iter(|| black_box(mini_run(machine(d, P::Conservative, false, false), kernels::list_walk(1))))
+        time_case("fig3", &format!("Baseline_{d}/list_walk"), ITERS, || {
+            mini_run(
+                machine(d, P::Conservative, false, false),
+                kernels::list_walk(1),
+            )
         });
     }
-    g.finish();
 }
 
 /// Figure 4: Always-Hit speculative scheduling, ported vs banked.
-fn fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
+fn fig4() {
     for (label, banked) in [("ported", false), ("banked", true)] {
-        g.bench_with_input(BenchmarkId::new("SpecSched_4/crafty", label), &banked, |b, &banked| {
-            b.iter(|| black_box(mini_run(machine(4, P::AlwaysHit, banked, false), kernels::crafty_like(1))))
-        });
-    }
-    g.finish();
-}
-
-/// Figure 5: Schedule Shifting.
-fn fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
-    for (label, shift) in [("base", false), ("shifted", true)] {
-        g.bench_with_input(
-            BenchmarkId::new("SpecSched_4/stencil_conflict", label),
-            &shift,
-            |b, &shift| {
-                b.iter(|| {
-                    black_box(mini_run(machine(4, P::AlwaysHit, true, shift), kernels::stencil_conflict(1)))
-                })
+        time_case(
+            "fig4",
+            &format!("SpecSched_4/crafty/{label}"),
+            ITERS,
+            || {
+                mini_run(
+                    machine(4, P::AlwaysHit, banked, false),
+                    kernels::crafty_like(1),
+                )
             },
         );
     }
-    g.finish();
+}
+
+/// Figure 5: Schedule Shifting.
+fn fig5() {
+    for (label, shift) in [("base", false), ("shifted", true)] {
+        time_case(
+            "fig5",
+            &format!("SpecSched_4/stencil_conflict/{label}"),
+            ITERS,
+            || {
+                mini_run(
+                    machine(4, P::AlwaysHit, true, shift),
+                    kernels::stencil_conflict(1),
+                )
+            },
+        );
+    }
 }
 
 /// Figure 7: hit/miss filtering policies.
-fn fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
-    for (label, p) in
-        [("AlwaysHit", P::AlwaysHit), ("Ctr", P::GlobalCounter), ("Filter", P::FilterAndCounter)]
-    {
-        g.bench_with_input(BenchmarkId::new("stream_all_miss", label), &p, |b, &p| {
-            b.iter(|| black_box(mini_run(machine(4, p, true, false), kernels::stream_all_miss(1))))
+fn fig7() {
+    for (label, p) in [
+        ("AlwaysHit", P::AlwaysHit),
+        ("Ctr", P::GlobalCounter),
+        ("Filter", P::FilterAndCounter),
+    ] {
+        time_case("fig7", &format!("stream_all_miss/{label}"), ITERS, || {
+            mini_run(machine(4, p, true, false), kernels::stream_all_miss(1))
         });
     }
-    g.finish();
 }
 
 /// Figure 8: the combined and criticality-gated policies.
-fn fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
+fn fig8() {
     for (label, p, shift) in [
         ("SpecSched_4", P::AlwaysHit, false),
         ("Combined", P::FilterAndCounter, true),
         ("Crit", P::Criticality, true),
     ] {
-        g.bench_function(BenchmarkId::new("xalanc_like", label), |b| {
-            b.iter(|| black_box(mini_run(machine(4, p, true, shift), kernels::xalanc_like(1))))
+        time_case("fig8", &format!("xalanc_like/{label}"), ITERS, || {
+            mini_run(machine(4, p, true, shift), kernels::xalanc_like(1))
         });
     }
-    g.finish();
 }
 
 /// §5.3 delay sweep of the criticality policy.
-fn delay_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("delay_sweep");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
+fn delay_sweep() {
     for d in [2u64, 4, 6] {
-        g.bench_with_input(BenchmarkId::new("SpecSched_d_Crit/mix_int", d), &d, |b, &d| {
-            b.iter(|| black_box(mini_run(machine(d, P::Criticality, true, true), kernels::mix_int(1))))
-        });
+        time_case(
+            "delay_sweep",
+            &format!("SpecSched_{d}_Crit/mix_int"),
+            ITERS,
+            || mini_run(machine(d, P::Criticality, true, true), kernels::mix_int(1)),
+        );
     }
-    g.finish();
 }
 
-criterion_group!(
-    name = figures;
-    config = { let mut c = Criterion::default(); configure(&mut c); c };
-    targets = table2, fig3, fig4, fig5, fig7, fig8, delay_sweep
-);
-criterion_main!(figures);
+fn main() {
+    table2();
+    fig3();
+    fig4();
+    fig5();
+    fig7();
+    fig8();
+    delay_sweep();
+}

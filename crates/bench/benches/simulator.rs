@@ -1,9 +1,9 @@
 //! Simulator-throughput and component microbenchmarks: how fast the
 //! substrate itself runs (µ-ops simulated per second, predictor and cache
-//! operation costs).
+//! operation costs). Plain `harness = false` timing binary — no external
+//! bench framework.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ss_bench::{machine, mini_run, BENCH_LEN};
+use ss_bench::{machine, mini_run, time_case};
 use ss_bpred::Tage;
 use ss_mem::{BankArbiter, SetAssocCache};
 use ss_types::{
@@ -11,92 +11,87 @@ use ss_types::{
 };
 use ss_workloads::{kernels, TraceSource};
 use std::hint::black_box;
-use std::time::Duration;
 
 /// End-to-end pipeline throughput on contrasting workloads.
-fn pipeline_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline_throughput");
-    g.sample_size(10).measurement_time(Duration::from_secs(5));
-    g.throughput(Throughput::Elements(BENCH_LEN.warmup + BENCH_LEN.measure));
+fn pipeline_throughput() {
     for (name, k) in [
         ("fp_compute", kernels::fp_compute as fn(u64) -> _),
         ("crafty_like", kernels::crafty_like),
         ("branchy_int", kernels::branchy_int),
         ("ptr_chase_big", kernels::ptr_chase_big),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
-            b.iter(|| black_box(mini_run(machine(4, P::AlwaysHit, true, false), k(1))))
+        time_case("pipeline_throughput", name, 10, || {
+            mini_run(machine(4, P::AlwaysHit, true, false), k(1))
         });
     }
-    g.finish();
 }
 
 /// TAGE predict + history push + update per branch.
-fn tage_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tage");
-    g.throughput(Throughput::Elements(1));
+fn tage_ops() {
     let mut t = Tage::new(&PredictorConfig::default());
     let mut i = 0u64;
-    g.bench_function("predict_update", |b| {
-        b.iter(|| {
+    time_case("tage", "predict_update_x1k", 100, || {
+        for _ in 0..1_000 {
             i += 1;
             let pc = Pc::new(0x1000 + (i % 64) * 4);
             let outcome = i % 7 < 4;
             let (p, meta) = t.predict(pc);
             t.push_history(outcome, pc);
             t.update(outcome, &meta);
-            black_box(p)
-        })
+            black_box(p);
+        }
     });
-    g.finish();
 }
 
 /// Cache lookup/fill on a warmed set-associative cache.
-fn cache_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(1));
-    let mut cache =
-        SetAssocCache::new(CacheGeometry { capacity_bytes: 32 * 1024, ways: 8, line_bytes: 64 });
+fn cache_ops() {
+    let mut cache = SetAssocCache::new(CacheGeometry {
+        capacity_bytes: 32 * 1024,
+        ways: 8,
+        line_bytes: 64,
+    });
     for i in 0..512u64 {
         cache.fill(Addr::new(i * 64), false);
     }
     let mut i = 0u64;
-    g.bench_function("lookup_warm", |b| {
-        b.iter(|| {
+    time_case("cache", "lookup_warm_x1k", 100, || {
+        for _ in 0..1_000 {
             i = i.wrapping_add(0x9E37_79B9);
-            black_box(cache.lookup(Addr::new((i % (32 * 1024)) & !7)))
-        })
+            black_box(cache.lookup(Addr::new((i % (32 * 1024)) & !7)));
+        }
     });
-    g.finish();
 }
 
 /// Banked-L1D arbitration per access.
-fn bank_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bank_arbiter");
-    g.throughput(Throughput::Elements(1));
+fn bank_ops() {
     let mut arb = BankArbiter::new(BankedL1dConfig::default(), 64, 64);
     let mut cycle = 0u64;
     let mut i = 0u64;
-    g.bench_function("request", |b| {
-        b.iter(|| {
+    time_case("bank_arbiter", "request_x1k", 100, || {
+        for _ in 0..1_000 {
             i += 1;
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 cycle += 1;
             }
-            black_box(arb.request(Addr::new((i * 520) % 32768), Cycle::new(cycle)))
-        })
+            black_box(arb.request(Addr::new((i * 520) % 32768), Cycle::new(cycle)));
+        }
     });
-    g.finish();
 }
 
 /// Trace generation alone (the workload substrate's cost).
-fn trace_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("trace_gen");
-    g.throughput(Throughput::Elements(1));
+fn trace_generation() {
     let mut t = kernels::mix_int(1).into_source();
-    g.bench_function("mix_int/next_uop", |b| b.iter(|| black_box(t.next_uop())));
-    g.finish();
+    time_case("trace_gen", "mix_int/next_uop_x1k", 100, || {
+        for _ in 0..1_000 {
+            black_box(t.next_uop());
+        }
+    });
 }
 
-criterion_group!(simulator, pipeline_throughput, tage_ops, cache_ops, bank_ops, trace_generation);
-criterion_main!(simulator);
+fn main() {
+    pipeline_throughput();
+    tage_ops();
+    cache_ops();
+    bank_ops();
+    trace_generation();
+}

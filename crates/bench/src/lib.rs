@@ -1,8 +1,11 @@
-//! Shared helpers for the Criterion benches.
+//! Shared helpers for the dependency-free benches.
 //!
 //! Each bench regenerates a miniature version of one paper table/figure:
 //! the same configurations and workloads as `ss-harness`, scaled down so
-//! `cargo bench` completes in minutes. The full-scale numbers come from
+//! `cargo bench` completes in minutes. The benches are plain
+//! `harness = false` binaries timed with [`std::time::Instant`] (no
+//! external bench framework, so the workspace builds offline). The
+//! full-scale numbers come from
 //! `cargo run -r -p ss-harness --bin experiments` and are recorded in
 //! EXPERIMENTS.md.
 
@@ -12,9 +15,13 @@
 use ss_core::{run_kernel, RunLength};
 use ss_types::{SchedPolicyKind, SimConfig, SimStats};
 use ss_workloads::KernelSpec;
+use std::time::Instant;
 
 /// Miniature run length used inside bench iterations.
-pub const BENCH_LEN: RunLength = RunLength { warmup: 500, measure: 4_000 };
+pub const BENCH_LEN: RunLength = RunLength {
+    warmup: 500,
+    measure: 4_000,
+};
 
 /// Builds one of the paper's machine shapes.
 pub fn machine(delay: u64, policy: SchedPolicyKind, banked: bool, shifting: bool) -> SimConfig {
@@ -29,4 +36,61 @@ pub fn machine(delay: u64, policy: SchedPolicyKind, banked: bool, shifting: bool
 /// Runs a miniature simulation (the unit of work every bench measures).
 pub fn mini_run(cfg: SimConfig, spec: KernelSpec) -> SimStats {
     run_kernel(cfg, spec, BENCH_LEN)
+}
+
+/// Times `iters` calls of `f` and prints one `group/name` result line
+/// with the median per-iteration latency.
+///
+/// Runs one untimed warmup call, then times each iteration separately so
+/// the median is robust to scheduler noise. The closure's return value is
+/// passed through [`std::hint::black_box`] to keep the work observable.
+pub fn time_case<R>(group: &str, name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f());
+    let mut samples: Vec<u128> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let total: u128 = samples.iter().sum();
+    println!(
+        "{group}/{name}: median {} per iter ({iters} iters, total {})",
+        fmt_ns(median),
+        fmt_ns(total)
+    );
+}
+
+/// Formats a nanosecond count with a human-friendly unit.
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(5), "5ns");
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+
+    #[test]
+    fn time_case_runs_the_closure() {
+        let mut calls = 0u32;
+        time_case("test", "counter", 3, || calls += 1);
+        assert_eq!(calls, 4); // warmup + 3 timed iters
+    }
 }

@@ -18,7 +18,9 @@ pub struct BimodalMeta {
 impl Bimodal {
     /// Creates a bimodal predictor with `1 << log_entries` counters.
     pub fn new(log_entries: u32) -> Self {
-        Bimodal { counters: vec![2; 1 << log_entries] }
+        Bimodal {
+            counters: vec![2; 1 << log_entries],
+        }
     }
 
     fn index(&self, pc: Pc) -> u32 {
@@ -34,7 +36,11 @@ impl Bimodal {
     /// Trains with the resolved outcome.
     pub fn update(&mut self, taken: bool, meta: &BimodalMeta) {
         let c = &mut self.counters[meta.index as usize];
-        *c = if taken { (*c + 1).min(3) } else { c.saturating_sub(1) };
+        *c = if taken {
+            (*c + 1).min(3)
+        } else {
+            c.saturating_sub(1)
+        };
     }
 }
 
@@ -71,7 +77,10 @@ mod tests {
             }
             b.update(out, &m);
         }
-        assert!(wrong >= 400, "bimodal must not learn T/N alternation, wrong={wrong}");
+        assert!(
+            wrong >= 400,
+            "bimodal must not learn T/N alternation, wrong={wrong}"
+        );
     }
 
     #[test]

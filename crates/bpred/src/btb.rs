@@ -47,7 +47,10 @@ impl Btb {
 
     fn touch(&mut self, set: usize, way: u8) {
         let order = &mut self.lru[set];
-        let pos = order.iter().position(|&w| w == way).expect("way in LRU order");
+        let pos = order
+            .iter()
+            .position(|&w| w == way)
+            .expect("way in LRU order");
         order[..=pos].rotate_right(1);
     }
 
@@ -79,7 +82,11 @@ impl Btb {
         }
         // miss: fill LRU way
         let victim = self.lru[set][self.ways - 1];
-        self.sets[set][victim as usize] = BtbEntry { valid: true, tag, target };
+        self.sets[set][victim as usize] = BtbEntry {
+            valid: true,
+            tag,
+            target,
+        };
         self.touch(set, victim);
     }
 }
@@ -109,7 +116,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let mut b = Btb::new(8, 2); // 4 sets
-        // three PCs mapping to set 0: idx multiples of 4 → pc = 16*k
+                                    // three PCs mapping to set 0: idx multiples of 4 → pc = 16*k
         let p1 = Pc::new(16);
         let p2 = Pc::new(16 * 5);
         let p3 = Pc::new(16 * 9);

@@ -29,7 +29,11 @@ pub(crate) struct Folded {
 impl Folded {
     fn new(length: usize, width: usize) -> Self {
         assert!(width > 0 && width <= 32);
-        Folded { value: 0, width: width as u32, out_rot: (length % width) as u32 }
+        Folded {
+            value: 0,
+            width: width as u32,
+            out_rot: (length % width) as u32,
+        }
     }
 
     /// Inserts `new_bit` and expires `old_bit` (the bit that is now
@@ -129,7 +133,11 @@ impl GlobalHistory {
 
     /// Takes a checkpoint for later [`GlobalHistory::restore`].
     pub fn checkpoint(&self) -> HistoryCheckpoint {
-        HistoryCheckpoint { pos: self.pos, folded: self.folded, path: self.path }
+        HistoryCheckpoint {
+            pos: self.pos,
+            folded: self.folded,
+            path: self.path,
+        }
     }
 
     /// Rewinds to a checkpoint (the ring is not rewound: bits newer than

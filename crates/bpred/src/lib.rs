@@ -155,8 +155,20 @@ impl BranchPredictor {
             }
         }
 
-        let next_pc = if taken { target.unwrap_or(fallthrough) } else { fallthrough };
-        BranchPrediction { taken, next_pc, meta: PredMeta { dir: dir_meta, hist_cp, ras_cp } }
+        let next_pc = if taken {
+            target.unwrap_or(fallthrough)
+        } else {
+            fallthrough
+        };
+        BranchPrediction {
+            taken,
+            next_pc,
+            meta: PredMeta {
+                dir: dir_meta,
+                hist_cp,
+                ras_cp,
+            },
+        }
     }
 
     /// Repairs speculative state after Execute discovers a misprediction
@@ -237,7 +249,10 @@ mod tests {
             }
             p.on_commit(pc, BranchKind::Conditional, taken, tgt, &pred.meta);
         }
-        assert!(wrong < 100, "loop branch + BTB should converge, wrong={wrong}");
+        assert!(
+            wrong < 100,
+            "loop branch + BTB should converge, wrong={wrong}"
+        );
     }
 
     #[test]
@@ -287,7 +302,10 @@ mod tests {
 
     #[test]
     fn bimodal_ablation_runs() {
-        let cfg = PredictorConfig { bimodal_only: true, ..Default::default() };
+        let cfg = PredictorConfig {
+            bimodal_only: true,
+            ..Default::default()
+        };
         let mut p = BranchPredictor::new(&cfg);
         let pc = Pc::new(0x1000);
         let ft = Pc::new(0x1004);
@@ -299,15 +317,27 @@ mod tests {
                 wrong += 1;
                 p.on_mispredict(pc, BranchKind::Conditional, taken, ft, &pred.meta);
             }
-            p.on_commit(pc, BranchKind::Conditional, taken, Pc::new(0x0F00), &pred.meta);
+            p.on_commit(
+                pc,
+                BranchKind::Conditional,
+                taken,
+                Pc::new(0x0F00),
+                &pred.meta,
+            );
         }
-        assert!(wrong > 300, "bimodal must not learn alternation, wrong={wrong}");
+        assert!(
+            wrong > 300,
+            "bimodal must not learn alternation, wrong={wrong}"
+        );
     }
 
     #[test]
     fn tage_beats_bimodal_on_history_patterns() {
         let run = |bimodal: bool| -> u64 {
-            let cfg = PredictorConfig { bimodal_only: bimodal, ..Default::default() };
+            let cfg = PredictorConfig {
+                bimodal_only: bimodal,
+                ..Default::default()
+            };
             let mut p = BranchPredictor::new(&cfg);
             let pc = Pc::new(0x1000);
             let ft = Pc::new(0x1004);

@@ -37,7 +37,12 @@ impl Ras {
     pub fn new(capacity: u32) -> Self {
         let capacity = capacity as usize;
         assert!(capacity > 0 && capacity <= MAX_RAS);
-        Ras { stack: [Pc::new(0); MAX_RAS], top: 0, depth: 0, capacity }
+        Ras {
+            stack: [Pc::new(0); MAX_RAS],
+            top: 0,
+            depth: 0,
+            capacity,
+        }
     }
 
     /// Pushes a return address (on predicting/fetching a call).
@@ -66,7 +71,11 @@ impl Ras {
 
     /// Takes a checkpoint for squash repair.
     pub fn checkpoint(&self) -> RasCheckpoint {
-        RasCheckpoint { stack: self.stack, top: self.top, depth: self.depth }
+        RasCheckpoint {
+            stack: self.stack,
+            top: self.top,
+            depth: self.depth,
+        }
     }
 
     /// Restores to a checkpoint.

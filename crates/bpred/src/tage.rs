@@ -79,8 +79,11 @@ impl Tage {
             cfg.tage_max_history,
         );
         assert!(lengths.len() <= MAX_COMPONENTS);
-        let hist =
-            GlobalHistory::new(&lengths, cfg.tage_log_tagged_entries as usize, cfg.tage_tag_bits as usize);
+        let hist = GlobalHistory::new(
+            &lengths,
+            cfg.tage_log_tagged_entries as usize,
+            cfg.tage_tag_bits as usize,
+        );
         Tage {
             base: vec![2; 1 << cfg.tage_log_base_entries], // weakly taken
             tables: vec![
@@ -105,7 +108,11 @@ impl Tage {
     fn index(&self, pc: Pc, c: usize) -> u32 {
         let mask = (1u32 << self.index_bits) - 1;
         let pc_bits = (pc.get() >> 2) as u32;
-        let path = if self.lengths[c] >= 16 { self.hist.path() } else { 0 };
+        let path = if self.lengths[c] >= 16 {
+            self.hist.path()
+        } else {
+            0
+        };
         (pc_bits ^ (pc_bits >> self.index_bits) ^ self.hist.index_fold(c) ^ (path >> (c & 3)))
             & mask
     }
@@ -193,7 +200,11 @@ impl Tage {
     }
 
     fn bump(ctr: &mut i8, taken: bool) {
-        *ctr = if taken { (*ctr + 1).min(3) } else { (*ctr - 1).max(-4) };
+        *ctr = if taken {
+            (*ctr + 1).min(3)
+        } else {
+            (*ctr - 1).max(-4)
+        };
     }
 
     /// Trains the predictor with the resolved outcome. `meta` must be the
@@ -250,7 +261,11 @@ impl Tage {
 
     fn update_base(&mut self, idx: u32, taken: bool) {
         let c = &mut self.base[idx as usize];
-        *c = if taken { (*c + 1).min(3) } else { c.saturating_sub(1) };
+        *c = if taken {
+            (*c + 1).min(3)
+        } else {
+            c.saturating_sub(1)
+        };
     }
 
     fn allocate(&mut self, start: usize, taken: bool, meta: &TageMeta) {
@@ -326,7 +341,10 @@ mod tests {
     fn learns_always_taken() {
         let mut t = tage();
         let wrong = run(&mut t, &[0x1000], |_, _| true, 1000);
-        assert!(wrong < 10, "always-taken should be near-perfect, got {wrong}");
+        assert!(
+            wrong < 10,
+            "always-taken should be near-perfect, got {wrong}"
+        );
     }
 
     #[test]
@@ -353,13 +371,12 @@ mod tests {
 
     #[test]
     fn random_branch_mispredicts_at_chance() {
-        use rand::{Rng, SeedableRng};
         let mut t = tage();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xDEAD);
+        let mut rng = ss_types::rng::Xoshiro256::seed_from_u64(0xDEAD);
         let mut wrong = 0u64;
         for _ in 0..10_000 {
             let pc = Pc::new(0x4000);
-            let actual: bool = rng.gen();
+            let actual: bool = rng.next_bool();
             let (pred, meta) = t.predict(pc);
             t.push_history(actual, pc);
             t.update(actual, &meta);
@@ -430,6 +447,9 @@ mod tests {
         }
         t.restore(&cp);
         let (pred_after, _) = t.predict(Pc::new(0x6000));
-        assert_eq!(pred_before, pred_after, "restore must reproduce the prediction");
+        assert_eq!(
+            pred_before, pred_after,
+            "restore must reproduce the prediction"
+        );
     }
 }

@@ -1,23 +1,34 @@
-//! Property-based tests for the branch-prediction substrate: the RAS
-//! against a reference stack, BTB against a reference map, and TAGE
-//! checkpoint/restore correctness under arbitrary speculation.
+//! Randomized (deterministic, seeded) tests for the branch-prediction
+//! substrate: the RAS against a reference stack, BTB against a reference
+//! map, and TAGE checkpoint/restore correctness under arbitrary
+//! speculation. Formerly proptest properties; now plain loops over the
+//! vendored [`Xoshiro256`] generator so the crate builds offline.
 
-use proptest::prelude::*;
 use ss_bpred::{Btb, Ras, Tage};
+use ss_types::rng::Xoshiro256;
 use ss_types::{Pc, PredictorConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// `Some(push value)` or `None` (pop), like the old proptest strategy.
+fn gen_op(rng: &mut Xoshiro256) -> Option<u16> {
+    if rng.next_bool() {
+        Some(rng.next_below(1 << 16) as u16)
+    } else {
+        None
+    }
+}
 
-    /// The RAS behaves as a bounded stack that drops the *oldest* entry
-    /// on overflow.
-    #[test]
-    fn ras_matches_bounded_stack(ops in proptest::collection::vec(any::<Option<u16>>(), 1..200)) {
+/// The RAS behaves as a bounded stack that drops the *oldest* entry
+/// on overflow.
+#[test]
+fn ras_matches_bounded_stack() {
+    let mut rng = Xoshiro256::seed_from_u64(0x4A5);
+    for case in 0..64 {
         let cap = 8usize;
         let mut ras = Ras::new(cap as u32);
         let mut model: Vec<u64> = Vec::new();
-        for op in ops {
-            match op {
+        let ops = 1 + rng.next_below(199) as usize;
+        for _ in 0..ops {
+            match gen_op(&mut rng) {
                 Some(v) => {
                     ras.push(Pc::new(v as u64));
                     model.push(v as u64);
@@ -28,77 +39,99 @@ proptest! {
                 None => {
                     let got = ras.pop().map(|p| p.get());
                     let want = model.pop();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "case {case}");
                 }
             }
-            prop_assert_eq!(ras.peek().map(|p| p.get()), model.last().copied());
+            assert_eq!(
+                ras.peek().map(|p| p.get()),
+                model.last().copied(),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Checkpoint/restore makes the RAS exactly forget the speculation.
-    #[test]
-    fn ras_checkpoint_is_exact(
-        before in proptest::collection::vec(any::<Option<u16>>(), 0..40),
-        spec in proptest::collection::vec(any::<Option<u16>>(), 0..40),
-    ) {
+/// Checkpoint/restore makes the RAS exactly forget the speculation.
+#[test]
+fn ras_checkpoint_is_exact() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC4EC);
+    for case in 0..64 {
         let mut a = Ras::new(16);
         let mut b = Ras::new(16);
-        for op in &before {
-            match op {
-                Some(v) => { a.push(Pc::new(*v as u64)); b.push(Pc::new(*v as u64)); }
-                None => { let _ = a.pop(); let _ = b.pop(); }
+        let before_len = rng.next_below(40) as usize;
+        for _ in 0..before_len {
+            match gen_op(&mut rng) {
+                Some(v) => {
+                    a.push(Pc::new(v as u64));
+                    b.push(Pc::new(v as u64));
+                }
+                None => {
+                    let _ = a.pop();
+                    let _ = b.pop();
+                }
             }
         }
         let cp = a.checkpoint();
-        for op in &spec {
-            match op {
-                Some(v) => a.push(Pc::new(*v as u64)),
-                None => { let _ = a.pop(); },
+        let spec_len = rng.next_below(40) as usize;
+        for _ in 0..spec_len {
+            match gen_op(&mut rng) {
+                Some(v) => a.push(Pc::new(v as u64)),
+                None => {
+                    let _ = a.pop();
+                }
             }
         }
         a.restore(&cp);
         // both stacks must now behave identically
         for _ in 0..20 {
-            prop_assert_eq!(a.pop(), b.pop());
+            assert_eq!(a.pop(), b.pop(), "case {case}");
         }
     }
+}
 
-    /// The BTB always returns the most recently installed target for a PC
-    /// still resident, and never a target installed for a different PC.
-    #[test]
-    fn btb_returns_latest_target(ops in proptest::collection::vec((0u64..64, 0u64..1024), 1..200)) {
+/// The BTB always returns the most recently installed target for a PC
+/// still resident, and never a target installed for a different PC.
+#[test]
+fn btb_returns_latest_target() {
+    let mut rng = Xoshiro256::seed_from_u64(0xB7B);
+    for case in 0..64 {
         let mut btb = Btb::new(1024, 2);
         let mut latest: std::collections::HashMap<u64, u64> = Default::default();
-        for (pc_idx, tgt) in ops {
+        let ops = 1 + rng.next_below(199) as usize;
+        for _ in 0..ops {
+            let pc_idx = rng.next_below(64);
+            let tgt = rng.next_below(1024);
             let pc = Pc::new(0x1000 + pc_idx * 4);
             btb.update(pc, Pc::new(tgt));
             latest.insert(pc.get(), tgt);
-            if let Some(hit) = btb.lookup(pc) {
-                prop_assert_eq!(hit.get(), latest[&pc.get()]);
-            } else {
-                prop_assert!(false, "just-installed entry must hit");
+            match btb.lookup(pc) {
+                Some(hit) => assert_eq!(hit.get(), latest[&pc.get()], "case {case}"),
+                None => panic!("case {case}: just-installed entry must hit"),
             }
         }
         // Residency may have evicted entries, but any hit must be exact.
         for (&pc, &tgt) in &latest {
             if let Some(hit) = btb.lookup(Pc::new(pc)) {
-                prop_assert_eq!(hit.get(), tgt);
+                assert_eq!(hit.get(), tgt, "case {case}");
             }
         }
     }
+}
 
-    /// TAGE: restoring a checkpoint after arbitrary wrong-path pushes
-    /// reproduces the exact same prediction as never having speculated.
-    #[test]
-    fn tage_checkpoint_isolates_wrong_path(
-        warm in proptest::collection::vec(any::<bool>(), 50..150),
-        junk in proptest::collection::vec(any::<bool>(), 0..60),
-        probe_pc in 0u64..512,
-    ) {
+/// TAGE: restoring a checkpoint after arbitrary wrong-path pushes
+/// reproduces the exact same prediction as never having speculated.
+#[test]
+fn tage_checkpoint_isolates_wrong_path() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7A6E);
+    for case in 0..64 {
+        let warm_len = 50 + rng.next_below(100) as usize;
+        let junk_len = rng.next_below(60) as usize;
+        let probe_pc = rng.next_below(512);
         let cfg = PredictorConfig::default();
         let mut a = Tage::new(&cfg);
         let mut b = Tage::new(&cfg);
-        for (i, &t) in warm.iter().enumerate() {
+        for i in 0..warm_len {
+            let t = rng.next_bool();
             let pc = Pc::new(0x2000 + (i as u64 % 8) * 4);
             let (_, ma) = a.predict(pc);
             let (_, mb) = b.predict(pc);
@@ -108,13 +141,13 @@ proptest! {
             b.update(t, &mb);
         }
         let cp = a.checkpoint();
-        for &t in &junk {
-            a.push_history(t, Pc::new(0x9999));
+        for _ in 0..junk_len {
+            a.push_history(rng.next_bool(), Pc::new(0x9999));
         }
         a.restore(&cp);
         let pc = Pc::new(0x2000 + probe_pc * 4);
         let (pa, _) = a.predict(pc);
         let (pb, _) = b.predict(pc);
-        prop_assert_eq!(pa, pb);
+        assert_eq!(pa, pb, "case {case}");
     }
 }

@@ -1,0 +1,174 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] perturbs the memory timing the pipeline observes
+//! during chosen cycle windows — without touching the cache state itself
+//! — so tests can drive the machine into the corner cases the
+//! fault-tolerance layer exists for: latency spikes (a load's data
+//! arrives much later than its hit/miss signal implied), bank-conflict
+//! bursts, and replay storms (every load in the window looks late to its
+//! speculatively-woken dependents). Injected faults are counted in
+//! [`SimStats::faults_injected`](ss_types::SimStats) and, when the
+//! machine is configured with a
+//! [`DegradeConfig`](ss_types::DegradeConfig), a detected replay storm
+//! makes the scheduler fall back to non-speculative wakeup until the
+//! storm passes.
+
+use ss_types::{Cycle, ReplayCause};
+
+/// What an active fault window does to each correct-path load that
+/// executes inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The load's data arrives `extra_cycles` later than the hierarchy
+    /// reported (models a transient downstream stall).
+    LatencySpike {
+        /// Additional cycles before the loaded value is available.
+        extra_cycles: u64,
+    },
+    /// Every load pays a bank-conflict penalty (models pathological
+    /// address interleaving saturating one bank).
+    BankConflictBurst {
+        /// Conflict penalty per load in cycles.
+        delay_cycles: u64,
+    },
+    /// Every load's value arrives just late enough that dependents woken
+    /// on the L1-hit schedule replay — the sustained replay storm the
+    /// graceful-degradation mode detects.
+    ReplayStorm,
+}
+
+/// One contiguous window of injected faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// First cycle the fault is active.
+    pub start: Cycle,
+    /// Number of cycles the window lasts.
+    pub duration: u64,
+    /// The perturbation applied inside the window.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// Whether the window is active at `now`.
+    pub fn active_at(&self, now: Cycle) -> bool {
+        now >= self.start && now.since(self.start) < self.duration
+    }
+}
+
+/// A deterministic schedule of fault windows for one simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a latency-spike window.
+    pub fn latency_spike(mut self, start: u64, duration: u64, extra_cycles: u64) -> Self {
+        self.windows.push(FaultWindow {
+            start: Cycle::new(start),
+            duration,
+            kind: FaultKind::LatencySpike { extra_cycles },
+        });
+        self
+    }
+
+    /// Adds a bank-conflict-burst window.
+    pub fn bank_conflict_burst(mut self, start: u64, duration: u64, delay_cycles: u64) -> Self {
+        self.windows.push(FaultWindow {
+            start: Cycle::new(start),
+            duration,
+            kind: FaultKind::BankConflictBurst { delay_cycles },
+        });
+        self
+    }
+
+    /// Adds a replay-storm window.
+    pub fn replay_storm(mut self, start: u64, duration: u64) -> Self {
+        self.windows.push(FaultWindow {
+            start: Cycle::new(start),
+            duration,
+            kind: FaultKind::ReplayStorm,
+        });
+        self
+    }
+
+    /// The scheduled windows.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// The perturbation (extra latency, attributed replay cause) a
+    /// correct-path load executing at `now` suffers, if any window is
+    /// active. The first active window wins.
+    pub(crate) fn load_fault(&self, now: Cycle) -> Option<(u64, ReplayCause)> {
+        self.windows
+            .iter()
+            .find(|w| w.active_at(now))
+            .map(|w| match w.kind {
+                FaultKind::LatencySpike { extra_cycles } => (extra_cycles, ReplayCause::L1Miss),
+                FaultKind::BankConflictBurst { delay_cycles } => {
+                    (delay_cycles, ReplayCause::BankConflict)
+                }
+                // Late enough to defeat a hit-schedule wakeup at any of the
+                // paper's issue-to-execute delays (0–6), short enough to stay
+                // a storm of small replays rather than a stall.
+                FaultKind::ReplayStorm => (12, ReplayCause::L1Miss),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::new();
+        assert_eq!(p.load_fault(Cycle::new(100)), None);
+    }
+
+    #[test]
+    fn window_bounds_are_half_open() {
+        let p = FaultPlan::new().latency_spike(100, 50, 20);
+        assert_eq!(p.load_fault(Cycle::new(99)), None);
+        assert_eq!(
+            p.load_fault(Cycle::new(100)),
+            Some((20, ReplayCause::L1Miss))
+        );
+        assert_eq!(
+            p.load_fault(Cycle::new(149)),
+            Some((20, ReplayCause::L1Miss))
+        );
+        assert_eq!(p.load_fault(Cycle::new(150)), None);
+    }
+
+    #[test]
+    fn kinds_map_to_expected_causes() {
+        let p = FaultPlan::new()
+            .bank_conflict_burst(0, 10, 3)
+            .replay_storm(20, 10);
+        assert_eq!(
+            p.load_fault(Cycle::new(5)),
+            Some((3, ReplayCause::BankConflict))
+        );
+        let (extra, cause) = p.load_fault(Cycle::new(25)).unwrap();
+        assert_eq!(cause, ReplayCause::L1Miss);
+        assert!(
+            extra > 6,
+            "storm residue must defeat the largest delay sweep point"
+        );
+    }
+
+    #[test]
+    fn first_active_window_wins() {
+        let p = FaultPlan::new()
+            .latency_spike(0, 100, 7)
+            .replay_storm(50, 100);
+        assert_eq!(p.load_fault(Cycle::new(60)), Some((7, ReplayCause::L1Miss)));
+    }
+}

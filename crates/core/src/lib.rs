@@ -31,13 +31,21 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code must surface failures as `SimError`, never `unwrap()`.
+// The remaining `expect()` sites in `pipeline.rs` assert internal
+// invariants that `FetchedUop::validate` guarantees at the fetch
+// boundary (malformed traces become `SimError::TraceInvalid` there).
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod fault;
 pub mod pipeline;
 pub mod rename;
 pub mod runner;
 pub mod window;
 
+pub use fault::{FaultKind, FaultPlan, FaultWindow};
 pub use pipeline::{PipelineSnapshot, Simulator};
 pub use rename::{PhysRef, RenameUnit};
-pub use runner::{run_kernel, run_trace, RunLength};
+pub use runner::{run_kernel, run_trace, try_run_kernel, try_run_trace, RunLength};
 pub use window::{FetchedUop, RobEntry, UopState};

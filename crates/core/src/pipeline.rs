@@ -21,6 +21,7 @@
 //!    taken branch; wrong-path µ-ops are synthesized past a mispredicted
 //!    branch until it resolves.
 
+use crate::fault::FaultPlan;
 use crate::rename::{PhysRef, RenameUnit};
 use crate::window::{FetchedUop, RobEntry, UopState};
 use ss_bpred::BranchPredictor;
@@ -29,45 +30,13 @@ use ss_mem::{MemLevel, MemoryHierarchy};
 use ss_memdep::StoreSets;
 use ss_sched::{BankPredictor, SchedEngine, WakeupDecision};
 use ss_types::{
-    BankInterleaving, CritCriterion, Cycle, OpClass, ReplayCause, ReplayScheme, SeqNum,
-    ShiftPolicy, SimConfig, SimStats,
+    BankInterleaving, CritCriterion, Cycle, DeadlockReport, InvariantReport, OpClass, ReplayCause,
+    ReplayScheme, SeqNum, ShiftPolicy, SimConfig, SimError, SimStats,
 };
 use ss_workloads::{TraceSource, WrongPathGen};
 use std::collections::VecDeque;
 
-/// Cycles without a commit after which the simulator assumes a modeling
-/// deadlock and panics with diagnostics.
-const WATCHDOG_CYCLES: u64 = 200_000;
-
-/// A point-in-time view of pipeline occupancy, for tracing/debugging
-/// tools (see the `trace` binary in `ss-harness`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PipelineSnapshot {
-    /// Current cycle.
-    pub cycle: Cycle,
-    /// Occupied reorder-buffer entries.
-    pub rob: usize,
-    /// Occupied issue-queue entries.
-    pub iq: u32,
-    /// Occupied load-queue entries.
-    pub lq: u32,
-    /// Occupied store-queue entries.
-    pub sq: u32,
-    /// µ-ops in the frontend pipe.
-    pub frontend: usize,
-    /// µ-ops waiting in the recovery buffer.
-    pub recovery: usize,
-    /// µ-ops in the issue-to-execute pipe.
-    pub inflight: usize,
-    /// Fetch currently on the wrong path.
-    pub wrong_path: bool,
-    /// Committed µ-ops so far.
-    pub committed: u64,
-    /// Issue events so far.
-    pub issued: u64,
-    /// Replayed µ-ops so far.
-    pub replayed: u64,
-}
+pub use ss_types::PipelineSnapshot;
 
 /// Per-cycle issue-stage context shared by the replay and scheduler
 /// selection loops (drives Schedule Shifting decisions).
@@ -136,6 +105,17 @@ pub struct Simulator<T> {
     recent_load_idx: usize,
     wp_rng: u64,
 
+    /// Injected-fault schedule (robustness testing), if any.
+    fault_plan: Option<FaultPlan>,
+    /// Graceful degradation: conservative-wakeup fallback active until
+    /// this cycle (replay-storm response; `Cycle::ZERO` = not degraded).
+    degrade_until: Cycle,
+    degrade_window_start: Cycle,
+    degrade_window_replays: u64,
+    /// A structured error detected mid-tick (e.g. a malformed µ-op at the
+    /// fetch boundary), surfaced by [`Simulator::try_run_committed`].
+    pending_error: Option<SimError>,
+
     stats: SimStats,
     /// Memory-order violations (Store Sets training events).
     pub memdep_violations: u64,
@@ -177,6 +157,11 @@ impl<T: TraceSource> Simulator<T> {
             recent_load_addrs: [ss_types::Addr::new(0x1_0000_0000); 64],
             recent_load_idx: 0,
             wp_rng: 0x2545_F491_4F6C_DD1D,
+            fault_plan: None,
+            degrade_until: Cycle::ZERO,
+            degrade_window_start: Cycle::ZERO,
+            degrade_window_replays: 0,
+            pending_error: None,
             stats: SimStats::default(),
             memdep_violations: 0,
             wp_gen: WrongPathGen::new(0x57A7_5EED),
@@ -205,23 +190,58 @@ impl<T: TraceSource> Simulator<T> {
         self.stats.clone()
     }
 
+    /// Installs a fault-injection schedule (see [`FaultPlan`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Whether the graceful-degradation fallback (non-speculative wakeup
+    /// after a detected replay storm) is active this cycle.
+    pub fn degraded(&self) -> bool {
+        self.now < self.degrade_until
+    }
+
     /// Runs until at least `n` more µ-ops commit (the final cycle may
     /// overshoot by up to the retire width); returns statistics
     /// accumulated since the start of the simulation.
     ///
     /// # Panics
     ///
-    /// Panics if the pipeline stops committing for an extended period
-    /// (a modeling bug, not a workload property).
+    /// Panics on any error [`Simulator::try_run_committed`] reports
+    /// (a modeling bug or malformed trace, not a workload property).
     pub fn run_committed(&mut self, n: u64) -> SimStats {
+        self.try_run_committed(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs until at least `n` more µ-ops commit, returning a structured
+    /// error instead of panicking when the machine misbehaves:
+    ///
+    /// * [`SimError::Deadlock`] — no commit for
+    ///   [`SimConfig::watchdog_cycles`] consecutive cycles;
+    /// * [`SimError::InvariantViolation`] — the periodic checker (every
+    ///   [`SimConfig::invariant_check_interval`] cycles, when non-zero)
+    ///   caught internal state corruption;
+    /// * [`SimError::TraceInvalid`] — the trace source handed fetch a
+    ///   malformed µ-op.
+    ///
+    /// The simulator must not be used further after an error.
+    pub fn try_run_committed(&mut self, n: u64) -> Result<SimStats, SimError> {
         let target = self.stats.committed_uops + n;
+        let watchdog = self.cfg.watchdog_cycles;
+        let interval = self.cfg.invariant_check_interval;
         while self.stats.committed_uops < target {
             self.tick();
-            if self.now.since(self.last_commit_at) >= WATCHDOG_CYCLES {
-                self.dump_deadlock();
+            if let Some(e) = self.pending_error.take() {
+                return Err(e);
+            }
+            if self.now.since(self.last_commit_at) >= watchdog {
+                return Err(SimError::Deadlock(self.deadlock_report()));
+            }
+            if interval > 0 && self.now.get().is_multiple_of(interval) {
+                self.check_invariants()?;
             }
         }
-        self.stats()
+        Ok(self.stats())
     }
 
     /// Captures the current pipeline occupancy (cheap; no simulation
@@ -243,18 +263,9 @@ impl<T: TraceSource> Simulator<T> {
         }
     }
 
-    /// Panics with a detailed picture of the stuck window (watchdog).
-    fn dump_deadlock(&self) -> ! {
-        let mut msg = format!(
-            "pipeline deadlock at {}: rob={} iq={} lq={} sq={} recovery_groups={} wp={}\n",
-            self.now,
-            self.rob.len(),
-            self.iq_used,
-            self.lq_used,
-            self.sq_used,
-            self.recovery.len(),
-            self.wrong_path_mode,
-        );
+    /// Builds the watchdog's detailed picture of the stuck window.
+    fn deadlock_report(&self) -> DeadlockReport {
+        let mut msg = String::new();
         for e in self.rob.iter().take(12) {
             let srcs: Vec<String> = e
                 .srcs
@@ -286,21 +297,147 @@ impl<T: TraceSource> Simulator<T> {
         }
         msg += &format!(
             "  inflight groups: {:?}\n",
-            self.inflight.iter().map(|(c, g)| (*c, g.len())).collect::<Vec<_>>()
+            self.inflight
+                .iter()
+                .map(|(c, g)| (*c, g.len()))
+                .collect::<Vec<_>>()
         );
-        panic!("{msg}");
+        DeadlockReport {
+            snapshot: self.snapshot(),
+            watchdog_cycles: self.cfg.watchdog_cycles,
+            detail: msg,
+        }
+    }
+
+    /// Verifies the machine's internal-consistency invariants:
+    /// occupancy counters vs structure contents, physical-register
+    /// free-list conservation, and recovery-buffer/in-flight group
+    /// consistency. Cheap enough to run every few thousand cycles (see
+    /// [`SimConfig::invariant_check_interval`]); catches state corruption
+    /// close to where it happened instead of as a downstream deadlock.
+    pub fn check_invariants(&self) -> Result<(), SimError> {
+        let fail = |what: String| {
+            Err(SimError::InvariantViolation(InvariantReport {
+                snapshot: self.snapshot(),
+                what,
+            }))
+        };
+        // Occupancy counters must equal what the ROB actually holds.
+        let iq = self.rob.iter().filter(|e| e.holds_iq).count() as u32;
+        if iq != self.iq_used {
+            return fail(format!(
+                "iq_used {} != {} IQ-holding ROB entries",
+                self.iq_used, iq
+            ));
+        }
+        let lq = self.rob.iter().filter(|e| e.uop.class.is_load()).count() as u32;
+        if lq != self.lq_used {
+            return fail(format!("lq_used {} != {} loads in ROB", self.lq_used, lq));
+        }
+        let sq = self.rob.iter().filter(|e| e.uop.class.is_store()).count() as u32;
+        if sq != self.sq_used {
+            return fail(format!("sq_used {} != {} stores in ROB", self.sq_used, sq));
+        }
+        // Structure capacities.
+        if self.rob.len() > self.cfg.rob_entries as usize {
+            return fail(format!(
+                "rob {} over capacity {}",
+                self.rob.len(),
+                self.cfg.rob_entries
+            ));
+        }
+        if self.iq_used > self.cfg.iq_entries
+            || self.lq_used > self.cfg.lq_entries
+            || self.sq_used > self.cfg.sq_entries
+        {
+            return fail(format!(
+                "queue over capacity: iq {}/{} lq {}/{} sq {}/{}",
+                self.iq_used,
+                self.cfg.iq_entries,
+                self.lq_used,
+                self.cfg.lq_entries,
+                self.sq_used,
+                self.cfg.sq_entries
+            ));
+        }
+        // Recovery buffer: every member must be a live ROB entry still
+        // marked as waiting in the buffer.
+        for (cycle, group) in &self.recovery {
+            for &seq in group {
+                let Some(e) = self.entry(seq) else {
+                    return fail(format!("recovery group @{cycle:?} holds dead seq {seq}"));
+                };
+                if !e.in_recovery || e.state != UopState::Waiting {
+                    return fail(format!(
+                        "recovery member {seq} in state {:?} (in_recovery={})",
+                        e.state, e.in_recovery
+                    ));
+                }
+            }
+        }
+        // In-flight groups may hold stale members (entries re-validate by
+        // state at execute), but never sequence numbers never dispatched.
+        for (cycle, group) in &self.inflight {
+            for &seq in group {
+                if seq >= self.next_seq {
+                    return fail(format!(
+                        "inflight group @{cycle:?} holds undispatched seq {seq}"
+                    ));
+                }
+            }
+        }
+        // Physical-register free-list conservation: the free lists, the
+        // rename maps, and the previous mappings held by in-ROB µ-ops
+        // must exactly partition each register file (no leak, no
+        // double-free).
+        let mut held: [Vec<ss_types::PhysReg>; 2] = [Vec::new(), Vec::new()];
+        for e in &self.rob {
+            if let Some((_, prev)) = e.dst {
+                held[prev.class.index()].push(prev.reg);
+            }
+        }
+        if let Err(what) = self.rename.audit(&held[0], &held[1]) {
+            return fail(what);
+        }
+        Ok(())
     }
 
     /// Advances the machine one cycle.
     pub fn tick(&mut self) {
         self.now += 1;
         self.stats.cycles += 1;
+        if self.degraded() {
+            self.stats.degrade_cycles += 1;
+        }
         self.apply_deferred_wakes();
         self.commit();
         self.execute();
         self.issue();
         self.dispatch();
         self.fetch();
+    }
+
+    /// Counts a replay event and, when graceful degradation is
+    /// configured, feeds the sliding replay-storm detector: crossing
+    /// `replay_threshold` events within `window_cycles` switches load
+    /// wakeup to the conservative fallback for `duration_cycles`.
+    fn note_replay_event(&mut self, cause: ReplayCause) {
+        self.stats.add_replay_event(cause);
+        let Some(d) = self.cfg.degrade else { return };
+        if self.degraded() {
+            return;
+        }
+        if self.now.since(self.degrade_window_start) >= d.window_cycles {
+            self.degrade_window_start = self.now;
+            self.degrade_window_replays = 0;
+        }
+        self.degrade_window_replays += 1;
+        if self.degrade_window_replays >= d.replay_threshold {
+            self.degrade_until = self.now + d.duration_cycles;
+            self.stats.degrade_entries += 1;
+            self.degrade_window_start = self.now;
+            self.degrade_window_replays = 0;
+        }
     }
 
     /// Applies a pending wake revision for `reg` immediately (a replay
@@ -405,7 +542,8 @@ impl<T: TraceSource> Simulator<T> {
                     let b = e.uop.branch.expect("branch payload");
                     if let Some(pred) = &e.pred {
                         let target = if b.taken { b.target } else { e.uop.next_pc() };
-                        self.bpred.on_commit(e.uop.pc, kind, b.taken, target, &pred.meta);
+                        self.bpred
+                            .on_commit(e.uop.pc, kind, b.taken, target, &pred.meta);
                     }
                 }
                 _ => {}
@@ -427,9 +565,11 @@ impl<T: TraceSource> Simulator<T> {
             None => return,
         };
         let group = match self.inflight.front() {
-            Some((c, _)) if *c == exec_issue_cycle => {
-                self.inflight.pop_front().map(|(_, g)| g).unwrap_or_default()
-            }
+            Some((c, _)) if *c == exec_issue_cycle => self
+                .inflight
+                .pop_front()
+                .map(|(_, g)| g)
+                .unwrap_or_default(),
             Some((c, _)) => {
                 assert!(
                     *c > exec_issue_cycle,
@@ -479,7 +619,7 @@ impl<T: TraceSource> Simulator<T> {
                         // Pentium-4-style: only this µ-op recycles; the
                         // rest of the window is untouched and issue
                         // continues this cycle.
-                        self.stats.add_replay_event(cause);
+                        self.note_replay_event(cause);
                         self.stats.add_replayed(cause, 1);
                         let mut group = Vec::new();
                         self.squash_one(seq, &mut group);
@@ -491,7 +631,7 @@ impl<T: TraceSource> Simulator<T> {
                         // Branch-misprediction-style recovery: squash from
                         // the offender onward and stall fetch for a
                         // frontend refill.
-                        self.stats.add_replay_event(cause);
+                        self.note_replay_event(cause);
                         let n = self.squash_from(seq);
                         self.stats.add_replayed(cause, n);
                         self.issue_blocked_at = Some(self.now);
@@ -530,8 +670,11 @@ impl<T: TraceSource> Simulator<T> {
         let exec_start = self.now;
         match e.uop.class {
             OpClass::Load => {
-                let aliasing =
-                    if e.wrong_path { None } else { self.youngest_older_aliasing_store(seq) };
+                let aliasing = if e.wrong_path {
+                    None
+                } else {
+                    self.youngest_older_aliasing_store(seq)
+                };
                 if let Some((store_seq, false)) = aliasing {
                     // Memory-order violation: the aliasing store has not
                     // executed yet.
@@ -557,6 +700,21 @@ impl<T: TraceSource> Simulator<T> {
                     };
                     (r.extra_latency, cause, hit)
                 };
+                // Fault injection: an active window delays this load's
+                // data past what the hierarchy reported, attributed to
+                // the window's replay cause. Wrong-path loads are exempt
+                // (their timing never reaches the scoreboard).
+                if !e.wrong_path {
+                    if let Some((f_extra, f_cause)) = self
+                        .fault_plan
+                        .as_ref()
+                        .and_then(|p| p.load_fault(exec_start))
+                    {
+                        extra += f_extra;
+                        cause = Some(f_cause);
+                        self.stats.faults_injected += 1;
+                    }
+                }
                 if e.prf_delay > 0 {
                     extra += u64::from(e.prf_delay);
                     cause = cause.or(Some(ReplayCause::PrfConflict));
@@ -578,7 +736,8 @@ impl<T: TraceSource> Simulator<T> {
                 }
                 let v = exec_start + self.cfg.l1d_load_to_use + extra;
                 let dst = e.dst.expect("load writes a register").0;
-                self.rename.set_avail(dst, v, if extra > 0 { cause } else { None });
+                self.rename
+                    .set_avail(dst, v, if extra > 0 { cause } else { None });
                 // Wakeup revision: conservative loads wake dependents on
                 // the hit/miss signal (one cycle before data ⇒ they pay
                 // the issue-to-execute delay); speculatively-woken loads
@@ -589,7 +748,8 @@ impl<T: TraceSource> Simulator<T> {
                     // Conservative wakeup: dependents ride the actual
                     // hit/miss signal (one cycle before the data), paying
                     // the issue-to-execute delay on the chain.
-                    self.rename.set_wake(dst, Cycle::new((v.get() - 1).max(self.now.get() + 1)));
+                    self.rename
+                        .set_wake(dst, Cycle::new((v.get() - 1).max(self.now.get() + 1)));
                 } else if spec_wake + self.delay + 1 < v {
                     // Dependents woken at spec_wake would execute before
                     // the data exists. The hardware only learns this when
@@ -599,7 +759,9 @@ impl<T: TraceSource> Simulator<T> {
                     // issues at small delays. From the signal on, pending
                     // dependents are rescheduled onto the known residue
                     // (the Pentium-4-style replay-loop schedule).
-                    let revised = Cycle::new((v.get().saturating_sub(self.delay + 1)).max(self.now.get() + 1));
+                    let revised = Cycle::new(
+                        (v.get().saturating_sub(self.delay + 1)).max(self.now.get() + 1),
+                    );
                     let signal_at = Cycle::new((v.get() - 2).max(self.now.get()));
                     if signal_at <= self.now {
                         self.rename.set_wake(dst, revised);
@@ -708,7 +870,7 @@ impl<T: TraceSource> Simulator<T> {
     /// (all in-flight issue groups), lose one issue cycle, and account
     /// the squashed µ-ops to `cause`.
     fn trigger_replay(&mut self, cause: ReplayCause) {
-        self.stats.add_replay_event(cause);
+        self.note_replay_event(cause);
         self.issue_blocked_at = Some(self.now);
         let groups: Vec<(Cycle, Vec<SeqNum>)> = self.inflight.drain(..).collect();
         let mut squashed = 0u64;
@@ -939,7 +1101,10 @@ impl<T: TraceSource> Simulator<T> {
                 self.now,
                 self.rob.front().map(|e| e.seq),
                 self.rob.len(),
-                self.recovery.iter().map(|(c, g)| (*c, g.len())).collect::<Vec<_>>()
+                self.recovery
+                    .iter()
+                    .map(|(c, g)| (*c, g.len()))
+                    .collect::<Vec<_>>()
             )
         });
         for s in e.srcs.iter().flatten() {
@@ -1059,7 +1224,15 @@ impl<T: TraceSource> Simulator<T> {
         if let Some((dst, _)) = e.dst {
             match e.uop.class {
                 OpClass::Load => {
-                    let decision = self.engine.decide(e.uop.pc);
+                    // Degradation fallback: while a replay storm is being
+                    // ridden out, wake dependents conservatively no matter
+                    // what the policy says (they pay the delay but cannot
+                    // replay on this load).
+                    let decision = if self.degraded() {
+                        WakeupDecision::Conservative
+                    } else {
+                        self.engine.decide(e.uop.pc)
+                    };
                     cycle_state.loads_issued += 1;
                     let shifted = match self.cfg.shift_policy {
                         ShiftPolicy::Off => false,
@@ -1098,11 +1271,8 @@ impl<T: TraceSource> Simulator<T> {
                     // replay against the delayed availability.
                     self.rename.set_wake(dst, now + lat);
                     let cause = (prf_delay > 0).then_some(ReplayCause::PrfConflict);
-                    self.rename.set_avail(
-                        dst,
-                        now + delay + 1 + lat + u64::from(prf_delay),
-                        cause,
-                    );
+                    self.rename
+                        .set_avail(dst, now + delay + 1 + lat + u64::from(prf_delay), cause);
                 }
             }
         }
@@ -1128,7 +1298,9 @@ impl<T: TraceSource> Simulator<T> {
         let mut dispatched = 0;
         let mut stalled = false;
         while dispatched < self.cfg.frontend_width {
-            let Some(f) = self.frontend.front() else { break };
+            let Some(f) = self.frontend.front() else {
+                break;
+            };
             if f.ready_at > self.now {
                 break;
             }
@@ -1168,8 +1340,10 @@ impl<T: TraceSource> Simulator<T> {
                 }
             }
             if let Some(d) = f.uop.dst {
-                let (new, prev) =
-                    self.rename.rename_dst(d.class, d.reg).expect("free list checked");
+                let (new, prev) = self
+                    .rename
+                    .rename_dst(d.class, d.reg)
+                    .expect("free list checked");
                 e.dst = Some((new, prev));
             }
             // Memory-dependence prediction.
@@ -1226,6 +1400,19 @@ impl<T: TraceSource> Simulator<T> {
                 (self.wp_gen.next_uop(), true)
             } else {
                 let u = self.next_correct_uop();
+                // Fetch-boundary validation: a malformed µ-op from the
+                // trace source becomes a structured error here, before
+                // any deeper stage could trip an internal `expect` on a
+                // missing payload. Every `expect` on µ-op payloads past
+                // this point (branch targets, memory addresses, load
+                // destinations) is guaranteed by this gate.
+                if let Err(reason) = u.validate() {
+                    self.pending_error = Some(SimError::TraceInvalid {
+                        pc: u.pc.get(),
+                        reason,
+                    });
+                    return;
+                }
                 (u, false)
             };
             if wrong_path {
@@ -1283,7 +1470,9 @@ impl<T: TraceSource> Simulator<T> {
                     // resolve anyway).
                     predicted_taken = false;
                 } else {
-                    let OpClass::Branch(kind) = uop.class else { unreachable!() };
+                    let OpClass::Branch(kind) = uop.class else {
+                        unreachable!()
+                    };
                     let b = uop.branch.expect("branch payload");
                     let p = self.bpred.on_branch_fetch(uop.pc, kind, uop.next_pc());
                     predicted_taken = p.taken;
@@ -1311,7 +1500,8 @@ impl<T: TraceSource> Simulator<T> {
             if mispredicted {
                 // Fetch diverges: follow the *predicted* path.
                 self.wrong_path_mode = true;
-                self.wp_gen.redirect(pred_next.expect("mispredicted branch has prediction"));
+                self.wp_gen
+                    .redirect(pred_next.expect("mispredicted branch has prediction"));
                 // `diverged` is recorded at dispatch (needs the seq).
             }
             if uop.class.is_branch() && predicted_taken {

@@ -51,14 +51,23 @@ impl RenameUnit {
     /// born ready.
     pub fn new(int_prf: u32, fp_prf: u32) -> Self {
         let mk = |n: u32| {
-            let ready = RegInfo { wake_at: Cycle::ZERO, avail_at: Cycle::ZERO, late_cause: None };
+            let ready = RegInfo {
+                wake_at: Cycle::ZERO,
+                avail_at: Cycle::ZERO,
+                late_cause: None,
+            };
             ClassState {
                 map: std::array::from_fn(|i| PhysReg::new(i as u16)),
-                free: (ArchReg::COUNT as u16..n as u16).rev().map(PhysReg::new).collect(),
+                free: (ArchReg::COUNT as u16..n as u16)
+                    .rev()
+                    .map(PhysReg::new)
+                    .collect(),
                 info: vec![ready; n as usize],
             }
         };
-        RenameUnit { classes: [mk(int_prf), mk(fp_prf)] }
+        RenameUnit {
+            classes: [mk(int_prf), mk(fp_prf)],
+        }
     }
 
     fn class(&self, c: RegClass) -> &ClassState {
@@ -71,7 +80,10 @@ impl RenameUnit {
 
     /// Current mapping of an architectural source.
     pub fn lookup(&self, class: RegClass, reg: ArchReg) -> PhysRef {
-        PhysRef { class, reg: self.class(class).map[reg.index()] }
+        PhysRef {
+            class,
+            reg: self.class(class).map[reg.index()],
+        }
     }
 
     /// Renames a destination: allocates a fresh physical register (born
@@ -82,8 +94,11 @@ impl RenameUnit {
         let new = st.free.pop()?;
         let prev = st.map[reg.index()];
         st.map[reg.index()] = new;
-        st.info[new.index()] =
-            RegInfo { wake_at: Cycle::NEVER, avail_at: Cycle::NEVER, late_cause: None };
+        st.info[new.index()] = RegInfo {
+            wake_at: Cycle::NEVER,
+            avail_at: Cycle::NEVER,
+            late_cause: None,
+        };
         Some((PhysRef { class, reg: new }, PhysRef { class, reg: prev }))
     }
 
@@ -101,7 +116,11 @@ impl RenameUnit {
     /// previous mapping and frees the squashed µ-op's register.
     pub fn unwind(&mut self, arch: ArchReg, new: PhysRef, prev: PhysRef) {
         let st = self.class_mut(new.class);
-        debug_assert_eq!(st.map[arch.index()], new.reg, "unwind must be youngest-first");
+        debug_assert_eq!(
+            st.map[arch.index()],
+            new.reg,
+            "unwind must be youngest-first"
+        );
         st.map[arch.index()] = prev.reg;
         st.free.push(new.reg);
     }
@@ -137,8 +156,40 @@ impl RenameUnit {
     /// Clears all timing state of `r` back to not-ready (producer
     /// squashed; it will re-issue later).
     pub fn reset_timing(&mut self, r: PhysRef) {
-        self.class_mut(r.class).info[r.reg.index()] =
-            RegInfo { wake_at: Cycle::NEVER, avail_at: Cycle::NEVER, late_cause: None };
+        self.class_mut(r.class).info[r.reg.index()] = RegInfo {
+            wake_at: Cycle::NEVER,
+            avail_at: Cycle::NEVER,
+            late_cause: None,
+        };
+    }
+
+    /// Verifies physical-register conservation: for each file, the free
+    /// list, the rename map, and the previous mappings held by in-flight
+    /// µ-ops (`held_*`, the `prev` of every renamed ROB entry) must
+    /// exactly partition the register file. A register appearing twice is
+    /// a double-free; one appearing nowhere has leaked.
+    pub fn audit(&self, held_int: &[PhysReg], held_fp: &[PhysReg]) -> Result<(), String> {
+        for (name, st, held) in [
+            ("int", &self.classes[RegClass::Int.index()], held_int),
+            ("fp", &self.classes[RegClass::Float.index()], held_fp),
+        ] {
+            let mut count = vec![0u32; st.info.len()];
+            for &r in st.free.iter().chain(st.map.iter()).chain(held.iter()) {
+                count[r.index()] += 1;
+            }
+            if let Some(reg) = count.iter().position(|&c| c == 0) {
+                return Err(format!(
+                    "{name} p{reg} leaked: in neither free list, map, nor any ROB entry"
+                ));
+            }
+            if let Some(reg) = count.iter().position(|&c| c > 1) {
+                return Err(format!(
+                    "{name} p{reg} appears {} times across free list, map, and ROB holds",
+                    count[reg]
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -191,7 +242,10 @@ mod tests {
         u.unwind(ArchReg::new(7), n2, p2);
         assert_eq!(u.lookup(RegClass::Int, ArchReg::new(7)), n1);
         u.unwind(ArchReg::new(7), n1, p1);
-        assert_eq!(u.lookup(RegClass::Int, ArchReg::new(7)).reg, PhysReg::new(7));
+        assert_eq!(
+            u.lookup(RegClass::Int, ArchReg::new(7)).reg,
+            PhysReg::new(7)
+        );
     }
 
     #[test]
@@ -202,6 +256,29 @@ mod tests {
         assert!(u.rename_dst(RegClass::Int, ArchReg::new(2)).is_none());
         // FP file independent
         assert!(u.rename_dst(RegClass::Float, ArchReg::new(0)).is_some());
+    }
+
+    #[test]
+    fn audit_tracks_conservation() {
+        let mut u = unit();
+        assert!(u.audit(&[], &[]).is_ok(), "fresh unit conserves registers");
+        let (_, p1) = u.rename_dst(RegClass::Int, ArchReg::new(0)).unwrap();
+        let (_, p2) = u.rename_dst(RegClass::Int, ArchReg::new(1)).unwrap();
+        // prevs held by in-flight µ-ops: conserved only when reported
+        assert!(u.audit(&[p1.reg, p2.reg], &[]).is_ok());
+        let err = u.audit(&[p1.reg], &[]).unwrap_err();
+        assert!(
+            err.contains("leaked"),
+            "missing hold must read as a leak: {err}"
+        );
+        // double-free: release a register that is also still held
+        u.release(p1);
+        let err = u.audit(&[p1.reg, p2.reg], &[]).unwrap_err();
+        assert!(
+            err.contains("times"),
+            "double count must be reported: {err}"
+        );
+        assert!(u.audit(&[p2.reg], &[]).is_ok());
     }
 
     #[test]

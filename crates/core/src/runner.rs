@@ -2,8 +2,8 @@
 //! measure, and return warmup-corrected statistics.
 
 use crate::pipeline::Simulator;
-use ss_types::{SimConfig, SimStats};
-use ss_workloads::{KernelTrace, KernelSpec, TraceSource};
+use ss_types::{SimConfig, SimError, SimStats};
+use ss_workloads::{KernelSpec, KernelTrace, TraceSource};
 
 /// How long to run a measurement, in committed µ-ops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,23 +18,58 @@ impl RunLength {
     /// The default experiment length used by the harness: 200K warmup +
     /// 2M measured µ-ops (the paper used 50M + 100M on gem5; synthetic
     /// kernels are stationary and converge much faster — see DESIGN.md).
-    pub const FULL: RunLength = RunLength { warmup: 200_000, measure: 2_000_000 };
+    pub const FULL: RunLength = RunLength {
+        warmup: 200_000,
+        measure: 2_000_000,
+    };
     /// A short smoke-test length for unit/integration tests.
-    pub const SMOKE: RunLength = RunLength { warmup: 5_000, measure: 30_000 };
+    pub const SMOKE: RunLength = RunLength {
+        warmup: 5_000,
+        measure: 30_000,
+    };
 }
 
 /// Runs `trace` on a machine described by `cfg` and returns statistics
 /// for the measurement window only.
+///
+/// # Panics
+///
+/// Panics on any error [`try_run_trace`] reports.
 pub fn run_trace<T: TraceSource>(cfg: SimConfig, trace: T, len: RunLength) -> SimStats {
-    let mut sim = Simulator::new(cfg, trace);
-    let warm = sim.run_committed(len.warmup);
-    let end = sim.run_committed(len.measure);
-    end.delta(&warm)
+    try_run_trace(cfg, trace, len).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Runs a kernel spec (convenience wrapper over [`run_trace`]).
+///
+/// # Panics
+///
+/// Panics on any error [`try_run_kernel`] reports.
 pub fn run_kernel(cfg: SimConfig, spec: KernelSpec, len: RunLength) -> SimStats {
     run_trace(cfg, KernelTrace::new(spec), len)
+}
+
+/// Non-panicking variant of [`run_trace`]: configuration problems,
+/// watchdog-detected deadlocks, invariant violations, and malformed
+/// traces come back as a [`SimError`].
+pub fn try_run_trace<T: TraceSource>(
+    cfg: SimConfig,
+    trace: T,
+    len: RunLength,
+) -> Result<SimStats, SimError> {
+    cfg.try_validate()?;
+    let mut sim = Simulator::new(cfg, trace);
+    let warm = sim.try_run_committed(len.warmup)?;
+    let end = sim.try_run_committed(len.measure)?;
+    Ok(end.delta(&warm))
+}
+
+/// Non-panicking variant of [`run_kernel`].
+pub fn try_run_kernel(
+    cfg: SimConfig,
+    spec: KernelSpec,
+    len: RunLength,
+) -> Result<SimStats, SimError> {
+    try_run_trace(cfg, KernelTrace::new(spec), len)
 }
 
 #[cfg(test)]
@@ -45,7 +80,9 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_sane_stats() {
-        let cfg = SimConfig::builder().sched_policy(SchedPolicyKind::AlwaysHit).build();
+        let cfg = SimConfig::builder()
+            .sched_policy(SchedPolicyKind::AlwaysHit)
+            .build();
         let s = run_kernel(cfg, kernels::fp_compute(1), RunLength::SMOKE);
         // run_committed stops at the first commit boundary past the target
         assert!(s.committed_uops >= 30_000 && s.committed_uops < 30_000 + 8);

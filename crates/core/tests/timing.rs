@@ -23,7 +23,12 @@ impl LoopTrace {
             op.pc = base.step(k as u64 * INST_BYTES);
         }
         let jump_pc = base.step(body.len() as u64 * INST_BYTES);
-        body.push(MicroOp::jump(jump_pc, ss_types::BranchKind::Direct, base, None));
+        body.push(MicroOp::jump(
+            jump_pc,
+            ss_types::BranchKind::Direct,
+            base,
+            None,
+        ));
         LoopTrace { ops: body, i: 0 }
     }
 }
@@ -52,7 +57,10 @@ fn cfg(delay: u64) -> SimConfig {
         .build()
 }
 
-const LEN: RunLength = RunLength { warmup: 2_000, measure: 20_000 };
+const LEN: RunLength = RunLength {
+    warmup: 2_000,
+    measure: 20_000,
+};
 
 /// A serial ALU chain retires one µ-op per cycle regardless of the
 /// issue-to-execute delay (back-to-back wakeup hides it completely).
@@ -82,13 +90,17 @@ fn dependent_alu_chain_is_back_to_back() {
 /// Independent ALU µ-ops saturate the 4 ALU ports (not the 6-wide issue).
 #[test]
 fn independent_alus_saturate_alu_ports() {
-    let body: Vec<MicroOp> =
-        (1..=8).map(|i| MicroOp::alu(Pc::new(0), r(i), r(20 + i), None)).collect();
+    let body: Vec<MicroOp> = (1..=8)
+        .map(|i| MicroOp::alu(Pc::new(0), r(i), r(20 + i), None))
+        .collect();
     let s = run_trace(cfg(4), LoopTrace::new(body), LEN);
     // 8 independent ALUs + jump per iteration; 4 ALU ports + the branch
     // shares them → 9 µ-ops / ceil(9/4) cycles ≈ 3.6-4 IPC.
     let ipc = s.ipc();
-    assert!((3.2..=4.2).contains(&ipc), "ALU-port-bound IPC, got {ipc:.3}");
+    assert!(
+        (3.2..=4.2).contains(&ipc),
+        "ALU-port-bound IPC, got {ipc:.3}"
+    );
 }
 
 /// Non-pipelined divides serialize on the single MulDiv unit: one divide
@@ -111,13 +123,17 @@ fn divides_are_not_pipelined() {
 /// Pipelined multiplies on the single MulDiv port: one per cycle.
 #[test]
 fn multiplies_are_pipelined_but_port_limited() {
-    let body: Vec<MicroOp> =
-        (1..=4).map(|i| MicroOp::compute(Pc::new(0), OpClass::IntMul, r(i), r(20 + i), None)).collect();
+    let body: Vec<MicroOp> = (1..=4)
+        .map(|i| MicroOp::compute(Pc::new(0), OpClass::IntMul, r(i), r(20 + i), None))
+        .collect();
     let s = run_trace(cfg(4), LoopTrace::new(body), LEN);
     // 4 independent muls per iteration through 1 port → 4 cycles; plus
     // the jump rides along → IPC ≈ 5/4.
     let ipc = s.ipc();
-    assert!((1.1..=1.35).contains(&ipc), "mul-port-bound IPC, got {ipc:.3}");
+    assert!(
+        (1.1..=1.35).contains(&ipc),
+        "mul-port-bound IPC, got {ipc:.3}"
+    );
 }
 
 /// An L1-hitting load chain costs exactly load-to-use (4) cycles per link
@@ -180,5 +196,8 @@ fn manual_ticks_advance_the_machine() {
     }
     let s = sim.stats();
     assert_eq!(s.cycles, 500);
-    assert!(s.committed_uops > 300, "machine must be retiring by cycle 500");
+    assert!(
+        s.committed_uops > 300,
+        "machine must be retiring by cycle 500"
+    );
 }

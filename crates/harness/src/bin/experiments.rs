@@ -38,9 +38,15 @@ fn main() {
     }
 
     let len = if quick {
-        RunLength { warmup: 20_000, measure: 150_000 }
+        RunLength {
+            warmup: 20_000,
+            measure: 150_000,
+        }
     } else {
-        RunLength { warmup: 50_000, measure: 500_000 }
+        RunLength {
+            warmup: 50_000,
+            measure: 500_000,
+        }
     };
     let cache_dir = cache.then(|| out.join("cache"));
     let mut sess = Session::new(len, cache_dir);
@@ -77,12 +83,20 @@ fn main() {
             eprintln!("warning: could not write CSVs for {}: {e}", r.id);
         }
     }
+    for note in sess.failure_notes() {
+        eprintln!("{note}");
+    }
     eprintln!(
-        "[{} simulations run, {:.1}s, run length {}+{} µ-ops, CSVs in {}]",
+        "[{} simulations run, {} cache entries rejected, {} cell failures, {:.1}s, run length {}+{} µ-ops, CSVs in {}]",
         sess.simulated,
+        sess.cache_rejected,
+        sess.failures.len(),
         t0.elapsed().as_secs_f64(),
         sess.run_length().warmup,
         sess.run_length().measure,
         out.display()
     );
+    if !sess.failures.is_empty() {
+        std::process::exit(1);
+    }
 }

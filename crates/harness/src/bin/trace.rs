@@ -46,7 +46,9 @@ fn main() {
             "--skip" => skip = it.next().and_then(|v| v.parse().ok()).expect("--skip N"),
             "--every" => every = it.next().and_then(|v| v.parse().ok()).expect("--every N"),
             "--help" | "-h" => {
-                eprintln!("usage: trace <benchmark> [--config NAME] [--cycles N] [--skip N] [--every N]");
+                eprintln!(
+                    "usage: trace <benchmark> [--config NAME] [--cycles N] [--skip N] [--every N]"
+                );
                 return;
             }
             other => bench_name = Some(other.to_string()),
@@ -72,7 +74,18 @@ fn main() {
     }
     println!(
         "{:>9} {:>4} {:>3} {:>3} {:>3} {:>5} {:>4} {:>4} {:>3}  {:>10} {:>10} {:>9}",
-        "cycle", "rob", "iq", "lq", "sq", "front", "recv", "infl", "wp", "committed", "issued", "replayed"
+        "cycle",
+        "rob",
+        "iq",
+        "lq",
+        "sq",
+        "front",
+        "recv",
+        "infl",
+        "wp",
+        "committed",
+        "issued",
+        "replayed"
     );
     let mut last = sim.snapshot();
     for i in 0..cycles {
@@ -81,7 +94,11 @@ fn main() {
             continue;
         }
         let s = sim.snapshot();
-        let marker = if s.replayed > last.replayed { " <-- replay" } else { "" };
+        let marker = if s.replayed > last.replayed {
+            " <-- replay"
+        } else {
+            ""
+        };
         println!(
             "{:>9} {:>4} {:>3} {:>3} {:>3} {:>5} {:>4} {:>4} {:>3}  {:>10} {:>10} {:>9}{}",
             s.cycle.get(),

@@ -12,8 +12,8 @@
 //! * `SpecSched_d_Crit` — Shifting + Filter + criticality gating (§5.3).
 
 use ss_types::{
-    BankInterleaving, BankedL1dConfig, CritCriterion, PredictorConfig, PrfBankConfig,
-    ReplayScheme, SchedPolicyKind, ShiftPolicy, SimConfig,
+    BankInterleaving, BankedL1dConfig, CritCriterion, PredictorConfig, PrfBankConfig, ReplayScheme,
+    SchedPolicyKind, ShiftPolicy, SimConfig,
 };
 
 /// A named configuration.
@@ -139,7 +139,10 @@ pub fn ablation_no_line_buffer(delay: u64) -> NamedConfig {
         name: format!("SpecSched_{delay}_NoLineBuffer"),
         config: base(delay)
             .sched_policy(SchedPolicyKind::AlwaysHit)
-            .l1d_banking(Some(BankedL1dConfig { line_buffer: false, ..Default::default() }))
+            .l1d_banking(Some(BankedL1dConfig {
+                line_buffer: false,
+                ..Default::default()
+            }))
             .build(),
     }
 }
@@ -151,7 +154,10 @@ pub fn ablation_bimodal(delay: u64) -> NamedConfig {
         config: base(delay)
             .sched_policy(SchedPolicyKind::AlwaysHit)
             .banked_l1d(true)
-            .predictor(PredictorConfig { bimodal_only: true, ..Default::default() })
+            .predictor(PredictorConfig {
+                bimodal_only: true,
+                ..Default::default()
+            })
             .build(),
     }
 }
@@ -230,7 +236,10 @@ pub fn with_prf_banking(delay: u64, banks: u32, ports: u32) -> NamedConfig {
         config: base(delay)
             .sched_policy(SchedPolicyKind::AlwaysHit)
             .banked_l1d(true)
-            .prf_banking(Some(PrfBankConfig { banks, read_ports_per_bank: ports }))
+            .prf_banking(Some(PrfBankConfig {
+                banks,
+                read_ports_per_bank: ports,
+            }))
             .build(),
     }
 }
@@ -279,22 +288,46 @@ mod tests {
         assert!(!baseline(4).config.sched_policy.may_speculate());
         assert!(baseline(4).config.l1d_banking.is_none());
         assert!(spec_sched(4, true).config.l1d_banking.is_some());
-        assert_eq!(spec_sched_shift(4).config.shift_policy, ss_types::ShiftPolicy::Always);
-        assert_eq!(spec_sched_filter(4).config.shift_policy, ss_types::ShiftPolicy::Off);
-        assert_eq!(spec_sched_crit(4).config.shift_policy, ss_types::ShiftPolicy::Always);
-        assert_eq!(spec_sched_crit(4).config.sched_policy, SchedPolicyKind::Criticality);
+        assert_eq!(
+            spec_sched_shift(4).config.shift_policy,
+            ss_types::ShiftPolicy::Always
+        );
+        assert_eq!(
+            spec_sched_filter(4).config.shift_policy,
+            ss_types::ShiftPolicy::Off
+        );
+        assert_eq!(
+            spec_sched_crit(4).config.shift_policy,
+            ss_types::ShiftPolicy::Always
+        );
+        assert_eq!(
+            spec_sched_crit(4).config.sched_policy,
+            SchedPolicyKind::Criticality
+        );
         assert!(!baseline_single_load().config.dual_load_issue);
         let nlb = ablation_no_line_buffer(4);
         assert!(!nlb.config.l1d_banking.unwrap().line_buffer);
         assert!(ablation_bimodal(4).config.predictor.bimodal_only);
         assert_eq!(
-            with_replay_scheme(4, ReplayScheme::Selective, false).config.replay_scheme,
+            with_replay_scheme(4, ReplayScheme::Selective, false)
+                .config
+                .replay_scheme,
             ReplayScheme::Selective
         );
-        assert_eq!(spec_sched_shift_predicted(4).config.shift_policy, ShiftPolicy::Predicted);
-        assert_eq!(spec_sched_crit_qold(4).config.crit_criterion, CritCriterion::IqOldest);
         assert_eq!(
-            ablation_set_interleaved(4).config.l1d_banking.unwrap().interleaving,
+            spec_sched_shift_predicted(4).config.shift_policy,
+            ShiftPolicy::Predicted
+        );
+        assert_eq!(
+            spec_sched_crit_qold(4).config.crit_criterion,
+            CritCriterion::IqOldest
+        );
+        assert_eq!(
+            ablation_set_interleaved(4)
+                .config
+                .l1d_banking
+                .unwrap()
+                .interleaving,
             BankInterleaving::Set
         );
     }

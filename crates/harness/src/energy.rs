@@ -95,7 +95,10 @@ mod tests {
 
     #[test]
     fn zero_committed_is_zero() {
-        assert_eq!(EnergyModel::default().per_committed(&SimStats::default()), 0.0);
+        assert_eq!(
+            EnergyModel::default().per_committed(&SimStats::default()),
+            0.0
+        );
     }
 
     #[test]

@@ -70,7 +70,13 @@ pub fn table2(sess: &mut Session) -> Report {
     let base = baseline0(sess);
     let mut t = Table::new(
         "Table 2 — benchmark suite (synthetic SPEC substitutes), Baseline_0",
-        &["benchmark", "paper analogue", "IPC", "L1D miss", "branch MPKI"],
+        &[
+            "benchmark",
+            "paper analogue",
+            "IPC",
+            "L1D miss",
+            "branch MPKI",
+        ],
     );
     for (b, (_, s)) in BENCHMARKS.iter().zip(&base) {
         t.row(vec![
@@ -105,7 +111,13 @@ pub fn fig3(sess: &mut Session) -> Report {
     ];
     let mut t = Table::new(
         "Figure 3 — performance vs Baseline_0 (conservative scheduling, dual-ported L1D)",
-        &["benchmark", "B0 1ld/cyc", "Baseline_2", "Baseline_4", "Baseline_6"],
+        &[
+            "benchmark",
+            "B0 1ld/cyc",
+            "Baseline_2",
+            "Baseline_4",
+            "Baseline_6",
+        ],
     );
     let mut cols: Vec<(Vec<f64>, f64)> = Vec::new();
     for c in &cfgs {
@@ -207,7 +219,13 @@ pub fn fig4(sess: &mut Session) -> Report {
     // per-delay totals over the whole suite
     let mut tc = Table::new(
         "Figure 4b (totals) — suite-wide issued µ-ops vs delay (banked L1D)",
-        &["delay", "Unique", "RpldMiss", "RpldBank", "issued/committed"],
+        &[
+            "delay",
+            "Unique",
+            "RpldMiss",
+            "RpldBank",
+            "issued/committed",
+        ],
     );
     for &d in &delays {
         let tot = suite_totals(sess, &configs::spec_sched(d, true));
@@ -258,7 +276,14 @@ pub fn fig5(sess: &mut Session) -> Report {
     let (sh_ipc, sh_g) = norm_ipc(sess, &shift, &base);
     let mut t = Table::new(
         "Figure 5 — Schedule Shifting (SpecSched_4, banked L1D), vs Baseline_0",
-        &["benchmark", "SpecSched_4", "with Shifting", "Unique", "RpldMiss", "RpldBank"],
+        &[
+            "benchmark",
+            "SpecSched_4",
+            "with Shifting",
+            "Unique",
+            "RpldMiss",
+            "RpldBank",
+        ],
     );
     for (i, (b, (_, bs))) in BENCHMARKS.iter().zip(&base).enumerate() {
         let s = sess.run(&shift, b);
@@ -272,7 +297,14 @@ pub fn fig5(sess: &mut Session) -> Report {
             fmt3(s.replayed_bank as f64 / n),
         ]);
     }
-    t.row(vec!["gmean".into(), fmt3(ss4_g), fmt3(sh_g), "".into(), "".into(), "".into()]);
+    t.row(vec![
+        "gmean".into(),
+        fmt3(ss4_g),
+        fmt3(sh_g),
+        "".into(),
+        "".into(),
+        "".into(),
+    ]);
     let tot4 = suite_totals(sess, &ss4);
     let tots = suite_totals(sess, &shift);
     let bank_red = reduction(tot4.replayed_bank, tots.replayed_bank);
@@ -294,7 +326,10 @@ pub fn fig5(sess: &mut Session) -> Report {
                 "RpldBank reduction: paper −74.8% on average; measured {}.",
                 pct(bank_red)
             ),
-            format!("Speedup over SpecSched_4: paper +2.9% gmean; measured {}.", pct(speedup)),
+            format!(
+                "Speedup over SpecSched_4: paper +2.9% gmean; measured {}.",
+                pct(speedup)
+            ),
         ],
     }
 }
@@ -310,7 +345,14 @@ pub fn fig7(sess: &mut Session) -> Report {
     let (f_ipc, f_g) = norm_ipc(sess, &filt, &base);
     let mut t = Table::new(
         "Figure 7 — hit/miss filtering (delay 4, banked L1D), vs Baseline_0",
-        &["benchmark", "SpecSched_4", "_Ctr", "_Filter", "Filter RpldMiss", "Filter RpldBank"],
+        &[
+            "benchmark",
+            "SpecSched_4",
+            "_Ctr",
+            "_Filter",
+            "Filter RpldMiss",
+            "Filter RpldBank",
+        ],
     );
     for (i, (b, (_, bs))) in BENCHMARKS.iter().zip(&base).enumerate() {
         let s = sess.run(&filt, b);
@@ -377,7 +419,14 @@ pub fn fig8(sess: &mut Session) -> Report {
     let (cr_ipc, cr_g) = norm_ipc(sess, &crit, &base);
     let mut t = Table::new(
         "Figure 8 — SpecSched_4_Combined / SpecSched_4_Crit, vs Baseline_0",
-        &["benchmark", "SpecSched_4", "_Combined", "_Crit", "Crit RpldMiss", "Crit RpldBank"],
+        &[
+            "benchmark",
+            "SpecSched_4",
+            "_Combined",
+            "_Crit",
+            "Crit RpldMiss",
+            "Crit RpldBank",
+        ],
     );
     for (i, (b, (_, bs))) in BENCHMARKS.iter().zip(&base).enumerate() {
         let s = sess.run(&crit, b);
@@ -446,7 +495,12 @@ pub fn fig8(sess: &mut Session) -> Report {
 pub fn sweep(sess: &mut Session) -> Report {
     let mut t = Table::new(
         "§5.3 sweep — SpecSched_d_Crit vs SpecSched_d (banked L1D)",
-        &["delay", "replay reduction", "issued/committed reduction", "speedup (gmean)"],
+        &[
+            "delay",
+            "replay reduction",
+            "issued/committed reduction",
+            "speedup (gmean)",
+        ],
     );
     let base = baseline0(sess);
     let mut notes = Vec::new();
@@ -474,7 +528,12 @@ pub fn sweep(sess: &mut Session) -> Report {
          11.2% (d=2) / 13.4% (d=4) / 18.7% (d=6); speedups 2.3% / 3.4% / 4.8%."
             .into(),
     );
-    Report { charts: Vec::new(), id: "sweep", tables: vec![t], notes }
+    Report {
+        charts: Vec::new(),
+        id: "sweep",
+        tables: vec![t],
+        notes,
+    }
 }
 
 /// §1/§6 headline numbers, derived from the Figure 4/8 runs.
@@ -536,7 +595,12 @@ pub fn headline(sess: &mut Session) -> Report {
                 - 1.0)
         ),
     ]);
-    Report { charts: Vec::new(), id: "headline", tables: vec![t], notes: vec![] }
+    Report {
+        charts: Vec::new(),
+        id: "headline",
+        tables: vec![t],
+        notes: vec![],
+    }
 }
 
 /// Design-choice ablations called out in DESIGN.md (AB1–AB3).
@@ -577,8 +641,16 @@ pub fn ablations(sess: &mut Session) -> Report {
         "AB2 — Rivers single line buffer (banked L1D, SpecSched_4)",
         &["variant", "gmean vs B0", "RpldBank"],
     );
-    t2.row(vec!["with line buffer".into(), fmt3(g_s), format!("{}", ts.replayed_bank)]);
-    t2.row(vec!["plain banked".into(), fmt3(g_l), format!("{}", tl.replayed_bank)]);
+    t2.row(vec![
+        "with line buffer".into(),
+        fmt3(g_s),
+        format!("{}", ts.replayed_bank),
+    ]);
+    t2.row(vec![
+        "plain banked".into(),
+        fmt3(g_l),
+        format!("{}", tl.replayed_bank),
+    ]);
 
     // AB3: TAGE vs bimodal
     let bim = configs::ablation_bimodal(4);
@@ -588,8 +660,16 @@ pub fn ablations(sess: &mut Session) -> Report {
         "AB3 — TAGE vs bimodal direction prediction (SpecSched_4)",
         &["variant", "gmean vs B0", "wrong-path issued"],
     );
-    t3.row(vec!["TAGE".into(), fmt3(g_s), format!("{}", ts.wrong_path_issued)]);
-    t3.row(vec!["bimodal".into(), fmt3(g_b), format!("{}", tb.wrong_path_issued)]);
+    t3.row(vec![
+        "TAGE".into(),
+        fmt3(g_s),
+        format!("{}", ts.wrong_path_issued),
+    ]);
+    t3.row(vec![
+        "bimodal".into(),
+        fmt3(g_b),
+        format!("{}", tb.wrong_path_issued),
+    ]);
 
     Report {
         charts: Vec::new(),
@@ -617,10 +697,22 @@ pub fn replay_schemes(sess: &mut Session) -> Report {
     let base = baseline0(sess);
     let mut t = Table::new(
         "EXT1 — replay schemes (delay 4, banked L1D)",
-        &["scheme", "SpecSched_4 gmean", "Crit gmean", "Crit speedup", "replays", "Crit replays", "Crit replay reduction"],
+        &[
+            "scheme",
+            "SpecSched_4 gmean",
+            "Crit gmean",
+            "Crit speedup",
+            "replays",
+            "Crit replays",
+            "Crit replay reduction",
+        ],
     );
     let mut notes = Vec::new();
-    for scheme in [ReplayScheme::Squash, ReplayScheme::Selective, ReplayScheme::Refetch] {
+    for scheme in [
+        ReplayScheme::Squash,
+        ReplayScheme::Selective,
+        ReplayScheme::Refetch,
+    ] {
         let ss = configs::with_replay_scheme(4, scheme, false);
         let crit = configs::with_replay_scheme(4, scheme, true);
         let (_, g_ss) = norm_ipc(sess, &ss, &base);
@@ -643,7 +735,12 @@ pub fn replay_schemes(sess: &mut Session) -> Report {
         "The Crit mechanisms must reduce replays and not lose performance under          *every* scheme; selective replay suffers least from replays in the first          place, squash sits in the middle, refetch is the costly strawman."
             .into(),
     );
-    Report { charts: Vec::new(), id: "replay_schemes", tables: vec![t], notes }
+    Report {
+        charts: Vec::new(),
+        id: "replay_schemes",
+        tables: vec![t],
+        notes,
+    }
 }
 
 /// EXT2: bank-predicted shifting (Yoaz et al., §2.2) vs the paper's
@@ -663,7 +760,12 @@ pub fn bank_prediction(sess: &mut Session) -> Report {
         "EXT2 — Schedule Shifting vs bank-predicted shifting (delay 4)",
         &["variant", "gmean vs B0", "RpldBank", "RpldBank reduction"],
     );
-    t.row(vec!["no shifting".into(), fmt3(g_0), format!("{}", t0.replayed_bank), "-".into()]);
+    t.row(vec![
+        "no shifting".into(),
+        fmt3(g_0),
+        format!("{}", t0.replayed_bank),
+        "-".into(),
+    ]);
     t.row(vec![
         "Shifting (always)".into(),
         fmt3(g_a),
@@ -702,7 +804,12 @@ pub fn criticality_criteria(sess: &mut Session) -> Report {
     let rep0 = t0.replayed_miss + t0.replayed_bank;
     let mut t = Table::new(
         "EXT3 — criticality criterion (SpecSched_4_Crit)",
-        &["criterion", "gmean vs B0", "speedup vs SpecSched_4", "replay reduction"],
+        &[
+            "criterion",
+            "gmean vs B0",
+            "speedup vs SpecSched_4",
+            "replay reduction",
+        ],
     );
     t.row(vec![
         "ROB-head (paper)".into(),
@@ -720,7 +827,10 @@ pub fn criticality_criteria(sess: &mut Session) -> Report {
         charts: Vec::new(),
         id: "criticality_criteria",
         tables: vec![t],
-        notes: vec!["Both criteria should land close; the paper calls its choice a proof of concept.".into()],
+        notes: vec![
+            "Both criteria should land close; the paper calls its choice a proof of concept."
+                .into(),
+        ],
     }
 }
 
@@ -738,8 +848,16 @@ pub fn interleaving(sess: &mut Session) -> Report {
         "EXT4 — L1D bank interleaving (SpecSched_4)",
         &["interleaving", "gmean vs B0", "RpldBank"],
     );
-    t.row(vec!["word (8B, paper)".into(), fmt3(g_w), format!("{}", tw.replayed_bank)]);
-    t.row(vec!["set (line)".into(), fmt3(g_s), format!("{}", ts.replayed_bank)]);
+    t.row(vec![
+        "word (8B, paper)".into(),
+        fmt3(g_w),
+        format!("{}", tw.replayed_bank),
+    ]);
+    t.row(vec![
+        "set (line)".into(),
+        fmt3(g_s),
+        format!("{}", ts.replayed_bank),
+    ]);
     Report {
         charts: Vec::new(),
         id: "interleaving",

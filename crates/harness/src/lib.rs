@@ -29,4 +29,4 @@ pub mod session;
 pub use configs::NamedConfig;
 pub use energy::EnergyModel;
 pub use report::{gmean, Report, Table};
-pub use session::Session;
+pub use session::{CellFailure, Session};

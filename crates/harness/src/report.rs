@@ -108,7 +108,11 @@ pub fn bar_chart(title: &str, items: &[(&str, f64)]) -> String {
     if items.is_empty() {
         return out;
     }
-    let max = items.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-9);
+    let max = items
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
     let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let tick = if items.iter().any(|(_, v)| *v < 1.0) && max >= 1.0 {
         Some((1.0 / max * WIDTH).round() as usize)
@@ -254,7 +258,10 @@ mod tests {
         let slow_bar = lines[2].matches('#').count();
         assert_eq!(fast_bar, 50, "longest bar spans the width");
         assert_eq!(slow_bar, 25, "bars scale linearly");
-        assert!(chart.contains('|'), "the 1.0 tick appears when values straddle it");
+        assert!(
+            chart.contains('|'),
+            "the 1.0 tick appears when values straddle it"
+        );
     }
 
     #[test]

@@ -1,34 +1,82 @@
 //! Experiment session: runs (configuration × benchmark) simulations with
 //! an in-memory and on-disk cache so figures sharing configurations (and
 //! repeated invocations) do not re-simulate.
+//!
+//! The session is the harness's fault boundary. Each cell runs under
+//! [`Session::try_run`], which catches panics and structured
+//! [`SimError`]s and records them in [`Session::failures`] so one broken
+//! cell cannot abort a whole sweep. On-disk cache entries carry a format
+//! version and an FNV-1a checksum; stale or corrupt entries are rejected
+//! (counted in [`Session::cache_rejected`]) and transparently
+//! re-simulated. Disk I/O failures are logged once and degrade the
+//! session to in-memory-only caching.
 
 use crate::configs::NamedConfig;
-use ss_core::{run_kernel, RunLength};
-use ss_types::{CacheStats, SimStats};
+use ss_core::{try_run_kernel, RunLength};
+use ss_types::{CacheStats, SimError, SimStats};
 use ss_workloads::{Benchmark, BENCHMARKS};
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Seed used for all workload generation (fixed for reproducibility).
 pub const WORKLOAD_SEED: u64 = 0xB5;
+
+/// On-disk cache format version. Bump whenever the simulator's behaviour
+/// or the serialized field set changes incompatibly, so stale entries
+/// from older builds are re-simulated instead of silently reused.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
+
+/// Magic tag leading every cache file's header line.
+const CACHE_MAGIC: &str = "ss-stats-cache";
+
+/// One failed (configuration × benchmark) cell of a sweep.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Configuration name.
+    pub config: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// What went wrong.
+    pub error: SimError,
+}
 
 /// Runs simulations and caches their statistics.
 pub struct Session {
     len: RunLength,
     cache_dir: Option<PathBuf>,
     mem: HashMap<(String, String), SimStats>,
+    disk_warned: bool,
     /// Simulations actually executed (not served from cache).
     pub simulated: u64,
+    /// On-disk cache entries rejected as stale or corrupt (each one was
+    /// re-simulated).
+    pub cache_rejected: u64,
+    /// Cells that failed (panic or structured error); the sweep
+    /// continues past them.
+    pub failures: Vec<CellFailure>,
 }
 
 impl Session {
     /// Creates a session with the given run length; `cache_dir` enables
-    /// the on-disk cache.
+    /// the on-disk cache. If the directory cannot be created the error
+    /// is logged and the session falls back to in-memory-only caching.
     pub fn new(len: RunLength, cache_dir: Option<PathBuf>) -> Self {
-        if let Some(d) = &cache_dir {
-            let _ = std::fs::create_dir_all(d);
+        let mut sess = Session {
+            len,
+            cache_dir: None,
+            mem: HashMap::new(),
+            disk_warned: false,
+            simulated: 0,
+            cache_rejected: 0,
+            failures: Vec::new(),
+        };
+        if let Some(d) = cache_dir {
+            match std::fs::create_dir_all(&d) {
+                Ok(()) => sess.cache_dir = Some(d),
+                Err(e) => sess.disk_cache_failed(&format!("create {}", d.display()), &e),
+            }
         }
-        Session { len, cache_dir, mem: HashMap::new(), simulated: 0 }
+        sess
     }
 
     /// The run length in use.
@@ -36,39 +84,174 @@ impl Session {
         self.len
     }
 
+    /// Logs a disk-cache failure once and degrades to in-memory-only
+    /// caching for the rest of the session.
+    fn disk_cache_failed(&mut self, what: &str, err: &std::io::Error) {
+        if !self.disk_warned {
+            eprintln!("warning: stats cache disabled (failed to {what}: {err}); continuing in-memory only");
+            self.disk_warned = true;
+        }
+        self.cache_dir = None;
+    }
+
     fn cache_path(&self, cfg: &str, bench: &str) -> Option<PathBuf> {
         self.cache_dir.as_ref().map(|d| {
-            d.join(format!("{cfg}__{bench}__w{}m{}.kv", self.len.warmup, self.len.measure))
+            d.join(format!(
+                "{cfg}__{bench}__w{}m{}.kv",
+                self.len.warmup, self.len.measure
+            ))
         })
     }
 
     /// Runs (or recalls) one configuration × benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell fails; use [`Session::try_run`] to keep a
+    /// sweep alive past broken cells.
     pub fn run(&mut self, cfg: &NamedConfig, bench: &Benchmark) -> SimStats {
+        self.try_run(cfg, bench).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs (or recalls) one configuration × benchmark, isolating
+    /// failures: a panicking or erroring simulation is recorded in
+    /// [`Session::failures`] and returned as `Err` instead of taking the
+    /// whole sweep down.
+    pub fn try_run(&mut self, cfg: &NamedConfig, bench: &Benchmark) -> Result<SimStats, SimError> {
         let key = (cfg.name.clone(), bench.name.to_string());
         if let Some(s) = self.mem.get(&key) {
-            return s.clone();
+            return Ok(s.clone());
         }
         if let Some(path) = self.cache_path(&cfg.name, bench.name) {
             if let Ok(text) = std::fs::read_to_string(&path) {
-                if let Some(s) = stats_from_kv(&text) {
-                    self.mem.insert(key, s.clone());
-                    return s;
+                match stats_from_cache_file(&path, &text) {
+                    Ok(s) => {
+                        self.mem.insert(key, s.clone());
+                        return Ok(s);
+                    }
+                    Err(e) => {
+                        // Stale or corrupt: drop it and re-simulate.
+                        self.cache_rejected += 1;
+                        eprintln!("warning: {e}; re-simulating");
+                        let _ = std::fs::remove_file(&path);
+                    }
                 }
             }
         }
-        let stats = run_kernel(cfg.config.clone(), (bench.build)(WORKLOAD_SEED), self.len);
+        let config = cfg.config.clone();
+        let len = self.len;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            try_run_kernel(config, (bench.build)(WORKLOAD_SEED), len)
+        }));
+        let stats = match outcome {
+            Ok(Ok(s)) => s,
+            Ok(Err(e)) => {
+                self.failures.push(CellFailure {
+                    config: cfg.name.clone(),
+                    bench: bench.name.to_string(),
+                    error: e.clone(),
+                });
+                return Err(e);
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("opaque panic payload")
+                    .to_string();
+                let e = SimError::Panicked(msg);
+                self.failures.push(CellFailure {
+                    config: cfg.name.clone(),
+                    bench: bench.name.to_string(),
+                    error: e.clone(),
+                });
+                return Err(e);
+            }
+        };
         self.simulated += 1;
         if let Some(path) = self.cache_path(&cfg.name, bench.name) {
-            let _ = std::fs::write(&path, stats_to_kv(&stats));
+            if let Err(e) = std::fs::write(&path, stats_to_cache_file(&stats)) {
+                self.disk_cache_failed(&format!("write {}", path.display()), &e);
+            }
         }
         self.mem.insert(key, stats.clone());
-        stats
+        Ok(stats)
     }
 
     /// Runs one configuration over the whole benchmark suite, in table
     /// order.
     pub fn run_suite(&mut self, cfg: &NamedConfig) -> Vec<(&'static str, SimStats)> {
-        BENCHMARKS.iter().map(|b| (b.name, self.run(cfg, b))).collect()
+        BENCHMARKS
+            .iter()
+            .map(|b| (b.name, self.run(cfg, b)))
+            .collect()
+    }
+
+    /// Human-readable lines describing every recorded cell failure (for
+    /// report notes).
+    pub fn failure_notes(&self) -> Vec<String> {
+        self.failures
+            .iter()
+            .map(|f| format!("FAILED {} × {}: {}", f.config, f.bench, f.error))
+            .collect()
+    }
+}
+
+/// FNV-1a 64-bit hash (cache-file integrity checksum).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Serializes statistics with the versioned, checksummed cache header.
+pub fn stats_to_cache_file(s: &SimStats) -> String {
+    let body = stats_to_kv(s);
+    format!(
+        "{CACHE_MAGIC} v{CACHE_FORMAT_VERSION} {:016x}\n{body}",
+        fnv1a64(body.as_bytes())
+    )
+}
+
+/// Parses a cache file, enforcing the version stamp and checksum.
+/// Rejected entries come back as [`SimError::CacheCorrupt`] and should
+/// be re-simulated.
+pub fn stats_from_cache_file(path: &Path, text: &str) -> Result<SimStats, SimError> {
+    let corrupt = |reason: String| {
+        Err(SimError::CacheCorrupt {
+            path: path.display().to_string(),
+            reason,
+        })
+    };
+    let Some((header, body)) = text.split_once('\n') else {
+        return corrupt("missing header line".into());
+    };
+    let mut parts = header.split(' ');
+    if parts.next() != Some(CACHE_MAGIC) {
+        return corrupt("not a stats-cache file (bad magic)".into());
+    }
+    let version = parts.next().unwrap_or("");
+    if version != format!("v{CACHE_FORMAT_VERSION}") {
+        return corrupt(format!(
+            "format version {version} != expected v{CACHE_FORMAT_VERSION} (stale entry)"
+        ));
+    }
+    let Some(want) = parts.next().and_then(|h| u64::from_str_radix(h, 16).ok()) else {
+        return corrupt("unparsable checksum".into());
+    };
+    let got = fnv1a64(body.as_bytes());
+    if got != want {
+        return corrupt(format!(
+            "checksum mismatch: computed {got:016x}, header {want:016x}"
+        ));
+    }
+    match stats_from_kv(body) {
+        Some(s) => Ok(s),
+        None => corrupt("unparsable statistics body".into()),
     }
 }
 
@@ -104,14 +287,24 @@ macro_rules! stat_fields {
             crit_predicted_noncritical,
             memdep_violations,
             dispatch_stall_cycles,
-            recovery_buffer_replays
+            recovery_buffer_replays,
+            degrade_entries,
+            degrade_cycles,
+            faults_injected
         )
     };
 }
 
 macro_rules! cache_fields {
     ($m:ident) => {
-        $m!(accesses, hits, misses, mshr_merges, prefetches, prefetch_hits)
+        $m!(
+            accesses,
+            hits,
+            misses,
+            mshr_merges,
+            prefetches,
+            prefetch_hits
+        )
     };
 }
 
@@ -175,13 +368,15 @@ mod tests {
 
     #[test]
     fn kv_roundtrip_preserves_all_fields() {
-        let mut s = SimStats::default();
-        s.cycles = 123;
-        s.committed_uops = 456;
-        s.replayed_bank = 7;
+        let mut s = SimStats {
+            cycles: 123,
+            committed_uops: 456,
+            replayed_bank: 7,
+            crit_predicted_critical: 13,
+            ..Default::default()
+        };
         s.l1d.misses = 9;
         s.l2.prefetches = 11;
-        s.crit_predicted_critical = 13;
         let text = stats_to_kv(&s);
         let back = stats_from_kv(&text).expect("parses");
         assert_eq!(back, s);
@@ -191,14 +386,20 @@ mod tests {
     fn malformed_cache_is_rejected() {
         assert!(stats_from_kv("garbage").is_none());
         assert!(stats_from_kv("cycles notanumber").is_none());
-        assert!(stats_from_kv("cycles 5").is_none(), "committed_uops required");
+        assert!(
+            stats_from_kv("cycles 5").is_none(),
+            "committed_uops required"
+        );
     }
 
     #[test]
     fn older_cache_files_default_new_fields() {
-        let s = stats_from_kv("cycles 10
+        let s = stats_from_kv(
+            "cycles 10
 committed_uops 20
-").expect("parses");
+",
+        )
+        .expect("parses");
         assert_eq!(s.cycles, 10);
         assert_eq!(s.committed_uops, 20);
         assert_eq!(s.replayed_prf, 0);
@@ -206,7 +407,13 @@ committed_uops 20
 
     #[test]
     fn memory_cache_avoids_resimulation() {
-        let mut sess = Session::new(RunLength { warmup: 1000, measure: 5000 }, None);
+        let mut sess = Session::new(
+            RunLength {
+                warmup: 1000,
+                measure: 5000,
+            },
+            None,
+        );
         let cfg = configs::spec_sched(4, true);
         let bench = benchmark("fp_compute").unwrap();
         let a = sess.run(&cfg, bench);
@@ -219,7 +426,10 @@ committed_uops 20
     #[test]
     fn disk_cache_roundtrips() {
         let dir = std::env::temp_dir().join(format!("ss-harness-test-{}", std::process::id()));
-        let len = RunLength { warmup: 1000, measure: 5000 };
+        let len = RunLength {
+            warmup: 1000,
+            measure: 5000,
+        };
         let cfg = configs::baseline(0);
         let bench = benchmark("fp_compute").unwrap();
         let a = {
@@ -231,5 +441,96 @@ committed_uops 20
         assert_eq!(sess2.simulated, 0, "served from disk");
         assert_eq!(a, b);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cache_file_header_roundtrips_and_verifies() {
+        let s = SimStats {
+            cycles: 77,
+            committed_uops: 88,
+            degrade_entries: 2,
+            faults_injected: 5,
+            ..Default::default()
+        };
+        let text = stats_to_cache_file(&s);
+        assert!(text.starts_with(CACHE_MAGIC));
+        let back = stats_from_cache_file(Path::new("t.kv"), &text).expect("verifies");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn cache_file_rejects_tampering_and_stale_versions() {
+        let s = SimStats {
+            cycles: 1,
+            committed_uops: 2,
+            ..Default::default()
+        };
+        let good = stats_to_cache_file(&s);
+        let p = Path::new("t.kv");
+        // Flipped byte in the body fails the checksum.
+        let tampered = good.replace("cycles 1", "cycles 9");
+        let err = stats_from_cache_file(p, &tampered).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // Version stamp from an older build is stale.
+        let stale = good.replacen(&format!("v{CACHE_FORMAT_VERSION}"), "v1", 1);
+        let err = stats_from_cache_file(p, &stale).unwrap_err();
+        assert!(err.to_string().contains("stale"), "{err}");
+        // Headerless legacy files are rejected outright.
+        let err = stats_from_cache_file(p, "cycles 1\ncommitted_uops 2\n").unwrap_err();
+        assert!(matches!(err, SimError::CacheCorrupt { .. }));
+    }
+
+    #[test]
+    fn corrupted_disk_cache_entry_is_resimulated() {
+        let dir = std::env::temp_dir().join(format!("ss-harness-corrupt-{}", std::process::id()));
+        let len = RunLength {
+            warmup: 1000,
+            measure: 5000,
+        };
+        let cfg = configs::baseline(0);
+        let bench = benchmark("fp_compute").unwrap();
+        let a = {
+            let mut sess = Session::new(len, Some(dir.clone()));
+            sess.run(&cfg, bench)
+        };
+        // Corrupt the single cache file on disk.
+        let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(entries.len(), 1);
+        let path = entries[0].as_ref().unwrap().path();
+        std::fs::write(&path, "ss-stats-cache v2 0000000000000000\ncycles 1\n").unwrap();
+        let mut sess2 = Session::new(len, Some(dir.clone()));
+        let b = sess2.run(&cfg, bench);
+        assert_eq!(sess2.cache_rejected, 1, "corrupt entry detected");
+        assert_eq!(sess2.simulated, 1, "corrupt entry re-simulated");
+        assert_eq!(a, b, "re-simulation reproduces the original result");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn failing_cell_is_recorded_and_does_not_abort() {
+        // A watchdog small enough that the pointer-chase benchmark's
+        // inter-commit gaps trip it.
+        let mut starved = configs::baseline(0);
+        starved.name = "TinyWatchdog".to_string();
+        starved.config.watchdog_cycles = 2;
+        let mut sess = Session::new(
+            RunLength {
+                warmup: 100,
+                measure: 1000,
+            },
+            None,
+        );
+        let bench = benchmark("fp_compute").unwrap();
+        let err = sess.try_run(&starved, bench).unwrap_err();
+        assert!(
+            matches!(err, SimError::Deadlock(_)),
+            "expected deadlock, got {err}"
+        );
+        assert_eq!(sess.failures.len(), 1);
+        assert_eq!(sess.failures[0].config, "TinyWatchdog");
+        assert!(sess.failure_notes()[0].contains("FAILED"));
+        // The session keeps working for healthy cells.
+        let ok = sess.try_run(&configs::baseline(0), bench);
+        assert!(ok.is_ok());
     }
 }

@@ -39,13 +39,19 @@ impl RegRef {
     /// An integer register reference.
     #[inline]
     pub fn int(reg: ArchReg) -> Self {
-        RegRef { class: RegClass::Int, reg }
+        RegRef {
+            class: RegClass::Int,
+            reg,
+        }
     }
 
     /// A floating-point register reference.
     #[inline]
     pub fn fp(reg: ArchReg) -> Self {
-        RegRef { class: RegClass::Float, reg }
+        RegRef {
+            class: RegClass::Float,
+            reg,
+        }
     }
 }
 
@@ -123,12 +129,25 @@ impl MicroOp {
     /// # Panics
     ///
     /// Panics if `class` is a load, store, or branch.
-    pub fn compute(pc: Pc, class: OpClass, dst: RegRef, src1: RegRef, src2: Option<RegRef>) -> Self {
+    pub fn compute(
+        pc: Pc,
+        class: OpClass,
+        dst: RegRef,
+        src1: RegRef,
+        src2: Option<RegRef>,
+    ) -> Self {
         assert!(
             !class.is_mem() && !class.is_branch(),
             "compute() cannot build {class} µ-ops"
         );
-        MicroOp { pc, class, dst: Some(dst), srcs: [Some(src1), src2], mem: None, branch: None }
+        MicroOp {
+            pc,
+            class,
+            dst: Some(dst),
+            srcs: [Some(src1), src2],
+            mem: None,
+            branch: None,
+        }
     }
 
     /// A load `dst = [addr_reg]` reading the given effective address.
@@ -185,7 +204,10 @@ impl MicroOp {
             dst: None,
             srcs: [src, None],
             mem: None,
-            branch: Some(BranchOutcome { taken: true, target }),
+            branch: Some(BranchOutcome {
+                taken: true,
+                target,
+            }),
         }
     }
 
@@ -222,10 +244,16 @@ impl MicroOp {
     /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
         if self.class.is_mem() != self.mem.is_some() {
-            return Err(format!("{}: mem payload mismatch for {}", self.pc, self.class));
+            return Err(format!(
+                "{}: mem payload mismatch for {}",
+                self.pc, self.class
+            ));
         }
         if self.class.is_branch() != self.branch.is_some() {
-            return Err(format!("{}: branch payload mismatch for {}", self.pc, self.class));
+            return Err(format!(
+                "{}: branch payload mismatch for {}",
+                self.pc, self.class
+            ));
         }
         if self.class.is_store() && self.dst.is_some() {
             return Err(format!("{}: store must not write a register", self.pc));
@@ -289,7 +317,8 @@ mod tests {
             MicroOp::jump(pc(), BranchKind::Call, Pc::new(0x50_0000), None),
         ];
         for op in ops {
-            op.validate().unwrap_or_else(|e| panic!("invalid op {op}: {e}"));
+            op.validate()
+                .unwrap_or_else(|e| panic!("invalid op {op}: {e}"));
         }
     }
 

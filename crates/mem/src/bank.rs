@@ -90,9 +90,9 @@ impl BankArbiter {
         if others.len() >= SLOTS_PER_CYCLE as usize {
             return false;
         }
-        others.iter().all(|o| {
-            o.bank != t.bank || (self.cfg.line_buffer && o.set == t.set)
-        })
+        others
+            .iter()
+            .all(|o| o.bank != t.bank || (self.cfg.line_buffer && o.set == t.set))
     }
 
     /// Advances internal state to `now`, granting queued accesses their
@@ -152,7 +152,10 @@ impl BankArbiter {
             cycle += 1;
         }
         let delay = cycle - now;
-        self.queue.push_back(Queued { target: t, service: cycle });
+        self.queue.push_back(Queued {
+            target: t,
+            service: cycle,
+        });
         self.delayed_accesses += 1;
         self.delay_cycles += delay;
         BankGrant { delay }
@@ -164,7 +167,14 @@ mod tests {
     use super::*;
 
     fn arb(line_buffer: bool) -> BankArbiter {
-        BankArbiter::new(BankedL1dConfig { line_buffer, ..Default::default() }, 64, 64)
+        BankArbiter::new(
+            BankedL1dConfig {
+                line_buffer,
+                ..Default::default()
+            },
+            64,
+            64,
+        )
     }
 
     /// addr with a given bank (0-7) and set (0-63)
@@ -191,7 +201,11 @@ mod tests {
     fn same_bank_same_set_uses_line_buffer() {
         let mut b = arb(true);
         assert_eq!(b.request(a(3, 7), Cycle::new(1)).delay, 0);
-        assert_eq!(b.request(a(3, 7), Cycle::new(1)).delay, 0, "line buffer: 2 reads of one set");
+        assert_eq!(
+            b.request(a(3, 7), Cycle::new(1)).delay,
+            0,
+            "line buffer: 2 reads of one set"
+        );
     }
 
     #[test]
@@ -221,8 +235,8 @@ mod tests {
         // cycle 0: L0a and L0b conflict (bank 2, sets 0/1)
         assert_eq!(b.request(a(2, 0), Cycle::new(0)).delay, 0);
         assert_eq!(b.request(a(2, 1), Cycle::new(0)).delay, 1); // queued for cycle 1
-        // cycle 1: two new loads to bank 2 (sets 2, 3): both conflict with
-        // the queued load being serviced this cycle
+                                                                // cycle 1: two new loads to bank 2 (sets 2, 3): both conflict with
+                                                                // the queued load being serviced this cycle
         assert_eq!(b.request(a(2, 2), Cycle::new(1)).delay, 1); // cycle 2
         assert_eq!(b.request(a(2, 3), Cycle::new(1)).delay, 2); // cycle 3
     }
@@ -232,7 +246,7 @@ mod tests {
         let mut b = arb(true);
         b.request(a(2, 0), Cycle::new(0));
         assert_eq!(b.request(a(2, 1), Cycle::new(0)).delay, 1); // queued → cycle 1
-        // cycle 1: a load to a different bank coexists with the queued one
+                                                                // cycle 1: a load to a different bank coexists with the queued one
         assert_eq!(b.request(a(5, 0), Cycle::new(1)).delay, 0);
         // but a third access in cycle 1 is out of slots
         assert_eq!(b.request(a(6, 0), Cycle::new(1)).delay, 1);
@@ -264,7 +278,10 @@ mod tests {
     fn set_interleaving_banks_on_set_bits() {
         use ss_types::BankInterleaving;
         let mut b = BankArbiter::new(
-            BankedL1dConfig { interleaving: BankInterleaving::Set, ..Default::default() },
+            BankedL1dConfig {
+                interleaving: BankInterleaving::Set,
+                ..Default::default()
+            },
             64,
             64,
         );

@@ -61,7 +61,10 @@ impl SetAssocCache {
 
     fn set_and_tag(&self, addr: Addr) -> (usize, u64) {
         let line = addr.get() >> self.set_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Looks up `addr`, updating LRU on a hit.
@@ -95,12 +98,16 @@ impl SetAssocCache {
             line.prefetched &= prefetched;
             return;
         }
-        let victim = self
-            .sets[set]
+        let victim = self.sets[set]
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru } else { 0 })
             .expect("non-zero associativity");
-        *victim = Line { valid: true, tag, lru: self.lru_clock, prefetched };
+        *victim = Line {
+            valid: true,
+            tag,
+            lru: self.lru_clock,
+            prefetched,
+        };
     }
 }
 
@@ -136,7 +143,11 @@ impl MshrFile {
     /// Creates an MSHR file with `capacity` entries for `line_bytes`
     /// lines.
     pub fn new(capacity: u32, line_bytes: u64) -> Self {
-        MshrFile { entries: Vec::with_capacity(capacity as usize), capacity: capacity as usize, line_bytes }
+        MshrFile {
+            entries: Vec::with_capacity(capacity as usize),
+            capacity: capacity as usize,
+            line_bytes,
+        }
     }
 
     fn line(&self, addr: Addr) -> u64 {
@@ -167,10 +178,19 @@ impl MshrFile {
             return MshrOutcome::Merged(e.complete);
         }
         if self.entries.len() >= self.capacity {
-            let earliest = self.entries.iter().map(|e| e.complete).min().expect("non-empty");
+            let earliest = self
+                .entries
+                .iter()
+                .map(|e| e.complete)
+                .min()
+                .expect("non-empty");
             return MshrOutcome::Full(earliest);
         }
-        self.entries.push(Mshr { line, complete, prefetch });
+        self.entries.push(Mshr {
+            line,
+            complete,
+            prefetch,
+        });
         MshrOutcome::Allocated
     }
 
@@ -215,7 +235,11 @@ mod tests {
 
     fn small_cache() -> SetAssocCache {
         // 4 sets x 2 ways x 64B = 512B
-        SetAssocCache::new(CacheGeometry { capacity_bytes: 512, ways: 2, line_bytes: 64 })
+        SetAssocCache::new(CacheGeometry {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -224,9 +248,19 @@ mod tests {
         let a = Addr::new(0x1000);
         assert_eq!(c.lookup(a), Lookup::Miss);
         c.fill(a, false);
-        assert_eq!(c.lookup(a), Lookup::Hit { was_prefetch: false });
+        assert_eq!(
+            c.lookup(a),
+            Lookup::Hit {
+                was_prefetch: false
+            }
+        );
         // same line, different offset
-        assert_eq!(c.lookup(Addr::new(0x103F)), Lookup::Hit { was_prefetch: false });
+        assert_eq!(
+            c.lookup(Addr::new(0x103F)),
+            Lookup::Hit {
+                was_prefetch: false
+            }
+        );
         // next line misses
         assert_eq!(c.lookup(Addr::new(0x1040)), Lookup::Miss);
     }
@@ -240,7 +274,12 @@ mod tests {
         let d = Addr::new(512);
         c.fill(a, false);
         c.fill(b, false);
-        assert_eq!(c.lookup(a), Lookup::Hit { was_prefetch: false }); // a now MRU
+        assert_eq!(
+            c.lookup(a),
+            Lookup::Hit {
+                was_prefetch: false
+            }
+        ); // a now MRU
         c.fill(d, false); // evicts b
         assert!(c.probe(a));
         assert!(!c.probe(b));
@@ -266,7 +305,12 @@ mod tests {
         let a = Addr::new(0x40);
         c.fill(a, true);
         assert_eq!(c.lookup(a), Lookup::Hit { was_prefetch: true });
-        assert_eq!(c.lookup(a), Lookup::Hit { was_prefetch: false });
+        assert_eq!(
+            c.lookup(a),
+            Lookup::Hit {
+                was_prefetch: false
+            }
+        );
     }
 
     #[test]
@@ -275,7 +319,12 @@ mod tests {
         let a = Addr::new(0x40);
         c.fill(a, false);
         c.fill(a, true); // prefetch fill of a present demand line
-        assert_eq!(c.lookup(a), Lookup::Hit { was_prefetch: false });
+        assert_eq!(
+            c.lookup(a),
+            Lookup::Hit {
+                was_prefetch: false
+            }
+        );
     }
 
     #[test]
@@ -283,8 +332,14 @@ mod tests {
         let mut m = MshrFile::new(4, 64);
         let a = Addr::new(0x1000);
         assert_eq!(m.access(a, Cycle::new(100), false), MshrOutcome::Allocated);
-        assert_eq!(m.access(a, Cycle::new(200), false), MshrOutcome::Merged(Cycle::new(100)));
-        assert_eq!(m.access(Addr::new(0x1010), Cycle::new(150), false), MshrOutcome::Merged(Cycle::new(100)));
+        assert_eq!(
+            m.access(a, Cycle::new(200), false),
+            MshrOutcome::Merged(Cycle::new(100))
+        );
+        assert_eq!(
+            m.access(Addr::new(0x1010), Cycle::new(150), false),
+            MshrOutcome::Merged(Cycle::new(100))
+        );
         assert_eq!(m.len(), 1);
         let mut fills = Vec::new();
         m.drain(Cycle::new(99), |a, _| fills.push(a));
@@ -297,9 +352,18 @@ mod tests {
     #[test]
     fn mshr_full_reports_earliest_completion() {
         let mut m = MshrFile::new(2, 64);
-        assert_eq!(m.access(Addr::new(0), Cycle::new(50), false), MshrOutcome::Allocated);
-        assert_eq!(m.access(Addr::new(64), Cycle::new(30), false), MshrOutcome::Allocated);
-        assert_eq!(m.access(Addr::new(128), Cycle::new(99), false), MshrOutcome::Full(Cycle::new(30)));
+        assert_eq!(
+            m.access(Addr::new(0), Cycle::new(50), false),
+            MshrOutcome::Allocated
+        );
+        assert_eq!(
+            m.access(Addr::new(64), Cycle::new(30), false),
+            MshrOutcome::Allocated
+        );
+        assert_eq!(
+            m.access(Addr::new(128), Cycle::new(99), false),
+            MshrOutcome::Full(Cycle::new(30))
+        );
     }
 
     #[test]
@@ -309,6 +373,10 @@ mod tests {
         m.access(Addr::new(0), Cycle::new(10), false); // demand merge
         let mut prefetch_flags = Vec::new();
         m.drain(Cycle::new(10), |_, p| prefetch_flags.push(p));
-        assert_eq!(prefetch_flags, vec![false], "fill must count as demand-requested");
+        assert_eq!(
+            prefetch_flags,
+            vec![false],
+            "fill must count as demand-requested"
+        );
     }
 }

@@ -28,7 +28,13 @@ impl Dram {
     /// Creates the channel from its timing config.
     pub fn new(cfg: DramConfig) -> Self {
         let n = (cfg.ranks * cfg.banks_per_rank) as usize;
-        Dram { cfg, banks: vec![Bank::default(); n], bus_free: Cycle::ZERO, row_hits: 0, row_misses: 0 }
+        Dram {
+            cfg,
+            banks: vec![Bank::default(); n],
+            bus_free: Cycle::ZERO,
+            row_hits: 0,
+            row_misses: 0,
+        }
     }
 
     fn map(&self, addr: Addr) -> (usize, u64) {
@@ -47,7 +53,10 @@ impl Dram {
         let bank = &mut self.banks[bank_idx];
 
         // Wait for the bank and the shared bus.
-        let start = now.get().max(bank.busy_until.get()).max(self.bus_free.get());
+        let start = now
+            .get()
+            .max(bank.busy_until.get())
+            .max(self.bus_free.get());
         let mut latency = start - now.get();
 
         let (base, occupancy) = match bank.open_row {
@@ -102,7 +111,10 @@ mod tests {
         let _ = d.read(Addr::new(0x10000), Cycle::new(0));
         // same row, later (bank and bus idle again)
         let lat = d.read(Addr::new(0x10040), Cycle::new(1000));
-        assert_eq!(lat, 75, "row-buffer hit is the paper's minimum read latency");
+        assert_eq!(
+            lat, 75,
+            "row-buffer hit is the paper's minimum read latency"
+        );
         assert_eq!(d.row_hits, 1);
     }
 
@@ -115,7 +127,10 @@ mod tests {
         let b = Addr::new(row_bytes * nbanks); // same bank, different row
         let _ = d.read(a, Cycle::new(0));
         let lat = d.read(b, Cycle::new(1000));
-        assert_eq!(lat, 185, "isolated row conflict = the paper's max read latency");
+        assert_eq!(
+            lat, 185,
+            "isolated row conflict = the paper's max read latency"
+        );
     }
 
     #[test]
@@ -124,7 +139,10 @@ mod tests {
         let _ = d.read(Addr::new(0), Cycle::new(0)); // occupies bank+bus
         let lat = d.read(Addr::new(64), Cycle::new(1)); // same row, bank busy
         assert!(lat > 75, "bank/bus queueing must add latency, got {lat}");
-        assert!(lat <= 75 + 55 + 20, "bounded by occupancy + row hit, got {lat}");
+        assert!(
+            lat <= 75 + 55 + 20,
+            "bounded by occupancy + row hit, got {lat}"
+        );
     }
 
     #[test]
@@ -137,7 +155,10 @@ mod tests {
         for i in 1..20u64 {
             worst = worst.max(d.read(Addr::new(i * 64), Cycle::new(1000 + i * 20)));
         }
-        assert!(worst <= 75 + 20, "streaming latency must stay near row-hit, got {worst}");
+        assert!(
+            worst <= 75 + 20,
+            "streaming latency must stay near row-hit, got {worst}"
+        );
     }
 
     #[test]
@@ -173,7 +194,10 @@ mod tests {
         let _ = d.read(Addr::new(0), Cycle::new(0));
         // next row maps to the next bank; only the shared bus serializes
         let lat = d.read(Addr::new(8192), Cycle::new(0));
-        assert!(lat < 75 + 55 + 55, "bank-parallel access must not serialize fully: {lat}");
+        assert!(
+            lat < 75 + 55 + 55,
+            "bank-parallel access must not serialize fully: {lat}"
+        );
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub struct MemoryHierarchy {
 impl MemoryHierarchy {
     /// Builds the hierarchy from the machine configuration.
     pub fn new(cfg: &SimConfig) -> Self {
-        let bank = cfg.l1d_banking.map(|b| BankArbiter::new(b, cfg.l1d.line_bytes, cfg.l1d.sets()));
+        let bank = cfg
+            .l1d_banking
+            .map(|b| BankArbiter::new(b, cfg.l1d.line_bytes, cfg.l1d.sets()));
         MemoryHierarchy {
             l1i: SetAssocCache::new(cfg.l1i),
             l1d: SetAssocCache::new(cfg.l1d),
@@ -128,7 +130,12 @@ impl MemoryHierarchy {
             if was_prefetch {
                 self.l1d_stats.prefetch_hits += 1;
             }
-            return LoadResponse { level: MemLevel::L1, bank_delay, extra_latency: bank_delay, merged: false };
+            return LoadResponse {
+                level: MemLevel::L1,
+                bank_delay,
+                extra_latency: bank_delay,
+                merged: false,
+            };
         }
         self.l1d_stats.misses += 1;
 
@@ -157,7 +164,12 @@ impl MemoryHierarchy {
                 (lvl, res, false)
             }
         };
-        LoadResponse { level, bank_delay, extra_latency: bank_delay + residual, merged }
+        LoadResponse {
+            level,
+            bank_delay,
+            extra_latency: bank_delay + residual,
+            merged,
+        }
     }
 
     /// Rewrites the completion time of the just-allocated L1 MSHR entry.
@@ -211,7 +223,8 @@ impl MemoryHierarchy {
         self.l2_stats.prefetches += 1;
         if let MshrOutcome::Allocated = self.l2_mshr.access(line, Cycle::NEVER, true) {
             let dram_lat = self.dram.read(line, now + self.l2_latency);
-            self.l2_mshr.set_completion(line, now + self.l2_latency + dram_lat);
+            self.l2_mshr
+                .set_completion(line, now + self.l2_latency + dram_lat);
         }
     }
 
@@ -293,7 +306,11 @@ mod tests {
         let a = Addr::new(0x1_0000);
         let r = m.load(pc(), a, Cycle::new(10), false);
         assert_eq!(r.level, MemLevel::Dram);
-        assert!(r.extra_latency >= 13 + 75, "L2 + DRAM minimum, got {}", r.extra_latency);
+        assert!(
+            r.extra_latency >= 13 + 75,
+            "L2 + DRAM minimum, got {}",
+            r.extra_latency
+        );
         // after the fill completes, the same line hits
         let done = Cycle::new(10) + r.extra_latency;
         let r2 = m.load(pc(), a, done + 1, false);
@@ -357,7 +374,10 @@ mod tests {
         assert_eq!(ra.level, MemLevel::L1);
         assert_eq!(rb.level, MemLevel::L1);
         assert_eq!(ra.bank_delay, 0);
-        assert_eq!(rb.bank_delay, 1, "same-bank different-set pair must conflict");
+        assert_eq!(
+            rb.bank_delay, 1,
+            "same-bank different-set pair must conflict"
+        );
         assert_eq!(rb.extra_latency, 1);
     }
 
@@ -385,14 +405,17 @@ mod tests {
         for i in 0..64u64 {
             let a = Addr::new(0x100_0000 + i * 64);
             let r = m.load(pc(), a, now, false);
-            now = now + 400; // far apart: fills complete
+            now += 400; // far apart: fills complete
             match r.level {
                 MemLevel::Dram => dram_count += 1,
                 MemLevel::L2 => l2_count += 1,
                 MemLevel::L1 => {}
             }
         }
-        assert!(l2_count > 40, "prefetcher should convert DRAM misses to L2 hits: l2={l2_count} dram={dram_count}");
+        assert!(
+            l2_count > 40,
+            "prefetcher should convert DRAM misses to L2 hits: l2={l2_count} dram={dram_count}"
+        );
         assert!(dram_count < 15);
         assert!(m.prefetches_issued() > 50);
     }
@@ -403,7 +426,10 @@ mod tests {
         let a = Addr::new(0x5_0000);
         let r = m.load(pc(), a, Cycle::new(0), true);
         assert_eq!(r.level, MemLevel::Dram);
-        assert_eq!(m.l1d_stats.accesses, 0, "wrong path must not count as demand");
+        assert_eq!(
+            m.l1d_stats.accesses, 0,
+            "wrong path must not count as demand"
+        );
         assert!(!m.l1d_contains(a), "wrong path must not fill");
         // and it must not allocate MSHRs: a later correct-path load is a
         // fresh miss
@@ -440,7 +466,11 @@ mod tests {
     fn icache_cold_miss_then_hits() {
         let mut m = mem(false);
         assert_eq!(m.icache_fetch(Pc::new(0x40_0000), Cycle::new(0)), 13);
-        assert_eq!(m.icache_fetch(Pc::new(0x40_0010), Cycle::new(1)), 0, "same line");
+        assert_eq!(
+            m.icache_fetch(Pc::new(0x40_0010), Cycle::new(1)),
+            0,
+            "same line"
+        );
         assert_eq!(m.l1i_misses, 1);
     }
 

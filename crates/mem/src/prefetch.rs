@@ -54,7 +54,12 @@ impl StridePrefetcher {
         let e = &mut self.table[idx];
         let mut out = Vec::new();
         if e.tag != tag {
-            *e = StrideEntry { tag, last_addr: addr.get(), stride: 0, confidence: 0 };
+            *e = StrideEntry {
+                tag,
+                last_addr: addr.get(),
+                stride: 0,
+                confidence: 0,
+            };
             return out;
         }
         let new_stride = addr.get() as i64 - e.last_addr as i64;
@@ -96,9 +101,18 @@ mod tests {
     fn trains_then_prefetches_degree_lines() {
         let mut p = pf();
         let pc = Pc::new(0x400);
-        assert!(p.observe_miss(pc, Addr::new(0)).is_empty(), "first touch: allocate");
-        assert!(p.observe_miss(pc, Addr::new(64)).is_empty(), "stride learned, conf 1");
-        assert!(p.observe_miss(pc, Addr::new(128)).is_empty(), "conf 2? needs repeat");
+        assert!(
+            p.observe_miss(pc, Addr::new(0)).is_empty(),
+            "first touch: allocate"
+        );
+        assert!(
+            p.observe_miss(pc, Addr::new(64)).is_empty(),
+            "stride learned, conf 1"
+        );
+        assert!(
+            p.observe_miss(pc, Addr::new(128)).is_empty(),
+            "conf 2? needs repeat"
+        );
         let out = p.observe_miss(pc, Addr::new(192));
         assert_eq!(out.len(), 8, "confident: degree-8 burst");
         assert_eq!(out[0], Addr::new(256));
@@ -114,7 +128,11 @@ mod tests {
         }
         let out = p.observe_miss(pc, Addr::new(32));
         assert!(!out.is_empty());
-        assert_eq!(out[0], Addr::new(64), "sub-line stride promoted to line stride");
+        assert_eq!(
+            out[0],
+            Addr::new(64),
+            "sub-line stride promoted to line stride"
+        );
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! Property-based tests for the memory substrate: the cache against a
-//! reference model, MSHR bookkeeping, and the bank arbiter's invariants.
+//! Randomized (deterministic, seeded) tests for the memory substrate:
+//! the cache against a reference model, MSHR bookkeeping, and the bank
+//! arbiter's invariants. Formerly proptest properties; now plain loops
+//! over the vendored [`Xoshiro256`] generator so the crate builds
+//! offline.
 
-use proptest::prelude::*;
 use ss_mem::{BankArbiter, Lookup, MshrFile, MshrOutcome, SetAssocCache};
+use ss_types::rng::Xoshiro256;
 use ss_types::{Addr, BankedL1dConfig, CacheGeometry, Cycle};
 
 /// Reference model: per-set LRU list of tags.
@@ -14,7 +17,10 @@ struct RefCache {
 
 impl RefCache {
     fn new(ways: usize) -> Self {
-        RefCache { sets: Default::default(), ways }
+        RefCache {
+            sets: Default::default(),
+            ways,
+        }
     }
     fn set_tag(addr: u64) -> (u64, u64) {
         let line = addr >> 6;
@@ -47,13 +53,12 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// The set-associative cache agrees with a straightforward per-set
-    /// LRU reference for arbitrary lookup/fill interleavings.
-    #[test]
-    fn cache_matches_lru_reference(ops in proptest::collection::vec((any::<bool>(), 0u64..(1 << 14)), 1..400)) {
+/// The set-associative cache agrees with a straightforward per-set
+/// LRU reference for arbitrary lookup/fill interleavings.
+#[test]
+fn cache_matches_lru_reference() {
+    let mut rng = Xoshiro256::seed_from_u64(0xCAC4E);
+    for case in 0..64 {
         // 64 sets x 8 ways x 64B = 32 KB (the L1D geometry)
         let mut cache = SetAssocCache::new(CacheGeometry {
             capacity_bytes: 32 * 1024,
@@ -61,7 +66,10 @@ proptest! {
             line_bytes: 64,
         });
         let mut reference = RefCache::new(8);
-        for (is_fill, raw) in ops {
+        let ops = 1 + rng.next_below(399) as usize;
+        for _ in 0..ops {
+            let is_fill = rng.next_bool();
+            let raw = rng.next_below(1 << 14);
             let addr = Addr::new(raw & !7);
             if is_fill {
                 cache.fill(addr, false);
@@ -69,16 +77,22 @@ proptest! {
             } else {
                 let hit = matches!(cache.lookup(addr), Lookup::Hit { .. });
                 let ref_hit = reference.lookup(addr.get());
-                prop_assert_eq!(hit, ref_hit, "divergence at {:?}", addr);
+                assert_eq!(hit, ref_hit, "case {case}: divergence at {addr:?}");
             }
         }
     }
+}
 
-    /// MSHR: outstanding count never exceeds capacity; merged accesses
-    /// always return the original completion; drain delivers everything
-    /// exactly once.
-    #[test]
-    fn mshr_bookkeeping(lines in proptest::collection::vec(0u64..32, 1..100), cap in 1u32..16) {
+/// MSHR: outstanding count never exceeds capacity; merged accesses
+/// always return the original completion; drain delivers everything
+/// exactly once.
+#[test]
+fn mshr_bookkeeping() {
+    let mut rng = Xoshiro256::seed_from_u64(0x354);
+    for case in 0..64 {
+        let cap = 1 + rng.next_below(15) as u32;
+        let n_lines = 1 + rng.next_below(99) as usize;
+        let lines: Vec<u64> = (0..n_lines).map(|_| rng.next_below(32)).collect();
         let mut m = MshrFile::new(cap, 64);
         let mut expected_fills = std::collections::HashSet::new();
         for (i, line) in lines.iter().enumerate() {
@@ -88,27 +102,36 @@ proptest! {
                     m.set_completion(addr, Cycle::new(1_000 + i as u64));
                     expected_fills.insert(*line);
                 }
-                MshrOutcome::Merged(c) => prop_assert!(c.get() >= 1_000),
-                MshrOutcome::Full(_) => prop_assert!(m.len() as u32 == cap),
+                MshrOutcome::Merged(c) => assert!(c.get() >= 1_000, "case {case}"),
+                MshrOutcome::Full(_) => assert!(m.len() as u32 == cap, "case {case}"),
             }
-            prop_assert!(m.len() as u32 <= cap);
+            assert!(m.len() as u32 <= cap, "case {case}");
         }
         let mut fills = Vec::new();
         m.drain(Cycle::new(10_000), |a, _| fills.push(a.get() / 64));
         let fill_set: std::collections::HashSet<u64> = fills.iter().copied().collect();
-        prop_assert_eq!(fill_set.len(), fills.len(), "no duplicate fills");
-        prop_assert_eq!(fill_set, expected_fills);
-        prop_assert!(m.is_empty());
+        assert_eq!(
+            fill_set.len(),
+            fills.len(),
+            "case {case}: no duplicate fills"
+        );
+        assert_eq!(fill_set, expected_fills, "case {case}");
+        assert!(m.is_empty(), "case {case}");
     }
+}
 
-    /// The bank arbiter never grants more than two accesses per cycle and
-    /// never grants two same-bank different-set accesses together; delays
-    /// are exactly `service_cycle − request_cycle`.
-    #[test]
-    fn bank_arbiter_respects_port_and_bank_limits(
-        reqs in proptest::collection::vec((0u64..8, 0u64..64), 1..200),
-        gap in 0u64..3,
-    ) {
+/// The bank arbiter never grants more than two accesses per cycle and
+/// never grants two same-bank different-set accesses together; delays
+/// are exactly `service_cycle − request_cycle`.
+#[test]
+fn bank_arbiter_respects_port_and_bank_limits() {
+    let mut rng = Xoshiro256::seed_from_u64(0xBA4B);
+    for case in 0..64 {
+        let n_reqs = 1 + rng.next_below(199) as usize;
+        let reqs: Vec<(u64, u64)> = (0..n_reqs)
+            .map(|_| (rng.next_below(8), rng.next_below(64)))
+            .collect();
+        let gap = rng.next_below(3);
         let mut arb = BankArbiter::new(BankedL1dConfig::default(), 64, 64);
         let mut now = 1u64;
         // service log: (cycle, bank, set)
@@ -128,9 +151,16 @@ proptest! {
             by_cycle.entry(c).or_default().push((b, s));
         }
         for (c, v) in by_cycle {
-            prop_assert!(v.len() <= 2, "cycle {c} granted {} accesses", v.len());
+            assert!(
+                v.len() <= 2,
+                "case {case}: cycle {c} granted {} accesses",
+                v.len()
+            );
             if v.len() == 2 && v[0].0 == v[1].0 {
-                prop_assert_eq!(v[0].1, v[1].1, "same-bank pair must share a set (cycle {})", c);
+                assert_eq!(
+                    v[0].1, v[1].1,
+                    "case {case}: same-bank pair must share a set (cycle {c})"
+                );
             }
         }
     }

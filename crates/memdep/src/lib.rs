@@ -166,7 +166,11 @@ mod tests {
         s.on_violation(Pc::new(0x100), Pc::new(0x200));
         s.on_store_dispatch(Pc::new(0x200), SeqNum::new(5));
         s.on_store_complete(Pc::new(0x200), SeqNum::new(5));
-        assert_eq!(s.load_dependence(Pc::new(0x100)), None, "completed store released");
+        assert_eq!(
+            s.load_dependence(Pc::new(0x100)),
+            None,
+            "completed store released"
+        );
     }
 
     #[test]
@@ -196,7 +200,7 @@ mod tests {
         let mut s = ss();
         s.on_violation(Pc::new(0x100), Pc::new(0x200)); // set A
         s.on_violation(Pc::new(0x104), Pc::new(0x204)); // set B
-        // now a violation linking the two loads' stores
+                                                        // now a violation linking the two loads' stores
         s.on_violation(Pc::new(0x100), Pc::new(0x204)); // merge
         s.on_store_dispatch(Pc::new(0x204), SeqNum::new(11));
         assert_eq!(
@@ -214,7 +218,11 @@ mod tests {
         let _ = s.load_dependence(Pc::new(0x100)); // access 2
         let _ = s.load_dependence(Pc::new(0x100)); // access 3
         let _ = s.load_dependence(Pc::new(0x100)); // access 4 → clear
-        assert_eq!(s.load_dependence(Pc::new(0x100)), None, "cleared after interval");
+        assert_eq!(
+            s.load_dependence(Pc::new(0x100)),
+            None,
+            "cleared after interval"
+        );
     }
 
     #[test]

@@ -46,7 +46,14 @@ impl BankPredictor {
     pub fn new(entries: u32) -> Self {
         assert!(entries.is_power_of_two());
         BankPredictor {
-            entries: vec![Entry { bank: 0, stride: 0, confidence: 0 }; entries as usize],
+            entries: vec![
+                Entry {
+                    bank: 0,
+                    stride: 0,
+                    confidence: 0
+                };
+                entries as usize
+            ],
             lookups: 0,
             correct: 0,
             wrong: 0,

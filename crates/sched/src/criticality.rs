@@ -28,7 +28,11 @@ impl CriticalityTable {
         assert!(entries.is_power_of_two());
         assert!((2..=7).contains(&bits));
         let max = (1 << (bits - 1)) - 1;
-        CriticalityTable { counters: vec![0; entries as usize], max, min: -(max + 1) }
+        CriticalityTable {
+            counters: vec![0; entries as usize],
+            max,
+            min: -(max + 1),
+        }
     }
 
     fn index(&self, pc: Pc) -> usize {
@@ -47,7 +51,11 @@ impl CriticalityTable {
     pub fn on_retire(&mut self, pc: Pc, was_rob_head: bool) {
         let idx = self.index(pc);
         let c = &mut self.counters[idx];
-        *c = if was_rob_head { (*c + 1).min(self.max) } else { (*c - 1).max(self.min) };
+        *c = if was_rob_head {
+            (*c + 1).min(self.max)
+        } else {
+            (*c - 1).max(self.min)
+        };
     }
 }
 

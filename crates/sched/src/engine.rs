@@ -53,7 +53,11 @@ impl SchedEngine {
         SchedEngine {
             kind: cfg.sched_policy,
             global: GlobalCounter::new(cfg.global_counter_bits),
-            filter: HitMissFilter::new(cfg.filter_entries, cfg.filter_reset_interval, use_silencing),
+            filter: HitMissFilter::new(
+                cfg.filter_entries,
+                cfg.filter_reset_interval,
+                use_silencing,
+            ),
             crit: CriticalityTable::new(cfg.crit_entries, cfg.crit_counter_bits),
             stats: EngineStats::default(),
         }
@@ -178,7 +182,7 @@ mod tests {
 
     #[test]
     fn filter_sure_miss_overrides_global_hit() {
-        let mut e = engine(SchedPolicyKind::FilterAndCounter);
+        let e = engine(SchedPolicyKind::FilterAndCounter);
         let pc = Pc::new(0x200);
         // drive the entry to sure-miss (resets let the counter walk down)
         let mut e2 = SchedEngine::new(
@@ -207,7 +211,11 @@ mod tests {
         for _ in 0..8 {
             e.on_load_outcome(false);
         }
-        assert_eq!(e.decide(pc), WakeupDecision::Conservative, "global says miss");
+        assert_eq!(
+            e.decide(pc),
+            WakeupDecision::Conservative,
+            "global says miss"
+        );
     }
 
     #[test]
@@ -245,7 +253,11 @@ mod tests {
         for _ in 0..8 {
             e.on_retire(pc, false); // non-critical
         }
-        assert_eq!(e.decide(pc), WakeupDecision::Speculative, "sure hit bypasses criticality");
+        assert_eq!(
+            e.decide(pc),
+            WakeupDecision::Speculative,
+            "sure hit bypasses criticality"
+        );
     }
 
     #[test]

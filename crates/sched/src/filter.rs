@@ -53,7 +53,13 @@ impl HitMissFilter {
         HitMissFilter {
             // Initialize to saturated-hit: unseen loads behave like the
             // Always-Hit default until proven otherwise.
-            entries: vec![Entry { ctr: 3, silenced: false }; entries as usize],
+            entries: vec![
+                Entry {
+                    ctr: 3,
+                    silenced: false
+                };
+                entries as usize
+            ],
             since_reset: 0,
             reset_interval,
             use_silencing,
@@ -97,7 +103,11 @@ impl HitMissFilter {
             return; // silenced counters are not updated
         }
         let was_saturated = e.ctr == 0 || e.ctr == 3;
-        let new = if hit { (e.ctr + 1).min(3) } else { e.ctr.saturating_sub(1) };
+        let new = if hit {
+            (e.ctr + 1).min(3)
+        } else {
+            e.ctr.saturating_sub(1)
+        };
         let now_transient = new == 1 || new == 2;
         e.ctr = new;
         if self.use_silencing && was_saturated && now_transient {
@@ -141,7 +151,7 @@ mod tests {
         let mut f2 = HitMissFilter::new(2048, 2, true);
         f2.on_load_commit(pc, false); // silenced, since_reset=1
         f2.on_load_commit(pc, false); // reset fires first → unsilenced → 3→2? saturated→transient → silenced again
-        // after several reset cycles the counter walks down to sure-miss
+                                      // after several reset cycles the counter walks down to sure-miss
         let mut f3 = HitMissFilter::new(2048, 1, true); // reset every load
         for _ in 0..8 {
             f3.on_load_commit(pc, false);
@@ -186,7 +196,11 @@ mod tests {
         for _ in 0..3 {
             f.on_load_commit(Pc::new(0x999), true);
         }
-        assert_eq!(f.predict(pc), FilterPrediction::SureHit, "bias restored after reset");
+        assert_eq!(
+            f.predict(pc),
+            FilterPrediction::SureHit,
+            "bias restored after reset"
+        );
     }
 
     #[test]

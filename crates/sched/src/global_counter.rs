@@ -30,7 +30,11 @@ impl GlobalCounter {
     pub fn new(bits: u32) -> Self {
         assert!((1..=16).contains(&bits));
         let max = (1 << bits) - 1;
-        GlobalCounter { value: max, max, msb: 1 << (bits - 1) }
+        GlobalCounter {
+            value: max,
+            max,
+            msb: 1 << (bits - 1),
+        }
     }
 
     /// Whether the MSB currently predicts "hit" (speculation allowed).

@@ -1,53 +1,70 @@
-//! Property-based tests for the scheduling-policy structures.
+//! Randomized (deterministic, seeded) tests for the scheduling-policy
+//! structures. Formerly proptest properties; now plain loops over the
+//! vendored [`Xoshiro256`] generator so the crate builds offline.
 
-use proptest::prelude::*;
 use ss_sched::{FilterPrediction, GlobalCounter, HitMissFilter, SchedEngine, WakeupDecision};
+use ss_types::rng::Xoshiro256;
 use ss_types::{Pc, SchedPolicyKind, SimConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    /// The global counter's prediction always reflects its saturating
-    /// arithmetic: after enough consecutive hits it predicts hit, after
-    /// enough consecutive misses it predicts miss — from any state.
-    #[test]
-    fn global_counter_saturation(prefix in proptest::collection::vec(any::<bool>(), 0..100)) {
+/// The global counter's prediction always reflects its saturating
+/// arithmetic: after enough consecutive hits it predicts hit, after
+/// enough consecutive misses it predicts miss — from any state.
+#[test]
+fn global_counter_saturation() {
+    let mut rng = Xoshiro256::seed_from_u64(0x6C0B);
+    for case in 0..128 {
+        let prefix_len = rng.next_below(100) as usize;
         let mut c = GlobalCounter::new(4);
-        for h in prefix {
-            c.on_load_outcome(h);
+        for _ in 0..prefix_len {
+            c.on_load_outcome(rng.next_bool());
         }
         let mut c2 = c.clone();
         for _ in 0..16 {
             c.on_load_outcome(true);
         }
-        prop_assert!(c.predict_hit());
+        assert!(c.predict_hit(), "case {case}");
         for _ in 0..8 {
             c2.on_load_outcome(false);
         }
-        prop_assert!(!c2.predict_hit());
+        assert!(!c2.predict_hit(), "case {case}");
     }
+}
 
-    /// The filter never predicts `SureHit` for a load observed missing on
-    /// its most recent unsilenced streak, and a long uniform streak always
-    /// ends in the matching sure state.
-    #[test]
-    fn filter_converges_on_uniform_streaks(hit in any::<bool>(), streak in 16u32..64) {
+/// The filter never predicts `SureHit` for a load observed missing on
+/// its most recent unsilenced streak, and a long uniform streak always
+/// ends in the matching sure state.
+#[test]
+fn filter_converges_on_uniform_streaks() {
+    let mut rng = Xoshiro256::seed_from_u64(0xF117E4);
+    for case in 0..64 {
+        let hit = rng.next_bool();
+        let streak = 16 + rng.next_below(48);
         // reset interval 4 so silencing cannot freeze the entry forever
         let mut f = HitMissFilter::new(2048, 4, true);
         let pc = Pc::new(0x500);
         for _ in 0..streak {
             f.on_load_commit(pc, hit);
         }
-        let want = if hit { FilterPrediction::SureHit } else { FilterPrediction::SureMiss };
-        prop_assert_eq!(f.predict(pc), want);
+        let want = if hit {
+            FilterPrediction::SureHit
+        } else {
+            FilterPrediction::SureMiss
+        };
+        assert_eq!(
+            f.predict(pc),
+            want,
+            "case {case}: hit={hit} streak={streak}"
+        );
     }
+}
 
-    /// Rapidly alternating behaviour (streaks shorter than the counter
-    /// can re-saturate between silence resets) keeps the filter mostly
-    /// silenced — the case the silencing bit exists for. Longer streaks
-    /// legitimately re-earn Sure states within each phase.
-    #[test]
-    fn filter_is_cautious_on_rapidly_alternating_loads(period in 2u32..4) {
+/// Rapidly alternating behaviour (streaks shorter than the counter
+/// can re-saturate between silence resets) keeps the filter mostly
+/// silenced — the case the silencing bit exists for. Longer streaks
+/// legitimately re-earn Sure states within each phase.
+#[test]
+fn filter_is_cautious_on_rapidly_alternating_loads() {
+    for period in 2u64..4 {
         let mut f = HitMissFilter::new(2048, 10, true);
         let pc = Pc::new(0x700);
         let mut unstable = 0;
@@ -58,24 +75,24 @@ proptest! {
             }
             f.on_load_commit(pc, (i / period) % 2 == 0);
         }
-        prop_assert!(
+        assert!(
             unstable * 3 > total,
             "rapidly alternating load must be mostly unstable: {unstable}/{total}"
         );
     }
+}
 
-    /// Every policy's decision stream is a pure function of its training
-    /// stream (decide() itself never mutates prediction state).
-    #[test]
-    fn decisions_are_read_only(
-        kind in prop_oneof![
-            Just(SchedPolicyKind::AlwaysHit),
-            Just(SchedPolicyKind::GlobalCounter),
-            Just(SchedPolicyKind::FilterAndCounter),
-            Just(SchedPolicyKind::Criticality),
-        ],
-        pcs in proptest::collection::vec(0u64..64, 1..50),
-    ) {
+/// Every policy's decision stream is a pure function of its training
+/// stream (decide() itself never mutates prediction state).
+#[test]
+fn decisions_are_read_only() {
+    let mut rng = Xoshiro256::seed_from_u64(0xDEC1DE);
+    for kind in [
+        SchedPolicyKind::AlwaysHit,
+        SchedPolicyKind::GlobalCounter,
+        SchedPolicyKind::FilterAndCounter,
+        SchedPolicyKind::Criticality,
+    ] {
         let cfg = SimConfig::builder().sched_policy(kind).build();
         let mut e = SchedEngine::new(&cfg);
         // train a bit
@@ -85,30 +102,38 @@ proptest! {
             e.on_retire(Pc::new((i % 16) * 4), i % 5 == 0);
         }
         // repeated decides for the same PC must agree
-        for pc_idx in pcs {
-            let pc = Pc::new(pc_idx * 4);
+        let pcs_len = 1 + rng.next_below(49) as usize;
+        for _ in 0..pcs_len {
+            let pc = Pc::new(rng.next_below(64) * 4);
             let first = e.decide(pc);
             for _ in 0..3 {
-                prop_assert_eq!(e.decide(pc), first);
+                assert_eq!(e.decide(pc), first, "{kind:?} {pc:?}");
             }
         }
     }
+}
 
-    /// Conservative never speculates; AlwaysHit never holds back.
-    #[test]
-    fn extreme_policies_are_constant(pc_idx in 0u64..1000) {
-        let pc = Pc::new(pc_idx * 4);
+/// Conservative never speculates; AlwaysHit never holds back.
+#[test]
+fn extreme_policies_are_constant() {
+    let mut rng = Xoshiro256::seed_from_u64(0xE17);
+    for _ in 0..100 {
+        let pc = Pc::new(rng.next_below(1000) * 4);
         let mut cons = SchedEngine::new(
-            &SimConfig::builder().sched_policy(SchedPolicyKind::Conservative).build(),
+            &SimConfig::builder()
+                .sched_policy(SchedPolicyKind::Conservative)
+                .build(),
         );
         let mut always = SchedEngine::new(
-            &SimConfig::builder().sched_policy(SchedPolicyKind::AlwaysHit).build(),
+            &SimConfig::builder()
+                .sched_policy(SchedPolicyKind::AlwaysHit)
+                .build(),
         );
         for _ in 0..8 {
             cons.on_load_outcome(true);
             always.on_load_outcome(false);
         }
-        prop_assert_eq!(cons.decide(pc), WakeupDecision::Conservative);
-        prop_assert_eq!(always.decide(pc), WakeupDecision::Speculative);
+        assert_eq!(cons.decide(pc), WakeupDecision::Conservative);
+        assert_eq!(always.decide(pc), WakeupDecision::Speculative);
     }
 }

@@ -6,6 +6,7 @@
 //! minimum branch misprediction penalty. Use [`SimConfig::builder`] to
 //! derive variants (the paper's `Baseline_*` and `SpecSched_*` models).
 
+use crate::error::SimError;
 use crate::op::ExecPort;
 
 /// Which wakeup policy drives speculative scheduling of load dependents.
@@ -136,12 +137,54 @@ impl CacheGeometry {
     ///
     /// Panics if the geometry is not an exact power-of-two split.
     pub fn sets(&self) -> u64 {
+        self.try_sets().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Number of sets implied by the geometry, or a structured error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ConfigInvalid`] if the geometry is not an
+    /// exact power-of-two split.
+    pub fn try_sets(&self) -> Result<u64, SimError> {
         let sets = self.capacity_bytes / (self.ways as u64 * self.line_bytes);
-        assert!(
-            sets.is_power_of_two() && sets * self.ways as u64 * self.line_bytes == self.capacity_bytes,
-            "cache geometry must divide into a power-of-two number of sets"
-        );
-        sets
+        if sets.is_power_of_two()
+            && sets * self.ways as u64 * self.line_bytes == self.capacity_bytes
+        {
+            Ok(sets)
+        } else {
+            Err(SimError::ConfigInvalid(format!(
+                "cache geometry {}B/{}-way/{}B-line must divide into a power-of-two number of sets",
+                self.capacity_bytes, self.ways, self.line_bytes
+            )))
+        }
+    }
+}
+
+/// Graceful-degradation knobs: when a replay storm is detected (more than
+/// `replay_threshold` replay events inside a `window_cycles` window), the
+/// scheduler temporarily falls back to conservative (non-speculative)
+/// load wakeup for `duration_cycles`, then re-enables speculation. Entries
+/// and degraded cycles are recorded in
+/// [`SimStats`](crate::SimStats)::`degrade_entries` / `degrade_cycles`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeConfig {
+    /// Sliding-window length in cycles over which replay events are
+    /// counted.
+    pub window_cycles: u64,
+    /// Replay events within the window that trigger degradation.
+    pub replay_threshold: u64,
+    /// Cycles to stay in conservative mode once triggered.
+    pub duration_cycles: u64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            window_cycles: 1_000,
+            replay_threshold: 100,
+            duration_cycles: 5_000,
+        }
     }
 }
 
@@ -190,7 +233,10 @@ pub struct PrfBankConfig {
 
 impl Default for PrfBankConfig {
     fn default() -> Self {
-        PrfBankConfig { banks: 4, read_ports_per_bank: 2 }
+        PrfBankConfig {
+            banks: 4,
+            read_ports_per_bank: 2,
+        }
     }
 }
 
@@ -395,12 +441,25 @@ pub struct SimConfig {
     /// consume resources and are squashed at resolve). Needed to reproduce
     /// the paper's `Unique` issued-µ-op effects.
     pub wrong_path: bool,
+
+    // ---- robustness ----
+    /// Cycles without a commit before the watchdog declares a deadlock
+    /// (200 000 by default; tests shrink it to trigger the path cheaply).
+    pub watchdog_cycles: u64,
+    /// Run the internal invariant checker every this many cycles; 0
+    /// disables it (the default — it costs a full window scan).
+    pub invariant_check_interval: u64,
+    /// `Some(_)` enables replay-storm detection with graceful fallback to
+    /// conservative wakeup; `None` (the default) never degrades.
+    pub degrade: Option<DegradeConfig>,
 }
 
 impl SimConfig {
     /// Starts a builder initialized with the Table 1 defaults.
     pub fn builder() -> SimConfigBuilder {
-        SimConfigBuilder { cfg: SimConfig::default() }
+        SimConfigBuilder {
+            cfg: SimConfig::default(),
+        }
     }
 
     /// Frontend depth in cycles for the configured issue-to-execute delay:
@@ -434,7 +493,11 @@ impl SimConfig {
 
     /// Maximum loads issuable per cycle under this configuration.
     pub fn max_loads_per_cycle(&self) -> u32 {
-        if self.dual_load_issue { self.ldst_ports.min(2) } else { 1 }
+        if self.dual_load_issue {
+            self.ldst_ports.min(2)
+        } else {
+            1
+        }
     }
 
     /// Validates internal consistency; called by the builder.
@@ -444,34 +507,109 @@ impl SimConfig {
     /// Panics on inconsistent configurations (zero widths, bad cache
     /// geometry, delay too deep for the frontend).
     pub fn validate(&self) {
-        assert!(self.frontend_width > 0 && self.issue_width > 0 && self.retire_width > 0);
-        assert!(self.rob_entries > 0 && self.iq_entries > 0);
-        assert!(self.lq_entries > 0 && self.sq_entries > 0);
-        assert!(self.int_prf as usize > 2 * crate::ids::ArchReg::COUNT, "need rename headroom");
-        assert!(self.fp_prf as usize > 2 * crate::ids::ArchReg::COUNT, "need rename headroom");
-        let _ = self.l1i.sets();
-        let _ = self.l1d.sets();
-        let _ = self.l2.sets();
-        let _ = self.frontend_depth();
+        self.try_validate().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Validates internal consistency without panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ConfigInvalid`] describing the first
+    /// inconsistency found (zero widths, bad cache geometry, delay too
+    /// deep for the frontend, non-power-of-two table sizes).
+    pub fn try_validate(&self) -> Result<(), SimError> {
+        fn check(cond: bool, msg: impl FnOnce() -> String) -> Result<(), SimError> {
+            if cond {
+                Ok(())
+            } else {
+                Err(SimError::ConfigInvalid(msg()))
+            }
+        }
+        check(
+            self.frontend_width > 0 && self.issue_width > 0 && self.retire_width > 0,
+            || "pipeline widths must be non-zero".into(),
+        )?;
+        check(self.rob_entries > 0 && self.iq_entries > 0, || {
+            "ROB and IQ must be non-empty".into()
+        })?;
+        check(self.lq_entries > 0 && self.sq_entries > 0, || {
+            "LQ and SQ must be non-empty".into()
+        })?;
+        check(
+            self.int_prf as usize > 2 * crate::ids::ArchReg::COUNT,
+            || format!("int PRF of {} leaves no rename headroom", self.int_prf),
+        )?;
+        check(
+            self.fp_prf as usize > 2 * crate::ids::ArchReg::COUNT,
+            || format!("fp PRF of {} leaves no rename headroom", self.fp_prf),
+        )?;
+        let _ = self.l1i.try_sets()?;
+        let _ = self.l1d.try_sets()?;
+        let _ = self.l2.try_sets()?;
+        check(
+            self.issue_to_execute_delay + 2 <= self.base_frontend_depth,
+            || {
+                format!(
+                    "issue-to-execute delay {} too large for a {}-cycle frontend",
+                    self.issue_to_execute_delay, self.base_frontend_depth
+                )
+            },
+        )?;
         if let Some(b) = &self.l1d_banking {
-            assert!(b.banks.is_power_of_two(), "bank count must be a power of two");
-            assert!(b.interleave_bytes.is_power_of_two());
-            assert!(
+            check(b.banks.is_power_of_two(), || {
+                "bank count must be a power of two".into()
+            })?;
+            check(b.interleave_bytes.is_power_of_two(), || {
+                "bank interleave granularity must be a power of two".into()
+            })?;
+            check(
                 b.banks as u64 * b.interleave_bytes <= self.l1d.line_bytes,
-                "banks must interleave within one line"
-            );
+                || {
+                    format!(
+                        "{} banks x {}B must interleave within one {}B line",
+                        b.banks, b.interleave_bytes, self.l1d.line_bytes
+                    )
+                },
+            )?;
         }
-        assert!(self.global_counter_bits >= 2 && self.global_counter_bits <= 8);
-        assert!(self.filter_entries.is_power_of_two());
-        assert!(self.crit_entries.is_power_of_two());
-        assert!(self.bank_predictor_entries.is_power_of_two());
+        check(
+            self.global_counter_bits >= 2 && self.global_counter_bits <= 8,
+            || {
+                format!(
+                    "global counter bits {} outside 2..=8",
+                    self.global_counter_bits
+                )
+            },
+        )?;
+        check(self.filter_entries.is_power_of_two(), || {
+            "filter entries must be a power of two".into()
+        })?;
+        check(self.crit_entries.is_power_of_two(), || {
+            "criticality entries must be a power of two".into()
+        })?;
+        check(self.bank_predictor_entries.is_power_of_two(), || {
+            "bank predictor entries must be a power of two".into()
+        })?;
         if let Some(pb) = &self.prf_banking {
-            assert!(
-                pb.banks.is_power_of_two() && pb.banks <= 16,
-                "PRF banks must be a power of two <= 16"
-            );
-            assert!(pb.read_ports_per_bank >= 1);
+            check(pb.banks.is_power_of_two() && pb.banks <= 16, || {
+                "PRF banks must be a power of two <= 16".into()
+            })?;
+            check(pb.read_ports_per_bank >= 1, || {
+                "PRF banks need at least one read port".into()
+            })?;
         }
+        check(self.watchdog_cycles > 0, || {
+            "watchdog threshold must be non-zero".into()
+        })?;
+        if let Some(d) = &self.degrade {
+            check(d.window_cycles > 0 && d.duration_cycles > 0, || {
+                "degradation window and duration must be non-zero".into()
+            })?;
+            check(d.replay_threshold > 0, || {
+                "degradation replay threshold must be non-zero".into()
+            })?;
+        }
+        Ok(())
     }
 }
 
@@ -499,12 +637,24 @@ impl Default for SimConfig {
             store_only_ports: 1,
             dual_load_issue: true,
             prf_banking: None,
-            l1i: CacheGeometry { capacity_bytes: 32 * 1024, ways: 8, line_bytes: 64 },
-            l1d: CacheGeometry { capacity_bytes: 32 * 1024, ways: 8, line_bytes: 64 },
+            l1i: CacheGeometry {
+                capacity_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l1d: CacheGeometry {
+                capacity_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
             l1d_load_to_use: 4,
             l1d_mshrs: 64,
             l1d_banking: Some(BankedL1dConfig::default()),
-            l2: CacheGeometry { capacity_bytes: 1024 * 1024, ways: 16, line_bytes: 64 },
+            l2: CacheGeometry {
+                capacity_bytes: 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+            },
             l2_latency: 13,
             l2_mshrs: 64,
             prefetch_degree: 8,
@@ -522,6 +672,9 @@ impl Default for SimConfig {
             crit_entries: 8192,
             crit_counter_bits: 4,
             wrong_path: true,
+            watchdog_cycles: 200_000,
+            invariant_check_interval: 0,
+            degrade: None,
         }
     }
 }
@@ -549,7 +702,11 @@ impl SimConfigBuilder {
 
     /// Enables or disables Schedule Shifting (§5.1).
     pub fn schedule_shifting(mut self, on: bool) -> Self {
-        self.cfg.shift_policy = if on { ShiftPolicy::Always } else { ShiftPolicy::Off };
+        self.cfg.shift_policy = if on {
+            ShiftPolicy::Always
+        } else {
+            ShiftPolicy::Off
+        };
         self
     }
 
@@ -640,6 +797,25 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Overrides the deadlock watchdog threshold (cycles without a
+    /// commit).
+    pub fn watchdog_cycles(mut self, n: u64) -> Self {
+        self.cfg.watchdog_cycles = n;
+        self
+    }
+
+    /// Runs the invariant checker every `n` cycles (0 disables).
+    pub fn invariant_check_interval(mut self, n: u64) -> Self {
+        self.cfg.invariant_check_interval = n;
+        self
+    }
+
+    /// Enables replay-storm detection with graceful degradation.
+    pub fn degrade(mut self, d: Option<DegradeConfig>) -> Self {
+        self.cfg.degrade = d;
+        self
+    }
+
     /// Applies an arbitrary closure to the underlying config, for knobs
     /// without a dedicated builder method.
     pub fn tweak(mut self, f: impl FnOnce(&mut SimConfig)) -> Self {
@@ -656,6 +832,17 @@ impl SimConfigBuilder {
     pub fn build(self) -> SimConfig {
         self.cfg.validate();
         self.cfg
+    }
+
+    /// Finishes the build without panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ConfigInvalid`] if the configuration is
+    /// inconsistent (see [`SimConfig::try_validate`]).
+    pub fn try_build(self) -> Result<SimConfig, SimError> {
+        self.cfg.try_validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -729,22 +916,94 @@ mod tests {
     #[test]
     #[should_panic(expected = "power-of-two")]
     fn bad_geometry_panics() {
-        let g = CacheGeometry { capacity_bytes: 48 * 1024, ways: 7, line_bytes: 64 };
+        let g = CacheGeometry {
+            capacity_bytes: 48 * 1024,
+            ways: 7,
+            line_bytes: 64,
+        };
         let _ = g.sets();
     }
 
     #[test]
     fn banking_must_fit_line() {
-        let mut c = SimConfig::default();
-        c.l1d_banking =
-            Some(BankedL1dConfig { banks: 32, interleave_bytes: 8, ..Default::default() });
+        let c = SimConfig {
+            l1d_banking: Some(BankedL1dConfig {
+                banks: 32,
+                interleave_bytes: 8,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
         let r = std::panic::catch_unwind(move || c.validate());
-        assert!(r.is_err(), "32 banks x 8B exceeds a 64B line and must be rejected");
+        assert!(
+            r.is_err(),
+            "32 banks x 8B exceeds a 64B line and must be rejected"
+        );
     }
 
     #[test]
     fn tweak_applies() {
         let c = SimConfig::builder().tweak(|c| c.retire_width = 4).build();
         assert_eq!(c.retire_width, 4);
+    }
+
+    #[test]
+    fn try_validate_returns_structured_errors() {
+        use crate::error::SimError;
+        let ok = SimConfig::default();
+        assert!(ok.try_validate().is_ok());
+
+        let zero_width = SimConfig {
+            issue_width: 0,
+            ..Default::default()
+        };
+        let err = zero_width.try_validate().unwrap_err();
+        assert!(matches!(err, SimError::ConfigInvalid(_)));
+        assert!(err.to_string().contains("width"));
+
+        let deep = SimConfig {
+            issue_to_execute_delay: 14,
+            ..Default::default()
+        };
+        let err = deep.try_validate().unwrap_err();
+        assert!(err.to_string().contains("too large"));
+
+        let geom = SimConfig {
+            l1d: CacheGeometry {
+                capacity_bytes: 48 * 1024,
+                ways: 7,
+                line_bytes: 64,
+            },
+            ..Default::default()
+        };
+        assert!(geom.try_validate().is_err());
+    }
+
+    #[test]
+    fn try_build_matches_build() {
+        let b = SimConfig::builder().issue_to_execute_delay(2);
+        let via_try = b.clone().try_build().expect("valid");
+        assert_eq!(via_try, b.build());
+        assert!(SimConfig::builder()
+            .issue_to_execute_delay(14)
+            .try_build()
+            .is_err());
+    }
+
+    #[test]
+    fn robustness_knobs_default_off() {
+        let c = SimConfig::default();
+        assert_eq!(c.watchdog_cycles, 200_000);
+        assert_eq!(c.invariant_check_interval, 0);
+        assert!(c.degrade.is_none());
+        let c = SimConfig::builder()
+            .watchdog_cycles(500)
+            .invariant_check_interval(100)
+            .degrade(Some(DegradeConfig::default()))
+            .build();
+        assert_eq!(c.watchdog_cycles, 500);
+        assert_eq!(c.invariant_check_interval, 100);
+        assert!(c.degrade.is_some());
+        assert!(SimConfig::builder().watchdog_cycles(0).try_build().is_err());
     }
 }

@@ -1,0 +1,229 @@
+//! Structured failure taxonomy for the simulator.
+//!
+//! Every failure mode the workspace can detect maps to one [`SimError`]
+//! variant, so the harness can isolate and report per-cell failures
+//! instead of aborting an experiment sweep:
+//!
+//! * [`SimError::Deadlock`] — the watchdog saw no commit for
+//!   `watchdog_cycles`; carries a [`DeadlockReport`] with the stuck
+//!   window.
+//! * [`SimError::InvariantViolation`] — the periodic invariant checker
+//!   caught internal state corruption (occupancy counters vs structure
+//!   contents, physical-register free-list leaks, replay-queue
+//!   consistency) close to where it happened.
+//! * [`SimError::ConfigInvalid`] — a [`SimConfig`](crate::SimConfig)
+//!   failed [`try_validate`](crate::SimConfig::try_validate).
+//! * [`SimError::CacheCorrupt`] — an on-disk stats-cache entry failed its
+//!   version or checksum gate and will be re-simulated.
+//! * [`SimError::TraceInvalid`] — a trace source handed the pipeline a
+//!   malformed µ-op.
+//! * [`SimError::Panicked`] — a cell panicked under `catch_unwind`
+//!   (an internal bug, preserved so the sweep can continue).
+
+use crate::ids::Cycle;
+use std::fmt;
+
+/// A point-in-time view of pipeline occupancy, attached to deadlock and
+/// invariant reports (and used by tracing/debugging tools).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineSnapshot {
+    /// Current cycle.
+    pub cycle: Cycle,
+    /// Occupied reorder-buffer entries.
+    pub rob: usize,
+    /// Occupied issue-queue entries.
+    pub iq: u32,
+    /// Occupied load-queue entries.
+    pub lq: u32,
+    /// Occupied store-queue entries.
+    pub sq: u32,
+    /// µ-ops in the frontend pipe.
+    pub frontend: usize,
+    /// µ-ops waiting in the recovery buffer.
+    pub recovery: usize,
+    /// µ-ops in the issue-to-execute pipe.
+    pub inflight: usize,
+    /// Fetch currently on the wrong path.
+    pub wrong_path: bool,
+    /// Committed µ-ops so far.
+    pub committed: u64,
+    /// Issue events so far.
+    pub issued: u64,
+    /// Replayed µ-ops so far.
+    pub replayed: u64,
+}
+
+impl fmt::Display for PipelineSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: rob={} iq={} lq={} sq={} frontend={} recovery={} inflight={} wp={} \
+             committed={} issued={} replayed={}",
+            self.cycle,
+            self.rob,
+            self.iq,
+            self.lq,
+            self.sq,
+            self.frontend,
+            self.recovery,
+            self.inflight,
+            self.wrong_path,
+            self.committed,
+            self.issued,
+            self.replayed
+        )
+    }
+}
+
+/// Diagnostics for a watchdog-detected pipeline deadlock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// Occupancy at the moment the watchdog fired.
+    pub snapshot: PipelineSnapshot,
+    /// Cycles without a commit that triggered the watchdog.
+    pub watchdog_cycles: u64,
+    /// Human-readable picture of the stuck window (ROB head entries with
+    /// their wake/avail times, recovery/inflight groups).
+    pub detail: String,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pipeline deadlock ({} cycles without a commit) at {}\n{}",
+            self.watchdog_cycles, self.snapshot, self.detail
+        )
+    }
+}
+
+/// Diagnostics for an internal-consistency violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Occupancy at the moment the check failed.
+    pub snapshot: PipelineSnapshot,
+    /// Which invariant failed, with expected-vs-actual values.
+    pub what: String,
+}
+
+impl fmt::Display for InvariantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant violation at {}: {}", self.snapshot, self.what)
+    }
+}
+
+/// The structured error type of the whole workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The pipeline stopped committing (watchdog fired).
+    Deadlock(DeadlockReport),
+    /// Internal state corruption caught by the invariant checker.
+    InvariantViolation(InvariantReport),
+    /// A machine configuration is internally inconsistent.
+    ConfigInvalid(String),
+    /// An on-disk stats-cache entry is stale or corrupt.
+    CacheCorrupt {
+        /// Path of the offending cache file.
+        path: String,
+        /// Why it was rejected (version mismatch, checksum, parse).
+        reason: String,
+    },
+    /// A trace source produced a malformed µ-op.
+    TraceInvalid {
+        /// PC of the offending µ-op.
+        pc: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A simulation cell panicked (caught by the harness).
+    Panicked(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(r) => write!(f, "{r}"),
+            SimError::InvariantViolation(r) => write!(f, "{r}"),
+            SimError::ConfigInvalid(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::CacheCorrupt { path, reason } => {
+                write!(f, "corrupt stats cache {path}: {reason}")
+            }
+            SimError::TraceInvalid { pc, reason } => {
+                write!(f, "invalid µ-op at pc {pc:#x}: {reason}")
+            }
+            SimError::Panicked(msg) => write!(f, "simulation panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let snap = PipelineSnapshot {
+            rob: 3,
+            ..Default::default()
+        };
+        let cases: Vec<(SimError, &str)> = vec![
+            (
+                SimError::Deadlock(DeadlockReport {
+                    snapshot: snap,
+                    watchdog_cycles: 100,
+                    detail: "rob head".into(),
+                }),
+                "deadlock",
+            ),
+            (
+                SimError::InvariantViolation(InvariantReport {
+                    snapshot: snap,
+                    what: "iq_used 3 != 2".into(),
+                }),
+                "invariant",
+            ),
+            (
+                SimError::ConfigInvalid("zero width".into()),
+                "invalid configuration",
+            ),
+            (
+                SimError::CacheCorrupt {
+                    path: "x.kv".into(),
+                    reason: "checksum".into(),
+                },
+                "corrupt stats cache",
+            ),
+            (
+                SimError::TraceInvalid {
+                    pc: 0x40,
+                    reason: "no payload".into(),
+                },
+                "invalid µ-op",
+            ),
+            (SimError::Panicked("boom".into()), "panicked"),
+        ];
+        for (e, needle) in cases {
+            let msg = e.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_display_names_structures() {
+        let s = PipelineSnapshot {
+            rob: 5,
+            iq: 2,
+            ..Default::default()
+        }
+        .to_string();
+        assert!(s.contains("rob=5") && s.contains("iq=2"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(SimError::ConfigInvalid("x".into()));
+        assert!(e.to_string().contains("x"));
+    }
+}

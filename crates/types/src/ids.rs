@@ -114,7 +114,10 @@ impl Addr {
     /// Panics if `line_bytes` is not a power of two.
     #[inline]
     pub fn line(self, line_bytes: u64) -> Addr {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Addr(self.0 & !(line_bytes - 1))
     }
 

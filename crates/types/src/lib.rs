@@ -12,6 +12,10 @@
 //!   including the paper's `Unique` / `RpldMiss` / `RpldBank` issue
 //!   breakdown.
 //! * [`replay`] — the replay-cause taxonomy ([`ReplayCause`]).
+//! * [`error`] — the structured failure taxonomy ([`SimError`]) and the
+//!   [`PipelineSnapshot`] attached to deadlock/invariant reports.
+//! * [`rng`] — vendored SplitMix64 / xoshiro256** PRNGs so the workspace
+//!   builds with no external dependencies.
 //!
 //! # Example
 //!
@@ -31,16 +35,21 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod error;
 pub mod ids;
 pub mod op;
 pub mod replay;
+pub mod rng;
 pub mod stats;
 
 pub use config::{
-    BankInterleaving, BankedL1dConfig, CacheGeometry, CritCriterion, DramConfig, PredictorConfig,
-    PrfBankConfig, ReplayScheme, SchedPolicyKind, ShiftPolicy, SimConfig, SimConfigBuilder,
+    BankInterleaving, BankedL1dConfig, CacheGeometry, CritCriterion, DegradeConfig, DramConfig,
+    PredictorConfig, PrfBankConfig, ReplayScheme, SchedPolicyKind, ShiftPolicy, SimConfig,
+    SimConfigBuilder,
 };
+pub use error::{DeadlockReport, InvariantReport, PipelineSnapshot, SimError};
 pub use ids::{Addr, ArchReg, Cycle, Pc, PhysReg, SeqNum};
 pub use op::{BranchKind, ExecPort, OpClass, RegClass};
 pub use replay::ReplayCause;
+pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{CacheStats, SimStats};

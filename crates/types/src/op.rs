@@ -219,7 +219,10 @@ mod tests {
     #[test]
     fn port_assignment() {
         assert_eq!(OpClass::IntAlu.port(), ExecPort::Alu);
-        assert_eq!(OpClass::Branch(BranchKind::Conditional).port(), ExecPort::Alu);
+        assert_eq!(
+            OpClass::Branch(BranchKind::Conditional).port(),
+            ExecPort::Alu
+        );
         assert_eq!(OpClass::Load.port(), ExecPort::LoadStore);
         assert_eq!(OpClass::Store.port(), ExecPort::LoadStore);
         assert_eq!(OpClass::FpDiv.port(), ExecPort::FpMulDiv);

@@ -25,8 +25,11 @@ pub enum ReplayCause {
 
 impl ReplayCause {
     /// All causes, for iteration over breakdown tables.
-    pub const ALL: [ReplayCause; 3] =
-        [ReplayCause::L1Miss, ReplayCause::BankConflict, ReplayCause::PrfConflict];
+    pub const ALL: [ReplayCause; 3] = [
+        ReplayCause::L1Miss,
+        ReplayCause::BankConflict,
+        ReplayCause::PrfConflict,
+    ];
 }
 
 impl fmt::Display for ReplayCause {

@@ -1,0 +1,160 @@
+//! Vendored pseudo-random number generation.
+//!
+//! The simulator only needs *deterministic, seedable, statistically
+//! decent* randomness — for synthetic workload generation and for
+//! randomized tests — so we vendor the public-domain SplitMix64 and
+//! xoshiro256** algorithms (Blackman & Vigna) instead of depending on
+//! the external `rand` crate. This keeps the whole workspace buildable
+//! with no network access to crates.io.
+//!
+//! [`SplitMix64`] is used for seeding/stream-splitting; [`Xoshiro256`]
+//! is the general-purpose generator.
+
+/// SplitMix64: a tiny 64-bit generator with a single word of state.
+///
+/// Primarily used to expand one `u64` seed into the larger state of
+/// [`Xoshiro256`], but good enough on its own for address scrambling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the workspace's general-purpose PRNG.
+///
+/// 256 bits of state, seeded from a single `u64` via [`SplitMix64`]
+/// (the seeding procedure the algorithm's authors recommend).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator whose full state is expanded from `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// A uniform value in `[0, bound)` via the multiply-shift reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// A uniform percentage in `[0, 100)`.
+    pub fn percent(&mut self) -> u8 {
+        self.next_below(100) as u8
+    }
+
+    /// A fair coin flip.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() >> 63 == 1
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 0 (public-domain reference sequence).
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn next_below_stays_in_range_and_covers_it() {
+        let mut r = Xoshiro256::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.next_below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reached");
+    }
+
+    #[test]
+    fn percent_distribution_is_roughly_uniform() {
+        let mut r = Xoshiro256::seed_from_u64(3);
+        let below_30 = (0..10_000).filter(|_| r.percent() < 30).count();
+        assert!((2_700..=3_300).contains(&below_30), "got {below_30}");
+    }
+
+    #[test]
+    fn bools_are_roughly_fair() {
+        let mut r = Xoshiro256::seed_from_u64(9);
+        let heads = (0..10_000).filter(|_| r.next_bool()).count();
+        assert!((4_600..=5_400).contains(&heads), "got {heads}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Xoshiro256::seed_from_u64(11);
+        for _ in 0..1_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -28,7 +28,11 @@ pub struct CacheStats {
 impl CacheStats {
     /// Demand miss ratio in `[0, 1]`; 0 when there were no accesses.
     pub fn miss_ratio(&self) -> f64 {
-        if self.accesses == 0 { 0.0 } else { self.misses as f64 / self.accesses as f64 }
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
     }
 }
 
@@ -118,12 +122,26 @@ pub struct SimStats {
     pub dispatch_stall_cycles: u64,
     /// µ-ops replayed out of the recovery buffer.
     pub recovery_buffer_replays: u64,
+
+    // ---- robustness ----
+    /// Times a replay storm triggered graceful degradation (temporary
+    /// fallback to conservative wakeup).
+    pub degrade_entries: u64,
+    /// Cycles spent in degraded (forced-conservative) mode.
+    pub degrade_cycles: u64,
+    /// Faults injected by an active fault plan (latency spikes,
+    /// bank-conflict bursts, replay storms).
+    pub faults_injected: u64,
 }
 
 impl SimStats {
     /// Committed µ-ops per cycle.
     pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 { 0.0 } else { self.committed_uops as f64 / self.cycles as f64 }
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_uops as f64 / self.cycles as f64
+        }
     }
 
     /// Total replayed µ-ops across causes.
@@ -200,7 +218,10 @@ impl SimStats {
             l2: subc(self.l2, earlier.l2),
             bank_delayed_loads: sub(self.bank_delayed_loads, earlier.bank_delayed_loads),
             bank_delay_cycles: sub(self.bank_delay_cycles, earlier.bank_delay_cycles),
-            loads_merged_into_mshr: sub(self.loads_merged_into_mshr, earlier.loads_merged_into_mshr),
+            loads_merged_into_mshr: sub(
+                self.loads_merged_into_mshr,
+                earlier.loads_merged_into_mshr,
+            ),
             dram_row_hits: sub(self.dram_row_hits, earlier.dram_row_hits),
             dram_row_misses: sub(self.dram_row_misses, earlier.dram_row_misses),
             loads_spec_woken: sub(self.loads_spec_woken, earlier.loads_spec_woken),
@@ -208,14 +229,23 @@ impl SimStats {
             filter_sure_hit: sub(self.filter_sure_hit, earlier.filter_sure_hit),
             filter_sure_miss: sub(self.filter_sure_miss, earlier.filter_sure_miss),
             filter_unstable: sub(self.filter_unstable, earlier.filter_unstable),
-            crit_predicted_critical: sub(self.crit_predicted_critical, earlier.crit_predicted_critical),
+            crit_predicted_critical: sub(
+                self.crit_predicted_critical,
+                earlier.crit_predicted_critical,
+            ),
             crit_predicted_noncritical: sub(
                 self.crit_predicted_noncritical,
                 earlier.crit_predicted_noncritical,
             ),
             memdep_violations: sub(self.memdep_violations, earlier.memdep_violations),
             dispatch_stall_cycles: sub(self.dispatch_stall_cycles, earlier.dispatch_stall_cycles),
-            recovery_buffer_replays: sub(self.recovery_buffer_replays, earlier.recovery_buffer_replays),
+            recovery_buffer_replays: sub(
+                self.recovery_buffer_replays,
+                earlier.recovery_buffer_replays,
+            ),
+            degrade_entries: sub(self.degrade_entries, earlier.degrade_entries),
+            degrade_cycles: sub(self.degrade_cycles, earlier.degrade_cycles),
+            faults_injected: sub(self.faults_injected, earlier.faults_injected),
         }
     }
 
@@ -269,7 +299,11 @@ impl fmt::Display for SimStats {
         writeln!(f, "L2 miss ratio         {:>14.4}", self.l2.miss_ratio())?;
         writeln!(f, "bank-delayed loads    {:>14}", self.bank_delayed_loads)?;
         writeln!(f, "branch MPKI           {:>14.2}", self.branch_mpki())?;
-        write!(f, "issued / committed    {:>14.3}", self.issued_per_committed())
+        write!(
+            f,
+            "issued / committed    {:>14.3}",
+            self.issued_per_committed()
+        )
     }
 }
 
@@ -287,7 +321,11 @@ mod tests {
 
     #[test]
     fn ipc_computation() {
-        let s = SimStats { cycles: 100, committed_uops: 250, ..Default::default() };
+        let s = SimStats {
+            cycles: 100,
+            committed_uops: 250,
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
     }
 
@@ -306,7 +344,12 @@ mod tests {
 
     #[test]
     fn cache_miss_ratio() {
-        let c = CacheStats { accesses: 10, hits: 7, misses: 3, ..Default::default() };
+        let c = CacheStats {
+            accesses: 10,
+            hits: 7,
+            misses: 3,
+            ..Default::default()
+        };
         assert!((c.miss_ratio() - 0.3).abs() < 1e-12);
         assert_eq!(CacheStats::default().miss_ratio(), 0.0);
     }
@@ -325,8 +368,18 @@ mod tests {
 
     #[test]
     fn delta_subtracts_fieldwise() {
-        let early = SimStats { cycles: 100, committed_uops: 50, replayed_bank: 3, ..Default::default() };
-        let late = SimStats { cycles: 300, committed_uops: 200, replayed_bank: 10, ..Default::default() };
+        let early = SimStats {
+            cycles: 100,
+            committed_uops: 50,
+            replayed_bank: 3,
+            ..Default::default()
+        };
+        let late = SimStats {
+            cycles: 300,
+            committed_uops: 200,
+            replayed_bank: 10,
+            ..Default::default()
+        };
         let d = late.delta(&early);
         assert_eq!(d.cycles, 200);
         assert_eq!(d.committed_uops, 150);
@@ -336,7 +389,11 @@ mod tests {
 
     #[test]
     fn display_mentions_key_fields() {
-        let s = SimStats { cycles: 1, committed_uops: 2, ..Default::default() };
+        let s = SimStats {
+            cycles: 1,
+            committed_uops: 2,
+            ..Default::default()
+        };
         let out = format!("{s}");
         assert!(out.contains("IPC"));
         assert!(out.contains("replayed (bank)"));

@@ -15,9 +15,8 @@
 use crate::pattern::PatternState;
 use crate::spec::{BodyOp, BranchBehavior, BranchTarget, KernelSpec, Reg};
 use crate::TraceSource;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use ss_isa::{MicroOp, RegRef, INST_BYTES};
+use ss_types::rng::Xoshiro256;
 use ss_types::{Addr, ArchReg, BranchKind, Pc};
 
 /// Default code base address for kernels.
@@ -53,7 +52,7 @@ pub struct KernelTrace {
     /// Occurrence counters: one per body op (branches use theirs), plus
     /// one extra for the implicit loop branch.
     counters: Vec<u64>,
-    rng: SmallRng,
+    rng: Xoshiro256,
 }
 
 impl KernelTrace {
@@ -63,7 +62,8 @@ impl KernelTrace {
     ///
     /// Panics if the spec fails validation.
     pub fn new(spec: KernelSpec) -> Self {
-        spec.validate().unwrap_or_else(|e| panic!("invalid kernel spec: {e}"));
+        spec.validate()
+            .unwrap_or_else(|e| panic!("invalid kernel spec: {e}"));
         let patterns = spec
             .patterns
             .iter()
@@ -81,7 +81,7 @@ impl KernelTrace {
             base: Pc::new(CODE_BASE),
             patterns,
             counters: vec![0; n],
-            rng: SmallRng::seed_from_u64(spec.seed),
+            rng: Xoshiro256::seed_from_u64(spec.seed),
             pos: Position::Body(0),
             spec,
         }
@@ -119,7 +119,7 @@ impl KernelTrace {
         self.counters[counter_idx] += 1;
         match behavior {
             BranchBehavior::TakenEvery { period } => (count % period as u64) != (period as u64 - 1),
-            BranchBehavior::Bernoulli { taken_pct } => self.rng.gen_range(0..100u8) < taken_pct,
+            BranchBehavior::Bernoulli { taken_pct } => self.rng.percent() < taken_pct,
             BranchBehavior::Pattern { bits, len } => (bits >> (count % len as u64)) & 1 == 1,
         }
     }
@@ -130,31 +130,71 @@ impl KernelTrace {
             match p {
                 Position::Body(i) => Position::Body(i + 1), // body end handled by caller
                 Position::Epilogue(j) => Position::Epilogue(j + 1),
-                Position::Callee { idx, resume } => Position::Callee { idx: idx + 1, resume },
+                Position::Callee { idx, resume } => Position::Callee {
+                    idx: idx + 1,
+                    resume,
+                },
             }
         };
         match op {
-            BodyOp::Compute { class, dst, src1, src2 } => (
+            BodyOp::Compute {
+                class,
+                dst,
+                src1,
+                src2,
+            } => (
                 MicroOp::compute(pc, class, map_reg(dst), map_reg(src1), src2.map(map_reg)),
                 advance(pos),
             ),
-            BodyOp::Load { dst, addr_reg, pattern } => {
+            BodyOp::Load {
+                dst,
+                addr_reg,
+                pattern,
+            } => {
                 let addr = self.patterns[pattern].next_addr();
-                (MicroOp::load(pc, map_reg(dst), map_reg(addr_reg), addr), advance(pos))
+                (
+                    MicroOp::load(pc, map_reg(dst), map_reg(addr_reg), addr),
+                    advance(pos),
+                )
             }
-            BodyOp::Store { addr_reg, data_reg, pattern } => {
+            BodyOp::Store {
+                addr_reg,
+                data_reg,
+                pattern,
+            } => {
                 let addr = self.patterns[pattern].next_addr();
-                (MicroOp::store(pc, map_reg(addr_reg), map_reg(data_reg), addr), advance(pos))
+                (
+                    MicroOp::store(pc, map_reg(addr_reg), map_reg(data_reg), addr),
+                    advance(pos),
+                )
             }
-            BodyOp::StoreLast { addr_reg, data_reg, pattern } => {
+            BodyOp::StoreLast {
+                addr_reg,
+                data_reg,
+                pattern,
+            } => {
                 let addr = self.patterns[pattern].last_addr();
-                (MicroOp::store(pc, map_reg(addr_reg), map_reg(data_reg), addr), advance(pos))
+                (
+                    MicroOp::store(pc, map_reg(addr_reg), map_reg(data_reg), addr),
+                    advance(pos),
+                )
             }
-            BodyOp::LoadLast { dst, addr_reg, pattern } => {
+            BodyOp::LoadLast {
+                dst,
+                addr_reg,
+                pattern,
+            } => {
                 let addr = self.patterns[pattern].last_addr();
-                (MicroOp::load(pc, map_reg(dst), map_reg(addr_reg), addr), advance(pos))
+                (
+                    MicroOp::load(pc, map_reg(dst), map_reg(addr_reg), addr),
+                    advance(pos),
+                )
             }
-            BodyOp::Branch { behavior, target, cond } => {
+            BodyOp::Branch {
+                behavior,
+                target,
+                cond,
+            } => {
                 let counter_idx = match pos {
                     Position::Body(i) => i,
                     Position::Epilogue(j) => self.spec.body.len() + j,
@@ -169,14 +209,18 @@ impl KernelTrace {
                     match pos {
                         Position::Body(i) => Position::Body(i + 1 + n as usize),
                         Position::Epilogue(j) => Position::Epilogue(j + 1 + n as usize),
-                        Position::Callee { idx, resume } => {
-                            Position::Callee { idx: idx + 1 + n as usize, resume }
-                        }
+                        Position::Callee { idx, resume } => Position::Callee {
+                            idx: idx + 1 + n as usize,
+                            resume,
+                        },
                     }
                 } else {
                     advance(pos)
                 };
-                (MicroOp::cond_branch(pc, map_reg(cond), taken, target_pc), next)
+                (
+                    MicroOp::cond_branch(pc, map_reg(cond), taken, target_pc),
+                    next,
+                )
             }
             BodyOp::Call => {
                 let resume = match pos {
@@ -207,7 +251,11 @@ impl TraceSource for KernelTrace {
                 let taken = self.outcome(self.spec.loop_behavior, counter_idx);
                 let pc = self.loop_branch_pc();
                 let uop = MicroOp::cond_branch(pc, map_reg(self.spec.loop_cond), taken, self.base);
-                let next = if taken { Position::Body(0) } else { Position::Epilogue(0) };
+                let next = if taken {
+                    Position::Body(0)
+                } else {
+                    Position::Epilogue(0)
+                };
                 (uop, next)
             }
             Position::Epilogue(j) if j < self.spec.epilogue.len() => {
@@ -217,8 +265,7 @@ impl TraceSource for KernelTrace {
             }
             Position::Epilogue(_) => {
                 // Implicit jump back to the loop top (outer loop).
-                let uop =
-                    MicroOp::jump(self.outer_jump_pc(), BranchKind::Direct, self.base, None);
+                let uop = MicroOp::jump(self.outer_jump_pc(), BranchKind::Direct, self.base, None);
                 (uop, Position::Body(0))
             }
             Position::Callee { idx, resume: _ } if idx < self.spec.callee.len() => {
@@ -258,8 +305,17 @@ mod tests {
         let mut s = KernelSpec::new(
             "simple",
             vec![
-                BodyOp::Load { dst: ri(1), addr_reg: ri(2), pattern: 0 },
-                BodyOp::Compute { class: OpClass::IntAlu, dst: ri(3), src1: ri(1), src2: None },
+                BodyOp::Load {
+                    dst: ri(1),
+                    addr_reg: ri(2),
+                    pattern: 0,
+                },
+                BodyOp::Compute {
+                    class: OpClass::IntAlu,
+                    dst: ri(3),
+                    src1: ri(1),
+                    src2: None,
+                },
             ],
         );
         s.patterns = vec![AddrPattern::stream(1 << 12)];
@@ -275,10 +331,16 @@ mod tests {
         assert!(ops[0].class.is_load());
         assert_eq!(ops[1].class, OpClass::IntAlu);
         assert!(ops[2].class.is_branch());
-        assert_eq!(ops[0].pc, ops[3].pc, "second iteration restarts at the body top");
+        assert_eq!(
+            ops[0].pc, ops[3].pc,
+            "second iteration restarts at the body top"
+        );
         // loop branch taken 3 of 4 times
-        let takens: Vec<bool> =
-            ops.iter().filter(|o| o.class.is_branch()).map(|o| o.branch.unwrap().taken).collect();
+        let takens: Vec<bool> = ops
+            .iter()
+            .filter(|o| o.class.is_branch())
+            .map(|o| o.branch.unwrap().taken)
+            .collect();
         assert_eq!(takens, vec![true, true, true, false]);
     }
 
@@ -286,8 +348,12 @@ mod tests {
     fn loop_exit_runs_epilogue_then_jumps_back() {
         let mut s = simple_spec();
         s.loop_behavior = BranchBehavior::TakenEvery { period: 2 };
-        s.epilogue =
-            vec![BodyOp::Compute { class: OpClass::IntAlu, dst: ri(4), src1: ri(4), src2: None }];
+        s.epilogue = vec![BodyOp::Compute {
+            class: OpClass::IntAlu,
+            dst: ri(4),
+            src1: ri(4),
+            src2: None,
+        }];
         let mut t = s.into_source();
         // iter1 (3 ops, taken), iter2 (3 ops, not taken), epilogue(1), jump(1)
         let ops: Vec<MicroOp> = (0..9).map(|_| t.next_uop()).collect();
@@ -302,8 +368,12 @@ mod tests {
     fn call_enters_callee_and_returns() {
         let mut s = simple_spec();
         s.body.push(BodyOp::Call);
-        s.callee =
-            vec![BodyOp::Compute { class: OpClass::IntAlu, dst: ri(5), src1: ri(5), src2: None }];
+        s.callee = vec![BodyOp::Compute {
+            class: OpClass::IntAlu,
+            dst: ri(5),
+            src1: ri(5),
+            src2: None,
+        }];
         let mut t = s.into_source();
         let ops: Vec<MicroOp> = (0..6).map(|_| t.next_uop()).collect();
         assert_eq!(ops[2].class, OpClass::Branch(BranchKind::Call));
@@ -323,14 +393,22 @@ mod tests {
                 target: BranchTarget::SkipNext(1),
                 cond: ri(1),
             },
-            BodyOp::Compute { class: OpClass::IntAlu, dst: ri(3), src1: ri(3), src2: None },
+            BodyOp::Compute {
+                class: OpClass::IntAlu,
+                dst: ri(3),
+                src1: ri(3),
+                src2: None,
+            },
         ];
         let mut t = s.into_source();
         // occurrence 0: bit0 = 1 → taken → skip the ALU
         let b0 = t.next_uop();
         assert!(b0.branch.unwrap().taken);
         let after = t.next_uop();
-        assert!(after.class.is_branch(), "skipped straight to the loop branch");
+        assert!(
+            after.class.is_branch(),
+            "skipped straight to the loop branch"
+        );
         // occurrence 1: bit1 = 0 → not taken → ALU executes
         let b1 = t.next_uop();
         assert!(!b1.branch.unwrap().taken);
@@ -354,7 +432,11 @@ mod tests {
             target: BranchTarget::SkipNext(0),
             cond: ri(3),
         });
-        s.body.push(BodyOp::Store { addr_reg: ri(2), data_reg: ri(3), pattern: 0 });
+        s.body.push(BodyOp::Store {
+            addr_reg: ri(2),
+            data_reg: ri(3),
+            pattern: 0,
+        });
         let mut t = s.into_source();
         for _ in 0..10_000 {
             let op = t.next_uop();

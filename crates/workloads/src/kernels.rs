@@ -31,31 +31,62 @@ const DRAM_HUGE: u64 = 256 << 20;
 const CONFLICT_PHASE: u64 = 512;
 
 fn stride(stride: i64, footprint: u64) -> AddrPattern {
-    AddrPattern::Stride { stride, footprint, phase: 0 }
+    AddrPattern::Stride {
+        stride,
+        footprint,
+        phase: 0,
+    }
 }
 
 fn stride_phased(s: i64, footprint: u64, phase: u64) -> AddrPattern {
-    AddrPattern::Stride { stride: s, footprint, phase }
+    AddrPattern::Stride {
+        stride: s,
+        footprint,
+        phase,
+    }
 }
 
 fn alu(dst: Reg, src1: Reg, src2: Option<Reg>) -> BodyOp {
-    BodyOp::Compute { class: OpClass::IntAlu, dst, src1, src2 }
+    BodyOp::Compute {
+        class: OpClass::IntAlu,
+        dst,
+        src1,
+        src2,
+    }
 }
 
 fn fadd(dst: Reg, src1: Reg, src2: Option<Reg>) -> BodyOp {
-    BodyOp::Compute { class: OpClass::FpAlu, dst, src1, src2 }
+    BodyOp::Compute {
+        class: OpClass::FpAlu,
+        dst,
+        src1,
+        src2,
+    }
 }
 
 fn fmul(dst: Reg, src1: Reg, src2: Option<Reg>) -> BodyOp {
-    BodyOp::Compute { class: OpClass::FpMul, dst, src1, src2 }
+    BodyOp::Compute {
+        class: OpClass::FpMul,
+        dst,
+        src1,
+        src2,
+    }
 }
 
 fn load(dst: Reg, addr_reg: Reg, pattern: usize) -> BodyOp {
-    BodyOp::Load { dst, addr_reg, pattern }
+    BodyOp::Load {
+        dst,
+        addr_reg,
+        pattern,
+    }
 }
 
 fn store(addr_reg: Reg, data_reg: Reg, pattern: usize) -> BodyOp {
-    BodyOp::Store { addr_reg, data_reg, pattern }
+    BodyOp::Store {
+        addr_reg,
+        data_reg,
+        pattern,
+    }
 }
 
 fn bern(taken_pct: u8, skip: u8, cond: Reg) -> BodyOp {
@@ -94,7 +125,11 @@ pub fn stream_hi_ilp(seed: u64) -> KernelSpec {
     );
     s.patterns = vec![
         stride(8, L1_FIT),
-        AddrPattern::HotCold { hot_pct: 96, hot_footprint: L1_FIT, cold_footprint: L2_FIT },
+        AddrPattern::HotCold {
+            hot_pct: 96,
+            hot_footprint: L1_FIT,
+            cold_footprint: L2_FIT,
+        },
         stride(8, L1_FIT),
     ];
     s.loop_behavior = BranchBehavior::TakenEvery { period: 128 };
@@ -121,7 +156,11 @@ pub fn grid_stencil(seed: u64) -> KernelSpec {
     s.patterns = vec![
         stride(8, L1_FIT),
         stride_phased(8, L1_FIT, 64 + 8), // next line, different bank
-        AddrPattern::HotCold { hot_pct: 95, hot_footprint: L1_FIT, cold_footprint: L2_FIT },
+        AddrPattern::HotCold {
+            hot_pct: 95,
+            hot_footprint: L1_FIT,
+            cold_footprint: L2_FIT,
+        },
         stride(8, L1_FIT),
     ];
     s.loop_behavior = BranchBehavior::TakenEvery { period: 256 };
@@ -141,7 +180,9 @@ pub fn ptr_chase_big(seed: u64) -> KernelSpec {
             alu(ri(4), ri(3), None),
         ],
     );
-    s.patterns = vec![AddrPattern::Chase { footprint: DRAM_HUGE }];
+    s.patterns = vec![AddrPattern::Chase {
+        footprint: DRAM_HUGE,
+    }];
     s.loop_behavior = BranchBehavior::TakenEvery { period: 64 };
     s.seed = seed;
     s
@@ -186,7 +227,11 @@ pub fn mix_int(seed: u64) -> KernelSpec {
         ],
     );
     s.patterns = vec![
-        AddrPattern::HotCold { hot_pct: 88, hot_footprint: 8 << 10, cold_footprint: L2_FIT },
+        AddrPattern::HotCold {
+            hot_pct: 88,
+            hot_footprint: 8 << 10,
+            cold_footprint: L2_FIT,
+        },
         AddrPattern::Uniform { footprint: 8 << 10 },
         stride(8, L1_FIT),
     ];
@@ -240,9 +285,21 @@ pub fn xalanc_like(seed: u64) -> KernelSpec {
         ],
     );
     s.patterns = vec![
-        AddrPattern::HotCold { hot_pct: 55, hot_footprint: 8 << 10, cold_footprint: 128 << 10 },
-        AddrPattern::HotCold { hot_pct: 55, hot_footprint: 8 << 10, cold_footprint: 128 << 10 },
-        AddrPattern::HotCold { hot_pct: 55, hot_footprint: 8 << 10, cold_footprint: 128 << 10 },
+        AddrPattern::HotCold {
+            hot_pct: 55,
+            hot_footprint: 8 << 10,
+            cold_footprint: 128 << 10,
+        },
+        AddrPattern::HotCold {
+            hot_pct: 55,
+            hot_footprint: 8 << 10,
+            cold_footprint: 128 << 10,
+        },
+        AddrPattern::HotCold {
+            hot_pct: 55,
+            hot_footprint: 8 << 10,
+            cold_footprint: 128 << 10,
+        },
     ];
     s.loop_behavior = BranchBehavior::TakenEvery { period: 128 };
     s.seed = seed;
@@ -264,8 +321,14 @@ pub fn rand_medium(seed: u64) -> KernelSpec {
             alu(ri(7), ri(6), None),
         ],
     );
-    s.patterns =
-        vec![AddrPattern::Uniform { footprint: 32 << 20 }, AddrPattern::Uniform { footprint: 32 << 20 }];
+    s.patterns = vec![
+        AddrPattern::Uniform {
+            footprint: 32 << 20,
+        },
+        AddrPattern::Uniform {
+            footprint: 32 << 20,
+        },
+    ];
     s.loop_behavior = BranchBehavior::TakenEvery { period: 32 };
     s.seed = seed;
     s
@@ -387,8 +450,16 @@ pub fn hot_cold_mix(seed: u64) -> KernelSpec {
         ],
     );
     s.patterns = vec![
-        AddrPattern::HotCold { hot_pct: 85, hot_footprint: 8 << 10, cold_footprint: 32 << 20 },
-        AddrPattern::HotCold { hot_pct: 85, hot_footprint: 8 << 10, cold_footprint: 32 << 20 },
+        AddrPattern::HotCold {
+            hot_pct: 85,
+            hot_footprint: 8 << 10,
+            cold_footprint: 32 << 20,
+        },
+        AddrPattern::HotCold {
+            hot_pct: 85,
+            hot_footprint: 8 << 10,
+            cold_footprint: 32 << 20,
+        },
     ];
     s.loop_behavior = BranchBehavior::TakenEvery { period: 24 };
     s.seed = seed;
@@ -455,8 +526,10 @@ pub fn call_ret_mix(seed: u64) -> KernelSpec {
         load(ri(11), ri(10), 1),
         alu(ri(12), ri(11), Some(ri(12))),
     ];
-    s.patterns =
-        vec![AddrPattern::Uniform { footprint: 8 << 10 }, stride(8, L1_FIT)];
+    s.patterns = vec![
+        AddrPattern::Uniform { footprint: 8 << 10 },
+        stride(8, L1_FIT),
+    ];
     s.loop_behavior = BranchBehavior::TakenEvery { period: 40 };
     s.seed = seed;
     s
@@ -480,10 +553,7 @@ pub fn matrix_fp(seed: u64) -> KernelSpec {
     );
     s.patterns = vec![stride(8, L1_FIT), stride_phased(8, L1_FIT, CONFLICT_PHASE)];
     s.loop_behavior = BranchBehavior::TakenEvery { period: 64 };
-    s.epilogue = vec![
-        alu(ri(8), ri(8), Some(ri(9))),
-        store(ri(8), rf(4), 0),
-    ];
+    s.epilogue = vec![alu(ri(8), ri(8), Some(ri(9))), store(ri(8), rf(4), 0)];
     s.seed = seed;
     s
 }
@@ -526,10 +596,23 @@ pub fn rmw_hazard(seed: u64) -> KernelSpec {
         vec![
             alu(ri(2), ri(2), Some(ri(9))),
             load(ri(1), ri(2), 0),
-            BodyOp::Compute { class: OpClass::IntMul, dst: ri(3), src1: ri(1), src2: Some(ri(3)) },
+            BodyOp::Compute {
+                class: OpClass::IntMul,
+                dst: ri(3),
+                src1: ri(1),
+                src2: Some(ri(3)),
+            },
             alu(ri(4), ri(3), Some(ri(4))),
-            BodyOp::StoreLast { addr_reg: ri(2), data_reg: ri(4), pattern: 0 },
-            BodyOp::LoadLast { dst: ri(5), addr_reg: ri(2), pattern: 0 },
+            BodyOp::StoreLast {
+                addr_reg: ri(2),
+                data_reg: ri(4),
+                pattern: 0,
+            },
+            BodyOp::LoadLast {
+                dst: ri(5),
+                addr_reg: ri(2),
+                pattern: 0,
+            },
             alu(ri(6), ri(5), Some(ri(6))),
         ],
     );
@@ -583,26 +666,106 @@ impl std::fmt::Debug for Benchmark {
 
 /// The full benchmark registry, in table order.
 pub const BENCHMARKS: [Benchmark; 20] = [
-    Benchmark { name: "stream_hi_ilp", paper_analogue: "171.swim / 437.leslie3d", build: stream_hi_ilp },
-    Benchmark { name: "grid_stencil", paper_analogue: "172.mgrid", build: grid_stencil },
-    Benchmark { name: "ptr_chase_big", paper_analogue: "429.mcf", build: ptr_chase_big },
-    Benchmark { name: "stream_all_miss", paper_analogue: "462.libquantum", build: stream_all_miss },
-    Benchmark { name: "mix_int", paper_analogue: "403.gcc / 197.parser", build: mix_int },
-    Benchmark { name: "crafty_like", paper_analogue: "186.crafty", build: crafty_like },
-    Benchmark { name: "xalanc_like", paper_analogue: "483.xalancbmk", build: xalanc_like },
-    Benchmark { name: "rand_medium", paper_analogue: "471.omnetpp", build: rand_medium },
-    Benchmark { name: "fp_compute", paper_analogue: "444.namd / 453.povray", build: fp_compute },
-    Benchmark { name: "hash_probe", paper_analogue: "456.hmmer", build: hash_probe },
-    Benchmark { name: "branchy_int", paper_analogue: "445.gobmk / 458.sjeng", build: branchy_int },
-    Benchmark { name: "stencil_conflict", paper_analogue: "459.GemsFDTD", build: stencil_conflict },
-    Benchmark { name: "hot_cold_mix", paper_analogue: "175.vpr / 300.twolf", build: hot_cold_mix },
-    Benchmark { name: "dep_chain_l2", paper_analogue: "179.art", build: dep_chain_l2 },
-    Benchmark { name: "store_stream", paper_analogue: "401.bzip2 / 164.gzip", build: store_stream },
-    Benchmark { name: "call_ret_mix", paper_analogue: "400.perlbench / 255.vortex", build: call_ret_mix },
-    Benchmark { name: "matrix_fp", paper_analogue: "416.gamess", build: matrix_fp },
-    Benchmark { name: "equake_like", paper_analogue: "183.equake / 470.lbm", build: equake_like },
-    Benchmark { name: "rmw_hazard", paper_analogue: "188.ammp (in-place updates)", build: rmw_hazard },
-    Benchmark { name: "list_walk", paper_analogue: "175.vpr / 300.twolf (resident pointer code)", build: list_walk },
+    Benchmark {
+        name: "stream_hi_ilp",
+        paper_analogue: "171.swim / 437.leslie3d",
+        build: stream_hi_ilp,
+    },
+    Benchmark {
+        name: "grid_stencil",
+        paper_analogue: "172.mgrid",
+        build: grid_stencil,
+    },
+    Benchmark {
+        name: "ptr_chase_big",
+        paper_analogue: "429.mcf",
+        build: ptr_chase_big,
+    },
+    Benchmark {
+        name: "stream_all_miss",
+        paper_analogue: "462.libquantum",
+        build: stream_all_miss,
+    },
+    Benchmark {
+        name: "mix_int",
+        paper_analogue: "403.gcc / 197.parser",
+        build: mix_int,
+    },
+    Benchmark {
+        name: "crafty_like",
+        paper_analogue: "186.crafty",
+        build: crafty_like,
+    },
+    Benchmark {
+        name: "xalanc_like",
+        paper_analogue: "483.xalancbmk",
+        build: xalanc_like,
+    },
+    Benchmark {
+        name: "rand_medium",
+        paper_analogue: "471.omnetpp",
+        build: rand_medium,
+    },
+    Benchmark {
+        name: "fp_compute",
+        paper_analogue: "444.namd / 453.povray",
+        build: fp_compute,
+    },
+    Benchmark {
+        name: "hash_probe",
+        paper_analogue: "456.hmmer",
+        build: hash_probe,
+    },
+    Benchmark {
+        name: "branchy_int",
+        paper_analogue: "445.gobmk / 458.sjeng",
+        build: branchy_int,
+    },
+    Benchmark {
+        name: "stencil_conflict",
+        paper_analogue: "459.GemsFDTD",
+        build: stencil_conflict,
+    },
+    Benchmark {
+        name: "hot_cold_mix",
+        paper_analogue: "175.vpr / 300.twolf",
+        build: hot_cold_mix,
+    },
+    Benchmark {
+        name: "dep_chain_l2",
+        paper_analogue: "179.art",
+        build: dep_chain_l2,
+    },
+    Benchmark {
+        name: "store_stream",
+        paper_analogue: "401.bzip2 / 164.gzip",
+        build: store_stream,
+    },
+    Benchmark {
+        name: "call_ret_mix",
+        paper_analogue: "400.perlbench / 255.vortex",
+        build: call_ret_mix,
+    },
+    Benchmark {
+        name: "matrix_fp",
+        paper_analogue: "416.gamess",
+        build: matrix_fp,
+    },
+    Benchmark {
+        name: "equake_like",
+        paper_analogue: "183.equake / 470.lbm",
+        build: equake_like,
+    },
+    Benchmark {
+        name: "rmw_hazard",
+        paper_analogue: "188.ammp (in-place updates)",
+        build: rmw_hazard,
+    },
+    Benchmark {
+        name: "list_walk",
+        paper_analogue: "175.vpr / 300.twolf (resident pointer code)",
+        build: list_walk,
+    },
 ];
 
 /// All benchmarks, built with the given seed.
@@ -630,7 +793,8 @@ mod tests {
     fn every_benchmark_validates() {
         for b in &BENCHMARKS {
             let spec = (b.build)(1);
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         }
     }
 
@@ -735,12 +899,13 @@ mod tests {
             let op = t.next_uop();
             if op.class.is_store() {
                 last_store = Some(op.mem_addr().unwrap());
-            } else if op.class.is_load() {
-                if last_store.take() == op.mem_addr() {
-                    aliased += 1;
-                }
+            } else if op.class.is_load() && last_store.take() == op.mem_addr() {
+                aliased += 1;
             }
         }
-        assert!(aliased > 10, "store→load aliasing pairs expected, got {aliased}");
+        assert!(
+            aliased > 10,
+            "store→load aliasing pairs expected, got {aliased}"
+        );
     }
 }

@@ -5,8 +5,7 @@
 //! address on each dynamic instance. Patterns are deterministic given the
 //! kernel seed.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ss_types::rng::Xoshiro256;
 use ss_types::Addr;
 
 /// Alignment applied to every generated address (8B keeps accesses inside
@@ -61,7 +60,11 @@ pub enum AddrPattern {
 impl AddrPattern {
     /// A line-granular streaming pattern over `footprint` bytes.
     pub const fn stream(footprint: u64) -> Self {
-        AddrPattern::Stride { stride: 64, footprint, phase: 0 }
+        AddrPattern::Stride {
+            stride: 64,
+            footprint,
+            phase: 0,
+        }
     }
 
     /// Validates the pattern parameters.
@@ -72,16 +75,26 @@ impl AddrPattern {
     /// `hot_pct > 100`.
     pub fn validate(&self) {
         let check = |fp: u64| {
-            assert!(fp.is_power_of_two() && fp >= 64, "footprint {fp} must be a power of two >= 64");
+            assert!(
+                fp.is_power_of_two() && fp >= 64,
+                "footprint {fp} must be a power of two >= 64"
+            );
         };
         match *self {
-            AddrPattern::Stride { footprint, phase, .. } => {
+            AddrPattern::Stride {
+                footprint, phase, ..
+            } => {
                 check(footprint);
                 assert!(phase < footprint, "phase must lie within the footprint");
             }
-            AddrPattern::Chase { footprint }
-            | AddrPattern::Uniform { footprint } => check(footprint),
-            AddrPattern::HotCold { hot_pct, hot_footprint, cold_footprint } => {
+            AddrPattern::Chase { footprint } | AddrPattern::Uniform { footprint } => {
+                check(footprint)
+            }
+            AddrPattern::HotCold {
+                hot_pct,
+                hot_footprint,
+                cold_footprint,
+            } => {
                 assert!(hot_pct <= 100, "hot_pct must be a percentage");
                 check(hot_footprint);
                 check(cold_footprint);
@@ -97,7 +110,7 @@ pub struct PatternState {
     base: Addr,
     cursor: u64,
     last: u64,
-    rng: SmallRng,
+    rng: Xoshiro256,
 }
 
 impl PatternState {
@@ -108,7 +121,13 @@ impl PatternState {
             AddrPattern::Stride { phase, .. } => phase,
             _ => 0,
         };
-        PatternState { pattern, base, cursor, last: cursor, rng: SmallRng::seed_from_u64(seed) }
+        PatternState {
+            pattern,
+            base,
+            cursor,
+            last: cursor,
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
     }
 
     /// The pattern this state advances.
@@ -119,7 +138,9 @@ impl PatternState {
     /// Produces the next effective address.
     pub fn next_addr(&mut self) -> Addr {
         let a = match self.pattern {
-            AddrPattern::Stride { stride, footprint, .. } => {
+            AddrPattern::Stride {
+                stride, footprint, ..
+            } => {
                 let a = self.cursor;
                 self.cursor = self.cursor.wrapping_add(stride as u64) & (footprint - 1);
                 a
@@ -134,12 +155,16 @@ impl PatternState {
                 self.cursor = z;
                 z & (footprint - 1)
             }
-            AddrPattern::Uniform { footprint } => self.rng.gen::<u64>() & (footprint - 1),
-            AddrPattern::HotCold { hot_pct, hot_footprint, cold_footprint } => {
-                if self.rng.gen_range(0..100u8) < hot_pct {
-                    self.rng.gen::<u64>() & (hot_footprint - 1)
+            AddrPattern::Uniform { footprint } => self.rng.next_u64() & (footprint - 1),
+            AddrPattern::HotCold {
+                hot_pct,
+                hot_footprint,
+                cold_footprint,
+            } => {
+                if self.rng.percent() < hot_pct {
+                    self.rng.next_u64() & (hot_footprint - 1)
                 } else {
-                    self.rng.gen::<u64>() & (cold_footprint - 1)
+                    self.rng.next_u64() & (cold_footprint - 1)
                 }
             }
         };
@@ -166,7 +191,11 @@ mod tests {
 
     #[test]
     fn stride_advances_and_wraps() {
-        let mut s = state(AddrPattern::Stride { stride: 64, footprint: 256, phase: 0 });
+        let mut s = state(AddrPattern::Stride {
+            stride: 64,
+            footprint: 256,
+            phase: 0,
+        });
         let addrs: Vec<u64> = (0..6).map(|_| s.next_addr().get()).collect();
         assert_eq!(
             addrs,
@@ -183,7 +212,11 @@ mod tests {
 
     #[test]
     fn negative_stride_wraps_within_footprint() {
-        let mut s = state(AddrPattern::Stride { stride: -64, footprint: 256, phase: 0 });
+        let mut s = state(AddrPattern::Stride {
+            stride: -64,
+            footprint: 256,
+            phase: 0,
+        });
         let a0 = s.next_addr().get();
         let a1 = s.next_addr().get();
         assert_eq!(a0, 0x1000_0000);
@@ -195,7 +228,11 @@ mod tests {
         for p in [
             AddrPattern::Chase { footprint: 1 << 20 },
             AddrPattern::Uniform { footprint: 1 << 16 },
-            AddrPattern::HotCold { hot_pct: 90, hot_footprint: 1 << 12, cold_footprint: 1 << 24 },
+            AddrPattern::HotCold {
+                hot_pct: 90,
+                hot_footprint: 1 << 12,
+                cold_footprint: 1 << 24,
+            },
         ] {
             let mut s = state(p);
             for _ in 0..1000 {
@@ -223,7 +260,11 @@ mod tests {
         for _ in 0..1000 {
             lines.insert(s.next_addr().line(64));
         }
-        assert!(lines.len() > 900, "chase should rarely revisit lines, got {}", lines.len());
+        assert!(
+            lines.len() > 900,
+            "chase should rarely revisit lines, got {}",
+            lines.len()
+        );
     }
 
     #[test]
@@ -252,6 +293,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "percentage")]
     fn bad_hot_pct_rejected() {
-        AddrPattern::HotCold { hot_pct: 101, hot_footprint: 64, cold_footprint: 64 }.validate();
+        AddrPattern::HotCold {
+            hot_pct: 101,
+            hot_footprint: 64,
+            cold_footprint: 64,
+        }
+        .validate();
     }
 }

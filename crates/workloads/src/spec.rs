@@ -213,9 +213,17 @@ impl KernelSpec {
         };
         for (i, op) in block.iter().enumerate() {
             match *op {
-                BodyOp::Compute { class, dst, src1, src2 } => {
+                BodyOp::Compute {
+                    class,
+                    dst,
+                    src1,
+                    src2,
+                } => {
                     if class.is_mem() || class.is_branch() {
-                        return Err(format!("{}: {what}[{i}] compute has class {class}", self.name));
+                        return Err(format!(
+                            "{}: {what}[{i}] compute has class {class}",
+                            self.name
+                        ));
                     }
                     check_reg(dst)?;
                     check_reg(src1)?;
@@ -223,29 +231,58 @@ impl KernelSpec {
                         check_reg(s)?;
                     }
                 }
-                BodyOp::Load { dst, addr_reg, pattern } => {
+                BodyOp::Load {
+                    dst,
+                    addr_reg,
+                    pattern,
+                } => {
                     check_reg(dst)?;
                     check_reg(addr_reg)?;
                     if pattern >= self.patterns.len() {
-                        return Err(format!("{}: {what}[{i}] pattern {pattern} out of range", self.name));
+                        return Err(format!(
+                            "{}: {what}[{i}] pattern {pattern} out of range",
+                            self.name
+                        ));
                     }
                 }
-                BodyOp::Store { addr_reg, data_reg, pattern }
-                | BodyOp::StoreLast { addr_reg, data_reg, pattern } => {
+                BodyOp::Store {
+                    addr_reg,
+                    data_reg,
+                    pattern,
+                }
+                | BodyOp::StoreLast {
+                    addr_reg,
+                    data_reg,
+                    pattern,
+                } => {
                     check_reg(addr_reg)?;
                     check_reg(data_reg)?;
                     if pattern >= self.patterns.len() {
-                        return Err(format!("{}: {what}[{i}] pattern {pattern} out of range", self.name));
+                        return Err(format!(
+                            "{}: {what}[{i}] pattern {pattern} out of range",
+                            self.name
+                        ));
                     }
                 }
-                BodyOp::LoadLast { dst, addr_reg, pattern } => {
+                BodyOp::LoadLast {
+                    dst,
+                    addr_reg,
+                    pattern,
+                } => {
                     check_reg(dst)?;
                     check_reg(addr_reg)?;
                     if pattern >= self.patterns.len() {
-                        return Err(format!("{}: {what}[{i}] pattern {pattern} out of range", self.name));
+                        return Err(format!(
+                            "{}: {what}[{i}] pattern {pattern} out of range",
+                            self.name
+                        ));
                     }
                 }
-                BodyOp::Branch { behavior, target, cond } => {
+                BodyOp::Branch {
+                    behavior,
+                    target,
+                    cond,
+                } => {
                     self.validate_behavior(behavior)?;
                     check_reg(cond)?;
                     let BranchTarget::SkipNext(n) = target;
@@ -288,8 +325,17 @@ mod tests {
         let mut s = KernelSpec::new(
             "t",
             vec![
-                BodyOp::Load { dst: ri(1), addr_reg: ri(2), pattern: 0 },
-                BodyOp::Compute { class: OpClass::IntAlu, dst: ri(3), src1: ri(1), src2: None },
+                BodyOp::Load {
+                    dst: ri(1),
+                    addr_reg: ri(2),
+                    pattern: 0,
+                },
+                BodyOp::Compute {
+                    class: OpClass::IntAlu,
+                    dst: ri(3),
+                    src1: ri(1),
+                    src2: None,
+                },
             ],
         );
         s.patterns = vec![AddrPattern::stream(1 << 16)];
@@ -310,7 +356,11 @@ mod tests {
     #[test]
     fn pattern_out_of_range_rejected() {
         let mut s = ok_spec();
-        s.body.push(BodyOp::Load { dst: ri(1), addr_reg: ri(1), pattern: 9 });
+        s.body.push(BodyOp::Load {
+            dst: ri(1),
+            addr_reg: ri(1),
+            pattern: 9,
+        });
         assert!(s.validate().unwrap_err().contains("pattern 9"));
     }
 
@@ -343,14 +393,24 @@ mod tests {
     #[test]
     fn compute_with_mem_class_rejected() {
         let mut s = ok_spec();
-        s.body.push(BodyOp::Compute { class: OpClass::Load, dst: ri(1), src1: ri(1), src2: None });
+        s.body.push(BodyOp::Compute {
+            class: OpClass::Load,
+            dst: ri(1),
+            src1: ri(1),
+            src2: None,
+        });
         assert!(s.validate().is_err());
     }
 
     #[test]
     fn register_out_of_range_rejected() {
         let mut s = ok_spec();
-        s.body.push(BodyOp::Compute { class: OpClass::IntAlu, dst: ri(32), src1: ri(1), src2: None });
+        s.body.push(BodyOp::Compute {
+            class: OpClass::IntAlu,
+            dst: ri(32),
+            src1: ri(1),
+            src2: None,
+        });
         assert!(s.validate().unwrap_err().contains("out of range"));
     }
 

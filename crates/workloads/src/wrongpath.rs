@@ -9,9 +9,8 @@
 //! branch µ-ops with a dependency texture similar to real code.
 
 use crate::TraceSource;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use ss_isa::{MicroOp, RegRef, INST_BYTES};
+use ss_types::rng::Xoshiro256;
 use ss_types::{Addr, ArchReg, OpClass, Pc};
 
 /// Data region probed by wrong-path loads (shared, 1 MiB).
@@ -23,14 +22,17 @@ const WRONG_PATH_REGION_MASK: u64 = (1 << 20) - 1;
 /// second instruction stream.
 #[derive(Debug, Clone)]
 pub struct WrongPathGen {
-    rng: SmallRng,
+    rng: Xoshiro256,
     pc: Pc,
 }
 
 impl WrongPathGen {
     /// Creates a generator with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        WrongPathGen { rng: SmallRng::seed_from_u64(seed), pc: Pc::new(0x6000_0000) }
+        WrongPathGen {
+            rng: Xoshiro256::seed_from_u64(seed),
+            pc: Pc::new(0x6000_0000),
+        }
     }
 
     /// Redirects the generator to the (wrong) PC fetch jumped to.
@@ -43,15 +45,15 @@ impl TraceSource for WrongPathGen {
     fn next_uop(&mut self) -> MicroOp {
         let pc = self.pc;
         self.pc = pc.step(INST_BYTES);
-        let r = |rng: &mut SmallRng| RegRef::int(ArchReg::new(rng.gen_range(0..16u8)));
-        let f = |rng: &mut SmallRng| RegRef::fp(ArchReg::new(rng.gen_range(0..16u8)));
-        let roll: u8 = self.rng.gen_range(0..100);
+        let r = |rng: &mut Xoshiro256| RegRef::int(ArchReg::new(rng.next_below(16) as u8));
+        let f = |rng: &mut Xoshiro256| RegRef::fp(ArchReg::new(rng.next_below(16) as u8));
+        let roll: u8 = self.rng.percent();
         let uop = if roll < 55 {
             let (d, s1, s2) = (r(&mut self.rng), r(&mut self.rng), r(&mut self.rng));
             MicroOp::alu(pc, d, s1, Some(s2))
         } else if roll < 75 {
             let addr = Addr::new(
-                WRONG_PATH_REGION_BASE + (self.rng.gen::<u64>() & WRONG_PATH_REGION_MASK & !7),
+                WRONG_PATH_REGION_BASE + (self.rng.next_u64() & WRONG_PATH_REGION_MASK & !7),
             );
             let (d, a) = (r(&mut self.rng), r(&mut self.rng));
             MicroOp::load(pc, d, a, addr)
@@ -60,7 +62,7 @@ impl TraceSource for WrongPathGen {
             MicroOp::compute(pc, OpClass::FpAlu, d, s1, Some(s2))
         } else if roll < 95 {
             let addr = Addr::new(
-                WRONG_PATH_REGION_BASE + (self.rng.gen::<u64>() & WRONG_PATH_REGION_MASK & !7),
+                WRONG_PATH_REGION_BASE + (self.rng.next_u64() & WRONG_PATH_REGION_MASK & !7),
             );
             let (a, d) = (r(&mut self.rng), r(&mut self.rng));
             MicroOp::store(pc, a, d, addr)

@@ -3,7 +3,7 @@
 //! (op-class mix, footprint, branch behaviour) independent of any timing
 //! model.
 
-use ss_workloads::{benchmark, BENCHMARKS, TraceSource};
+use ss_workloads::{benchmark, TraceSource, BENCHMARKS};
 use std::collections::HashSet;
 
 struct Mix {
@@ -56,10 +56,19 @@ fn every_kernel_has_sane_op_mix() {
     for b in &BENCHMARKS {
         let m = characterize(b.name, N);
         assert!(m.loads > 0.05, "{}: too few loads ({:.3})", b.name, m.loads);
-        assert!(m.loads < 0.55, "{}: too many loads ({:.3})", b.name, m.loads);
+        assert!(
+            m.loads < 0.55,
+            "{}: too many loads ({:.3})",
+            b.name,
+            m.loads
+        );
         assert!(m.branches > 0.001, "{}: no branches", b.name);
         assert!(m.taken_branches > 0, "{}: no taken branches", b.name);
-        assert!(m.distinct_pcs < 64, "{}: code footprint should be loop-sized", b.name);
+        assert!(
+            m.distinct_pcs < 64,
+            "{}: code footprint should be loop-sized",
+            b.name
+        );
     }
 }
 

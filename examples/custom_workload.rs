@@ -19,18 +19,49 @@ fn dot_product_conflicting(seed: u64) -> KernelSpec {
         "dot_conflict",
         vec![
             // i += step
-            BodyOp::Compute { class: OpClass::IntAlu, dst: ri(2), src1: ri(2), src2: Some(ri(9)) },
+            BodyOp::Compute {
+                class: OpClass::IntAlu,
+                dst: ri(2),
+                src1: ri(2),
+                src2: Some(ri(9)),
+            },
             // a = x[i]; b = y[i]  (same bank, different set)
-            BodyOp::Load { dst: rf(1), addr_reg: ri(2), pattern: 0 },
-            BodyOp::Load { dst: rf(2), addr_reg: ri(2), pattern: 1 },
+            BodyOp::Load {
+                dst: rf(1),
+                addr_reg: ri(2),
+                pattern: 0,
+            },
+            BodyOp::Load {
+                dst: rf(2),
+                addr_reg: ri(2),
+                pattern: 1,
+            },
             // acc += a * b
-            BodyOp::Compute { class: OpClass::FpMul, dst: rf(3), src1: rf(1), src2: Some(rf(2)) },
-            BodyOp::Compute { class: OpClass::FpAlu, dst: rf(4), src1: rf(4), src2: Some(rf(3)) },
+            BodyOp::Compute {
+                class: OpClass::FpMul,
+                dst: rf(3),
+                src1: rf(1),
+                src2: Some(rf(2)),
+            },
+            BodyOp::Compute {
+                class: OpClass::FpAlu,
+                dst: rf(4),
+                src1: rf(4),
+                src2: Some(rf(3)),
+            },
         ],
     );
     s.patterns = vec![
-        AddrPattern::Stride { stride: 8, footprint: 8 << 10, phase: 0 },
-        AddrPattern::Stride { stride: 8, footprint: 8 << 10, phase: 512 },
+        AddrPattern::Stride {
+            stride: 8,
+            footprint: 8 << 10,
+            phase: 0,
+        },
+        AddrPattern::Stride {
+            stride: 8,
+            footprint: 8 << 10,
+            phase: 512,
+        },
     ];
     s.loop_behavior = BranchBehavior::TakenEvery { period: 128 };
     s.seed = seed;
@@ -38,7 +69,10 @@ fn dot_product_conflicting(seed: u64) -> KernelSpec {
 }
 
 fn main() {
-    println!("{:>6} {:>12} {:>12} {:>12}", "delay", "IPC", "IPC+shift", "RpldBank");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "delay", "IPC", "IPC+shift", "RpldBank"
+    );
     for delay in [0u64, 2, 4, 6] {
         let base = SimConfig::builder()
             .issue_to_execute_delay(delay)
@@ -53,7 +87,13 @@ fn main() {
             .build();
         let s0 = run_kernel(base, dot_product_conflicting(1), RunLength::SMOKE);
         let s1 = run_kernel(shifted, dot_product_conflicting(1), RunLength::SMOKE);
-        println!("{:>6} {:>12.3} {:>12.3} {:>12}", delay, s0.ipc(), s1.ipc(), s0.replayed_bank);
+        println!(
+            "{:>6} {:>12.3} {:>12.3} {:>12}",
+            delay,
+            s0.ipc(),
+            s1.ipc(),
+            s0.replayed_bank
+        );
     }
     println!();
     println!(

@@ -21,8 +21,11 @@ use speculative_scheduling::workloads::kernels;
 
 fn main() {
     let crit = std::env::args().any(|a| a == "--crit");
-    let policy =
-        if crit { SchedPolicyKind::Criticality } else { SchedPolicyKind::AlwaysHit };
+    let policy = if crit {
+        SchedPolicyKind::Criticality
+    } else {
+        SchedPolicyKind::AlwaysHit
+    };
     println!(
         "policy: {policy:?}{}",
         if crit { " + Schedule Shifting" } else { "" }
@@ -31,7 +34,11 @@ fn main() {
         "{:12} {:>24} {:>24}",
         "scheme", "crafty_like IPC/replays", "xalanc_like IPC/replays"
     );
-    for scheme in [ReplayScheme::Squash, ReplayScheme::Selective, ReplayScheme::Refetch] {
+    for scheme in [
+        ReplayScheme::Squash,
+        ReplayScheme::Selective,
+        ReplayScheme::Refetch,
+    ] {
         let mut cells = Vec::new();
         for k in [kernels::crafty_like as fn(u64) -> _, kernels::xalanc_like] {
             let cfg = SimConfig::builder()
@@ -44,7 +51,12 @@ fn main() {
             let s = run_kernel(cfg, k(7), RunLength::SMOKE);
             cells.push(format!("{:.3} / {}", s.ipc(), s.replayed_total()));
         }
-        println!("{:12} {:>24} {:>24}", format!("{scheme:?}"), cells[0], cells[1]);
+        println!(
+            "{:12} {:>24} {:>24}",
+            format!("{scheme:?}"),
+            cells[0],
+            cells[1]
+        );
     }
     println!(
         "\nSelective replay wastes the least work per misspeculation; refetch\n\

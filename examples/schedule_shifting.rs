@@ -23,8 +23,10 @@ fn machine(shifting: bool) -> SimConfig {
         .build()
 }
 
+type KernelFn = fn(u64) -> speculative_scheduling::workloads::KernelSpec;
+
 fn main() {
-    let kernels: [(&str, fn(u64) -> speculative_scheduling::workloads::KernelSpec); 4] = [
+    let kernels: [(&str, KernelFn); 4] = [
         ("crafty_like", kernels::crafty_like),
         ("hash_probe", kernels::hash_probe),
         ("stencil_conflict", kernels::stencil_conflict),

@@ -23,7 +23,10 @@ fn main() {
         SchedPolicyKind::Criticality,
     ];
     for (name, k) in [
-        ("stream_all_miss (462.libquantum regime)", kernels::stream_all_miss as fn(u64) -> _),
+        (
+            "stream_all_miss (462.libquantum regime)",
+            kernels::stream_all_miss as fn(u64) -> _,
+        ),
         ("xalanc_like (483.xalancbmk regime)", kernels::xalanc_like),
         ("hot_cold_mix (unstable loads)", kernels::hot_cold_mix),
     ] {

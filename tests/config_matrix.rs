@@ -17,7 +17,10 @@ const POLICIES: [SchedPolicyKind; 6] = [
 
 #[test]
 fn full_policy_matrix_smoke() {
-    let len = RunLength { warmup: 0, measure: 8_000 };
+    let len = RunLength {
+        warmup: 0,
+        measure: 8_000,
+    };
     for policy in POLICIES {
         for banked in [false, true] {
             for delay in [0u64, 4] {
@@ -28,7 +31,10 @@ fn full_policy_matrix_smoke() {
                         .banked_l1d(banked)
                         .schedule_shifting(shifting)
                         .build();
-                    for k in [kernels::crafty_like as fn(u64) -> _, kernels::stream_all_miss] {
+                    for k in [
+                        kernels::crafty_like as fn(u64) -> _,
+                        kernels::stream_all_miss,
+                    ] {
                         let s = run_kernel(cfg.clone(), k(1), len);
                         assert!(
                             s.ipc() > 0.0 && s.ipc() <= 8.0,
@@ -55,19 +61,34 @@ fn full_policy_matrix_smoke() {
 
 #[test]
 fn wrong_path_toggle_works() {
-    let len = RunLength { warmup: 0, measure: 10_000 };
+    let len = RunLength {
+        warmup: 0,
+        measure: 10_000,
+    };
     let with_wp = SimConfig::builder().issue_to_execute_delay(4).build();
-    let without_wp = SimConfig::builder().issue_to_execute_delay(4).wrong_path(false).build();
+    let without_wp = SimConfig::builder()
+        .issue_to_execute_delay(4)
+        .wrong_path(false)
+        .build();
     let a = run_kernel(with_wp, kernels::branchy_int(1), len);
     let b = run_kernel(without_wp, kernels::branchy_int(1), len);
-    assert!(a.wrong_path_issued > 1_000, "branchy code must issue wrong-path µ-ops");
+    assert!(
+        a.wrong_path_issued > 1_000,
+        "branchy code must issue wrong-path µ-ops"
+    );
     assert_eq!(b.wrong_path_issued, 0, "disabled wrong path issues nothing");
-    assert_eq!(a.committed_uops, b.committed_uops.max(10_000).min(a.committed_uops));
+    assert_eq!(
+        a.committed_uops,
+        b.committed_uops.max(10_000).min(a.committed_uops)
+    );
 }
 
 #[test]
 fn delay_sweep_is_monotone_for_conservative_chains() {
-    let len = RunLength { warmup: 2_000, measure: 20_000 };
+    let len = RunLength {
+        warmup: 2_000,
+        measure: 20_000,
+    };
     let mut last = f64::MAX;
     for d in [0u64, 2, 4, 6] {
         let cfg = SimConfig::builder()
@@ -76,7 +97,10 @@ fn delay_sweep_is_monotone_for_conservative_chains() {
             .banked_l1d(false)
             .build();
         let ipc = run_kernel(cfg, kernels::list_walk(1), len).ipc();
-        assert!(ipc < last, "conservative IPC must fall with delay: {ipc} at d={d}");
+        assert!(
+            ipc < last,
+            "conservative IPC must fall with delay: {ipc} at d={d}"
+        );
         last = ipc;
     }
 }
@@ -88,12 +112,21 @@ fn prefetcher_converts_dram_misses_into_l2_hits() {
     // convert demand DRAM misses into L2 hits — which is exactly why the
     // paper's streaming benchmarks keep replaying (L1 still misses) while
     // performing acceptably.
-    let len = RunLength { warmup: 5_000, measure: 30_000 };
+    let len = RunLength {
+        warmup: 5_000,
+        measure: 30_000,
+    };
     let on = SimConfig::builder().issue_to_execute_delay(4).build();
-    let off = SimConfig::builder().issue_to_execute_delay(4).prefetch_degree(0).build();
+    let off = SimConfig::builder()
+        .issue_to_execute_delay(4)
+        .prefetch_degree(0)
+        .build();
     let a = run_kernel(on, kernels::stream_all_miss(1), len);
     let b = run_kernel(off, kernels::stream_all_miss(1), len);
-    assert!(a.l2.prefetches > 1_000, "stride stream must train the prefetcher");
+    assert!(
+        a.l2.prefetches > 1_000,
+        "stride stream must train the prefetcher"
+    );
     assert_eq!(b.l2.prefetches, 0);
     // On a bandwidth-saturated stream the prefetcher runs only a few
     // lines ahead, so demands often catch their line still in flight:
@@ -109,11 +142,17 @@ fn prefetcher_converts_dram_misses_into_l2_hits() {
 
 #[test]
 fn bimodal_ablation_mispredicts_more() {
-    let len = RunLength { warmup: 5_000, measure: 30_000 };
+    let len = RunLength {
+        warmup: 5_000,
+        measure: 30_000,
+    };
     let tage = SimConfig::builder().issue_to_execute_delay(4).build();
     let bim = SimConfig::builder()
         .issue_to_execute_delay(4)
-        .predictor(PredictorConfig { bimodal_only: true, ..Default::default() })
+        .predictor(PredictorConfig {
+            bimodal_only: true,
+            ..Default::default()
+        })
         .build();
     let a = run_kernel(tage, kernels::mix_int(1), len);
     let b = run_kernel(bim, kernels::mix_int(1), len);

@@ -10,7 +10,10 @@ use speculative_scheduling::types::{
 };
 use speculative_scheduling::workloads::kernels;
 
-const LEN: RunLength = RunLength { warmup: 10_000, measure: 60_000 };
+const LEN: RunLength = RunLength {
+    warmup: 10_000,
+    measure: 60_000,
+};
 
 fn base(delay: u64) -> speculative_scheduling::types::SimConfigBuilder {
     SimConfig::builder()
@@ -33,7 +36,10 @@ fn selective_replay_squashes_fewer_uops() {
         kernels::xalanc_like(1),
         LEN,
     );
-    assert!(squash.replayed_miss > 10_000, "Always-Hit on xalanc must replay");
+    assert!(
+        squash.replayed_miss > 10_000,
+        "Always-Hit on xalanc must replay"
+    );
     assert!(
         selective.replayed_miss * 3 < squash.replayed_miss,
         "selective replay must squash far fewer µ-ops: {} vs {}",
@@ -106,8 +112,11 @@ fn crit_mechanism_is_replay_scheme_agnostic() {
 #[test]
 fn predicted_shifting_matches_always_on_stable_pairs() {
     let none = run_kernel(base(4).build(), kernels::crafty_like(1), LEN);
-    let always =
-        run_kernel(base(4).shift_policy(ShiftPolicy::Always).build(), kernels::crafty_like(1), LEN);
+    let always = run_kernel(
+        base(4).shift_policy(ShiftPolicy::Always).build(),
+        kernels::crafty_like(1),
+        LEN,
+    );
     let predicted = run_kernel(
         base(4).shift_policy(ShiftPolicy::Predicted).build(),
         kernels::crafty_like(1),
@@ -134,27 +143,68 @@ fn predicted_shifting_avoids_the_tax_on_conflict_free_pairs() {
         let mut k = KernelSpec::new(
             "disjoint_bank_pair",
             vec![
-                BodyOp::Compute { class: OpClass::IntAlu, dst: ri(2), src1: ri(2), src2: Some(ri(9)) },
-                BodyOp::Load { dst: ri(1), addr_reg: ri(2), pattern: 0 },
-                BodyOp::Load { dst: ri(3), addr_reg: ri(2), pattern: 1 },
+                BodyOp::Compute {
+                    class: OpClass::IntAlu,
+                    dst: ri(2),
+                    src1: ri(2),
+                    src2: Some(ri(9)),
+                },
+                BodyOp::Load {
+                    dst: ri(1),
+                    addr_reg: ri(2),
+                    pattern: 0,
+                },
+                BodyOp::Load {
+                    dst: ri(3),
+                    addr_reg: ri(2),
+                    pattern: 1,
+                },
                 // consume both loads so the wakeup shift is on the
                 // critical path
-                BodyOp::Compute { class: OpClass::IntAlu, dst: ri(4), src1: ri(1), src2: Some(ri(3)) },
-                BodyOp::Compute { class: OpClass::IntAlu, dst: ri(5), src1: ri(4), src2: Some(ri(5)) },
+                BodyOp::Compute {
+                    class: OpClass::IntAlu,
+                    dst: ri(4),
+                    src1: ri(1),
+                    src2: Some(ri(3)),
+                },
+                BodyOp::Compute {
+                    class: OpClass::IntAlu,
+                    dst: ri(5),
+                    src1: ri(4),
+                    src2: Some(ri(5)),
+                },
             ],
         );
         k.patterns = vec![
-            AddrPattern::Stride { stride: 8, footprint: 8 << 10, phase: 0 },
-            AddrPattern::Stride { stride: 8, footprint: 8 << 10, phase: 8 },
+            AddrPattern::Stride {
+                stride: 8,
+                footprint: 8 << 10,
+                phase: 0,
+            },
+            AddrPattern::Stride {
+                stride: 8,
+                footprint: 8 << 10,
+                phase: 8,
+            },
         ];
         k.loop_behavior = BranchBehavior::TakenEvery { period: 64 };
         k.seed = seed;
         k
     };
-    let always = run_kernel(base(4).shift_policy(ShiftPolicy::Always).build(), kernel(1), LEN);
-    let predicted =
-        run_kernel(base(4).shift_policy(ShiftPolicy::Predicted).build(), kernel(1), LEN);
-    assert_eq!(predicted.replayed_bank, 0, "banks always differ: no conflicts");
+    let always = run_kernel(
+        base(4).shift_policy(ShiftPolicy::Always).build(),
+        kernel(1),
+        LEN,
+    );
+    let predicted = run_kernel(
+        base(4).shift_policy(ShiftPolicy::Predicted).build(),
+        kernel(1),
+        LEN,
+    );
+    assert_eq!(
+        predicted.replayed_bank, 0,
+        "banks always differ: no conflicts"
+    );
     assert!(
         predicted.ipc() >= always.ipc(),
         "predicted shifting must not tax non-conflicting pairs: {:.4} vs {:.4}",
@@ -197,15 +247,41 @@ fn set_interleaving_changes_conflict_pattern() {
         let mut k = KernelSpec::new(
             "adjacent_line_pair",
             vec![
-                BodyOp::Compute { class: OpClass::IntAlu, dst: ri(2), src1: ri(2), src2: Some(ri(9)) },
-                BodyOp::Load { dst: ri(1), addr_reg: ri(2), pattern: 0 },
-                BodyOp::Load { dst: ri(3), addr_reg: ri(2), pattern: 1 },
-                BodyOp::Compute { class: OpClass::IntAlu, dst: ri(4), src1: ri(1), src2: Some(ri(3)) },
+                BodyOp::Compute {
+                    class: OpClass::IntAlu,
+                    dst: ri(2),
+                    src1: ri(2),
+                    src2: Some(ri(9)),
+                },
+                BodyOp::Load {
+                    dst: ri(1),
+                    addr_reg: ri(2),
+                    pattern: 0,
+                },
+                BodyOp::Load {
+                    dst: ri(3),
+                    addr_reg: ri(2),
+                    pattern: 1,
+                },
+                BodyOp::Compute {
+                    class: OpClass::IntAlu,
+                    dst: ri(4),
+                    src1: ri(1),
+                    src2: Some(ri(3)),
+                },
             ],
         );
         k.patterns = vec![
-            AddrPattern::Stride { stride: 8, footprint: 8 << 10, phase: 0 },
-            AddrPattern::Stride { stride: 8, footprint: 8 << 10, phase: 64 },
+            AddrPattern::Stride {
+                stride: 8,
+                footprint: 8 << 10,
+                phase: 0,
+            },
+            AddrPattern::Stride {
+                stride: 8,
+                footprint: 8 << 10,
+                phase: 64,
+            },
         ];
         k.loop_behavior = BranchBehavior::TakenEvery { period: 64 };
         k.seed = seed;
@@ -222,7 +298,10 @@ fn set_interleaving_changes_conflict_pattern() {
         pair_kernel(1),
         LEN,
     );
-    assert!(word.replayed_bank > 5_000, "64B-apart pair must conflict under word interleaving");
+    assert!(
+        word.replayed_bank > 5_000,
+        "64B-apart pair must conflict under word interleaving"
+    );
     assert!(
         set.replayed_bank < word.replayed_bank / 4,
         "adjacent lines sit in different set-interleaved banks: {} vs {}",
@@ -242,7 +321,10 @@ fn prf_banking_creates_the_third_replay_cause() {
     // 2 banks x 1 read port: heavily oversubscribed at 6-issue.
     let banked = run_kernel(
         base(4)
-            .prf_banking(Some(PrfBankConfig { banks: 2, read_ports_per_bank: 1 }))
+            .prf_banking(Some(PrfBankConfig {
+                banks: 2,
+                read_ports_per_bank: 1,
+            }))
             .build(),
         kernels::crafty_like(1),
         LEN,

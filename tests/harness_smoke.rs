@@ -7,7 +7,13 @@ use speculative_scheduling::harness::{experiments, Session};
 
 /// Tiny run: exercises the harness code paths, not the statistics.
 fn session() -> Session {
-    Session::new(RunLength { warmup: 200, measure: 1_500 }, None)
+    Session::new(
+        RunLength {
+            warmup: 200,
+            measure: 1_500,
+        },
+        None,
+    )
 }
 
 #[test]

@@ -15,15 +15,22 @@ fn cfg(delay: u64, policy: SchedPolicyKind, banked: bool, shifting: bool) -> Sim
         .build()
 }
 
-const LEN: RunLength = RunLength { warmup: 10_000, measure: 60_000 };
+const LEN: RunLength = RunLength {
+    warmup: 10_000,
+    measure: 60_000,
+};
 
 /// Figure 3: conservative scheduling on a load-to-use-critical chain
 /// loses exactly the issue-to-execute delay per link.
 #[test]
 fn conservative_scheduling_pays_delay_per_load_use() {
     let ipc = |d| {
-        run_kernel(cfg(d, SchedPolicyKind::Conservative, false, false), kernels::list_walk(1), LEN)
-            .ipc()
+        run_kernel(
+            cfg(d, SchedPolicyKind::Conservative, false, false),
+            kernels::list_walk(1),
+            LEN,
+        )
+        .ipc()
     };
     let base = ipc(0);
     for (d, expected_frac) in [(2u64, 4.0 / 6.0), (4, 4.0 / 8.0), (6, 4.0 / 10.0)] {
@@ -39,8 +46,16 @@ fn conservative_scheduling_pays_delay_per_load_use() {
 /// on hitting loads, with essentially no replays.
 #[test]
 fn speculative_scheduling_hides_the_delay() {
-    let base = run_kernel(cfg(0, SchedPolicyKind::Conservative, false, false), kernels::list_walk(1), LEN);
-    let spec = run_kernel(cfg(6, SchedPolicyKind::AlwaysHit, false, false), kernels::list_walk(1), LEN);
+    let base = run_kernel(
+        cfg(0, SchedPolicyKind::Conservative, false, false),
+        kernels::list_walk(1),
+        LEN,
+    );
+    let spec = run_kernel(
+        cfg(6, SchedPolicyKind::AlwaysHit, false, false),
+        kernels::list_walk(1),
+        LEN,
+    );
     assert!(
         spec.ipc() / base.ipc() > 0.97,
         "speculative at delay 6 should match delay 0: {:.3} vs {:.3}",
@@ -59,16 +74,41 @@ fn speculative_scheduling_hides_the_delay() {
 /// performance.
 #[test]
 fn schedule_shifting_removes_bank_conflict_replays() {
-    let banked = run_kernel(cfg(4, SchedPolicyKind::AlwaysHit, true, false), kernels::crafty_like(1), LEN);
-    let ported = run_kernel(cfg(4, SchedPolicyKind::AlwaysHit, false, false), kernels::crafty_like(1), LEN);
-    let shifted = run_kernel(cfg(4, SchedPolicyKind::AlwaysHit, true, true), kernels::crafty_like(1), LEN);
+    let banked = run_kernel(
+        cfg(4, SchedPolicyKind::AlwaysHit, true, false),
+        kernels::crafty_like(1),
+        LEN,
+    );
+    let ported = run_kernel(
+        cfg(4, SchedPolicyKind::AlwaysHit, false, false),
+        kernels::crafty_like(1),
+        LEN,
+    );
+    let shifted = run_kernel(
+        cfg(4, SchedPolicyKind::AlwaysHit, true, true),
+        kernels::crafty_like(1),
+        LEN,
+    );
 
-    assert!(banked.replayed_bank > 10_000, "conflict pair must replay, got {}", banked.replayed_bank);
-    assert_eq!(ported.replayed_bank, 0, "dual-ported L1D has no bank conflicts");
-    assert!(banked.ipc() < ported.ipc() * 0.8, "bank conflicts must cost performance");
+    assert!(
+        banked.replayed_bank > 10_000,
+        "conflict pair must replay, got {}",
+        banked.replayed_bank
+    );
+    assert_eq!(
+        ported.replayed_bank, 0,
+        "dual-ported L1D has no bank conflicts"
+    );
+    assert!(
+        banked.ipc() < ported.ipc() * 0.8,
+        "bank conflicts must cost performance"
+    );
 
     let reduction = 1.0 - shifted.replayed_bank as f64 / banked.replayed_bank as f64;
-    assert!(reduction > 0.7, "paper: −74.8% RpldBank; measured {reduction:.3}");
+    assert!(
+        reduction > 0.7,
+        "paper: −74.8% RpldBank; measured {reduction:.3}"
+    );
     assert!(
         shifted.ipc() > banked.ipc() * 1.1,
         "shifting must recover performance: {:.3} vs {:.3}",
@@ -81,12 +121,25 @@ fn schedule_shifting_removes_bank_conflict_replays() {
 /// stream without losing performance.
 #[test]
 fn filter_cuts_miss_replays_on_streams() {
-    let always = run_kernel(cfg(4, SchedPolicyKind::AlwaysHit, true, false), kernels::stream_all_miss(1), LEN);
-    let filter =
-        run_kernel(cfg(4, SchedPolicyKind::FilterAndCounter, true, false), kernels::stream_all_miss(1), LEN);
-    assert!(always.replayed_miss > 5_000, "all-miss stream must replay under Always-Hit");
+    let always = run_kernel(
+        cfg(4, SchedPolicyKind::AlwaysHit, true, false),
+        kernels::stream_all_miss(1),
+        LEN,
+    );
+    let filter = run_kernel(
+        cfg(4, SchedPolicyKind::FilterAndCounter, true, false),
+        kernels::stream_all_miss(1),
+        LEN,
+    );
+    assert!(
+        always.replayed_miss > 5_000,
+        "all-miss stream must replay under Always-Hit"
+    );
     let reduction = 1.0 - filter.replayed_miss as f64 / always.replayed_miss as f64;
-    assert!(reduction > 0.6, "paper: ≥65% RpldMiss reduction; measured {reduction:.3}");
+    assert!(
+        reduction > 0.6,
+        "paper: ≥65% RpldMiss reduction; measured {reduction:.3}"
+    );
     assert!(
         filter.ipc() > always.ipc() * 0.95,
         "filtering must not cost performance: {:.3} vs {:.3}",
@@ -102,7 +155,11 @@ fn criticality_policy_removes_most_replays() {
     let mut total_always = 0u64;
     let mut total_crit = 0u64;
     let mut ipc_ratio = Vec::new();
-    for k in [kernels::stream_all_miss as fn(u64) -> _, kernels::xalanc_like, kernels::crafty_like] {
+    for k in [
+        kernels::stream_all_miss as fn(u64) -> _,
+        kernels::xalanc_like,
+        kernels::crafty_like,
+    ] {
         let a = run_kernel(cfg(4, SchedPolicyKind::AlwaysHit, true, false), k(1), LEN);
         let c = run_kernel(cfg(4, SchedPolicyKind::Criticality, true, true), k(1), LEN);
         total_always += a.replayed_total();
@@ -110,7 +167,10 @@ fn criticality_policy_removes_most_replays() {
         ipc_ratio.push(c.ipc() / a.ipc());
     }
     let reduction = 1.0 - total_crit as f64 / total_always as f64;
-    assert!(reduction > 0.8, "paper: −90.6% replays; measured {reduction:.3}");
+    assert!(
+        reduction > 0.8,
+        "paper: −90.6% replays; measured {reduction:.3}"
+    );
     assert!(
         ipc_ratio.iter().all(|r| *r > 0.95),
         "criticality must not lose performance: {ipc_ratio:?}"
@@ -121,12 +181,18 @@ fn criticality_policy_removes_most_replays() {
 /// speculate, sure-miss loads do not.
 #[test]
 fn policy_decisions_follow_load_behaviour() {
-    let hits =
-        run_kernel(cfg(4, SchedPolicyKind::FilterAndCounter, true, false), kernels::fp_compute(1), LEN);
+    let hits = run_kernel(
+        cfg(4, SchedPolicyKind::FilterAndCounter, true, false),
+        kernels::fp_compute(1),
+        LEN,
+    );
     assert!(hits.loads_spec_woken > 90 * hits.loads_conservative.max(1) / 100);
 
-    let misses =
-        run_kernel(cfg(4, SchedPolicyKind::FilterAndCounter, true, false), kernels::stream_all_miss(1), LEN);
+    let misses = run_kernel(
+        cfg(4, SchedPolicyKind::FilterAndCounter, true, false),
+        kernels::stream_all_miss(1),
+        LEN,
+    );
     assert!(
         misses.loads_conservative > misses.loads_spec_woken,
         "an all-missing stream must be scheduled conservatively: {} vs {}",
@@ -143,9 +209,15 @@ fn store_sets_learn_rmw_hazards() {
     let s = run_kernel(
         cfg(4, SchedPolicyKind::AlwaysHit, true, false),
         kernels::rmw_hazard(1),
-        RunLength { warmup: 0, measure: 60_000 },
+        RunLength {
+            warmup: 0,
+            measure: 60_000,
+        },
     );
-    assert!(s.memdep_violations > 0, "the RMW kernel must trip at least one violation");
+    assert!(
+        s.memdep_violations > 0,
+        "the RMW kernel must trip at least one violation"
+    );
     // After learning, violations must be rare relative to the number of
     // aliasing pairs (~1 per 8 µ-ops).
     let pairs = s.committed_uops / 8;
@@ -160,8 +232,16 @@ fn store_sets_learn_rmw_hazards() {
 /// Determinism: identical configuration and seed ⇒ identical statistics.
 #[test]
 fn simulation_is_deterministic() {
-    let a = run_kernel(cfg(4, SchedPolicyKind::Criticality, true, true), kernels::mix_int(9), LEN);
-    let b = run_kernel(cfg(4, SchedPolicyKind::Criticality, true, true), kernels::mix_int(9), LEN);
+    let a = run_kernel(
+        cfg(4, SchedPolicyKind::Criticality, true, true),
+        kernels::mix_int(9),
+        LEN,
+    );
+    let b = run_kernel(
+        cfg(4, SchedPolicyKind::Criticality, true, true),
+        kernels::mix_int(9),
+        LEN,
+    );
     assert_eq!(a, b);
 }
 
@@ -170,11 +250,18 @@ fn simulation_is_deterministic() {
 /// so these are checked from cycle zero).
 #[test]
 fn statistics_are_internally_consistent() {
-    for k in [kernels::xalanc_like as fn(u64) -> _, kernels::branchy_int, kernels::ptr_chase_big] {
+    for k in [
+        kernels::xalanc_like as fn(u64) -> _,
+        kernels::branchy_int,
+        kernels::ptr_chase_big,
+    ] {
         let s = run_kernel(
             cfg(4, SchedPolicyKind::AlwaysHit, true, false),
             k(1),
-            RunLength { warmup: 0, measure: 60_000 },
+            RunLength {
+                warmup: 0,
+                measure: 60_000,
+            },
         );
         assert!(s.issued_total >= s.unique_issued, "re-issues only add");
         assert!(

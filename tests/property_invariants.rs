@@ -1,170 +1,256 @@
-//! Property-based tests (proptest) on cross-crate invariants: randomly
-//! generated kernels must simulate without panics and produce internally
-//! consistent statistics under every scheduling policy.
+//! Randomized (but fully deterministic) tests on cross-crate invariants:
+//! seeded random kernels must simulate without panics and produce
+//! internally consistent statistics under every scheduling policy.
+//!
+//! These used to be proptest properties; they are now plain seeded loops
+//! driven by the vendored [`Xoshiro256`] generator so the workspace
+//! builds with no crates.io access.
 
-use proptest::prelude::*;
 use speculative_scheduling::core::{run_kernel, RunLength};
 use speculative_scheduling::prelude::*;
-use speculative_scheduling::workloads::spec::{rf, ri, BodyOp, BranchBehavior, BranchTarget, KernelSpec};
+use speculative_scheduling::types::rng::Xoshiro256;
+use speculative_scheduling::workloads::spec::{
+    rf, ri, BodyOp, BranchBehavior, BranchTarget, KernelSpec,
+};
 use speculative_scheduling::workloads::{AddrPattern, TraceSource};
 
-/// Strategy: a random address pattern with valid parameters.
-fn arb_pattern() -> impl Strategy<Value = AddrPattern> {
-    prop_oneof![
-        (prop_oneof![Just(8i64), Just(64), Just(-64), Just(256)], 7u32..24, 0u32..4).prop_map(
-            |(stride, log_fp, phase_units)| AddrPattern::Stride {
+/// A random address pattern with valid parameters.
+fn gen_pattern(rng: &mut Xoshiro256) -> AddrPattern {
+    match rng.next_below(4) {
+        0 => {
+            let stride = [8i64, 64, -64, 256][rng.next_below(4) as usize];
+            let log_fp = 7 + rng.next_below(17) as u32; // 7..24
+            let phase_units = rng.next_below(4);
+            AddrPattern::Stride {
                 stride,
                 footprint: 1 << log_fp,
-                phase: (phase_units as u64 * 512) % (1 << log_fp),
+                phase: (phase_units * 512) % (1 << log_fp),
             }
-        ),
-        (10u32..26).prop_map(|l| AddrPattern::Chase { footprint: 1 << l }),
-        (7u32..24).prop_map(|l| AddrPattern::Uniform { footprint: 1 << l }),
-        (0u8..=100, 7u32..14, 14u32..26).prop_map(|(hot, hl, cl)| AddrPattern::HotCold {
-            hot_pct: hot,
-            hot_footprint: 1 << hl,
-            cold_footprint: 1 << cl,
-        }),
-    ]
+        }
+        1 => AddrPattern::Chase {
+            footprint: 1 << (10 + rng.next_below(16) as u32),
+        },
+        2 => AddrPattern::Uniform {
+            footprint: 1 << (7 + rng.next_below(17) as u32),
+        },
+        _ => AddrPattern::HotCold {
+            hot_pct: rng.next_below(101) as u8,
+            hot_footprint: 1 << (7 + rng.next_below(7) as u32),
+            cold_footprint: 1 << (14 + rng.next_below(12) as u32),
+        },
+    }
 }
 
-/// Strategy: a random body op referencing pattern 0 or 1 and low registers.
-fn arb_body_op() -> impl Strategy<Value = BodyOp> {
-    prop_oneof![
-        (0u8..8, 0u8..8, 0u8..8).prop_map(|(d, s1, s2)| BodyOp::Compute {
+/// A random body op referencing pattern 0 or 1 and low registers.
+fn gen_body_op(rng: &mut Xoshiro256) -> BodyOp {
+    let r8 = |rng: &mut Xoshiro256| rng.next_below(8) as u8;
+    match rng.next_below(5) {
+        0 => BodyOp::Compute {
             class: OpClass::IntAlu,
-            dst: ri(d),
-            src1: ri(s1),
-            src2: Some(ri(s2)),
-        }),
-        (0u8..8, 0u8..8).prop_map(|(d, s)| BodyOp::Compute {
+            dst: ri(r8(rng)),
+            src1: ri(r8(rng)),
+            src2: Some(ri(r8(rng))),
+        },
+        1 => BodyOp::Compute {
             class: OpClass::FpMul,
-            dst: rf(d),
-            src1: rf(s),
+            dst: rf(r8(rng)),
+            src1: rf(r8(rng)),
             src2: None,
-        }),
-        (0u8..8, 0u8..8, 0usize..2).prop_map(|(d, a, p)| BodyOp::Load {
-            dst: ri(d),
-            addr_reg: ri(a),
-            pattern: p,
-        }),
-        (0u8..8, 0u8..8, 0usize..2).prop_map(|(a, d, p)| BodyOp::Store {
-            addr_reg: ri(a),
-            data_reg: ri(d),
-            pattern: p,
-        }),
-        (1u8..100, 0u8..8).prop_map(|(pct, c)| BodyOp::Branch {
-            behavior: BranchBehavior::Bernoulli { taken_pct: pct },
+        },
+        2 => BodyOp::Load {
+            dst: ri(r8(rng)),
+            addr_reg: ri(r8(rng)),
+            pattern: rng.next_below(2) as usize,
+        },
+        3 => BodyOp::Store {
+            addr_reg: ri(r8(rng)),
+            data_reg: ri(r8(rng)),
+            pattern: rng.next_below(2) as usize,
+        },
+        _ => BodyOp::Branch {
+            behavior: BranchBehavior::Bernoulli {
+                taken_pct: 1 + rng.next_below(99) as u8,
+            },
             target: BranchTarget::SkipNext(0),
-            cond: ri(c),
-        }),
-    ]
+            cond: ri(r8(rng)),
+        },
+    }
 }
 
-fn arb_kernel() -> impl Strategy<Value = KernelSpec> {
-    (
-        proptest::collection::vec(arb_body_op(), 1..12),
-        arb_pattern(),
-        arb_pattern(),
-        2u32..200,
-        1u64..1000,
-    )
-        .prop_map(|(body, p0, p1, period, seed)| {
-            let mut s = KernelSpec::new("proptest_kernel", body);
-            s.patterns = vec![p0, p1];
-            s.loop_behavior = BranchBehavior::TakenEvery { period };
-            s.seed = seed;
-            s
-        })
+fn gen_kernel(rng: &mut Xoshiro256) -> KernelSpec {
+    let body_len = 1 + rng.next_below(11) as usize;
+    let body: Vec<BodyOp> = (0..body_len).map(|_| gen_body_op(rng)).collect();
+    let p0 = gen_pattern(rng);
+    let p1 = gen_pattern(rng);
+    let mut s = KernelSpec::new("seeded_kernel", body);
+    s.patterns = vec![p0, p1];
+    s.loop_behavior = BranchBehavior::TakenEvery {
+        period: 2 + rng.next_below(198) as u32,
+    };
+    s.seed = 1 + rng.next_below(999);
+    s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    /// Any valid kernel runs to completion on the full paper machine with
-    /// plausible, internally consistent statistics.
-    #[test]
-    fn random_kernels_simulate_consistently(spec in arb_kernel(), delay in 0u64..7) {
+/// Any valid kernel runs to completion on the full paper machine with
+/// plausible, internally consistent statistics.
+#[test]
+fn random_kernels_simulate_consistently() {
+    let mut rng = Xoshiro256::seed_from_u64(0x1AB5_1CE5);
+    for case in 0..12 {
+        let spec = gen_kernel(&mut rng);
+        let delay = rng.next_below(7);
         let cfg = SimConfig::builder()
             .issue_to_execute_delay(delay)
             .sched_policy(SchedPolicyKind::AlwaysHit)
             .banked_l1d(true)
             .build();
-        let s = run_kernel(cfg, spec, RunLength { warmup: 0, measure: 4_000 });
-        prop_assert!(s.committed_uops >= 4_000);
-        prop_assert!(s.ipc() > 0.0 && s.ipc() <= 8.0, "IPC {}", s.ipc());
-        prop_assert!(s.unique_issued >= s.committed_uops);
-        prop_assert!(s.issued_total >= s.unique_issued);
-        prop_assert_eq!(s.l1d.hits + s.l1d.misses, s.l1d.accesses);
-        prop_assert!(s.cond_mispredicts <= s.cond_branches);
+        let s = run_kernel(
+            cfg,
+            spec,
+            RunLength {
+                warmup: 0,
+                measure: 4_000,
+            },
+        );
+        assert!(s.committed_uops >= 4_000, "case {case}");
+        assert!(
+            s.ipc() > 0.0 && s.ipc() <= 8.0,
+            "case {case}: IPC {}",
+            s.ipc()
+        );
+        assert!(s.unique_issued >= s.committed_uops, "case {case}");
+        assert!(s.issued_total >= s.unique_issued, "case {case}");
+        assert_eq!(s.l1d.hits + s.l1d.misses, s.l1d.accesses, "case {case}");
+        assert!(s.cond_mispredicts <= s.cond_branches, "case {case}");
     }
+}
 
-    /// The wakeup policy never changes *what* commits — only the timing:
-    /// committed work and its memory behaviour match across policies.
-    #[test]
-    fn policies_change_timing_not_semantics(seed in 1u64..500) {
-        let spec = |s| {
-            let mut k = KernelSpec::new(
-                "semantics",
-                vec![
-                    BodyOp::Load { dst: ri(1), addr_reg: ri(2), pattern: 0 },
-                    BodyOp::Compute { class: OpClass::IntAlu, dst: ri(3), src1: ri(1), src2: Some(ri(3)) },
-                    BodyOp::Store { addr_reg: ri(2), data_reg: ri(3), pattern: 1 },
-                ],
-            );
-            k.patterns = vec![
-                AddrPattern::Uniform { footprint: 1 << 20 },
-                AddrPattern::Stride { stride: 64, footprint: 1 << 16, phase: 0 },
-            ];
-            k.seed = s;
-            k
-        };
+/// The wakeup policy never changes *what* commits — only the timing:
+/// committed work and its memory behaviour match across policies.
+#[test]
+fn policies_change_timing_not_semantics() {
+    let spec = |s| {
+        let mut k = KernelSpec::new(
+            "semantics",
+            vec![
+                BodyOp::Load {
+                    dst: ri(1),
+                    addr_reg: ri(2),
+                    pattern: 0,
+                },
+                BodyOp::Compute {
+                    class: OpClass::IntAlu,
+                    dst: ri(3),
+                    src1: ri(1),
+                    src2: Some(ri(3)),
+                },
+                BodyOp::Store {
+                    addr_reg: ri(2),
+                    data_reg: ri(3),
+                    pattern: 1,
+                },
+            ],
+        );
+        k.patterns = vec![
+            AddrPattern::Uniform { footprint: 1 << 20 },
+            AddrPattern::Stride {
+                stride: 64,
+                footprint: 1 << 16,
+                phase: 0,
+            },
+        ];
+        k.seed = s;
+        k
+    };
+    let mut rng = Xoshiro256::seed_from_u64(0x5E11A);
+    for _ in 0..8 {
+        let seed = 1 + rng.next_below(499);
         let run = |policy| {
             let cfg = SimConfig::builder()
                 .issue_to_execute_delay(4)
                 .sched_policy(policy)
                 .banked_l1d(true)
                 .build();
-            run_kernel(cfg, spec(seed), RunLength { warmup: 0, measure: 3_000 })
+            run_kernel(
+                cfg,
+                spec(seed),
+                RunLength {
+                    warmup: 0,
+                    measure: 3_000,
+                },
+            )
         };
         let a = run(SchedPolicyKind::AlwaysHit);
         let b = run(SchedPolicyKind::Conservative);
         // Same committed count target reached; load mix identical per µ-op.
-        prop_assert_eq!(a.committed_loads * b.committed_uops, b.committed_loads * a.committed_uops);
+        assert_eq!(
+            a.committed_loads * b.committed_uops,
+            b.committed_loads * a.committed_uops,
+            "seed {seed}"
+        );
         // Conservative never replays.
-        prop_assert_eq!(b.replayed_total(), 0);
+        assert_eq!(b.replayed_total(), 0, "seed {seed}");
     }
+}
 
-    /// Kernel traces themselves are deterministic and control-flow
-    /// consistent for arbitrary specs (engine-level property).
-    #[test]
-    fn random_traces_are_control_flow_consistent(spec in arb_kernel()) {
-        let mut t = spec.clone().into_source();
+/// Kernel traces themselves are deterministic and control-flow
+/// consistent for arbitrary specs (engine-level property).
+#[test]
+fn random_traces_are_control_flow_consistent() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0FFEE);
+    for case in 0..12 {
+        let spec = gen_kernel(&mut rng);
+        let mut t = spec.into_source();
         let mut prev = t.next_uop();
         for _ in 0..3_000 {
             let cur = t.next_uop();
-            prop_assert!(cur.validate().is_ok());
-            prop_assert_eq!(cur.pc, prev.successor_pc(), "discontinuity after {}", prev);
+            assert!(cur.validate().is_ok(), "case {case}");
+            assert_eq!(
+                cur.pc,
+                prev.successor_pc(),
+                "case {case}: discontinuity after {prev}"
+            );
             prev = cur;
         }
     }
+}
 
-    /// Warmup deltas are always well-formed: every counter in the window
-    /// is the cumulative counter minus the snapshot (no underflow).
-    #[test]
-    fn warmup_delta_is_monotonic(seed in 1u64..200, warm in 0u64..5_000) {
+/// Warmup deltas are always well-formed: every counter in the window
+/// is the cumulative counter minus the snapshot (no underflow).
+#[test]
+fn warmup_delta_is_monotonic() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD317A);
+    for _ in 0..6 {
+        let seed = 1 + rng.next_below(199);
+        let warm = rng.next_below(5_000);
         let mut k = KernelSpec::new(
             "delta",
             vec![
-                BodyOp::Load { dst: ri(1), addr_reg: ri(1), pattern: 0 },
-                BodyOp::Compute { class: OpClass::IntAlu, dst: ri(2), src1: ri(1), src2: None },
+                BodyOp::Load {
+                    dst: ri(1),
+                    addr_reg: ri(1),
+                    pattern: 0,
+                },
+                BodyOp::Compute {
+                    class: OpClass::IntAlu,
+                    dst: ri(2),
+                    src1: ri(1),
+                    src2: None,
+                },
             ],
         );
         k.patterns = vec![AddrPattern::Chase { footprint: 1 << 18 }];
         k.seed = seed;
         let cfg = SimConfig::builder().issue_to_execute_delay(4).build();
-        let s = run_kernel(cfg, k, RunLength { warmup: warm, measure: 2_000 });
-        prop_assert!(s.committed_uops >= 2_000);
-        prop_assert!(s.cycles > 0);
+        let s = run_kernel(
+            cfg,
+            k,
+            RunLength {
+                warmup: warm,
+                measure: 2_000,
+            },
+        );
+        assert!(s.committed_uops >= 2_000, "seed {seed} warm {warm}");
+        assert!(s.cycles > 0, "seed {seed} warm {warm}");
     }
 }
