@@ -2,31 +2,55 @@
 //!
 //! ```text
 //! experiments [table2|fig3|fig4|fig5|fig7|fig8|sweep|headline|ablations|all]
-//!             [--quick] [--out DIR] [--no-cache]
+//!             [--jobs N] [--quick] [--smoke] [--out DIR] [--no-cache]
+//!             [--no-progress]
 //! ```
 //!
 //! Results print as ASCII tables; CSVs land in `--out` (default
 //! `results/`). Simulation results are cached under `results/cache/`.
+//!
+//! `--jobs N` shards the (configuration × benchmark) matrix across `N`
+//! worker threads (default: the host's available parallelism) before the
+//! reports are generated sequentially from the warmed cache — the report
+//! output is byte-identical to a `--jobs 1` run. A live progress line
+//! (cells done / total, aggregate sim-cycles/sec) is drawn on stderr.
 
 use ss_core::RunLength;
-use ss_harness::{experiments, Report, Session};
+use ss_harness::{exec, experiments, Report, Session};
+use ss_types::CancelFlag;
 use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
     let mut quick = false;
+    let mut smoke = false;
     let mut cache = true;
+    let mut progress = true;
+    let mut jobs = ss_types::exec::default_jobs();
     let mut out = PathBuf::from("results");
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--smoke" => smoke = true,
             "--no-cache" => cache = false,
+            "--no-progress" => progress = false,
+            "--jobs" | "-j" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs needs a worker count")
+            }
             "--out" => out = PathBuf::from(it.next().expect("--out needs a directory")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [table2|fig3|fig4|fig5|fig7|fig8|sweep|headline|ablations|replay_schemes|bank_prediction|criticality_criteria|interleaving|energy|prf_banking|all]... [--quick] [--out DIR] [--no-cache]"
+                    "usage: experiments [{}|all]... [--jobs N] [--quick] [--smoke] [--out DIR] [--no-cache] [--no-progress]",
+                    experiments::EXPERIMENTS
+                        .iter()
+                        .map(|e| e.id)
+                        .collect::<Vec<_>>()
+                        .join("|")
                 );
                 return;
             }
@@ -37,7 +61,13 @@ fn main() {
         which.push("all".to_string());
     }
 
-    let len = if quick {
+    let len = if smoke {
+        // CI-sized: exercises the full pipeline, not the statistics.
+        RunLength {
+            warmup: 1_000,
+            measure: 10_000,
+        }
+    } else if quick {
         RunLength {
             warmup: 20_000,
             measure: 150_000,
@@ -51,29 +81,47 @@ fn main() {
     let cache_dir = cache.then(|| out.join("cache"));
     let mut sess = Session::new(len, cache_dir);
 
-    let t0 = std::time::Instant::now();
-    let mut reports: Vec<Report> = Vec::new();
+    // Resolve the experiment list up front so the parallel engine can
+    // prewarm exactly the (configuration × benchmark) matrix the
+    // regenerators will ask for.
+    let mut selected: Vec<&'static experiments::Experiment> = Vec::new();
     for w in &which {
-        match w.as_str() {
-            "table2" => reports.push(experiments::table2(&mut sess)),
-            "fig3" => reports.push(experiments::fig3(&mut sess)),
-            "fig4" => reports.push(experiments::fig4(&mut sess)),
-            "fig5" => reports.push(experiments::fig5(&mut sess)),
-            "fig7" => reports.push(experiments::fig7(&mut sess)),
-            "fig8" => reports.push(experiments::fig8(&mut sess)),
-            "sweep" => reports.push(experiments::sweep(&mut sess)),
-            "headline" => reports.push(experiments::headline(&mut sess)),
-            "ablations" => reports.push(experiments::ablations(&mut sess)),
-            "replay_schemes" => reports.push(experiments::replay_schemes(&mut sess)),
-            "bank_prediction" => reports.push(experiments::bank_prediction(&mut sess)),
-            "criticality_criteria" => reports.push(experiments::criticality_criteria(&mut sess)),
-            "interleaving" => reports.push(experiments::interleaving(&mut sess)),
-            "energy" => reports.push(experiments::energy(&mut sess)),
-            "prf_banking" => reports.push(experiments::prf_banking(&mut sess)),
-            "all" => reports.extend(experiments::all(&mut sess)),
-            other => {
-                eprintln!("unknown experiment `{other}` (see --help)");
-                std::process::exit(2);
+        if w == "all" {
+            selected.extend(experiments::EXPERIMENTS.iter());
+        } else if let Some(e) = experiments::find(w) {
+            selected.push(e);
+        } else {
+            eprintln!("unknown experiment `{w}` (see --help)");
+            std::process::exit(2);
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    if jobs > 1 {
+        let cfgs: Vec<_> = selected.iter().flat_map(|e| (e.plan)()).collect();
+        let cancel = CancelFlag::new();
+        let stats = exec::prewarm(&mut sess, &cfgs, jobs, &cancel, progress);
+        eprintln!(
+            "[prewarm: {} cells across {jobs} workers, {:.1}s, {:.1}M sim-cycles/s{}]",
+            stats.cells,
+            stats.seconds,
+            stats.sim_cycles as f64 / stats.seconds.max(1e-9) / 1e6,
+            if stats.failures > 0 {
+                format!(", {} FAILED", stats.failures)
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    let mut reports: Vec<Report> = Vec::new();
+    let mut broken = 0u32;
+    for e in &selected {
+        match (e.run)(&mut sess) {
+            Ok(r) => reports.push(r),
+            Err(err) => {
+                broken += 1;
+                eprintln!("experiment {} failed: {err}", e.id);
             }
         }
     }
@@ -83,6 +131,7 @@ fn main() {
             eprintln!("warning: could not write CSVs for {}: {e}", r.id);
         }
     }
+    sess.sort_failures();
     for note in sess.failure_notes() {
         eprintln!("{note}");
     }
@@ -96,7 +145,7 @@ fn main() {
         sess.run_length().measure,
         out.display()
     );
-    if !sess.failures.is_empty() {
+    if !sess.failures.is_empty() || broken > 0 {
         std::process::exit(1);
     }
 }

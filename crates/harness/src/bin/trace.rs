@@ -8,28 +8,16 @@
 //! structure plus cumulative commit/issue/replay counters — the quickest
 //! way to see a replay storm or a recovery-buffer drain in action.
 //!
-//! `--config` accepts the harness names: `Baseline_d`, `SpecSched_d`,
-//! `SpecSched_d_Shift`, `_Ctr`, `_Filter`, `_Combined`, `_Crit`.
+//! `--config` accepts every name the harness can build, via
+//! [`ConfigSpec`]'s `FromStr`: `Baseline_d`, `SpecSched_d`,
+//! `SpecSched_d_Shift`, `_Ctr`, `_Filter`, `_Combined`, `_Crit`, the
+//! ablations (`_FilterNoSilence`, `_NoLineBuffer`, `_Bimodal`, …) and
+//! extensions (`_Squash`/`_Selective`/`_Refetch`, `_ShiftPred`,
+//! `_CritQold`, `_SetInterleaved`, `_Prf4x2`, …).
 
 use ss_core::Simulator;
-use ss_harness::configs;
+use ss_harness::ConfigSpec;
 use ss_workloads::{benchmark, KernelTrace};
-
-fn parse_config(name: &str) -> Option<ss_harness::NamedConfig> {
-    let parts: Vec<&str> = name.split('_').collect();
-    let delay: u64 = parts.get(1)?.parse().ok()?;
-    match (parts[0], parts.get(2).copied()) {
-        ("Baseline", None) => Some(configs::baseline(delay)),
-        ("SpecSched", None) => Some(configs::spec_sched(delay, true)),
-        ("SpecSched", Some("ported")) => Some(configs::spec_sched(delay, false)),
-        ("SpecSched", Some("Shift")) => Some(configs::spec_sched_shift(delay)),
-        ("SpecSched", Some("Ctr")) => Some(configs::spec_sched_ctr(delay)),
-        ("SpecSched", Some("Filter")) => Some(configs::spec_sched_filter(delay)),
-        ("SpecSched", Some("Combined")) => Some(configs::spec_sched_combined(delay)),
-        ("SpecSched", Some("Crit")) => Some(configs::spec_sched_crit(delay)),
-        _ => None,
-    }
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,9 +50,12 @@ fn main() {
         );
         std::process::exit(2);
     };
-    let Some(cfg) = parse_config(&config_name) else {
-        eprintln!("unknown config `{config_name}` (e.g. SpecSched_4_Crit)");
-        std::process::exit(2);
+    let cfg = match config_name.parse::<ConfigSpec>() {
+        Ok(spec) => spec.named(),
+        Err(e) => {
+            eprintln!("{e} (e.g. SpecSched_4_Crit)");
+            std::process::exit(2);
+        }
     };
 
     println!("# {} on {}", bench.name, cfg.name);

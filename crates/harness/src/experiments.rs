@@ -1,17 +1,28 @@
 //! One regenerator per table/figure of the paper's evaluation.
 //!
-//! Every function takes a [`Session`] (cached simulation results) and
+//! Every regenerator takes a [`Session`] (cached simulation results) and
 //! returns a [`Report`] whose tables carry the same rows/series the paper
 //! plots, normalized the same way (performance relative to `Baseline_0`
 //! with a dual-ported L1D; issue counts relative to `Baseline_0`'s
 //! distinct issued µ-ops). Notes compare the paper's headline numbers with
 //! the measured ones.
+//!
+//! Regenerators are fallible: a failing cell surfaces as `Err` (and is
+//! recorded in [`Session::failures`]) instead of panicking, so the
+//! `experiments` binary reports it and keeps regenerating the rest.
+//!
+//! The [`EXPERIMENTS`] registry pairs every regenerator with its *plan* —
+//! the configurations it will ask the session for. The parallel execution
+//! engine ([`crate::exec`]) prewarms the (plan × benchmark) matrix across
+//! workers before the regenerators run; a plan that under-reports merely
+//! loses parallelism (the regenerator falls back to simulating in-line),
+//! never correctness.
 
 use crate::configs::{self, NamedConfig};
 use crate::energy::EnergyModel;
 use crate::report::{fmt3, gmean, pct, Report, Table};
 use crate::session::Session;
-use ss_types::{ReplayScheme, SimStats};
+use ss_types::{ReplayScheme, SimError, SimStats};
 use ss_workloads::BENCHMARKS;
 
 /// Relative reduction `1 − after/before`, 0 when `before` is 0.
@@ -25,27 +36,28 @@ fn reduction(before: u64, after: u64) -> f64 {
 
 /// Per-benchmark IPCs of `cfg` normalized to `base` (same benchmark
 /// order), plus the gmean.
-fn norm_ipc(sess: &mut Session, cfg: &NamedConfig, base: &[(&str, SimStats)]) -> (Vec<f64>, f64) {
-    let rows: Vec<f64> = BENCHMARKS
-        .iter()
-        .zip(base)
-        .map(|(b, (bn, bs))| {
-            debug_assert_eq!(b.name, *bn);
-            sess.run(cfg, b).ipc() / bs.ipc()
-        })
-        .collect();
+fn norm_ipc(
+    sess: &mut Session,
+    cfg: &NamedConfig,
+    base: &[(&str, SimStats)],
+) -> Result<(Vec<f64>, f64), SimError> {
+    let mut rows = Vec::with_capacity(BENCHMARKS.len());
+    for (b, (bn, bs)) in BENCHMARKS.iter().zip(base) {
+        debug_assert_eq!(b.name, *bn);
+        rows.push(sess.try_run(cfg, b)?.ipc() / bs.ipc());
+    }
     let g = gmean(&rows);
-    (rows, g)
+    Ok((rows, g))
 }
 
-fn baseline0(sess: &mut Session) -> Vec<(&'static str, SimStats)> {
-    sess.run_suite(&configs::baseline(0))
+fn baseline0(sess: &mut Session) -> Result<Vec<(&'static str, SimStats)>, SimError> {
+    sess.try_run_suite(&configs::baseline(0))
 }
 
-fn suite_totals(sess: &mut Session, cfg: &NamedConfig) -> SimStats {
+fn suite_totals(sess: &mut Session, cfg: &NamedConfig) -> Result<SimStats, SimError> {
     let mut total = SimStats::default();
     for b in &BENCHMARKS {
-        let s = sess.run(cfg, b);
+        let s = sess.try_run(cfg, b)?;
         total.unique_issued += s.unique_issued;
         total.issued_total += s.issued_total;
         total.replayed_miss += s.replayed_miss;
@@ -62,12 +74,12 @@ fn suite_totals(sess: &mut Session, cfg: &NamedConfig) -> SimStats {
         total.l2.misses += s.l2.misses;
         total.l2.prefetches += s.l2.prefetches;
     }
-    total
+    Ok(total)
 }
 
 /// Table 2: the benchmark suite with baseline IPCs and characteristics.
-pub fn table2(sess: &mut Session) -> Report {
-    let base = baseline0(sess);
+pub fn table2(sess: &mut Session) -> Result<Report, SimError> {
+    let base = baseline0(sess)?;
     let mut t = Table::new(
         "Table 2 — benchmark suite (synthetic SPEC substitutes), Baseline_0",
         &[
@@ -87,7 +99,7 @@ pub fn table2(sess: &mut Session) -> Report {
             format!("{:.1}", s.branch_mpki()),
         ]);
     }
-    Report {
+    Ok(Report {
         charts: Vec::new(),
         id: "table2",
         tables: vec![t],
@@ -96,13 +108,13 @@ pub fn table2(sess: &mut Session) -> Report {
              substitutes; the IPC spread should cover roughly the same range."
                 .into(),
         ],
-    }
+    })
 }
 
 /// Figure 3: slowdown of conservative (non-speculative) scheduling as the
 /// issue-to-execute delay grows, plus the one-load-per-cycle point.
-pub fn fig3(sess: &mut Session) -> Report {
-    let base = baseline0(sess);
+pub fn fig3(sess: &mut Session) -> Result<Report, SimError> {
+    let base = baseline0(sess)?;
     let cfgs = [
         configs::baseline_single_load(),
         configs::baseline(2),
@@ -121,7 +133,7 @@ pub fn fig3(sess: &mut Session) -> Report {
     );
     let mut cols: Vec<(Vec<f64>, f64)> = Vec::new();
     for c in &cfgs {
-        cols.push(norm_ipc(sess, c, &base));
+        cols.push(norm_ipc(sess, c, &base)?);
     }
     for (i, b) in BENCHMARKS.iter().enumerate() {
         t.row(vec![
@@ -144,7 +156,7 @@ pub fn fig3(sess: &mut Session) -> Report {
         .enumerate()
         .map(|(i, b)| (b.name, cols[2].0[i]))
         .collect();
-    Report {
+    Ok(Report {
         charts: vec![crate::report::bar_chart(
             "Figure 3 series — Baseline_4 IPC normalized to Baseline_0",
             &chart_rows,
@@ -162,13 +174,13 @@ pub fn fig3(sess: &mut Session) -> Report {
             ),
             "The 1-load/cycle point shows dual-load issue matters even at delay 0.".into(),
         ],
-    }
+    })
 }
 
 /// Figure 4: speculative scheduling (Always Hit) vs delay, dual-ported vs
 /// banked L1D (a), and the issued-µ-op breakdown (b).
-pub fn fig4(sess: &mut Session) -> Report {
-    let base = baseline0(sess);
+pub fn fig4(sess: &mut Session) -> Result<Report, SimError> {
+    let base = baseline0(sess)?;
     let delays = [0u64, 2, 4, 6];
     let mut ta = Table::new(
         "Figure 4a — SpecSched_* performance vs Baseline_0 (dual-ported vs banked L1D)",
@@ -187,7 +199,7 @@ pub fn fig4(sess: &mut Session) -> Report {
     let mut cols: Vec<(Vec<f64>, f64)> = Vec::new();
     for &banked in &[false, true] {
         for &d in &delays {
-            cols.push(norm_ipc(sess, &configs::spec_sched(d, banked), &base));
+            cols.push(norm_ipc(sess, &configs::spec_sched(d, banked), &base)?);
         }
     }
     for (i, b) in BENCHMARKS.iter().enumerate() {
@@ -207,7 +219,7 @@ pub fn fig4(sess: &mut Session) -> Report {
     );
     let ss4 = configs::spec_sched(4, true);
     for (b, (_, bs)) in BENCHMARKS.iter().zip(&base) {
-        let s = sess.run(&ss4, b);
+        let s = sess.try_run(&ss4, b)?;
         let n = bs.unique_issued as f64;
         tb.row(vec![
             b.name.to_string(),
@@ -228,7 +240,7 @@ pub fn fig4(sess: &mut Session) -> Report {
         ],
     );
     for &d in &delays {
-        let tot = suite_totals(sess, &configs::spec_sched(d, true));
+        let tot = suite_totals(sess, &configs::spec_sched(d, true))?;
         tc.row(vec![
             format!("{d}"),
             format!("{}", tot.unique_issued),
@@ -245,7 +257,7 @@ pub fn fig4(sess: &mut Session) -> Report {
         .enumerate()
         .map(|(i, b)| (b.name, cols[6].0[i]))
         .collect();
-    Report {
+    Ok(Report {
         charts: vec![crate::report::bar_chart(
             "Figure 4a series — SpecSched_4 (banked) IPC normalized to Baseline_0",
             &chart_rows,
@@ -264,16 +276,16 @@ pub fn fig4(sess: &mut Session) -> Report {
              those with the biggest RpldBank share (crafty/hmmer/GemsFDTD analogues)."
                 .into(),
         ],
-    }
+    })
 }
 
 /// Figure 5: Schedule Shifting.
-pub fn fig5(sess: &mut Session) -> Report {
-    let base = baseline0(sess);
+pub fn fig5(sess: &mut Session) -> Result<Report, SimError> {
+    let base = baseline0(sess)?;
     let ss4 = configs::spec_sched(4, true);
     let shift = configs::spec_sched_shift(4);
-    let (ss4_ipc, ss4_g) = norm_ipc(sess, &ss4, &base);
-    let (sh_ipc, sh_g) = norm_ipc(sess, &shift, &base);
+    let (ss4_ipc, ss4_g) = norm_ipc(sess, &ss4, &base)?;
+    let (sh_ipc, sh_g) = norm_ipc(sess, &shift, &base)?;
     let mut t = Table::new(
         "Figure 5 — Schedule Shifting (SpecSched_4, banked L1D), vs Baseline_0",
         &[
@@ -286,7 +298,7 @@ pub fn fig5(sess: &mut Session) -> Report {
         ],
     );
     for (i, (b, (_, bs))) in BENCHMARKS.iter().zip(&base).enumerate() {
-        let s = sess.run(&shift, b);
+        let s = sess.try_run(&shift, b)?;
         let n = bs.unique_issued as f64;
         t.row(vec![
             b.name.to_string(),
@@ -305,8 +317,8 @@ pub fn fig5(sess: &mut Session) -> Report {
         "".into(),
         "".into(),
     ]);
-    let tot4 = suite_totals(sess, &ss4);
-    let tots = suite_totals(sess, &shift);
+    let tot4 = suite_totals(sess, &ss4)?;
+    let tots = suite_totals(sess, &shift)?;
     let bank_red = reduction(tot4.replayed_bank, tots.replayed_bank);
     let speedup = sh_g / ss4_g - 1.0;
     let chart_rows: Vec<(&str, f64)> = BENCHMARKS
@@ -314,7 +326,7 @@ pub fn fig5(sess: &mut Session) -> Report {
         .enumerate()
         .map(|(i, b)| (b.name, sh_ipc[i]))
         .collect();
-    Report {
+    Ok(Report {
         charts: vec![crate::report::bar_chart(
             "Figure 5 series — SpecSched_4_Shift IPC normalized to Baseline_0",
             &chart_rows,
@@ -331,18 +343,18 @@ pub fn fig5(sess: &mut Session) -> Report {
                 pct(speedup)
             ),
         ],
-    }
+    })
 }
 
 /// Figure 7: hit/miss filtering (global counter, then counter + filter).
-pub fn fig7(sess: &mut Session) -> Report {
-    let base = baseline0(sess);
+pub fn fig7(sess: &mut Session) -> Result<Report, SimError> {
+    let base = baseline0(sess)?;
     let ss4 = configs::spec_sched(4, true);
     let ctr = configs::spec_sched_ctr(4);
     let filt = configs::spec_sched_filter(4);
-    let (ss4_ipc, ss4_g) = norm_ipc(sess, &ss4, &base);
-    let (ctr_ipc, ctr_g) = norm_ipc(sess, &ctr, &base);
-    let (f_ipc, f_g) = norm_ipc(sess, &filt, &base);
+    let (ss4_ipc, ss4_g) = norm_ipc(sess, &ss4, &base)?;
+    let (ctr_ipc, ctr_g) = norm_ipc(sess, &ctr, &base)?;
+    let (f_ipc, f_g) = norm_ipc(sess, &filt, &base)?;
     let mut t = Table::new(
         "Figure 7 — hit/miss filtering (delay 4, banked L1D), vs Baseline_0",
         &[
@@ -355,7 +367,7 @@ pub fn fig7(sess: &mut Session) -> Report {
         ],
     );
     for (i, (b, (_, bs))) in BENCHMARKS.iter().zip(&base).enumerate() {
-        let s = sess.run(&filt, b);
+        let s = sess.try_run(&filt, b)?;
         let n = bs.unique_issued as f64;
         t.row(vec![
             b.name.to_string(),
@@ -374,10 +386,10 @@ pub fn fig7(sess: &mut Session) -> Report {
         "".into(),
         "".into(),
     ]);
-    let tot4 = suite_totals(sess, &ss4);
-    let totc = suite_totals(sess, &ctr);
-    let totf = suite_totals(sess, &filt);
-    Report {
+    let tot4 = suite_totals(sess, &ss4)?;
+    let totc = suite_totals(sess, &ctr)?;
+    let totf = suite_totals(sess, &filt)?;
+    Ok(Report {
         charts: Vec::new(),
         id: "fig7",
         tables: vec![t],
@@ -405,18 +417,18 @@ pub fn fig7(sess: &mut Session) -> Report {
              (the xalancbmk analogue)."
                 .into(),
         ],
-    }
+    })
 }
 
 /// Figure 8: Combined (Shifting + Filter) and Crit (plus criticality).
-pub fn fig8(sess: &mut Session) -> Report {
-    let base = baseline0(sess);
+pub fn fig8(sess: &mut Session) -> Result<Report, SimError> {
+    let base = baseline0(sess)?;
     let ss4 = configs::spec_sched(4, true);
     let comb = configs::spec_sched_combined(4);
     let crit = configs::spec_sched_crit(4);
-    let (ss4_ipc, ss4_g) = norm_ipc(sess, &ss4, &base);
-    let (co_ipc, co_g) = norm_ipc(sess, &comb, &base);
-    let (cr_ipc, cr_g) = norm_ipc(sess, &crit, &base);
+    let (ss4_ipc, ss4_g) = norm_ipc(sess, &ss4, &base)?;
+    let (co_ipc, co_g) = norm_ipc(sess, &comb, &base)?;
+    let (cr_ipc, cr_g) = norm_ipc(sess, &crit, &base)?;
     let mut t = Table::new(
         "Figure 8 — SpecSched_4_Combined / SpecSched_4_Crit, vs Baseline_0",
         &[
@@ -429,7 +441,7 @@ pub fn fig8(sess: &mut Session) -> Report {
         ],
     );
     for (i, (b, (_, bs))) in BENCHMARKS.iter().zip(&base).enumerate() {
-        let s = sess.run(&crit, b);
+        let s = sess.try_run(&crit, b)?;
         let n = bs.unique_issued as f64;
         t.row(vec![
             b.name.to_string(),
@@ -448,16 +460,16 @@ pub fn fig8(sess: &mut Session) -> Report {
         "".into(),
         "".into(),
     ]);
-    let tot4 = suite_totals(sess, &ss4);
-    let totco = suite_totals(sess, &comb);
-    let totcr = suite_totals(sess, &crit);
+    let tot4 = suite_totals(sess, &ss4)?;
+    let totco = suite_totals(sess, &comb)?;
+    let totcr = suite_totals(sess, &crit)?;
     let rep4 = tot4.replayed_miss + tot4.replayed_bank;
     let chart_rows: Vec<(&str, f64)> = BENCHMARKS
         .iter()
         .enumerate()
         .map(|(i, b)| (b.name, cr_ipc[i]))
         .collect();
-    Report {
+    Ok(Report {
         charts: vec![crate::report::bar_chart(
             "Figure 8 series — SpecSched_4_Crit IPC normalized to Baseline_0",
             &chart_rows,
@@ -488,11 +500,11 @@ pub fn fig8(sess: &mut Session) -> Report {
                         / (tot4.issued_total as f64 / tot4.committed_uops as f64))
             ),
         ],
-    }
+    })
 }
 
 /// §5.3 delay sweep: `SpecSched_d_Crit` vs `SpecSched_d` for d ∈ {2, 4, 6}.
-pub fn sweep(sess: &mut Session) -> Report {
+pub fn sweep(sess: &mut Session) -> Result<Report, SimError> {
     let mut t = Table::new(
         "§5.3 sweep — SpecSched_d_Crit vs SpecSched_d (banked L1D)",
         &[
@@ -502,15 +514,15 @@ pub fn sweep(sess: &mut Session) -> Report {
             "speedup (gmean)",
         ],
     );
-    let base = baseline0(sess);
+    let base = baseline0(sess)?;
     let mut notes = Vec::new();
     for d in [2u64, 4, 6] {
         let ss = configs::spec_sched(d, true);
         let crit = configs::spec_sched_crit(d);
-        let (_, g_ss) = norm_ipc(sess, &ss, &base);
-        let (_, g_cr) = norm_ipc(sess, &crit, &base);
-        let tot = suite_totals(sess, &ss);
-        let totc = suite_totals(sess, &crit);
+        let (_, g_ss) = norm_ipc(sess, &ss, &base)?;
+        let (_, g_cr) = norm_ipc(sess, &crit, &base)?;
+        let tot = suite_totals(sess, &ss)?;
+        let totc = suite_totals(sess, &crit)?;
         t.row(vec![
             format!("{d}"),
             pct(reduction(
@@ -528,25 +540,25 @@ pub fn sweep(sess: &mut Session) -> Report {
          11.2% (d=2) / 13.4% (d=4) / 18.7% (d=6); speedups 2.3% / 3.4% / 4.8%."
             .into(),
     );
-    Report {
+    Ok(Report {
         charts: Vec::new(),
         id: "sweep",
         tables: vec![t],
         notes,
-    }
+    })
 }
 
 /// §1/§6 headline numbers, derived from the Figure 4/8 runs.
-pub fn headline(sess: &mut Session) -> Report {
-    let base = baseline0(sess);
+pub fn headline(sess: &mut Session) -> Result<Report, SimError> {
+    let base = baseline0(sess)?;
     let ss4 = configs::spec_sched(4, true);
     let crit = configs::spec_sched_crit(4);
     let b4 = configs::baseline(4);
-    let tot4 = suite_totals(sess, &ss4);
-    let totcr = suite_totals(sess, &crit);
-    let totb4 = suite_totals(sess, &b4);
-    let (_, g_ss4) = norm_ipc(sess, &ss4, &base);
-    let (_, g_cr) = norm_ipc(sess, &crit, &base);
+    let tot4 = suite_totals(sess, &ss4)?;
+    let totcr = suite_totals(sess, &crit)?;
+    let totb4 = suite_totals(sess, &b4)?;
+    let (_, g_ss4) = norm_ipc(sess, &ss4, &base)?;
+    let (_, g_cr) = norm_ipc(sess, &crit, &base)?;
 
     let mut t = Table::new(
         "Headline — SpecSched_4_Crit vs SpecSched_4 (suite-wide)",
@@ -595,24 +607,24 @@ pub fn headline(sess: &mut Session) -> Report {
                 - 1.0)
         ),
     ]);
-    Report {
+    Ok(Report {
         charts: Vec::new(),
         id: "headline",
         tables: vec![t],
         notes: vec![],
-    }
+    })
 }
 
 /// Design-choice ablations called out in DESIGN.md (AB1–AB3).
-pub fn ablations(sess: &mut Session) -> Report {
-    let base = baseline0(sess);
+pub fn ablations(sess: &mut Session) -> Result<Report, SimError> {
+    let base = baseline0(sess)?;
     // AB1: silencing bit
     let filt = configs::spec_sched_filter(4);
     let nosil = configs::ablation_no_silence(4);
-    let (_, g_f) = norm_ipc(sess, &filt, &base);
-    let (_, g_n) = norm_ipc(sess, &nosil, &base);
-    let tf = suite_totals(sess, &filt);
-    let tn = suite_totals(sess, &nosil);
+    let (_, g_f) = norm_ipc(sess, &filt, &base)?;
+    let (_, g_n) = norm_ipc(sess, &nosil, &base)?;
+    let tf = suite_totals(sess, &filt)?;
+    let tn = suite_totals(sess, &nosil)?;
     let mut t1 = Table::new(
         "AB1 — filter silencing bit (SpecSched_4_Filter vs plain 2-bit counters)",
         &["variant", "gmean vs B0", "RpldMiss", "RpldBank"],
@@ -633,10 +645,10 @@ pub fn ablations(sess: &mut Session) -> Report {
     // AB2: line buffer
     let ss4 = configs::spec_sched(4, true);
     let nlb = configs::ablation_no_line_buffer(4);
-    let (_, g_s) = norm_ipc(sess, &ss4, &base);
-    let (_, g_l) = norm_ipc(sess, &nlb, &base);
-    let ts = suite_totals(sess, &ss4);
-    let tl = suite_totals(sess, &nlb);
+    let (_, g_s) = norm_ipc(sess, &ss4, &base)?;
+    let (_, g_l) = norm_ipc(sess, &nlb, &base)?;
+    let ts = suite_totals(sess, &ss4)?;
+    let tl = suite_totals(sess, &nlb)?;
     let mut t2 = Table::new(
         "AB2 — Rivers single line buffer (banked L1D, SpecSched_4)",
         &["variant", "gmean vs B0", "RpldBank"],
@@ -654,8 +666,8 @@ pub fn ablations(sess: &mut Session) -> Report {
 
     // AB3: TAGE vs bimodal
     let bim = configs::ablation_bimodal(4);
-    let (_, g_b) = norm_ipc(sess, &bim, &base);
-    let tb = suite_totals(sess, &bim);
+    let (_, g_b) = norm_ipc(sess, &bim, &base)?;
+    let tb = suite_totals(sess, &bim)?;
     let mut t3 = Table::new(
         "AB3 — TAGE vs bimodal direction prediction (SpecSched_4)",
         &["variant", "gmean vs B0", "wrong-path issued"],
@@ -671,7 +683,7 @@ pub fn ablations(sess: &mut Session) -> Report {
         format!("{}", tb.wrong_path_issued),
     ]);
 
-    Report {
+    Ok(Report {
         charts: Vec::new(),
         id: "ablations",
         tables: vec![t1, t2, t3],
@@ -687,14 +699,14 @@ pub fn ablations(sess: &mut Session) -> Report {
              performance; replay counts are mostly orthogonal."
                 .into(),
         ],
-    }
+    })
 }
 
 /// EXT1: the paper's premise that its mechanisms are agnostic of the
 /// replay scheme (§2.1), demonstrated by running `SpecSched_4` and
 /// `SpecSched_4_Crit` under all three recovery mechanisms.
-pub fn replay_schemes(sess: &mut Session) -> Report {
-    let base = baseline0(sess);
+pub fn replay_schemes(sess: &mut Session) -> Result<Report, SimError> {
+    let base = baseline0(sess)?;
     let mut t = Table::new(
         "EXT1 — replay schemes (delay 4, banked L1D)",
         &[
@@ -715,10 +727,10 @@ pub fn replay_schemes(sess: &mut Session) -> Report {
     ] {
         let ss = configs::with_replay_scheme(4, scheme, false);
         let crit = configs::with_replay_scheme(4, scheme, true);
-        let (_, g_ss) = norm_ipc(sess, &ss, &base);
-        let (_, g_cr) = norm_ipc(sess, &crit, &base);
-        let tot = suite_totals(sess, &ss);
-        let totc = suite_totals(sess, &crit);
+        let (_, g_ss) = norm_ipc(sess, &ss, &base)?;
+        let (_, g_cr) = norm_ipc(sess, &crit, &base)?;
+        let tot = suite_totals(sess, &ss)?;
+        let totc = suite_totals(sess, &crit)?;
         let rep = tot.replayed_miss + tot.replayed_bank;
         let repc = totc.replayed_miss + totc.replayed_bank;
         t.row(vec![
@@ -735,27 +747,27 @@ pub fn replay_schemes(sess: &mut Session) -> Report {
         "The Crit mechanisms must reduce replays and not lose performance under          *every* scheme; selective replay suffers least from replays in the first          place, squash sits in the middle, refetch is the costly strawman."
             .into(),
     );
-    Report {
+    Ok(Report {
         charts: Vec::new(),
         id: "replay_schemes",
         tables: vec![t],
         notes,
-    }
+    })
 }
 
 /// EXT2: bank-predicted shifting (Yoaz et al., §2.2) vs the paper's
 /// unconditional Schedule Shifting.
-pub fn bank_prediction(sess: &mut Session) -> Report {
-    let base = baseline0(sess);
+pub fn bank_prediction(sess: &mut Session) -> Result<Report, SimError> {
+    let base = baseline0(sess)?;
     let ss4 = configs::spec_sched(4, true);
     let always = configs::spec_sched_shift(4);
     let pred = configs::spec_sched_shift_predicted(4);
-    let (_, g_0) = norm_ipc(sess, &ss4, &base);
-    let (_, g_a) = norm_ipc(sess, &always, &base);
-    let (_, g_p) = norm_ipc(sess, &pred, &base);
-    let t0 = suite_totals(sess, &ss4);
-    let ta = suite_totals(sess, &always);
-    let tp = suite_totals(sess, &pred);
+    let (_, g_0) = norm_ipc(sess, &ss4, &base)?;
+    let (_, g_a) = norm_ipc(sess, &always, &base)?;
+    let (_, g_p) = norm_ipc(sess, &pred, &base)?;
+    let t0 = suite_totals(sess, &ss4)?;
+    let ta = suite_totals(sess, &always)?;
+    let tp = suite_totals(sess, &pred)?;
     let mut t = Table::new(
         "EXT2 — Schedule Shifting vs bank-predicted shifting (delay 4)",
         &["variant", "gmean vs B0", "RpldBank", "RpldBank reduction"],
@@ -778,7 +790,7 @@ pub fn bank_prediction(sess: &mut Session) -> Report {
         format!("{}", tp.replayed_bank),
         pct(reduction(t0.replayed_bank, tp.replayed_bank)),
     ]);
-    Report {
+    Ok(Report {
         charts: Vec::new(),
         id: "bank_prediction",
         tables: vec![t],
@@ -786,21 +798,21 @@ pub fn bank_prediction(sess: &mut Session) -> Report {
             "Predicted shifting avoids the one-cycle wakeup tax on pairs that do              not collide; it trails unconditional shifting in replay elimination              wherever the predictor lacks confidence (cold/irregular PCs)."
                 .into(),
         ],
-    }
+    })
 }
 
 /// EXT3: criticality criterion — ROB-head (paper §5.3) vs QOLD.
-pub fn criticality_criteria(sess: &mut Session) -> Report {
-    let base = baseline0(sess);
+pub fn criticality_criteria(sess: &mut Session) -> Result<Report, SimError> {
+    let base = baseline0(sess)?;
     let ss4 = configs::spec_sched(4, true);
     let rob = configs::spec_sched_crit(4);
     let qold = configs::spec_sched_crit_qold(4);
-    let (_, g_ss) = norm_ipc(sess, &ss4, &base);
-    let (_, g_r) = norm_ipc(sess, &rob, &base);
-    let (_, g_q) = norm_ipc(sess, &qold, &base);
-    let t0 = suite_totals(sess, &ss4);
-    let tr = suite_totals(sess, &rob);
-    let tq = suite_totals(sess, &qold);
+    let (_, g_ss) = norm_ipc(sess, &ss4, &base)?;
+    let (_, g_r) = norm_ipc(sess, &rob, &base)?;
+    let (_, g_q) = norm_ipc(sess, &qold, &base)?;
+    let t0 = suite_totals(sess, &ss4)?;
+    let tr = suite_totals(sess, &rob)?;
+    let tq = suite_totals(sess, &qold)?;
     let rep0 = t0.replayed_miss + t0.replayed_bank;
     let mut t = Table::new(
         "EXT3 — criticality criterion (SpecSched_4_Crit)",
@@ -823,7 +835,7 @@ pub fn criticality_criteria(sess: &mut Session) -> Report {
         pct(g_q / g_ss - 1.0),
         pct(reduction(rep0, tq.replayed_miss + tq.replayed_bank)),
     ]);
-    Report {
+    Ok(Report {
         charts: Vec::new(),
         id: "criticality_criteria",
         tables: vec![t],
@@ -831,19 +843,19 @@ pub fn criticality_criteria(sess: &mut Session) -> Report {
             "Both criteria should land close; the paper calls its choice a proof of concept."
                 .into(),
         ],
-    }
+    })
 }
 
 /// EXT4: word vs set interleaving of the L1D banks (§4.2: the paper
 /// found them to perform similarly at equal bank counts).
-pub fn interleaving(sess: &mut Session) -> Report {
-    let base = baseline0(sess);
+pub fn interleaving(sess: &mut Session) -> Result<Report, SimError> {
+    let base = baseline0(sess)?;
     let word = configs::spec_sched(4, true);
     let set = configs::ablation_set_interleaved(4);
-    let (_, g_w) = norm_ipc(sess, &word, &base);
-    let (_, g_s) = norm_ipc(sess, &set, &base);
-    let tw = suite_totals(sess, &word);
-    let ts = suite_totals(sess, &set);
+    let (_, g_w) = norm_ipc(sess, &word, &base)?;
+    let (_, g_s) = norm_ipc(sess, &set, &base)?;
+    let tw = suite_totals(sess, &word)?;
+    let ts = suite_totals(sess, &set)?;
     let mut t = Table::new(
         "EXT4 — L1D bank interleaving (SpecSched_4)",
         &["interleaving", "gmean vs B0", "RpldBank"],
@@ -858,7 +870,7 @@ pub fn interleaving(sess: &mut Session) -> Report {
         fmt3(g_s),
         format!("{}", ts.replayed_bank),
     ]);
-    Report {
+    Ok(Report {
         charts: Vec::new(),
         id: "interleaving",
         tables: vec![t],
@@ -866,21 +878,21 @@ pub fn interleaving(sess: &mut Session) -> Report {
             "Conflict incidence depends on which address bits the kernels stride              over; the paper reports the two schemes as roughly equivalent on              SPEC."
                 .into(),
         ],
-    }
+    })
 }
 
 /// EXT6: the PRF bank/port replay source (§4.2), which the paper's
 /// monolithic-PRF assumption removes (§4.3). Sweeping the banking shows
 /// the third replay cause the taxonomy reserves.
-pub fn prf_banking(sess: &mut Session) -> Report {
-    let base = baseline0(sess);
+pub fn prf_banking(sess: &mut Session) -> Result<Report, SimError> {
+    let base = baseline0(sess)?;
     let mono = configs::spec_sched(4, true);
     let mut t = Table::new(
         "EXT6 — banked PRF as a replay source (SpecSched_4, banked L1D)",
         &["PRF", "gmean vs B0", "RpldPrf", "RpldMiss", "RpldBank"],
     );
-    let (_, g_m) = norm_ipc(sess, &mono, &base);
-    let tm = suite_totals(sess, &mono);
+    let (_, g_m) = norm_ipc(sess, &mono, &base)?;
+    let tm = suite_totals(sess, &mono)?;
     t.row(vec![
         "monolithic (paper)".into(),
         fmt3(g_m),
@@ -890,8 +902,8 @@ pub fn prf_banking(sess: &mut Session) -> Report {
     ]);
     for (banks, ports) in [(4u32, 2u32), (2, 1)] {
         let cfg = configs::with_prf_banking(4, banks, ports);
-        let (_, g) = norm_ipc(sess, &cfg, &base);
-        let tot = suite_totals(sess, &cfg);
+        let (_, g) = norm_ipc(sess, &cfg, &base)?;
+        let tot = suite_totals(sess, &cfg)?;
         t.row(vec![
             format!("{banks} banks x {ports}R"),
             fmt3(g),
@@ -900,7 +912,7 @@ pub fn prf_banking(sess: &mut Session) -> Report {
             format!("{}", tot.replayed_bank),
         ]);
     }
-    Report {
+    Ok(Report {
         charts: Vec::new(),
         id: "prf_banking",
         tables: vec![t],
@@ -908,17 +920,17 @@ pub fn prf_banking(sess: &mut Session) -> Report {
             "The paper provisions full PRF ports precisely to isolate the two              cache-side causes; under-ported banks make the third cause dominate              wide-ILP kernels."
                 .into(),
         ],
-    }
+    })
 }
 
 /// EXT5: the energy proxy behind the paper's issued-µ-op argument.
-pub fn energy(sess: &mut Session) -> Report {
+pub fn energy(sess: &mut Session) -> Result<Report, SimError> {
     let model = EnergyModel::default();
     let mut t = Table::new(
         "EXT5 — relative energy per committed µ-op (suite-wide, event-cost proxy)",
         &["config", "energy/committed", "vs SpecSched_4"],
     );
-    let ss4 = suite_totals(sess, &configs::spec_sched(4, true));
+    let ss4 = suite_totals(sess, &configs::spec_sched(4, true))?;
     let e0 = model.per_committed(&ss4);
     for cfg in [
         configs::baseline(4),
@@ -928,11 +940,11 @@ pub fn energy(sess: &mut Session) -> Report {
         configs::spec_sched_combined(4),
         configs::spec_sched_crit(4),
     ] {
-        let tot = suite_totals(sess, &cfg);
+        let tot = suite_totals(sess, &cfg)?;
         let e = model.per_committed(&tot);
         t.row(vec![cfg.name.clone(), fmt3(e), pct(e / e0 - 1.0)]);
     }
-    Report {
+    Ok(Report {
         charts: Vec::new(),
         id: "energy",
         tables: vec![t],
@@ -940,26 +952,246 @@ pub fn energy(sess: &mut Session) -> Report {
             "The paper argues replays waste energy even when they cost no time;              the Crit configuration should recover most of the issue-energy gap              back to the conservative baseline while keeping its performance."
                 .into(),
         ],
-    }
+    })
 }
 
-/// Runs every experiment, in paper order, then the extensions.
-pub fn all(sess: &mut Session) -> Vec<Report> {
+/// A registered experiment: its id (the CLI argument), regenerator, and
+/// the configuration plan the parallel engine prewarms.
+pub struct Experiment {
+    /// CLI / report id.
+    pub id: &'static str,
+    /// The regenerator.
+    pub run: fn(&mut Session) -> Result<Report, SimError>,
+    /// The configurations the regenerator will ask the session for.
+    pub plan: fn() -> Vec<NamedConfig>,
+}
+
+fn plan_table2() -> Vec<NamedConfig> {
+    vec![configs::baseline(0)]
+}
+
+fn plan_fig3() -> Vec<NamedConfig> {
     vec![
-        table2(sess),
-        fig3(sess),
-        fig4(sess),
-        fig5(sess),
-        fig7(sess),
-        fig8(sess),
-        sweep(sess),
-        headline(sess),
-        ablations(sess),
-        replay_schemes(sess),
-        bank_prediction(sess),
-        criticality_criteria(sess),
-        interleaving(sess),
-        energy(sess),
-        prf_banking(sess),
+        configs::baseline(0),
+        configs::baseline_single_load(),
+        configs::baseline(2),
+        configs::baseline(4),
+        configs::baseline(6),
     ]
+}
+
+fn plan_fig4() -> Vec<NamedConfig> {
+    let mut v = vec![configs::baseline(0)];
+    for banked in [false, true] {
+        for d in [0u64, 2, 4, 6] {
+            v.push(configs::spec_sched(d, banked));
+        }
+    }
+    v
+}
+
+fn plan_fig5() -> Vec<NamedConfig> {
+    vec![
+        configs::baseline(0),
+        configs::spec_sched(4, true),
+        configs::spec_sched_shift(4),
+    ]
+}
+
+fn plan_fig7() -> Vec<NamedConfig> {
+    vec![
+        configs::baseline(0),
+        configs::spec_sched(4, true),
+        configs::spec_sched_ctr(4),
+        configs::spec_sched_filter(4),
+    ]
+}
+
+fn plan_fig8() -> Vec<NamedConfig> {
+    vec![
+        configs::baseline(0),
+        configs::spec_sched(4, true),
+        configs::spec_sched_combined(4),
+        configs::spec_sched_crit(4),
+    ]
+}
+
+fn plan_sweep() -> Vec<NamedConfig> {
+    let mut v = vec![configs::baseline(0)];
+    for d in [2u64, 4, 6] {
+        v.push(configs::spec_sched(d, true));
+        v.push(configs::spec_sched_crit(d));
+    }
+    v
+}
+
+fn plan_headline() -> Vec<NamedConfig> {
+    vec![
+        configs::baseline(0),
+        configs::spec_sched(4, true),
+        configs::spec_sched_crit(4),
+        configs::baseline(4),
+    ]
+}
+
+fn plan_ablations() -> Vec<NamedConfig> {
+    vec![
+        configs::baseline(0),
+        configs::spec_sched_filter(4),
+        configs::ablation_no_silence(4),
+        configs::spec_sched(4, true),
+        configs::ablation_no_line_buffer(4),
+        configs::ablation_bimodal(4),
+    ]
+}
+
+fn plan_replay_schemes() -> Vec<NamedConfig> {
+    let mut v = vec![configs::baseline(0)];
+    for scheme in [
+        ReplayScheme::Squash,
+        ReplayScheme::Selective,
+        ReplayScheme::Refetch,
+    ] {
+        v.push(configs::with_replay_scheme(4, scheme, false));
+        v.push(configs::with_replay_scheme(4, scheme, true));
+    }
+    v
+}
+
+fn plan_bank_prediction() -> Vec<NamedConfig> {
+    vec![
+        configs::baseline(0),
+        configs::spec_sched(4, true),
+        configs::spec_sched_shift(4),
+        configs::spec_sched_shift_predicted(4),
+    ]
+}
+
+fn plan_criticality_criteria() -> Vec<NamedConfig> {
+    vec![
+        configs::baseline(0),
+        configs::spec_sched(4, true),
+        configs::spec_sched_crit(4),
+        configs::spec_sched_crit_qold(4),
+    ]
+}
+
+fn plan_interleaving() -> Vec<NamedConfig> {
+    vec![
+        configs::baseline(0),
+        configs::spec_sched(4, true),
+        configs::ablation_set_interleaved(4),
+    ]
+}
+
+fn plan_energy() -> Vec<NamedConfig> {
+    vec![
+        configs::spec_sched(4, true),
+        configs::baseline(4),
+        configs::spec_sched_shift(4),
+        configs::spec_sched_filter(4),
+        configs::spec_sched_combined(4),
+        configs::spec_sched_crit(4),
+    ]
+}
+
+fn plan_prf_banking() -> Vec<NamedConfig> {
+    vec![
+        configs::baseline(0),
+        configs::spec_sched(4, true),
+        configs::with_prf_banking(4, 4, 2),
+        configs::with_prf_banking(4, 2, 1),
+    ]
+}
+
+/// Every experiment, in paper order, then the extensions. The ids double
+/// as the `experiments` binary's CLI arguments.
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        id: "table2",
+        run: table2,
+        plan: plan_table2,
+    },
+    Experiment {
+        id: "fig3",
+        run: fig3,
+        plan: plan_fig3,
+    },
+    Experiment {
+        id: "fig4",
+        run: fig4,
+        plan: plan_fig4,
+    },
+    Experiment {
+        id: "fig5",
+        run: fig5,
+        plan: plan_fig5,
+    },
+    Experiment {
+        id: "fig7",
+        run: fig7,
+        plan: plan_fig7,
+    },
+    Experiment {
+        id: "fig8",
+        run: fig8,
+        plan: plan_fig8,
+    },
+    Experiment {
+        id: "sweep",
+        run: sweep,
+        plan: plan_sweep,
+    },
+    Experiment {
+        id: "headline",
+        run: headline,
+        plan: plan_headline,
+    },
+    Experiment {
+        id: "ablations",
+        run: ablations,
+        plan: plan_ablations,
+    },
+    Experiment {
+        id: "replay_schemes",
+        run: replay_schemes,
+        plan: plan_replay_schemes,
+    },
+    Experiment {
+        id: "bank_prediction",
+        run: bank_prediction,
+        plan: plan_bank_prediction,
+    },
+    Experiment {
+        id: "criticality_criteria",
+        run: criticality_criteria,
+        plan: plan_criticality_criteria,
+    },
+    Experiment {
+        id: "interleaving",
+        run: interleaving,
+        plan: plan_interleaving,
+    },
+    Experiment {
+        id: "energy",
+        run: energy,
+        plan: plan_energy,
+    },
+    Experiment {
+        id: "prf_banking",
+        run: prf_banking,
+        plan: plan_prf_banking,
+    },
+];
+
+/// Looks up a registered experiment by id.
+pub fn find(id: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.id == id)
+}
+
+/// Runs every experiment, in paper order, then the extensions; failures
+/// are returned per experiment so one broken regenerator cannot take the
+/// rest down.
+pub fn all(sess: &mut Session) -> Vec<(&'static str, Result<Report, SimError>)> {
+    EXPERIMENTS.iter().map(|e| (e.id, (e.run)(sess))).collect()
 }

@@ -2,10 +2,13 @@
 //! *Cost-Effective Speculative Scheduling in High Performance Processors*
 //! (Perais et al., ISCA 2015).
 //!
-//! * [`configs`] — the paper's named machine configurations
-//!   (`Baseline_*`, `SpecSched_*`, `_Shift`, `_Ctr`, `_Filter`,
-//!   `_Combined`, `_Crit`) plus the DESIGN.md ablations.
-//! * [`session`] — cached simulation execution.
+//! * [`configs`] — the typed configuration name ([`ConfigSpec`]) and the
+//!   paper's named machine configurations (`Baseline_*`, `SpecSched_*`,
+//!   `_Shift`, `_Ctr`, `_Filter`, `_Combined`, `_Crit`) plus the
+//!   DESIGN.md ablations.
+//! * [`session`] — cached, fault-isolating simulation execution.
+//! * [`exec`] — the parallel execution engine sharding the
+//!   (configuration × benchmark) matrix across worker threads.
 //! * [`experiments`] — one regenerator per table/figure; each returns a
 //!   [`report::Report`] with the same rows/series the paper plots.
 //! * [`report`] — tables, gmean, CSV.
@@ -22,11 +25,13 @@
 
 pub mod configs;
 pub mod energy;
+pub mod exec;
 pub mod experiments;
 pub mod report;
 pub mod session;
 
-pub use configs::NamedConfig;
+pub use configs::{ConfigFamily, ConfigSpec, ConfigVariant, NamedConfig};
 pub use energy::EnergyModel;
+pub use exec::{prewarm, PrewarmStats};
 pub use report::{gmean, Report, Table};
 pub use session::{CellFailure, Session};

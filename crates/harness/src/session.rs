@@ -24,7 +24,10 @@ pub const WORKLOAD_SEED: u64 = 0xB5;
 /// On-disk cache format version. Bump whenever the simulator's behaviour
 /// or the serialized field set changes incompatibly, so stale entries
 /// from older builds are re-simulated instead of silently reused.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+/// v3 added the canonical cell key (name, [`crate::configs::ConfigSpec`]
+/// string, benchmark, run length) to the header, so a renamed variant or
+/// a different run length can never read a stale entry.
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// Magic tag leading every cache file's header line.
 const CACHE_MAGIC: &str = "ss-stats-cache";
@@ -45,6 +48,9 @@ pub struct Session {
     len: RunLength,
     cache_dir: Option<PathBuf>,
     mem: HashMap<(String, String), SimStats>,
+    /// Memoized failed cells: a cell that failed once is not re-simulated
+    /// on later recalls (each figure sharing it gets the same error back).
+    failed: HashMap<(String, String), SimError>,
     disk_warned: bool,
     /// Simulations actually executed (not served from cache).
     pub simulated: u64,
@@ -65,6 +71,7 @@ impl Session {
             len,
             cache_dir: None,
             mem: HashMap::new(),
+            failed: HashMap::new(),
             disk_warned: false,
             simulated: 0,
             cache_rejected: 0,
@@ -82,6 +89,29 @@ impl Session {
     /// The run length in use.
     pub fn run_length(&self) -> RunLength {
         self.len
+    }
+
+    /// Whether this cell already has an in-memory result (or a memoized
+    /// failure) and needs no work.
+    pub fn is_cached(&self, cfg: &NamedConfig, bench: &Benchmark) -> bool {
+        let key = (cfg.name.clone(), bench.name.to_string());
+        self.mem.contains_key(&key) || self.failed.contains_key(&key)
+    }
+
+    /// An empty worker session sharing this session's run length, cache
+    /// directory, and disk-degradation state. The parallel engine gives
+    /// one to each worker and [`Session::merge`]s them back afterwards.
+    pub fn fork_worker(&self) -> Session {
+        Session {
+            len: self.len,
+            cache_dir: self.cache_dir.clone(),
+            mem: HashMap::new(),
+            failed: HashMap::new(),
+            disk_warned: self.disk_warned,
+            simulated: 0,
+            cache_rejected: 0,
+            failures: Vec::new(),
+        }
     }
 
     /// Logs a disk-cache failure once and degrades to in-memory-only
@@ -103,12 +133,27 @@ impl Session {
         })
     }
 
+    /// The canonical cell key stamped into (and validated against) every
+    /// on-disk cache entry: display name, [`ConfigSpec`] canonical
+    /// string, benchmark, and run length. A renamed variant, a name that
+    /// drifted from its spec, or a different run length all change the
+    /// key, so none of them can read a stale entry.
+    ///
+    /// [`ConfigSpec`]: crate::configs::ConfigSpec
+    pub fn cell_key(&self, cfg: &NamedConfig, bench: &str) -> String {
+        format!(
+            "{}|{}|{}|w{}m{}",
+            cfg.name, cfg.spec, bench, self.len.warmup, self.len.measure
+        )
+    }
+
     /// Runs (or recalls) one configuration × benchmark.
     ///
     /// # Panics
     ///
     /// Panics if the cell fails; use [`Session::try_run`] to keep a
     /// sweep alive past broken cells.
+    #[deprecated(note = "use `try_run`, which isolates cell failures instead of panicking")]
     pub fn run(&mut self, cfg: &NamedConfig, bench: &Benchmark) -> SimStats {
         self.try_run(cfg, bench).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -116,15 +161,19 @@ impl Session {
     /// Runs (or recalls) one configuration × benchmark, isolating
     /// failures: a panicking or erroring simulation is recorded in
     /// [`Session::failures`] and returned as `Err` instead of taking the
-    /// whole sweep down.
+    /// whole sweep down. A cell that already failed in this session is
+    /// not re-simulated; the recorded error is returned again.
     pub fn try_run(&mut self, cfg: &NamedConfig, bench: &Benchmark) -> Result<SimStats, SimError> {
         let key = (cfg.name.clone(), bench.name.to_string());
         if let Some(s) = self.mem.get(&key) {
             return Ok(s.clone());
         }
+        if let Some(e) = self.failed.get(&key) {
+            return Err(e.clone());
+        }
         if let Some(path) = self.cache_path(&cfg.name, bench.name) {
             if let Ok(text) = std::fs::read_to_string(&path) {
-                match stats_from_cache_file(&path, &text) {
+                match stats_from_cache_file(&path, &text, &self.cell_key(cfg, bench.name)) {
                     Ok(s) => {
                         self.mem.insert(key, s.clone());
                         return Ok(s);
@@ -145,14 +194,7 @@ impl Session {
         }));
         let stats = match outcome {
             Ok(Ok(s)) => s,
-            Ok(Err(e)) => {
-                self.failures.push(CellFailure {
-                    config: cfg.name.clone(),
-                    bench: bench.name.to_string(),
-                    error: e.clone(),
-                });
-                return Err(e);
-            }
+            Ok(Err(e)) => return Err(self.record_failure(key, e)),
             Err(payload) => {
                 let msg = payload
                     .downcast_ref::<String>()
@@ -160,18 +202,13 @@ impl Session {
                     .or_else(|| payload.downcast_ref::<&str>().copied())
                     .unwrap_or("opaque panic payload")
                     .to_string();
-                let e = SimError::Panicked(msg);
-                self.failures.push(CellFailure {
-                    config: cfg.name.clone(),
-                    bench: bench.name.to_string(),
-                    error: e.clone(),
-                });
-                return Err(e);
+                return Err(self.record_failure(key, SimError::Panicked(msg)));
             }
         };
         self.simulated += 1;
         if let Some(path) = self.cache_path(&cfg.name, bench.name) {
-            if let Err(e) = std::fs::write(&path, stats_to_cache_file(&stats)) {
+            let body = stats_to_cache_file(&stats, &self.cell_key(cfg, bench.name));
+            if let Err(e) = std::fs::write(&path, body) {
                 self.disk_cache_failed(&format!("write {}", path.display()), &e);
             }
         }
@@ -179,13 +216,69 @@ impl Session {
         Ok(stats)
     }
 
+    fn record_failure(&mut self, key: (String, String), e: SimError) -> SimError {
+        self.failures.push(CellFailure {
+            config: key.0.clone(),
+            bench: key.1.clone(),
+            error: e.clone(),
+        });
+        self.failed.insert(key, e.clone());
+        e
+    }
+
     /// Runs one configuration over the whole benchmark suite, in table
     /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell fails; use [`Session::try_run_suite`].
+    #[deprecated(note = "use `try_run_suite`, which isolates cell failures instead of panicking")]
     pub fn run_suite(&mut self, cfg: &NamedConfig) -> Vec<(&'static str, SimStats)> {
+        self.try_run_suite(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs one configuration over the whole benchmark suite, in table
+    /// order, stopping at the first failing cell (which is recorded in
+    /// [`Session::failures`] like any other).
+    pub fn try_run_suite(
+        &mut self,
+        cfg: &NamedConfig,
+    ) -> Result<Vec<(&'static str, SimStats)>, SimError> {
         BENCHMARKS
             .iter()
-            .map(|b| (b.name, self.run(cfg, b)))
+            .map(|b| Ok((b.name, self.try_run(cfg, b)?)))
             .collect()
+    }
+
+    /// Folds a worker session's results into this one (used by the
+    /// parallel execution engine in [`crate::exec`]). Cached statistics,
+    /// failures, and counters are merged; entries already present locally
+    /// win (the matrix shards cells disjointly, so overlaps only happen
+    /// when the same cell was deliberately run twice).
+    pub fn merge(&mut self, other: Session) {
+        for (k, v) in other.mem {
+            self.mem.entry(k).or_insert(v);
+        }
+        for f in other.failures {
+            let key = (f.config.clone(), f.bench.clone());
+            if let std::collections::hash_map::Entry::Vacant(e) = self.failed.entry(key) {
+                e.insert(f.error.clone());
+                self.failures.push(f);
+            }
+        }
+        self.simulated += other.simulated;
+        self.cache_rejected += other.cache_rejected;
+        if other.disk_warned {
+            self.disk_warned = true;
+        }
+    }
+
+    /// Sorts recorded failures by (configuration, benchmark) so parallel
+    /// sweeps report them in a deterministic order regardless of worker
+    /// completion order.
+    pub fn sort_failures(&mut self) {
+        self.failures
+            .sort_by(|a, b| (&a.config, &a.bench).cmp(&(&b.config, &b.bench)));
     }
 
     /// Human-readable lines describing every recorded cell failure (for
@@ -209,18 +302,24 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 /// Serializes statistics with the versioned, checksummed cache header.
-pub fn stats_to_cache_file(s: &SimStats) -> String {
+/// `cell_key` is the canonical cell identity ([`Session::cell_key`])
+/// the entry is bound to; reads expecting a different key reject it.
+pub fn stats_to_cache_file(s: &SimStats, cell_key: &str) -> String {
     let body = stats_to_kv(s);
     format!(
-        "{CACHE_MAGIC} v{CACHE_FORMAT_VERSION} {:016x}\n{body}",
+        "{CACHE_MAGIC} v{CACHE_FORMAT_VERSION} {:016x} {cell_key}\n{body}",
         fnv1a64(body.as_bytes())
     )
 }
 
-/// Parses a cache file, enforcing the version stamp and checksum.
-/// Rejected entries come back as [`SimError::CacheCorrupt`] and should
-/// be re-simulated.
-pub fn stats_from_cache_file(path: &Path, text: &str) -> Result<SimStats, SimError> {
+/// Parses a cache file, enforcing the version stamp, checksum, and the
+/// canonical cell key the caller expects. Rejected entries come back as
+/// [`SimError::CacheCorrupt`] and should be re-simulated.
+pub fn stats_from_cache_file(
+    path: &Path,
+    text: &str,
+    expected_key: &str,
+) -> Result<SimStats, SimError> {
     let corrupt = |reason: String| {
         Err(SimError::CacheCorrupt {
             path: path.display().to_string(),
@@ -230,7 +329,7 @@ pub fn stats_from_cache_file(path: &Path, text: &str) -> Result<SimStats, SimErr
     let Some((header, body)) = text.split_once('\n') else {
         return corrupt("missing header line".into());
     };
-    let mut parts = header.split(' ');
+    let mut parts = header.splitn(4, ' ');
     if parts.next() != Some(CACHE_MAGIC) {
         return corrupt("not a stats-cache file (bad magic)".into());
     }
@@ -243,6 +342,12 @@ pub fn stats_from_cache_file(path: &Path, text: &str) -> Result<SimStats, SimErr
     let Some(want) = parts.next().and_then(|h| u64::from_str_radix(h, 16).ok()) else {
         return corrupt("unparsable checksum".into());
     };
+    let key = parts.next().unwrap_or("");
+    if key != expected_key {
+        return corrupt(format!(
+            "cell key `{key}` != expected `{expected_key}` (renamed variant or different run length; stale entry)"
+        ));
+    }
     let got = fnv1a64(body.as_bytes());
     if got != want {
         return corrupt(format!(
@@ -361,6 +466,7 @@ pub fn stats_from_kv(text: &str) -> Option<SimStats> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the panicking wrappers are exercised only here
 mod tests {
     use super::*;
     use crate::configs;
@@ -452,9 +558,14 @@ committed_uops 20
             faults_injected: 5,
             ..Default::default()
         };
-        let text = stats_to_cache_file(&s);
+        let text = stats_to_cache_file(&s, "SpecSched_4|SpecSched_4|fp_compute|w1m2");
         assert!(text.starts_with(CACHE_MAGIC));
-        let back = stats_from_cache_file(Path::new("t.kv"), &text).expect("verifies");
+        let back = stats_from_cache_file(
+            Path::new("t.kv"),
+            &text,
+            "SpecSched_4|SpecSched_4|fp_compute|w1m2",
+        )
+        .expect("verifies");
         assert_eq!(back, s);
     }
 
@@ -465,19 +576,54 @@ committed_uops 20
             committed_uops: 2,
             ..Default::default()
         };
-        let good = stats_to_cache_file(&s);
+        let key = "Baseline_0|Baseline_0|fp_compute|w1m2";
+        let good = stats_to_cache_file(&s, key);
         let p = Path::new("t.kv");
         // Flipped byte in the body fails the checksum.
         let tampered = good.replace("cycles 1", "cycles 9");
-        let err = stats_from_cache_file(p, &tampered).unwrap_err();
+        let err = stats_from_cache_file(p, &tampered, key).unwrap_err();
         assert!(err.to_string().contains("checksum"), "{err}");
         // Version stamp from an older build is stale.
         let stale = good.replacen(&format!("v{CACHE_FORMAT_VERSION}"), "v1", 1);
-        let err = stats_from_cache_file(p, &stale).unwrap_err();
+        let err = stats_from_cache_file(p, &stale, key).unwrap_err();
         assert!(err.to_string().contains("stale"), "{err}");
+        // An entry written under another cell identity (renamed variant,
+        // different run length) must not be served.
+        let err =
+            stats_from_cache_file(p, &good, "Baseline_0|Baseline_0|fp_compute|w9m9").unwrap_err();
+        assert!(err.to_string().contains("cell key"), "{err}");
         // Headerless legacy files are rejected outright.
-        let err = stats_from_cache_file(p, "cycles 1\ncommitted_uops 2\n").unwrap_err();
+        let err = stats_from_cache_file(p, "cycles 1\ncommitted_uops 2\n", key).unwrap_err();
         assert!(matches!(err, SimError::CacheCorrupt { .. }));
+    }
+
+    #[test]
+    fn renamed_variant_cannot_read_a_stale_entry() {
+        // Simulate a rename: an entry cached under one variant's file
+        // name but carrying another cell key must be re-simulated, even
+        // though path, version, and checksum all validate.
+        let dir = std::env::temp_dir().join(format!("ss-harness-rename-{}", std::process::id()));
+        let len = RunLength {
+            warmup: 1000,
+            measure: 5000,
+        };
+        let cfg = configs::baseline(0);
+        let bench = benchmark("fp_compute").unwrap();
+        let a = {
+            let mut sess = Session::new(len, Some(dir.clone()));
+            sess.try_run(&cfg, bench).expect("runs")
+        };
+        // Forge the on-disk entry: same stats, same path, but stamped
+        // with a different config identity.
+        let path = dir.join(format!("Baseline_0__fp_compute__w{}m{}.kv", 1000, 5000));
+        let forged = stats_to_cache_file(&a, "Baseline_9|Baseline_9|fp_compute|w1000m5000");
+        std::fs::write(&path, forged).unwrap();
+        let mut sess2 = Session::new(len, Some(dir.clone()));
+        let b = sess2.try_run(&cfg, bench).expect("runs");
+        assert_eq!(sess2.cache_rejected, 1, "forged identity rejected");
+        assert_eq!(sess2.simulated, 1, "forged entry re-simulated");
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
@@ -532,5 +678,39 @@ committed_uops 20
         // The session keeps working for healthy cells.
         let ok = sess.try_run(&configs::baseline(0), bench);
         assert!(ok.is_ok());
+        // A recall of the failed cell is memoized: same error back, no
+        // re-simulation, no duplicate failure record.
+        let again = sess.try_run(&starved, bench).unwrap_err();
+        assert!(matches!(again, SimError::Deadlock(_)));
+        assert_eq!(sess.failures.len(), 1, "failure recorded once");
+    }
+
+    #[test]
+    fn merge_folds_worker_results_and_failures() {
+        let len = RunLength {
+            warmup: 100,
+            measure: 1000,
+        };
+        let bench = benchmark("fp_compute").unwrap();
+        let mut main = Session::new(len, None);
+        let mut w1 = Session::new(len, None);
+        let ok = w1.try_run(&configs::baseline(0), bench).expect("runs");
+        let mut w2 = Session::new(len, None);
+        let mut starved = configs::baseline(0);
+        starved.name = "TinyWatchdog".to_string();
+        starved.config.watchdog_cycles = 2;
+        let _ = w2.try_run(&starved, bench);
+        main.merge(w1);
+        main.merge(w2);
+        assert_eq!(main.simulated, 1);
+        assert_eq!(main.failures.len(), 1);
+        // The merged result is served from memory.
+        let b = main.try_run(&configs::baseline(0), bench).expect("cached");
+        assert_eq!(main.simulated, 1, "served from merged cache");
+        assert_eq!(ok, b);
+        // The merged failure is memoized too.
+        let err = main.try_run(&starved, bench).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock(_)));
+        assert_eq!(main.failures.len(), 1);
     }
 }

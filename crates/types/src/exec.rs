@@ -1,0 +1,241 @@
+//! A minimal scoped-thread worker pool for embarrassingly-parallel work.
+//!
+//! The experiment matrix is a set of independent (configuration ×
+//! benchmark) cells; this module provides the std-only building blocks
+//! the harness shards them with:
+//!
+//! * [`CancelFlag`] — a cooperative cancellation token shared between
+//!   workers (and, e.g., a Ctrl-C handler).
+//! * [`WorkQueue`] — a lock-free shared index queue: workers *steal* the
+//!   next unclaimed job index, so a slow cell never stalls the others
+//!   (dynamic load balancing over a static job list).
+//! * [`scoped_workers`] — spawns `n` scoped worker threads and collects
+//!   their results in worker order; panics propagate to the caller once
+//!   all workers have stopped.
+//!
+//! The pool deliberately has no knowledge of what a "job" is: callers
+//! index into their own job list with the indices handed out by
+//! [`WorkQueue::take`], which makes result ordering the caller's choice
+//! (the harness writes results into pre-allocated slots, so output order
+//! is deterministic regardless of completion order).
+//!
+//! # Example
+//!
+//! ```
+//! use ss_types::exec::{scoped_workers, WorkQueue};
+//! use std::sync::Mutex;
+//!
+//! let jobs: Vec<u64> = (0..100).collect();
+//! let queue = WorkQueue::new(jobs.len());
+//! let results = Mutex::new(vec![0u64; jobs.len()]);
+//! scoped_workers(4, |_worker| {
+//!     while let Some(i) = queue.take() {
+//!         let r = jobs[i] * 2; // the expensive part, outside any lock
+//!         results.lock().unwrap()[i] = r;
+//!     }
+//! });
+//! assert_eq!(results.into_inner().unwrap()[21], 42);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation token.
+///
+/// Cloning is cheap (an [`Arc`] bump); every clone observes the same
+/// flag. Workers poll [`CancelFlag::is_cancelled`] between jobs, so
+/// cancellation takes effect at the next job boundary, never mid-cell.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, un-cancelled flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A shared queue over the job indices `0..total`.
+///
+/// The queue is a single atomic cursor: [`WorkQueue::take`] hands each
+/// caller the next unclaimed index exactly once. This is work *stealing*
+/// in its simplest form — idle workers pull the next job the moment they
+/// finish, so load imbalance between cells (simulation time varies by an
+/// order of magnitude across configurations) never leaves a worker idle
+/// while work remains.
+#[derive(Debug)]
+pub struct WorkQueue {
+    next: AtomicUsize,
+    total: usize,
+    cancel: CancelFlag,
+}
+
+impl WorkQueue {
+    /// A queue over `0..total` with a fresh cancellation flag.
+    pub fn new(total: usize) -> Self {
+        Self::with_cancel(total, CancelFlag::new())
+    }
+
+    /// A queue over `0..total` observing an external cancellation flag.
+    pub fn with_cancel(total: usize, cancel: CancelFlag) -> Self {
+        WorkQueue {
+            next: AtomicUsize::new(0),
+            total,
+            cancel,
+        }
+    }
+
+    /// Claims the next job index, or `None` when the queue is drained or
+    /// cancelled. Each index in `0..total` is handed out exactly once.
+    pub fn take(&self) -> Option<usize> {
+        if self.cancel.is_cancelled() {
+            return None;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+
+    /// Total number of jobs the queue was created with.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The cancellation flag this queue observes.
+    pub fn cancel_flag(&self) -> &CancelFlag {
+        &self.cancel
+    }
+}
+
+/// Spawns `n` scoped worker threads running `worker(worker_index)` and
+/// returns their results in worker order (index 0 first), regardless of
+/// completion order.
+///
+/// `n == 0` is clamped to 1. With `n == 1` the worker runs on the
+/// calling thread — no thread is spawned, so a single-job run is
+/// byte-for-byte the sequential code path.
+///
+/// # Panics
+///
+/// If a worker panics, the panic is re-raised on the calling thread
+/// after all other workers have finished (callers that need isolation
+/// catch panics *inside* the worker, as the harness session does per
+/// cell).
+pub fn scoped_workers<R, F>(n: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let n = n.max(1);
+    if n == 1 {
+        return vec![worker(0)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..n)
+            .map(|w| {
+                scope.spawn({
+                    let worker = &worker;
+                    move || worker(w)
+                })
+            })
+            .collect();
+        let first = worker(0);
+        let mut out = Vec::with_capacity(n);
+        out.push(first);
+        for h in handles {
+            match h.join() {
+                Ok(r) => out.push(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Default worker count: the host's available parallelism, 1 if unknown.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn queue_hands_out_each_index_exactly_once() {
+        let q = WorkQueue::new(1000);
+        let seen = Mutex::new(vec![0u32; 1000]);
+        scoped_workers(8, |_| {
+            while let Some(i) = q.take() {
+                seen.lock().unwrap()[i] += 1;
+            }
+        });
+        assert!(seen.into_inner().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn results_are_in_worker_order() {
+        let r = scoped_workers(4, |w| w * 10);
+        assert_eq!(r, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let q = WorkQueue::new(3);
+        let r = scoped_workers(0, |w| {
+            let mut n = 0;
+            while q.take().is_some() {
+                n += 1;
+            }
+            (w, n)
+        });
+        assert_eq!(r, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn cancellation_stops_handout_at_job_boundary() {
+        let cancel = CancelFlag::new();
+        let q = WorkQueue::with_cancel(1_000_000, cancel.clone());
+        let done = scoped_workers(4, |_| {
+            let mut n = 0u32;
+            while let Some(_i) = q.take() {
+                n += 1;
+                if n == 10 {
+                    cancel.cancel();
+                }
+            }
+            n
+        });
+        let total: u32 = done.iter().sum();
+        assert!(cancel.is_cancelled());
+        assert!(
+            total < 1_000_000,
+            "cancellation must stop the sweep early, ran {total}"
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_drain() {
+        let caught = std::panic::catch_unwind(|| {
+            scoped_workers(2, |w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+                w
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -16,6 +16,8 @@
 //!   [`PipelineSnapshot`] attached to deadlock/invariant reports.
 //! * [`rng`] — vendored SplitMix64 / xoshiro256** PRNGs so the workspace
 //!   builds with no external dependencies.
+//! * [`exec`] — a std-only scoped-thread worker pool ([`WorkQueue`],
+//!   [`CancelFlag`]) the harness shards the experiment matrix with.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@
 
 pub mod config;
 pub mod error;
+pub mod exec;
 pub mod ids;
 pub mod op;
 pub mod replay;
@@ -48,6 +51,7 @@ pub use config::{
     SimConfigBuilder,
 };
 pub use error::{DeadlockReport, InvariantReport, PipelineSnapshot, SimError};
+pub use exec::{CancelFlag, WorkQueue};
 pub use ids::{Addr, ArchReg, Cycle, Pc, PhysReg, SeqNum};
 pub use op::{BranchKind, ExecPort, OpClass, RegClass};
 pub use replay::ReplayCause;

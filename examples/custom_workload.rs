@@ -9,8 +9,9 @@
 //! cargo run --release --example custom_workload
 //! ```
 
-use speculative_scheduling::core::{run_kernel, RunLength};
+use speculative_scheduling::core::{try_run_kernel, RunLength};
 use speculative_scheduling::prelude::*;
+use speculative_scheduling::types::SimError;
 use speculative_scheduling::workloads::spec::{rf, ri, BodyOp, BranchBehavior, KernelSpec};
 use speculative_scheduling::workloads::AddrPattern;
 
@@ -68,7 +69,7 @@ fn dot_product_conflicting(seed: u64) -> KernelSpec {
     s
 }
 
-fn main() {
+fn main() -> Result<(), SimError> {
     println!(
         "{:>6} {:>12} {:>12} {:>12}",
         "delay", "IPC", "IPC+shift", "RpldBank"
@@ -85,8 +86,8 @@ fn main() {
             .banked_l1d(true)
             .schedule_shifting(true)
             .build();
-        let s0 = run_kernel(base, dot_product_conflicting(1), RunLength::SMOKE);
-        let s1 = run_kernel(shifted, dot_product_conflicting(1), RunLength::SMOKE);
+        let s0 = try_run_kernel(base, dot_product_conflicting(1), RunLength::SMOKE)?;
+        let s1 = try_run_kernel(shifted, dot_product_conflicting(1), RunLength::SMOKE)?;
         println!(
             "{:>6} {:>12.3} {:>12.3} {:>12}",
             delay,
@@ -101,4 +102,5 @@ fn main() {
          issue-to-execute delay grows, every conflict squashes the whole\n\
          in-flight window — unless Schedule Shifting absorbs it."
     );
+    Ok(())
 }

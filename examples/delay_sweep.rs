@@ -8,11 +8,12 @@
 //! cargo run --release --example delay_sweep
 //! ```
 
-use speculative_scheduling::core::{run_kernel, RunLength};
+use speculative_scheduling::core::{try_run_kernel, RunLength};
 use speculative_scheduling::prelude::*;
+use speculative_scheduling::types::SimError;
 use speculative_scheduling::workloads::kernels;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     println!("list_walk: an L1-resident linked-list traversal (load-to-use critical)");
     println!(
         "{:>6} {:>16} {:>16} {:>10}",
@@ -29,8 +30,8 @@ fn main() {
             .sched_policy(SchedPolicyKind::AlwaysHit)
             .banked_l1d(false)
             .build();
-        let c = run_kernel(conservative, kernels::list_walk(1), RunLength::SMOKE);
-        let s = run_kernel(speculative, kernels::list_walk(1), RunLength::SMOKE);
+        let c = try_run_kernel(conservative, kernels::list_walk(1), RunLength::SMOKE)?;
+        let s = try_run_kernel(speculative, kernels::list_walk(1), RunLength::SMOKE)?;
         println!(
             "{:>6} {:>16.3} {:>16.3} {:>10}",
             delay,
@@ -45,4 +46,5 @@ fn main() {
          (4-cycle load-to-use becomes 4+delay); speculative scheduling stays\n\
          flat and, since the list is L1-resident, pays ~no replays for it."
     );
+    Ok(())
 }

@@ -4,11 +4,12 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use speculative_scheduling::core::{run_kernel, RunLength};
+use speculative_scheduling::core::{try_run_kernel, RunLength};
 use speculative_scheduling::prelude::*;
+use speculative_scheduling::types::SimError;
 use speculative_scheduling::workloads::kernels;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     // The paper's Table 1 machine: 6-issue, 192-entry ROB, banked L1D,
     // 4-cycle issue-to-execute delay, Always-Hit speculative scheduling.
     let cfg = SimConfig::builder()
@@ -19,7 +20,7 @@ fn main() {
 
     // A synthetic benchmark: high-ILP integer code with a same-bank load
     // pair (the 186.crafty regime).
-    let stats = run_kernel(cfg, kernels::crafty_like(42), RunLength::SMOKE);
+    let stats = try_run_kernel(cfg, kernels::crafty_like(42), RunLength::SMOKE)?;
 
     println!("== crafty_like on SpecSched_4 (banked L1D) ==");
     println!("{stats}");
@@ -29,4 +30,5 @@ fn main() {
          Schedule Shifting exists to remove (see examples/schedule_shifting.rs).",
         stats.replayed_bank
     );
+    Ok(())
 }

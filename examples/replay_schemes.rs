@@ -14,12 +14,12 @@
 //! cargo run --release --example replay_schemes [-- --crit]
 //! ```
 
-use speculative_scheduling::core::{run_kernel, RunLength};
+use speculative_scheduling::core::{try_run_kernel, RunLength};
 use speculative_scheduling::prelude::*;
-use speculative_scheduling::types::ReplayScheme;
+use speculative_scheduling::types::{ReplayScheme, SimError};
 use speculative_scheduling::workloads::kernels;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let crit = std::env::args().any(|a| a == "--crit");
     let policy = if crit {
         SchedPolicyKind::Criticality
@@ -48,7 +48,7 @@ fn main() {
                 .banked_l1d(true)
                 .replay_scheme(scheme)
                 .build();
-            let s = run_kernel(cfg, k(7), RunLength::SMOKE);
+            let s = try_run_kernel(cfg, k(7), RunLength::SMOKE)?;
             cells.push(format!("{:.3} / {}", s.ipc(), s.replayed_total()));
         }
         println!(
@@ -63,4 +63,5 @@ fn main() {
          the most. The paper's mechanisms attack the *causes*, so they help\n\
          under every scheme (compare with and without --crit)."
     );
+    Ok(())
 }

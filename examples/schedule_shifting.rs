@@ -10,8 +10,9 @@
 //! cargo run --release --example schedule_shifting
 //! ```
 
-use speculative_scheduling::core::{run_kernel, RunLength};
+use speculative_scheduling::core::{try_run_kernel, RunLength};
 use speculative_scheduling::prelude::*;
+use speculative_scheduling::types::SimError;
 use speculative_scheduling::workloads::kernels;
 
 fn machine(shifting: bool) -> SimConfig {
@@ -25,7 +26,7 @@ fn machine(shifting: bool) -> SimConfig {
 
 type KernelFn = fn(u64) -> speculative_scheduling::workloads::KernelSpec;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let kernels: [(&str, KernelFn); 4] = [
         ("crafty_like", kernels::crafty_like),
         ("hash_probe", kernels::hash_probe),
@@ -37,8 +38,8 @@ fn main() {
         "kernel", "IPC base", "IPC shift", "speedup", "RpldBank", "RpldBank'"
     );
     for (name, k) in kernels {
-        let base = run_kernel(machine(false), k(7), RunLength::SMOKE);
-        let shift = run_kernel(machine(true), k(7), RunLength::SMOKE);
+        let base = try_run_kernel(machine(false), k(7), RunLength::SMOKE)?;
+        let shift = try_run_kernel(machine(true), k(7), RunLength::SMOKE)?;
         println!(
             "{:18} {:>9.3} {:>9.3} {:>8.1}% {:>12} {:>12}",
             name,
@@ -55,4 +56,5 @@ fn main() {
          and +2.9% performance; on these conflict-dominated kernels the effect\n\
          is far larger because the synthetic load pairs conflict every iteration."
     );
+    Ok(())
 }

@@ -10,11 +10,12 @@
 //! cargo run --release --example wakeup_policies
 //! ```
 
-use speculative_scheduling::core::{run_kernel, RunLength};
+use speculative_scheduling::core::{try_run_kernel, RunLength};
 use speculative_scheduling::prelude::*;
+use speculative_scheduling::types::SimError;
 use speculative_scheduling::workloads::kernels;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let policies = [
         SchedPolicyKind::Conservative,
         SchedPolicyKind::AlwaysHit,
@@ -42,7 +43,7 @@ fn main() {
                 .banked_l1d(true)
                 .schedule_shifting(p == SchedPolicyKind::Criticality)
                 .build();
-            let s = run_kernel(cfg, k(3), RunLength::SMOKE);
+            let s = try_run_kernel(cfg, k(3), RunLength::SMOKE)?;
             println!(
                 "{:18} {:>7.3} {:>10} {:>10} {:>11} {:>11}",
                 format!("{p:?}"),
@@ -60,4 +61,5 @@ fn main() {
          the speculation only where the load reliably hits, and criticality\n\
          additionally refuses to gamble on loads that never block the ROB."
     );
+    Ok(())
 }

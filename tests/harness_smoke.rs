@@ -20,10 +20,10 @@ fn session() -> Session {
 fn every_experiment_produces_a_report() {
     let mut sess = session();
     let reports = [
-        experiments::table2(&mut sess),
-        experiments::fig3(&mut sess),
-        experiments::fig5(&mut sess),
-        experiments::headline(&mut sess),
+        experiments::table2(&mut sess).expect("table2"),
+        experiments::fig3(&mut sess).expect("fig3"),
+        experiments::fig5(&mut sess).expect("fig5"),
+        experiments::headline(&mut sess).expect("headline"),
     ];
     for r in &reports {
         assert!(!r.tables.is_empty(), "{}: tables expected", r.id);
@@ -41,7 +41,7 @@ fn every_experiment_produces_a_report() {
 #[test]
 fn csvs_are_written_per_table() {
     let mut sess = session();
-    let r = experiments::table2(&mut sess);
+    let r = experiments::table2(&mut sess).expect("table2");
     let dir = std::env::temp_dir().join(format!("ss-csv-test-{}", std::process::id()));
     r.write_csvs(&dir).expect("csv write");
     let entries: Vec<_> = std::fs::read_dir(&dir).expect("dir").collect();
@@ -54,10 +54,10 @@ fn csvs_are_written_per_table() {
 #[test]
 fn session_reuses_results_across_experiments() {
     let mut sess = session();
-    let _ = experiments::fig5(&mut sess);
+    let _ = experiments::fig5(&mut sess).expect("fig5");
     let after_fig5 = sess.simulated;
     // fig8 shares Baseline_0 and SpecSched_4 with fig5
-    let _ = experiments::fig8(&mut sess);
+    let _ = experiments::fig8(&mut sess).expect("fig8");
     let fig8_new = sess.simulated - after_fig5;
     // fig8 adds only the Combined and Crit configurations (2 × suite)
     assert!(
