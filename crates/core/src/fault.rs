@@ -13,7 +13,7 @@
 //! makes the scheduler fall back to non-speculative wakeup until the
 //! storm passes.
 
-use ss_types::{Cycle, ReplayCause};
+use ss_types::{Cycle, ReplayCause, SimError};
 
 /// What an active fault window does to each correct-path load that
 /// executes inside it.
@@ -56,9 +56,18 @@ impl FaultWindow {
 }
 
 /// A deterministic schedule of fault windows for one simulation.
+///
+/// Windows are validated as they are added: a zero-duration window would
+/// silently inject nothing, and overlapping windows would silently
+/// shadow each other (only the first active window applies), so both are
+/// construction errors. The builder methods stay chainable by recording
+/// the first error instead of returning it; [`FaultPlan::validate`]
+/// (called by `Simulator::set_fault_plan`) surfaces it as
+/// [`SimError::ConfigInvalid`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     windows: Vec<FaultWindow>,
+    error: Option<String>,
 }
 
 impl FaultPlan {
@@ -68,33 +77,70 @@ impl FaultPlan {
     }
 
     /// Adds a latency-spike window.
-    pub fn latency_spike(mut self, start: u64, duration: u64, extra_cycles: u64) -> Self {
-        self.windows.push(FaultWindow {
+    pub fn latency_spike(self, start: u64, duration: u64, extra_cycles: u64) -> Self {
+        self.add_window(FaultWindow {
             start: Cycle::new(start),
             duration,
             kind: FaultKind::LatencySpike { extra_cycles },
-        });
-        self
+        })
     }
 
     /// Adds a bank-conflict-burst window.
-    pub fn bank_conflict_burst(mut self, start: u64, duration: u64, delay_cycles: u64) -> Self {
-        self.windows.push(FaultWindow {
+    pub fn bank_conflict_burst(self, start: u64, duration: u64, delay_cycles: u64) -> Self {
+        self.add_window(FaultWindow {
             start: Cycle::new(start),
             duration,
             kind: FaultKind::BankConflictBurst { delay_cycles },
-        });
-        self
+        })
     }
 
     /// Adds a replay-storm window.
-    pub fn replay_storm(mut self, start: u64, duration: u64) -> Self {
-        self.windows.push(FaultWindow {
+    pub fn replay_storm(self, start: u64, duration: u64) -> Self {
+        self.add_window(FaultWindow {
             start: Cycle::new(start),
             duration,
             kind: FaultKind::ReplayStorm,
-        });
+        })
+    }
+
+    /// Validates and records one window, remembering the first error so
+    /// the chainable builder style keeps working.
+    fn add_window(mut self, w: FaultWindow) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        if w.duration == 0 {
+            self.error = Some(format!(
+                "fault window at cycle {} has zero duration (would silently inject nothing)",
+                w.start.get()
+            ));
+            return self;
+        }
+        if let Some(prev) = self.windows.iter().find(|p| {
+            p.start.get() < w.start.get() + w.duration && w.start.get() < p.start.get() + p.duration
+        }) {
+            self.error = Some(format!(
+                "fault window [{}, {}) overlaps window [{}, {}) (only the first active window \
+                 would apply)",
+                w.start.get(),
+                w.start.get() + w.duration,
+                prev.start.get(),
+                prev.start.get() + prev.duration
+            ));
+            return self;
+        }
+        self.windows.push(w);
         self
+    }
+
+    /// Checks the plan is well-formed, surfacing the first builder error
+    /// (zero-duration or overlapping window) as
+    /// [`SimError::ConfigInvalid`].
+    pub fn validate(&self) -> Result<(), SimError> {
+        match &self.error {
+            Some(msg) => Err(SimError::ConfigInvalid(msg.clone())),
+            None => Ok(()),
+        }
     }
 
     /// The scheduled windows.
@@ -104,7 +150,8 @@ impl FaultPlan {
 
     /// The perturbation (extra latency, attributed replay cause) a
     /// correct-path load executing at `now` suffers, if any window is
-    /// active. The first active window wins.
+    /// active. Windows never overlap (validated at construction), so at
+    /// most one window matches.
     pub(crate) fn load_fault(&self, now: Cycle) -> Option<(u64, ReplayCause)> {
         self.windows
             .iter()
@@ -165,10 +212,42 @@ mod tests {
     }
 
     #[test]
-    fn first_active_window_wins() {
+    fn zero_duration_window_is_rejected() {
+        let p = FaultPlan::new().latency_spike(100, 0, 20);
+        let err = p.validate().unwrap_err();
+        assert!(matches!(err, SimError::ConfigInvalid(_)));
+        assert!(err.to_string().contains("zero duration"), "{err}");
+        assert!(p.windows().is_empty(), "bad window must not be recorded");
+    }
+
+    #[test]
+    fn overlapping_windows_are_rejected() {
         let p = FaultPlan::new()
             .latency_spike(0, 100, 7)
             .replay_storm(50, 100);
-        assert_eq!(p.load_fault(Cycle::new(60)), Some((7, ReplayCause::L1Miss)));
+        let err = p.validate().unwrap_err();
+        assert!(matches!(err, SimError::ConfigInvalid(_)));
+        assert!(err.to_string().contains("overlaps"), "{err}");
+        // The first window survives; the overlapping one is dropped.
+        assert_eq!(p.windows().len(), 1);
+    }
+
+    #[test]
+    fn adjacent_windows_are_fine() {
+        let p = FaultPlan::new()
+            .latency_spike(0, 50, 7)
+            .replay_storm(50, 50)
+            .bank_conflict_burst(100, 50, 3);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.windows().len(), 3);
+    }
+
+    #[test]
+    fn first_error_sticks_across_later_valid_windows() {
+        let p = FaultPlan::new()
+            .latency_spike(0, 0, 7) // invalid: zero duration
+            .replay_storm(50, 100); // valid, but the plan stays poisoned
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("zero duration"), "{err}");
     }
 }

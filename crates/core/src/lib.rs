@@ -38,14 +38,18 @@
 #![deny(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod diff;
 pub mod fault;
 pub mod pipeline;
 pub mod rename;
 pub mod runner;
 pub mod window;
 
+pub use diff::DiffChecker;
 pub use fault::{FaultKind, FaultPlan, FaultWindow};
 pub use pipeline::{PipelineSnapshot, Simulator};
 pub use rename::{PhysRef, RenameUnit};
-pub use runner::{run_kernel, run_trace, try_run_kernel, try_run_trace, RunLength};
+pub use runner::{
+    run_kernel, run_trace, try_run_kernel, try_run_kernel_checked, try_run_trace, RunLength,
+};
 pub use window::{FetchedUop, RobEntry, UopState};

@@ -21,6 +21,7 @@
 //!    taken branch; wrong-path µ-ops are synthesized past a mispredicted
 //!    branch until it resolves.
 
+use crate::diff::DiffChecker;
 use crate::fault::FaultPlan;
 use crate::rename::{PhysRef, RenameUnit};
 use crate::window::{FetchedUop, RobEntry, UopState};
@@ -29,9 +30,10 @@ use ss_isa::MicroOp;
 use ss_mem::{MemLevel, MemoryHierarchy};
 use ss_memdep::StoreSets;
 use ss_sched::{BankPredictor, SchedEngine, WakeupDecision};
+use ss_types::commit::CommitRecord;
 use ss_types::{
-    BankInterleaving, CritCriterion, Cycle, DeadlockReport, InvariantReport, OpClass, ReplayCause,
-    ReplayScheme, SeqNum, ShiftPolicy, SimConfig, SimError, SimStats,
+    BankInterleaving, CritCriterion, Cycle, DeadlockReport, DivergenceReport, InvariantReport,
+    OpClass, ReplayCause, ReplayScheme, SeqNum, ShiftPolicy, SimConfig, SimError, SimStats,
 };
 use ss_workloads::{TraceSource, WrongPathGen};
 use std::collections::VecDeque;
@@ -116,6 +118,16 @@ pub struct Simulator<T> {
     /// fetch boundary), surfaced by [`Simulator::try_run_committed`].
     pending_error: Option<SimError>,
 
+    /// Bounded ring of the last `commit_log_window` committed µ-ops (the
+    /// canonical commit log; O(window) memory regardless of run length).
+    commit_ring: VecDeque<CommitRecord>,
+    /// Online differential checker against a golden model, if attached.
+    diff: Option<DiffChecker>,
+    /// Test-only seeded bug: when armed, the next replay "loses" one
+    /// correct-path µ-op (see [`Simulator::seed_wakeup_bug`]).
+    wakeup_bug_armed: bool,
+    wakeup_bug_fired: bool,
+
     stats: SimStats,
     /// Memory-order violations (Store Sets training events).
     pub memdep_violations: u64,
@@ -162,6 +174,10 @@ impl<T: TraceSource> Simulator<T> {
             degrade_window_start: Cycle::ZERO,
             degrade_window_replays: 0,
             pending_error: None,
+            commit_ring: VecDeque::new(),
+            diff: None,
+            wakeup_bug_armed: false,
+            wakeup_bug_fired: false,
             stats: SimStats::default(),
             memdep_violations: 0,
             wp_gen: WrongPathGen::new(0x57A7_5EED),
@@ -190,9 +206,46 @@ impl<T: TraceSource> Simulator<T> {
         self.stats.clone()
     }
 
-    /// Installs a fault-injection schedule (see [`FaultPlan`]).
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+    /// Installs a fault-injection schedule (see [`FaultPlan`]) after
+    /// validating it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ConfigInvalid`] if the plan contains a zero-duration
+    /// or overlapping window.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), SimError> {
+        plan.validate()?;
         self.fault_plan = Some(plan);
+        Ok(())
+    }
+
+    /// Attaches an online differential checker: every subsequent commit
+    /// is compared against the checker's golden model, and the first
+    /// mismatch ends the run with [`SimError::Divergence`]. The oracle
+    /// must consume a *fresh* copy of the same trace this simulator runs
+    /// (attach before the first call to a `run` method).
+    pub fn attach_diff_checker(&mut self, checker: DiffChecker) {
+        self.diff = Some(checker);
+    }
+
+    /// Commits verified by the attached differential checker, if any.
+    pub fn diff_verified(&self) -> Option<u64> {
+        self.diff.as_ref().map(DiffChecker::verified)
+    }
+
+    /// The bounded commit log: the last [`SimConfig::commit_log_window`]
+    /// committed µ-ops, oldest first (empty when the knob is 0).
+    pub fn recent_commits(&self) -> impl Iterator<Item = &CommitRecord> {
+        self.commit_ring.iter()
+    }
+
+    /// Arms a deliberately-seeded wakeup-recovery bug for oracle "teeth"
+    /// tests: the first schedule-misspeculation replay after arming
+    /// silently drops one correct-path µ-op from the frontend, exactly
+    /// the class of recovery bug the differential checker exists to
+    /// catch. Never enable outside tests.
+    pub fn seed_wakeup_bug(&mut self) {
+        self.wakeup_bug_armed = true;
     }
 
     /// Whether the graceful-degradation fallback (non-speculative wakeup
@@ -209,6 +262,7 @@ impl<T: TraceSource> Simulator<T> {
     ///
     /// Panics on any error [`Simulator::try_run_committed`] reports
     /// (a modeling bug or malformed trace, not a workload property).
+    #[deprecated(note = "use try_run_committed and handle the SimError")]
     pub fn run_committed(&mut self, n: u64) -> SimStats {
         self.try_run_committed(n).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -265,6 +319,18 @@ impl<T: TraceSource> Simulator<T> {
 
     /// Builds the watchdog's detailed picture of the stuck window.
     fn deadlock_report(&self) -> DeadlockReport {
+        DeadlockReport {
+            snapshot: self.snapshot(),
+            watchdog_cycles: self.cfg.watchdog_cycles,
+            detail: self.window_detail(),
+        }
+    }
+
+    /// Human-readable dump of in-flight scheduler/replay state: ROB head
+    /// entries with their wake/avail times, the recovery head group, and
+    /// the in-flight issue groups. Shared by deadlock and divergence
+    /// reports.
+    fn window_detail(&self) -> String {
         let mut msg = String::new();
         for e in self.rob.iter().take(12) {
             let srcs: Vec<String> = e
@@ -302,11 +368,7 @@ impl<T: TraceSource> Simulator<T> {
                 .map(|(c, g)| (*c, g.len()))
                 .collect::<Vec<_>>()
         );
-        DeadlockReport {
-            snapshot: self.snapshot(),
-            watchdog_cycles: self.cfg.watchdog_cycles,
-            detail: msg,
-        }
+        msg
     }
 
     /// Verifies the machine's internal-consistency invariants:
@@ -507,6 +569,41 @@ impl<T: TraceSource> Simulator<T> {
             debug_assert!(!e.wrong_path, "wrong-path µ-op reached commit");
             self.last_commit_at = self.now;
             self.stats.committed_uops += 1;
+
+            // Commit-log hook: record the canonical commit and compare it
+            // online against the golden model, if one is attached. The
+            // record is content-only (no timing), so scheduler/replay
+            // timing differences can never diverge — only a dropped,
+            // duplicated, reordered, or wrong-path commit can.
+            let log_window = self.cfg.commit_log_window as usize;
+            if log_window > 0 || self.diff.is_some() {
+                let rec = CommitRecord {
+                    seq: self.stats.committed_uops - 1,
+                    pc: e.uop.pc,
+                    kind: e.uop.class,
+                    dst: e.uop.dst.map(|d| (d.class, d.reg)),
+                };
+                let mismatch = match &mut self.diff {
+                    Some(checker) if self.pending_error.is_none() => checker.check(&rec).err(),
+                    _ => None,
+                };
+                if let Some(expected) = mismatch {
+                    self.pending_error = Some(SimError::Divergence(Box::new(DivergenceReport {
+                        snapshot: self.snapshot(),
+                        seq: rec.seq,
+                        expected,
+                        actual: rec,
+                        recent: self.commit_ring.iter().copied().collect(),
+                        detail: self.window_detail(),
+                    })));
+                }
+                if log_window > 0 {
+                    if self.commit_ring.len() >= log_window {
+                        self.commit_ring.pop_front();
+                    }
+                    self.commit_ring.push_back(rec);
+                }
+            }
 
             // Criticality criterion.
             let critical = match self.cfg.crit_criterion {
@@ -870,6 +967,16 @@ impl<T: TraceSource> Simulator<T> {
     /// (all in-flight issue groups), lose one issue cycle, and account
     /// the squashed µ-ops to `cause`.
     fn trigger_replay(&mut self, cause: ReplayCause) {
+        // Seeded-bug hook (tests only, armed via `seed_wakeup_bug`): a
+        // recovery bug that loses one correct-path µ-op during the
+        // squash. Timing-only wakeup bugs cannot change the commit
+        // stream, so this models the dangerous class — replay recovery
+        // that silently drops work — which the differential oracle must
+        // catch as a pc mismatch at the next commit of the dropped spot.
+        if self.wakeup_bug_armed && !self.wakeup_bug_fired {
+            self.wakeup_bug_fired = true;
+            let _ = self.next_correct_uop();
+        }
         self.note_replay_event(cause);
         self.issue_blocked_at = Some(self.now);
         let groups: Vec<(Cycle, Vec<SeqNum>)> = self.inflight.drain(..).collect();

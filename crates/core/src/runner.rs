@@ -1,7 +1,9 @@
 //! Convenience runners: build a simulator for a benchmark, warm it up,
 //! measure, and return warmup-corrected statistics.
 
+use crate::diff::DiffChecker;
 use crate::pipeline::Simulator;
+use ss_oracle::InOrderModel;
 use ss_types::{SimConfig, SimError, SimStats};
 use ss_workloads::{KernelSpec, KernelTrace, TraceSource};
 
@@ -72,6 +74,25 @@ pub fn try_run_kernel(
     try_run_trace(cfg, KernelTrace::new(spec), len)
 }
 
+/// Like [`try_run_kernel`], but with the differential oracle attached:
+/// every commit is compared against an in-order golden model walking a
+/// second copy of the same deterministic kernel trace, and the first
+/// content mismatch ends the run with [`SimError::Divergence`].
+pub fn try_run_kernel_checked(
+    cfg: SimConfig,
+    spec: KernelSpec,
+    len: RunLength,
+) -> Result<SimStats, SimError> {
+    cfg.try_validate()?;
+    spec.validate().map_err(SimError::ConfigInvalid)?;
+    let oracle = InOrderModel::from_spec(spec.clone());
+    let mut sim = Simulator::new(cfg, KernelTrace::new(spec));
+    sim.attach_diff_checker(DiffChecker::new(Box::new(oracle)));
+    let warm = sim.try_run_committed(len.warmup)?;
+    let end = sim.try_run_committed(len.measure)?;
+    Ok(end.delta(&warm))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +110,24 @@ mod tests {
         assert!(s.cycles > 0);
         let ipc = s.ipc();
         assert!(ipc > 0.1 && ipc < 8.0, "implausible IPC {ipc}");
+    }
+
+    #[test]
+    fn checked_run_matches_unchecked_stats() {
+        let cfg = SimConfig::builder()
+            .sched_policy(SchedPolicyKind::AlwaysHit)
+            .commit_log_window(32)
+            .build();
+        let len = RunLength {
+            warmup: 1_000,
+            measure: 5_000,
+        };
+        let plain = try_run_kernel(cfg.clone(), kernels::mix_int(2), len).unwrap();
+        let checked = try_run_kernel_checked(cfg, kernels::mix_int(2), len).unwrap();
+        assert_eq!(plain.committed_uops, checked.committed_uops);
+        assert_eq!(
+            plain.cycles, checked.cycles,
+            "checker must not perturb timing"
+        );
     }
 }

@@ -4,6 +4,8 @@
 //! experiments [table2|fig3|fig4|fig5|fig7|fig8|sweep|headline|ablations|all]
 //!             [--jobs N] [--quick] [--smoke] [--out DIR] [--no-cache]
 //!             [--no-progress]
+//! experiments fuzz [--seeds N] [--smoke] [--jobs N] [--out DIR]
+//!             [--campaign-seed S] [--repro FILE]
 //! ```
 //!
 //! Results print as ASCII tables; CSVs land in `--out` (default
@@ -22,6 +24,11 @@ use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The fuzz campaign has its own flag set; intercept it before
+    // experiment resolution.
+    if args.first().map(String::as_str) == Some("fuzz") {
+        std::process::exit(ss_harness::fuzz::run_cli(&args[1..]));
+    }
     let mut which: Vec<String> = Vec::new();
     let mut quick = false;
     let mut smoke = false;

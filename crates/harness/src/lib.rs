@@ -11,6 +11,9 @@
 //!   (configuration × benchmark) matrix across worker threads.
 //! * [`experiments`] — one regenerator per table/figure; each returns a
 //!   [`report::Report`] with the same rows/series the paper plots.
+//! * [`fuzz`] — the deterministic differential fuzz campaign: random
+//!   (config × kernel × fault plan) cells checked against the in-order
+//!   golden model, with an automatic shrinker and repro files.
 //! * [`report`] — tables, gmean, CSV.
 //!
 //! The `experiments` binary drives everything:
@@ -27,11 +30,13 @@ pub mod configs;
 pub mod energy;
 pub mod exec;
 pub mod experiments;
+pub mod fuzz;
 pub mod report;
 pub mod session;
 
 pub use configs::{ConfigFamily, ConfigSpec, ConfigVariant, NamedConfig};
 pub use energy::EnergyModel;
 pub use exec::{prewarm, PrewarmStats};
+pub use fuzz::{FuzzCell, FuzzOptions, FuzzOutcome, FuzzReport};
 pub use report::{gmean, Report, Table};
 pub use session::{CellFailure, Session};

@@ -33,12 +33,23 @@ pub const CACHE_FORMAT_VERSION: u32 = 3;
 const CACHE_MAGIC: &str = "ss-stats-cache";
 
 /// One failed (configuration × benchmark) cell of a sweep.
+///
+/// Carries enough identity to reproduce the cell from the report alone:
+/// the canonical cell key ([`Session::cell_key`]: config spec, benchmark,
+/// run length) and, for fuzz-campaign cells, the cell's derivation seed.
 #[derive(Debug, Clone)]
 pub struct CellFailure {
     /// Configuration name.
     pub config: String,
     /// Benchmark name.
     pub bench: String,
+    /// Canonical cell key (`{name}|{spec}|{bench}|w{W}m{M}`), exactly as
+    /// stamped into the stats cache — paste it back into a session to
+    /// re-run the identical cell.
+    pub cell_key: String,
+    /// For fuzz cells: the seed the whole cell (config × kernel × fault
+    /// plan) derives from, replayable via `experiments fuzz --repro`.
+    pub fuzz_seed: Option<u64>,
     /// What went wrong.
     pub error: SimError,
 }
@@ -189,12 +200,13 @@ impl Session {
         }
         let config = cfg.config.clone();
         let len = self.len;
+        let cell_key = self.cell_key(cfg, bench.name);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             try_run_kernel(config, (bench.build)(WORKLOAD_SEED), len)
         }));
         let stats = match outcome {
             Ok(Ok(s)) => s,
-            Ok(Err(e)) => return Err(self.record_failure(key, e)),
+            Ok(Err(e)) => return Err(self.record_failure(key, cell_key, e)),
             Err(payload) => {
                 let msg = payload
                     .downcast_ref::<String>()
@@ -202,7 +214,7 @@ impl Session {
                     .or_else(|| payload.downcast_ref::<&str>().copied())
                     .unwrap_or("opaque panic payload")
                     .to_string();
-                return Err(self.record_failure(key, SimError::Panicked(msg)));
+                return Err(self.record_failure(key, cell_key, SimError::Panicked(msg)));
             }
         };
         self.simulated += 1;
@@ -216,10 +228,12 @@ impl Session {
         Ok(stats)
     }
 
-    fn record_failure(&mut self, key: (String, String), e: SimError) -> SimError {
+    fn record_failure(&mut self, key: (String, String), cell_key: String, e: SimError) -> SimError {
         self.failures.push(CellFailure {
             config: key.0.clone(),
             bench: key.1.clone(),
+            cell_key,
+            fuzz_seed: None,
             error: e.clone(),
         });
         self.failed.insert(key, e.clone());
@@ -282,11 +296,22 @@ impl Session {
     }
 
     /// Human-readable lines describing every recorded cell failure (for
-    /// report notes).
+    /// report notes). Each line carries the canonical cell key (and, for
+    /// fuzz cells, the derivation seed) so any reported failure can be
+    /// reproduced from the report alone.
     pub fn failure_notes(&self) -> Vec<String> {
         self.failures
             .iter()
-            .map(|f| format!("FAILED {} × {}: {}", f.config, f.bench, f.error))
+            .map(|f| {
+                let seed = match f.fuzz_seed {
+                    Some(s) => format!(" [fuzz seed {s:#x}]"),
+                    None => String::new(),
+                };
+                format!(
+                    "FAILED {} × {}: {} [cell {}]{seed}",
+                    f.config, f.bench, f.error, f.cell_key
+                )
+            })
             .collect()
     }
 }
@@ -674,7 +699,14 @@ committed_uops 20
         );
         assert_eq!(sess.failures.len(), 1);
         assert_eq!(sess.failures[0].config, "TinyWatchdog");
+        // The failure carries the full canonical cell key (and no fuzz
+        // seed — this is a matrix cell), so it is reproducible from the
+        // report alone.
+        assert!(sess.failures[0].cell_key.starts_with("TinyWatchdog|"));
+        assert!(sess.failures[0].cell_key.ends_with("|fp_compute|w100m1000"));
+        assert!(sess.failures[0].fuzz_seed.is_none());
         assert!(sess.failure_notes()[0].contains("FAILED"));
+        assert!(sess.failure_notes()[0].contains("[cell TinyWatchdog|"));
         // The session keeps working for healthy cells.
         let ok = sess.try_run(&configs::baseline(0), bench);
         assert!(ok.is_ok());

@@ -1,0 +1,132 @@
+//! In-order golden model for differential checking.
+//!
+//! The out-of-order pipeline in `ss-core` is a *timing* simulator: µ-ops
+//! carry no data values, so the architecturally-visible effect of a run
+//! is exactly the ordered stream of committed µ-ops. That makes the
+//! golden model delightfully simple — an in-order machine that fetches
+//! the same trace and "commits" one µ-op per step, in trace order,
+//! emitting one canonical [`CommitRecord`] per µ-op.
+//!
+//! Whatever the speculative scheduler, replay machinery, and recovery
+//! buffer do to *when* µ-ops execute, the committed stream must match
+//! this model µ-op for µ-op: wrong-path work never commits, squashed
+//! work replays, and nothing is ever dropped or reordered at the ROB
+//! head. The `DiffChecker` in `ss-core` pulls records from a
+//! [`CommitOracle`] and compares them online against the pipeline's
+//! commit stream.
+//!
+//! # Example
+//!
+//! ```
+//! use ss_oracle::InOrderModel;
+//! use ss_types::commit::CommitOracle;
+//!
+//! let spec = ss_workloads::kernels::stream_hi_ilp(1);
+//! let mut oracle = InOrderModel::from_spec(spec);
+//! let first = oracle.next_commit();
+//! assert_eq!(first.seq, 0);
+//! assert_eq!(oracle.next_commit().seq, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ss_types::commit::{CommitOracle, CommitRecord};
+use ss_workloads::{KernelSpec, KernelTrace, TraceSource};
+
+/// The in-order reference machine over any [`TraceSource`].
+///
+/// Each call to [`CommitOracle::next_commit`] fetches the next
+/// correct-path µ-op from the trace and returns its canonical commit
+/// record; the commit-order index starts at 0 and increments by one per
+/// record. Construct it over a *fresh* trace source identical to the one
+/// the pipeline consumes (kernel traces are deterministic, so two
+/// [`KernelTrace`]s built from the same [`KernelSpec`] yield the same
+/// µ-op stream).
+#[derive(Debug, Clone)]
+pub struct InOrderModel<T: TraceSource> {
+    trace: T,
+    seq: u64,
+}
+
+impl<T: TraceSource> InOrderModel<T> {
+    /// Wraps a trace source as the reference machine.
+    pub fn new(trace: T) -> Self {
+        InOrderModel { trace, seq: 0 }
+    }
+
+    /// Number of µ-ops the model has committed so far.
+    pub fn committed(&self) -> u64 {
+        self.seq
+    }
+
+    /// The workload name of the underlying trace.
+    pub fn name(&self) -> &str {
+        self.trace.name()
+    }
+}
+
+impl InOrderModel<KernelTrace> {
+    /// Builds the reference machine over a fresh deterministic trace of
+    /// `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails validation (same contract as
+    /// [`KernelTrace::new`]).
+    pub fn from_spec(spec: KernelSpec) -> Self {
+        Self::new(KernelTrace::new(spec))
+    }
+}
+
+impl<T: TraceSource> CommitOracle for InOrderModel<T> {
+    fn next_commit(&mut self) -> CommitRecord {
+        let uop = self.trace.next_uop();
+        let rec = CommitRecord {
+            seq: self.seq,
+            pc: uop.pc,
+            kind: uop.class,
+            dst: uop.dst.map(|d| (d.class, d.reg)),
+        };
+        self.seq += 1;
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_workloads::kernels;
+
+    #[test]
+    fn seq_is_dense_from_zero() {
+        let mut m = InOrderModel::from_spec(kernels::ptr_chase_big(7));
+        for i in 0..100 {
+            assert_eq!(m.next_commit().seq, i);
+        }
+        assert_eq!(m.committed(), 100);
+    }
+
+    #[test]
+    fn two_models_over_the_same_spec_agree() {
+        let mut a = InOrderModel::from_spec(kernels::mix_int(42));
+        let mut b = InOrderModel::from_spec(kernels::mix_int(42));
+        for _ in 0..10_000 {
+            assert_eq!(a.next_commit(), b.next_commit());
+        }
+    }
+
+    #[test]
+    fn records_mirror_the_trace() {
+        let spec = kernels::stream_hi_ilp(3);
+        let mut trace = KernelTrace::new(spec.clone());
+        let mut m = InOrderModel::from_spec(spec);
+        for _ in 0..1_000 {
+            let uop = trace.next_uop();
+            let rec = m.next_commit();
+            assert_eq!(rec.pc, uop.pc);
+            assert_eq!(rec.kind, uop.class);
+            assert_eq!(rec.dst, uop.dst.map(|d| (d.class, d.reg)));
+        }
+    }
+}

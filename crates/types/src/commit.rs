@@ -1,0 +1,94 @@
+//! Canonical commit-log records and the golden-model oracle contract.
+//!
+//! The differential-checking subsystem grounds correctness in an
+//! architectural reference: whatever the out-of-order pipeline does with
+//! speculative wakeup, replay, and recovery, the *committed* µ-op stream
+//! must be exactly the in-order trace. Both sides of that comparison
+//! speak [`CommitRecord`] — a value-free, timing-free description of one
+//! committed µ-op — and the reference side is anything implementing
+//! [`CommitOracle`] (the in-order golden model lives in `ss-oracle`).
+//!
+//! A record deliberately carries *no* cycle numbers: the pipeline is a
+//! timing simulator, so timing differences between schedulers are the
+//! object of study, not a bug. Only the content and order of the commit
+//! stream are checked.
+
+use crate::ids::{ArchReg, Pc};
+use crate::op::{OpClass, RegClass};
+use std::fmt;
+
+/// One entry of the canonical commit log.
+///
+/// `seq` is the *commit-order index* (0 for the first committed µ-op),
+/// not the pipeline's internal [`SeqNum`](crate::SeqNum): internal
+/// sequence numbers are reused after a squash, while the commit-order
+/// index is stable and identical between the out-of-order pipeline and
+/// the in-order golden model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Commit-order index of this µ-op (0-based).
+    pub seq: u64,
+    /// Program counter of the committed µ-op.
+    pub pc: Pc,
+    /// µ-op kind (ALU, load, branch flavour, ...).
+    pub kind: OpClass,
+    /// Destination register, if the µ-op writes one.
+    pub dst: Option<(RegClass, ArchReg)>,
+}
+
+impl fmt::Display for CommitRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {} {}", self.seq, self.pc, self.kind)?;
+        match self.dst {
+            Some((RegClass::Int, r)) => write!(f, " -> {r}"),
+            Some((RegClass::Float, r)) => write!(f, " -> f{}", r.get()),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A reference model that yields the expected commit stream.
+///
+/// Implementations must be deterministic and inexhaustible over the run
+/// lengths they are checked against (the synthetic kernel traces are
+/// infinite). The `DiffChecker` in `ss-core` pulls one record per
+/// pipeline commit and compares everything except timing.
+pub trait CommitOracle {
+    /// The next µ-op the reference machine commits.
+    fn next_commit(&mut self) -> CommitRecord;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_seq_pc_kind_and_dst() {
+        let r = CommitRecord {
+            seq: 7,
+            pc: Pc::new(0x4000_0010),
+            kind: OpClass::Load,
+            dst: Some((RegClass::Int, ArchReg::new(5))),
+        };
+        let s = r.to_string();
+        assert!(s.contains("#7") && s.contains("0x40000010") && s.contains("load"));
+        assert!(s.contains("r5"));
+    }
+
+    #[test]
+    fn float_dst_and_no_dst_render_distinctly() {
+        let f = CommitRecord {
+            seq: 0,
+            pc: Pc::new(0x40),
+            kind: OpClass::FpMul,
+            dst: Some((RegClass::Float, ArchReg::new(3))),
+        };
+        assert!(f.to_string().contains("f3"));
+        let none = CommitRecord {
+            dst: None,
+            kind: OpClass::Store,
+            ..f
+        };
+        assert!(!none.to_string().contains("->"));
+    }
+}

@@ -452,6 +452,10 @@ pub struct SimConfig {
     /// `Some(_)` enables replay-storm detection with graceful fallback to
     /// conservative wakeup; `None` (the default) never degrades.
     pub degrade: Option<DegradeConfig>,
+    /// Keep a streaming ring of the last `n` committed µ-ops (the
+    /// canonical commit log) for divergence context dumps; 0 disables the
+    /// ring (the default). Memory is O(`n`), independent of run length.
+    pub commit_log_window: u32,
 }
 
 impl SimConfig {
@@ -675,6 +679,7 @@ impl Default for SimConfig {
             watchdog_cycles: 200_000,
             invariant_check_interval: 0,
             degrade: None,
+            commit_log_window: 0,
         }
     }
 }
@@ -813,6 +818,13 @@ impl SimConfigBuilder {
     /// Enables replay-storm detection with graceful degradation.
     pub fn degrade(mut self, d: Option<DegradeConfig>) -> Self {
         self.cfg.degrade = d;
+        self
+    }
+
+    /// Keeps a bounded ring of the last `n` committed µ-ops for
+    /// divergence context dumps (0 disables).
+    pub fn commit_log_window(mut self, n: u32) -> Self {
+        self.cfg.commit_log_window = n;
         self
     }
 
@@ -996,14 +1008,17 @@ mod tests {
         assert_eq!(c.watchdog_cycles, 200_000);
         assert_eq!(c.invariant_check_interval, 0);
         assert!(c.degrade.is_none());
+        assert_eq!(c.commit_log_window, 0);
         let c = SimConfig::builder()
             .watchdog_cycles(500)
             .invariant_check_interval(100)
             .degrade(Some(DegradeConfig::default()))
+            .commit_log_window(32)
             .build();
         assert_eq!(c.watchdog_cycles, 500);
         assert_eq!(c.invariant_check_interval, 100);
         assert!(c.degrade.is_some());
+        assert_eq!(c.commit_log_window, 32);
         assert!(SimConfig::builder().watchdog_cycles(0).try_build().is_err());
     }
 }

@@ -19,7 +19,11 @@
 //!   malformed µ-op.
 //! * [`SimError::Panicked`] — a cell panicked under `catch_unwind`
 //!   (an internal bug, preserved so the sweep can continue).
+//! * [`SimError::Divergence`] — the out-of-order commit stream differs
+//!   from the in-order golden model; carries a [`DivergenceReport`] with
+//!   the first diverging commit and a bounded context window.
 
+use crate::commit::CommitRecord;
 use crate::ids::Cycle;
 use std::fmt;
 
@@ -112,6 +116,47 @@ impl fmt::Display for InvariantReport {
     }
 }
 
+/// Diagnostics for a commit-stream divergence from the golden model.
+///
+/// Produced by the `DiffChecker` in `ss-core` the first time the
+/// out-of-order pipeline commits a µ-op that differs from what the
+/// in-order oracle expects. Timing never appears in the comparison —
+/// only the content and order of the commit stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceReport {
+    /// Occupancy at the diverging commit.
+    pub snapshot: PipelineSnapshot,
+    /// Commit-order index at which the streams first differ.
+    pub seq: u64,
+    /// What the golden model expected to commit at `seq`.
+    pub expected: CommitRecord,
+    /// What the pipeline actually committed at `seq`.
+    pub actual: CommitRecord,
+    /// The last N pipeline commits before the divergence (bounded by the
+    /// `commit_log_window` config knob), oldest first.
+    pub recent: Vec<CommitRecord>,
+    /// Human-readable dump of in-flight scheduler/replay state at the
+    /// diverging commit (ROB head entries, recovery/inflight groups).
+    pub detail: String,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "commit-stream divergence at commit #{}: expected [{}], got [{}] ({})",
+            self.seq, self.expected, self.actual, self.snapshot
+        )?;
+        if !self.recent.is_empty() {
+            writeln!(f, "last {} commits before divergence:", self.recent.len())?;
+            for r in &self.recent {
+                writeln!(f, "  {r}")?;
+            }
+        }
+        f.write_str(&self.detail)
+    }
+}
+
 /// The structured error type of the whole workspace.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -137,6 +182,8 @@ pub enum SimError {
     },
     /// A simulation cell panicked (caught by the harness).
     Panicked(String),
+    /// The commit stream diverged from the in-order golden model.
+    Divergence(Box<DivergenceReport>),
 }
 
 impl fmt::Display for SimError {
@@ -152,6 +199,7 @@ impl fmt::Display for SimError {
                 write!(f, "invalid µ-op at pc {pc:#x}: {reason}")
             }
             SimError::Panicked(msg) => write!(f, "simulation panicked: {msg}"),
+            SimError::Divergence(r) => write!(f, "{r}"),
         }
     }
 }
@@ -203,6 +251,27 @@ mod tests {
                 "invalid µ-op",
             ),
             (SimError::Panicked("boom".into()), "panicked"),
+            (
+                SimError::Divergence(Box::new(DivergenceReport {
+                    snapshot: snap,
+                    seq: 12,
+                    expected: CommitRecord {
+                        seq: 12,
+                        pc: crate::ids::Pc::new(0x40),
+                        kind: crate::op::OpClass::Load,
+                        dst: None,
+                    },
+                    actual: CommitRecord {
+                        seq: 12,
+                        pc: crate::ids::Pc::new(0x44),
+                        kind: crate::op::OpClass::IntAlu,
+                        dst: None,
+                    },
+                    recent: vec![],
+                    detail: "rob head".into(),
+                })),
+                "divergence",
+            ),
         ];
         for (e, needle) in cases {
             let msg = e.to_string();

@@ -14,6 +14,9 @@
 //! * [`replay`] — the replay-cause taxonomy ([`ReplayCause`]).
 //! * [`error`] — the structured failure taxonomy ([`SimError`]) and the
 //!   [`PipelineSnapshot`] attached to deadlock/invariant reports.
+//! * [`commit`] — the canonical commit-log record ([`CommitRecord`]) and
+//!   the [`CommitOracle`] contract the differential checker compares the
+//!   pipeline against.
 //! * [`rng`] — vendored SplitMix64 / xoshiro256** PRNGs so the workspace
 //!   builds with no external dependencies.
 //! * [`exec`] — a std-only scoped-thread worker pool ([`WorkQueue`],
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod commit;
 pub mod config;
 pub mod error;
 pub mod exec;
@@ -45,12 +49,13 @@ pub mod replay;
 pub mod rng;
 pub mod stats;
 
+pub use commit::{CommitOracle, CommitRecord};
 pub use config::{
     BankInterleaving, BankedL1dConfig, CacheGeometry, CritCriterion, DegradeConfig, DramConfig,
     PredictorConfig, PrfBankConfig, ReplayScheme, SchedPolicyKind, ShiftPolicy, SimConfig,
     SimConfigBuilder,
 };
-pub use error::{DeadlockReport, InvariantReport, PipelineSnapshot, SimError};
+pub use error::{DeadlockReport, DivergenceReport, InvariantReport, PipelineSnapshot, SimError};
 pub use exec::{CancelFlag, WorkQueue};
 pub use ids::{Addr, ArchReg, Cycle, Pc, PhysReg, SeqNum};
 pub use op::{BranchKind, ExecPort, OpClass, RegClass};

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod gen;
 pub mod kernels;
 pub mod pattern;
 pub mod spec;

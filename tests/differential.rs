@@ -1,0 +1,133 @@
+//! End-to-end "teeth" tests for the differential oracle: an
+//! intentionally seeded pipeline bug must be *caught* (with a usable
+//! context dump), a clean pipeline must survive a whole seeded fuzz
+//! campaign, and shrunk repro files must replay to the same
+//! first-divergence commit.
+
+use speculative_scheduling::core::{DiffChecker, Simulator};
+use speculative_scheduling::harness::fuzz::{
+    divergence_seq, replay_repro, run_campaign, write_repro, FuzzOptions,
+};
+use speculative_scheduling::oracle::InOrderModel;
+use speculative_scheduling::prelude::*;
+use speculative_scheduling::types::SimError;
+use speculative_scheduling::workloads::{kernels, KernelTrace};
+
+/// A machine + workload combination guaranteed to replay early: a
+/// pointer chase misses constantly, and the always-hit policy wakes
+/// dependents speculatively on every one of those misses.
+fn missy_sim() -> Simulator<KernelTrace> {
+    let cfg = SimConfig::builder()
+        .issue_to_execute_delay(4)
+        .sched_policy(SchedPolicyKind::AlwaysHit)
+        .banked_l1d(true)
+        .commit_log_window(32)
+        .build();
+    let spec = kernels::ptr_chase_big(7);
+    let oracle = InOrderModel::from_spec(spec.clone());
+    let mut sim = Simulator::new(cfg, KernelTrace::new(spec));
+    sim.attach_diff_checker(DiffChecker::new(Box::new(oracle)));
+    sim
+}
+
+/// With the seeded wakeup-recovery bug armed, the DiffChecker must end
+/// the run with a divergence whose report carries real context: the
+/// ring of recent commits and an in-flight state dump.
+#[test]
+fn seeded_wakeup_bug_is_caught_with_context() {
+    let mut sim = missy_sim();
+    sim.seed_wakeup_bug();
+    match sim.try_run_committed(20_000) {
+        Err(SimError::Divergence(r)) => {
+            assert!(
+                !r.recent.is_empty(),
+                "divergence report should carry the recent-commit ring"
+            );
+            assert!(
+                !r.detail.is_empty(),
+                "divergence report should carry the in-flight window dump"
+            );
+            assert_ne!(r.expected, r.actual, "a divergence is a mismatch");
+            // The dropped µ-op shifts the whole stream: the report text
+            // must localize the first bad commit.
+            let text = r.to_string();
+            assert!(text.contains("divergence at commit"), "got: {text}");
+        }
+        Err(other) => panic!("expected a divergence, got: {other}"),
+        Ok(_) => panic!("seeded bug went undetected by the oracle"),
+    }
+}
+
+/// The identical machine with the bug left dormant verifies every single
+/// commit against the golden model.
+#[test]
+fn unseeded_pipeline_verifies_every_commit() {
+    let mut sim = missy_sim();
+    let stats = sim.try_run_committed(20_000).expect("clean run");
+    assert_eq!(sim.diff_verified(), Some(stats.committed_uops));
+    assert!(stats.committed_uops >= 20_000);
+}
+
+/// A full seeded campaign over random (config × kernel × fault plan)
+/// cells finds nothing wrong with the real pipeline.
+#[test]
+fn clean_campaign_has_zero_divergences() {
+    let report = run_campaign(&FuzzOptions {
+        campaign_seed: 0xD1FF_5EED,
+        cells: 64,
+        run: 1_000,
+        jobs: 2,
+        out_dir: None,
+        seed_bug: false,
+    });
+    assert_eq!(report.cells, 64);
+    assert!(
+        report.outcomes.is_empty(),
+        "unexpected failures: {:?}",
+        report.failure_notes()
+    );
+}
+
+/// With the bug armed in every cell, the campaign must catch it, the
+/// failure records must carry the fuzz cell key + seed, and the shrunk
+/// repro must replay to the *same* first-divergence commit.
+#[test]
+fn seeded_campaign_catches_shrinks_and_reproduces() {
+    let opts = FuzzOptions {
+        campaign_seed: 0xD1FF_5EED,
+        cells: 64,
+        run: 1_000,
+        jobs: 2,
+        out_dir: None,
+        seed_bug: true,
+    };
+    let report = run_campaign(&opts);
+    assert!(
+        !report.outcomes.is_empty(),
+        "seeded bug escaped a 64-cell campaign"
+    );
+    let failure = &report.failures[0];
+    assert!(
+        failure.cell_key.starts_with("fuzz|"),
+        "{}",
+        failure.cell_key
+    );
+    assert!(failure.fuzz_seed.is_some());
+
+    let o = &report.outcomes[0];
+    // Shrinking preserves the failure class and never grows the cell.
+    assert!(o.shrunk.run <= o.cell.run);
+    assert!(o.shrunk.faults.len() <= o.cell.faults.len());
+    let seq = divergence_seq(&o.shrunk_error).expect("seeded bug diverges");
+
+    // Round-trip: serialize the shrunk cell, replay it, and land on the
+    // exact same first-divergence commit index.
+    let text = write_repro(&o.shrunk, opts.campaign_seed, &o.shrunk_error);
+    let replay = replay_repro(&text).expect("repro parses");
+    assert_eq!(replay.recorded_seq, Some(seq));
+    assert!(
+        replay.reproduced,
+        "repro did not reproduce: {:?}",
+        replay.outcome
+    );
+}

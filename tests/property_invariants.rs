@@ -6,90 +6,13 @@
 //! driven by the vendored [`Xoshiro256`] generator so the workspace
 //! builds with no crates.io access.
 
-use speculative_scheduling::core::{run_kernel, RunLength};
+use speculative_scheduling::core::{run_kernel, DiffChecker, FaultPlan, RunLength, Simulator};
+use speculative_scheduling::oracle::InOrderModel;
 use speculative_scheduling::prelude::*;
 use speculative_scheduling::types::rng::Xoshiro256;
-use speculative_scheduling::workloads::spec::{
-    rf, ri, BodyOp, BranchBehavior, BranchTarget, KernelSpec,
-};
-use speculative_scheduling::workloads::{AddrPattern, TraceSource};
-
-/// A random address pattern with valid parameters.
-fn gen_pattern(rng: &mut Xoshiro256) -> AddrPattern {
-    match rng.next_below(4) {
-        0 => {
-            let stride = [8i64, 64, -64, 256][rng.next_below(4) as usize];
-            let log_fp = 7 + rng.next_below(17) as u32; // 7..24
-            let phase_units = rng.next_below(4);
-            AddrPattern::Stride {
-                stride,
-                footprint: 1 << log_fp,
-                phase: (phase_units * 512) % (1 << log_fp),
-            }
-        }
-        1 => AddrPattern::Chase {
-            footprint: 1 << (10 + rng.next_below(16) as u32),
-        },
-        2 => AddrPattern::Uniform {
-            footprint: 1 << (7 + rng.next_below(17) as u32),
-        },
-        _ => AddrPattern::HotCold {
-            hot_pct: rng.next_below(101) as u8,
-            hot_footprint: 1 << (7 + rng.next_below(7) as u32),
-            cold_footprint: 1 << (14 + rng.next_below(12) as u32),
-        },
-    }
-}
-
-/// A random body op referencing pattern 0 or 1 and low registers.
-fn gen_body_op(rng: &mut Xoshiro256) -> BodyOp {
-    let r8 = |rng: &mut Xoshiro256| rng.next_below(8) as u8;
-    match rng.next_below(5) {
-        0 => BodyOp::Compute {
-            class: OpClass::IntAlu,
-            dst: ri(r8(rng)),
-            src1: ri(r8(rng)),
-            src2: Some(ri(r8(rng))),
-        },
-        1 => BodyOp::Compute {
-            class: OpClass::FpMul,
-            dst: rf(r8(rng)),
-            src1: rf(r8(rng)),
-            src2: None,
-        },
-        2 => BodyOp::Load {
-            dst: ri(r8(rng)),
-            addr_reg: ri(r8(rng)),
-            pattern: rng.next_below(2) as usize,
-        },
-        3 => BodyOp::Store {
-            addr_reg: ri(r8(rng)),
-            data_reg: ri(r8(rng)),
-            pattern: rng.next_below(2) as usize,
-        },
-        _ => BodyOp::Branch {
-            behavior: BranchBehavior::Bernoulli {
-                taken_pct: 1 + rng.next_below(99) as u8,
-            },
-            target: BranchTarget::SkipNext(0),
-            cond: ri(r8(rng)),
-        },
-    }
-}
-
-fn gen_kernel(rng: &mut Xoshiro256) -> KernelSpec {
-    let body_len = 1 + rng.next_below(11) as usize;
-    let body: Vec<BodyOp> = (0..body_len).map(|_| gen_body_op(rng)).collect();
-    let p0 = gen_pattern(rng);
-    let p1 = gen_pattern(rng);
-    let mut s = KernelSpec::new("seeded_kernel", body);
-    s.patterns = vec![p0, p1];
-    s.loop_behavior = BranchBehavior::TakenEvery {
-        period: 2 + rng.next_below(198) as u32,
-    };
-    s.seed = 1 + rng.next_below(999);
-    s
-}
+use speculative_scheduling::workloads::gen::gen_kernel;
+use speculative_scheduling::workloads::spec::{ri, BodyOp, KernelSpec};
+use speculative_scheduling::workloads::{AddrPattern, KernelTrace, TraceSource};
 
 /// Any valid kernel runs to completion on the full paper machine with
 /// plausible, internally consistent statistics.
@@ -211,6 +134,54 @@ fn random_traces_are_control_flow_consistent() {
                 "case {case}: discontinuity after {prev}"
             );
             prev = cur;
+        }
+    }
+}
+
+/// The in-order golden model and the out-of-order pipeline commit
+/// exactly the same number of µ-ops — with every commit content-checked
+/// by the differential oracle — across the wakeup-policy matrix and
+/// under every injected [`FaultKind`](speculative_scheduling::core::FaultKind).
+#[test]
+fn oracle_and_pipeline_agree_across_the_config_matrix() {
+    let mut rng = Xoshiro256::seed_from_u64(0x04AC_1E00);
+    let policies = [
+        SchedPolicyKind::Conservative,
+        SchedPolicyKind::AlwaysHit,
+        SchedPolicyKind::GlobalCounter,
+        SchedPolicyKind::FilterAndCounter,
+        SchedPolicyKind::FilterNoSilence,
+        SchedPolicyKind::Criticality,
+    ];
+    // One plan per FaultKind, plus the fault-free baseline.
+    let plans = |which: usize| match which {
+        0 => FaultPlan::new(),
+        1 => FaultPlan::new().latency_spike(100, 600, 12),
+        2 => FaultPlan::new().bank_conflict_burst(100, 600, 9),
+        _ => FaultPlan::new().replay_storm(100, 600),
+    };
+    for (i, &policy) in policies.iter().enumerate() {
+        for which in 0..4 {
+            let spec = gen_kernel(&mut rng);
+            let cfg = SimConfig::builder()
+                .issue_to_execute_delay([0, 2, 4, 6][i % 4])
+                .sched_policy(policy)
+                .banked_l1d(i % 2 == 0)
+                .commit_log_window(16)
+                .build();
+            let oracle = InOrderModel::from_spec(spec.clone());
+            let mut sim = Simulator::new(cfg, KernelTrace::new(spec));
+            sim.attach_diff_checker(DiffChecker::new(Box::new(oracle)));
+            sim.set_fault_plan(plans(which)).expect("valid plan");
+            let stats = sim
+                .try_run_committed(2_500)
+                .unwrap_or_else(|e| panic!("{policy:?} fault#{which}: {e}"));
+            assert_eq!(
+                sim.diff_verified(),
+                Some(stats.committed_uops),
+                "{policy:?} fault#{which}: every committed µ-op must be verified"
+            );
+            assert!(stats.committed_uops >= 2_500, "{policy:?} fault#{which}");
         }
     }
 }

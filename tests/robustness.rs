@@ -108,7 +108,8 @@ fn replay_storm_triggers_graceful_degradation() {
         }))
         .build();
     let mut sim = Simulator::new(cfg, KernelTrace::new(kernels::stream_hi_ilp(1)));
-    sim.set_fault_plan(FaultPlan::new().replay_storm(1_000, 4_000));
+    sim.set_fault_plan(FaultPlan::new().replay_storm(1_000, 4_000))
+        .expect("valid plan");
     let stats = sim
         .try_run_committed(60_000)
         .expect("degraded run completes");
@@ -133,7 +134,8 @@ fn fault_plan_without_degrade_policy_just_replays() {
         .sched_policy(SchedPolicyKind::AlwaysHit)
         .build();
     let mut sim = Simulator::new(cfg, KernelTrace::new(kernels::stream_hi_ilp(1)));
-    sim.set_fault_plan(FaultPlan::new().replay_storm(1_000, 4_000));
+    sim.set_fault_plan(FaultPlan::new().replay_storm(1_000, 4_000))
+        .expect("valid plan");
     let stats = sim.try_run_committed(30_000).expect("run completes");
     assert!(stats.faults_injected > 0);
     assert_eq!(stats.degrade_entries, 0);
