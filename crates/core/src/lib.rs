@@ -52,4 +52,5 @@ pub use rename::{PhysRef, RenameUnit};
 pub use runner::{
     run_kernel, run_trace, try_run_kernel, try_run_kernel_checked, try_run_trace, RunLength,
 };
+pub use ss_types::trace::{NullSink, TraceEvent, TraceSink};
 pub use window::{FetchedUop, RobEntry, UopState};

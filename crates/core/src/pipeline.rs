@@ -31,6 +31,7 @@ use ss_mem::{MemLevel, MemoryHierarchy};
 use ss_memdep::StoreSets;
 use ss_sched::{BankPredictor, SchedEngine, WakeupDecision};
 use ss_types::commit::CommitRecord;
+use ss_types::trace::{NullSink, TraceEvent, TraceSink};
 use ss_types::{
     BankInterleaving, CritCriterion, Cycle, DeadlockReport, DivergenceReport, InvariantReport,
     OpClass, ReplayCause, ReplayScheme, SeqNum, ShiftPolicy, SimConfig, SimError, SimStats,
@@ -53,7 +54,13 @@ struct IssueCycleState {
 }
 
 /// The simulator: one out-of-order core running one trace.
-pub struct Simulator<T> {
+///
+/// Generic over a [`TraceSink`] so observability is a compile-time
+/// strategy: the default [`NullSink`] advertises `ENABLED = false` and
+/// every instrumentation site monomorphizes away — an untraced
+/// `Simulator<T>` is bit-for-bit the machine it was before tracing
+/// existed. Construct with [`Simulator::with_sink`] to capture events.
+pub struct Simulator<T, S: TraceSink = NullSink> {
     cfg: SimConfig,
     delay: u64,
     trace: T,
@@ -128,14 +135,27 @@ pub struct Simulator<T> {
     wakeup_bug_armed: bool,
     wakeup_bug_fired: bool,
 
+    /// The observability sink every stage reports into (see
+    /// [`ss_types::trace`]).
+    sink: S,
+
     stats: SimStats,
     /// Memory-order violations (Store Sets training events).
     pub memdep_violations: u64,
 }
 
 impl<T: TraceSource> Simulator<T> {
-    /// Builds a simulator for `cfg` running `trace`.
+    /// Builds an untraced simulator for `cfg` running `trace` (the
+    /// [`NullSink`] compiles all instrumentation out).
     pub fn new(cfg: SimConfig, trace: T) -> Self {
+        Self::with_sink(cfg, trace, NullSink)
+    }
+}
+
+impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
+    /// Builds a simulator for `cfg` running `trace`, reporting every
+    /// pipeline event into `sink`.
+    pub fn with_sink(cfg: SimConfig, trace: T, sink: S) -> Self {
         cfg.validate();
         let delay = cfg.issue_to_execute_delay;
         let frontend_cap = (cfg.frontend_width as u64 * (cfg.frontend_depth() + 2)) as usize;
@@ -181,9 +201,21 @@ impl<T: TraceSource> Simulator<T> {
             stats: SimStats::default(),
             memdep_violations: 0,
             wp_gen: WrongPathGen::new(0x57A7_5EED),
+            sink,
             cfg,
             trace,
         }
+    }
+
+    /// The attached trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consumes the simulator, returning the sink (and whatever it
+    /// captured).
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     /// The machine configuration in use.
@@ -254,19 +286,6 @@ impl<T: TraceSource> Simulator<T> {
         self.now < self.degrade_until
     }
 
-    /// Runs until at least `n` more µ-ops commit (the final cycle may
-    /// overshoot by up to the retire width); returns statistics
-    /// accumulated since the start of the simulation.
-    ///
-    /// # Panics
-    ///
-    /// Panics on any error [`Simulator::try_run_committed`] reports
-    /// (a modeling bug or malformed trace, not a workload property).
-    #[deprecated(note = "use try_run_committed and handle the SimError")]
-    pub fn run_committed(&mut self, n: u64) -> SimStats {
-        self.try_run_committed(n).unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Runs until at least `n` more µ-ops commit, returning a structured
     /// error instead of panicking when the machine misbehaves:
     ///
@@ -289,7 +308,7 @@ impl<T: TraceSource> Simulator<T> {
                 return Err(e);
             }
             if self.now.since(self.last_commit_at) >= watchdog {
-                return Err(SimError::Deadlock(self.deadlock_report()));
+                return Err(SimError::Deadlock(Box::new(self.deadlock_report())));
             }
             if interval > 0 && self.now.get().is_multiple_of(interval) {
                 self.check_invariants()?;
@@ -323,6 +342,7 @@ impl<T: TraceSource> Simulator<T> {
             snapshot: self.snapshot(),
             watchdog_cycles: self.cfg.watchdog_cycles,
             detail: self.window_detail(),
+            trace: self.sink.recent(),
         }
     }
 
@@ -477,6 +497,17 @@ impl<T: TraceSource> Simulator<T> {
         self.issue();
         self.dispatch();
         self.fetch();
+        if S::ENABLED {
+            self.sink.record(TraceEvent::Occupancy {
+                cycle: self.now,
+                rob: self.rob.len() as u32,
+                iq: self.iq_used,
+                lq: self.lq_used,
+                sq: self.sq_used,
+                recovery: self.recovery.iter().map(|(_, g)| g.len() as u32).sum(),
+                inflight: self.inflight.iter().map(|(_, g)| g.len() as u32).sum(),
+            });
+        }
     }
 
     /// Counts a replay event and, when graceful degradation is
@@ -569,6 +600,12 @@ impl<T: TraceSource> Simulator<T> {
             debug_assert!(!e.wrong_path, "wrong-path µ-op reached commit");
             self.last_commit_at = self.now;
             self.stats.committed_uops += 1;
+            if S::ENABLED {
+                self.sink.record(TraceEvent::Commit {
+                    cycle: self.now,
+                    seq: e.seq,
+                });
+            }
 
             // Commit-log hook: record the canonical commit and compare it
             // online against the golden model, if one is attached. The
@@ -595,6 +632,7 @@ impl<T: TraceSource> Simulator<T> {
                         actual: rec,
                         recent: self.commit_ring.iter().copied().collect(),
                         detail: self.window_detail(),
+                        trace: self.sink.recent(),
                     })));
                 }
                 if log_window > 0 {
@@ -707,9 +745,21 @@ impl<T: TraceSource> Simulator<T> {
                 // of recirculating blindly every few cycles.
                 self.force_deferred_wake(src);
                 let cause = self.rename.late_cause(src).unwrap_or(ReplayCause::L1Miss);
+                // For the trace: the replay's trigger is the µ-op
+                // producing the late source (typically the missing load);
+                // fall back to the detecting µ-op if the producer already
+                // left the ROB.
+                let trigger = if S::ENABLED {
+                    self.rob
+                        .iter()
+                        .find(|p| p.dst.map(|(new, _)| new) == Some(src))
+                        .map_or(seq, |p| p.seq)
+                } else {
+                    seq
+                };
                 match self.cfg.replay_scheme {
                     ReplayScheme::Squash => {
-                        self.trigger_replay(cause);
+                        self.trigger_replay(cause, trigger);
                         replayed = true;
                     }
                     ReplayScheme::Selective => {
@@ -720,6 +770,9 @@ impl<T: TraceSource> Simulator<T> {
                         self.stats.add_replayed(cause, 1);
                         let mut group = Vec::new();
                         self.squash_one(seq, &mut group);
+                        if S::ENABLED {
+                            self.record_squash(seq, trigger, cause);
+                        }
                         if !group.is_empty() {
                             self.recovery.push_back((self.now, group));
                         }
@@ -729,7 +782,7 @@ impl<T: TraceSource> Simulator<T> {
                         // the offender onward and stall fetch for a
                         // frontend refill.
                         self.note_replay_event(cause);
-                        let n = self.squash_from(seq);
+                        let n = self.squash_from(seq, Some((trigger, cause)));
                         self.stats.add_replayed(cause, n);
                         self.issue_blocked_at = Some(self.now);
                         self.fetch_stall_until = self.now + self.cfg.frontend_depth();
@@ -758,6 +811,24 @@ impl<T: TraceSource> Simulator<T> {
                     e.seq, e.issue_cycle, processed_cycle, self.now
                 );
             }
+        }
+    }
+
+    /// Trace helper: records a replay squash for `seq`, plus its
+    /// recovery-buffer reinsertion when the squash routed it there.
+    /// Callers guard with `S::ENABLED`.
+    fn record_squash(&mut self, seq: SeqNum, trigger: SeqNum, cause: ReplayCause) {
+        self.sink.record(TraceEvent::ReplaySquash {
+            cycle: self.now,
+            seq,
+            trigger,
+            cause,
+        });
+        if self.entry(seq).is_some_and(|e| e.in_recovery) {
+            self.sink.record(TraceEvent::RecoveryEnter {
+                cycle: self.now,
+                seq,
+            });
         }
     }
 
@@ -923,6 +994,20 @@ impl<T: TraceSource> Simulator<T> {
                 // avail/wake were set deterministically at issue
             }
         }
+        // Trace the completed execution (memory-order violations reset
+        // the load to Waiting above and are not an execution).
+        if S::ENABLED {
+            if let Some(e) = self.entry(seq) {
+                if e.state == UopState::Done {
+                    let done_at = e.done_at;
+                    self.sink.record(TraceEvent::Execute {
+                        cycle: exec_start,
+                        seq,
+                        done_at,
+                    });
+                }
+            }
+        }
     }
 
     /// Finds the youngest store older than `load_seq` to the same
@@ -957,7 +1042,10 @@ impl<T: TraceSource> Simulator<T> {
         let load_pc = self.entry(load_seq).expect("load").uop.pc;
         let store_pc = self.entry(store_seq).expect("store").uop.pc;
         self.store_sets.on_violation(load_pc, store_pc);
-        let _ = self.squash_from(load_seq);
+        // Memory-order squashes carry no `ReplayCause` (they are not a
+        // schedule misspeculation), so they go untraced; the load's
+        // re-issue shows up as a fresh `Issue` event.
+        let _ = self.squash_from(load_seq, None);
         let em = self.entry_mut(load_seq).expect("load");
         em.store_dep = Some(store_seq);
         self.issue_blocked_at = Some(self.now);
@@ -965,8 +1053,9 @@ impl<T: TraceSource> Simulator<T> {
 
     /// Alpha-style replay: squash every µ-op between Issue and Execute
     /// (all in-flight issue groups), lose one issue cycle, and account
-    /// the squashed µ-ops to `cause`.
-    fn trigger_replay(&mut self, cause: ReplayCause) {
+    /// the squashed µ-ops to `cause`. `trigger` is the µ-op whose late
+    /// result was detected (trace linkage only; no timing effect).
+    fn trigger_replay(&mut self, cause: ReplayCause, trigger: SeqNum) {
         // Seeded-bug hook (tests only, armed via `seed_wakeup_bug`): a
         // recovery bug that loses one correct-path µ-op during the
         // squash. Timing-only wakeup bugs cannot change the commit
@@ -990,6 +1079,9 @@ impl<T: TraceSource> Simulator<T> {
                 }
                 squashed += 1;
                 self.squash_one(seq, &mut recovery_group);
+                if S::ENABLED {
+                    self.record_squash(seq, trigger, cause);
+                }
             }
             if !recovery_group.is_empty() {
                 self.recovery.push_back((issue_cycle, recovery_group));
@@ -1011,6 +1103,9 @@ impl<T: TraceSource> Simulator<T> {
         for seq in stragglers {
             squashed += 1;
             self.squash_one(seq, &mut recovery_group);
+            if S::ENABLED {
+                self.record_squash(seq, trigger, cause);
+            }
         }
         if !recovery_group.is_empty() {
             self.recovery.push_front((exec_cycle, recovery_group));
@@ -1037,8 +1132,10 @@ impl<T: TraceSource> Simulator<T> {
 
     /// Squashes `from` and everything younger back to re-issue (memory-
     /// order violation and Refetch recovery; no true refetch — the µ-ops
-    /// stay in the ROB). Returns the number of µ-ops squashed.
-    fn squash_from(&mut self, from: SeqNum) -> u64 {
+    /// stay in the ROB). Returns the number of µ-ops squashed. `traced`
+    /// carries the (trigger, cause) pair to trace the squashes with;
+    /// `None` (memory-order violations) leaves them untraced.
+    fn squash_from(&mut self, from: SeqNum, traced: Option<(SeqNum, ReplayCause)>) -> u64 {
         let seqs: Vec<SeqNum> = self
             .rob
             .iter()
@@ -1058,6 +1155,7 @@ impl<T: TraceSource> Simulator<T> {
             let pc = e.uop.pc;
             let dst = e.dst;
             let mut reacquire_iq = false;
+            let mut entered_recovery = false;
             if is_mem {
                 // Re-acquire the IQ entry it released at execute.
                 if was_done && !e.holds_iq {
@@ -1070,6 +1168,7 @@ impl<T: TraceSource> Simulator<T> {
             } else if !e.in_recovery {
                 e.in_recovery = true;
                 recovery_group.push(seq);
+                entered_recovery = true;
             }
             if reacquire_iq {
                 self.iq_used += 1;
@@ -1080,6 +1179,22 @@ impl<T: TraceSource> Simulator<T> {
             }
             if let Some((new, _)) = dst {
                 self.rename.reset_timing(new);
+            }
+            if S::ENABLED {
+                if let Some((trigger, cause)) = traced {
+                    self.sink.record(TraceEvent::ReplaySquash {
+                        cycle: self.now,
+                        seq,
+                        trigger,
+                        cause,
+                    });
+                    if entered_recovery {
+                        self.sink.record(TraceEvent::RecoveryEnter {
+                            cycle: self.now,
+                            seq,
+                        });
+                    }
+                }
             }
         }
         // Drop stale in-flight bookkeeping; entries re-validate by state.
@@ -1306,6 +1421,13 @@ impl<T: TraceSource> Simulator<T> {
 
         let e = self.entry(seq).expect("entry").clone();
         self.stats.issued_total += 1;
+        if S::ENABLED {
+            self.sink.record(TraceEvent::Issue {
+                cycle: now,
+                seq,
+                from_recovery: e.in_recovery,
+            });
+        }
         let first_issue = e.times_issued == 0;
         if first_issue {
             self.stats.unique_issued += 1;
@@ -1364,6 +1486,13 @@ impl<T: TraceSource> Simulator<T> {
                         WakeupDecision::Speculative => {
                             let wake = now + load_to_use + if shifted { 1 } else { 0 };
                             self.rename.set_wake(dst, wake);
+                            if S::ENABLED {
+                                self.sink.record(TraceEvent::SpecWakeup {
+                                    cycle: now,
+                                    seq,
+                                    wake,
+                                });
+                            }
                         }
                         WakeupDecision::Conservative => {
                             self.rename.set_wake(dst, Cycle::NEVER);
@@ -1469,6 +1598,22 @@ impl<T: TraceSource> Simulator<T> {
             }
             e.holds_iq = true;
             self.iq_used += 1;
+            if S::ENABLED {
+                // The seq did not exist at fetch time, so the fetch event
+                // is back-dated here: `ready_at` was stamped as
+                // fetch-cycle + frontend depth at fetch.
+                self.sink.record(TraceEvent::Fetch {
+                    cycle: Cycle::new(f.ready_at.get().saturating_sub(self.cfg.frontend_depth())),
+                    seq,
+                    pc: e.uop.pc,
+                    class: e.uop.class,
+                    wrong_path: e.wrong_path,
+                });
+                self.sink.record(TraceEvent::Rename {
+                    cycle: self.now,
+                    seq,
+                });
+            }
             self.rob.push_back(e);
             dispatched += 1;
         }
@@ -1647,6 +1792,12 @@ impl<T: TraceSource> Simulator<T> {
                 let (new, prev) = e.dst.expect("renamed");
                 self.rename.unwind(d.reg, new, prev);
             }
+            if S::ENABLED {
+                self.sink.record(TraceEvent::Flush {
+                    cycle: self.now,
+                    seq: e.seq,
+                });
+            }
         }
         // Sequence numbers index the ROB (contiguous); the refetched path
         // reuses the flushed range. Deferred revisions for unwound
@@ -1666,7 +1817,7 @@ impl<T: TraceSource> Simulator<T> {
     }
 }
 
-impl<T: TraceSource> std::fmt::Debug for Simulator<T> {
+impl<T: TraceSource, S: TraceSink> std::fmt::Debug for Simulator<T, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("now", &self.now)

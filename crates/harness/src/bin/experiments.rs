@@ -6,6 +6,8 @@
 //!             [--no-progress]
 //! experiments fuzz [--seeds N] [--smoke] [--jobs N] [--out DIR]
 //!             [--campaign-seed S] [--repro FILE]
+//! experiments trace --bench NAME --config SPEC [--config SPEC2]
+//!             [--window LO..HI] [--format perfetto|pipeview] [--out FILE]
 //! ```
 //!
 //! Results print as ASCII tables; CSVs land in `--out` (default
@@ -28,6 +30,10 @@ fn main() {
     // experiment resolution.
     if args.first().map(String::as_str) == Some("fuzz") {
         std::process::exit(ss_harness::fuzz::run_cli(&args[1..]));
+    }
+    // Same for the trace capture subcommand.
+    if args.first().map(String::as_str) == Some("trace") {
+        std::process::exit(ss_harness::tracecmd::run_cli(&args[1..]));
     }
     let mut which: Vec<String> = Vec::new();
     let mut quick = false;

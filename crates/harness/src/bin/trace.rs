@@ -14,6 +14,11 @@
 //! ablations (`_FilterNoSilence`, `_NoLineBuffer`, `_Bimodal`, …) and
 //! extensions (`_Squash`/`_Selective`/`_Refetch`, `_ShiftPred`,
 //! `_CritQold`, `_SetInterleaved`, `_Prf4x2`, …).
+//!
+//! For *per-µ-op* pipeline pictures (Perfetto JSON or a Konata-style
+//! ASCII pipeview, including two-config diffs), use the event-level
+//! tracer instead: `experiments trace --bench NAME --config SPEC
+//! [--window LO..HI] [--format perfetto|pipeview]`.
 
 use ss_core::Simulator;
 use ss_harness::ConfigSpec;

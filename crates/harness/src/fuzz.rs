@@ -11,6 +11,13 @@
 //! failure class persists) and writes a plain-text repro file that
 //! `experiments fuzz --repro <file>` replays.
 //!
+//! Every cell runs with a bounded [`RingSink`] trace attached, so a
+//! failing cell's [`DivergenceReport`](ss_types::DivergenceReport) /
+//! [`DeadlockReport`](ss_types::DeadlockReport) carries the trailing
+//! pipeline-event window and each repro file gets a
+//! `repro-<seed>.trace.txt` pipeview sidecar — a replayable picture of
+//! the cycles leading up to the failure.
+//!
 //! Cells are sharded across worker threads with the same
 //! [`ss_types::exec`] pool the experiment matrix uses; shrinking runs
 //! sequentially afterwards (failures are rare and shrink runs are
@@ -19,6 +26,7 @@
 use crate::session::CellFailure;
 use ss_core::{DiffChecker, FaultPlan, Simulator};
 use ss_oracle::InOrderModel;
+use ss_trace::{pipeview, RingSink, TraceEvent};
 use ss_types::exec::{scoped_workers, WorkQueue};
 use ss_types::{
     ReplayScheme, SchedPolicyKind, ShiftPolicy, SimConfig, SimError, SplitMix64, Xoshiro256,
@@ -238,7 +246,9 @@ pub fn run_cell(cell: &FuzzCell) -> Result<(), SimError> {
     let seed_bug = cell.seed_bug;
     let outcome = std::panic::catch_unwind(move || -> Result<(), SimError> {
         let oracle = InOrderModel::from_spec(spec.clone());
-        let mut sim = Simulator::new(cfg, KernelTrace::new(spec));
+        // Bounded ring trace: failure reports carry the trailing
+        // pipeline-event window at negligible steady-state cost.
+        let mut sim = Simulator::with_sink(cfg, KernelTrace::new(spec), RingSink::default());
         sim.attach_diff_checker(DiffChecker::new(Box::new(oracle)));
         sim.set_fault_plan(plan)?;
         if seed_bug {
@@ -272,6 +282,16 @@ pub fn divergence_seq(e: &SimError) -> Option<u64> {
     match e {
         SimError::Divergence(r) => Some(r.seq),
         _ => None,
+    }
+}
+
+/// The trailing pipeline-trace window a failure report carries (empty
+/// for error classes that don't capture one).
+pub fn error_trace(e: &SimError) -> &[TraceEvent] {
+    match e {
+        SimError::Divergence(r) => &r.trace,
+        SimError::Deadlock(r) => &r.trace,
+        _ => &[],
     }
 }
 
@@ -627,6 +647,15 @@ pub fn run_campaign(opts: &FuzzOptions) -> FuzzReport {
             }
             let path = fuzz_dir.join(format!("repro-{:016x}.txt", cell.seed));
             let body = write_repro(&shrunk, opts.campaign_seed, &shrunk_error);
+            // Pipeview sidecar: the trailing trace window rendered as a
+            // pipeline picture, next to the repro it explains.
+            let trace = error_trace(&shrunk_error);
+            if !trace.is_empty() {
+                let tpath = fuzz_dir.join(format!("repro-{:016x}.trace.txt", cell.seed));
+                if let Err(e) = std::fs::write(&tpath, pipeview::render(trace)) {
+                    eprintln!("warning: cannot write {}: {e}", tpath.display());
+                }
+            }
             match std::fs::write(&path, body) {
                 Ok(()) => Some(path),
                 Err(e) => {
@@ -822,6 +851,7 @@ mod tests {
             actual: rec,
             recent: vec![],
             detail: String::new(),
+            trace: vec![],
         }));
         let text = write_repro(&cell, 0xC0FFEE, &err);
         let (back, seq) = parse_repro(&text).expect("parses");

@@ -15,6 +15,9 @@
 //!   (config × kernel × fault plan) cells checked against the in-order
 //!   golden model, with an automatic shrinker and repro files.
 //! * [`report`] — tables, gmean, CSV.
+//! * [`tracecmd`] — the `experiments trace` subcommand: capture a µ-op
+//!   window with the `ss-trace` observability sinks and render it as
+//!   Perfetto JSON or an ASCII pipeview (including two-config diffs).
 //!
 //! The `experiments` binary drives everything:
 //!
@@ -33,6 +36,7 @@ pub mod experiments;
 pub mod fuzz;
 pub mod report;
 pub mod session;
+pub mod tracecmd;
 
 pub use configs::{ConfigFamily, ConfigSpec, ConfigVariant, NamedConfig};
 pub use energy::EnergyModel;

@@ -158,17 +158,6 @@ impl Session {
         )
     }
 
-    /// Runs (or recalls) one configuration × benchmark.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cell fails; use [`Session::try_run`] to keep a
-    /// sweep alive past broken cells.
-    #[deprecated(note = "use `try_run`, which isolates cell failures instead of panicking")]
-    pub fn run(&mut self, cfg: &NamedConfig, bench: &Benchmark) -> SimStats {
-        self.try_run(cfg, bench).unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Runs (or recalls) one configuration × benchmark, isolating
     /// failures: a panicking or erroring simulation is recorded in
     /// [`Session::failures`] and returned as `Err` instead of taking the
@@ -238,17 +227,6 @@ impl Session {
         });
         self.failed.insert(key, e.clone());
         e
-    }
-
-    /// Runs one configuration over the whole benchmark suite, in table
-    /// order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any cell fails; use [`Session::try_run_suite`].
-    #[deprecated(note = "use `try_run_suite`, which isolates cell failures instead of panicking")]
-    pub fn run_suite(&mut self, cfg: &NamedConfig) -> Vec<(&'static str, SimStats)> {
-        self.try_run_suite(cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs one configuration over the whole benchmark suite, in table
@@ -491,7 +469,6 @@ pub fn stats_from_kv(text: &str) -> Option<SimStats> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the panicking wrappers are exercised only here
 mod tests {
     use super::*;
     use crate::configs;
@@ -547,9 +524,9 @@ committed_uops 20
         );
         let cfg = configs::spec_sched(4, true);
         let bench = benchmark("fp_compute").unwrap();
-        let a = sess.run(&cfg, bench);
+        let a = sess.try_run(&cfg, bench).expect("runs");
         assert_eq!(sess.simulated, 1);
-        let b = sess.run(&cfg, bench);
+        let b = sess.try_run(&cfg, bench).expect("runs");
         assert_eq!(sess.simulated, 1, "second call served from memory");
         assert_eq!(a, b);
     }
@@ -565,10 +542,10 @@ committed_uops 20
         let bench = benchmark("fp_compute").unwrap();
         let a = {
             let mut sess = Session::new(len, Some(dir.clone()));
-            sess.run(&cfg, bench)
+            sess.try_run(&cfg, bench).expect("runs")
         };
         let mut sess2 = Session::new(len, Some(dir.clone()));
-        let b = sess2.run(&cfg, bench);
+        let b = sess2.try_run(&cfg, bench).expect("runs");
         assert_eq!(sess2.simulated, 0, "served from disk");
         assert_eq!(a, b);
         let _ = std::fs::remove_dir_all(dir);
@@ -662,7 +639,7 @@ committed_uops 20
         let bench = benchmark("fp_compute").unwrap();
         let a = {
             let mut sess = Session::new(len, Some(dir.clone()));
-            sess.run(&cfg, bench)
+            sess.try_run(&cfg, bench).expect("runs")
         };
         // Corrupt the single cache file on disk.
         let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
@@ -670,7 +647,7 @@ committed_uops 20
         let path = entries[0].as_ref().unwrap().path();
         std::fs::write(&path, "ss-stats-cache v2 0000000000000000\ncycles 1\n").unwrap();
         let mut sess2 = Session::new(len, Some(dir.clone()));
-        let b = sess2.run(&cfg, bench);
+        let b = sess2.try_run(&cfg, bench).expect("runs");
         assert_eq!(sess2.cache_rejected, 1, "corrupt entry detected");
         assert_eq!(sess2.simulated, 1, "corrupt entry re-simulated");
         assert_eq!(a, b, "re-simulation reproduces the original result");

@@ -1,0 +1,332 @@
+//! The `experiments trace` subcommand: capture a µ-op window from one
+//! (or two) configurations over a benchmark and render it through the
+//! Perfetto exporter or the ASCII pipeview.
+//!
+//! ```text
+//! experiments trace --bench NAME --config SPEC [--config SPEC2]
+//!                   [--window LO..HI] [--format perfetto|pipeview]
+//!                   [--out FILE]
+//! ```
+//!
+//! `--window LO..HI` selects a half-open µ-op sequence window (default
+//! `0..200`). With one `--config` the window renders directly; with two
+//! and `--format pipeview`, both configurations run the same kernel and
+//! the renderer prints a relative-cycle diff of their pipelines (the
+//! fastest way to see *where* a scheduling policy wins or loses).
+//!
+//! Configuration specs use the canonical [`ConfigSpec`] grammar
+//! (`Baseline_2`, `SpecSched_4_Crit`, ...); benchmarks come from the
+//! registry in `ss-workloads` (`fp_compute`, `ptr_chase_big`, ...).
+
+use crate::configs::ConfigSpec;
+use crate::session::WORKLOAD_SEED;
+use ss_core::Simulator;
+use ss_trace::{perfetto, pipeview, CaptureSink, TraceEvent};
+use ss_workloads::{benchmark, benchmark_names, Benchmark, KernelTrace};
+use std::ops::Range;
+use std::path::PathBuf;
+
+/// Output renderer selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// Chrome-trace-event JSON for <https://ui.perfetto.dev>.
+    Perfetto,
+    /// Konata-style ASCII pipeline view (or diff, with two configs).
+    Pipeview,
+}
+
+/// Parsed command line for `experiments trace`.
+#[derive(Debug)]
+struct TraceArgs {
+    bench: &'static Benchmark,
+    configs: Vec<ConfigSpec>,
+    window: Range<u64>,
+    format: Format,
+    out: Option<PathBuf>,
+    check: bool,
+}
+
+const USAGE: &str = "usage: experiments trace --bench NAME --config SPEC [--config SPEC2] \
+                     [--window LO..HI] [--format perfetto|pipeview] [--out FILE] [--check]";
+
+fn parse_window(s: &str) -> Result<Range<u64>, String> {
+    let (lo, hi) = s
+        .split_once("..")
+        .ok_or_else(|| format!("--window wants `LO..HI`, got `{s}`"))?;
+    let lo: u64 = lo
+        .parse()
+        .map_err(|_| format!("--window: `{lo}` is not a µ-op sequence number"))?;
+    let hi: u64 = hi
+        .parse()
+        .map_err(|_| format!("--window: `{hi}` is not a µ-op sequence number"))?;
+    if lo >= hi {
+        return Err(format!("--window: empty window {lo}..{hi}"));
+    }
+    Ok(lo..hi)
+}
+
+fn parse_args(args: &[String]) -> Result<TraceArgs, String> {
+    let mut bench: Option<&'static Benchmark> = None;
+    let mut configs: Vec<ConfigSpec> = Vec::new();
+    let mut window = 0..200u64;
+    let mut format = Format::Pipeview;
+    let mut out = None;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match a.as_str() {
+            "--bench" => {
+                let name = value("--bench")?;
+                bench = Some(benchmark(&name).ok_or_else(|| {
+                    format!(
+                        "unknown benchmark `{name}`; available: {}",
+                        benchmark_names().join(", ")
+                    )
+                })?);
+            }
+            "--config" => {
+                let spec = value("--config")?;
+                configs.push(spec.parse::<ConfigSpec>().map_err(|e| e.to_string())?);
+            }
+            "--window" => window = parse_window(&value("--window")?)?,
+            "--format" => {
+                format = match value("--format")?.as_str() {
+                    "perfetto" => Format::Perfetto,
+                    "pipeview" => Format::Pipeview,
+                    other => {
+                        return Err(format!("--format wants perfetto|pipeview, got `{other}`"))
+                    }
+                }
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--check" => check = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    let bench = bench.ok_or_else(|| format!("--bench is required\n{USAGE}"))?;
+    if configs.is_empty() {
+        return Err(format!("at least one --config is required\n{USAGE}"));
+    }
+    if configs.len() > 2 {
+        return Err("at most two --config values (the second selects diff mode)".to_string());
+    }
+    if configs.len() == 2 && format == Format::Perfetto {
+        return Err(
+            "--format perfetto renders one configuration; diffing needs --format pipeview"
+                .to_string(),
+        );
+    }
+    Ok(TraceArgs {
+        bench,
+        configs,
+        window,
+        format,
+        out,
+        check,
+    })
+}
+
+/// `--check`: self-validate the rendered document. Perfetto output must
+/// pass the schema-checking JSON parser; a pipeview must contain at
+/// least one µ-op row.
+fn check_output(format: Format, doc: &str) -> Result<(), String> {
+    match format {
+        Format::Perfetto => {
+            let s = ss_trace::json::validate_chrome_trace(doc)
+                .map_err(|e| format!("perfetto output failed schema validation: {e}"))?;
+            if s.spans == 0 {
+                return Err("perfetto output contains no stage spans".to_string());
+            }
+            eprintln!(
+                "[trace check: {} spans, {} instants, {} flows, {} counters, {} metadata]",
+                s.spans, s.instants, s.flows, s.counters, s.metadata
+            );
+        }
+        Format::Pipeview => {
+            if !doc.contains("u0") && !doc.lines().any(|l| l.starts_with('u')) {
+                return Err("pipeview output contains no µ-op rows".to_string());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs `spec` over `bench` with a windowed capture sink attached and
+/// returns the captured events.
+///
+/// Committed sequence numbers are dense (flushed wrong-path µ-ops hand
+/// their numbers back), so running until `window.end` µ-ops have
+/// committed guarantees every in-window µ-op has completed its
+/// lifecycle.
+fn capture(
+    spec: ConfigSpec,
+    bench: &Benchmark,
+    window: Range<u64>,
+) -> Result<Vec<TraceEvent>, String> {
+    let named = spec.named();
+    let kernel = (bench.build)(WORKLOAD_SEED);
+    let mut sim = Simulator::with_sink(
+        named.config,
+        KernelTrace::new(kernel),
+        CaptureSink::with_window(window.clone()),
+    );
+    sim.try_run_committed(window.end)
+        .map_err(|e| format!("{spec} on {}: {e}", bench.name))?;
+    Ok(sim.into_sink().into_events())
+}
+
+fn render(args: &TraceArgs) -> Result<String, String> {
+    let first = capture(args.configs[0], args.bench, args.window.clone())?;
+    match (args.format, args.configs.len()) {
+        (Format::Perfetto, _) => Ok(perfetto::export_chrome_trace(&first)),
+        (Format::Pipeview, 1) => Ok(format!(
+            "# {} on {} (seq {}..{})\n{}",
+            args.configs[0],
+            args.bench.name,
+            args.window.start,
+            args.window.end,
+            pipeview::render(&first)
+        )),
+        (Format::Pipeview, _) => {
+            let second = capture(args.configs[1], args.bench, args.window.clone())?;
+            Ok(format!(
+                "# {} vs {} on {} (seq {}..{})\n{}",
+                args.configs[0],
+                args.configs[1],
+                args.bench.name,
+                args.window.start,
+                args.window.end,
+                pipeview::diff(
+                    &args.configs[0].to_string(),
+                    &first,
+                    &args.configs[1].to_string(),
+                    &second,
+                )
+            ))
+        }
+    }
+}
+
+/// Entry point for `experiments trace ...`; returns the process exit
+/// code.
+pub fn run_cli(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return 0;
+    }
+    let parsed = match parse_args(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    let doc = match render(&parsed) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("trace: {msg}");
+            return 1;
+        }
+    };
+    if parsed.check {
+        if let Err(msg) = check_output(parsed.format, &doc) {
+            eprintln!("trace: {msg}");
+            return 1;
+        }
+    }
+    match &parsed.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("trace: cannot write {}: {e}", path.display());
+                return 1;
+            }
+            eprintln!("[trace written to {}]", path.display());
+        }
+        None => print!("{doc}"),
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn window_parses_and_rejects() {
+        assert_eq!(parse_window("0..200").unwrap(), 0..200);
+        assert_eq!(parse_window("50..60").unwrap(), 50..60);
+        assert!(parse_window("60..50").is_err());
+        assert!(parse_window("5..5").is_err());
+        assert!(parse_window("abc").is_err());
+        assert!(parse_window("1..x").is_err());
+    }
+
+    #[test]
+    fn args_require_bench_and_config() {
+        assert!(parse_args(&s(&["--config", "Baseline_2"])).is_err());
+        assert!(parse_args(&s(&["--bench", "fp_compute"])).is_err());
+        let ok = parse_args(&s(&["--bench", "fp_compute", "--config", "Baseline_2"])).unwrap();
+        assert_eq!(ok.bench.name, "fp_compute");
+        assert_eq!(ok.window, 0..200);
+        assert_eq!(ok.format, Format::Pipeview);
+    }
+
+    #[test]
+    fn perfetto_diff_is_rejected() {
+        let r = parse_args(&s(&[
+            "--bench",
+            "fp_compute",
+            "--config",
+            "Baseline_2",
+            "--config",
+            "SpecSched_2",
+            "--format",
+            "perfetto",
+        ]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn unknown_bench_lists_registry() {
+        let e = parse_args(&s(&["--bench", "nope", "--config", "Baseline_2"])).unwrap_err();
+        assert!(e.contains("fp_compute"), "{e}");
+    }
+
+    #[test]
+    fn captured_window_renders_through_both_sinks() {
+        let spec: ConfigSpec = "SpecSched_2".parse().unwrap();
+        let bench = benchmark("fp_compute").unwrap();
+        let events = capture(spec, bench, 0..64).unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Commit { seq, .. } if seq.get() == 63)),
+            "window tail must commit"
+        );
+        let pv = pipeview::render(&events);
+        assert!(pv.contains("u63"), "{pv}");
+        let json = perfetto::export_chrome_trace(&events);
+        ss_trace::json::validate_chrome_trace(&json).expect("schema-valid");
+    }
+
+    #[test]
+    fn diff_of_identical_configs_reports_no_differences() {
+        let spec: ConfigSpec = "Baseline_0".parse().unwrap();
+        let bench = benchmark("mix_int").unwrap();
+        let a = capture(spec, bench, 0..32).unwrap();
+        let b = capture(spec, bench, 0..32).unwrap();
+        assert_eq!(a, b, "same config + kernel must capture identically");
+        let d = pipeview::diff("a", &a, "b", &b);
+        assert!(d.contains("0 rows differ"), "{d}");
+    }
+}

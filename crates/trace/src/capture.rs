@@ -1,0 +1,113 @@
+//! Unbounded capture sink with an optional µ-op sequence window.
+
+use ss_types::trace::{TraceEvent, TraceSink};
+use ss_types::SeqNum;
+use std::ops::Range;
+
+/// Keeps every recorded event (optionally filtered to a half-open µ-op
+/// sequence window) for offline rendering through the Perfetto exporter
+/// or the pipeview.
+///
+/// Per-cycle [`TraceEvent::Occupancy`] samples carry no sequence number
+/// and always pass the filter — the renderers decide whether to use
+/// them.
+#[derive(Debug, Clone, Default)]
+pub struct CaptureSink {
+    events: Vec<TraceEvent>,
+    window: Option<Range<u64>>,
+}
+
+impl CaptureSink {
+    /// Captures everything.
+    pub fn new() -> Self {
+        CaptureSink::default()
+    }
+
+    /// Captures only events whose µ-op sequence number falls in
+    /// `window` (half-open), plus all occupancy samples.
+    pub fn with_window(window: Range<u64>) -> Self {
+        CaptureSink {
+            events: Vec::new(),
+            window: Some(window),
+        }
+    }
+
+    /// The captured events in discovery order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the captured events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    fn wants(&self, seq: Option<SeqNum>) -> bool {
+        match (&self.window, seq) {
+            (Some(w), Some(s)) => w.contains(&s.get()),
+            _ => true,
+        }
+    }
+}
+
+impl TraceSink for CaptureSink {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.wants(ev.seq()) {
+            self.events.push(ev);
+        }
+    }
+
+    fn recent(&self) -> Vec<TraceEvent> {
+        const TAIL: usize = 4096;
+        let start = self.events.len().saturating_sub(TAIL);
+        self.events[start..].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_types::Cycle;
+
+    fn commit(n: u64) -> TraceEvent {
+        TraceEvent::Commit {
+            cycle: Cycle::new(n),
+            seq: SeqNum::new(n),
+        }
+    }
+
+    #[test]
+    fn unwindowed_capture_keeps_everything() {
+        let mut c = CaptureSink::new();
+        for n in 0..10 {
+            c.record(commit(n));
+        }
+        assert_eq!(c.events().len(), 10);
+        assert_eq!(c.recent().len(), 10);
+        assert_eq!(c.into_events().len(), 10);
+    }
+
+    #[test]
+    fn window_filters_by_seq_but_keeps_occupancy() {
+        let mut c = CaptureSink::with_window(3..6);
+        for n in 0..10 {
+            c.record(commit(n));
+        }
+        c.record(TraceEvent::Occupancy {
+            cycle: Cycle::new(99),
+            rob: 1,
+            iq: 1,
+            lq: 0,
+            sq: 0,
+            recovery: 0,
+            inflight: 0,
+        });
+        let seqs: Vec<_> = c
+            .events()
+            .iter()
+            .filter_map(|e| e.seq().map(|s| s.get()))
+            .collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        assert_eq!(c.events().len(), 4, "occupancy sample retained");
+    }
+}

@@ -1,0 +1,435 @@
+//! Minimal JSON parser and Chrome-trace-event schema validator.
+//!
+//! The workspace builds with no external dependencies, so the schema
+//! check the tests and CI run against exported Perfetto traces uses this
+//! small hand-rolled recursive-descent parser. It supports the full JSON
+//! grammar (objects, arrays, strings with escapes, numbers, booleans,
+//! null) and is meant for validating our own exporter's output — it is
+//! not tuned for adversarial or multi-gigabyte inputs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (kept as f64; trace timestamps fit exactly).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. `BTreeMap` keeps iteration deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj().and_then(|m| m.get(key))
+    }
+}
+
+/// A parse error with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError {
+            at: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs never appear in our own
+                            // exporter's output; map lone surrogates to
+                            // the replacement character.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xc0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    if let Ok(s) = std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        out.push_str(s);
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number `{text}`")))
+    }
+}
+
+/// Summary of a validated Chrome-trace document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// `"X"` complete (stage span) events.
+    pub spans: usize,
+    /// `"i"` instant events.
+    pub instants: usize,
+    /// `"s"` + `"f"` flow events (replay-squash links).
+    pub flows: usize,
+    /// `"C"` counter samples (occupancy).
+    pub counters: usize,
+    /// `"M"` metadata records (track names).
+    pub metadata: usize,
+}
+
+/// Parses `input` and checks it against the Chrome-trace-event schema
+/// our exporter emits: a top-level object with a `traceEvents` array
+/// whose every element has the fields its phase (`ph`) requires.
+///
+/// Returns per-phase counts so callers can assert a trace is non-trivial.
+pub fn validate_chrome_trace(input: &str) -> Result<ChromeTraceSummary, String> {
+    let doc = parse(input).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing top-level `traceEvents`")?
+        .as_arr()
+        .ok_or("`traceEvents` is not an array")?;
+    let mut summary = ChromeTraceSummary::default();
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        let obj = ev.as_obj().ok_or_else(|| ctx("not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing string `ph`"))?;
+        let need_str = |key: &str| -> Result<(), String> {
+            obj.get(key)
+                .and_then(Json::as_str)
+                .map(|_| ())
+                .ok_or_else(|| ctx(&format!("ph={ph} missing string `{key}`")))
+        };
+        let need_num = |key: &str| -> Result<(), String> {
+            obj.get(key)
+                .and_then(Json::as_num)
+                .map(|_| ())
+                .ok_or_else(|| ctx(&format!("ph={ph} missing number `{key}`")))
+        };
+        match ph {
+            "X" => {
+                need_str("name")?;
+                need_num("ts")?;
+                need_num("dur")?;
+                need_num("pid")?;
+                need_num("tid")?;
+                summary.spans += 1;
+            }
+            "i" => {
+                need_str("name")?;
+                need_num("ts")?;
+                need_num("pid")?;
+                need_num("tid")?;
+                summary.instants += 1;
+            }
+            "s" | "f" => {
+                need_str("name")?;
+                need_str("cat")?;
+                need_num("id")?;
+                need_num("ts")?;
+                need_num("pid")?;
+                need_num("tid")?;
+                summary.flows += 1;
+            }
+            "C" => {
+                need_str("name")?;
+                need_num("ts")?;
+                need_num("pid")?;
+                let args = obj
+                    .get("args")
+                    .and_then(Json::as_obj)
+                    .ok_or_else(|| ctx("ph=C missing object `args`"))?;
+                if args.is_empty() {
+                    return Err(ctx("ph=C has empty `args`"));
+                }
+                for (k, v) in args {
+                    if v.as_num().is_none() {
+                        return Err(ctx(&format!("counter arg `{k}` is not a number")));
+                    }
+                }
+                summary.counters += 1;
+            }
+            "M" => {
+                need_str("name")?;
+                need_num("pid")?;
+                summary.metadata += 1;
+            }
+            other => return Err(ctx(&format!("unknown phase `{other}`"))),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = parse(r#"{"a": [1, -2.5, true, null, "x\nA"], "b": {}}"#).expect("parse");
+        let a = doc.get("a").and_then(Json::as_arr).expect("a");
+        assert_eq!(a[0].as_num(), Some(1.0));
+        assert_eq!(a[1].as_num(), Some(-2.5));
+        assert_eq!(a[2], Json::Bool(true));
+        assert_eq!(a[3], Json::Null);
+        assert_eq!(a[4].as_str(), Some("x\nA"));
+        assert!(doc.get("b").and_then(Json::as_obj).is_some());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_minimal_trace() {
+        let doc = r#"{"traceEvents": [
+            {"ph":"M","name":"thread_name","pid":1,"tid":2,"args":{"name":"issue"}},
+            {"ph":"X","name":"u3","ts":10,"dur":1,"pid":1,"tid":2},
+            {"ph":"i","name":"squash","ts":11,"pid":1,"tid":2,"s":"t"},
+            {"ph":"s","name":"replay","cat":"replay","id":7,"ts":10,"pid":1,"tid":2},
+            {"ph":"f","name":"replay","cat":"replay","id":7,"ts":11,"pid":1,"tid":3,"bp":"e"},
+            {"ph":"C","name":"occupancy","ts":12,"pid":1,"args":{"rob":5}}
+        ]}"#;
+        let s = validate_chrome_trace(doc).expect("valid");
+        assert_eq!(
+            s,
+            ChromeTraceSummary {
+                spans: 1,
+                instants: 1,
+                flows: 2,
+                counters: 1,
+                metadata: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn validator_rejects_missing_fields() {
+        let missing_dur = r#"{"traceEvents":[{"ph":"X","name":"u","ts":1,"pid":1,"tid":1}]}"#;
+        let err = validate_chrome_trace(missing_dur).unwrap_err();
+        assert!(err.contains("dur"), "{err}");
+        let bad_phase = r#"{"traceEvents":[{"ph":"Q","name":"u"}]}"#;
+        assert!(validate_chrome_trace(bad_phase).is_err());
+        assert!(validate_chrome_trace(r#"{"foo": 1}"#).is_err());
+    }
+}

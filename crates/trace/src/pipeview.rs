@@ -1,0 +1,537 @@
+//! Konata / gem5-O3-style ASCII pipeview.
+//!
+//! Renders a captured event stream as one row per µ-op *generation*
+//! (a sequence number's life between being fetched and being
+//! committed or flushed — branch flushes reuse sequence numbers, so a
+//! repeated `Fetch` for the same seq starts a new row) with one glyph
+//! column per cycle:
+//!
+//! ```text
+//! u3.0 ld   pc=0x418 |F...D==I~eE--=C       |
+//! u4.0 alu  pc=0x420 |.F...D==I~R=I~eEC     |
+//! ```
+//!
+//! Glyphs: `F` fetch, `.` frontend transit, `D` rename/dispatch, `=`
+//! waiting in IQ/ROB, `w` speculative wakeup broadcast, `I` issue, `~`
+//! issue-to-execute transit, `e` execute start, `E` executing, `-`
+//! complete (awaiting commit), `R` replay squash, `r` waiting in the
+//! recovery buffer, `C` commit, `X` branch flush.
+//!
+//! Cycles are rendered *relative to the window's first event*, which
+//! keeps two runs of the same kernel window comparable even when their
+//! absolute cycle counts differ — that is what [`diff`] exploits to give
+//! a terminal A/B view of two configurations.
+
+use ss_types::trace::{class_code, TraceEvent};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Upper bound on rendered columns per row; wider windows are clipped to
+/// their tail with a note. Keeps deadlock traces readable in a terminal.
+pub const MAX_COLS: u64 = 240;
+
+/// Glyph priority: later pipeline facts overwrite earlier fills.
+fn prio(g: char) -> u8 {
+    match g {
+        'C' | 'X' => 9,
+        'R' => 8,
+        'E' | 'e' => 7,
+        'I' => 6,
+        'r' => 5,
+        'w' => 4,
+        'D' => 3,
+        'F' => 2,
+        '~' | '=' | '.' | '-' => 1,
+        _ => 0,
+    }
+}
+
+#[derive(Debug)]
+struct Row {
+    seq: u64,
+    gen: u32,
+    desc: String,
+    /// cycle -> glyph (highest priority wins).
+    cells: HashMap<u64, char>,
+    first: u64,
+    last: u64,
+    /// Cycle of the most recent event, and the fill glyph that extends
+    /// from it until the next event lands.
+    fill_from: u64,
+    fill_glyph: Option<char>,
+    /// Execute completion cycle, for switching `E` fill to `-`.
+    done_at: Option<u64>,
+    closed: bool,
+}
+
+impl Row {
+    fn new(seq: u64, gen: u32, cycle: u64) -> Self {
+        Row {
+            seq,
+            gen,
+            desc: String::new(),
+            cells: HashMap::new(),
+            first: cycle,
+            last: cycle,
+            fill_from: cycle,
+            fill_glyph: None,
+            done_at: None,
+            closed: false,
+        }
+    }
+
+    fn put(&mut self, cycle: u64, glyph: char) {
+        self.first = self.first.min(cycle);
+        self.last = self.last.max(cycle);
+        let cell = self.cells.entry(cycle).or_insert(glyph);
+        if prio(glyph) > prio(*cell) {
+            *cell = glyph;
+        }
+    }
+
+    /// Lays down the pending fill up to (exclusive) `cycle`, honouring
+    /// the execute-completion switch from `E` to `-`.
+    fn fill_to(&mut self, cycle: u64) {
+        if let Some(g) = self.fill_glyph {
+            for c in (self.fill_from + 1)..cycle {
+                let eff = match (g, self.done_at) {
+                    ('E', Some(done)) if c >= done => '-',
+                    _ => g,
+                };
+                self.put(c, eff);
+            }
+        }
+    }
+
+    fn event(&mut self, cycle: u64, glyph: char, next_fill: Option<char>) {
+        self.fill_to(cycle);
+        self.put(cycle, glyph);
+        self.fill_from = cycle;
+        self.fill_glyph = next_fill;
+    }
+}
+
+/// A built pipeview, ready to render.
+#[derive(Debug)]
+pub struct Pipeview {
+    rows: Vec<Row>,
+    min_cycle: u64,
+    max_cycle: u64,
+}
+
+/// Builds the per-generation rows from an event stream (any order; the
+/// per-event cycle stamps are authoritative).
+pub fn build(events: &[TraceEvent]) -> Pipeview {
+    let mut rows: Vec<Row> = Vec::new();
+    // seq -> index of its live (latest-generation) row.
+    let mut live: HashMap<u64, usize> = HashMap::new();
+    let mut generations: HashMap<u64, u32> = HashMap::new();
+
+    // Events are emitted in discovery order; `Fetch` is back-dated, so
+    // sort by cycle with the original index as a stable tiebreak to keep
+    // generation splitting correct.
+    let mut ordered: Vec<(usize, &TraceEvent)> = events.iter().enumerate().collect();
+    ordered.sort_by_key(|(i, e)| (e.cycle().get(), *i));
+
+    let row_for = |rows: &mut Vec<Row>,
+                   live: &mut HashMap<u64, usize>,
+                   generations: &mut HashMap<u64, u32>,
+                   seq: u64,
+                   cycle: u64,
+                   is_fetch: bool|
+     -> usize {
+        let needs_new = match live.get(&seq) {
+            Some(&idx) => (is_fetch && !rows[idx].cells.is_empty()) || rows[idx].closed,
+            None => true,
+        };
+        if needs_new {
+            let gen = *generations.entry(seq).and_modify(|g| *g += 1).or_insert(0);
+            rows.push(Row::new(seq, gen, cycle));
+            live.insert(seq, rows.len() - 1);
+        }
+        live[&seq]
+    };
+
+    let mut min_cycle = u64::MAX;
+    let mut max_cycle = 0u64;
+    for (_, ev) in ordered {
+        let cycle = ev.cycle().get();
+        let Some(seq) = ev.seq() else {
+            continue; // occupancy: no pipeview row
+        };
+        min_cycle = min_cycle.min(cycle);
+        max_cycle = max_cycle.max(cycle);
+        let is_fetch = matches!(ev, TraceEvent::Fetch { .. });
+        let idx = row_for(
+            &mut rows,
+            &mut live,
+            &mut generations,
+            seq.get(),
+            cycle,
+            is_fetch,
+        );
+        let row = &mut rows[idx];
+        match *ev {
+            TraceEvent::Fetch {
+                pc,
+                class,
+                wrong_path,
+                ..
+            } => {
+                row.desc = format!(
+                    "{:<5} pc={:#x}{}",
+                    class_code(class),
+                    pc.get(),
+                    if wrong_path { " wp" } else { "" }
+                );
+                row.event(cycle, 'F', Some('.'));
+            }
+            TraceEvent::Rename { .. } => row.event(cycle, 'D', Some('=')),
+            TraceEvent::SpecWakeup { .. } => row.event(cycle, 'w', Some('=')),
+            TraceEvent::Issue { .. } => row.event(cycle, 'I', Some('~')),
+            TraceEvent::Execute { done_at, .. } => {
+                row.done_at = Some(done_at.get());
+                row.event(cycle, 'e', Some('E'));
+            }
+            TraceEvent::ReplaySquash { .. } => row.event(cycle, 'R', Some('=')),
+            TraceEvent::RecoveryEnter { .. } => row.event(cycle, 'r', Some('r')),
+            TraceEvent::Commit { .. } => {
+                row.event(cycle, 'C', None);
+                row.closed = true;
+            }
+            TraceEvent::Flush { .. } => {
+                row.event(cycle, 'X', None);
+                row.closed = true;
+            }
+            TraceEvent::Occupancy { .. } => unreachable!("filtered above"),
+        }
+    }
+    if min_cycle == u64::MAX {
+        min_cycle = 0;
+    }
+    rows.sort_by_key(|r| (r.first, r.seq, r.gen));
+    Pipeview {
+        rows,
+        min_cycle,
+        max_cycle,
+    }
+}
+
+impl Pipeview {
+    /// Number of µ-op generation rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the event stream held no per-µ-op events.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the view with the default column clip ([`MAX_COLS`]).
+    pub fn render(&self) -> String {
+        self.render_clipped(MAX_COLS)
+    }
+
+    /// Renders with at most `max_cols` cycle columns (the window's tail
+    /// wins when clipped).
+    pub fn render_clipped(&self, max_cols: u64) -> String {
+        let max_cols = max_cols.max(10);
+        let span = self.max_cycle.saturating_sub(self.min_cycle) + 1;
+        let (base, cols, clipped) = if span > max_cols {
+            (self.max_cycle - max_cols + 1, max_cols, true)
+        } else {
+            (self.min_cycle, span, false)
+        };
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| row_label(r).chars().count())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pipeview: {} uops, cycles {}..{} (rendered relative to {})",
+            self.rows.len(),
+            self.min_cycle,
+            self.max_cycle,
+            base
+        );
+        if clipped {
+            let _ = writeln!(
+                out,
+                "  [window wider than {max_cols} cycles; showing the tail]"
+            );
+        }
+        out.push_str(
+            "legend: F fetch  D rename  w spec-wakeup  I issue  e/E execute  - done  \
+             R replay-squash  r recovery  C commit  X flush\n",
+        );
+
+        // Cycle ruler: a tick every 10 relative cycles.
+        let mut ruler = format!("{:>w$} |", "cycle", w = label_w);
+        for c in 0..cols {
+            if c % 10 == 0 {
+                let tick = (c % 100) / 10;
+                ruler.push(char::from_digit(tick as u32, 10).unwrap_or('?'));
+            } else {
+                ruler.push(' ');
+            }
+        }
+        ruler.push('|');
+        out.push_str(&ruler);
+        out.push('\n');
+
+        for row in &self.rows {
+            if row.last < base {
+                continue; // entirely before the clipped window
+            }
+            let _ = write!(out, "{:>w$} |", row_label(row), w = label_w);
+            for c in 0..cols {
+                let cycle = base + c;
+                let g = if cycle < row.first || cycle > row.last {
+                    ' '
+                } else {
+                    row.cells.get(&cycle).copied().unwrap_or(' ')
+                };
+                out.push(g);
+            }
+            out.push('|');
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Stable per-row keys and timeline strings (relative cycles),
+    /// used by [`diff`].
+    fn keyed_lines(&self) -> Vec<(String, String)> {
+        let base = self.min_cycle;
+        self.rows
+            .iter()
+            .map(|r| {
+                let mut line = String::new();
+                for c in r.first..=r.last {
+                    line.push(r.cells.get(&c).copied().unwrap_or(' '));
+                }
+                (
+                    format!("u{}.{} {}", r.seq, r.gen, r.desc),
+                    format!("@{} {}", r.first - base, line),
+                )
+            })
+            .collect()
+    }
+}
+
+fn row_label(r: &Row) -> String {
+    format!("u{}.{} {}", r.seq, r.gen, r.desc)
+}
+
+/// Renders an event stream with the default clip.
+pub fn render(events: &[TraceEvent]) -> String {
+    build(events).render()
+}
+
+/// Terminal A/B diff of two configurations over the same kernel window.
+///
+/// Rows are matched by µ-op (seq, generation, decoded form); matching
+/// rows with identical relative timelines collapse to one line, while
+/// differing rows are shown stacked (`a:` / `b:`) and flagged with `!`.
+/// Timelines are compared in *relative* cycles (offset from each
+/// window's own first event), so a uniform latency shift still diffs
+/// clean per-row shapes.
+pub fn diff(label_a: &str, a: &[TraceEvent], label_b: &str, b: &[TraceEvent]) -> String {
+    let va = build(a);
+    let vb = build(b);
+    let la: Vec<_> = va.keyed_lines();
+    let lb: HashMap<String, String> = vb.keyed_lines().into_iter().collect();
+    let ka: HashMap<String, String> = la.iter().cloned().collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "pipeview diff: a={label_a}  b={label_b}");
+    let _ = writeln!(
+        out,
+        "a: {} uops over {} cycles; b: {} uops over {} cycles",
+        va.len(),
+        va.max_cycle.saturating_sub(va.min_cycle) + 1,
+        vb.len(),
+        vb.max_cycle.saturating_sub(vb.min_cycle) + 1,
+    );
+    let mut same = 0usize;
+    let mut differ = 0usize;
+    for (key, line_a) in &la {
+        match lb.get(key) {
+            Some(line_b) if line_b == line_a => {
+                same += 1;
+                let _ = writeln!(out, "  {key} {line_a}");
+            }
+            Some(line_b) => {
+                differ += 1;
+                let _ = writeln!(out, "! {key}");
+                let _ = writeln!(out, "    a: {line_a}");
+                let _ = writeln!(out, "    b: {line_b}");
+            }
+            None => {
+                differ += 1;
+                let _ = writeln!(out, "! {key} only in a: {line_a}");
+            }
+        }
+    }
+    for (key, line_b) in vb.keyed_lines() {
+        if !ka.contains_key(&key) {
+            differ += 1;
+            let _ = writeln!(out, "! {key} only in b: {line_b}");
+        }
+    }
+    let _ = writeln!(out, "{same} rows identical, {differ} rows differ");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_types::{Cycle, OpClass, Pc, ReplayCause, SeqNum};
+
+    fn ev_fetch(c: u64, s: u64) -> TraceEvent {
+        TraceEvent::Fetch {
+            cycle: Cycle::new(c),
+            seq: SeqNum::new(s),
+            pc: Pc::new(0x400 + 4 * s),
+            class: OpClass::IntAlu,
+            wrong_path: false,
+        }
+    }
+
+    fn lifecycle(s: u64, base: u64) -> Vec<TraceEvent> {
+        vec![
+            ev_fetch(base, s),
+            TraceEvent::Rename {
+                cycle: Cycle::new(base + 4),
+                seq: SeqNum::new(s),
+            },
+            TraceEvent::Issue {
+                cycle: Cycle::new(base + 6),
+                seq: SeqNum::new(s),
+                from_recovery: false,
+            },
+            TraceEvent::Execute {
+                cycle: Cycle::new(base + 10),
+                seq: SeqNum::new(s),
+                done_at: Cycle::new(base + 12),
+            },
+            TraceEvent::Commit {
+                cycle: Cycle::new(base + 15),
+                seq: SeqNum::new(s),
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_full_lifecycle_glyphs() {
+        let view = build(&lifecycle(3, 100));
+        assert_eq!(view.len(), 1);
+        let text = view.render();
+        let row = text
+            .lines()
+            .find(|l| l.contains("u3.0"))
+            .expect("row present");
+        let timeline: String = row.chars().skip_while(|&c| c != '|').collect();
+        assert_eq!(timeline, "|F...D=I~~~eE---C|", "{text}");
+    }
+
+    #[test]
+    fn branch_flush_reuse_splits_generations() {
+        let mut events = vec![ev_fetch(0, 5)];
+        events.push(TraceEvent::Flush {
+            cycle: Cycle::new(3),
+            seq: SeqNum::new(5),
+        });
+        events.extend(lifecycle(5, 10));
+        let view = build(&events);
+        assert_eq!(view.len(), 2, "flushed and refetched generations");
+        let text = view.render();
+        assert!(text.contains("u5.0"), "{text}");
+        assert!(text.contains("u5.1"), "{text}");
+        assert!(text.lines().any(|l| l.contains("u5.0") && l.contains('X')));
+    }
+
+    #[test]
+    fn replay_and_recovery_glyphs_appear() {
+        let events = vec![
+            ev_fetch(0, 1),
+            TraceEvent::Issue {
+                cycle: Cycle::new(5),
+                seq: SeqNum::new(1),
+                from_recovery: false,
+            },
+            TraceEvent::ReplaySquash {
+                cycle: Cycle::new(8),
+                seq: SeqNum::new(1),
+                trigger: SeqNum::new(0),
+                cause: ReplayCause::L1Miss,
+            },
+            TraceEvent::RecoveryEnter {
+                cycle: Cycle::new(8),
+                seq: SeqNum::new(1),
+            },
+            TraceEvent::Issue {
+                cycle: Cycle::new(12),
+                seq: SeqNum::new(1),
+                from_recovery: true,
+            },
+        ];
+        let text = render(&events);
+        let row = text.lines().find(|l| l.contains("u1.0")).expect("row");
+        assert!(row.contains('R') && row.contains('r'), "{row}");
+        assert_eq!(row.matches('I').count(), 2, "{row}");
+    }
+
+    #[test]
+    fn clipping_keeps_the_tail() {
+        let mut events = lifecycle(0, 0);
+        events.extend(lifecycle(1, 500));
+        let text = build(&events).render_clipped(50);
+        assert!(text.contains("showing the tail"), "{text}");
+        assert!(text.contains("u1.0"), "{text}");
+        assert!(!text.lines().any(|l| l.contains("u0.0")), "{text}");
+    }
+
+    #[test]
+    fn diff_flags_changed_rows_only() {
+        let a = lifecycle(0, 100);
+        let b = {
+            // Same shape shifted by a constant → identical relative rows.
+            lifecycle(0, 900)
+        };
+        let d = diff("fast", &a, "slow", &b);
+        assert!(d.contains("1 rows identical, 0 rows differ"), "{d}");
+
+        let mut c = lifecycle(0, 100);
+        c[2] = TraceEvent::Issue {
+            cycle: Cycle::new(108),
+            seq: SeqNum::new(0),
+            from_recovery: false,
+        };
+        let d2 = diff("a", &a, "b", &c);
+        assert!(d2.contains("0 rows identical, 1 rows differ"), "{d2}");
+        assert!(d2.lines().any(|l| l.starts_with("! u0.0")), "{d2}");
+    }
+
+    #[test]
+    fn diff_reports_one_sided_rows() {
+        let a = lifecycle(0, 0);
+        let mut b = lifecycle(0, 0);
+        b.extend(lifecycle(1, 20));
+        let d = diff("a", &a, "b", &b);
+        assert!(d.contains("only in b"), "{d}");
+    }
+
+    #[test]
+    fn empty_stream_renders_without_panic() {
+        let view = build(&[]);
+        assert!(view.is_empty());
+        assert!(view.render().contains("0 uops"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Bounded "flight recorder" sink.
+
+use ss_types::trace::{TraceEvent, TraceSink};
+use std::collections::VecDeque;
+
+/// Keeps the most recent `capacity` events, dropping the oldest.
+///
+/// This is the sink fuzzing and the checked runners attach: cheap enough
+/// to leave on for long campaigns, and its [`TraceSink::recent`] tail is
+/// what lands in `DeadlockReport::trace` / `DivergenceReport::trace`.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Default capacity: enough to cover several hundred cycles of a
+    /// wide pipeline around a failure.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Number of events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drains the ring into a Vec, oldest first, leaving it empty.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+impl Default for RingSink {
+    fn default() -> Self {
+        RingSink::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    fn recent(&self) -> Vec<TraceEvent> {
+        self.buf.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_types::{Cycle, SeqNum};
+
+    fn commit(n: u64) -> TraceEvent {
+        TraceEvent::Commit {
+            cycle: Cycle::new(n),
+            seq: SeqNum::new(n),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut r = RingSink::new(3);
+        assert!(r.is_empty());
+        for n in 0..5 {
+            r.record(commit(n));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let recent = r.recent();
+        assert_eq!(recent, vec![commit(2), commit(3), commit(4)]);
+        assert_eq!(r.take(), recent);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = RingSink::new(0);
+        r.record(commit(1));
+        assert_eq!(r.recent(), vec![commit(1)]);
+    }
+
+    #[test]
+    fn ring_sink_is_enabled() {
+        const { assert!(RingSink::ENABLED) };
+    }
+}

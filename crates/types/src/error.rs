@@ -25,7 +25,21 @@
 
 use crate::commit::CommitRecord;
 use crate::ids::Cycle;
+use crate::trace::TraceEvent;
 use std::fmt;
+
+/// Renders a trailing trace window into a report body: one event per
+/// line, oldest first, capped for readability.
+fn fmt_trace_window(f: &mut fmt::Formatter<'_>, trace: &[TraceEvent]) -> fmt::Result {
+    if trace.is_empty() {
+        return Ok(());
+    }
+    writeln!(f, "\ntrailing trace window ({} events):", trace.len())?;
+    for ev in trace {
+        writeln!(f, "  {ev}")?;
+    }
+    Ok(())
+}
 
 /// A point-in-time view of pipeline occupancy, attached to deadlock and
 /// invariant reports (and used by tracing/debugging tools).
@@ -89,6 +103,9 @@ pub struct DeadlockReport {
     /// Human-readable picture of the stuck window (ROB head entries with
     /// their wake/avail times, recovery/inflight groups).
     pub detail: String,
+    /// The most recent trace events before the watchdog fired, oldest
+    /// first. Empty when the simulator ran with the no-op sink.
+    pub trace: Vec<TraceEvent>,
 }
 
 impl fmt::Display for DeadlockReport {
@@ -97,7 +114,8 @@ impl fmt::Display for DeadlockReport {
             f,
             "pipeline deadlock ({} cycles without a commit) at {}\n{}",
             self.watchdog_cycles, self.snapshot, self.detail
-        )
+        )?;
+        fmt_trace_window(f, &self.trace)
     }
 }
 
@@ -138,6 +156,9 @@ pub struct DivergenceReport {
     /// Human-readable dump of in-flight scheduler/replay state at the
     /// diverging commit (ROB head entries, recovery/inflight groups).
     pub detail: String,
+    /// The most recent trace events before the divergence, oldest first.
+    /// Empty when the simulator ran with the no-op sink.
+    pub trace: Vec<TraceEvent>,
 }
 
 impl fmt::Display for DivergenceReport {
@@ -153,7 +174,8 @@ impl fmt::Display for DivergenceReport {
                 writeln!(f, "  {r}")?;
             }
         }
-        f.write_str(&self.detail)
+        f.write_str(&self.detail)?;
+        fmt_trace_window(f, &self.trace)
     }
 }
 
@@ -161,7 +183,7 @@ impl fmt::Display for DivergenceReport {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// The pipeline stopped committing (watchdog fired).
-    Deadlock(DeadlockReport),
+    Deadlock(Box<DeadlockReport>),
     /// Internal state corruption caught by the invariant checker.
     InvariantViolation(InvariantReport),
     /// A machine configuration is internally inconsistent.
@@ -218,11 +240,12 @@ mod tests {
         };
         let cases: Vec<(SimError, &str)> = vec![
             (
-                SimError::Deadlock(DeadlockReport {
+                SimError::Deadlock(Box::new(DeadlockReport {
                     snapshot: snap,
                     watchdog_cycles: 100,
                     detail: "rob head".into(),
-                }),
+                    trace: vec![],
+                })),
                 "deadlock",
             ),
             (
@@ -269,6 +292,7 @@ mod tests {
                     },
                     recent: vec![],
                     detail: "rob head".into(),
+                    trace: vec![],
                 })),
                 "divergence",
             ),

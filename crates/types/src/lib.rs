@@ -48,6 +48,7 @@ pub mod op;
 pub mod replay;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use commit::{CommitOracle, CommitRecord};
 pub use config::{
@@ -62,3 +63,4 @@ pub use op::{BranchKind, ExecPort, OpClass, RegClass};
 pub use replay::ReplayCause;
 pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{CacheStats, SimStats};
+pub use trace::{NullSink, TraceEvent, TraceSink};
