@@ -43,6 +43,7 @@ pub mod fault;
 pub mod pipeline;
 pub mod rename;
 pub mod runner;
+pub mod schedq;
 pub mod window;
 
 pub use diff::DiffChecker;
@@ -52,5 +53,6 @@ pub use rename::{PhysRef, RenameUnit};
 pub use runner::{
     run_kernel, run_trace, try_run_kernel, try_run_kernel_checked, try_run_trace, RunLength,
 };
+pub use schedq::SchedQueue;
 pub use ss_types::trace::{NullSink, TraceEvent, TraceSink};
 pub use window::{FetchedUop, RobEntry, UopState};

@@ -24,6 +24,7 @@
 use crate::diff::DiffChecker;
 use crate::fault::FaultPlan;
 use crate::rename::{PhysRef, RenameUnit};
+use crate::schedq::SchedQueue;
 use crate::window::{FetchedUop, RobEntry, UopState};
 use ss_bpred::BranchPredictor;
 use ss_isa::MicroOp;
@@ -34,7 +35,8 @@ use ss_types::commit::CommitRecord;
 use ss_types::trace::{NullSink, TraceEvent, TraceSink};
 use ss_types::{
     BankInterleaving, CritCriterion, Cycle, DeadlockReport, DivergenceReport, InvariantReport,
-    OpClass, ReplayCause, ReplayScheme, SeqNum, ShiftPolicy, SimConfig, SimError, SimStats,
+    OpClass, ReplayCause, ReplayScheme, SeqBitmap, SeqNum, ShiftPolicy, SimConfig, SimError,
+    SimStats, VecPool,
 };
 use ss_workloads::{TraceSource, WrongPathGen};
 use std::collections::VecDeque;
@@ -87,6 +89,27 @@ pub struct Simulator<T, S: TraceSink = NullSink> {
     /// Reusable per-cycle scratch for the issue stage (avoids two heap
     /// allocations per simulated cycle on the hot path).
     scratch_candidates: Vec<SeqNum>,
+    /// Event-driven scheduler state: the incrementally-maintained ready
+    /// set the IQ selection phase iterates instead of scanning the ROB.
+    /// Untouched (empty) when `legacy_scan` is set.
+    sched: SchedQueue,
+    /// Cached `cfg.legacy_scan`: use the O(ROB) per-cycle scan instead of
+    /// the event-driven ready queue.
+    legacy_scan: bool,
+    /// Recycled `Vec<SeqNum>` buffers for issue/recovery groups — the
+    /// steady-state hot loop allocates nothing.
+    group_pool: VecPool<SeqNum>,
+    /// Scratch for draining rename watcher wakeups (reused each cycle).
+    scratch_woken: Vec<(SeqNum, u32)>,
+    /// Scratch seq list for squash walks (reused per event).
+    scratch_squash: Vec<SeqNum>,
+    /// Scratch bitset marking µ-ops replayed from the recovery buffer
+    /// this cycle (O(1) membership for the group cleanup).
+    replayed_marks: SeqBitmap,
+    /// In-flight correct-path stores with a known address, in program
+    /// order: `(quadword, seq)`. The memory-order check walks this
+    /// (bounded by the store queue) instead of the whole ROB per load.
+    store_ring: VecDeque<(u64, SeqNum)>,
     muldiv_free: Cycle,
     fpdiv_free: [Cycle; 2],
 
@@ -176,6 +199,13 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
             lq_used: 0,
             sq_used: 0,
             scratch_candidates: Vec::with_capacity(256),
+            sched: SchedQueue::new(cfg.rob_entries as usize),
+            legacy_scan: cfg.legacy_scan,
+            group_pool: VecPool::new(),
+            scratch_woken: Vec::new(),
+            scratch_squash: Vec::new(),
+            replayed_marks: SeqBitmap::new(cfg.rob_entries as usize),
+            store_ring: VecDeque::with_capacity(cfg.sq_entries as usize + 1),
             muldiv_free: Cycle::ZERO,
             fpdiv_free: [Cycle::ZERO; 2],
             now: Cycle::ZERO,
@@ -351,23 +381,15 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
     /// the in-flight issue groups. Shared by deadlock and divergence
     /// reports.
     fn window_detail(&self) -> String {
+        use std::fmt::Write as _;
+        // Streamed into one buffer — no intermediate Vec<String> or
+        // per-field format! allocations (this runs from failure reports,
+        // but also from tests exercising them in bulk).
         let mut msg = String::new();
         for e in self.rob.iter().take(12) {
-            let srcs: Vec<String> = e
-                .srcs
-                .iter()
-                .flatten()
-                .map(|s| {
-                    format!(
-                        "{:?}/w{:?}/a{:?}",
-                        s.reg,
-                        self.rename.wake_at(*s),
-                        self.rename.avail_at(*s)
-                    )
-                })
-                .collect();
-            msg += &format!(
-                "  {} {} {:?} issued={}@{:?} rec={} iq={} dep={:?} srcs={srcs:?}\n",
+            let _ = write!(
+                msg,
+                "  {} {} {:?} issued={}@{:?} rec={} iq={} dep={:?} srcs=[",
                 e.seq,
                 e.uop.class,
                 e.state,
@@ -377,17 +399,26 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                 e.holds_iq,
                 e.store_dep
             );
+            for (i, s) in e.srcs.iter().flatten().enumerate() {
+                let _ = write!(
+                    msg,
+                    "{}{:?}/w{:?}/a{:?}",
+                    if i > 0 { ", " } else { "" },
+                    s.reg,
+                    self.rename.wake_at(*s),
+                    self.rename.avail_at(*s)
+                );
+            }
+            msg.push_str("]\n");
         }
         if let Some((c, g)) = self.recovery.front() {
-            msg += &format!("  recovery head group @{c:?}: {g:?}\n");
+            let _ = writeln!(msg, "  recovery head group @{c:?}: {g:?}");
         }
-        msg += &format!(
-            "  inflight groups: {:?}\n",
-            self.inflight
-                .iter()
-                .map(|(c, g)| (*c, g.len()))
-                .collect::<Vec<_>>()
-        );
+        msg.push_str("  inflight groups: [");
+        for (i, (c, g)) in self.inflight.iter().enumerate() {
+            let _ = write!(msg, "{}({c:?}, {})", if i > 0 { ", " } else { "" }, g.len());
+        }
+        msg.push_str("]\n");
         msg
     }
 
@@ -587,6 +618,153 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
     }
 
     // ------------------------------------------------------------------
+    // event-driven scheduler maintenance
+    // ------------------------------------------------------------------
+
+    /// (Re-)registers `seq` with the event-driven scheduler after any
+    /// event that may change its readiness. Invalidate-then-classify:
+    ///
+    /// * every outstanding parked reference goes stale (epoch bump);
+    /// * not an IQ-waiting entry → nothing to track;
+    /// * a source is `NEVER` (conservative/unissued producer) → watch
+    ///   only the `NEVER` sources; nothing can change until one of them
+    ///   acquires a wake time, and the re-classification that triggers
+    ///   sees every finite source fresh;
+    /// * otherwise some source wakes at a finite future time → watch the
+    ///   *latest*-waking source and park on the wake heap at its wake.
+    ///   Readiness is the max over sources, so only the governing
+    ///   source's wake moving *earlier* can advance it (broadcast fires
+    ///   the watcher); any source moving *later* is discovered at the
+    ///   parked re-check, before the µ-op could have issued anyway;
+    /// * blocked on an unexecuted predicted store → park on that store;
+    /// * otherwise → mark ready.
+    ///
+    /// The ready bit is a *belief*: selection re-verifies with
+    /// [`Self::ready_to_issue`] and re-registers on mismatch (lazy
+    /// invalidation), so a stale bit costs a re-check, never correctness.
+    fn sched_register(&mut self, seq: SeqNum) {
+        if self.legacy_scan {
+            return;
+        }
+        let epoch = self.sched.invalidate(seq);
+        let (srcs, store_dep) = {
+            let Some(e) = self.entry(seq) else { return };
+            if !e.is_iq_waiting() {
+                return;
+            }
+            (e.srcs, e.store_dep)
+        };
+        let now = self.now;
+        let mut latest = Cycle::ZERO;
+        let mut latest_src = None;
+        let mut has_never = false;
+        for s in srcs.iter().flatten() {
+            let w = self.rename.wake_at(*s);
+            if w > now {
+                if w == Cycle::NEVER {
+                    has_never = true;
+                    self.rename.watch(*s, seq, epoch);
+                } else if w > latest {
+                    latest = w;
+                    latest_src = Some(*s);
+                }
+            }
+        }
+        if has_never {
+            return;
+        }
+        if let Some(governing) = latest_src {
+            self.rename.watch(governing, seq, epoch);
+            self.sched.park_until(latest, seq, epoch);
+            return;
+        }
+        if let Some(dep) = store_dep {
+            let unexecuted = self
+                .entry(dep)
+                .is_some_and(|s| s.uop.class.is_store() && !s.store_executed);
+            if unexecuted {
+                self.sched.park_on_store(dep, seq, epoch);
+                return;
+            }
+        }
+        self.sched.mark_ready(seq);
+    }
+
+    /// Drops `seq` from the scheduler (issued or flushed): clears its
+    /// ready bit and stales every parked reference.
+    fn sched_forget(&mut self, seq: SeqNum) {
+        if !self.legacy_scan {
+            self.sched.invalidate(seq);
+        }
+    }
+
+    /// Releases every µ-op parked on `store` (it executed or committed)
+    /// and re-registers them immediately.
+    fn sched_fire_store_event(&mut self, store: SeqNum) {
+        if self.legacy_scan {
+            return;
+        }
+        self.sched.fire_store(store);
+        while let Some(seq) = self.sched.pop_store_woken() {
+            self.sched_register(seq);
+        }
+    }
+
+    /// Drains the cycle's scheduler events at the top of the issue stage:
+    /// timer-parked µ-ops whose latest source wake has arrived, and
+    /// µ-ops whose watched source registers had their wake time changed
+    /// since last cycle (tag broadcast). Each is re-classified by
+    /// [`Self::sched_register`].
+    fn sched_drain_events(&mut self) {
+        while let Some(seq) = self.sched.pop_due(self.now) {
+            self.sched_register(seq);
+        }
+        if self.rename.has_woken() {
+            let mut woken = std::mem::take(&mut self.scratch_woken);
+            self.rename.drain_woken(&mut woken);
+            for &(seq, epoch) in &woken {
+                if self.sched.epoch_matches(seq, epoch) {
+                    self.sched_register(seq);
+                }
+            }
+            woken.clear();
+            self.scratch_woken = woken;
+        }
+    }
+
+    /// Debug-build cross-check (every 256 cycles): no eligible ready
+    /// µ-op may be stranded outside the ready bitmap, and every marked
+    /// bit must belong to a live IQ-waiting entry. The bitmap may
+    /// legitimately hold entries that are no longer `ready_to_issue`
+    /// (lazy invalidation); selection filters those.
+    #[cfg(debug_assertions)]
+    fn sched_cross_check(&self) {
+        if !self.now.get().is_multiple_of(256) {
+            return;
+        }
+        for e in &self.rob {
+            if e.is_iq_waiting() && self.ready_to_issue(e.seq) {
+                assert!(
+                    self.sched.is_ready(e.seq),
+                    "stranded ready µ-op {} ({:?}) at {}",
+                    e.seq,
+                    e.uop.class,
+                    self.now
+                );
+            }
+            if self.sched.is_ready(e.seq) {
+                assert!(
+                    e.is_iq_waiting(),
+                    "ready bit on non-IQ-waiting µ-op {} ({:?}) at {}",
+                    e.seq,
+                    e.state,
+                    self.now
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // commit
     // ------------------------------------------------------------------
 
@@ -598,6 +776,10 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
             }
             let e = self.rob.pop_front().expect("head exists");
             debug_assert!(!e.wrong_path, "wrong-path µ-op reached commit");
+            if Self::tracked_store_qw(&e).is_some() {
+                let front = self.store_ring.pop_front();
+                debug_assert_eq!(front.map(|(_, s)| s), Some(e.seq), "store ring out of sync");
+            }
             self.last_commit_at = self.now;
             self.stats.committed_uops += 1;
             if S::ENABLED {
@@ -663,6 +845,9 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                     self.sq_used -= 1;
                     let addr = e.uop.mem_addr().expect("store has address");
                     self.mem.store_commit(addr, self.now);
+                    // Drain any (stale) waiter records before the seq slot
+                    // can be reused.
+                    self.sched_fire_store_event(e.seq);
                 }
                 OpClass::Branch(kind) => {
                     if matches!(kind, ss_types::BranchKind::Conditional) {
@@ -719,7 +904,7 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
         #[cfg(debug_assertions)]
         let processed_cycle = exec_issue_cycle;
         let mut replayed = false;
-        for seq in group {
+        for &seq in &group {
             // Validate membership: the entry may have been flushed or
             // squashed since issue.
             let Some(e) = self.entry(seq) else { continue };
@@ -768,13 +953,15 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                         // continues this cycle.
                         self.note_replay_event(cause);
                         self.stats.add_replayed(cause, 1);
-                        let mut group = Vec::new();
+                        let mut group = self.group_pool.get();
                         self.squash_one(seq, &mut group);
                         if S::ENABLED {
                             self.record_squash(seq, trigger, cause);
                         }
                         if !group.is_empty() {
                             self.recovery.push_back((self.now, group));
+                        } else {
+                            self.group_pool.put(group);
                         }
                     }
                     ReplayScheme::Refetch => {
@@ -797,6 +984,7 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
             }
             self.execute_one(seq);
         }
+        self.group_pool.put(group);
         #[cfg(debug_assertions)]
         {
             // Paranoia: nothing issued at or before the processed cycle may
@@ -834,11 +1022,24 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
 
     /// Executes one verified µ-op (`state == InFlight`).
     fn execute_one(&mut self, seq: SeqNum) {
-        let e = self.entry(seq).expect("validated").clone();
+        // Copy out the (all-`Copy`) fields this stage reads; cloning the
+        // whole `RobEntry` here was a ~200-byte memcpy per executed µ-op.
+        let (uop, wrong_path, dst, prf_delay, mispredicted, mispred_handled, pred) = {
+            let e = self.entry(seq).expect("validated");
+            (
+                e.uop,
+                e.wrong_path,
+                e.dst,
+                e.prf_delay,
+                e.mispredicted,
+                e.mispred_handled,
+                e.pred,
+            )
+        };
         let exec_start = self.now;
-        match e.uop.class {
+        match uop.class {
             OpClass::Load => {
-                let aliasing = if e.wrong_path {
+                let aliasing = if wrong_path {
                     None
                 } else {
                     self.youngest_older_aliasing_store(seq)
@@ -849,14 +1050,14 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                     self.handle_violation(seq, store_seq);
                     return;
                 }
-                let addr = e.uop.mem_addr().expect("load has address");
+                let addr = uop.mem_addr().expect("load has address");
                 let forwarded = matches!(aliasing, Some((_, true)));
                 let (mut extra, mut cause, l1_hit) = if forwarded {
                     (0u64, None, true)
                 } else {
-                    let r = self.mem.load(e.uop.pc, addr, exec_start, e.wrong_path);
+                    let r = self.mem.load(uop.pc, addr, exec_start, wrong_path);
                     let hit = r.level == MemLevel::L1;
-                    if !e.wrong_path {
+                    if !wrong_path {
                         self.engine.on_load_outcome(hit);
                     }
                     let cause = if !hit {
@@ -872,7 +1073,7 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                 // data past what the hierarchy reported, attributed to
                 // the window's replay cause. Wrong-path loads are exempt
                 // (their timing never reaches the scoreboard).
-                if !e.wrong_path {
+                if !wrong_path {
                     if let Some((f_extra, f_cause)) = self
                         .fault_plan
                         .as_ref()
@@ -883,12 +1084,12 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                         self.stats.faults_injected += 1;
                     }
                 }
-                if e.prf_delay > 0 {
-                    extra += u64::from(e.prf_delay);
+                if prf_delay > 0 {
+                    extra += u64::from(prf_delay);
                     cause = cause.or(Some(ReplayCause::PrfConflict));
                 }
                 // Train the bank predictor with the actual bank.
-                if !e.wrong_path {
+                if !wrong_path {
                     if let Some(banking) = &self.cfg.l1d_banking {
                         let bank_bits = banking.banks.trailing_zeros();
                         let actual = match banking.interleaving {
@@ -899,11 +1100,11 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                                 addr.bits(self.cfg.l1d.line_bytes.trailing_zeros(), bank_bits)
                             }
                         };
-                        self.bank_pred.train(e.uop.pc, actual as u8);
+                        self.bank_pred.train(uop.pc, actual as u8);
                     }
                 }
                 let v = exec_start + self.cfg.l1d_load_to_use + extra;
-                let dst = e.dst.expect("load writes a register").0;
+                let dst = dst.expect("load writes a register").0;
                 self.rename
                     .set_avail(dst, v, if extra > 0 { cause } else { None });
                 // Wakeup revision: conservative loads wake dependents on
@@ -955,9 +1156,11 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                     em.holds_iq = false;
                     self.iq_used -= 1;
                 }
-                if !e.wrong_path {
-                    self.store_sets.on_store_complete(e.uop.pc, seq);
+                if !wrong_path {
+                    self.store_sets.on_store_complete(uop.pc, seq);
                 }
+                // Release loads parked on this store's execution.
+                self.sched_fire_store_event(seq);
             }
             OpClass::Branch(kind) => {
                 {
@@ -965,21 +1168,16 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                     em.done_at = exec_start + 1;
                     em.state = UopState::Done;
                 }
-                if !e.wrong_path && e.mispredicted && !e.mispred_handled {
+                if !wrong_path && mispredicted && !mispred_handled {
                     // Resolve: flush everything younger, repair the
                     // predictor, resume correct-path fetch. A later
                     // memory-order squash may re-execute this branch;
                     // `mispred_handled` keeps the flush from repeating
                     // (the refetched path is already correct).
-                    let b = e.uop.branch.expect("branch payload");
-                    if let Some(pred) = &e.pred {
-                        self.bpred.on_mispredict(
-                            e.uop.pc,
-                            kind,
-                            b.taken,
-                            e.uop.next_pc(),
-                            &pred.meta,
-                        );
+                    let b = uop.branch.expect("branch payload");
+                    if let Some(pred) = &pred {
+                        self.bpred
+                            .on_mispredict(uop.pc, kind, b.taken, uop.next_pc(), &pred.meta);
                     }
                     self.flush_younger_than(seq);
                     self.wrong_path_mode = false;
@@ -1010,6 +1208,17 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
         }
     }
 
+    /// Quadword key of a store the memory-order index tracks: correct-
+    /// path stores with a known address — exactly the entries the
+    /// aliasing walk can match. Wrong-path and address-less stores are
+    /// invisible to it and stay out of [`Self::store_ring`].
+    fn tracked_store_qw(e: &RobEntry) -> Option<u64> {
+        if e.wrong_path || !e.uop.class.is_store() {
+            return None;
+        }
+        e.uop.mem_addr().map(|a| a.get() >> 3)
+    }
+
     /// Finds the youngest store older than `load_seq` to the same
     /// quadword, returning `(seq, executed)`. Aliasing is quadword-
     /// granular — the workloads emit aligned 8-byte accesses only.
@@ -1017,21 +1226,26 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
     /// An unexecuted match is a memory-order violation if the load
     /// executes now; an executed match satisfies the load by
     /// store-to-load forwarding.
+    ///
+    /// The walk runs over [`Self::store_ring`] — the program-ordered ring
+    /// of in-flight correct-path stores — so its cost is bounded by store
+    /// queue occupancy, not ROB size.
     fn youngest_older_aliasing_store(&self, load_seq: SeqNum) -> Option<(SeqNum, bool)> {
         let load = self.entry(load_seq)?;
         let qw = load.uop.mem_addr()?.get() >> 3;
-        let base = self.rob.front()?.seq;
-        let idx = (load_seq.get() - base.get()) as usize;
-        self.rob
-            .iter()
-            .take(idx)
-            .rev()
-            .find(|s| {
-                !s.wrong_path
-                    && s.uop.class.is_store()
-                    && s.uop.mem_addr().map(|a| a.get() >> 3) == Some(qw)
-            })
-            .map(|s| (s.seq, s.store_executed))
+        for &(sqw, sseq) in self.store_ring.iter().rev() {
+            if sseq >= load_seq {
+                continue;
+            }
+            if sqw == qw {
+                let executed = self
+                    .entry(sseq)
+                    .expect("store ring entry is in the ROB")
+                    .store_executed;
+                return Some((sseq, executed));
+            }
+        }
+        None
     }
 
     /// Memory-order violation: train Store Sets, squash the load and
@@ -1048,6 +1262,9 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
         let _ = self.squash_from(load_seq, None);
         let em = self.entry_mut(load_seq).expect("load");
         em.store_dep = Some(store_seq);
+        // The dependence was attached after the squash walk registered
+        // the load; re-classify so it parks on the store.
+        self.sched_register(load_seq);
         self.issue_blocked_at = Some(self.now);
     }
 
@@ -1068,11 +1285,10 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
         }
         self.note_replay_event(cause);
         self.issue_blocked_at = Some(self.now);
-        let groups: Vec<(Cycle, Vec<SeqNum>)> = self.inflight.drain(..).collect();
         let mut squashed = 0u64;
-        for (issue_cycle, group) in groups {
-            let mut recovery_group = Vec::new();
-            for seq in group {
+        while let Some((issue_cycle, group)) = self.inflight.pop_front() {
+            let mut recovery_group = self.group_pool.get();
+            for &seq in &group {
                 let Some(e) = self.entry(seq) else { continue };
                 if e.state != UopState::InFlight || e.issue_cycle != issue_cycle {
                     continue;
@@ -1083,8 +1299,11 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                     self.record_squash(seq, trigger, cause);
                 }
             }
+            self.group_pool.put(group);
             if !recovery_group.is_empty() {
                 self.recovery.push_back((issue_cycle, recovery_group));
+            } else {
+                self.group_pool.put(recovery_group);
             }
         }
         // The µ-op that detected the misspeculation is part of the
@@ -1093,22 +1312,28 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
         // members of the executing group were skipped, not squashed, so
         // re-squash any InFlight stragglers with the exec group's cycle.
         let exec_cycle = Cycle::new(self.now.get() - self.delay - 1);
-        let stragglers: Vec<SeqNum> = self
-            .rob
-            .iter()
-            .filter(|e| e.state == UopState::InFlight && e.issue_cycle == exec_cycle)
-            .map(|e| e.seq)
-            .collect();
-        let mut recovery_group = Vec::new();
-        for seq in stragglers {
+        let mut stragglers = std::mem::take(&mut self.scratch_squash);
+        stragglers.clear();
+        stragglers.extend(
+            self.rob
+                .iter()
+                .filter(|e| e.state == UopState::InFlight && e.issue_cycle == exec_cycle)
+                .map(|e| e.seq),
+        );
+        let mut recovery_group = self.group_pool.get();
+        for &seq in &stragglers {
             squashed += 1;
             self.squash_one(seq, &mut recovery_group);
             if S::ENABLED {
                 self.record_squash(seq, trigger, cause);
             }
         }
+        stragglers.clear();
+        self.scratch_squash = stragglers;
         if !recovery_group.is_empty() {
             self.recovery.push_front((exec_cycle, recovery_group));
+        } else {
+            self.group_pool.put(recovery_group);
         }
         self.stats.add_replayed(cause, squashed);
     }
@@ -1128,6 +1353,9 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
         if let Some((new, _)) = dst {
             self.rename.reset_timing(new);
         }
+        // Memory µ-ops went back to IQ-waiting; recovery entries only
+        // need their stale parked references dropped.
+        self.sched_register(seq);
     }
 
     /// Squashes `from` and everything younger back to re-issue (memory-
@@ -1136,15 +1364,17 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
     /// carries the (trigger, cause) pair to trace the squashes with;
     /// `None` (memory-order violations) leaves them untraced.
     fn squash_from(&mut self, from: SeqNum, traced: Option<(SeqNum, ReplayCause)>) -> u64 {
-        let seqs: Vec<SeqNum> = self
-            .rob
-            .iter()
-            .filter(|e| e.seq >= from && e.state != UopState::Waiting)
-            .map(|e| e.seq)
-            .collect();
+        let mut seqs = std::mem::take(&mut self.scratch_squash);
+        seqs.clear();
+        seqs.extend(
+            self.rob
+                .iter()
+                .filter(|e| e.seq >= from && e.state != UopState::Waiting)
+                .map(|e| e.seq),
+        );
         let n_squashed = seqs.len() as u64;
-        let mut recovery_group = Vec::new();
-        for seq in seqs {
+        let mut recovery_group = self.group_pool.get();
+        for &seq in &seqs {
             let e = self.entry_mut(seq).expect("entry");
             let was_done = e.state == UopState::Done;
             e.state = UopState::Waiting;
@@ -1180,6 +1410,7 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
             if let Some((new, _)) = dst {
                 self.rename.reset_timing(new);
             }
+            self.sched_register(seq);
             if S::ENABLED {
                 if let Some((trigger, cause)) = traced {
                     self.sink.record(TraceEvent::ReplaySquash {
@@ -1197,9 +1428,13 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                 }
             }
         }
+        seqs.clear();
+        self.scratch_squash = seqs;
         // Drop stale in-flight bookkeeping; entries re-validate by state.
         if !recovery_group.is_empty() {
             self.recovery.push_back((self.now, recovery_group));
+        } else {
+            self.group_pool.put(recovery_group);
         }
         n_squashed
     }
@@ -1209,6 +1444,11 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
     // ------------------------------------------------------------------
 
     fn issue(&mut self) {
+        if !self.legacy_scan {
+            self.sched_drain_events();
+            #[cfg(debug_assertions)]
+            self.sched_cross_check();
+        }
         if self.issue_blocked_at == Some(self.now) {
             return;
         }
@@ -1220,7 +1460,7 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
         let mut mem_slots = self.cfg.ldst_ports + self.cfg.store_only_ports;
         let mut load_slots = self.cfg.max_loads_per_cycle();
         let mut cycle_state = IssueCycleState::default();
-        let mut issued_group: Vec<SeqNum> = Vec::new();
+        let mut issued_group: Vec<SeqNum> = self.group_pool.get();
 
         // Recovery buffer first (Morancho-style): scan oldest group first,
         // skipping not-ready entries. (A literal single-group select can
@@ -1229,7 +1469,7 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
         let mut replay_candidates = std::mem::take(&mut self.scratch_candidates);
         replay_candidates.clear();
         replay_candidates.extend(self.recovery.iter().flat_map(|(_, g)| g.iter().copied()));
-        let mut replayed_now: Vec<SeqNum> = Vec::new();
+        let mut replayed_any = false;
         for &seq in &replay_candidates {
             if width == 0 {
                 break;
@@ -1254,57 +1494,123 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
             }
             self.do_issue(seq, &mut cycle_state);
             self.stats.recovery_buffer_replays += 1;
+            self.replayed_marks.insert(seq);
             issued_group.push(seq);
-            replayed_now.push(seq);
+            replayed_any = true;
         }
-        if !replayed_now.is_empty() {
+        if replayed_any {
+            // Drop the issued µ-ops from their groups: O(total members)
+            // via the scratch bitset (a `contains` against the issued
+            // list would be quadratic in the replay-storm worst case).
+            let marks = &self.replayed_marks;
             for (_, group) in &mut self.recovery {
-                group.retain(|s| !replayed_now.contains(s));
+                group.retain(|s| !marks.contains(*s));
             }
-            self.recovery.retain(|(_, g)| !g.is_empty());
+            // Only recovery issues are in the group so far.
+            for &seq in &issued_group {
+                self.replayed_marks.remove(seq);
+            }
+            while let Some(pos) = self.recovery.iter().position(|(_, g)| g.is_empty()) {
+                if let Some((_, g)) = self.recovery.remove(pos) {
+                    self.group_pool.put(g);
+                }
+            }
         }
 
-        // Scheduler: oldest-first scan over IQ-resident µ-ops (reusing
-        // the scratch buffer).
+        // Scheduler: oldest-first selection over IQ-resident µ-ops. The
+        // event-driven path pulls issue-width-sized batches off the ready
+        // bitmap (age-ordered by construction), resuming past each batch
+        // until the width is spent — the ready set can be IQ-sized, and
+        // collecting all of it per cycle would dwarf the selection
+        // itself. Batching is sound because nothing inside the selection
+        // loop can *set* a ready bit (`sched_register` of a stale
+        // candidate re-parks it; issue clears bits), so resuming after
+        // the last processed age sees exactly the survivors a single
+        // full collection would have. The legacy path rebuilds the whole
+        // candidate list by scanning the ROB. Both reuse the scratch
+        // buffer.
         if width > 0 {
-            replay_candidates.clear();
-            replay_candidates.extend(
-                self.rob
-                    .iter()
-                    .filter(|e| e.state == UopState::Waiting && !e.in_recovery && e.holds_iq)
-                    .map(|e| e.seq),
-            );
+            /// Ready entries pulled per batch: comfortably above the
+            /// 6-wide issue width, small enough to keep the common case
+            /// at one batch.
+            const SELECT_BATCH: usize = 16;
             let mut first_iq_issue = true;
-            let candidates = std::mem::take(&mut replay_candidates);
-            for &seq in &candidates {
-                if width == 0 {
+            let mut candidates = std::mem::take(&mut replay_candidates);
+            let base = self.rob.front().map(|e| e.seq);
+            let mut consumed = 0u64;
+            'select: loop {
+                candidates.clear();
+                if self.legacy_scan {
+                    candidates.extend(self.rob.iter().filter(|e| e.is_iq_waiting()).map(|e| e.seq));
+                } else if self.sched.ready_len() > 0 {
+                    if let Some(base) = base {
+                        let span = self.rob.len() as u64;
+                        if consumed < span {
+                            self.sched.collect_ready_capped(
+                                SeqNum::new(base.get() + consumed),
+                                (span - consumed) as usize,
+                                SELECT_BATCH,
+                                &mut candidates,
+                            );
+                        }
+                    }
+                }
+                let Some(&last) = candidates.last() else {
+                    break;
+                };
+                for &seq in &candidates {
+                    if width == 0 {
+                        break 'select;
+                    }
+                    if self.legacy_scan {
+                        if !self.ready_to_issue(seq) {
+                            continue;
+                        }
+                    } else {
+                        // Lazy invalidation: a ready bit may have gone
+                        // stale since it was set (producer squashed,
+                        // wakeup revised later, store dependence
+                        // re-armed). Re-verify and re-park on mismatch —
+                        // `sched_register` re-derives the same conditions
+                        // `ready_to_issue` checks, so a not-ready entry
+                        // can never re-mark itself ready.
+                        let live = self.entry(seq).is_some_and(RobEntry::is_iq_waiting);
+                        debug_assert!(live, "ready bit on non-IQ-waiting µ-op {seq}");
+                        if !live || !self.ready_to_issue(seq) {
+                            self.sched_register(seq);
+                            continue;
+                        }
+                    }
+                    if !Self::take_ports(
+                        self.entry(seq).expect("entry").uop.class,
+                        self.now,
+                        &mut width,
+                        &mut alu,
+                        &mut muldiv,
+                        &mut fp,
+                        &mut fpmd,
+                        &mut mem_slots,
+                        &mut load_slots,
+                        &mut self.muldiv_free,
+                        &mut self.fpdiv_free,
+                    ) {
+                        continue;
+                    }
+                    self.do_issue(seq, &mut cycle_state);
+                    if first_iq_issue {
+                        // The oldest ready IQ entry this cycle:
+                        // QOLD-critical.
+                        self.entry_mut(seq).expect("just issued").was_iq_oldest = true;
+                        first_iq_issue = false;
+                    }
+                    issued_group.push(seq);
+                }
+                if self.legacy_scan {
                     break;
                 }
-                if !self.ready_to_issue(seq) {
-                    continue;
-                }
-                if !Self::take_ports(
-                    self.entry(seq).expect("entry").uop.class,
-                    self.now,
-                    &mut width,
-                    &mut alu,
-                    &mut muldiv,
-                    &mut fp,
-                    &mut fpmd,
-                    &mut mem_slots,
-                    &mut load_slots,
-                    &mut self.muldiv_free,
-                    &mut self.fpdiv_free,
-                ) {
-                    continue;
-                }
-                self.do_issue(seq, &mut cycle_state);
-                if first_iq_issue {
-                    // The oldest ready IQ entry this cycle: QOLD-critical.
-                    self.entry_mut(seq).expect("just issued").was_iq_oldest = true;
-                    first_iq_issue = false;
-                }
-                issued_group.push(seq);
+                // Resume the next batch just past the last processed age.
+                let head = base.expect("candidates imply a ROB head");
+                consumed = last.get() + 1 - head.get();
             }
             replay_candidates = candidates;
         }
@@ -1312,6 +1618,8 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
 
         if !issued_group.is_empty() {
             self.inflight.push_back((self.now, issued_group));
+        } else {
+            self.group_pool.put(issued_group);
         }
     }
 
@@ -1419,19 +1727,33 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
         let now = self.now;
         let load_to_use = self.cfg.l1d_load_to_use;
 
-        let e = self.entry(seq).expect("entry").clone();
+        // Issued µ-ops leave the ready set; any parked reference is stale.
+        self.sched_forget(seq);
+        // Copy out the (all-`Copy`) fields issue reads — no `RobEntry`
+        // clone on the hot path.
+        let (uop, wrong_path, dst, srcs, in_recovery, times_issued) = {
+            let e = self.entry(seq).expect("entry");
+            (
+                e.uop,
+                e.wrong_path,
+                e.dst,
+                e.srcs,
+                e.in_recovery,
+                e.times_issued,
+            )
+        };
         self.stats.issued_total += 1;
         if S::ENABLED {
             self.sink.record(TraceEvent::Issue {
                 cycle: now,
                 seq,
-                from_recovery: e.in_recovery,
+                from_recovery: in_recovery,
             });
         }
-        let first_issue = e.times_issued == 0;
+        let first_issue = times_issued == 0;
         if first_issue {
             self.stats.unique_issued += 1;
-            if e.wrong_path {
+            if wrong_path {
                 self.stats.wrong_path_issued += 1;
             }
         }
@@ -1440,7 +1762,7 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
         // discovered at register read, after its dependents were woken.
         let mut prf_delay = 0u8;
         if let Some(pb) = self.cfg.prf_banking {
-            for src in e.srcs.iter().flatten() {
+            for src in srcs.iter().flatten() {
                 let bank = src.reg.index() % pb.banks as usize;
                 let reads = &mut cycle_state.prf_reads[src.class.index()][bank];
                 *reads += 1;
@@ -1450,8 +1772,8 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
             }
         }
         // Wakeup speculation for the destination.
-        if let Some((dst, _)) = e.dst {
-            match e.uop.class {
+        if let Some((dst, _)) = dst {
+            match uop.class {
                 OpClass::Load => {
                     // Degradation fallback: while a replay storm is being
                     // ridden out, wake dependents conservatively no matter
@@ -1460,7 +1782,7 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                     let decision = if self.degraded() {
                         WakeupDecision::Conservative
                     } else {
-                        self.engine.decide(e.uop.pc)
+                        self.engine.decide(uop.pc)
                     };
                     cycle_state.loads_issued += 1;
                     let shifted = match self.cfg.shift_policy {
@@ -1470,7 +1792,7 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                             // Shift only if this load and the group's
                             // first load are confidently predicted to hit
                             // the same bank (Yoaz-style).
-                            let my_pred = self.bank_pred.predict(e.uop.pc);
+                            let my_pred = self.bank_pred.predict(uop.pc);
                             let conflict = cycle_state.loads_issued == 2
                                 && match (cycle_state.first_load_bank, my_pred) {
                                     (Some(a), Some(b)) => a == b,
@@ -1614,7 +1936,11 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                     seq,
                 });
             }
+            if let Some(qw) = Self::tracked_store_qw(&e) {
+                self.store_ring.push_back((qw, seq));
+            }
             self.rob.push_back(e);
+            self.sched_register(seq);
             dispatched += 1;
         }
         if stalled && dispatched == 0 {
@@ -1776,6 +2102,10 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                 break;
             }
             let e = self.rob.pop_back().expect("tail exists");
+            if Self::tracked_store_qw(&e).is_some() {
+                let back = self.store_ring.pop_back();
+                debug_assert_eq!(back.map(|(_, s)| s), Some(e.seq), "store ring out of sync");
+            }
             if e.holds_iq {
                 self.iq_used -= 1;
             }
@@ -1792,6 +2122,9 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                 let (new, prev) = e.dst.expect("renamed");
                 self.rename.unwind(d.reg, new, prev);
             }
+            // The refetched path reuses this sequence number: clear its
+            // ready bit and stale every parked reference now.
+            self.sched_forget(e.seq);
             if S::ENABLED {
                 self.sink.record(TraceEvent::Flush {
                     cycle: self.now,
@@ -1810,7 +2143,11 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
         for (_, g) in &mut self.recovery {
             g.retain(valid);
         }
-        self.recovery.retain(|(_, g)| !g.is_empty());
+        while let Some(pos) = self.recovery.iter().position(|(_, g)| g.is_empty()) {
+            if let Some((_, g)) = self.recovery.remove(pos) {
+                self.group_pool.put(g);
+            }
+        }
         for (_, g) in &mut self.inflight {
             g.retain(valid);
         }

@@ -10,8 +10,19 @@
 //!   after this cycle reads a valid operand over the bypass network.
 //!   Execute-stage verification compares against this; a consumer that
 //!   arrives early is a *schedule misspeculation* and triggers a replay.
+//!
+//! The scoreboard doubles as the event-driven scheduler's *reverse
+//! dependency index*: a waiting consumer parks itself on the watch list
+//! of every source register whose `wake_at` lies in the future, and any
+//! mutation of a register's wake time broadcasts the parked `(seq,
+//! epoch)` records into the [`RenameUnit`]'s woken buffer — the software
+//! analogue of the tag-broadcast wakeup the paper's scheduler performs
+//! in hardware (§3). The pipeline drains the buffer at the top of its
+//! issue stage and re-evaluates each woken µ-op; records whose epoch is
+//! stale (the µ-op re-registered or was flushed since parking) are
+//! discarded there.
 
-use ss_types::{ArchReg, Cycle, PhysReg, RegClass, ReplayCause};
+use ss_types::{ArchReg, Cycle, PhysReg, RegClass, ReplayCause, SeqNum};
 
 /// A physical register qualified with its file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,12 +48,18 @@ struct ClassState {
     map: [PhysReg; ArchReg::COUNT],
     free: Vec<PhysReg>,
     info: Vec<RegInfo>,
+    /// Per-register consumer watch lists: waiting µ-ops parked until this
+    /// register's wake time changes (event-driven scheduler only; empty
+    /// under the legacy scan).
+    watchers: Vec<Vec<(SeqNum, u32)>>,
 }
 
 /// The rename unit plus physical-register scoreboard for both files.
 #[derive(Debug, Clone)]
 pub struct RenameUnit {
     classes: [ClassState; 2],
+    /// Consumers released by a wake-time change since the last drain.
+    woken: Vec<(SeqNum, u32)>,
 }
 
 impl RenameUnit {
@@ -63,10 +80,12 @@ impl RenameUnit {
                     .map(PhysReg::new)
                     .collect(),
                 info: vec![ready; n as usize],
+                watchers: vec![Vec::new(); n as usize],
             }
         };
         RenameUnit {
             classes: [mk(int_prf), mk(fp_prf)],
+            woken: Vec::new(),
         }
     }
 
@@ -99,6 +118,10 @@ impl RenameUnit {
             avail_at: Cycle::NEVER,
             late_cause: None,
         };
+        // Any watch records left on the recycled register belong to
+        // consumers that re-registered or were flushed long ago (their
+        // epochs are stale); a fresh register starts with a clean list.
+        st.watchers[new.index()].clear();
         Some((PhysRef { class, reg: new }, PhysRef { class, reg: prev }))
     }
 
@@ -140,9 +163,15 @@ impl RenameUnit {
         self.class(r.class).info[r.reg.index()].late_cause
     }
 
-    /// Sets the speculative wakeup time (producer issue).
+    /// Sets the speculative wakeup time (producer issue), broadcasting
+    /// the change to any consumers parked on `r`'s watch list.
     pub fn set_wake(&mut self, r: PhysRef, wake_at: Cycle) {
-        self.class_mut(r.class).info[r.reg.index()].wake_at = wake_at;
+        let st = &mut self.classes[r.class.index()];
+        st.info[r.reg.index()].wake_at = wake_at;
+        let w = &mut st.watchers[r.reg.index()];
+        if !w.is_empty() {
+            self.woken.append(w);
+        }
     }
 
     /// Sets the ground-truth availability (producer execute), optionally
@@ -154,13 +183,39 @@ impl RenameUnit {
     }
 
     /// Clears all timing state of `r` back to not-ready (producer
-    /// squashed; it will re-issue later).
+    /// squashed; it will re-issue later). Watchers are broadcast like any
+    /// other wake-time change: a parked consumer must re-evaluate, since
+    /// the squashed producer's re-issue may pick an *earlier* wake time
+    /// than the one the consumer was parked under.
     pub fn reset_timing(&mut self, r: PhysRef) {
-        self.class_mut(r.class).info[r.reg.index()] = RegInfo {
+        let st = &mut self.classes[r.class.index()];
+        st.info[r.reg.index()] = RegInfo {
             wake_at: Cycle::NEVER,
             avail_at: Cycle::NEVER,
             late_cause: None,
         };
+        let w = &mut st.watchers[r.reg.index()];
+        if !w.is_empty() {
+            self.woken.append(w);
+        }
+    }
+
+    /// Parks waiting µ-op `seq` (registration `epoch`) on `r`'s watch
+    /// list; it is broadcast into the woken buffer on the next wake-time
+    /// change of `r`.
+    pub fn watch(&mut self, r: PhysRef, seq: SeqNum, epoch: u32) {
+        self.classes[r.class.index()].watchers[r.reg.index()].push((seq, epoch));
+    }
+
+    /// Moves every `(seq, epoch)` record broadcast since the last drain
+    /// into `out` (the internal buffer is left empty).
+    pub fn drain_woken(&mut self, out: &mut Vec<(SeqNum, u32)>) {
+        out.append(&mut self.woken);
+    }
+
+    /// Whether any watcher broadcast is pending.
+    pub fn has_woken(&self) -> bool {
+        !self.woken.is_empty()
     }
 
     /// Verifies physical-register conservation: for each file, the free
@@ -279,6 +334,52 @@ mod tests {
             "double count must be reported: {err}"
         );
         assert!(u.audit(&[p2.reg], &[]).is_ok());
+    }
+
+    #[test]
+    fn watchers_broadcast_on_wake_changes() {
+        let mut u = unit();
+        let (r, _) = u.rename_dst(RegClass::Int, ArchReg::new(2)).unwrap();
+        u.watch(r, SeqNum::new(11), 3);
+        u.watch(r, SeqNum::new(12), 5);
+        assert!(!u.has_woken());
+        u.set_wake(r, Cycle::new(20));
+        assert!(u.has_woken());
+        let mut out = Vec::new();
+        u.drain_woken(&mut out);
+        assert_eq!(out, vec![(SeqNum::new(11), 3), (SeqNum::new(12), 5)]);
+        assert!(!u.has_woken(), "drain empties the buffer");
+        // The list was consumed: a second change broadcasts nothing.
+        u.set_wake(r, Cycle::new(25));
+        assert!(!u.has_woken());
+        // reset_timing broadcasts too (squash-then-earlier-reissue path).
+        u.watch(r, SeqNum::new(13), 1);
+        u.reset_timing(r);
+        out.clear();
+        u.drain_woken(&mut out);
+        assert_eq!(out, vec![(SeqNum::new(13), 1)]);
+    }
+
+    #[test]
+    fn recycled_register_starts_with_clean_watch_list() {
+        let mut u = unit();
+        let (r, _) = u.rename_dst(RegClass::Int, ArchReg::new(4)).unwrap();
+        u.watch(r, SeqNum::new(1), 1);
+        // Free it (as the overwriting µ-op's commit would), then drive
+        // allocations until the same register comes back around.
+        u.release(r);
+        let mut back = None;
+        for _ in 0..256 {
+            let (n, _) = u.rename_dst(RegClass::Int, ArchReg::new(5)).unwrap();
+            u.release(n);
+            if n == r {
+                back = Some(n);
+                break;
+            }
+        }
+        let r2 = back.expect("register must recycle");
+        u.set_wake(r2, Cycle::new(9));
+        assert!(!u.has_woken(), "stale watcher must not survive recycling");
     }
 
     #[test]

@@ -64,6 +64,15 @@ pub struct RobEntry {
 }
 
 impl RobEntry {
+    /// Whether this entry is a candidate for the IQ phase of the issue
+    /// stage: waiting, still holding an issue-queue slot, and not parked
+    /// in the recovery buffer (which has its own selection loop). This is
+    /// the membership predicate of the scheduler's ready queue.
+    #[inline]
+    pub fn is_iq_waiting(&self) -> bool {
+        self.state == UopState::Waiting && !self.in_recovery && self.holds_iq
+    }
+
     /// Creates a freshly-dispatched entry.
     pub fn new(seq: SeqNum, uop: MicroOp, wrong_path: bool) -> Self {
         RobEntry {
@@ -123,5 +132,20 @@ mod tests {
         assert_eq!(e.times_issued, 0);
         assert!(!e.holds_iq);
         assert_eq!(e.done_at, Cycle::NEVER);
+    }
+
+    #[test]
+    fn iq_waiting_requires_all_three_flags() {
+        let r = RegRef::int(ArchReg::new(1));
+        let uop = MicroOp::alu(Pc::new(0x100), r, r, None);
+        let mut e = RobEntry::new(SeqNum::new(1), uop, false);
+        assert!(!e.is_iq_waiting(), "dispatch sets holds_iq, not the ctor");
+        e.holds_iq = true;
+        assert!(e.is_iq_waiting());
+        e.in_recovery = true;
+        assert!(!e.is_iq_waiting(), "recovery entries have their own loop");
+        e.in_recovery = false;
+        e.state = UopState::InFlight;
+        assert!(!e.is_iq_waiting());
     }
 }

@@ -8,6 +8,8 @@
 //!             [--campaign-seed S] [--repro FILE]
 //! experiments trace --bench NAME --config SPEC [--config SPEC2]
 //!             [--window LO..HI] [--format perfetto|pipeview] [--out FILE]
+//! experiments bench [--out FILE] [--smoke] [--baseline FILE]
+//!             [--max-regress PCT]
 //! ```
 //!
 //! Results print as ASCII tables; CSVs land in `--out` (default
@@ -34,6 +36,10 @@ fn main() {
     // Same for the trace capture subcommand.
     if args.first().map(String::as_str) == Some("trace") {
         std::process::exit(ss_harness::tracecmd::run_cli(&args[1..]));
+    }
+    // And the scheduler-throughput benchmark.
+    if args.first().map(String::as_str) == Some("bench") {
+        std::process::exit(ss_harness::bench::run_cli(&args[1..]));
     }
     let mut which: Vec<String> = Vec::new();
     let mut quick = false;

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench;
 pub mod configs;
 pub mod energy;
 pub mod exec;

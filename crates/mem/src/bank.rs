@@ -49,6 +49,9 @@ pub struct BankArbiter {
     served: Vec<Target>,
     /// Deferred accesses with precomputed service cycles, FIFO.
     queue: VecDeque<Queued>,
+    /// Reusable buffer for the targets sharing the tail service cycle:
+    /// `request` runs once per load and must not allocate in steady state.
+    scratch_same: Vec<Target>,
     /// Total accesses delayed ≥ 1 cycle.
     pub delayed_accesses: u64,
     /// Total cycles of queueing delay.
@@ -66,6 +69,7 @@ impl BankArbiter {
             cur: Cycle::ZERO,
             served: Vec::with_capacity(SLOTS_PER_CYCLE as usize),
             queue: VecDeque::new(),
+            scratch_same: Vec::with_capacity(SLOTS_PER_CYCLE as usize),
             delayed_accesses: 0,
             delay_cycles: 0,
         }
@@ -129,28 +133,28 @@ impl BankArbiter {
             return BankGrant { delay: 0 };
         }
         // Enqueue: schedule after the current queue tail.
-        let (mut cycle, mut in_cycle): (Cycle, Vec<Target>) = match self.queue.back() {
-            Some(tail) => {
-                let c = tail.service;
-                let same: Vec<Target> = self
-                    .queue
-                    .iter()
-                    .filter(|q| q.service == c)
-                    .map(|q| q.target)
-                    .collect();
-                (c, same)
-            }
-            None => (now + 1, Vec::new()),
+        let mut in_cycle = std::mem::take(&mut self.scratch_same);
+        in_cycle.clear();
+        let mut cycle = match self.queue.back() {
+            Some(tail) => tail.service,
+            None => now + 1,
         };
         if cycle <= now {
             // tail was scheduled in the past relative to `now` (can happen
             // only transiently); start fresh next cycle
             cycle = now + 1;
-            in_cycle.clear();
+        } else {
+            in_cycle.extend(
+                self.queue
+                    .iter()
+                    .filter(|q| q.service == cycle)
+                    .map(|q| q.target),
+            );
         }
         if !self.compatible(t, &in_cycle) {
             cycle += 1;
         }
+        self.scratch_same = in_cycle;
         let delay = cycle - now;
         self.queue.push_back(Queued {
             target: t,

@@ -50,6 +50,10 @@ pub struct MemoryHierarchy {
     l2: SetAssocCache,
     l2_mshr: MshrFile,
     prefetcher: StridePrefetcher,
+    /// Scratch copy of the prefetcher's burst (the borrow must end
+    /// before the prefetches are issued back into `self`); reused so
+    /// the per-miss path stays allocation-free.
+    pf_scratch: Vec<Addr>,
     dram: Dram,
     l2_latency: u64,
     /// Demand-load statistics for the L1D.
@@ -78,6 +82,7 @@ impl MemoryHierarchy {
             l2: SetAssocCache::new(cfg.l2),
             l2_mshr: MshrFile::new(cfg.l2_mshrs, cfg.l2.line_bytes),
             prefetcher: StridePrefetcher::new(cfg.prefetch_degree, cfg.l2.line_bytes),
+            pf_scratch: Vec::with_capacity(cfg.prefetch_degree as usize),
             dram: Dram::new(cfg.dram),
             l2_latency: cfg.l2_latency,
             l1d_stats: CacheStats::default(),
@@ -140,10 +145,13 @@ impl MemoryHierarchy {
         self.l1d_stats.misses += 1;
 
         // Train the prefetcher on the demand-miss stream.
-        let prefetches = self.prefetcher.observe_miss(pc, addr);
-        for pf in prefetches {
+        let mut burst = std::mem::take(&mut self.pf_scratch);
+        burst.clear();
+        burst.extend_from_slice(self.prefetcher.observe_miss(pc, addr));
+        for &pf in &burst {
             self.issue_prefetch(pf, start);
         }
+        self.pf_scratch = burst;
 
         // L1 MSHR: merge, allocate, or stall on a full file.
         let (level, residual, merged) = match self.l1d_mshr.access(addr, Cycle::NEVER, false) {

@@ -28,6 +28,9 @@ pub struct StridePrefetcher {
     table: Vec<StrideEntry>,
     degree: u32,
     line_bytes: u64,
+    /// Reusable burst buffer handed out by reference: `observe_miss` is
+    /// on the per-L1-miss hot path and must not allocate in steady state.
+    burst: Vec<Addr>,
     /// Prefetch requests emitted.
     pub issued: u64,
 }
@@ -39,20 +42,22 @@ impl StridePrefetcher {
             table: vec![StrideEntry::default(); TABLE_ENTRIES],
             degree,
             line_bytes,
+            burst: Vec::with_capacity(degree as usize),
             issued: 0,
         }
     }
 
     /// Observes a demand L1 miss by the load at `pc` to `addr`; returns
     /// the line addresses to prefetch (empty while training or disabled).
-    pub fn observe_miss(&mut self, pc: Pc, addr: Addr) -> Vec<Addr> {
+    /// The slice borrows an internal buffer valid until the next call.
+    pub fn observe_miss(&mut self, pc: Pc, addr: Addr) -> &[Addr] {
+        self.burst.clear();
         if self.degree == 0 {
-            return Vec::new();
+            return &self.burst;
         }
         let idx = (pc.get() >> 2) as usize % TABLE_ENTRIES;
         let tag = (pc.get() >> 2) as u32;
         let e = &mut self.table[idx];
-        let mut out = Vec::new();
         if e.tag != tag {
             *e = StrideEntry {
                 tag,
@@ -60,7 +65,7 @@ impl StridePrefetcher {
                 stride: 0,
                 confidence: 0,
             };
-            return out;
+            return &self.burst;
         }
         let new_stride = addr.get() as i64 - e.last_addr as i64;
         if new_stride == e.stride && new_stride != 0 {
@@ -80,12 +85,13 @@ impl StridePrefetcher {
             for k in 1..=self.degree as i64 {
                 let target = addr.get() as i64 + stride_lines * k;
                 if target >= 0 {
-                    out.push(Addr::new(target as u64).line(self.line_bytes));
+                    self.burst
+                        .push(Addr::new(target as u64).line(self.line_bytes));
                 }
             }
-            self.issued += out.len() as u64;
+            self.issued += self.burst.len() as u64;
         }
-        out
+        &self.burst
     }
 }
 
@@ -176,9 +182,9 @@ mod tests {
             let _ = p.observe_miss(Pc::new(0x500), Addr::new(i * 64));
             let _ = p.observe_miss(Pc::new(0x504), Addr::new(1 << 20 | (i * 128)));
         }
-        let o1 = p.observe_miss(Pc::new(0x500), Addr::new(4 * 64));
-        let o2 = p.observe_miss(Pc::new(0x504), Addr::new(1 << 20 | (4 * 128)));
-        assert_eq!(o1[0], Addr::new(5 * 64));
-        assert_eq!(o2[0], Addr::new(1 << 20 | (4 * 128 + 128)));
+        let o1 = p.observe_miss(Pc::new(0x500), Addr::new(4 * 64))[0];
+        assert_eq!(o1, Addr::new(5 * 64));
+        let o2 = p.observe_miss(Pc::new(0x504), Addr::new(1 << 20 | (4 * 128)))[0];
+        assert_eq!(o2, Addr::new(1 << 20 | (4 * 128 + 128)));
     }
 }

@@ -11,6 +11,9 @@
 //! * [`stats`] — the statistics block ([`SimStats`]) every experiment reads,
 //!   including the paper's `Unique` / `RpldMiss` / `RpldBank` issue
 //!   breakdown.
+//! * [`ready`] — event-driven scheduler primitives ([`SeqBitmap`],
+//!   [`WakeHeap`], [`EpochRing`], [`VecPool`]) backing the pipeline's
+//!   incrementally-maintained ready queue.
 //! * [`replay`] — the replay-cause taxonomy ([`ReplayCause`]).
 //! * [`error`] — the structured failure taxonomy ([`SimError`]) and the
 //!   [`PipelineSnapshot`] attached to deadlock/invariant reports.
@@ -45,6 +48,7 @@ pub mod error;
 pub mod exec;
 pub mod ids;
 pub mod op;
+pub mod ready;
 pub mod replay;
 pub mod rng;
 pub mod stats;
@@ -60,6 +64,7 @@ pub use error::{DeadlockReport, DivergenceReport, InvariantReport, PipelineSnaps
 pub use exec::{CancelFlag, WorkQueue};
 pub use ids::{Addr, ArchReg, Cycle, Pc, PhysReg, SeqNum};
 pub use op::{BranchKind, ExecPort, OpClass, RegClass};
+pub use ready::{EpochRing, SeqBitmap, VecPool, WakeHeap};
 pub use replay::ReplayCause;
 pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{CacheStats, SimStats};
