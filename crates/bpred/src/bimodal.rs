@@ -95,3 +95,6 @@ mod tests {
         assert!(b.predict(Pc::new(0x104)).0, "neighbouring PC unaffected");
     }
 }
+
+ss_types::impl_persist!(BimodalMeta { index });
+ss_types::impl_persist_state!(Bimodal { counters });

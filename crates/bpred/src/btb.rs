@@ -147,3 +147,6 @@ mod tests {
         let _ = Btb::new(1024, 8);
     }
 }
+
+ss_types::impl_persist!(BtbEntry { valid, tag, target });
+ss_types::impl_persist_state!(Btb { sets, lru });

@@ -269,3 +269,16 @@ mod tests {
         let _ = GlobalHistory::new(&lens, 10, 12);
     }
 }
+
+ss_types::impl_persist!(Folded {
+    value,
+    width,
+    out_rot
+});
+ss_types::impl_persist!(HistoryCheckpoint { pos, folded, path });
+ss_types::impl_persist_state!(GlobalHistory {
+    ring,
+    pos,
+    folded,
+    path
+});

@@ -362,3 +362,70 @@ mod tests {
         );
     }
 }
+
+use ss_types::persist::{DecodeError, Persist, PersistState, Reader, Writer};
+
+impl Persist for DirMeta {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            DirMeta::Tage(m) => {
+                0u8.save(w);
+                m.save(w);
+            }
+            DirMeta::Bimodal(m) => {
+                1u8.save(w);
+                m.save(w);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::load(r)? {
+            0 => DirMeta::Tage(TageMeta::load(r)?),
+            1 => DirMeta::Bimodal(BimodalMeta::load(r)?),
+            t => return Err(r.err(format_args!("invalid DirMeta tag {t}"))),
+        })
+    }
+}
+
+ss_types::impl_persist!(PredMeta {
+    dir,
+    hist_cp,
+    ras_cp
+});
+ss_types::impl_persist!(BranchPrediction {
+    taken,
+    next_pc,
+    meta
+});
+
+impl PersistState for BranchPredictor {
+    fn save_state(&self, w: &mut Writer) {
+        match &self.dir {
+            Dir::Tage(t) => {
+                0u8.save(w);
+                t.save_state(w);
+            }
+            Dir::Bimodal(b) => {
+                1u8.save(w);
+                b.save_state(w);
+            }
+        }
+        self.btb.save_state(w);
+        self.ras.save_state(w);
+    }
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        let tag = u8::load(r)?;
+        match (&mut self.dir, tag) {
+            (Dir::Tage(t), 0) => t.restore_state(r)?,
+            (Dir::Bimodal(b), 1) => b.restore_state(r)?,
+            (_, t @ (0 | 1)) => {
+                return Err(r.err(format_args!(
+                    "direction-predictor kind mismatch (snapshot tag {t})"
+                )))
+            }
+            (_, t) => return Err(r.err(format_args!("invalid direction-predictor tag {t}"))),
+        }
+        self.btb.restore_state(r)?;
+        self.ras.restore_state(r)
+    }
+}

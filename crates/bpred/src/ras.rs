@@ -144,3 +144,6 @@ mod tests {
         let _ = Ras::new(0);
     }
 }
+
+ss_types::impl_persist!(RasCheckpoint { stack, top, depth });
+ss_types::impl_persist_state!(Ras { stack, top, depth });

@@ -453,3 +453,17 @@ mod tests {
         );
     }
 }
+
+ss_types::impl_persist!(TageEntry { tag, ctr, u });
+ss_types::impl_persist!(TageMeta {
+    indices,
+    tags,
+    base_index,
+    provider,
+    alt,
+    provider_pred,
+    alt_pred,
+    pred,
+    provider_new,
+});
+ss_types::impl_persist_state!(Tage { base, tables, use_alt_on_na, tick, lfsr ; hist });

@@ -251,3 +251,38 @@ mod tests {
         assert!(err.to_string().contains("zero duration"), "{err}");
     }
 }
+
+impl ss_types::Persist for FaultKind {
+    fn save(&self, w: &mut ss_types::Writer) {
+        match self {
+            FaultKind::LatencySpike { extra_cycles } => {
+                0u8.save(w);
+                extra_cycles.save(w);
+            }
+            FaultKind::BankConflictBurst { delay_cycles } => {
+                1u8.save(w);
+                delay_cycles.save(w);
+            }
+            FaultKind::ReplayStorm => 2u8.save(w),
+        }
+    }
+    fn load(r: &mut ss_types::Reader<'_>) -> Result<Self, ss_types::DecodeError> {
+        match u8::load(r)? {
+            0 => Ok(FaultKind::LatencySpike {
+                extra_cycles: u64::load(r)?,
+            }),
+            1 => Ok(FaultKind::BankConflictBurst {
+                delay_cycles: u64::load(r)?,
+            }),
+            2 => Ok(FaultKind::ReplayStorm),
+            t => Err(r.err(format_args!("invalid FaultKind tag {t}"))),
+        }
+    }
+}
+
+ss_types::impl_persist!(FaultWindow {
+    start,
+    duration,
+    kind
+});
+ss_types::impl_persist!(FaultPlan { windows, error });

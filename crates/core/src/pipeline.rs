@@ -32,6 +32,7 @@ use ss_mem::{MemLevel, MemoryHierarchy};
 use ss_memdep::StoreSets;
 use ss_sched::{BankPredictor, SchedEngine, WakeupDecision};
 use ss_types::commit::CommitRecord;
+use ss_types::persist::{DecodeError, Persist, PersistState, Reader, Writer};
 use ss_types::trace::{NullSink, TraceEvent, TraceSink};
 use ss_types::{
     BankInterleaving, CritCriterion, Cycle, DeadlockReport, DivergenceReport, InvariantReport,
@@ -158,6 +159,11 @@ pub struct Simulator<T, S: TraceSink = NullSink> {
     wakeup_bug_armed: bool,
     wakeup_bug_fired: bool,
 
+    /// Path of the nearest checkpoint this run was captured to or
+    /// restored from, attached to failure reports so a crash can be
+    /// reproduced from warm state instead of a cold replay.
+    checkpoint_note: Option<String>,
+
     /// The observability sink every stage reports into (see
     /// [`ss_types::trace`]).
     sink: S,
@@ -228,6 +234,7 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
             diff: None,
             wakeup_bug_armed: false,
             wakeup_bug_fired: false,
+            checkpoint_note: None,
             stats: SimStats::default(),
             memdep_violations: 0,
             wp_gen: WrongPathGen::new(0x57A7_5EED),
@@ -288,6 +295,19 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
     /// (attach before the first call to a `run` method).
     pub fn attach_diff_checker(&mut self, checker: DiffChecker) {
         self.diff = Some(checker);
+    }
+
+    /// Records the filesystem path of the nearest checkpoint this run
+    /// relates to (last captured to, or restored from). The note rides
+    /// along on [`DeadlockReport`]/[`DivergenceReport`] so failures name
+    /// the warm state they can be reproduced from.
+    pub fn set_checkpoint_note(&mut self, note: impl Into<String>) {
+        self.checkpoint_note = Some(note.into());
+    }
+
+    /// The checkpoint note, if one was recorded.
+    pub fn checkpoint_note(&self) -> Option<&str> {
+        self.checkpoint_note.as_deref()
     }
 
     /// Commits verified by the attached differential checker, if any.
@@ -372,6 +392,7 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
             snapshot: self.snapshot(),
             watchdog_cycles: self.cfg.watchdog_cycles,
             detail: self.window_detail(),
+            checkpoint: self.checkpoint_note.clone(),
             trace: self.sink.recent(),
         }
     }
@@ -814,6 +835,7 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
                         actual: rec,
                         recent: self.commit_ring.iter().copied().collect(),
                         detail: self.window_detail(),
+                        checkpoint: self.checkpoint_note.clone(),
                         trace: self.sink.recent(),
                     })));
                 }
@@ -2163,4 +2185,262 @@ impl<T: TraceSource, S: TraceSink> std::fmt::Debug for Simulator<T, S> {
             .field("committed", &self.stats.committed_uops)
             .finish_non_exhaustive()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint capture/restore.
+// ---------------------------------------------------------------------------
+
+/// Section tags for the [`ss_snapshot`] container. Tags are part of the
+/// on-disk format: renumbering is a format break and must bump
+/// [`ss_snapshot::SNAPSHOT_FORMAT_VERSION`].
+pub mod sections {
+    /// Core pipeline state: ROB, frontend, in-flight/recovery groups,
+    /// occupancy counters, cycle/seq clocks, fault plan, and statistics.
+    pub const CORE: u32 = 1;
+    /// Workload engine position plus the wrong-path generator.
+    pub const TRACE: u32 = 2;
+    /// Branch predictor (direction tables, BTB, RAS, history).
+    pub const BPRED: u32 = 3;
+    /// Memory hierarchy (caches, MSHRs, banks, DRAM, prefetcher).
+    pub const MEM: u32 = 4;
+    /// Memory-dependence predictor (Store Sets).
+    pub const MEMDEP: u32 = 5;
+    /// Scheduling-policy engine and bank predictor.
+    pub const SCHED: u32 = 6;
+    /// Rename/scoreboard state and the event-driven ready queue.
+    pub const RENAME: u32 = 7;
+}
+
+/// Fingerprint of a machine configuration, used to gate restores: a
+/// snapshot is only loadable into a simulator built from the identical
+/// [`SimConfig`].
+pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
+    ss_types::persist::fnv1a64(format!("{cfg:?}").as_bytes())
+}
+
+fn section_of(tag: u32, fill: impl FnOnce(&mut Writer)) -> ss_snapshot::Section {
+    let mut w = Writer::new();
+    fill(&mut w);
+    ss_snapshot::Section {
+        tag,
+        bytes: w.into_bytes(),
+    }
+}
+
+fn corrupt(reason: impl Into<String>) -> SimError {
+    SimError::SnapshotCorrupt {
+        path: "<memory>".into(),
+        reason: reason.into(),
+    }
+}
+
+impl<T: TraceSource + PersistState, S: TraceSink> Simulator<T, S> {
+    /// Serializes the complete architectural and microarchitectural state
+    /// of the machine into a versioned snapshot. A [`Simulator`] built
+    /// from the same [`SimConfig`] and restored from this snapshot
+    /// produces bit-identical statistics to one that never stopped.
+    ///
+    /// Not captured (by design): the trace sink, an attached differential
+    /// checker, and per-cycle scratch buffers (all empty between ticks).
+    /// Capture at a quiescent point — after a `try_run_committed` call —
+    /// never mid-`tick`.
+    pub fn capture(&self) -> ss_snapshot::Snapshot {
+        let core = section_of(sections::CORE, |w| {
+            self.now.save(w);
+            self.next_seq.save(w);
+            self.rob.save(w);
+            self.frontend.save(w);
+            self.inflight.save(w);
+            self.recovery.save(w);
+            self.iq_used.save(w);
+            self.lq_used.save(w);
+            self.sq_used.save(w);
+            self.replayed_marks.save_state(w);
+            self.store_ring.save(w);
+            self.muldiv_free.save(w);
+            self.fpdiv_free.save(w);
+            self.issue_blocked_at.save(w);
+            self.wrong_path_mode.save(w);
+            self.pending_correct.save(w);
+            self.fetch_stall_until.save(w);
+            self.last_commit_at.save(w);
+            self.deferred_wakes.save(w);
+            self.recent_load_addrs.save(w);
+            self.recent_load_idx.save(w);
+            self.wp_rng.save(w);
+            self.fault_plan.save(w);
+            self.degrade_until.save(w);
+            self.degrade_window_start.save(w);
+            self.degrade_window_replays.save(w);
+            self.commit_ring.save(w);
+            self.wakeup_bug_armed.save(w);
+            self.wakeup_bug_fired.save(w);
+            self.stats.save(w);
+            self.memdep_violations.save(w);
+        });
+        let trace = section_of(sections::TRACE, |w| {
+            self.trace.save_state(w);
+            self.wp_gen.save_state(w);
+        });
+        let bpred = section_of(sections::BPRED, |w| self.bpred.save_state(w));
+        let mem = section_of(sections::MEM, |w| self.mem.save_state(w));
+        let memdep = section_of(sections::MEMDEP, |w| self.store_sets.save_state(w));
+        let sched = section_of(sections::SCHED, |w| {
+            self.engine.save_state(w);
+            self.bank_pred.save_state(w);
+        });
+        let rename = section_of(sections::RENAME, |w| {
+            self.rename.save_state(w);
+            self.sched.save_state(w);
+        });
+        ss_snapshot::Snapshot::new(
+            config_fingerprint(&self.cfg),
+            vec![core, trace, bpred, mem, memdep, sched, rename],
+        )
+    }
+
+    /// Restores the machine to the exact state [`Simulator::capture`]
+    /// serialized. The simulator must have been built from the identical
+    /// [`SimConfig`] (gated by the config fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SnapshotCorrupt`] on any config mismatch, missing
+    /// section, or malformed section body. On error the simulator state
+    /// is unspecified and it must not be used further.
+    pub fn restore(&mut self, snap: &ss_snapshot::Snapshot) -> Result<(), SimError> {
+        let expected = config_fingerprint(&self.cfg);
+        if snap.config_fingerprint != expected {
+            return Err(corrupt(format!(
+                "config fingerprint {:016x} does not match this machine ({expected:016x})",
+                snap.config_fingerprint
+            )));
+        }
+        let mut r = self.section_reader(snap, sections::CORE)?;
+        self.restore_core(&mut r)
+            .and_then(|()| Self::finish(r))
+            .map_err(|e| corrupt(format!("core section: {e}")))?;
+
+        let mut r = self.section_reader(snap, sections::TRACE)?;
+        self.trace
+            .restore_state(&mut r)
+            .and_then(|()| self.wp_gen.restore_state(&mut r))
+            .and_then(|()| Self::finish(r))
+            .map_err(|e| corrupt(format!("trace section: {e}")))?;
+
+        let mut r = self.section_reader(snap, sections::BPRED)?;
+        self.bpred
+            .restore_state(&mut r)
+            .and_then(|()| Self::finish(r))
+            .map_err(|e| corrupt(format!("branch-predictor section: {e}")))?;
+
+        let mut r = self.section_reader(snap, sections::MEM)?;
+        self.mem
+            .restore_state(&mut r)
+            .and_then(|()| Self::finish(r))
+            .map_err(|e| corrupt(format!("memory section: {e}")))?;
+
+        let mut r = self.section_reader(snap, sections::MEMDEP)?;
+        self.store_sets
+            .restore_state(&mut r)
+            .and_then(|()| Self::finish(r))
+            .map_err(|e| corrupt(format!("memdep section: {e}")))?;
+
+        let mut r = self.section_reader(snap, sections::SCHED)?;
+        self.engine
+            .restore_state(&mut r)
+            .and_then(|()| self.bank_pred.restore_state(&mut r))
+            .and_then(|()| Self::finish(r))
+            .map_err(|e| corrupt(format!("scheduler section: {e}")))?;
+
+        let mut r = self.section_reader(snap, sections::RENAME)?;
+        self.rename
+            .restore_state(&mut r)
+            .and_then(|()| self.sched.restore_state(&mut r))
+            .and_then(|()| Self::finish(r))
+            .map_err(|e| corrupt(format!("rename section: {e}")))?;
+
+        // Per-cycle scratch is empty between ticks by construction; clear
+        // it so a restore into a used simulator matches a fresh one.
+        self.scratch_candidates.clear();
+        self.scratch_woken.clear();
+        self.scratch_squash.clear();
+        self.pending_error = None;
+        Ok(())
+    }
+
+    fn section_reader<'s>(
+        &self,
+        snap: &'s ss_snapshot::Snapshot,
+        tag: u32,
+    ) -> Result<Reader<'s>, SimError> {
+        snap.section(tag)
+            .map(Reader::new)
+            .ok_or_else(|| corrupt(format!("missing section {tag}")))
+    }
+
+    fn finish(r: Reader<'_>) -> Result<(), DecodeError> {
+        if r.is_finished() {
+            Ok(())
+        } else {
+            Err(r.err(format_args!("{} trailing bytes", r.remaining())))
+        }
+    }
+
+    fn restore_core(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        self.now = Persist::load(r)?;
+        self.next_seq = Persist::load(r)?;
+        self.rob = Persist::load(r)?;
+        self.frontend = Persist::load(r)?;
+        self.inflight = Persist::load(r)?;
+        self.recovery = Persist::load(r)?;
+        self.iq_used = Persist::load(r)?;
+        self.lq_used = Persist::load(r)?;
+        self.sq_used = Persist::load(r)?;
+        self.replayed_marks.restore_state(r)?;
+        self.store_ring = Persist::load(r)?;
+        self.muldiv_free = Persist::load(r)?;
+        self.fpdiv_free = Persist::load(r)?;
+        self.issue_blocked_at = Persist::load(r)?;
+        self.wrong_path_mode = Persist::load(r)?;
+        self.pending_correct = Persist::load(r)?;
+        self.fetch_stall_until = Persist::load(r)?;
+        self.last_commit_at = Persist::load(r)?;
+        self.deferred_wakes = Persist::load(r)?;
+        self.recent_load_addrs = Persist::load(r)?;
+        self.recent_load_idx = Persist::load(r)?;
+        self.wp_rng = Persist::load(r)?;
+        self.fault_plan = Persist::load(r)?;
+        self.degrade_until = Persist::load(r)?;
+        self.degrade_window_start = Persist::load(r)?;
+        self.degrade_window_replays = Persist::load(r)?;
+        self.commit_ring = Persist::load(r)?;
+        self.wakeup_bug_armed = Persist::load(r)?;
+        self.wakeup_bug_fired = Persist::load(r)?;
+        self.stats = Persist::load(r)?;
+        self.memdep_violations = Persist::load(r)?;
+        Ok(())
+    }
+}
+
+/// Reads and verifies a snapshot file, mapping every failure to the
+/// simulator's typed error space: a version stamp from another build is
+/// [`SimError::SnapshotVersionMismatch`], everything else (damage,
+/// identity mismatch, I/O) is [`SimError::SnapshotCorrupt`]. Corrupt
+/// files are quarantined to `<path>.corrupt` by the read layer.
+pub fn load_snapshot(path: &std::path::Path) -> Result<ss_snapshot::Snapshot, SimError> {
+    ss_snapshot::read_verified(path).map_err(|e| match e {
+        ss_snapshot::SnapshotError::VersionMismatch { found, expected } => {
+            SimError::SnapshotVersionMismatch {
+                path: path.display().to_string(),
+                found,
+                expected,
+            }
+        }
+        other => SimError::SnapshotCorrupt {
+            path: path.display().to_string(),
+            reason: other.to_string(),
+        },
+    })
 }

@@ -396,3 +396,17 @@ mod tests {
         assert_eq!(u.late_cause(r), None);
     }
 }
+
+ss_types::impl_persist!(PhysRef { class, reg });
+ss_types::impl_persist!(RegInfo {
+    wake_at,
+    avail_at,
+    late_cause
+});
+ss_types::impl_persist!(ClassState {
+    map,
+    free,
+    info,
+    watchers
+});
+ss_types::impl_persist_state!(RenameUnit { classes, woken });

@@ -4,6 +4,8 @@
 use crate::diff::DiffChecker;
 use crate::pipeline::Simulator;
 use ss_oracle::InOrderModel;
+use ss_snapshot::Snapshot;
+use ss_types::persist::PersistState;
 use ss_types::{SimConfig, SimError, SimStats};
 use ss_workloads::{KernelSpec, KernelTrace, TraceSource};
 
@@ -74,6 +76,67 @@ pub fn try_run_kernel(
     try_run_trace(cfg, KernelTrace::new(spec), len)
 }
 
+/// Runs only the warmup phase of a `(cfg, trace)` cell and captures the
+/// warm machine state as a [`Snapshot`]. Feed the result to
+/// [`try_run_trace_from_snapshot`] to fork any number of measurement runs
+/// off the shared warm state without re-simulating the warmup.
+pub fn try_warm_up_trace<T: TraceSource + PersistState>(
+    cfg: SimConfig,
+    trace: T,
+    warmup: u64,
+) -> Result<Snapshot, SimError> {
+    cfg.try_validate()?;
+    let mut sim = Simulator::new(cfg, trace);
+    sim.try_run_committed(warmup)?;
+    Ok(sim.capture())
+}
+
+/// Kernel-spec convenience wrapper over [`try_warm_up_trace`].
+pub fn try_warm_up_kernel(
+    cfg: SimConfig,
+    spec: KernelSpec,
+    warmup: u64,
+) -> Result<Snapshot, SimError> {
+    try_warm_up_trace(cfg, KernelTrace::new(spec), warmup)
+}
+
+/// Resumes from a warm-state snapshot and measures `measure` committed
+/// µ-ops, returning warmup-corrected statistics — bit-identical to the
+/// fresh-run [`try_run_trace`] with the same `(cfg, trace, warmup,
+/// measure)` cell (the statistics baseline travels inside the snapshot).
+///
+/// `checkpoint` names the snapshot's filesystem path, if it has one; it
+/// is attached to any failure report so crashes can be reproduced from
+/// the warm state directly.
+pub fn try_run_trace_from_snapshot<T: TraceSource + PersistState>(
+    cfg: SimConfig,
+    trace: T,
+    snap: &Snapshot,
+    measure: u64,
+    checkpoint: Option<&str>,
+) -> Result<SimStats, SimError> {
+    cfg.try_validate()?;
+    let mut sim = Simulator::new(cfg, trace);
+    sim.restore(snap)?;
+    if let Some(cp) = checkpoint {
+        sim.set_checkpoint_note(cp);
+    }
+    let warm = sim.stats();
+    let end = sim.try_run_committed(measure)?;
+    Ok(end.delta(&warm))
+}
+
+/// Kernel-spec convenience wrapper over [`try_run_trace_from_snapshot`].
+pub fn try_run_kernel_from_snapshot(
+    cfg: SimConfig,
+    spec: KernelSpec,
+    snap: &Snapshot,
+    measure: u64,
+    checkpoint: Option<&str>,
+) -> Result<SimStats, SimError> {
+    try_run_trace_from_snapshot(cfg, KernelTrace::new(spec), snap, measure, checkpoint)
+}
+
 /// Like [`try_run_kernel`], but with the differential oracle attached:
 /// every commit is compared against an in-order golden model walking a
 /// second copy of the same deterministic kernel trace, and the first
@@ -110,6 +173,26 @@ mod tests {
         assert!(s.cycles > 0);
         let ipc = s.ipc();
         assert!(ipc > 0.1 && ipc < 8.0, "implausible IPC {ipc}");
+    }
+
+    #[test]
+    fn warm_restore_run_is_stat_identical_to_fresh_run() {
+        let cfg = SimConfig::builder().build();
+        let len = RunLength {
+            warmup: 2_000,
+            measure: 8_000,
+        };
+        let fresh = try_run_kernel(cfg.clone(), kernels::mix_int(3), len).unwrap();
+        let snap = try_warm_up_kernel(cfg.clone(), kernels::mix_int(3), len.warmup).unwrap();
+        let warm = try_run_kernel_from_snapshot(
+            cfg,
+            kernels::mix_int(3),
+            &snap,
+            len.measure,
+            Some("warm/test.snap"),
+        )
+        .unwrap();
+        assert_eq!(fresh, warm, "restored run must be bit-identical");
     }
 
     #[test]

@@ -194,3 +194,5 @@ mod tests {
         assert_eq!(q.pop_due(Cycle::new(20)), Some(a));
     }
 }
+
+ss_types::impl_persist_state!(SchedQueue { store_waiters, store_woken ; ready, heap, epochs });

@@ -149,3 +149,56 @@ mod tests {
         assert!(!e.is_iq_waiting());
     }
 }
+
+impl ss_types::Persist for UopState {
+    fn save(&self, w: &mut ss_types::Writer) {
+        ss_types::Persist::save(
+            &match self {
+                UopState::Waiting => 0,
+                UopState::InFlight => 1,
+                UopState::Done => 2u8,
+            },
+            w,
+        );
+    }
+    fn load(r: &mut ss_types::Reader<'_>) -> Result<Self, ss_types::DecodeError> {
+        match u8::load(r)? {
+            0 => Ok(UopState::Waiting),
+            1 => Ok(UopState::InFlight),
+            2 => Ok(UopState::Done),
+            t => Err(r.err(format_args!("invalid UopState tag {t}"))),
+        }
+    }
+}
+
+ss_types::impl_persist!(RobEntry {
+    seq,
+    uop,
+    wrong_path,
+    state,
+    dst,
+    srcs,
+    issue_cycle,
+    times_issued,
+    done_at,
+    holds_iq,
+    in_recovery,
+    pred,
+    mispredicted,
+    dir_wrong,
+    mispred_handled,
+    load_l1_hit,
+    store_dep,
+    store_executed,
+    was_iq_oldest,
+    prf_delay
+});
+
+ss_types::impl_persist!(FetchedUop {
+    uop,
+    wrong_path,
+    ready_at,
+    pred,
+    mispredicted,
+    dir_wrong
+});

@@ -14,7 +14,10 @@
 //! With `--baseline FILE`, the run fails (exit 1) if any cell's
 //! event/legacy speedup ratio regressed more than `--max-regress`
 //! percent (default 20) against the committed baseline — the ratio, not
-//! absolute throughput, so the gate is stable across host machines.
+//! absolute throughput, so the gate is stable across host machines. A
+//! *missing* baseline file skips the gate with exit 0 (a fresh branch
+//! has nothing to regress against); only a present-but-unreadable
+//! baseline is an error.
 
 use ss_core::{try_run_kernel, RunLength};
 use ss_types::SimConfig;
@@ -343,6 +346,17 @@ pub fn run_cli(args: &[String]) -> i32 {
     println!("bench: wrote {}", out_path.display());
 
     if let Some(base_path) = baseline {
+        // A missing baseline is not a failure: first runs on a fresh
+        // branch (or a CI job before the baseline is committed) have
+        // nothing to gate against. Only a present-but-unreadable baseline
+        // fails the run.
+        if !base_path.exists() {
+            println!(
+                "bench: no baseline at {} — gate skipped (commit one to enable regression gating)",
+                base_path.display()
+            );
+            return 0;
+        }
         let base = match baseline_speedups(&base_path) {
             Ok(b) => b,
             Err(e) => {

@@ -3,17 +3,26 @@
 //! ```text
 //! experiments [table2|fig3|fig4|fig5|fig7|fig8|sweep|headline|ablations|all]
 //!             [--jobs N] [--quick] [--smoke] [--out DIR] [--no-cache]
-//!             [--no-progress]
+//!             [--no-progress] [--checkpoint-dir DIR] [--resume]
 //! experiments fuzz [--seeds N] [--smoke] [--jobs N] [--out DIR]
 //!             [--campaign-seed S] [--repro FILE]
 //! experiments trace --bench NAME --config SPEC [--config SPEC2]
 //!             [--window LO..HI] [--format perfetto|pipeview] [--out FILE]
 //! experiments bench [--out FILE] [--smoke] [--baseline FILE]
 //!             [--max-regress PCT]
+//! experiments snapfuzz [--seeds N] [--seed S]
 //! ```
 //!
 //! Results print as ASCII tables; CSVs land in `--out` (default
 //! `results/`). Simulation results are cached under `results/cache/`.
+//!
+//! `--checkpoint-dir DIR` makes the sweep crash-safe and warm-forkable:
+//! the stats cache moves to `DIR/cache`, per-cell warm-state snapshots
+//! land in `DIR/warm` (each cell's warmup simulates once, ever), and an
+//! fsync'd journal of completed cells is kept at `DIR/journal.log`. A
+//! killed sweep rerun with the same `--checkpoint-dir` picks up where it
+//! died and produces byte-identical reports; add `--resume` to print how
+//! much completed work was found on record.
 //!
 //! `--jobs N` shards the (configuration × benchmark) matrix across `N`
 //! worker threads (default: the host's available parallelism) before the
@@ -41,6 +50,10 @@ fn main() {
     if args.first().map(String::as_str) == Some("bench") {
         std::process::exit(ss_harness::bench::run_cli(&args[1..]));
     }
+    // And the snapshot-corruption fuzzer.
+    if args.first().map(String::as_str) == Some("snapfuzz") {
+        std::process::exit(ss_harness::snapfuzz::run_cli(&args[1..]));
+    }
     let mut which: Vec<String> = Vec::new();
     let mut quick = false;
     let mut smoke = false;
@@ -48,6 +61,8 @@ fn main() {
     let mut progress = true;
     let mut jobs = ss_types::exec::default_jobs();
     let mut out = PathBuf::from("results");
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut resume = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -62,9 +77,15 @@ fn main() {
                     .expect("--jobs needs a worker count")
             }
             "--out" => out = PathBuf::from(it.next().expect("--out needs a directory")),
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(PathBuf::from(
+                    it.next().expect("--checkpoint-dir needs a directory"),
+                ))
+            }
+            "--resume" => resume = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [{}|all]... [--jobs N] [--quick] [--smoke] [--out DIR] [--no-cache] [--no-progress]",
+                    "usage: experiments [{}|all]... [--jobs N] [--quick] [--smoke] [--out DIR] [--no-cache] [--no-progress] [--checkpoint-dir DIR] [--resume]",
                     experiments::EXPERIMENTS
                         .iter()
                         .map(|e| e.id)
@@ -97,8 +118,26 @@ fn main() {
             measure: 500_000,
         }
     };
-    let cache_dir = cache.then(|| out.join("cache"));
+    if resume && checkpoint_dir.is_none() {
+        eprintln!("--resume requires --checkpoint-dir (the directory of the interrupted sweep)");
+        std::process::exit(2);
+    }
+    let cache_dir = match &checkpoint_dir {
+        Some(d) => Some(d.join("cache")),
+        None => cache.then(|| out.join("cache")),
+    };
     let mut sess = Session::new(len, cache_dir);
+    if let Some(d) = &checkpoint_dir {
+        sess.enable_warm_fork(d.join("warm"));
+        match sess.attach_journal(&d.join("journal.log")) {
+            Ok(done) => {
+                if resume {
+                    eprintln!("[resume: {done} cells already complete on the journal]");
+                }
+            }
+            Err(e) => eprintln!("warning: sweep journal unavailable ({e}); continuing without"),
+        }
+    }
 
     // Resolve the experiment list up front so the parallel engine can
     // prewarm exactly the (configuration × benchmark) matrix the
@@ -155,9 +194,11 @@ fn main() {
         eprintln!("{note}");
     }
     eprintln!(
-        "[{} simulations run, {} cache entries rejected, {} cell failures, {:.1}s, run length {}+{} µ-ops, CSVs in {}]",
+        "[{} simulations run, {} cache entries rejected, {} quarantined, {} warm forks, {} cell failures, {:.1}s, run length {}+{} µ-ops, CSVs in {}]",
         sess.simulated,
         sess.cache_rejected,
+        sess.cache_quarantined,
+        sess.warm_forked,
         sess.failures.len(),
         t0.elapsed().as_secs_f64(),
         sess.run_length().warmup,

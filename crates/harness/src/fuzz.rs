@@ -285,6 +285,15 @@ pub fn divergence_seq(e: &SimError) -> Option<u64> {
     }
 }
 
+/// The nearest-checkpoint path a failure report carries, if any.
+pub fn error_checkpoint(e: &SimError) -> Option<&str> {
+    match e {
+        SimError::Divergence(r) => r.checkpoint.as_deref(),
+        SimError::Deadlock(r) => r.checkpoint.as_deref(),
+        _ => None,
+    }
+}
+
 /// The trailing pipeline-trace window a failure report carries (empty
 /// for error classes that don't capture one).
 pub fn error_trace(e: &SimError) -> &[TraceEvent] {
@@ -388,6 +397,9 @@ pub fn write_repro(cell: &FuzzCell, campaign_seed: u64, error: &SimError) -> Str
     if let Some(seq) = divergence_seq(error) {
         out += &format!("divergence_seq {seq}\n");
     }
+    if let Some(cp) = error_checkpoint(error) {
+        out += &format!("checkpoint {cp}\n");
+    }
     let first_line = error.to_string();
     let first_line = first_line.lines().next().unwrap_or("").to_string();
     out += &format!("error {first_line}\n");
@@ -485,7 +497,8 @@ pub fn parse_repro(text: &str) -> Result<(FuzzCell, Option<u64>), String> {
                     param: parse_u64(param)?,
                 });
             }
-            "error" => {} // informational
+            "checkpoint" => {} // informational (nearest warm-state snapshot)
+            "error" => {}      // informational
             other => return Err(format!("unknown repro key `{other}`")),
         }
     }
@@ -851,6 +864,7 @@ mod tests {
             actual: rec,
             recent: vec![],
             detail: String::new(),
+            checkpoint: Some("warm/cell.snap".into()),
             trace: vec![],
         }));
         let text = write_repro(&cell, 0xC0FFEE, &err);

@@ -11,9 +11,14 @@
 //!   (configuration × benchmark) matrix across worker threads.
 //! * [`experiments`] — one regenerator per table/figure; each returns a
 //!   [`report::Report`] with the same rows/series the paper plots.
+//! * [`journal`] — the crash-safe sweep journal: an fsync'd record of
+//!   completed cells that lets a killed sweep resume without guesswork.
 //! * [`fuzz`] — the deterministic differential fuzz campaign: random
 //!   (config × kernel × fault plan) cells checked against the in-order
 //!   golden model, with an automatic shrinker and repro files.
+//! * [`snapfuzz`] — the snapshot-corruption fuzzer: seeded bit-flips,
+//!   truncations, and section swaps against the checkpoint container,
+//!   proving every corruption maps to a typed error.
 //! * [`report`] — tables, gmean, CSV.
 //! * [`tracecmd`] — the `experiments trace` subcommand: capture a µ-op
 //!   window with the `ss-trace` observability sinks and render it as
@@ -35,8 +40,10 @@ pub mod energy;
 pub mod exec;
 pub mod experiments;
 pub mod fuzz;
+pub mod journal;
 pub mod report;
 pub mod session;
+pub mod snapfuzz;
 pub mod tracecmd;
 
 pub use configs::{ConfigFamily, ConfigSpec, ConfigVariant, NamedConfig};

@@ -6,15 +6,26 @@
 //! [`Session::try_run`], which catches panics and structured
 //! [`SimError`]s and records them in [`Session::failures`] so one broken
 //! cell cannot abort a whole sweep. On-disk cache entries carry a format
-//! version and an FNV-1a checksum; stale or corrupt entries are rejected
-//! (counted in [`Session::cache_rejected`]) and transparently
-//! re-simulated. Disk I/O failures are logged once and degrade the
-//! session to in-memory-only caching.
+//! version and an FNV-1a checksum. *Stale* entries (older format version
+//! or another cell's key — expected across builds) are deleted and
+//! re-simulated, counted in [`Session::cache_rejected`]; *corrupt*
+//! entries (damaged bytes) are quarantined to `<name>.corrupt` for
+//! inspection and counted separately in [`Session::cache_quarantined`].
+//! Disk I/O failures are logged once and degrade the session to
+//! in-memory-only caching.
+//!
+//! With a warm-state directory attached ([`Session::enable_warm_fork`]),
+//! the warmup phase of each (config × benchmark × warmup) cell is
+//! simulated once, captured as an [`ss_snapshot`] snapshot, and every
+//! later measurement for that cell forks off the warm state instead of
+//! re-simulating the warmup — bit-identical to the fresh run by the
+//! snapshot identity guarantee.
 
 use crate::configs::NamedConfig;
-use ss_core::{try_run_kernel, RunLength};
-use ss_types::{CacheStats, SimError, SimStats};
-use ss_workloads::{Benchmark, BENCHMARKS};
+use crate::journal::SweepJournal;
+use ss_core::{try_run_kernel, try_run_kernel_from_snapshot, try_warm_up_kernel, RunLength};
+use ss_types::{CacheStats, SimConfig, SimError, SimStats};
+use ss_workloads::{Benchmark, KernelSpec, BENCHMARKS};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
@@ -65,12 +76,22 @@ pub struct Session {
     disk_warned: bool,
     /// Simulations actually executed (not served from cache).
     pub simulated: u64,
-    /// On-disk cache entries rejected as stale or corrupt (each one was
-    /// re-simulated).
+    /// On-disk cache entries rejected as *stale* (older format version or
+    /// another cell's key; deleted and re-simulated).
     pub cache_rejected: u64,
+    /// On-disk cache entries rejected as *corrupt* (damaged bytes;
+    /// quarantined to `<name>.corrupt` and re-simulated).
+    pub cache_quarantined: u64,
+    /// Measurement runs forked off an on-disk warm-state snapshot
+    /// (warmup simulation skipped).
+    pub warm_forked: u64,
     /// Cells that failed (panic or structured error); the sweep
     /// continues past them.
     pub failures: Vec<CellFailure>,
+    /// Warm-state snapshot directory, when warm forking is enabled.
+    warm_dir: Option<PathBuf>,
+    /// Crash-safe record of completed cells, when attached.
+    journal: Option<SweepJournal>,
 }
 
 impl Session {
@@ -86,7 +107,11 @@ impl Session {
             disk_warned: false,
             simulated: 0,
             cache_rejected: 0,
+            cache_quarantined: 0,
+            warm_forked: 0,
             failures: Vec::new(),
+            warm_dir: None,
+            journal: None,
         };
         if let Some(d) = cache_dir {
             match std::fs::create_dir_all(&d) {
@@ -121,8 +146,40 @@ impl Session {
             disk_warned: self.disk_warned,
             simulated: 0,
             cache_rejected: 0,
+            cache_quarantined: 0,
+            warm_forked: 0,
             failures: Vec::new(),
+            warm_dir: self.warm_dir.clone(),
+            journal: self.journal.as_ref().and_then(|j| j.reopen().ok()),
         }
+    }
+
+    /// Enables warm-state forking: warmup snapshots are captured into
+    /// (and reused from) `dir`. If the directory cannot be created the
+    /// error is logged and forking stays disabled.
+    pub fn enable_warm_fork(&mut self, dir: PathBuf) {
+        match std::fs::create_dir_all(&dir) {
+            Ok(()) => self.warm_dir = Some(dir),
+            Err(e) => eprintln!(
+                "warning: warm-state dir {} unavailable ({e}); warm forking disabled",
+                dir.display()
+            ),
+        }
+    }
+
+    /// Attaches the crash-safe sweep journal at `path`, creating it if
+    /// absent. Returns the number of cells already on record (a resumed
+    /// sweep's completed work).
+    pub fn attach_journal(&mut self, path: &Path) -> std::io::Result<usize> {
+        let journal = SweepJournal::open(path)?;
+        let completed = journal.completed();
+        self.journal = Some(journal);
+        Ok(completed)
+    }
+
+    /// The attached sweep journal, if any.
+    pub fn journal(&self) -> Option<&SweepJournal> {
+        self.journal.as_ref()
     }
 
     /// Logs a disk-cache failure once and degrades to in-memory-only
@@ -175,14 +232,29 @@ impl Session {
             if let Ok(text) = std::fs::read_to_string(&path) {
                 match stats_from_cache_file(&path, &text, &self.cell_key(cfg, bench.name)) {
                     Ok(s) => {
+                        self.journal_done(&self.cell_key(cfg, bench.name));
                         self.mem.insert(key, s.clone());
                         return Ok(s);
                     }
-                    Err(e) => {
-                        // Stale or corrupt: drop it and re-simulate.
+                    Err(e) if rejection_is_stale(&e) => {
+                        // Written by another build or cell identity —
+                        // expected across upgrades; delete and re-simulate.
                         self.cache_rejected += 1;
                         eprintln!("warning: {e}; re-simulating");
                         let _ = std::fs::remove_file(&path);
+                    }
+                    Err(e) => {
+                        // Damaged bytes: keep the evidence (quarantined
+                        // under `<name>.corrupt`) and re-simulate.
+                        self.cache_quarantined += 1;
+                        let q = ss_snapshot::quarantine_path(&path);
+                        eprintln!(
+                            "warning: {e}; quarantining to {} and re-simulating",
+                            q.display()
+                        );
+                        if std::fs::rename(&path, &q).is_err() {
+                            let _ = std::fs::remove_file(&path);
+                        }
                     }
                 }
             }
@@ -190,11 +262,20 @@ impl Session {
         let config = cfg.config.clone();
         let len = self.len;
         let cell_key = self.cell_key(cfg, bench.name);
+        let warm_path = self.warm_path(&cfg.name, bench.name);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            try_run_kernel(config, (bench.build)(WORKLOAD_SEED), len)
+            run_cell(
+                config,
+                (bench.build)(WORKLOAD_SEED),
+                warm_path.as_deref(),
+                len,
+            )
         }));
         let stats = match outcome {
-            Ok(Ok(s)) => s,
+            Ok(Ok((s, forked))) => {
+                self.warm_forked += u64::from(forked);
+                s
+            }
             Ok(Err(e)) => return Err(self.record_failure(key, cell_key, e)),
             Err(payload) => {
                 let msg = payload
@@ -213,8 +294,29 @@ impl Session {
                 self.disk_cache_failed(&format!("write {}", path.display()), &e);
             }
         }
+        self.journal_done(&cell_key);
         self.mem.insert(key, stats.clone());
         Ok(stats)
+    }
+
+    /// Durably journals a completed cell (no-op without a journal; I/O
+    /// failures are logged once and disable the journal for the session).
+    fn journal_done(&mut self, cell_key: &str) {
+        if let Some(j) = &mut self.journal {
+            if let Err(e) = j.record(cell_key) {
+                eprintln!(
+                    "warning: sweep journal {} unwritable ({e}); journaling disabled",
+                    j.path().display()
+                );
+                self.journal = None;
+            }
+        }
+    }
+
+    fn warm_path(&self, cfg: &str, bench: &str) -> Option<PathBuf> {
+        self.warm_dir
+            .as_ref()
+            .map(|d| d.join(format!("{cfg}__{bench}__w{}.snap", self.len.warmup)))
     }
 
     fn record_failure(&mut self, key: (String, String), cell_key: String, e: SimError) -> SimError {
@@ -260,6 +362,8 @@ impl Session {
         }
         self.simulated += other.simulated;
         self.cache_rejected += other.cache_rejected;
+        self.cache_quarantined += other.cache_quarantined;
+        self.warm_forked += other.warm_forked;
         if other.disk_warned {
             self.disk_warned = true;
         }
@@ -292,6 +396,66 @@ impl Session {
             })
             .collect()
     }
+}
+
+/// Whether a cache rejection is *stale* (written by another build or
+/// cell identity — routine) rather than *corrupt* (damaged bytes).
+fn rejection_is_stale(e: &SimError) -> bool {
+    match e {
+        SimError::CacheCorrupt { reason, .. } => reason.contains("stale entry"),
+        _ => false,
+    }
+}
+
+/// Runs one cell, forking off a warm-state snapshot when a directory is
+/// attached. Returns the warmup-corrected statistics and whether the
+/// warmup simulation was skipped via an on-disk snapshot.
+///
+/// The fresh path warms up, captures + persists the warm state, then
+/// measures *from the captured snapshot* — the same code path a later
+/// fork takes, so both produce identical statistics by construction (and
+/// identical to a plain uninterrupted run, by the snapshot identity
+/// guarantee tested in `ss-core`). A snapshot that fails verification is
+/// quarantined by [`ss_snapshot::read_verified`] and the cell falls back
+/// to a fresh warmup.
+fn run_cell(
+    cfg: SimConfig,
+    spec: KernelSpec,
+    warm_path: Option<&Path>,
+    len: RunLength,
+) -> Result<(SimStats, bool), SimError> {
+    let Some(path) = warm_path else {
+        return try_run_kernel(cfg, spec, len).map(|s| (s, false));
+    };
+    let note = path.display().to_string();
+    match ss_snapshot::read_verified(path) {
+        Ok(snap) => {
+            match try_run_kernel_from_snapshot(
+                cfg.clone(),
+                spec.clone(),
+                &snap,
+                len.measure,
+                Some(&note),
+            ) {
+                Ok(s) => return Ok((s, true)),
+                // A config that drifted under an unchanged name (or a
+                // damaged section the container checksum cannot see,
+                // which it can't — but be safe): re-warm from scratch.
+                Err(
+                    SimError::SnapshotCorrupt { .. } | SimError::SnapshotVersionMismatch { .. },
+                ) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ss_snapshot::SnapshotError::Io(_)) => {} // absent: first visit
+        Err(e) => eprintln!("warning: warm snapshot {note}: {e}; re-warming"),
+    }
+    let snap = try_warm_up_kernel(cfg.clone(), spec.clone(), len.warmup)?;
+    if let Err(e) = ss_snapshot::write_atomic(path, &snap) {
+        eprintln!("warning: could not persist warm snapshot {note}: {e}");
+    }
+    let s = try_run_kernel_from_snapshot(cfg, spec, &snap, len.measure, Some(&note))?;
+    Ok((s, false))
 }
 
 /// FNV-1a 64-bit hash (cache-file integrity checksum).
@@ -652,6 +816,92 @@ committed_uops 20
         assert_eq!(sess2.simulated, 1, "corrupt entry re-simulated");
         assert_eq!(a, b, "re-simulation reproduces the original result");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entry_is_quarantined_not_deleted() {
+        let dir = std::env::temp_dir().join(format!("ss-harness-quar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let len = RunLength {
+            warmup: 1000,
+            measure: 5000,
+        };
+        let cfg = configs::baseline(0);
+        let bench = benchmark("fp_compute").unwrap();
+        let a = {
+            let mut sess = Session::new(len, Some(dir.clone()));
+            sess.try_run(&cfg, bench).expect("runs")
+        };
+        // Flip bytes in the body: version and key still parse, but the
+        // checksum fails — damaged data, not a routine stale entry.
+        let path = dir.join(format!("Baseline_0__fp_compute__w{}m{}.kv", 1000, 5000));
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("cycles ", "cycles 9")).unwrap();
+        let mut sess2 = Session::new(len, Some(dir.clone()));
+        let b = sess2.try_run(&cfg, bench).expect("runs");
+        assert_eq!(sess2.cache_quarantined, 1, "damage is quarantined");
+        assert_eq!(sess2.cache_rejected, 0, "not miscounted as stale");
+        assert_eq!(sess2.simulated, 1, "corrupt entry re-simulated");
+        assert_eq!(a, b);
+        let quarantined: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "corrupt"))
+            .collect();
+        assert_eq!(quarantined.len(), 1, "evidence kept as <name>.corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_fork_skips_warmup_and_matches_cold_run() {
+        let dir = std::env::temp_dir().join(format!("ss-harness-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let len = RunLength {
+            warmup: 1000,
+            measure: 5000,
+        };
+        let cfg = configs::spec_sched(4, false);
+        let bench = benchmark("mix_int").unwrap();
+        // Cold reference: no warm dir, no disk cache.
+        let cold = Session::new(len, None).try_run(&cfg, bench).expect("runs");
+        // First warm session captures the warm state (no fork yet).
+        let mut warm1 = Session::new(len, None);
+        warm1.enable_warm_fork(dir.clone());
+        let first = warm1.try_run(&cfg, bench).expect("runs");
+        assert_eq!(warm1.warm_forked, 0, "first visit warms up from cold");
+        assert_eq!(first, cold, "warm-captured run is bit-identical");
+        // Second session forks off the persisted snapshot.
+        let mut warm2 = Session::new(len, None);
+        warm2.enable_warm_fork(dir.clone());
+        let second = warm2.try_run(&cfg, bench).expect("runs");
+        assert_eq!(warm2.warm_forked, 1, "warmup simulation skipped");
+        assert_eq!(second, cold, "forked run is bit-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_records_completed_cells_across_sessions() {
+        let dir = std::env::temp_dir().join(format!("ss-harness-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let len = RunLength {
+            warmup: 1000,
+            measure: 5000,
+        };
+        let cfg = configs::baseline(0);
+        let bench = benchmark("fp_compute").unwrap();
+        let journal_path = dir.join("journal.log");
+        let mut sess = Session::new(len, Some(dir.join("cache")));
+        assert_eq!(sess.attach_journal(&journal_path).unwrap(), 0);
+        sess.try_run(&cfg, bench).expect("runs");
+        let key = sess.cell_key(&cfg, bench.name);
+        assert!(sess.journal().unwrap().contains(&key));
+        // A resumed session sees the completed cell on record and serves
+        // it from the disk cache without re-simulating.
+        let mut resumed = Session::new(len, Some(dir.join("cache")));
+        assert_eq!(resumed.attach_journal(&journal_path).unwrap(), 1);
+        resumed.try_run(&cfg, bench).expect("runs");
+        assert_eq!(resumed.simulated, 0, "served from cache on resume");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

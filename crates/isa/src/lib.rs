@@ -381,3 +381,15 @@ mod tests {
         assert!(s.contains("0x40"));
     }
 }
+
+ss_types::impl_persist!(RegRef { class, reg });
+ss_types::impl_persist!(MemAccess { addr, size });
+ss_types::impl_persist!(BranchOutcome { taken, target });
+ss_types::impl_persist!(MicroOp {
+    pc,
+    class,
+    dst,
+    srcs,
+    mem,
+    branch,
+});

@@ -310,3 +310,13 @@ mod tests {
         assert_eq!(b.delay_cycles, 1 + 2);
     }
 }
+
+ss_types::impl_persist!(Target { bank, set });
+ss_types::impl_persist!(Queued { target, service });
+ss_types::impl_persist_state!(BankArbiter {
+    cur,
+    served,
+    queue,
+    delayed_accesses,
+    delay_cycles
+});

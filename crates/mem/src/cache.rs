@@ -380,3 +380,17 @@ mod tests {
         );
     }
 }
+
+ss_types::impl_persist!(Line {
+    valid,
+    tag,
+    lru,
+    prefetched
+});
+ss_types::impl_persist_state!(SetAssocCache { sets, lru_clock });
+ss_types::impl_persist!(Mshr {
+    line,
+    complete,
+    prefetch
+});
+ss_types::impl_persist_state!(MshrFile { entries });

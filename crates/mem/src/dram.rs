@@ -208,3 +208,14 @@ mod tests {
         assert_ne!(b0, b1);
     }
 }
+
+ss_types::impl_persist!(Bank {
+    open_row,
+    busy_until
+});
+ss_types::impl_persist_state!(Dram {
+    banks,
+    bus_free,
+    row_hits,
+    row_misses
+});

@@ -294,6 +294,55 @@ impl MemoryHierarchy {
     }
 }
 
+impl ss_types::persist::PersistState for MemoryHierarchy {
+    fn save_state(&self, w: &mut ss_types::persist::Writer) {
+        use ss_types::persist::Persist;
+        self.l1i.save_state(w);
+        self.l1d.save_state(w);
+        self.l1d_mshr.save_state(w);
+        self.bank.is_some().save(w);
+        if let Some(bank) = &self.bank {
+            bank.save_state(w);
+        }
+        self.l2.save_state(w);
+        self.l2_mshr.save_state(w);
+        self.prefetcher.save_state(w);
+        self.dram.save_state(w);
+        self.l1d_stats.save(w);
+        self.l2_stats.save(w);
+        self.store_accesses.save(w);
+        self.store_misses.save(w);
+        self.l1i_misses.save(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut ss_types::persist::Reader<'_>,
+    ) -> Result<(), ss_types::persist::DecodeError> {
+        use ss_types::persist::Persist;
+        self.l1i.restore_state(r)?;
+        self.l1d.restore_state(r)?;
+        self.l1d_mshr.restore_state(r)?;
+        let has_bank = bool::load(r)?;
+        match (&mut self.bank, has_bank) {
+            (Some(bank), true) => bank.restore_state(r)?,
+            (None, false) => {}
+            _ => {
+                return Err(r.err("L1D banking presence mismatch between snapshot and config"));
+            }
+        }
+        self.l2.restore_state(r)?;
+        self.l2_mshr.restore_state(r)?;
+        self.prefetcher.restore_state(r)?;
+        self.dram.restore_state(r)?;
+        self.l1d_stats = ss_types::CacheStats::load(r)?;
+        self.l2_stats = ss_types::CacheStats::load(r)?;
+        self.store_accesses = u64::load(r)?;
+        self.store_misses = u64::load(r)?;
+        self.l1i_misses = u64::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -188,3 +188,11 @@ mod tests {
         assert_eq!(o2, Addr::new(1 << 20 | (4 * 128 + 128)));
     }
 }
+
+ss_types::impl_persist!(StrideEntry {
+    tag,
+    last_addr,
+    stride,
+    confidence
+});
+ss_types::impl_persist_state!(StridePrefetcher { table, issued });

@@ -231,3 +231,10 @@ mod tests {
         let _ = StoreSets::new(1000, 0);
     }
 }
+
+ss_types::impl_persist_state!(StoreSets {
+    ssit,
+    lfst,
+    accesses,
+    violations
+});

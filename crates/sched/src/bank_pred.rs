@@ -174,3 +174,15 @@ mod tests {
         let _ = BankPredictor::new(1000);
     }
 }
+
+ss_types::impl_persist!(Entry {
+    bank,
+    stride,
+    confidence
+});
+ss_types::impl_persist_state!(BankPredictor {
+    entries,
+    lookups,
+    correct,
+    wrong
+});

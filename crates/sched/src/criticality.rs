@@ -125,3 +125,5 @@ mod tests {
         let _ = CriticalityTable::new(1000, 4);
     }
 }
+
+ss_types::impl_persist_state!(CriticalityTable { counters });

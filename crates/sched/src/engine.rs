@@ -280,3 +280,14 @@ mod tests {
         assert_eq!(e.stats.speculative + e.stats.conservative, 30);
     }
 }
+
+ss_types::impl_persist!(EngineStats {
+    speculative,
+    conservative,
+    sure_hit,
+    sure_miss,
+    unstable,
+    critical,
+    noncritical,
+});
+ss_types::impl_persist_state!(SchedEngine { stats ; global, filter, crit });

@@ -231,3 +231,9 @@ mod tests {
         assert_ne!(f.predict(miss_pc), FilterPrediction::SureHit);
     }
 }
+
+ss_types::impl_persist!(Entry { ctr, silenced });
+ss_types::impl_persist_state!(HitMissFilter {
+    entries,
+    since_reset
+});

@@ -129,3 +129,5 @@ mod tests {
         let _ = GlobalCounter::new(0);
     }
 }
+
+ss_types::impl_persist_state!(GlobalCounter { value });

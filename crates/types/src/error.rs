@@ -106,6 +106,10 @@ pub struct DeadlockReport {
     /// The most recent trace events before the watchdog fired, oldest
     /// first. Empty when the simulator ran with the no-op sink.
     pub trace: Vec<TraceEvent>,
+    /// Path of the nearest state snapshot preceding the failure, when the
+    /// run had checkpointing enabled. A repro can restore it and re-run
+    /// only the tail instead of replaying from seq 0.
+    pub checkpoint: Option<String>,
 }
 
 impl fmt::Display for DeadlockReport {
@@ -115,6 +119,9 @@ impl fmt::Display for DeadlockReport {
             "pipeline deadlock ({} cycles without a commit) at {}\n{}",
             self.watchdog_cycles, self.snapshot, self.detail
         )?;
+        if let Some(cp) = &self.checkpoint {
+            write!(f, "\nnearest checkpoint: {cp}")?;
+        }
         fmt_trace_window(f, &self.trace)
     }
 }
@@ -159,6 +166,9 @@ pub struct DivergenceReport {
     /// The most recent trace events before the divergence, oldest first.
     /// Empty when the simulator ran with the no-op sink.
     pub trace: Vec<TraceEvent>,
+    /// Path of the nearest state snapshot preceding the failure, when the
+    /// run had checkpointing enabled (see [`DeadlockReport::checkpoint`]).
+    pub checkpoint: Option<String>,
 }
 
 impl fmt::Display for DivergenceReport {
@@ -175,6 +185,9 @@ impl fmt::Display for DivergenceReport {
             }
         }
         f.write_str(&self.detail)?;
+        if let Some(cp) = &self.checkpoint {
+            write!(f, "\nnearest checkpoint: {cp}")?;
+        }
         fmt_trace_window(f, &self.trace)
     }
 }
@@ -206,6 +219,23 @@ pub enum SimError {
     Panicked(String),
     /// The commit stream diverged from the in-order golden model.
     Divergence(Box<DivergenceReport>),
+    /// A state snapshot failed its checksum/structure gate (torn write,
+    /// bit rot, tampering). The file is quarantined, never trusted.
+    SnapshotCorrupt {
+        /// Path of the offending snapshot (`<memory>` for in-memory ops).
+        path: String,
+        /// Why decoding was rejected.
+        reason: String,
+    },
+    /// A state snapshot was written by an incompatible format version.
+    SnapshotVersionMismatch {
+        /// Path of the offending snapshot.
+        path: String,
+        /// Version stamped in the snapshot header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -222,6 +252,17 @@ impl fmt::Display for SimError {
             }
             SimError::Panicked(msg) => write!(f, "simulation panicked: {msg}"),
             SimError::Divergence(r) => write!(f, "{r}"),
+            SimError::SnapshotCorrupt { path, reason } => {
+                write!(f, "corrupt snapshot {path}: {reason}")
+            }
+            SimError::SnapshotVersionMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "snapshot version mismatch {path}: found v{found}, this build reads v{expected}"
+            ),
         }
     }
 }
@@ -245,6 +286,7 @@ mod tests {
                     watchdog_cycles: 100,
                     detail: "rob head".into(),
                     trace: vec![],
+                    checkpoint: Some("warm/x.snap".into()),
                 })),
                 "deadlock",
             ),
@@ -293,14 +335,49 @@ mod tests {
                     recent: vec![],
                     detail: "rob head".into(),
                     trace: vec![],
+                    checkpoint: None,
                 })),
                 "divergence",
+            ),
+            (
+                SimError::SnapshotCorrupt {
+                    path: "warm/x.snap".into(),
+                    reason: "checksum mismatch".into(),
+                },
+                "corrupt snapshot",
+            ),
+            (
+                SimError::SnapshotVersionMismatch {
+                    path: "warm/x.snap".into(),
+                    found: 9,
+                    expected: 1,
+                },
+                "version mismatch",
             ),
         ];
         for (e, needle) in cases {
             let msg = e.to_string();
             assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
         }
+    }
+
+    #[test]
+    fn checkpoint_path_is_rendered_when_present() {
+        let report = DeadlockReport {
+            snapshot: PipelineSnapshot::default(),
+            watchdog_cycles: 10,
+            detail: String::new(),
+            trace: vec![],
+            checkpoint: Some("ckpt/warm/cell.snap".into()),
+        };
+        assert!(report
+            .to_string()
+            .contains("nearest checkpoint: ckpt/warm/cell.snap"));
+        let no_cp = DeadlockReport {
+            checkpoint: None,
+            ..report
+        };
+        assert!(!no_cp.to_string().contains("nearest checkpoint"));
     }
 
     #[test]

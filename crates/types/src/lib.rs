@@ -48,6 +48,7 @@ pub mod error;
 pub mod exec;
 pub mod ids;
 pub mod op;
+pub mod persist;
 pub mod ready;
 pub mod replay;
 pub mod rng;
@@ -64,6 +65,7 @@ pub use error::{DeadlockReport, DivergenceReport, InvariantReport, PipelineSnaps
 pub use exec::{CancelFlag, WorkQueue};
 pub use ids::{Addr, ArchReg, Cycle, Pc, PhysReg, SeqNum};
 pub use op::{BranchKind, ExecPort, OpClass, RegClass};
+pub use persist::{DecodeError, Persist, PersistState, Reader, Writer};
 pub use ready::{EpochRing, SeqBitmap, VecPool, WakeHeap};
 pub use replay::ReplayCause;
 pub use rng::{SplitMix64, Xoshiro256};

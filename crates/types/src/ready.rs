@@ -314,6 +314,70 @@ impl<T> VecPool<T> {
     }
 }
 
+impl crate::persist::PersistState for SeqBitmap {
+    fn save_state(&self, w: &mut crate::persist::Writer) {
+        crate::persist::Persist::save(&self.words, w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut crate::persist::Reader<'_>,
+    ) -> Result<(), crate::persist::DecodeError> {
+        let words: Vec<u64> = crate::persist::Persist::load(r)?;
+        if words.len() != self.words.len() {
+            return Err(r.err(format_args!(
+                "SeqBitmap geometry mismatch: {} words != {}",
+                words.len(),
+                self.words.len()
+            )));
+        }
+        self.len = words.iter().map(|w| w.count_ones() as usize).sum();
+        self.words = words;
+        Ok(())
+    }
+}
+
+impl crate::persist::PersistState for EpochRing {
+    fn save_state(&self, w: &mut crate::persist::Writer) {
+        crate::persist::Persist::save(&self.epochs, w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut crate::persist::Reader<'_>,
+    ) -> Result<(), crate::persist::DecodeError> {
+        let epochs: Vec<u32> = crate::persist::Persist::load(r)?;
+        if epochs.len() != self.epochs.len() {
+            return Err(r.err(format_args!(
+                "EpochRing geometry mismatch: {} entries != {}",
+                epochs.len(),
+                self.epochs.len()
+            )));
+        }
+        self.epochs = epochs;
+        Ok(())
+    }
+}
+
+impl crate::persist::PersistState for WakeHeap {
+    fn save_state(&self, w: &mut crate::persist::Writer) {
+        // A heap has no canonical iteration order; serialize its entries
+        // sorted so identical logical state always produces identical
+        // bytes (capture -> restore -> capture stability).
+        let mut entries: Vec<(Cycle, SeqNum, u32)> =
+            self.heap.iter().map(|Reverse(e)| *e).collect();
+        entries.sort_unstable();
+        crate::persist::Persist::save(&entries, w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut crate::persist::Reader<'_>,
+    ) -> Result<(), crate::persist::DecodeError> {
+        let entries: Vec<(Cycle, SeqNum, u32)> = crate::persist::Persist::load(r)?;
+        self.heap.clear();
+        self.heap.extend(entries.into_iter().map(Reverse));
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

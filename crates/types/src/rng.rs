@@ -158,3 +158,6 @@ mod tests {
         }
     }
 }
+
+crate::impl_persist!(SplitMix64 { state });
+crate::impl_persist!(Xoshiro256 { s });

@@ -294,6 +294,78 @@ impl TraceSource for KernelTrace {
     }
 }
 
+impl ss_types::persist::Persist for Position {
+    fn save(&self, w: &mut ss_types::persist::Writer) {
+        match *self {
+            Position::Body(i) => {
+                0u8.save(w);
+                i.save(w);
+            }
+            Position::Epilogue(i) => {
+                1u8.save(w);
+                i.save(w);
+            }
+            Position::Callee { idx, resume } => {
+                2u8.save(w);
+                idx.save(w);
+                resume.save(w);
+            }
+        }
+    }
+    fn load(r: &mut ss_types::persist::Reader<'_>) -> Result<Self, ss_types::persist::DecodeError> {
+        Ok(match u8::load(r)? {
+            0 => Position::Body(usize::load(r)?),
+            1 => Position::Epilogue(usize::load(r)?),
+            2 => Position::Callee {
+                idx: usize::load(r)?,
+                resume: usize::load(r)?,
+            },
+            t => return Err(r.err(format_args!("invalid Position tag {t}"))),
+        })
+    }
+}
+
+impl ss_types::persist::PersistState for KernelTrace {
+    /// The spec itself (static program text, including its `&'static str`
+    /// name) is *not* serialized — only a fingerprint that binds the
+    /// snapshot to it. The restore target is always built from the same
+    /// spec; the fingerprint turns a mismatch into a typed decode error
+    /// instead of a silently different instruction stream.
+    fn save_state(&self, w: &mut ss_types::persist::Writer) {
+        use ss_types::persist::Persist;
+        spec_fingerprint(&self.spec).save(w);
+        self.base.save(w);
+        self.pos.save(w);
+        self.patterns.save(w);
+        self.counters.save(w);
+        self.rng.save(w);
+    }
+    fn restore_state(
+        &mut self,
+        r: &mut ss_types::persist::Reader<'_>,
+    ) -> Result<(), ss_types::persist::DecodeError> {
+        use ss_types::persist::Persist;
+        let fp = u64::load(r)?;
+        let want = spec_fingerprint(&self.spec);
+        if fp != want {
+            return Err(r.err(format_args!(
+                "kernel spec fingerprint {fp:016x} != expected {want:016x}"
+            )));
+        }
+        self.base = Persist::load(r)?;
+        self.pos = Persist::load(r)?;
+        self.patterns = Persist::load(r)?;
+        self.counters = Persist::load(r)?;
+        self.rng = Persist::load(r)?;
+        Ok(())
+    }
+}
+
+/// Fingerprint of a kernel spec's full (debug-formatted) program text.
+fn spec_fingerprint(spec: &KernelSpec) -> u64 {
+    ss_types::persist::fnv1a64(format!("{spec:?}").as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -301,3 +301,91 @@ mod tests {
         .validate();
     }
 }
+
+impl ss_types::persist::Persist for AddrPattern {
+    fn save(&self, w: &mut ss_types::persist::Writer) {
+        match *self {
+            AddrPattern::Stride {
+                stride,
+                footprint,
+                phase,
+            } => {
+                0u8.save(w);
+                stride.save(w);
+                footprint.save(w);
+                phase.save(w);
+            }
+            AddrPattern::Chase { footprint } => {
+                1u8.save(w);
+                footprint.save(w);
+            }
+            AddrPattern::Uniform { footprint } => {
+                2u8.save(w);
+                footprint.save(w);
+            }
+            AddrPattern::HotCold {
+                hot_pct,
+                hot_footprint,
+                cold_footprint,
+            } => {
+                3u8.save(w);
+                hot_pct.save(w);
+                hot_footprint.save(w);
+                cold_footprint.save(w);
+            }
+        }
+    }
+    fn load(r: &mut ss_types::persist::Reader<'_>) -> Result<Self, ss_types::persist::DecodeError> {
+        let pattern = match u8::load(r)? {
+            0 => AddrPattern::Stride {
+                stride: i64::load(r)?,
+                footprint: u64::load(r)?,
+                phase: u64::load(r)?,
+            },
+            1 => AddrPattern::Chase {
+                footprint: u64::load(r)?,
+            },
+            2 => AddrPattern::Uniform {
+                footprint: u64::load(r)?,
+            },
+            3 => AddrPattern::HotCold {
+                hot_pct: u8::load(r)?,
+                hot_footprint: u64::load(r)?,
+                cold_footprint: u64::load(r)?,
+            },
+            t => return Err(r.err(format_args!("invalid AddrPattern tag {t}"))),
+        };
+        // `validate` panics on bad parameters; decode must reject instead.
+        let ok = match pattern {
+            AddrPattern::Stride {
+                footprint, phase, ..
+            } => footprint.is_power_of_two() && footprint >= 64 && phase < footprint,
+            AddrPattern::Chase { footprint } | AddrPattern::Uniform { footprint } => {
+                footprint.is_power_of_two() && footprint >= 64
+            }
+            AddrPattern::HotCold {
+                hot_pct,
+                hot_footprint,
+                cold_footprint,
+            } => {
+                hot_pct <= 100
+                    && hot_footprint.is_power_of_two()
+                    && hot_footprint >= 64
+                    && cold_footprint.is_power_of_two()
+                    && cold_footprint >= 64
+            }
+        };
+        if !ok {
+            return Err(r.err("invalid AddrPattern parameters"));
+        }
+        Ok(pattern)
+    }
+}
+
+ss_types::impl_persist!(PatternState {
+    pattern,
+    base,
+    cursor,
+    last,
+    rng
+});

@@ -156,3 +156,5 @@ mod tests {
         assert!(loads > 500 && alus > 1500 && branches > 100 && stores > 200);
     }
 }
+
+ss_types::impl_persist_state!(WrongPathGen { rng, pc });

@@ -26,6 +26,7 @@ pub use ss_mem as mem;
 pub use ss_memdep as memdep;
 pub use ss_oracle as oracle;
 pub use ss_sched as sched;
+pub use ss_snapshot as snapshot;
 pub use ss_trace as trace;
 pub use ss_types as types;
 pub use ss_workloads as workloads;
