@@ -12,7 +12,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use ss_core::{run_kernel, RunLength};
+use ss_core::{RunLength, RunRequest};
 use ss_types::{SchedPolicyKind, SimConfig, SimStats};
 use ss_workloads::KernelSpec;
 use std::time::Instant;
@@ -34,8 +34,18 @@ pub fn machine(delay: u64, policy: SchedPolicyKind, banked: bool, shifting: bool
 }
 
 /// Runs a miniature simulation (the unit of work every bench measures).
+///
+/// Benches measure known-good configurations, so a failed run aborts the
+/// bench with the simulator's error rather than timing garbage.
 pub fn mini_run(cfg: SimConfig, spec: KernelSpec) -> SimStats {
-    run_kernel(cfg, spec, BENCH_LEN)
+    match RunRequest::kernel(spec)
+        .custom_config(cfg)
+        .length(BENCH_LEN)
+        .execute()
+    {
+        Ok(outcome) => outcome.stats,
+        Err(e) => panic!("bench run failed: {e}"),
+    }
 }
 
 /// Times `iters` calls of `f` and prints one `group/name` result line

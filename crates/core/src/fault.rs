@@ -14,6 +14,8 @@
 //! storm passes.
 
 use ss_types::{Cycle, ReplayCause, SimError};
+use std::fmt;
+use std::str::FromStr;
 
 /// What an active fault window does to each correct-path load that
 /// executes inside it.
@@ -169,6 +171,78 @@ impl FaultPlan {
     }
 }
 
+/// Canonical single-token encoding, one window per comma-separated
+/// entry: `spike@{start}x{dur}+{extra}`, `bank@{start}x{dur}+{delay}`,
+/// `storm@{start}x{dur}`. An empty plan renders as the empty string; a
+/// plan carrying a construction error renders as `<invalid>` (which
+/// [`FromStr`] rejects). Whitespace-free by construction, so the token
+/// embeds directly in the `RunRequest` wire encoding.
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.error.is_some() {
+            return write!(f, "<invalid>");
+        }
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            let (start, dur) = (w.start.get(), w.duration);
+            match w.kind {
+                FaultKind::LatencySpike { extra_cycles } => {
+                    write!(f, "spike@{start}x{dur}+{extra_cycles}")?
+                }
+                FaultKind::BankConflictBurst { delay_cycles } => {
+                    write!(f, "bank@{start}x{dur}+{delay_cycles}")?
+                }
+                FaultKind::ReplayStorm => write!(f, "storm@{start}x{dur}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::new();
+        if s.is_empty() {
+            return Ok(plan);
+        }
+        for entry in s.split(',') {
+            let (tag, rest) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("fault window `{entry}`: expected `kind@start...`"))?;
+            let bad = |what: &str| format!("fault window `{entry}`: {what}");
+            let (start_dur, param) = match rest.split_once('+') {
+                Some((sd, p)) => (sd, Some(p)),
+                None => (rest, None),
+            };
+            let (start, dur) = start_dur
+                .split_once('x')
+                .ok_or_else(|| bad("expected `{start}x{duration}`"))?;
+            let start: u64 = start.parse().map_err(|_| bad("bad start cycle"))?;
+            let dur: u64 = dur.parse().map_err(|_| bad("bad duration"))?;
+            let param: Option<u64> = match param {
+                Some(p) => Some(p.parse().map_err(|_| bad("bad parameter"))?),
+                None => None,
+            };
+            plan = match (tag, param) {
+                ("spike", Some(extra)) => plan.latency_spike(start, dur, extra),
+                ("bank", Some(delay)) => plan.bank_conflict_burst(start, dur, delay),
+                ("storm", None) => plan.replay_storm(start, dur),
+                ("spike" | "bank", None) => return Err(bad("missing `+param`")),
+                ("storm", Some(_)) => return Err(bad("storm takes no parameter")),
+                _ => return Err(bad("unknown kind (expected spike|bank|storm)")),
+            };
+        }
+        // Surface builder errors (zero duration, overlap) as parse errors
+        // so a parsed plan is always valid.
+        plan.validate().map_err(|e| e.to_string())?;
+        Ok(plan)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +323,35 @@ mod tests {
             .replay_storm(50, 100); // valid, but the plan stays poisoned
         let err = p.validate().unwrap_err();
         assert!(err.to_string().contains("zero duration"), "{err}");
+    }
+
+    #[test]
+    fn plan_text_encoding_round_trips() {
+        let p = FaultPlan::new()
+            .latency_spike(200, 50, 8)
+            .bank_conflict_burst(400, 30, 3)
+            .replay_storm(1000, 120);
+        let text = p.to_string();
+        assert_eq!(text, "spike@200x50+8,bank@400x30+3,storm@1000x120");
+        assert_eq!(text.parse::<FaultPlan>().as_ref(), Ok(&p));
+        assert_eq!("".parse::<FaultPlan>(), Ok(FaultPlan::new()));
+    }
+
+    #[test]
+    fn malformed_plan_text_is_rejected() {
+        for bad in [
+            "spike@200",
+            "spike@200x50",          // missing +param
+            "storm@0x10+3",          // storm takes none
+            "laser@0x10",            // unknown kind
+            "spike@0x0+1",           // zero duration
+            "storm@0x10,storm@5x10", // overlap
+            "<invalid>",
+        ] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "`{bad}` must not parse");
+        }
+        let poisoned = FaultPlan::new().latency_spike(0, 0, 1);
+        assert_eq!(poisoned.to_string(), "<invalid>");
     }
 }
 

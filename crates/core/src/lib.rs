@@ -16,8 +16,11 @@
 //!
 //! # Example
 //!
+//! Every way to run the machine goes through one builder,
+//! [`RunRequest`]:
+//!
 //! ```
-//! use ss_core::{run_kernel, RunLength};
+//! use ss_core::{RunLength, RunRequest};
 //! use ss_types::{SchedPolicyKind, SimConfig};
 //! use ss_workloads::kernels;
 //!
@@ -25,8 +28,12 @@
 //!     .issue_to_execute_delay(4)
 //!     .sched_policy(SchedPolicyKind::AlwaysHit)
 //!     .build();
-//! let stats = run_kernel(cfg, kernels::fp_compute(1), RunLength::SMOKE);
-//! assert!(stats.ipc() > 0.0);
+//! let outcome = RunRequest::kernel(kernels::fp_compute(1))
+//!     .custom_config(cfg)
+//!     .length(RunLength::SMOKE)
+//!     .execute()
+//!     .unwrap();
+//! assert!(outcome.stats.ipc() > 0.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -50,10 +57,12 @@ pub use diff::DiffChecker;
 pub use fault::{FaultKind, FaultPlan, FaultWindow};
 pub use pipeline::{config_fingerprint, load_snapshot, sections, PipelineSnapshot, Simulator};
 pub use rename::{PhysRef, RenameUnit};
+#[allow(deprecated)]
 pub use runner::{
-    run_kernel, run_trace, try_run_kernel, try_run_kernel_checked, try_run_kernel_from_snapshot,
-    try_run_trace, try_run_trace_from_snapshot, try_warm_up_kernel, try_warm_up_trace, RunLength,
+    try_run_kernel, try_run_kernel_checked, try_run_kernel_from_snapshot, try_run_trace,
+    try_run_trace_from_snapshot, try_warm_up_kernel, try_warm_up_trace,
 };
+pub use runner::{ParseRequestError, RunLength, RunOutcome, RunRequest, RunSource};
 pub use schedq::SchedQueue;
 pub use ss_types::trace::{NullSink, TraceEvent, TraceSink};
 pub use window::{FetchedUop, RobEntry, UopState};

@@ -1,15 +1,50 @@
-//! Convenience runners: build a simulator for a benchmark, warm it up,
-//! measure, and return warmup-corrected statistics.
+//! The unified runner: every way to execute a simulation — fresh runs,
+//! warm-state forks, oracle-checked runs, fault injection, trace capture
+//! — behind one builder, [`RunRequest`], with one entry point,
+//! [`RunRequest::execute`].
+//!
+//! A `RunRequest` is `source × config × length × oracle-check ×
+//! snapshot-fork × trace-sink × fault-plan`. The encodable subset of
+//! that product has a canonical single-line text form ([`fmt::Display`]
+//! / [`FromStr`], property-tested like
+//! [`ConfigSpec`](ss_types::ConfigSpec)), so the same type is both the
+//! library API and the `experiments serve` wire protocol:
+//!
+//! ```text
+//! src=bench:fp_compute@0xb5 cfg=SpecSched_4_Crit len=w1000m5000 check=1
+//! ```
+//!
+//! Library-only capabilities (custom [`SimConfig`]s, in-memory
+//! [`KernelSpec`]s / [`Snapshot`]s, arbitrary [`TraceSource`]s) render
+//! as `<...>` markers the parser rejects — they can run, but not travel.
+//!
+//! [`RunRequest::execute_observed`] adds cooperative cancellation (a
+//! [`CancelFlag`] checked between bounded measurement chunks, surfacing
+//! [`SimError::Cancelled`]) and incremental progress callbacks; chunked
+//! execution is bit-identical to a single `try_run_committed` call
+//! because commit targets are computed against absolute commit counts.
+//!
+//! The pre-redesign free functions (`try_run_trace`, `try_run_kernel`,
+//! `try_warm_up_*`, `try_run_*_from_snapshot`, `try_run_kernel_checked`)
+//! survive as `#[deprecated]` one-line forwarders.
 
 use crate::diff::DiffChecker;
+use crate::fault::FaultPlan;
 use crate::pipeline::Simulator;
 use ss_oracle::InOrderModel;
 use ss_snapshot::Snapshot;
 use ss_types::persist::PersistState;
-use ss_types::{SimConfig, SimError, SimStats};
-use ss_workloads::{KernelSpec, KernelTrace, TraceSource};
+use ss_types::trace::{TraceEvent, TraceSink};
+use ss_types::{CancelFlag, ConfigSpec, SimConfig, SimError, SimStats};
+use ss_workloads::{kernels, KernelSpec, KernelTrace, TraceSource};
+use std::collections::VecDeque;
+use std::fmt;
+use std::str::FromStr;
 
 /// How long to run a measurement, in committed µ-ops.
+///
+/// Canonical text form `w{warmup}m{measure}` (the same token used in
+/// session cache keys and the `RunRequest` wire encoding).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunLength {
     /// Committed µ-ops of warmup discarded from the statistics.
@@ -33,100 +68,951 @@ impl RunLength {
     };
 }
 
-/// Runs `trace` on a machine described by `cfg` and returns statistics
-/// for the measurement window only.
-///
-/// # Panics
-///
-/// Panics on any error [`try_run_trace`] reports.
-pub fn run_trace<T: TraceSource>(cfg: SimConfig, trace: T, len: RunLength) -> SimStats {
-    try_run_trace(cfg, trace, len).unwrap_or_else(|e| panic!("{e}"))
+impl fmt::Display for RunLength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}m{}", self.warmup, self.measure)
+    }
 }
 
-/// Runs a kernel spec (convenience wrapper over [`run_trace`]).
-///
-/// # Panics
-///
-/// Panics on any error [`try_run_kernel`] reports.
-pub fn run_kernel(cfg: SimConfig, spec: KernelSpec, len: RunLength) -> SimStats {
-    run_trace(cfg, KernelTrace::new(spec), len)
+impl FromStr for RunLength {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || format!("invalid run length `{s}` (expected `w{{warmup}}m{{measure}}`)");
+        let rest = s.strip_prefix('w').ok_or_else(bad)?;
+        let (w, m) = rest.split_once('m').ok_or_else(bad)?;
+        Ok(RunLength {
+            warmup: w.parse().map_err(|_| bad())?,
+            measure: m.parse().map_err(|_| bad())?,
+        })
+    }
 }
 
-/// Non-panicking variant of [`run_trace`]: configuration problems,
-/// watchdog-detected deadlocks, invariant violations, and malformed
-/// traces come back as a [`SimError`].
-pub fn try_run_trace<T: TraceSource>(
+/// A trace source whose internal state rides along in snapshots, so
+/// warm-state capture/fork works through it. Blanket-implemented; boxed
+/// trait objects of it still satisfy `TraceSource + PersistState`.
+pub trait RunSource: TraceSource + PersistState + Send {}
+impl<T: TraceSource + PersistState + Send> RunSource for T {}
+
+/// Where the µ-op stream comes from.
+enum Source {
+    /// A registry benchmark built at a seed (`bench:{name}@{seed:#x}`).
+    Bench { name: String, seed: u64 },
+    /// A random kernel from the generator (`gen:{seed:#x}`).
+    Gen { seed: u64 },
+    /// An in-memory kernel spec (library-only).
+    Spec(KernelSpec),
+    /// An arbitrary caller trace (library-only; no snapshot forking).
+    Trace(Box<dyn TraceSource + Send>),
+    /// An arbitrary caller trace that persists into snapshots
+    /// (library-only).
+    Persist(Box<dyn RunSource>),
+}
+
+impl fmt::Debug for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Source::Bench { name, seed } => write!(f, "Bench({name}@{seed:#x})"),
+            Source::Gen { seed } => write!(f, "Gen({seed:#x})"),
+            Source::Spec(spec) => write!(f, "Spec({})", spec.name),
+            Source::Trace(t) => write!(f, "Trace({})", t.name()),
+            Source::Persist(t) => write!(f, "Persist({})", t.name()),
+        }
+    }
+}
+
+impl PartialEq for Source {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Source::Bench { name: a, seed: x }, Source::Bench { name: b, seed: y }) => {
+                a == b && x == y
+            }
+            (Source::Gen { seed: a }, Source::Gen { seed: b }) => a == b,
+            (Source::Spec(a), Source::Spec(b)) => a == b,
+            // Opaque sources never compare equal (like NaN): equality is
+            // only meaningful for the encodable surface.
+            _ => false,
+        }
+    }
+}
+
+/// The machine description.
+#[derive(Debug, Clone, PartialEq)]
+enum Config {
+    /// A named paper configuration (encodable).
+    Spec(ConfigSpec),
+    /// An arbitrary `SimConfig` (library-only).
+    Custom(Box<SimConfig>),
+}
+
+/// Snapshot forking mode.
+#[derive(Debug, PartialEq)]
+enum Fork {
+    /// Cold start, no snapshot involvement.
+    Fresh,
+    /// Run the warmup, capture the warm state into
+    /// [`RunOutcome::snapshot`], then measure.
+    Capture,
+    /// Restore an in-memory warm snapshot and measure (library-only).
+    Snapshot(Box<Snapshot>),
+    /// Load a verified warm snapshot from disk and measure (encodable:
+    /// `fork=snap:{path}`).
+    Path(String),
+}
+
+/// What pipeline events to keep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TraceReq {
+    /// No tracing (zero-cost `NullSink` path).
+    Off,
+    /// Bounded flight recorder: the most recent `capacity` events
+    /// (`trace=ring:{capacity}`).
+    Ring(usize),
+    /// Every event whose µ-op sequence number falls in `[lo, hi)`, plus
+    /// occupancy samples (`trace=win:{lo}..{hi}`).
+    Window(u64, u64),
+}
+
+/// Everything a finished run produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Warmup-corrected statistics for the measurement window.
+    pub stats: SimStats,
+    /// The warm state captured after warmup, when the request asked for
+    /// [`RunRequest::capture_warm`].
+    pub snapshot: Option<Snapshot>,
+    /// Captured pipeline events (empty unless a trace mode was set).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Error from parsing a [`RunRequest`] wire line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRequestError {
+    /// The offending input line.
+    pub input: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseRequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid run request `{}`: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for ParseRequestError {}
+
+/// The unified run description: build with the source constructors
+/// ([`bench`](RunRequest::bench), [`generated`](RunRequest::generated),
+/// [`kernel`](RunRequest::kernel), [`trace_source`](RunRequest::trace_source),
+/// [`persistent_source`](RunRequest::persistent_source)), refine with the
+/// chainable setters, run with [`execute`](RunRequest::execute).
+#[derive(Debug, PartialEq)]
+pub struct RunRequest {
+    source: Source,
+    config: Config,
+    len: Option<RunLength>,
+    check: bool,
+    fork: Fork,
+    trace: TraceReq,
+    faults: FaultPlan,
+    seed_bug: bool,
+    checkpoint: Option<String>,
+}
+
+impl RunRequest {
+    fn with_source(source: Source) -> Self {
+        RunRequest {
+            source,
+            config: Config::Custom(Box::<SimConfig>::default()),
+            len: None,
+            check: false,
+            fork: Fork::Fresh,
+            trace: TraceReq::Off,
+            faults: FaultPlan::new(),
+            seed_bug: false,
+            checkpoint: None,
+        }
+    }
+
+    /// A registry benchmark built at `seed` (see
+    /// [`ss_workloads::BENCHMARKS`]). The name is resolved at
+    /// [`execute`](RunRequest::execute) time; an unknown name is
+    /// [`SimError::ConfigInvalid`].
+    pub fn bench(name: impl Into<String>, seed: u64) -> Self {
+        Self::with_source(Source::Bench {
+            name: name.into(),
+            seed,
+        })
+    }
+
+    /// A random kernel from the seeded generator
+    /// ([`ss_workloads::gen::gen_kernel`]).
+    pub fn generated(seed: u64) -> Self {
+        Self::with_source(Source::Gen { seed })
+    }
+
+    /// An in-memory kernel spec (library-only: renders unparseable).
+    pub fn kernel(spec: KernelSpec) -> Self {
+        Self::with_source(Source::Spec(spec))
+    }
+
+    /// An arbitrary trace source (library-only). Snapshot forking and
+    /// oracle checking are unavailable through this constructor — use
+    /// [`persistent_source`](RunRequest::persistent_source) or
+    /// [`kernel`](RunRequest::kernel) for those.
+    pub fn trace_source(src: impl TraceSource + Send + 'static) -> Self {
+        Self::with_source(Source::Trace(Box::new(src)))
+    }
+
+    /// An arbitrary trace source whose state persists into snapshots
+    /// (library-only). Supports warm-state capture and restore; oracle
+    /// checking still requires a kernel-backed source.
+    pub fn persistent_source(src: impl TraceSource + PersistState + Send + 'static) -> Self {
+        Self::with_source(Source::Persist(Box::new(src)))
+    }
+
+    /// Runs on the named paper configuration (encodable).
+    pub fn config(mut self, spec: ConfigSpec) -> Self {
+        self.config = Config::Spec(spec);
+        self
+    }
+
+    /// Runs on an arbitrary machine description (library-only).
+    pub fn custom_config(mut self, cfg: SimConfig) -> Self {
+        self.config = Config::Custom(Box::new(cfg));
+        self
+    }
+
+    /// Sets the warmup/measure budget. Required: executing without one
+    /// is [`SimError::ConfigInvalid`].
+    pub fn length(mut self, len: RunLength) -> Self {
+        self.len = Some(len);
+        self
+    }
+
+    /// The configured budget, if set.
+    pub fn run_length(&self) -> Option<RunLength> {
+        self.len
+    }
+
+    /// Attaches the differential oracle: every commit is compared
+    /// against an in-order golden model; the first mismatch ends the run
+    /// with [`SimError::Divergence`]. Requires a kernel-backed source.
+    pub fn checked(mut self, on: bool) -> Self {
+        self.check = on;
+        self
+    }
+
+    /// Captures the warm machine state after warmup into
+    /// [`RunOutcome::snapshot`] (then measures, if `measure > 0`).
+    pub fn capture_warm(mut self) -> Self {
+        self.fork = Fork::Capture;
+        self
+    }
+
+    /// Forks off an in-memory warm snapshot instead of running the
+    /// warmup; the statistics baseline travels inside the snapshot.
+    pub fn from_snapshot(mut self, snap: Snapshot) -> Self {
+        self.fork = Fork::Snapshot(Box::new(snap));
+        self
+    }
+
+    /// Forks off a verified on-disk warm snapshot (encodable). The path
+    /// doubles as the failure-report checkpoint note unless
+    /// [`checkpoint_note`](RunRequest::checkpoint_note) overrides it.
+    pub fn from_snapshot_path(mut self, path: impl Into<String>) -> Self {
+        self.fork = Fork::Path(path.into());
+        self
+    }
+
+    /// Names the warm state's filesystem home in failure reports, so
+    /// crashes reproduce from the checkpoint directly.
+    pub fn checkpoint_note(mut self, note: impl Into<String>) -> Self {
+        self.checkpoint = Some(note.into());
+        self
+    }
+
+    /// Keeps a bounded flight recorder of the most recent `capacity`
+    /// pipeline events (the fuzzing sink).
+    pub fn ring_trace(mut self, capacity: usize) -> Self {
+        self.trace = TraceReq::Ring(capacity.max(1));
+        self
+    }
+
+    /// Captures every event whose µ-op sequence number falls in
+    /// `[lo, hi)`, plus per-cycle occupancy samples (the pipeview /
+    /// Perfetto sink).
+    pub fn window_trace(mut self, window: std::ops::Range<u64>) -> Self {
+        self.trace = TraceReq::Window(window.start, window.end);
+        self
+    }
+
+    /// Injects a deterministic fault schedule (validated at execute).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Arms the intentional wakeup bug (oracle "teeth" test hook).
+    pub fn seed_wakeup_bug(mut self) -> Self {
+        self.seed_bug = true;
+        self
+    }
+
+    /// The on-disk snapshot path this request forks from, if any. The
+    /// serve layer uses it to satisfy the fork from its resident
+    /// warm-state store instead of re-reading the file per request.
+    pub fn snapshot_path(&self) -> Option<&str> {
+        match &self.fork {
+            Fork::Path(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The EMA cost-tracking key the serve layer buckets this request
+    /// under: `{config}|{source}` — one moving average per
+    /// (machine, workload) cell, whatever the lengths and trimmings.
+    pub fn cost_key(&self) -> String {
+        format!("{}|{}", self.config_token(), self.source_token())
+    }
+
+    fn source_token(&self) -> String {
+        match &self.source {
+            Source::Bench { name, seed } => format!("bench:{name}@{seed:#x}"),
+            Source::Gen { seed } => format!("gen:{seed:#x}"),
+            Source::Spec(spec) => format!("<spec:{}>", spec.name),
+            Source::Trace(t) => format!("<trace:{}>", t.name()),
+            Source::Persist(t) => format!("<trace:{}>", t.name()),
+        }
+    }
+
+    fn config_token(&self) -> String {
+        match &self.config {
+            Config::Spec(spec) => spec.to_string(),
+            Config::Custom(_) => "<custom>".to_string(),
+        }
+    }
+
+    /// Runs to completion. Equivalent to
+    /// [`execute_observed`](RunRequest::execute_observed) with a fresh
+    /// (never-fired) cancel flag and a single measurement chunk.
+    pub fn execute(self) -> Result<RunOutcome, SimError> {
+        self.execute_observed(&CancelFlag::new(), u64::MAX, |_, _| {})
+    }
+
+    /// Runs with cooperative cancellation and incremental progress.
+    ///
+    /// The run is sliced into chunks of at most `chunk` committed µ-ops
+    /// (`0` means unbounded); between chunks `cancel` is polled —
+    /// firing it ends the run with [`SimError::Cancelled`] — and
+    /// `progress(done, total)` is invoked with committed-µ-op counts
+    /// over the whole warmup + measure budget. Chunking is bit-identical
+    /// to an unchunked run: commit targets are absolute, so the slice
+    /// boundaries leave no trace in the statistics.
+    pub fn execute_observed(
+        self,
+        cancel: &CancelFlag,
+        chunk: u64,
+        progress: impl FnMut(u64, u64),
+    ) -> Result<RunOutcome, SimError> {
+        let RunRequest {
+            source,
+            config,
+            len,
+            check,
+            fork,
+            trace,
+            faults,
+            seed_bug,
+            checkpoint,
+        } = self;
+        let cfg = match config {
+            Config::Spec(spec) => spec.config(),
+            Config::Custom(cfg) => *cfg,
+        };
+        cfg.try_validate()?;
+        let len = len.ok_or_else(|| {
+            SimError::ConfigInvalid("run request has no length (call .length(..))".into())
+        })?;
+
+        // Resolve the fork mode: disk snapshots are loaded and verified
+        // here, and the path becomes the default checkpoint note.
+        let (fork, checkpoint) = match fork {
+            Fork::Path(path) => {
+                let snap =
+                    ss_snapshot::read_verified(std::path::Path::new(&path)).map_err(|e| {
+                        SimError::SnapshotCorrupt {
+                            path: path.clone(),
+                            reason: e.to_string(),
+                        }
+                    })?;
+                (Fork::Snapshot(Box::new(snap)), checkpoint.or(Some(path)))
+            }
+            other => (other, checkpoint),
+        };
+
+        let mut progress = progress;
+        let drive = Drive {
+            len,
+            fork,
+            faults,
+            seed_bug,
+            checkpoint,
+            cancel,
+            chunk: if chunk == 0 { u64::MAX } else { chunk },
+            progress: &mut progress,
+        };
+
+        // Resolve the source, build the oracle when asked, dispatch.
+        match source {
+            Source::Bench { name, seed } => {
+                let bench = kernels::benchmark(&name).ok_or_else(|| {
+                    SimError::ConfigInvalid(format!("unknown benchmark `{name}`"))
+                })?;
+                drive.kernel(cfg, (bench.build)(seed), check, trace)
+            }
+            Source::Gen { seed } => {
+                let mut rng = ss_types::Xoshiro256::seed_from_u64(seed);
+                drive.kernel(cfg, ss_workloads::gen::gen_kernel(&mut rng), check, trace)
+            }
+            Source::Spec(spec) => drive.kernel(cfg, spec, check, trace),
+            Source::Persist(src) => {
+                if check {
+                    return Err(SimError::ConfigInvalid(
+                        "oracle checking requires a kernel-backed source".into(),
+                    ));
+                }
+                drive.sink_dispatch(cfg, src, None, trace)
+            }
+            Source::Trace(src) => {
+                if check {
+                    return Err(SimError::ConfigInvalid(
+                        "oracle checking requires a kernel-backed source".into(),
+                    ));
+                }
+                if !matches!(drive.fork, Fork::Fresh) {
+                    return Err(SimError::ConfigInvalid(
+                        "snapshot forking requires a persistent source (use \
+                         persistent_source or a kernel-backed source)"
+                            .into(),
+                    ));
+                }
+                drive.plain_sink_dispatch(cfg, src, trace)
+            }
+        }
+    }
+}
+
+/// The resolved run parameters threaded through the generic drivers.
+struct Drive<'a> {
+    len: RunLength,
+    fork: Fork,
+    faults: FaultPlan,
+    seed_bug: bool,
+    checkpoint: Option<String>,
+    cancel: &'a CancelFlag,
+    chunk: u64,
+    progress: &'a mut dyn FnMut(u64, u64),
+}
+
+impl Drive<'_> {
+    /// Kernel-backed sources: validated when checked, oracle attachable,
+    /// snapshot-forkable.
+    fn kernel(
+        self,
+        cfg: SimConfig,
+        spec: KernelSpec,
+        check: bool,
+        trace: TraceReq,
+    ) -> Result<RunOutcome, SimError> {
+        let checker = if check {
+            spec.validate().map_err(SimError::ConfigInvalid)?;
+            Some(DiffChecker::new(Box::new(InOrderModel::from_spec(
+                spec.clone(),
+            ))))
+        } else {
+            None
+        };
+        self.sink_dispatch(cfg, KernelTrace::new(spec), checker, trace)
+    }
+
+    /// Monomorphizes the sink: the no-trace path keeps the zero-cost
+    /// `NullSink`, tracing runs pay for exactly what they capture.
+    fn sink_dispatch<T: TraceSource + PersistState>(
+        self,
+        cfg: SimConfig,
+        src: T,
+        checker: Option<DiffChecker>,
+        trace: TraceReq,
+    ) -> Result<RunOutcome, SimError> {
+        match RunSink::for_req(&trace) {
+            None => self.run(Simulator::new(cfg, src), checker),
+            Some(sink) => self.run(Simulator::with_sink(cfg, src, sink), checker),
+        }
+    }
+
+    /// Same dispatch for non-persistent sources (fresh forks only,
+    /// enforced by the caller).
+    fn plain_sink_dispatch<T: TraceSource>(
+        self,
+        cfg: SimConfig,
+        src: T,
+        trace: TraceReq,
+    ) -> Result<RunOutcome, SimError> {
+        match RunSink::for_req(&trace) {
+            None => self.run_fresh(Simulator::new(cfg, src), None),
+            Some(sink) => self.run_fresh(Simulator::with_sink(cfg, src, sink), None),
+        }
+    }
+
+    fn prepare<T: TraceSource, S: TraceSink>(
+        &self,
+        sim: &mut Simulator<T, S>,
+        checker: Option<DiffChecker>,
+    ) -> Result<(), SimError> {
+        if let Some(ck) = checker {
+            sim.attach_diff_checker(ck);
+        }
+        if self.faults != FaultPlan::new() {
+            sim.set_fault_plan(self.faults.clone())?;
+        }
+        if self.seed_bug {
+            sim.seed_wakeup_bug();
+        }
+        Ok(())
+    }
+
+    /// Fork-capable driver (persistent sources).
+    fn run<T: TraceSource + PersistState, S: TraceSink + Sink>(
+        mut self,
+        mut sim: Simulator<T, S>,
+        checker: Option<DiffChecker>,
+    ) -> Result<RunOutcome, SimError> {
+        match std::mem::replace(&mut self.fork, Fork::Fresh) {
+            Fork::Fresh => self.run_fresh(sim, checker),
+            Fork::Capture => {
+                self.prepare(&mut sim, checker)?;
+                let total = self.len.warmup + self.len.measure;
+                let warm = self.run_chunked(&mut sim, self.len.warmup, 0, total)?;
+                let snapshot = sim.capture();
+                let end = self.run_chunked(&mut sim, self.len.measure, self.len.warmup, total)?;
+                Ok(RunOutcome {
+                    stats: end.delta(&warm),
+                    snapshot: Some(snapshot),
+                    trace: sim.into_sink().into_events(),
+                })
+            }
+            Fork::Snapshot(snap) => {
+                self.prepare(&mut sim, checker)?;
+                sim.restore(&snap)?;
+                if let Some(cp) = self.checkpoint.take() {
+                    sim.set_checkpoint_note(cp);
+                }
+                let warm = sim.stats();
+                let end = self.run_chunked(&mut sim, self.len.measure, 0, self.len.measure)?;
+                Ok(RunOutcome {
+                    stats: end.delta(&warm),
+                    snapshot: None,
+                    trace: sim.into_sink().into_events(),
+                })
+            }
+            Fork::Path(_) => unreachable!("paths resolve to snapshots in execute_observed"),
+        }
+    }
+
+    /// Cold-start driver (any source).
+    fn run_fresh<T: TraceSource, S: TraceSink + Sink>(
+        mut self,
+        mut sim: Simulator<T, S>,
+        checker: Option<DiffChecker>,
+    ) -> Result<RunOutcome, SimError> {
+        self.prepare(&mut sim, checker)?;
+        let total = self.len.warmup + self.len.measure;
+        let warm = self.run_chunked(&mut sim, self.len.warmup, 0, total)?;
+        let end = self.run_chunked(&mut sim, self.len.measure, self.len.warmup, total)?;
+        Ok(RunOutcome {
+            stats: end.delta(&warm),
+            snapshot: None,
+            trace: sim.into_sink().into_events(),
+        })
+    }
+
+    /// Runs `n` more committed µ-ops in cancellable slices. Targets are
+    /// absolute commit counts, so slicing is bit-identical to one call.
+    fn run_chunked<T: TraceSource, S: TraceSink>(
+        &mut self,
+        sim: &mut Simulator<T, S>,
+        n: u64,
+        base: u64,
+        total: u64,
+    ) -> Result<SimStats, SimError> {
+        let start = sim.stats().committed_uops;
+        let target = start + n;
+        loop {
+            let committed = sim.stats().committed_uops;
+            let done = committed.saturating_sub(start).min(n);
+            if self.cancel.is_cancelled() {
+                return Err(SimError::Cancelled {
+                    committed: base + done,
+                });
+            }
+            if committed >= target {
+                return Ok(sim.stats());
+            }
+            let step = self.chunk.min(target - committed);
+            sim.try_run_committed(step)?;
+            let done = (sim.stats().committed_uops - start).min(n);
+            (self.progress)(base + done, total);
+        }
+    }
+}
+
+/// Sink finalization: hand back whatever events were kept.
+trait Sink {
+    fn into_events(self) -> Vec<TraceEvent>;
+}
+
+impl Sink for ss_types::NullSink {
+    fn into_events(self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+}
+
+/// The runner's own capture sink: a bounded ring or a µ-op sequence
+/// window, selected at run time (the simulator stays monomorphized over
+/// one traced sink type).
+#[derive(Debug)]
+enum RunSink {
+    Ring {
+        buf: VecDeque<TraceEvent>,
+        capacity: usize,
+    },
+    Window {
+        events: Vec<TraceEvent>,
+        lo: u64,
+        hi: u64,
+    },
+}
+
+impl RunSink {
+    fn for_req(req: &TraceReq) -> Option<RunSink> {
+        match *req {
+            TraceReq::Off => None,
+            TraceReq::Ring(capacity) => Some(RunSink::Ring {
+                buf: VecDeque::with_capacity(capacity),
+                capacity,
+            }),
+            TraceReq::Window(lo, hi) => Some(RunSink::Window {
+                events: Vec::new(),
+                lo,
+                hi,
+            }),
+        }
+    }
+}
+
+impl TraceSink for RunSink {
+    fn record(&mut self, ev: TraceEvent) {
+        match self {
+            RunSink::Ring { buf, capacity } => {
+                if buf.len() == *capacity {
+                    buf.pop_front();
+                }
+                buf.push_back(ev);
+            }
+            RunSink::Window { events, lo, hi } => {
+                // Occupancy samples carry no sequence number and always
+                // pass (same contract as the harness capture sink).
+                let wanted = match ev.seq() {
+                    Some(seq) => (*lo..*hi).contains(&seq.get()),
+                    None => true,
+                };
+                if wanted {
+                    events.push(ev);
+                }
+            }
+        }
+    }
+
+    fn recent(&self) -> Vec<TraceEvent> {
+        match self {
+            RunSink::Ring { buf, .. } => buf.iter().copied().collect(),
+            RunSink::Window { events, .. } => events.clone(),
+        }
+    }
+}
+
+impl Sink for RunSink {
+    fn into_events(self) -> Vec<TraceEvent> {
+        match self {
+            RunSink::Ring { buf, .. } => buf.into_iter().collect(),
+            RunSink::Window { events, .. } => events,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canonical text encoding: `src=... cfg=... len=... [fork=] [check=1]
+// [trace=] [faults=] [bug=1] [note=]`. Display renders tokens in that
+// fixed order; FromStr accepts any order and rejects duplicates,
+// unknown keys, and the `<...>` markers of library-only requests.
+// ---------------------------------------------------------------------
+
+impl fmt::Display for RunRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src={} cfg={}", self.source_token(), self.config_token())?;
+        match self.len {
+            Some(len) => write!(f, " len={len}")?,
+            None => write!(f, " len=<unset>")?,
+        }
+        match &self.fork {
+            Fork::Fresh => {}
+            Fork::Capture => write!(f, " fork=capture")?,
+            Fork::Snapshot(_) => write!(f, " fork=<snapshot>")?,
+            Fork::Path(p) => write!(f, " fork=snap:{p}")?,
+        }
+        if self.check {
+            write!(f, " check=1")?;
+        }
+        match self.trace {
+            TraceReq::Off => {}
+            TraceReq::Ring(cap) => write!(f, " trace=ring:{cap}")?,
+            TraceReq::Window(lo, hi) => write!(f, " trace=win:{lo}..{hi}")?,
+        }
+        if self.faults != FaultPlan::new() {
+            write!(f, " faults={}", self.faults)?;
+        }
+        if self.seed_bug {
+            write!(f, " bug=1")?;
+        }
+        if let Some(note) = &self.checkpoint {
+            write!(f, " note={note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses `0x`-prefixed hex or decimal.
+fn parse_u64(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+impl FromStr for RunRequest {
+    type Err = ParseRequestError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason: String| ParseRequestError {
+            input: s.to_string(),
+            reason,
+        };
+        let mut src: Option<Source> = None;
+        let mut cfg: Option<ConfigSpec> = None;
+        let mut len: Option<RunLength> = None;
+        let mut fork: Option<Fork> = None;
+        let mut check = false;
+        let mut trace: Option<TraceReq> = None;
+        let mut faults: Option<FaultPlan> = None;
+        let mut bug = false;
+        let mut note: Option<String> = None;
+        let mut seen = std::collections::HashSet::new();
+        for token in s.split_whitespace() {
+            let (key, val) = token
+                .split_once('=')
+                .ok_or_else(|| err(format!("token `{token}` is not `key=value`")))?;
+            if !seen.insert(key.to_string()) {
+                return Err(err(format!("duplicate key `{key}`")));
+            }
+            match key {
+                "src" => {
+                    let parsed = if let Some(rest) = val.strip_prefix("bench:") {
+                        let (name, seed) = rest.split_once('@').ok_or_else(|| {
+                            err(format!("src `{val}`: expected `bench:{{name}}@{{seed}}`"))
+                        })?;
+                        Source::Bench {
+                            name: name.to_string(),
+                            seed: parse_u64(seed)
+                                .ok_or_else(|| err(format!("src `{val}`: bad seed")))?,
+                        }
+                    } else if let Some(seed) = val.strip_prefix("gen:") {
+                        Source::Gen {
+                            seed: parse_u64(seed)
+                                .ok_or_else(|| err(format!("src `{val}`: bad seed")))?,
+                        }
+                    } else {
+                        return Err(err(format!(
+                            "src `{val}`: expected `bench:{{name}}@{{seed}}` or `gen:{{seed}}`"
+                        )));
+                    };
+                    src = Some(parsed);
+                }
+                "cfg" => {
+                    cfg = Some(val.parse::<ConfigSpec>().map_err(|e| err(e.to_string()))?);
+                }
+                "len" => {
+                    len = Some(val.parse::<RunLength>().map_err(&err)?);
+                }
+                "fork" => {
+                    fork = Some(if val == "capture" {
+                        Fork::Capture
+                    } else if let Some(path) = val.strip_prefix("snap:") {
+                        if path.is_empty() {
+                            return Err(err("fork `snap:`: empty path".to_string()));
+                        }
+                        Fork::Path(path.to_string())
+                    } else {
+                        return Err(err(format!(
+                            "fork `{val}`: expected `capture` or `snap:{{path}}`"
+                        )));
+                    });
+                }
+                "check" => match val {
+                    "1" => check = true,
+                    _ => return Err(err(format!("check `{val}`: expected `1`"))),
+                },
+                "trace" => {
+                    trace = Some(if let Some(cap) = val.strip_prefix("ring:") {
+                        TraceReq::Ring(
+                            cap.parse::<usize>()
+                                .ok()
+                                .filter(|&c| c > 0)
+                                .ok_or_else(|| err(format!("trace `{val}`: bad capacity")))?,
+                        )
+                    } else if let Some(win) = val.strip_prefix("win:") {
+                        let (lo, hi) = win
+                            .split_once("..")
+                            .and_then(|(l, h)| Some((parse_u64(l)?, parse_u64(h)?)))
+                            .ok_or_else(|| {
+                                err(format!("trace `{val}`: expected `win:{{lo}}..{{hi}}`"))
+                            })?;
+                        TraceReq::Window(lo, hi)
+                    } else {
+                        return Err(err(format!(
+                            "trace `{val}`: expected `ring:{{cap}}` or `win:{{lo}}..{{hi}}`"
+                        )));
+                    });
+                }
+                "faults" => {
+                    faults = Some(
+                        val.parse::<FaultPlan>()
+                            .map_err(|e| err(format!("faults `{val}`: {e}")))?,
+                    );
+                }
+                "bug" => match val {
+                    "1" => bug = true,
+                    _ => return Err(err(format!("bug `{val}`: expected `1`"))),
+                },
+                "note" => note = Some(val.to_string()),
+                other => return Err(err(format!("unknown key `{other}`"))),
+            }
+        }
+        let src = src.ok_or_else(|| err("missing `src=`".to_string()))?;
+        let cfg = cfg.ok_or_else(|| err("missing `cfg=`".to_string()))?;
+        let len = len.ok_or_else(|| err("missing `len=`".to_string()))?;
+        Ok(RunRequest {
+            source: src,
+            config: Config::Spec(cfg),
+            len: Some(len),
+            check,
+            fork: fork.unwrap_or(Fork::Fresh),
+            trace: trace.unwrap_or(TraceReq::Off),
+            faults: faults.unwrap_or_default(),
+            seed_bug: bug,
+            checkpoint: note,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deprecated pre-redesign entry points, forwarded one-for-one.
+// ---------------------------------------------------------------------
+
+/// Non-panicking trace run.
+#[deprecated(note = "use RunRequest::trace_source(..).custom_config(..).length(..).execute()")]
+pub fn try_run_trace<T: TraceSource + Send + 'static>(
     cfg: SimConfig,
     trace: T,
     len: RunLength,
 ) -> Result<SimStats, SimError> {
-    cfg.try_validate()?;
-    let mut sim = Simulator::new(cfg, trace);
-    let warm = sim.try_run_committed(len.warmup)?;
-    let end = sim.try_run_committed(len.measure)?;
-    Ok(end.delta(&warm))
+    Ok(RunRequest::trace_source(trace)
+        .custom_config(cfg)
+        .length(len)
+        .execute()?
+        .stats)
 }
 
-/// Non-panicking variant of [`run_kernel`].
+/// Non-panicking kernel run.
+#[deprecated(note = "use RunRequest::kernel(..).custom_config(..).length(..).execute()")]
 pub fn try_run_kernel(
     cfg: SimConfig,
     spec: KernelSpec,
     len: RunLength,
 ) -> Result<SimStats, SimError> {
-    try_run_trace(cfg, KernelTrace::new(spec), len)
+    Ok(RunRequest::kernel(spec)
+        .custom_config(cfg)
+        .length(len)
+        .execute()?
+        .stats)
 }
 
-/// Runs only the warmup phase of a `(cfg, trace)` cell and captures the
-/// warm machine state as a [`Snapshot`]. Feed the result to
-/// [`try_run_trace_from_snapshot`] to fork any number of measurement runs
-/// off the shared warm state without re-simulating the warmup.
-pub fn try_warm_up_trace<T: TraceSource + PersistState>(
+/// Warmup-only run capturing the warm state.
+#[deprecated(note = "use RunRequest::persistent_source(..).capture_warm()")]
+pub fn try_warm_up_trace<T: TraceSource + PersistState + Send + 'static>(
     cfg: SimConfig,
     trace: T,
     warmup: u64,
 ) -> Result<Snapshot, SimError> {
-    cfg.try_validate()?;
-    let mut sim = Simulator::new(cfg, trace);
-    sim.try_run_committed(warmup)?;
-    Ok(sim.capture())
+    let outcome = RunRequest::persistent_source(trace)
+        .custom_config(cfg)
+        .length(RunLength { warmup, measure: 0 })
+        .capture_warm()
+        .execute()?;
+    outcome
+        .snapshot
+        .ok_or_else(|| SimError::ConfigInvalid("internal: capture run produced no snapshot".into()))
 }
 
 /// Kernel-spec convenience wrapper over [`try_warm_up_trace`].
+#[deprecated(note = "use RunRequest::kernel(..).capture_warm()")]
 pub fn try_warm_up_kernel(
     cfg: SimConfig,
     spec: KernelSpec,
     warmup: u64,
 ) -> Result<Snapshot, SimError> {
-    try_warm_up_trace(cfg, KernelTrace::new(spec), warmup)
+    let outcome = RunRequest::kernel(spec)
+        .custom_config(cfg)
+        .length(RunLength { warmup, measure: 0 })
+        .capture_warm()
+        .execute()?;
+    outcome
+        .snapshot
+        .ok_or_else(|| SimError::ConfigInvalid("internal: capture run produced no snapshot".into()))
 }
 
-/// Resumes from a warm-state snapshot and measures `measure` committed
-/// µ-ops, returning warmup-corrected statistics — bit-identical to the
-/// fresh-run [`try_run_trace`] with the same `(cfg, trace, warmup,
-/// measure)` cell (the statistics baseline travels inside the snapshot).
-///
-/// `checkpoint` names the snapshot's filesystem path, if it has one; it
-/// is attached to any failure report so crashes can be reproduced from
-/// the warm state directly.
-pub fn try_run_trace_from_snapshot<T: TraceSource + PersistState>(
+/// Measurement run forked off a warm-state snapshot.
+#[deprecated(note = "use RunRequest::persistent_source(..).from_snapshot(..)")]
+pub fn try_run_trace_from_snapshot<T: TraceSource + PersistState + Send + 'static>(
     cfg: SimConfig,
     trace: T,
     snap: &Snapshot,
     measure: u64,
     checkpoint: Option<&str>,
 ) -> Result<SimStats, SimError> {
-    cfg.try_validate()?;
-    let mut sim = Simulator::new(cfg, trace);
-    sim.restore(snap)?;
+    let mut req = RunRequest::persistent_source(trace)
+        .custom_config(cfg)
+        .length(RunLength { warmup: 0, measure })
+        .from_snapshot(snap.clone());
     if let Some(cp) = checkpoint {
-        sim.set_checkpoint_note(cp);
+        req = req.checkpoint_note(cp);
     }
-    let warm = sim.stats();
-    let end = sim.try_run_committed(measure)?;
-    Ok(end.delta(&warm))
+    Ok(req.execute()?.stats)
 }
 
 /// Kernel-spec convenience wrapper over [`try_run_trace_from_snapshot`].
+#[deprecated(note = "use RunRequest::kernel(..).from_snapshot(..)")]
 pub fn try_run_kernel_from_snapshot(
     cfg: SimConfig,
     spec: KernelSpec,
@@ -134,26 +1020,29 @@ pub fn try_run_kernel_from_snapshot(
     measure: u64,
     checkpoint: Option<&str>,
 ) -> Result<SimStats, SimError> {
-    try_run_trace_from_snapshot(cfg, KernelTrace::new(spec), snap, measure, checkpoint)
+    let mut req = RunRequest::kernel(spec)
+        .custom_config(cfg)
+        .length(RunLength { warmup: 0, measure })
+        .from_snapshot(snap.clone());
+    if let Some(cp) = checkpoint {
+        req = req.checkpoint_note(cp);
+    }
+    Ok(req.execute()?.stats)
 }
 
-/// Like [`try_run_kernel`], but with the differential oracle attached:
-/// every commit is compared against an in-order golden model walking a
-/// second copy of the same deterministic kernel trace, and the first
-/// content mismatch ends the run with [`SimError::Divergence`].
+/// Kernel run with the differential oracle attached.
+#[deprecated(note = "use RunRequest::kernel(..).checked(true)")]
 pub fn try_run_kernel_checked(
     cfg: SimConfig,
     spec: KernelSpec,
     len: RunLength,
 ) -> Result<SimStats, SimError> {
-    cfg.try_validate()?;
-    spec.validate().map_err(SimError::ConfigInvalid)?;
-    let oracle = InOrderModel::from_spec(spec.clone());
-    let mut sim = Simulator::new(cfg, KernelTrace::new(spec));
-    sim.attach_diff_checker(DiffChecker::new(Box::new(oracle)));
-    let warm = sim.try_run_committed(len.warmup)?;
-    let end = sim.try_run_committed(len.measure)?;
-    Ok(end.delta(&warm))
+    Ok(RunRequest::kernel(spec)
+        .custom_config(cfg)
+        .length(len)
+        .checked(true)
+        .execute()?
+        .stats)
 }
 
 #[cfg(test)]
@@ -167,7 +1056,12 @@ mod tests {
         let cfg = SimConfig::builder()
             .sched_policy(SchedPolicyKind::AlwaysHit)
             .build();
-        let s = run_kernel(cfg, kernels::fp_compute(1), RunLength::SMOKE);
+        let s = RunRequest::kernel(kernels::fp_compute(1))
+            .custom_config(cfg)
+            .length(RunLength::SMOKE)
+            .execute()
+            .unwrap()
+            .stats;
         // run_committed stops at the first commit boundary past the target
         assert!(s.committed_uops >= 30_000 && s.committed_uops < 30_000 + 8);
         assert!(s.cycles > 0);
@@ -182,16 +1076,34 @@ mod tests {
             warmup: 2_000,
             measure: 8_000,
         };
-        let fresh = try_run_kernel(cfg.clone(), kernels::mix_int(3), len).unwrap();
-        let snap = try_warm_up_kernel(cfg.clone(), kernels::mix_int(3), len.warmup).unwrap();
-        let warm = try_run_kernel_from_snapshot(
-            cfg,
-            kernels::mix_int(3),
-            &snap,
-            len.measure,
-            Some("warm/test.snap"),
-        )
-        .unwrap();
+        let fresh = RunRequest::kernel(kernels::mix_int(3))
+            .custom_config(cfg.clone())
+            .length(len)
+            .execute()
+            .unwrap()
+            .stats;
+        let snap = RunRequest::kernel(kernels::mix_int(3))
+            .custom_config(cfg.clone())
+            .length(RunLength {
+                warmup: len.warmup,
+                measure: 0,
+            })
+            .capture_warm()
+            .execute()
+            .unwrap()
+            .snapshot
+            .unwrap();
+        let warm = RunRequest::kernel(kernels::mix_int(3))
+            .custom_config(cfg)
+            .length(RunLength {
+                warmup: 0,
+                measure: len.measure,
+            })
+            .from_snapshot(snap)
+            .checkpoint_note("warm/test.snap")
+            .execute()
+            .unwrap()
+            .stats;
         assert_eq!(fresh, warm, "restored run must be bit-identical");
     }
 
@@ -205,12 +1117,145 @@ mod tests {
             warmup: 1_000,
             measure: 5_000,
         };
-        let plain = try_run_kernel(cfg.clone(), kernels::mix_int(2), len).unwrap();
-        let checked = try_run_kernel_checked(cfg, kernels::mix_int(2), len).unwrap();
+        let base = RunRequest::kernel(kernels::mix_int(2))
+            .custom_config(cfg.clone())
+            .length(len);
+        let plain = base.execute().unwrap().stats;
+        let checked = RunRequest::kernel(kernels::mix_int(2))
+            .custom_config(cfg)
+            .length(len)
+            .checked(true)
+            .execute()
+            .unwrap()
+            .stats;
         assert_eq!(plain.committed_uops, checked.committed_uops);
         assert_eq!(
             plain.cycles, checked.cycles,
             "checker must not perturb timing"
         );
+    }
+
+    #[test]
+    fn chunked_execution_is_bit_identical_and_reports_progress() {
+        let cfg = SimConfig::builder().build();
+        let len = RunLength {
+            warmup: 1_000,
+            measure: 6_000,
+        };
+        let one_shot = RunRequest::kernel(kernels::mix_int(5))
+            .custom_config(cfg.clone())
+            .length(len)
+            .execute()
+            .unwrap()
+            .stats;
+        let mut reports = Vec::new();
+        let chunked = RunRequest::kernel(kernels::mix_int(5))
+            .custom_config(cfg)
+            .length(len)
+            .execute_observed(&CancelFlag::new(), 500, |done, total| {
+                reports.push((done, total))
+            })
+            .unwrap()
+            .stats;
+        assert_eq!(one_shot, chunked, "chunking must leave no trace in stats");
+        assert!(reports.len() >= 14, "expected ~14 chunks, saw {reports:?}");
+        assert!(reports.iter().all(|&(_, t)| t == 7_000));
+        assert_eq!(reports.last().unwrap().0, 7_000);
+        let dones: Vec<u64> = reports.iter().map(|r| r.0).collect();
+        assert!(dones.windows(2).all(|w| w[0] < w[1]), "monotone progress");
+    }
+
+    #[test]
+    fn cancellation_stops_a_running_cell_with_typed_error() {
+        let cfg = SimConfig::builder().build();
+        let cancel = CancelFlag::new();
+        let err = RunRequest::kernel(kernels::mix_int(5))
+            .custom_config(cfg)
+            .length(RunLength {
+                warmup: 1_000,
+                measure: 1_000_000,
+            })
+            .execute_observed(&cancel, 500, |done, _| {
+                if done >= 2_000 {
+                    cancel.cancel();
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimError::Cancelled { committed } => {
+                assert!(
+                    (2_000..10_000).contains(&committed),
+                    "cancel took effect at the next chunk boundary, got {committed}"
+                );
+            }
+            other => panic!("expected Cancelled, got {other}"),
+        }
+    }
+
+    #[test]
+    fn execute_requires_a_length() {
+        let err = RunRequest::kernel(kernels::mix_int(1))
+            .execute()
+            .unwrap_err();
+        assert!(matches!(err, SimError::ConfigInvalid(_)), "{err}");
+    }
+
+    #[test]
+    fn checked_trace_source_is_rejected() {
+        let err = RunRequest::trace_source(KernelTrace::new(kernels::mix_int(1)))
+            .length(RunLength::SMOKE)
+            .checked(true)
+            .execute()
+            .unwrap_err();
+        assert!(err.to_string().contains("kernel-backed"), "{err}");
+    }
+
+    #[test]
+    fn wire_encoding_round_trips_and_rejects_library_only() {
+        let req = RunRequest::bench("fp_compute", 0xb5)
+            .config("SpecSched_4_Crit".parse().unwrap())
+            .length(RunLength {
+                warmup: 1_000,
+                measure: 5_000,
+            })
+            .checked(true)
+            .faults(FaultPlan::new().latency_spike(200, 50, 8))
+            .ring_trace(256);
+        let line = req.to_string();
+        assert_eq!(
+            line,
+            "src=bench:fp_compute@0xb5 cfg=SpecSched_4_Crit len=w1000m5000 check=1 \
+             trace=ring:256 faults=spike@200x50+8"
+        );
+        assert_eq!(line.parse::<RunRequest>().as_ref(), Ok(&req));
+
+        let library_only = RunRequest::kernel(kernels::mix_int(1))
+            .custom_config(SimConfig::default())
+            .length(RunLength::SMOKE);
+        let line = library_only.to_string();
+        assert!(line.contains("<spec:") && line.contains("<custom>"));
+        assert!(line.parse::<RunRequest>().is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_forwarders_match_request_execution() {
+        let cfg = SimConfig::builder()
+            .sched_policy(SchedPolicyKind::AlwaysHit)
+            .commit_log_window(32)
+            .build();
+        let len = RunLength {
+            warmup: 1_000,
+            measure: 4_000,
+        };
+        let old = try_run_kernel_checked(cfg.clone(), kernels::mix_int(2), len).unwrap();
+        let new = RunRequest::kernel(kernels::mix_int(2))
+            .custom_config(cfg)
+            .length(len)
+            .checked(true)
+            .execute()
+            .unwrap()
+            .stats;
+        assert_eq!(old, new, "forwarder must be byte-identical");
     }
 }

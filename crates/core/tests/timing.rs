@@ -3,10 +3,21 @@
 //! pipeline's timing conventions (issue-to-execute delay, back-to-back
 //! wakeup, port widths, non-pipelined units, forwarding).
 
-use ss_core::{run_trace, RunLength, Simulator};
+use ss_core::{RunLength, RunRequest, Simulator};
 use ss_isa::{MicroOp, RegRef, INST_BYTES};
-use ss_types::{Addr, ArchReg, OpClass, Pc, SchedPolicyKind, SimConfig};
+use ss_types::{Addr, ArchReg, OpClass, Pc, SchedPolicyKind, SimConfig, SimStats};
 use ss_workloads::TraceSource;
+
+/// These tests only care about the stats block; a run that cannot even
+/// start is a test failure, so unwrap the outcome here.
+fn run_trace(cfg: SimConfig, trace: LoopTrace, len: RunLength) -> SimStats {
+    RunRequest::trace_source(trace)
+        .custom_config(cfg)
+        .length(len)
+        .execute()
+        .unwrap()
+        .stats
+}
 
 /// Repeats a fixed µ-op sequence forever, rewriting PCs so the stream is
 /// a straight-line megablock (no branches unless included explicitly).

@@ -19,7 +19,7 @@
 //! has nothing to regress against); only a present-but-unreadable
 //! baseline is an error.
 
-use ss_core::{try_run_kernel, RunLength};
+use ss_core::{RunLength, RunRequest};
 use ss_types::SimConfig;
 use ss_workloads::kernels;
 use std::fmt::Write as _;
@@ -150,7 +150,11 @@ fn run_one(cell: &Cell, legacy: bool, len: RunLength) -> Result<Sample, String> 
         .legacy_scan(legacy)
         .build();
     let start = Instant::now();
-    let stats = try_run_kernel(cfg, kernel_spec(cell.kernel), len)
+    let stats = RunRequest::kernel(kernel_spec(cell.kernel))
+        .custom_config(cfg)
+        .length(len)
+        .execute()
+        .map(|o| o.stats)
         .map_err(|e| format!("{}: run failed: {e}", cell.name))?;
     let wall = start.elapsed();
     let wall_ms = wall.as_secs_f64() * 1_000.0;

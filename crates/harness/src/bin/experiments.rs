@@ -11,6 +11,11 @@
 //! experiments bench [--out FILE] [--smoke] [--baseline FILE]
 //!             [--max-regress PCT]
 //! experiments snapfuzz [--seeds N] [--seed S]
+//! experiments serve --socket PATH [--jobs N] [--queue-depth D]
+//!             [--checkpoint-dir DIR]
+//! experiments client --socket PATH [--id ID] [--prio CLASS]
+//!             [--cancel-after N] [--stats] [--shutdown] [--req TEXT]
+//! experiments run --req TEXT
 //! ```
 //!
 //! Results print as ASCII tables; CSVs land in `--out` (default
@@ -53,6 +58,16 @@ fn main() {
     // And the snapshot-corruption fuzzer.
     if args.first().map(String::as_str) == Some("snapfuzz") {
         std::process::exit(ss_harness::snapfuzz::run_cli(&args[1..]));
+    }
+    // And the simulation service plus its client / offline reference.
+    if args.first().map(String::as_str) == Some("serve") {
+        std::process::exit(ss_harness::serve::run_serve_cli(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("client") {
+        std::process::exit(ss_harness::serve::run_client_cli(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("run") {
+        std::process::exit(ss_harness::serve::run_offline_cli(&args[1..]));
     }
     let mut which: Vec<String> = Vec::new();
     let mut quick = false;

@@ -24,14 +24,13 @@
 //! cheap).
 
 use crate::session::CellFailure;
-use ss_core::{DiffChecker, FaultPlan, Simulator};
-use ss_oracle::InOrderModel;
+use ss_core::{FaultPlan, RunLength, RunRequest};
 use ss_trace::{pipeview, RingSink, TraceEvent};
 use ss_types::exec::{scoped_workers, WorkQueue};
 use ss_types::{
     ReplayScheme, SchedPolicyKind, ShiftPolicy, SimConfig, SimError, SplitMix64, Xoshiro256,
 };
-use ss_workloads::{gen, KernelSpec, KernelTrace};
+use ss_workloads::{gen, KernelSpec};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -98,7 +97,7 @@ pub struct FuzzCell {
     /// Committed µ-ops to run.
     pub run: u64,
     /// Test hook: arm the intentionally-seeded wakeup-recovery bug
-    /// ([`Simulator::seed_wakeup_bug`]) so oracle "teeth" tests have a
+    /// ([`ss_core::Simulator::seed_wakeup_bug`]) so oracle "teeth" tests have a
     /// real divergence to find.
     pub seed_bug: bool,
 }
@@ -245,17 +244,21 @@ pub fn run_cell(cell: &FuzzCell) -> Result<(), SimError> {
     let run = cell.run;
     let seed_bug = cell.seed_bug;
     let outcome = std::panic::catch_unwind(move || -> Result<(), SimError> {
-        let oracle = InOrderModel::from_spec(spec.clone());
         // Bounded ring trace: failure reports carry the trailing
         // pipeline-event window at negligible steady-state cost.
-        let mut sim = Simulator::with_sink(cfg, KernelTrace::new(spec), RingSink::default());
-        sim.attach_diff_checker(DiffChecker::new(Box::new(oracle)));
-        sim.set_fault_plan(plan)?;
+        let mut req = RunRequest::kernel(spec)
+            .custom_config(cfg)
+            .length(RunLength {
+                warmup: 0,
+                measure: run,
+            })
+            .checked(true)
+            .ring_trace(RingSink::DEFAULT_CAPACITY)
+            .faults(plan);
         if seed_bug {
-            sim.seed_wakeup_bug();
+            req = req.seed_wakeup_bug();
         }
-        sim.try_run_committed(run)?;
-        Ok(())
+        req.execute().map(|_| ())
     });
     match outcome {
         Ok(r) => r,

@@ -122,6 +122,12 @@ impl SweepJournal {
         self.done.len()
     }
 
+    /// Every completed cell key on record, in arbitrary order. The serve
+    /// layer uses this to pre-populate its results cache on startup.
+    pub fn completed_cells(&self) -> impl Iterator<Item = &str> {
+        self.done.iter().map(String::as_str)
+    }
+
     /// Durably records `key` as completed: one checksummed line, one
     /// `fsync`. Recording an already-journaled key is a no-op.
     pub fn record(&mut self, key: &str) -> std::io::Result<()> {

@@ -19,6 +19,10 @@
 //! * [`snapfuzz`] — the snapshot-corruption fuzzer: seeded bit-flips,
 //!   truncations, and section swaps against the checkpoint container,
 //!   proving every corruption maps to a typed error.
+//! * [`serve`] — simulation-as-a-service: the `experiments serve`
+//!   resident batch server executing [`ss_core::RunRequest`]s over a
+//!   Unix-domain socket with priority queues, admission control, and a
+//!   memoized results cache pre-populated from sweep journals.
 //! * [`report`] — tables, gmean, CSV.
 //! * [`tracecmd`] — the `experiments trace` subcommand: capture a µ-op
 //!   window with the `ss-trace` observability sinks and render it as
@@ -42,6 +46,7 @@ pub mod experiments;
 pub mod fuzz;
 pub mod journal;
 pub mod report;
+pub mod serve;
 pub mod session;
 pub mod snapfuzz;
 pub mod tracecmd;
@@ -51,4 +56,5 @@ pub use energy::EnergyModel;
 pub use exec::{prewarm, PrewarmStats};
 pub use fuzz::{FuzzCell, FuzzOptions, FuzzOutcome, FuzzReport};
 pub use report::{gmean, Report, Table};
+pub use serve::{ServeOptions, Server};
 pub use session::{CellFailure, Session};

@@ -1,0 +1,871 @@
+//! Simulation-as-a-service: the `experiments serve` resident batch
+//! server.
+//!
+//! A long-lived process keeps hot state across requests — the memoized
+//! results cache (pre-populated from a sweep's [`SweepJournal`] and
+//! on-disk stats cache), a resident warm-[`Snapshot`] store, and the
+//! per-(config, kernel) cost history — and executes [`RunRequest`]s
+//! received over a Unix-domain socket, line by line. No async runtime,
+//! no dependencies: a threaded accept loop, [`PrioQueue`] worker
+//! dispatch, and plain `std::os::unix::net` sockets.
+//!
+//! # Protocol
+//!
+//! One UTF-8 line per message. Client → server:
+//!
+//! ```text
+//! run <id> [prio=interactive|normal|bulk] <request-text>
+//! cancel <id>
+//! stats
+//! ping
+//! shutdown
+//! ```
+//!
+//! `<request-text>` is the canonical [`RunRequest`] encoding
+//! (`src=bench:fp_compute@0xb5 cfg=SpecSched_4_Crit len=w1000m5000 …`);
+//! `<id>` is a client-chosen token scoped to the connection. Server →
+//! client:
+//!
+//! ```text
+//! ack <id> queued prio=<class> | ack <id> cached | ack <id> cancel
+//! progress <id> <done>/<total>
+//! done <id> <k=v ...>              # wire-encoded SimStats
+//! err <id> <message>               # typed SimError rendering
+//! overloaded <id> depth=<d> limit=<l>
+//! stats <k=v ...> | pong | bye
+//! ```
+//!
+//! # Scheduling policy
+//!
+//! Admitted requests land in one of three FIFO classes —
+//! interactive > normal > bulk — selected by an explicit `prio=`
+//! override or, absent one, by the exponential moving average of past
+//! wall-clock cost for the request's `(config, kernel)` cell
+//! ([`RunRequest::cost_key`], [`CostEma`], α = 1/4; unknown cells run
+//! normal). Admission is bounded: when the queue holds `queue_depth`
+//! requests the server answers `overloaded` immediately
+//! ([`SimError::Overloaded`]) instead of queueing or blocking. Each
+//! running request polls its [`CancelFlag`] between bounded chunks, so
+//! `cancel` interrupts mid-simulation with a typed
+//! [`SimError::Cancelled`].
+
+use crate::journal::SweepJournal;
+use crate::session::{stats_from_cache_file, stats_from_kv, stats_to_kv, WORKLOAD_SEED};
+use ss_core::{RunLength, RunRequest};
+use ss_snapshot::Snapshot;
+use ss_types::{CancelFlag, ConfigSpec, CostEma, PrioQueue, Priority, PushError, SimStats};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Unix-domain socket path to listen on.
+    pub socket: PathBuf,
+    /// Resident worker threads executing requests.
+    pub jobs: usize,
+    /// Admission-control bound: queued (not yet running) requests.
+    pub queue_depth: usize,
+    /// Checkpoint directory of a prior sweep (`journal.log` + `cache/`)
+    /// to pre-populate the results cache from.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// EMA-predicted cost (wall ms) at or below which a cell classifies
+    /// as interactive.
+    pub interactive_max_ms: u64,
+    /// EMA-predicted cost (wall ms) at or above which a cell classifies
+    /// as bulk.
+    pub bulk_min_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            socket: PathBuf::from("experiments.sock"),
+            jobs: 2,
+            queue_depth: 64,
+            checkpoint_dir: None,
+            interactive_max_ms: 200,
+            bulk_min_ms: 2_000,
+        }
+    }
+}
+
+/// One admitted request travelling from the reader thread to a worker.
+struct Job {
+    /// Global admission sequence number (FIFO evidence).
+    seq: u64,
+    /// Client-chosen request id, echoed on every reply line.
+    id: String,
+    prio: Priority,
+    /// Canonical request text — the results-cache key.
+    canonical: String,
+    req: RunRequest,
+    cost_key: String,
+    cancel: Arc<CancelFlag>,
+    enqueued: Instant,
+    out: Arc<Mutex<UnixStream>>,
+}
+
+/// Shared server state: everything resident across requests.
+struct ServerState {
+    opts: ServeOptions,
+    queue: PrioQueue<Job>,
+    /// canonical request text → statistics.
+    results: Mutex<HashMap<String, SimStats>>,
+    /// snapshot path → loaded, verified warm state.
+    snapshots: Mutex<HashMap<String, Snapshot>>,
+    ema: Mutex<CostEma>,
+    admit_seq: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    shutdown: AtomicBool,
+    /// (class, admission seq) per executed job, in execution order.
+    exec_log: Mutex<Vec<(Priority, u64)>>,
+    /// Queue latency samples (µs) per class.
+    latency_us: Mutex<[Vec<u64>; 3]>,
+}
+
+/// A running server: background accept loop + worker pool. Dropping the
+/// handle does NOT stop the server; call [`Server::shutdown`] (or send
+/// `shutdown` over the socket, then [`Server::join`]).
+pub struct Server {
+    state: Arc<ServerState>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the socket, preloads the results cache, and starts the
+    /// worker pool and accept loop.
+    pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
+        // A stale socket file from a dead server would fail the bind.
+        let _ = std::fs::remove_file(&opts.socket);
+        let listener = UnixListener::bind(&opts.socket)?;
+        let mut results = HashMap::new();
+        if let Some(dir) = &opts.checkpoint_dir {
+            let loaded = preload_results(dir, &mut results);
+            eprintln!(
+                "[serve: preloaded {loaded} cached results from {}]",
+                dir.display()
+            );
+        }
+        let state = Arc::new(ServerState {
+            queue: PrioQueue::new(opts.queue_depth),
+            results: Mutex::new(results),
+            snapshots: Mutex::new(HashMap::new()),
+            ema: Mutex::new(CostEma::new()),
+            admit_seq: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            exec_log: Mutex::new(Vec::new()),
+            latency_us: Mutex::new([Vec::new(), Vec::new(), Vec::new()]),
+            opts,
+        });
+        let workers = (0..state.opts.jobs.max(1))
+            .map(|_| {
+                let st = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&st))
+            })
+            .collect();
+        let accept = {
+            let st = Arc::clone(&state);
+            std::thread::spawn(move || accept_loop(&st, listener))
+        };
+        Ok(Server {
+            state,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket(&self) -> &Path {
+        &self.state.opts.socket
+    }
+
+    /// Requests executed to completion (success or typed failure).
+    pub fn completed(&self) -> u64 {
+        self.state.completed.load(Ordering::SeqCst)
+    }
+
+    /// Requests answered straight from the results cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.state.cache_hits.load(Ordering::SeqCst)
+    }
+
+    /// Requests rejected by admission control.
+    pub fn rejected(&self) -> u64 {
+        self.state.rejected.load(Ordering::SeqCst)
+    }
+
+    /// `(class, admission-sequence)` per executed request, in execution
+    /// order — the soak test's FIFO-within-priority evidence.
+    pub fn exec_log(&self) -> Vec<(Priority, u64)> {
+        self.state.exec_log.lock().expect("exec log lock").clone()
+    }
+
+    /// Queue-latency samples in microseconds, indexed by
+    /// [`Priority::index`].
+    pub fn latency_us(&self) -> [Vec<u64>; 3] {
+        self.state.latency_us.lock().expect("latency lock").clone()
+    }
+
+    /// Initiates shutdown (idempotent) and joins every thread.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.close();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = UnixStream::connect(&self.state.opts.socket);
+        self.join_threads();
+        let _ = std::fs::remove_file(&self.state.opts.socket);
+    }
+
+    /// Waits for a socket-initiated `shutdown` to finish.
+    pub fn join(mut self) {
+        self.join_threads();
+        let _ = std::fs::remove_file(&self.state.opts.socket);
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Pre-populates the results cache from a sweep checkpoint directory:
+/// every journaled `{name}|{spec}|{bench}|w{W}m{M}` cell whose name is
+/// the canonical spec (the standard sweep cells) and whose cache file
+/// verifies becomes a served `src=bench:… cfg=… len=…` entry.
+fn preload_results(dir: &Path, results: &mut HashMap<String, SimStats>) -> usize {
+    let journal = match SweepJournal::open(&dir.join("journal.log")) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("[serve: no usable journal in {} ({e})]", dir.display());
+            return 0;
+        }
+    };
+    let cache = dir.join("cache");
+    let mut loaded = 0;
+    for key in journal.completed_cells() {
+        let Some((canonical, cache_file)) = translate_journal_key(key) else {
+            continue;
+        };
+        let path = cache.join(cache_file);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        match stats_from_cache_file(&path, &text, key) {
+            Ok(stats) => {
+                results.insert(canonical, stats);
+                loaded += 1;
+            }
+            Err(e) => eprintln!("[serve: skipping {}: {e}]", path.display()),
+        }
+    }
+    loaded
+}
+
+/// Maps a sweep-journal cell key to `(canonical request text, cache file
+/// name)`. Only standard cells — display name identical to the canonical
+/// [`ConfigSpec`] — translate; renamed test cells are skipped.
+fn translate_journal_key(key: &str) -> Option<(String, String)> {
+    let mut parts = key.split('|');
+    let (name, spec, bench, len) = (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
+    if parts.next().is_some() || name != spec {
+        return None;
+    }
+    let spec: ConfigSpec = spec.parse().ok()?;
+    let len_parsed: RunLength = len.parse().ok()?;
+    let canonical = RunRequest::bench(bench, WORKLOAD_SEED)
+        .config(spec)
+        .length(len_parsed)
+        .to_string();
+    Some((canonical, format!("{name}__{bench}__{len}.kv")))
+}
+
+/// Serializes statistics as one `k=v ...` wire line (the `done` payload).
+pub fn stats_to_wire(s: &SimStats) -> String {
+    stats_to_kv(s)
+        .lines()
+        .map(|l| l.replacen(' ', "=", 1))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parses the `k=v ...` wire line back into statistics.
+pub fn stats_from_wire(line: &str) -> Option<SimStats> {
+    let kv: String = line
+        .split_whitespace()
+        .filter_map(|t| t.split_once('='))
+        .map(|(k, v)| format!("{k} {v}\n"))
+        .collect();
+    stats_from_kv(&kv)
+}
+
+fn accept_loop(state: &Arc<ServerState>, listener: UnixListener) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                let st = Arc::clone(state);
+                std::thread::spawn(move || handle_connection(&st, s));
+            }
+            Err(e) => {
+                eprintln!("[serve: accept error: {e}]");
+                break;
+            }
+        }
+    }
+}
+
+/// Writes one protocol line; connection teardown is not an error.
+fn send(out: &Arc<Mutex<UnixStream>>, line: &str) {
+    let mut s = out.lock().expect("socket writer lock");
+    let _ = s.write_all(line.as_bytes());
+    let _ = s.write_all(b"\n");
+    let _ = s.flush();
+}
+
+fn handle_connection(state: &Arc<ServerState>, stream: UnixStream) {
+    let Ok(reader_half) = stream.try_clone() else {
+        return;
+    };
+    let out = Arc::new(Mutex::new(stream));
+    // Cancellation registry, scoped to this connection: ids belong to the
+    // client that issued them.
+    let mut running: HashMap<String, Arc<CancelFlag>> = HashMap::new();
+    for line in BufReader::new(reader_half).lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match verb {
+            "ping" => send(&out, "pong"),
+            "stats" => send(&out, &server_stats_line(state)),
+            "shutdown" => {
+                send(&out, "bye");
+                state.shutdown.store(true, Ordering::SeqCst);
+                state.queue.close();
+                let _ = UnixStream::connect(&state.opts.socket);
+                return;
+            }
+            "cancel" => {
+                let id = rest.trim();
+                match running.get(id) {
+                    Some(flag) => {
+                        flag.cancel();
+                        send(&out, &format!("ack {id} cancel"));
+                    }
+                    None => send(&out, &format!("err {id} unknown request id")),
+                }
+            }
+            "run" => handle_run(state, &out, rest, &mut running),
+            other => send(&out, &format!("err - unknown verb `{other}`")),
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+fn server_stats_line(state: &ServerState) -> String {
+    format!(
+        "stats depth={} limit={} completed={} cached={} rejected={} cancelled={} failed={} results={} ema_cells={}",
+        state.queue.depth(),
+        state.queue.limit(),
+        state.completed.load(Ordering::SeqCst),
+        state.cache_hits.load(Ordering::SeqCst),
+        state.rejected.load(Ordering::SeqCst),
+        state.cancelled.load(Ordering::SeqCst),
+        state.failed.load(Ordering::SeqCst),
+        state.results.lock().expect("results lock").len(),
+        state.ema.lock().expect("ema lock").len(),
+    )
+}
+
+/// Parses and admits one `run` line:
+/// `<id> [prio=<class>] <request-text>`.
+fn handle_run(
+    state: &Arc<ServerState>,
+    out: &Arc<Mutex<UnixStream>>,
+    rest: &str,
+    running: &mut HashMap<String, Arc<CancelFlag>>,
+) {
+    let (id, rest) = rest.trim().split_once(' ').unwrap_or((rest.trim(), ""));
+    if id.is_empty() {
+        send(out, "err - run needs `<id> <request>`");
+        return;
+    }
+    let (explicit_prio, req_text) = match rest.strip_prefix("prio=") {
+        Some(tail) => {
+            let (tag, req) = tail.split_once(' ').unwrap_or((tail, ""));
+            match tag.parse::<Priority>() {
+                Ok(p) => (Some(p), req),
+                Err(e) => {
+                    send(out, &format!("err {id} {e}"));
+                    return;
+                }
+            }
+        }
+        None => (None, rest),
+    };
+    let mut req = match req_text.parse::<RunRequest>() {
+        Ok(r) => r,
+        Err(e) => {
+            send(out, &format!("err {id} {e}"));
+            return;
+        }
+    };
+    let canonical = req.to_string();
+    if let Some(stats) = state
+        .results
+        .lock()
+        .expect("results lock")
+        .get(&canonical)
+        .cloned()
+    {
+        state.cache_hits.fetch_add(1, Ordering::SeqCst);
+        send(out, &format!("ack {id} cached"));
+        send(out, &format!("done {id} {}", stats_to_wire(&stats)));
+        return;
+    }
+    // Satisfy disk-snapshot forks from the resident warm-state store.
+    if let Some(path) = req.snapshot_path().map(str::to_string) {
+        let hit = state
+            .snapshots
+            .lock()
+            .expect("snapshot lock")
+            .get(&path)
+            .cloned();
+        let snap = match hit {
+            Some(s) => Some(s),
+            None => match ss_snapshot::read_verified(Path::new(&path)) {
+                Ok(s) => {
+                    state
+                        .snapshots
+                        .lock()
+                        .expect("snapshot lock")
+                        .insert(path.clone(), s.clone());
+                    Some(s)
+                }
+                // Leave the path in place: execution reports the typed
+                // SnapshotCorrupt / io error with full context.
+                Err(_) => None,
+            },
+        };
+        if let Some(s) = snap {
+            req = req.from_snapshot(s).checkpoint_note(&path);
+        }
+    }
+    let cost_key = req.cost_key();
+    let prio = explicit_prio.unwrap_or_else(|| {
+        state.ema.lock().expect("ema lock").classify(
+            &cost_key,
+            state.opts.interactive_max_ms,
+            state.opts.bulk_min_ms,
+        )
+    });
+    let cancel = Arc::new(CancelFlag::new());
+    let job = Job {
+        seq: state.admit_seq.fetch_add(1, Ordering::SeqCst),
+        id: id.to_string(),
+        prio,
+        canonical,
+        req,
+        cost_key,
+        cancel: Arc::clone(&cancel),
+        enqueued: Instant::now(),
+        out: Arc::clone(out),
+    };
+    match state.queue.try_push(prio, job) {
+        Ok(()) => {
+            running.insert(id.to_string(), cancel);
+            send(out, &format!("ack {id} queued prio={}", prio.tag()));
+        }
+        Err((_, PushError::Overloaded { depth, limit })) => {
+            state.rejected.fetch_add(1, Ordering::SeqCst);
+            send(out, &format!("overloaded {id} depth={depth} limit={limit}"));
+        }
+        Err((_, PushError::Closed)) => {
+            send(out, &format!("err {id} server is shutting down"));
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>) {
+    while let Some(job) = state.queue.pop() {
+        let wait_us = job.enqueued.elapsed().as_micros() as u64;
+        {
+            let mut log = state.exec_log.lock().expect("exec log lock");
+            log.push((job.prio, job.seq));
+        }
+        state.latency_us.lock().expect("latency lock")[job.prio.index()].push(wait_us);
+        let Job {
+            id,
+            canonical,
+            req,
+            cost_key,
+            cancel,
+            out,
+            ..
+        } = job;
+        let total = req
+            .run_length()
+            .map(|l| l.warmup + l.measure)
+            .unwrap_or(u64::MAX);
+        // ~8 progress lines per run, chunk floor so cancel stays snappy.
+        let chunk = (total / 8).clamp(1_000, 250_000);
+        let started = Instant::now();
+        let result = req.execute_observed(&cancel, chunk, |done, total| {
+            send(&out, &format!("progress {id} {done}/{total}"));
+        });
+        match result {
+            Ok(outcome) => {
+                let ms = started.elapsed().as_millis() as u64;
+                state
+                    .ema
+                    .lock()
+                    .expect("ema lock")
+                    .observe(&cost_key, ms.max(1));
+                state
+                    .results
+                    .lock()
+                    .expect("results lock")
+                    .insert(canonical, outcome.stats.clone());
+                state.completed.fetch_add(1, Ordering::SeqCst);
+                send(
+                    &out,
+                    &format!("done {id} {}", stats_to_wire(&outcome.stats)),
+                );
+            }
+            Err(e) => {
+                if matches!(e, ss_types::SimError::Cancelled { .. }) {
+                    state.cancelled.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    state.failed.fetch_add(1, Ordering::SeqCst);
+                }
+                state.completed.fetch_add(1, Ordering::SeqCst);
+                send(&out, &format!("err {id} {e}"));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CLI entry points: `experiments serve`, `experiments client`,
+// `experiments run`.
+// ---------------------------------------------------------------------
+
+/// `experiments serve --socket PATH [--jobs N] [--queue-depth D]
+/// [--checkpoint-dir DIR] [--interactive-max-ms MS] [--bulk-min-ms MS]`:
+/// runs the server until a client sends `shutdown` (or the process is
+/// killed).
+pub fn run_serve_cli(args: &[String]) -> i32 {
+    let mut opts = ServeOptions {
+        jobs: ss_types::exec::default_jobs(),
+        ..ServeOptions::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => opts.socket = PathBuf::from(it.next().expect("--socket needs a path")),
+            "--jobs" | "-j" => {
+                opts.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs needs a worker count")
+            }
+            "--queue-depth" => {
+                opts.queue_depth = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queue-depth needs a count")
+            }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(PathBuf::from(
+                    it.next().expect("--checkpoint-dir needs a directory"),
+                ))
+            }
+            "--interactive-max-ms" => {
+                opts.interactive_max_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--interactive-max-ms needs a millisecond count")
+            }
+            "--bulk-min-ms" => {
+                opts.bulk_min_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--bulk-min-ms needs a millisecond count")
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments serve --socket PATH [--jobs N] [--queue-depth D] [--checkpoint-dir DIR] [--interactive-max-ms MS] [--bulk-min-ms MS]"
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("unknown serve flag `{other}`");
+                return 2;
+            }
+        }
+    }
+    let server = match Server::start(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: could not start: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "[serve: listening on {} with {} workers, queue depth {}]",
+        server.socket().display(),
+        server.state.opts.jobs,
+        server.state.opts.queue_depth
+    );
+    server.join();
+    eprintln!("[serve: shut down cleanly]");
+    0
+}
+
+/// `experiments client --socket PATH [--id ID] [--prio P]
+/// [--cancel-after N] [--stats] [--shutdown] [--req TEXT]`: one-shot
+/// client. Streams every server line to stdout; exits 0 on `done`
+/// (or acknowledged control message), 1 on `err`/`overloaded`.
+pub fn run_client_cli(args: &[String]) -> i32 {
+    let mut socket = PathBuf::from("experiments.sock");
+    let mut id = String::from("r1");
+    let mut prio: Option<String> = None;
+    let mut req: Option<String> = None;
+    let mut cancel_after: Option<u32> = None;
+    let mut want_stats = false;
+    let mut want_shutdown = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = PathBuf::from(it.next().expect("--socket needs a path")),
+            "--id" => id = it.next().expect("--id needs a token").clone(),
+            "--prio" => prio = Some(it.next().expect("--prio needs a class").clone()),
+            "--req" => req = Some(it.next().expect("--req needs request text").clone()),
+            "--cancel-after" => {
+                cancel_after = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--cancel-after needs a progress-line count"),
+                )
+            }
+            "--stats" => want_stats = true,
+            "--shutdown" => want_shutdown = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments client --socket PATH [--id ID] [--prio interactive|normal|bulk] [--cancel-after N] [--stats] [--shutdown] [--req 'src=... cfg=... len=...']"
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("unknown client flag `{other}`");
+                return 2;
+            }
+        }
+    }
+    let mut stream = match UnixStream::connect(&socket) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("client: cannot connect to {}: {e}", socket.display());
+            return 1;
+        }
+    };
+    let reader = match stream.try_clone() {
+        Ok(r) => BufReader::new(r),
+        Err(e) => {
+            eprintln!("client: {e}");
+            return 1;
+        }
+    };
+    let send_line = |s: &mut UnixStream, line: &str| -> bool {
+        s.write_all(line.as_bytes()).is_ok() && s.write_all(b"\n").is_ok() && s.flush().is_ok()
+    };
+    if want_stats || want_shutdown {
+        let verb = if want_shutdown { "shutdown" } else { "stats" };
+        if !send_line(&mut stream, verb) {
+            eprintln!("client: send failed");
+            return 1;
+        }
+        // Single-line reply.
+        return match reader.lines().map_while(Result::ok).next() {
+            Some(line) => {
+                println!("{line}");
+                0
+            }
+            None => 1,
+        };
+    }
+    let Some(req) = req else {
+        eprintln!("client: --req (or --stats/--shutdown) is required");
+        return 2;
+    };
+    let line = match &prio {
+        Some(p) => format!("run {id} prio={p} {req}"),
+        None => format!("run {id} {req}"),
+    };
+    if !send_line(&mut stream, &line) {
+        eprintln!("client: send failed");
+        return 1;
+    }
+    let mut progress_seen = 0u32;
+    for line in reader.lines().map_while(Result::ok) {
+        println!("{line}");
+        let verb = line.split(' ').next().unwrap_or("");
+        match verb {
+            "done" => return 0,
+            "err" | "overloaded" => return 1,
+            "progress" => {
+                progress_seen += 1;
+                if cancel_after == Some(progress_seen)
+                    && !send_line(&mut stream, &format!("cancel {id}"))
+                {
+                    return 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    eprintln!("client: connection closed before a terminal reply");
+    1
+}
+
+/// `experiments run --req TEXT`: executes one wire-encoded request
+/// offline (no server) and prints the identical `done <k=v ...>` line —
+/// the reference output the CI smoke test diffs server replies against.
+pub fn run_offline_cli(args: &[String]) -> i32 {
+    let mut req: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--req" => req = Some(it.next().expect("--req needs request text").clone()),
+            "--help" | "-h" => {
+                eprintln!("usage: experiments run --req 'src=... cfg=... len=...'");
+                return 0;
+            }
+            other => {
+                eprintln!("unknown run flag `{other}`");
+                return 2;
+            }
+        }
+    }
+    let Some(text) = req else {
+        eprintln!("run: --req is required");
+        return 2;
+    };
+    let parsed = match text.parse::<RunRequest>() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run: {e}");
+            return 2;
+        }
+    };
+    let id = "offline";
+    match parsed.execute() {
+        Ok(outcome) => {
+            println!("done {id} {}", stats_to_wire(&outcome.stats));
+            0
+        }
+        Err(e) => {
+            println!("err {id} {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_stats_round_trip_preserves_all_fields() {
+        let mut s = SimStats {
+            cycles: 12_345,
+            committed_uops: 678,
+            ..Default::default()
+        };
+        s.l1d.misses = 9;
+        s.l2.accesses = 11;
+        let line = stats_to_wire(&s);
+        assert!(line.contains("cycles=12345"), "{line}");
+        let back = stats_from_wire(&line).expect("parses");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn journal_keys_translate_only_for_standard_cells() {
+        let (canonical, file) =
+            translate_journal_key("SpecSched_4_Crit|SpecSched_4_Crit|fp_compute|w1000m5000")
+                .expect("standard cell translates");
+        assert_eq!(
+            canonical,
+            "src=bench:fp_compute@0xb5 cfg=SpecSched_4_Crit len=w1000m5000"
+        );
+        assert_eq!(file, "SpecSched_4_Crit__fp_compute__w1000m5000.kv");
+        // Renamed test cells and malformed keys are skipped, not errors.
+        assert!(translate_journal_key("odd-name|SpecSched_4|fp_compute|w1m2").is_none());
+        assert!(translate_journal_key("SpecSched_4|SpecSched_4|fp_compute").is_none());
+        assert!(translate_journal_key("Bogus_4|Bogus_4|fp_compute|w1m2").is_none());
+    }
+
+    #[test]
+    fn server_answers_ping_run_and_stats_over_the_socket() {
+        let dir = std::env::temp_dir().join(format!("ss-serve-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let server = Server::start(ServeOptions {
+            socket: dir.join("unit.sock"),
+            jobs: 1,
+            queue_depth: 4,
+            ..ServeOptions::default()
+        })
+        .expect("server starts");
+        let mut c = UnixStream::connect(server.socket()).unwrap();
+        c.write_all(b"ping\nrun a src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w200m2000\n")
+            .unwrap();
+        let mut lines = BufReader::new(c.try_clone().unwrap()).lines();
+        assert_eq!(lines.next().unwrap().unwrap(), "pong");
+        assert_eq!(lines.next().unwrap().unwrap(), "ack a queued prio=normal");
+        let done = loop {
+            let line = lines.next().unwrap().unwrap();
+            if let Some(rest) = line.strip_prefix("done a ") {
+                break rest.to_string();
+            }
+            assert!(line.starts_with("progress a "), "unexpected line {line}");
+        };
+        let stats = stats_from_wire(&done).expect("wire stats parse");
+        assert!(stats.committed_uops >= 2_000);
+        // Same request again: served from the results memo.
+        c.write_all(b"run b src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w200m2000\n")
+            .unwrap();
+        assert_eq!(lines.next().unwrap().unwrap(), "ack b cached");
+        let cached = lines.next().unwrap().unwrap();
+        assert_eq!(cached.strip_prefix("done b ").unwrap(), done);
+        drop(c);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

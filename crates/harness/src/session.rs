@@ -23,7 +23,8 @@
 
 use crate::configs::NamedConfig;
 use crate::journal::SweepJournal;
-use ss_core::{try_run_kernel, try_run_kernel_from_snapshot, try_warm_up_kernel, RunLength};
+use ss_core::{RunLength, RunRequest};
+use ss_snapshot::Snapshot;
 use ss_types::{CacheStats, SimConfig, SimError, SimStats};
 use ss_workloads::{Benchmark, KernelSpec, BENCHMARKS};
 use std::collections::HashMap;
@@ -425,18 +426,28 @@ fn run_cell(
     len: RunLength,
 ) -> Result<(SimStats, bool), SimError> {
     let Some(path) = warm_path else {
-        return try_run_kernel(cfg, spec, len).map(|s| (s, false));
+        let outcome = RunRequest::kernel(spec)
+            .custom_config(cfg)
+            .length(len)
+            .execute()?;
+        return Ok((outcome.stats, false));
     };
     let note = path.display().to_string();
+    let measure_from = |snap: Snapshot, cfg: SimConfig, spec: KernelSpec| {
+        RunRequest::kernel(spec)
+            .custom_config(cfg)
+            .length(RunLength {
+                warmup: 0,
+                measure: len.measure,
+            })
+            .from_snapshot(snap)
+            .checkpoint_note(&note)
+            .execute()
+            .map(|o| o.stats)
+    };
     match ss_snapshot::read_verified(path) {
         Ok(snap) => {
-            match try_run_kernel_from_snapshot(
-                cfg.clone(),
-                spec.clone(),
-                &snap,
-                len.measure,
-                Some(&note),
-            ) {
+            match measure_from(snap, cfg.clone(), spec.clone()) {
                 Ok(s) => return Ok((s, true)),
                 // A config that drifted under an unchanged name (or a
                 // damaged section the container checksum cannot see,
@@ -450,11 +461,21 @@ fn run_cell(
         Err(ss_snapshot::SnapshotError::Io(_)) => {} // absent: first visit
         Err(e) => eprintln!("warning: warm snapshot {note}: {e}; re-warming"),
     }
-    let snap = try_warm_up_kernel(cfg.clone(), spec.clone(), len.warmup)?;
+    let warm = RunRequest::kernel(spec.clone())
+        .custom_config(cfg.clone())
+        .length(RunLength {
+            warmup: len.warmup,
+            measure: 0,
+        })
+        .capture_warm()
+        .execute()?;
+    let snap = warm
+        .snapshot
+        .ok_or_else(|| SimError::ConfigInvalid("capture run produced no snapshot".into()))?;
     if let Err(e) = ss_snapshot::write_atomic(path, &snap) {
         eprintln!("warning: could not persist warm snapshot {note}: {e}");
     }
-    let s = try_run_kernel_from_snapshot(cfg, spec, &snap, len.measure, Some(&note))?;
+    let s = measure_from(snap, cfg, spec)?;
     Ok((s, false))
 }
 

@@ -236,6 +236,21 @@ pub enum SimError {
         /// Version this build reads and writes.
         expected: u32,
     },
+    /// The run was cancelled cooperatively (its
+    /// [`CancelFlag`](crate::CancelFlag) fired between measurement
+    /// chunks). `committed` records how far the measurement got.
+    Cancelled {
+        /// Committed µ-ops measured before the cancellation took effect.
+        committed: u64,
+    },
+    /// The serve layer refused admission: its bounded request queue was
+    /// full. Clients should back off and retry — never a hang.
+    Overloaded {
+        /// Pending requests at the time of rejection.
+        depth: usize,
+        /// The server's admission limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -263,6 +278,15 @@ impl fmt::Display for SimError {
                 f,
                 "snapshot version mismatch {path}: found v{found}, this build reads v{expected}"
             ),
+            SimError::Cancelled { committed } => {
+                write!(f, "run cancelled after {committed} measured µ-ops")
+            }
+            SimError::Overloaded { depth, limit } => {
+                write!(
+                    f,
+                    "server overloaded: {depth} requests pending at limit {limit}"
+                )
+            }
         }
     }
 }
@@ -353,6 +377,14 @@ mod tests {
                     expected: 1,
                 },
                 "version mismatch",
+            ),
+            (SimError::Cancelled { committed: 1234 }, "cancelled"),
+            (
+                SimError::Overloaded {
+                    depth: 64,
+                    limit: 64,
+                },
+                "overloaded",
             ),
         ];
         for (e, needle) in cases {

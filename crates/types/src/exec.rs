@@ -12,6 +12,13 @@
 //! * [`scoped_workers`] — spawns `n` scoped worker threads and collects
 //!   their results in worker order; panics propagate to the caller once
 //!   all workers have stopped.
+//! * [`Priority`] / [`PrioQueue`] — a bounded, blocking three-level
+//!   priority queue (interactive / normal / bulk, FIFO within a level)
+//!   with typed overload rejection, backing the `experiments serve`
+//!   admission control.
+//! * [`CostEma`] — per-key exponentially-weighted moving averages of
+//!   simulation cost (the Exo-OS predictive-scheduler recipe: α = 1/4),
+//!   used to classify incoming requests into priority levels.
 //!
 //! The pool deliberately has no knowledge of what a "job" is: callers
 //! index into their own job list with the indices handed out by
@@ -37,8 +44,11 @@
 //! assert_eq!(results.into_inner().unwrap()[21], 42);
 //! ```
 
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A cooperative cancellation token.
 ///
@@ -168,6 +178,260 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Scheduling class of a serve-layer request.
+///
+/// Orders from most to least urgent; [`PrioQueue::pop`] always drains
+/// `Interactive` before `Normal` before `Bulk`, FIFO within a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Short, latency-sensitive requests (a human is waiting).
+    Interactive,
+    /// The default class for requests of unknown or moderate cost.
+    #[default]
+    Normal,
+    /// Long sweep traffic that tolerates queueing behind everything else.
+    Bulk,
+}
+
+impl Priority {
+    /// All classes, most urgent first (drain order).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Normal, Priority::Bulk];
+
+    /// Dense index for per-class arrays: 0 = interactive, 2 = bulk.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Normal => 1,
+            Priority::Bulk => 2,
+        }
+    }
+
+    /// The wire tag (`interactive` / `normal` / `bulk`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Normal => "normal",
+            Priority::Bulk => "bulk",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+impl FromStr for Priority {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interactive" => Ok(Priority::Interactive),
+            "normal" => Ok(Priority::Normal),
+            "bulk" => Ok(Priority::Bulk),
+            other => Err(format!(
+                "unknown priority `{other}` (expected interactive|normal|bulk)"
+            )),
+        }
+    }
+}
+
+/// Why a [`PrioQueue::try_push`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue holds `depth` pending items, at its admission limit —
+    /// the caller should surface a typed `Overloaded`, never block.
+    Overloaded {
+        /// Pending items across all classes at the time of rejection.
+        depth: usize,
+        /// The admission limit the queue was built with.
+        limit: usize,
+    },
+    /// The queue was closed (server shutting down).
+    Closed,
+}
+
+impl fmt::Display for PushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Overloaded { depth, limit } => {
+                write!(f, "queue overloaded: {depth} pending at limit {limit}")
+            }
+            PushError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+/// A bounded, blocking three-level priority queue.
+///
+/// `try_push` never blocks: when the total pending depth has reached the
+/// admission limit it returns [`PushError::Overloaded`] — the serve
+/// layer's bounded-queue admission control. `pop` blocks until an item
+/// is available (highest class first, FIFO within a class) or the queue
+/// is closed and drained.
+///
+/// The queue is not lock-free like [`WorkQueue`] — serve requests arrive
+/// at human/network rate, so a mutex + condvar is the right tool; the
+/// lock is held only for a push or pop, never across a simulation.
+#[derive(Debug)]
+pub struct PrioQueue<T> {
+    inner: Mutex<PrioInner<T>>,
+    ready: Condvar,
+    limit: usize,
+}
+
+#[derive(Debug)]
+struct PrioInner<T> {
+    classes: [VecDeque<T>; 3],
+    closed: bool,
+}
+
+impl<T> PrioQueue<T> {
+    /// A queue admitting at most `limit` pending items in total (min 1).
+    pub fn new(limit: usize) -> Self {
+        PrioQueue {
+            inner: Mutex::new(PrioInner {
+                classes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            limit: limit.max(1),
+        }
+    }
+
+    /// The admission limit this queue was built with.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Total pending items across all classes.
+    pub fn depth(&self) -> usize {
+        let inner = self.inner.lock().expect("prio queue poisoned");
+        inner.classes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Enqueues `item` at `prio`, or refuses with a typed error —
+    /// never blocks.
+    pub fn try_push(&self, prio: Priority, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().expect("prio queue poisoned");
+        if inner.closed {
+            return Err((item, PushError::Closed));
+        }
+        let depth: usize = inner.classes.iter().map(VecDeque::len).sum();
+        if depth >= self.limit {
+            return Err((
+                item,
+                PushError::Overloaded {
+                    depth,
+                    limit: self.limit,
+                },
+            ));
+        }
+        inner.classes[prio.index()].push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns the most urgent
+    /// pending one (FIFO within its class), or `None` once the queue is
+    /// closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("prio queue poisoned");
+        loop {
+            for class in inner.classes.iter_mut() {
+                if let Some(item) = class.pop_front() {
+                    return Some(item);
+                }
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("prio queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending items still drain through [`pop`], new
+    /// pushes are refused, and blocked poppers wake as the queue empties.
+    ///
+    /// [`pop`]: PrioQueue::pop
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("prio queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Drains and discards everything still pending, returning the items
+    /// (used at shutdown to fail queued requests with a typed error).
+    pub fn drain(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("prio queue poisoned");
+        let mut out = Vec::new();
+        for class in inner.classes.iter_mut() {
+            out.extend(class.drain(..));
+        }
+        out
+    }
+}
+
+/// Per-key exponentially-weighted moving average of observed cost.
+///
+/// The Exo-OS predictive-scheduler recipe: `ema = new/4 + 3·old/4`
+/// (α = 1/4), integer arithmetic so the estimate is deterministic across
+/// hosts. Keys are caller-defined (the serve layer uses
+/// `"{config}|{kernel}"`), costs are caller-defined units (the serve
+/// layer feeds wall-clock microseconds).
+#[derive(Debug, Default)]
+pub struct CostEma {
+    ema: HashMap<String, u64>,
+}
+
+impl CostEma {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observed cost into `key`'s average. The first
+    /// observation seeds the average directly.
+    pub fn observe(&mut self, key: &str, cost: u64) {
+        match self.ema.get_mut(key) {
+            Some(ema) => *ema = (cost + 3 * *ema) / 4,
+            None => {
+                self.ema.insert(key.to_string(), cost);
+            }
+        }
+    }
+
+    /// The current estimate for `key`, if any cost has been observed.
+    pub fn predict(&self, key: &str) -> Option<u64> {
+        self.ema.get(key).copied()
+    }
+
+    /// Number of keys with an estimate.
+    pub fn len(&self) -> usize {
+        self.ema.len()
+    }
+
+    /// Whether no cost has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.ema.is_empty()
+    }
+
+    /// Classifies `key` by its estimate against two thresholds:
+    /// at most `interactive_max` → [`Priority::Interactive`], at least
+    /// `bulk_min` → [`Priority::Bulk`], otherwise (including an unknown
+    /// key) → [`Priority::Normal`].
+    pub fn classify(&self, key: &str, interactive_max: u64, bulk_min: u64) -> Priority {
+        match self.predict(key) {
+            Some(cost) if cost <= interactive_max => Priority::Interactive,
+            Some(cost) if cost >= bulk_min => Priority::Bulk,
+            _ => Priority::Normal,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +501,83 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn priority_tags_round_trip() {
+        for p in Priority::ALL {
+            assert_eq!(p.to_string().parse::<Priority>(), Ok(p));
+        }
+        assert!("urgent".parse::<Priority>().is_err());
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn prio_queue_drains_urgent_first_fifo_within_class() {
+        let q = PrioQueue::new(16);
+        q.try_push(Priority::Bulk, "b1").unwrap();
+        q.try_push(Priority::Normal, "n1").unwrap();
+        q.try_push(Priority::Interactive, "i1").unwrap();
+        q.try_push(Priority::Interactive, "i2").unwrap();
+        q.try_push(Priority::Bulk, "b2").unwrap();
+        q.close();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec!["i1", "i2", "n1", "b1", "b2"]);
+    }
+
+    #[test]
+    fn prio_queue_rejects_typed_overload_never_blocks() {
+        let q = PrioQueue::new(2);
+        q.try_push(Priority::Normal, 1).unwrap();
+        q.try_push(Priority::Bulk, 2).unwrap();
+        let (item, err) = q.try_push(Priority::Interactive, 3).unwrap_err();
+        assert_eq!(item, 3);
+        assert_eq!(err, PushError::Overloaded { depth: 2, limit: 2 });
+        // Popping frees a slot; admission recovers.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(Priority::Interactive, 3).unwrap();
+        assert_eq!(q.pop(), Some(3), "interactive overtakes the queued bulk");
+    }
+
+    #[test]
+    fn prio_queue_close_wakes_blocked_poppers() {
+        let q = std::sync::Arc::new(PrioQueue::<u32>::new(4));
+        let popper = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the popper a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+        assert_eq!(
+            q.try_push(Priority::Normal, 9).unwrap_err().1,
+            PushError::Closed
+        );
+    }
+
+    #[test]
+    fn cost_ema_converges_and_classifies() {
+        let mut ema = CostEma::new();
+        assert_eq!(ema.predict("cell"), None);
+        assert_eq!(ema.classify("cell", 100, 10_000), Priority::Normal);
+        ema.observe("cell", 1_000);
+        assert_eq!(ema.predict("cell"), Some(1_000), "first observation seeds");
+        // Repeated cheap observations pull the average down by 1/4 steps.
+        ema.observe("cell", 0);
+        assert_eq!(ema.predict("cell"), Some(750));
+        for _ in 0..64 {
+            ema.observe("cell", 40);
+        }
+        let settled = ema.predict("cell").unwrap();
+        assert!(
+            (38..=42).contains(&settled),
+            "EMA settles near the new cost, got {settled}"
+        );
+        assert_eq!(ema.classify("cell", 100, 10_000), Priority::Interactive);
+        ema.observe("big", 1_000_000);
+        assert_eq!(ema.classify("big", 100, 10_000), Priority::Bulk);
+        assert_eq!(ema.len(), 2);
+        assert!(!ema.is_empty());
     }
 }

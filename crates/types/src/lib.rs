@@ -8,6 +8,9 @@
 //!   used by the issue stage.
 //! * [`config`] — the full machine description ([`SimConfig`]) with a
 //!   builder, defaulting to the paper's Table 1 configuration.
+//! * [`config_spec`] — the typed configuration-name grammar
+//!   ([`ConfigSpec`]: `Baseline_4`, `SpecSched_4_Crit`, …) shared by the
+//!   harness, the cache keys, and the serve wire protocol.
 //! * [`stats`] — the statistics block ([`SimStats`]) every experiment reads,
 //!   including the paper's `Unique` / `RpldMiss` / `RpldBank` issue
 //!   breakdown.
@@ -44,6 +47,7 @@
 
 pub mod commit;
 pub mod config;
+pub mod config_spec;
 pub mod error;
 pub mod exec;
 pub mod ids;
@@ -61,8 +65,9 @@ pub use config::{
     PredictorConfig, PrfBankConfig, ReplayScheme, SchedPolicyKind, ShiftPolicy, SimConfig,
     SimConfigBuilder,
 };
+pub use config_spec::{ConfigFamily, ConfigSpec, ConfigVariant, NamedConfig, ParseConfigError};
 pub use error::{DeadlockReport, DivergenceReport, InvariantReport, PipelineSnapshot, SimError};
-pub use exec::{CancelFlag, WorkQueue};
+pub use exec::{CancelFlag, CostEma, PrioQueue, Priority, PushError, WorkQueue};
 pub use ids::{Addr, ArchReg, Cycle, Pc, PhysReg, SeqNum};
 pub use op::{BranchKind, ExecPort, OpClass, RegClass};
 pub use persist::{DecodeError, Persist, PersistState, Reader, Writer};

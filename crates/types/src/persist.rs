@@ -141,6 +141,18 @@ pub trait PersistState {
     fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError>;
 }
 
+// Boxed (including trait-object) components persist through the box, so
+// a `Box<dyn TraceSource + PersistState>`-style source can sit where a
+// concrete one does (the `RunRequest` runner relies on this).
+impl<T: PersistState + ?Sized> PersistState for Box<T> {
+    fn save_state(&self, w: &mut Writer) {
+        (**self).save_state(w);
+    }
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), DecodeError> {
+        (**self).restore_state(r)
+    }
+}
+
 macro_rules! persist_le_int {
     ($($ty:ty),*) => {$(
         impl Persist for $ty {

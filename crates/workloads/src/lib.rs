@@ -54,3 +54,15 @@ pub trait TraceSource {
     /// Human-readable workload name.
     fn name(&self) -> &str;
 }
+
+// A boxed source (including a trait object) is itself a source, so the
+// `RunRequest` runner can hold arbitrary caller-provided traces without
+// being generic over them.
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_uop(&mut self) -> MicroOp {
+        (**self).next_uop()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}

@@ -9,7 +9,7 @@
 //! cargo run --release --example custom_workload
 //! ```
 
-use speculative_scheduling::core::{try_run_kernel, RunLength};
+use speculative_scheduling::core::{RunLength, RunRequest};
 use speculative_scheduling::prelude::*;
 use speculative_scheduling::types::SimError;
 use speculative_scheduling::workloads::spec::{rf, ri, BodyOp, BranchBehavior, KernelSpec};
@@ -86,8 +86,16 @@ fn main() -> Result<(), SimError> {
             .banked_l1d(true)
             .schedule_shifting(true)
             .build();
-        let s0 = try_run_kernel(base, dot_product_conflicting(1), RunLength::SMOKE)?;
-        let s1 = try_run_kernel(shifted, dot_product_conflicting(1), RunLength::SMOKE)?;
+        let s0 = RunRequest::kernel(dot_product_conflicting(1))
+            .custom_config(base)
+            .length(RunLength::SMOKE)
+            .execute()?
+            .stats;
+        let s1 = RunRequest::kernel(dot_product_conflicting(1))
+            .custom_config(shifted)
+            .length(RunLength::SMOKE)
+            .execute()?
+            .stats;
         println!(
             "{:>6} {:>12.3} {:>12.3} {:>12}",
             delay,

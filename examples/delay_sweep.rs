@@ -8,7 +8,7 @@
 //! cargo run --release --example delay_sweep
 //! ```
 
-use speculative_scheduling::core::{try_run_kernel, RunLength};
+use speculative_scheduling::core::{RunLength, RunRequest};
 use speculative_scheduling::prelude::*;
 use speculative_scheduling::types::SimError;
 use speculative_scheduling::workloads::kernels;
@@ -30,8 +30,16 @@ fn main() -> Result<(), SimError> {
             .sched_policy(SchedPolicyKind::AlwaysHit)
             .banked_l1d(false)
             .build();
-        let c = try_run_kernel(conservative, kernels::list_walk(1), RunLength::SMOKE)?;
-        let s = try_run_kernel(speculative, kernels::list_walk(1), RunLength::SMOKE)?;
+        let c = RunRequest::kernel(kernels::list_walk(1))
+            .custom_config(conservative)
+            .length(RunLength::SMOKE)
+            .execute()?
+            .stats;
+        let s = RunRequest::kernel(kernels::list_walk(1))
+            .custom_config(speculative)
+            .length(RunLength::SMOKE)
+            .execute()?
+            .stats;
         println!(
             "{:>6} {:>16.3} {:>16.3} {:>10}",
             delay,

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use speculative_scheduling::core::{try_run_kernel, RunLength};
+use speculative_scheduling::core::{RunLength, RunRequest};
 use speculative_scheduling::prelude::*;
 use speculative_scheduling::types::SimError;
 use speculative_scheduling::workloads::kernels;
@@ -20,7 +20,11 @@ fn main() -> Result<(), SimError> {
 
     // A synthetic benchmark: high-ILP integer code with a same-bank load
     // pair (the 186.crafty regime).
-    let stats = try_run_kernel(cfg, kernels::crafty_like(42), RunLength::SMOKE)?;
+    let stats = RunRequest::kernel(kernels::crafty_like(42))
+        .custom_config(cfg)
+        .length(RunLength::SMOKE)
+        .execute()?
+        .stats;
 
     println!("== crafty_like on SpecSched_4 (banked L1D) ==");
     println!("{stats}");

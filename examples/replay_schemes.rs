@@ -14,7 +14,7 @@
 //! cargo run --release --example replay_schemes [-- --crit]
 //! ```
 
-use speculative_scheduling::core::{try_run_kernel, RunLength};
+use speculative_scheduling::core::{RunLength, RunRequest};
 use speculative_scheduling::prelude::*;
 use speculative_scheduling::types::{ReplayScheme, SimError};
 use speculative_scheduling::workloads::kernels;
@@ -48,7 +48,11 @@ fn main() -> Result<(), SimError> {
                 .banked_l1d(true)
                 .replay_scheme(scheme)
                 .build();
-            let s = try_run_kernel(cfg, k(7), RunLength::SMOKE)?;
+            let s = RunRequest::kernel(k(7))
+                .custom_config(cfg)
+                .length(RunLength::SMOKE)
+                .execute()?
+                .stats;
             cells.push(format!("{:.3} / {}", s.ipc(), s.replayed_total()));
         }
         println!(

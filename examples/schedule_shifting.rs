@@ -10,7 +10,7 @@
 //! cargo run --release --example schedule_shifting
 //! ```
 
-use speculative_scheduling::core::{try_run_kernel, RunLength};
+use speculative_scheduling::core::{RunLength, RunRequest};
 use speculative_scheduling::prelude::*;
 use speculative_scheduling::types::SimError;
 use speculative_scheduling::workloads::kernels;
@@ -38,8 +38,16 @@ fn main() -> Result<(), SimError> {
         "kernel", "IPC base", "IPC shift", "speedup", "RpldBank", "RpldBank'"
     );
     for (name, k) in kernels {
-        let base = try_run_kernel(machine(false), k(7), RunLength::SMOKE)?;
-        let shift = try_run_kernel(machine(true), k(7), RunLength::SMOKE)?;
+        let base = RunRequest::kernel(k(7))
+            .custom_config(machine(false))
+            .length(RunLength::SMOKE)
+            .execute()?
+            .stats;
+        let shift = RunRequest::kernel(k(7))
+            .custom_config(machine(true))
+            .length(RunLength::SMOKE)
+            .execute()?
+            .stats;
         println!(
             "{:18} {:>9.3} {:>9.3} {:>8.1}% {:>12} {:>12}",
             name,

@@ -10,7 +10,7 @@
 //! cargo run --release --example wakeup_policies
 //! ```
 
-use speculative_scheduling::core::{try_run_kernel, RunLength};
+use speculative_scheduling::core::{RunLength, RunRequest};
 use speculative_scheduling::prelude::*;
 use speculative_scheduling::types::SimError;
 use speculative_scheduling::workloads::kernels;
@@ -43,7 +43,11 @@ fn main() -> Result<(), SimError> {
                 .banked_l1d(true)
                 .schedule_shifting(p == SchedPolicyKind::Criticality)
                 .build();
-            let s = try_run_kernel(cfg, k(3), RunLength::SMOKE)?;
+            let s = RunRequest::kernel(k(3))
+                .custom_config(cfg)
+                .length(RunLength::SMOKE)
+                .execute()?
+                .stats;
             println!(
                 "{:18} {:>7.3} {:>10} {:>10} {:>11} {:>11}",
                 format!("{p:?}"),

@@ -2,9 +2,24 @@
 //! policy × L1D organization × issue-to-execute delay must simulate two
 //! contrasting workloads without panics and with sane results.
 
-use speculative_scheduling::core::{run_kernel, RunLength};
+use speculative_scheduling::core::{RunLength, RunRequest};
 use speculative_scheduling::prelude::*;
 use speculative_scheduling::workloads::kernels;
+
+/// Test-local shim over the unified runner: these tests assert on the
+/// statistics and treat any simulator error as a test failure.
+fn run_kernel(
+    cfg: speculative_scheduling::types::SimConfig,
+    spec: speculative_scheduling::workloads::KernelSpec,
+    len: RunLength,
+) -> speculative_scheduling::types::SimStats {
+    RunRequest::kernel(spec)
+        .custom_config(cfg)
+        .length(len)
+        .execute()
+        .expect("simulation runs")
+        .stats
+}
 
 const POLICIES: [SchedPolicyKind; 6] = [
     SchedPolicyKind::Conservative,

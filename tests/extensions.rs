@@ -3,12 +3,27 @@
 //! bank-predicted shifting (§2.2), the QOLD criticality criterion, and
 //! set-interleaved banking.
 
-use speculative_scheduling::core::{run_kernel, RunLength};
+use speculative_scheduling::core::{RunLength, RunRequest};
 use speculative_scheduling::prelude::*;
 use speculative_scheduling::types::{
     BankInterleaving, BankedL1dConfig, CritCriterion, ReplayScheme, ShiftPolicy,
 };
 use speculative_scheduling::workloads::kernels;
+
+/// Test-local shim over the unified runner: these tests assert on the
+/// statistics and treat any simulator error as a test failure.
+fn run_kernel(
+    cfg: speculative_scheduling::types::SimConfig,
+    spec: speculative_scheduling::workloads::KernelSpec,
+    len: RunLength,
+) -> speculative_scheduling::types::SimStats {
+    RunRequest::kernel(spec)
+        .custom_config(cfg)
+        .length(len)
+        .execute()
+        .expect("simulation runs")
+        .stats
+}
 
 const LEN: RunLength = RunLength {
     warmup: 10_000,

@@ -6,13 +6,28 @@
 //! driven by the vendored [`Xoshiro256`] generator so the workspace
 //! builds with no crates.io access.
 
-use speculative_scheduling::core::{run_kernel, DiffChecker, FaultPlan, RunLength, Simulator};
+use speculative_scheduling::core::{DiffChecker, FaultPlan, RunLength, RunRequest, Simulator};
 use speculative_scheduling::oracle::InOrderModel;
 use speculative_scheduling::prelude::*;
 use speculative_scheduling::types::rng::Xoshiro256;
 use speculative_scheduling::workloads::gen::gen_kernel;
 use speculative_scheduling::workloads::spec::{ri, BodyOp, KernelSpec};
 use speculative_scheduling::workloads::{AddrPattern, KernelTrace, TraceSource};
+
+/// Test-local shim over the unified runner: these tests assert on the
+/// statistics and treat any simulator error as a test failure.
+fn run_kernel(
+    cfg: speculative_scheduling::types::SimConfig,
+    spec: speculative_scheduling::workloads::KernelSpec,
+    len: RunLength,
+) -> speculative_scheduling::types::SimStats {
+    RunRequest::kernel(spec)
+        .custom_config(cfg)
+        .length(len)
+        .execute()
+        .expect("simulation runs")
+        .stats
+}
 
 /// Any valid kernel runs to completion on the full paper machine with
 /// plausible, internally consistent statistics.

@@ -3,10 +3,24 @@
 //! degradation. These exercise the `try_*` Result APIs end to end — no
 //! test here relies on catching a panic.
 
-use speculative_scheduling::core::{try_run_kernel, FaultPlan, RunLength, Simulator};
+use speculative_scheduling::core::{FaultPlan, RunLength, RunRequest, Simulator};
 use speculative_scheduling::prelude::*;
 use speculative_scheduling::types::{DegradeConfig, SimError};
 use speculative_scheduling::workloads::{kernels, KernelTrace};
+
+/// Test-local shim over the unified runner, preserving the fallible
+/// signature these tests assert error taxonomy through.
+fn try_run_kernel(
+    cfg: speculative_scheduling::types::SimConfig,
+    spec: speculative_scheduling::workloads::KernelSpec,
+    len: RunLength,
+) -> Result<speculative_scheduling::types::SimStats, speculative_scheduling::types::SimError> {
+    RunRequest::kernel(spec)
+        .custom_config(cfg)
+        .length(len)
+        .execute()
+        .map(|o| o.stats)
+}
 
 /// A watchdog shorter than the pipeline fill latency fires before the
 /// first commit can land, and the starvation surfaces as a structured

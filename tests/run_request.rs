@@ -1,0 +1,188 @@
+//! The `RunRequest` redesign contract:
+//!
+//! * **Round trip** — every request built from the wire-encodable
+//!   builder surface survives `Display` → `FromStr` → `Display`
+//!   unchanged, across a seeded sweep of the full option space.
+//! * **Rejection** — library-only forms (`<custom>` configs, in-memory
+//!   sources and snapshots), duplicate keys, and unknown keys are typed
+//!   parse errors, never silent defaults.
+//! * **Equivalence** — `RunRequest::execute` reproduces the deprecated
+//!   free-function entry points byte-for-byte, so migrating callers can
+//!   never change a result.
+
+use speculative_scheduling::core::{FaultPlan, RunLength, RunRequest};
+use speculative_scheduling::harness::configs::{self, ConfigSpec};
+use speculative_scheduling::types::{SimStats, SplitMix64};
+use speculative_scheduling::workloads::{kernels, KernelTrace};
+
+/// Draws a uniform value in `0..n` (n ≤ 2^32 keeps the bias negligible).
+fn pick(rng: &mut SplitMix64, n: u64) -> u64 {
+    rng.next_u64() % n
+}
+
+/// A random request over the *encodable* builder surface: benchmark or
+/// generated sources, named config specs, and every wire-visible option.
+/// In-memory sources/snapshots and `<custom>` configs are library-only
+/// by design and excluded.
+fn random_request(rng: &mut SplitMix64, case: u64) -> RunRequest {
+    let names = kernels::benchmark_names();
+    let mut req = if pick(rng, 2) == 0 {
+        let name = names[pick(rng, names.len() as u64) as usize];
+        RunRequest::bench(name, rng.next_u64())
+    } else {
+        RunRequest::generated(rng.next_u64())
+    };
+    let variants = ConfigSpec::variants_at(1 + pick(rng, 6));
+    req = req.config(variants[pick(rng, variants.len() as u64) as usize]);
+    req = req.length(RunLength {
+        warmup: pick(rng, 50_000),
+        measure: 1 + pick(rng, 200_000),
+    });
+    match pick(rng, 4) {
+        0 => req = req.capture_warm(),
+        1 => req = req.from_snapshot_path(format!("warm/cell-{case}.snap")),
+        _ => {}
+    }
+    if pick(rng, 4) == 0 {
+        req = req.checked(true);
+    }
+    match pick(rng, 4) {
+        0 => req = req.ring_trace(1 + pick(rng, 8_192) as usize),
+        1 => {
+            let lo = pick(rng, 100_000);
+            let hi = lo + 1 + pick(rng, 100_000);
+            req = req.window_trace(lo..hi);
+        }
+        _ => {}
+    }
+    if pick(rng, 3) == 0 {
+        // Sequential, non-overlapping windows keep the plan valid.
+        let mut plan = FaultPlan::new();
+        let mut start = 1 + pick(rng, 1_000);
+        for _ in 0..=pick(rng, 2) {
+            let dur = 1 + pick(rng, 500);
+            plan = match pick(rng, 3) {
+                0 => plan.latency_spike(start, dur, 1 + pick(rng, 30)),
+                1 => plan.bank_conflict_burst(start, dur, 1 + pick(rng, 10)),
+                _ => plan.replay_storm(start, dur),
+            };
+            start += dur + 1 + pick(rng, 1_000);
+        }
+        req = req.faults(plan);
+    }
+    if pick(rng, 8) == 0 {
+        req = req.seed_wakeup_bug();
+    }
+    if pick(rng, 5) == 0 {
+        req = req.checkpoint_note(format!("cell-{case}"));
+    }
+    req
+}
+
+#[test]
+fn display_from_str_round_trips_across_the_encodable_surface() {
+    let mut rng = SplitMix64::new(0xB5B5_0007);
+    for case in 0..600 {
+        let req = random_request(&mut rng, case);
+        let text = req.to_string();
+        let parsed: RunRequest = text
+            .parse()
+            .unwrap_or_else(|e| panic!("case {case}: `{text}` failed to parse: {e}"));
+        assert_eq!(
+            parsed, req,
+            "case {case}: `{text}` parsed to a different request"
+        );
+        assert_eq!(parsed.to_string(), text, "case {case}: re-encoding drifted");
+    }
+}
+
+#[test]
+fn library_only_and_malformed_forms_are_typed_parse_errors() {
+    let bad = [
+        // Library-only markers must never parse back.
+        "src=<spec:fp_compute> cfg=SpecSched_4 len=w1m2",
+        "src=<trace:loop> cfg=SpecSched_4 len=w1m2",
+        "src=bench:fp_compute@0xb5 cfg=<custom> len=w1m2",
+        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=<unset>",
+        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 fork=<snapshot>",
+        // Structural errors.
+        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 len=w3m4",
+        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 shiny=1",
+        "src=gen:0x1 cfg=SpecSched_4",
+        "cfg=SpecSched_4 len=w1m2",
+        "src=gen:zzz cfg=SpecSched_4 len=w1m2",
+        "src=bench:fp_compute cfg=SpecSched_4 len=w1m2",
+        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 trace=ring:0",
+        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 faults=spike@5x0+1",
+        "src=bench:fp_compute@0xb5 cfg=Nonsense_9 len=w1m2",
+        "not a request at all",
+    ];
+    for text in bad {
+        let err = text
+            .parse::<RunRequest>()
+            .expect_err(&format!("`{text}` must be rejected"));
+        // The typed error carries the offending input for diagnostics.
+        assert_eq!(err.input, text);
+        assert!(!err.reason.is_empty());
+    }
+}
+
+const LEN: RunLength = RunLength {
+    warmup: 1_000,
+    measure: 8_000,
+};
+
+#[test]
+#[allow(deprecated)]
+fn execute_reproduces_try_run_kernel_checked_byte_identically() {
+    for named in [configs::baseline(2), configs::spec_sched_combined(4)] {
+        let spec = kernels::fp_compute(0xB5);
+        let old = speculative_scheduling::core::try_run_kernel_checked(
+            named.config.clone(),
+            spec.clone(),
+            LEN,
+        )
+        .expect("legacy entry point runs");
+        let new: SimStats = RunRequest::kernel(spec)
+            .custom_config(named.config.clone())
+            .length(LEN)
+            .checked(true)
+            .execute()
+            .expect("redesigned entry point runs")
+            .stats;
+        assert_eq!(old, new, "checked-run divergence on {}", named.name);
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn execute_reproduces_try_run_trace_from_snapshot_byte_identically() {
+    let named = configs::spec_sched(4, true);
+    let spec = kernels::mix_int(0xB5);
+    let snap = speculative_scheduling::core::try_warm_up_trace(
+        named.config.clone(),
+        KernelTrace::new(spec.clone()),
+        LEN.warmup,
+    )
+    .expect("warmup captures");
+    let old = speculative_scheduling::core::try_run_trace_from_snapshot(
+        named.config.clone(),
+        KernelTrace::new(spec.clone()),
+        &snap,
+        LEN.measure,
+        Some("pinning"),
+    )
+    .expect("legacy restore runs");
+    let new: SimStats = RunRequest::persistent_source(KernelTrace::new(spec))
+        .custom_config(named.config.clone())
+        .length(RunLength {
+            warmup: 0,
+            measure: LEN.measure,
+        })
+        .from_snapshot(snap)
+        .checkpoint_note("pinning")
+        .execute()
+        .expect("redesigned restore runs")
+        .stats;
+    assert_eq!(old, new, "snapshot-restore divergence");
+}

@@ -7,11 +7,25 @@
 //! the µ-ops the scan would) lives in DESIGN.md "Scheduler data
 //! structures"; these tests are the enforcement.
 
-use speculative_scheduling::core::{try_run_kernel, FaultPlan, RunLength, Simulator};
+use speculative_scheduling::core::{FaultPlan, RunLength, RunRequest, Simulator};
 use speculative_scheduling::harness::configs::ConfigSpec;
 use speculative_scheduling::harness::fuzz::FuzzCell;
 use speculative_scheduling::prelude::*;
 use speculative_scheduling::workloads::{kernels, KernelTrace};
+
+/// Test-local shim over the unified runner, preserving the fallible
+/// signature these tests assert error taxonomy through.
+fn try_run_kernel(
+    cfg: speculative_scheduling::types::SimConfig,
+    spec: speculative_scheduling::workloads::KernelSpec,
+    len: RunLength,
+) -> Result<speculative_scheduling::types::SimStats, speculative_scheduling::types::SimError> {
+    RunRequest::kernel(spec)
+        .custom_config(cfg)
+        .length(len)
+        .execute()
+        .map(|o| o.stats)
+}
 
 /// Runs the same kernel under both scheduler implementations and
 /// asserts identical statistics.

@@ -10,9 +10,7 @@
 //!   `SnapshotVersionMismatch`; seeded corruption is always a typed
 //!   error, never a panic, never a silent wrong result.
 
-use speculative_scheduling::core::{
-    load_snapshot, try_run_kernel_from_snapshot, try_warm_up_kernel, FaultPlan, Simulator,
-};
+use speculative_scheduling::core::{load_snapshot, FaultPlan, RunLength, RunRequest, Simulator};
 use speculative_scheduling::harness::configs::{self, NamedConfig};
 use speculative_scheduling::harness::snapfuzz;
 use speculative_scheduling::snapshot::{
@@ -23,6 +21,18 @@ use speculative_scheduling::workloads::{kernels, KernelSpec, KernelTrace};
 
 const WARMUP: u64 = 1_500;
 const MEASURE: u64 = 6_000;
+
+/// Warm up `spec` on `cfg` and hand back the captured warm state.
+fn warm_up(cfg: &NamedConfig, spec: KernelSpec, warmup: u64) -> Snapshot {
+    RunRequest::kernel(spec)
+        .custom_config(cfg.config.clone())
+        .length(RunLength { warmup, measure: 0 })
+        .capture_warm()
+        .execute()
+        .expect("warms")
+        .snapshot
+        .expect("capture produces a snapshot")
+}
 
 /// A fault plan whose windows overlap the measurement phase, so the
 /// restored run must reproduce fault injection exactly.
@@ -113,7 +123,7 @@ fn capture_restore_capture_is_byte_identical_for_every_config_family() {
 #[test]
 fn bumped_format_version_is_a_typed_version_mismatch() {
     let cfg = configs::baseline(2);
-    let snap = try_warm_up_kernel(cfg.config.clone(), kernels::mix_int(1), 500).expect("warms");
+    let snap = warm_up(&cfg, kernels::mix_int(1), 500);
     let mut bytes = snap.to_bytes();
     // Header: `ss-snapshot v1 ...` — bump the version digit in place.
     let vpos = SNAPSHOT_MAGIC.len() + 2;
@@ -150,8 +160,15 @@ fn bumped_format_version_is_a_typed_version_mismatch() {
 fn restore_under_the_wrong_config_is_a_typed_corrupt_error() {
     let a = configs::baseline(2);
     let b = configs::spec_sched(4, true);
-    let snap = try_warm_up_kernel(a.config.clone(), kernels::mix_int(1), 500).expect("warms");
-    let err = try_run_kernel_from_snapshot(b.config.clone(), kernels::mix_int(1), &snap, 100, None)
+    let snap = warm_up(&a, kernels::mix_int(1), 500);
+    let err = RunRequest::kernel(kernels::mix_int(1))
+        .custom_config(b.config.clone())
+        .length(RunLength {
+            warmup: 0,
+            measure: 100,
+        })
+        .from_snapshot(snap)
+        .execute()
         .expect_err("config fingerprint must gate the restore");
     assert!(
         matches!(err, SimError::SnapshotCorrupt { .. }),
