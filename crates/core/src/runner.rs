@@ -212,6 +212,7 @@ pub struct RunRequest {
     source: Source,
     config: Config,
     len: Option<RunLength>,
+    deadline_ms: Option<u64>,
     check: bool,
     fork: Fork,
     trace: TraceReq,
@@ -226,6 +227,7 @@ impl RunRequest {
             source,
             config: Config::Custom(Box::<SimConfig>::default()),
             len: None,
+            deadline_ms: None,
             check: false,
             fork: Fork::Fresh,
             trace: TraceReq::Off,
@@ -294,6 +296,21 @@ impl RunRequest {
     /// The configured budget, if set.
     pub fn run_length(&self) -> Option<RunLength> {
         self.len
+    }
+
+    /// Bounds the run's wall-clock time: past `ms` milliseconds the run
+    /// ends with [`SimError::DeadlineExceeded`], checked between
+    /// measurement chunks exactly like cancellation (the chunk size is
+    /// capped while a deadline is armed, so enforcement granularity is
+    /// milliseconds, not the whole run). Clamped to ≥ 1 ms.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms.max(1));
+        self
+    }
+
+    /// The armed wall-clock budget in milliseconds, if any.
+    pub fn deadline(&self) -> Option<u64> {
+        self.deadline_ms
     }
 
     /// Attaches the differential oracle: every commit is compared
@@ -420,6 +437,7 @@ impl RunRequest {
             source,
             config,
             len,
+            deadline_ms,
             check,
             fork,
             trace,
@@ -453,6 +471,15 @@ impl RunRequest {
         };
 
         let mut progress = progress;
+        let chunk = if chunk == 0 { u64::MAX } else { chunk };
+        // An armed deadline needs the between-chunk check to fire at
+        // millisecond granularity: cap the slice size. Chunking is
+        // bit-identical to an unchunked run, so this never changes stats.
+        let chunk = if deadline_ms.is_some() {
+            chunk.min(20_000)
+        } else {
+            chunk
+        };
         let drive = Drive {
             len,
             fork,
@@ -460,7 +487,8 @@ impl RunRequest {
             seed_bug,
             checkpoint,
             cancel,
-            chunk: if chunk == 0 { u64::MAX } else { chunk },
+            chunk,
+            deadline: deadline_ms.map(|ms| (std::time::Instant::now(), ms)),
             progress: &mut progress,
         };
 
@@ -513,6 +541,9 @@ struct Drive<'a> {
     checkpoint: Option<String>,
     cancel: &'a CancelFlag,
     chunk: u64,
+    /// Wall-clock budget: the instant the run started driving and the
+    /// number of milliseconds it may take, when a deadline is armed.
+    deadline: Option<(std::time::Instant, u64)>,
     progress: &'a mut dyn FnMut(u64, u64),
 }
 
@@ -657,6 +688,14 @@ impl Drive<'_> {
                     committed: base + done,
                 });
             }
+            if let Some((started, budget_ms)) = self.deadline {
+                if started.elapsed().as_millis() as u64 >= budget_ms {
+                    return Err(SimError::DeadlineExceeded {
+                        committed: base + done,
+                        budget_ms,
+                    });
+                }
+            }
             if committed >= target {
                 return Ok(sim.stats());
             }
@@ -753,10 +792,11 @@ impl Sink for RunSink {
 }
 
 // ---------------------------------------------------------------------
-// Canonical text encoding: `src=... cfg=... len=... [fork=] [check=1]
-// [trace=] [faults=] [bug=1] [note=]`. Display renders tokens in that
-// fixed order; FromStr accepts any order and rejects duplicates,
-// unknown keys, and the `<...>` markers of library-only requests.
+// Canonical text encoding: `src=... cfg=... len=... [deadline=ms]
+// [fork=] [check=1] [trace=] [faults=] [bug=1] [note=]`. Display
+// renders tokens in that fixed order; FromStr accepts any order and
+// rejects duplicates, unknown keys, and the `<...>` markers of
+// library-only requests.
 // ---------------------------------------------------------------------
 
 impl fmt::Display for RunRequest {
@@ -765,6 +805,9 @@ impl fmt::Display for RunRequest {
         match self.len {
             Some(len) => write!(f, " len={len}")?,
             None => write!(f, " len=<unset>")?,
+        }
+        if let Some(ms) = self.deadline_ms {
+            write!(f, " deadline={ms}")?;
         }
         match &self.fork {
             Fork::Fresh => {}
@@ -812,6 +855,7 @@ impl FromStr for RunRequest {
         let mut src: Option<Source> = None;
         let mut cfg: Option<ConfigSpec> = None;
         let mut len: Option<RunLength> = None;
+        let mut deadline: Option<u64> = None;
         let mut fork: Option<Fork> = None;
         let mut check = false;
         let mut trace: Option<TraceReq> = None;
@@ -854,6 +898,14 @@ impl FromStr for RunRequest {
                 }
                 "len" => {
                     len = Some(val.parse::<RunLength>().map_err(&err)?);
+                }
+                "deadline" => {
+                    let ms = parse_u64(val)
+                        .ok_or_else(|| err(format!("deadline `{val}`: bad millisecond count")))?;
+                    if ms == 0 {
+                        return Err(err("deadline `0`: must be ≥ 1 ms".to_string()));
+                    }
+                    deadline = Some(ms);
                 }
                 "fork" => {
                     fork = Some(if val == "capture" {
@@ -916,6 +968,7 @@ impl FromStr for RunRequest {
             source: src,
             config: Config::Spec(cfg),
             len: Some(len),
+            deadline_ms: deadline,
             check,
             fork: fork.unwrap_or(Fork::Fresh),
             trace: trace.unwrap_or(TraceReq::Off),
@@ -1190,6 +1243,78 @@ mod tests {
             }
             other => panic!("expected Cancelled, got {other}"),
         }
+    }
+
+    #[test]
+    fn deadline_ends_a_long_run_with_committed_evidence() {
+        let cfg = SimConfig::builder().build();
+        let err = RunRequest::kernel(kernels::mix_int(5))
+            .custom_config(cfg)
+            .length(RunLength {
+                warmup: 1_000,
+                // Far more work than 1 ms of wall clock can commit.
+                measure: u64::MAX / 2,
+            })
+            .deadline_ms(1)
+            .execute()
+            .unwrap_err();
+        match err {
+            SimError::DeadlineExceeded {
+                committed,
+                budget_ms,
+            } => {
+                assert_eq!(budget_ms, 1);
+                assert!(
+                    committed < u64::MAX / 4,
+                    "a 1 ms budget cannot have finished the run, got {committed}"
+                );
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_leaves_stats_untouched() {
+        let cfg = SimConfig::builder().build();
+        let len = RunLength {
+            warmup: 1_000,
+            measure: 6_000,
+        };
+        let plain = RunRequest::kernel(kernels::mix_int(5))
+            .custom_config(cfg.clone())
+            .length(len)
+            .execute()
+            .unwrap()
+            .stats;
+        let bounded = RunRequest::kernel(kernels::mix_int(5))
+            .custom_config(cfg)
+            .length(len)
+            .deadline_ms(600_000)
+            .execute()
+            .unwrap()
+            .stats;
+        assert_eq!(plain, bounded, "an unhit deadline must leave no trace");
+    }
+
+    #[test]
+    fn deadline_wire_round_trips_and_rejects_zero() {
+        let req = RunRequest::bench("fp_compute", 0xb5)
+            .config("Baseline_4".parse().unwrap())
+            .length(RunLength {
+                warmup: 1_000,
+                measure: 5_000,
+            })
+            .deadline_ms(2_500);
+        let line = req.to_string();
+        assert_eq!(
+            line,
+            "src=bench:fp_compute@0xb5 cfg=Baseline_4 len=w1000m5000 deadline=2500"
+        );
+        assert_eq!(line.parse::<RunRequest>().as_ref(), Ok(&req));
+        let err = "src=gen:0x1 cfg=Baseline_4 len=w10m100 deadline=0"
+            .parse::<RunRequest>()
+            .unwrap_err();
+        assert!(err.reason.contains("≥ 1 ms"), "{err}");
     }
 
     #[test]

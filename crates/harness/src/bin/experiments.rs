@@ -16,6 +16,7 @@
 //! experiments client --socket PATH [--id ID] [--prio CLASS]
 //!             [--cancel-after N] [--stats] [--shutdown] [--req TEXT]
 //! experiments run --req TEXT
+//! experiments chaos [--seed N] [--events N] [--dir DIR]
 //! ```
 //!
 //! Results print as ASCII tables; CSVs land in `--out` (default
@@ -68,6 +69,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("run") {
         std::process::exit(ss_harness::serve::run_offline_cli(&args[1..]));
+    }
+    // And the service-layer chaos-injection harness.
+    if args.first().map(String::as_str) == Some("chaos") {
+        std::process::exit(ss_harness::chaos::run_chaos_cli(&args[1..]));
     }
     let mut which: Vec<String> = Vec::new();
     let mut quick = false;

@@ -19,6 +19,9 @@
 //! * [`snapfuzz`] — the snapshot-corruption fuzzer: seeded bit-flips,
 //!   truncations, and section swaps against the checkpoint container,
 //!   proving every corruption maps to a typed error.
+//! * [`chaos`] — the `experiments chaos` fault-injection harness that
+//!   proves the serve layer self-heals under seeded worker panics,
+//!   client disconnects, protocol garbage, deadlines, and SIGKILL.
 //! * [`serve`] — simulation-as-a-service: the `experiments serve`
 //!   resident batch server executing [`ss_core::RunRequest`]s over a
 //!   Unix-domain socket with priority queues, admission control, and a
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bench;
+pub mod chaos;
 pub mod configs;
 pub mod energy;
 pub mod exec;

@@ -1,0 +1,135 @@
+//! Seeded-jitter exponential backoff for retrying clients.
+//!
+//! The serve-layer client retries connect failures and `overloaded`
+//! rejections; retrying a loaded server on a fixed cadence synchronizes
+//! the retry storm with the overload it is reacting to. [`Backoff`]
+//! spreads retries with the classic "equal jitter" recipe — the delay
+//! for attempt *n* is drawn uniformly from `[cap/2, cap]` where
+//! `cap = min(base · 2ⁿ, max)` — but from a **seeded** generator
+//! ([`SplitMix64`]), so a given client's retry schedule is fully
+//! deterministic and replayable: the chaos harness can assert on exact
+//! retry timing, and two clients with different seeds never beat in
+//! lockstep.
+//!
+//! Delays are plain millisecond counts; the caller decides how to sleep
+//! (the client CLI uses `std::thread::sleep`).
+
+use crate::rng::SplitMix64;
+
+/// Deterministic exponential backoff with equal jitter.
+///
+/// ```
+/// use ss_types::backoff::Backoff;
+///
+/// let mut b = Backoff::new(100, 2_000, 0x5EED);
+/// let first = b.next_delay_ms(); // uniform in [50, 100]
+/// assert!((50..=100).contains(&first));
+/// let second = b.next_delay_ms(); // uniform in [100, 200]
+/// assert!((100..=200).contains(&second));
+/// // The schedule is a pure function of the seed.
+/// let mut again = Backoff::new(100, 2_000, 0x5EED);
+/// assert_eq!(again.next_delay_ms(), first);
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// A backoff starting at `base_ms` (clamped to ≥ 1), doubling per
+    /// attempt, never exceeding `cap_ms`, jittered by a generator seeded
+    /// with `seed`.
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        let base_ms = base_ms.max(1);
+        Backoff {
+            base_ms,
+            cap_ms: cap_ms.max(base_ms),
+            attempt: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Attempts drawn so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay in milliseconds: uniform in `[cap/2, cap]` with
+    /// `cap = min(base · 2^attempt, cap_ms)`. Advances the attempt
+    /// counter.
+    pub fn next_delay_ms(&mut self) -> u64 {
+        // 2^63 already saturates any sane cap; avoid the shift overflow.
+        let exp = self.attempt.min(62);
+        let cap = self
+            .base_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.cap_ms)
+            .max(1);
+        self.attempt += 1;
+        let lo = cap / 2;
+        (lo + self.rng.next_u64() % (cap - lo + 1)).max(1)
+    }
+
+    /// Forgets progress: the next delay starts back at the base. The
+    /// jitter stream is *not* rewound, so a reset schedule still never
+    /// repeats the original byte-for-byte.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially_within_jitter_envelopes() {
+        let mut b = Backoff::new(100, 10_000, 42);
+        for attempt in 0..12u32 {
+            let cap = 100u64.saturating_mul(1 << attempt).min(10_000);
+            let d = b.next_delay_ms();
+            assert!(
+                (cap / 2..=cap).contains(&d),
+                "attempt {attempt}: delay {d} outside [{}, {cap}]",
+                cap / 2
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_in_the_seed() {
+        let mut a = Backoff::new(50, 5_000, 0xB5);
+        let mut b = Backoff::new(50, 5_000, 0xB5);
+        let mut c = Backoff::new(50, 5_000, 0xB6);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_delay_ms()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_delay_ms()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_delay_ms()).collect();
+        assert_eq!(sa, sb, "same seed, same schedule");
+        assert_ne!(sa, sc, "different seed, different jitter");
+    }
+
+    #[test]
+    fn cap_bounds_every_delay_and_reset_restarts() {
+        let mut b = Backoff::new(100, 700, 7);
+        for _ in 0..20 {
+            assert!(b.next_delay_ms() <= 700);
+        }
+        assert_eq!(b.attempts(), 20);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        let d = b.next_delay_ms();
+        assert!((50..=100).contains(&d), "reset returns to the base: {d}");
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped_sane() {
+        let mut b = Backoff::new(0, 0, 1);
+        for _ in 0..4 {
+            let d = b.next_delay_ms();
+            assert!(d >= 1, "zero base clamps to a real delay, got {d}");
+        }
+    }
+}

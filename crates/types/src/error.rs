@@ -251,6 +251,16 @@ pub enum SimError {
         /// The server's admission limit.
         limit: usize,
     },
+    /// The run's wall-clock deadline expired before it finished (checked
+    /// between measurement chunks, like [`SimError::Cancelled`]). A
+    /// wedged or pathologically slow simulation can pin a serve worker
+    /// for at most one deadline, never forever.
+    DeadlineExceeded {
+        /// Committed µ-ops executed before the deadline fired.
+        committed: u64,
+        /// The wall-clock budget that expired, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -287,6 +297,13 @@ impl fmt::Display for SimError {
                     "server overloaded: {depth} requests pending at limit {limit}"
                 )
             }
+            SimError::DeadlineExceeded {
+                committed,
+                budget_ms,
+            } => write!(
+                f,
+                "deadline exceeded after {committed} committed µ-ops (budget {budget_ms} ms)"
+            ),
         }
     }
 }
@@ -385,6 +402,13 @@ mod tests {
                     limit: 64,
                 },
                 "overloaded",
+            ),
+            (
+                SimError::DeadlineExceeded {
+                    committed: 9_000,
+                    budget_ms: 50,
+                },
+                "deadline exceeded",
             ),
         ];
         for (e, needle) in cases {

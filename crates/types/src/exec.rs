@@ -311,6 +311,17 @@ impl<T> PrioQueue<T> {
         inner.classes.iter().map(VecDeque::len).sum()
     }
 
+    /// Pending items per class, indexed by [`Priority::index`] (the
+    /// serve layer's `health` report).
+    pub fn depths(&self) -> [usize; 3] {
+        let inner = self.inner.lock().expect("prio queue poisoned");
+        [
+            inner.classes[0].len(),
+            inner.classes[1].len(),
+            inner.classes[2].len(),
+        ]
+    }
+
     /// Enqueues `item` at `prio`, or refuses with a typed error —
     /// never blocks.
     pub fn try_push(&self, prio: Priority, item: T) -> Result<(), (T, PushError)> {

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backoff;
 pub mod commit;
 pub mod config;
 pub mod config_spec;
@@ -59,6 +60,7 @@ pub mod rng;
 pub mod stats;
 pub mod trace;
 
+pub use backoff::Backoff;
 pub use commit::{CommitOracle, CommitRecord};
 pub use config::{
     BankInterleaving, BankedL1dConfig, CacheGeometry, CritCriterion, DegradeConfig, DramConfig,

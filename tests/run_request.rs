@@ -46,6 +46,11 @@ fn random_request(rng: &mut SplitMix64, case: u64) -> RunRequest {
     if pick(rng, 4) == 0 {
         req = req.checked(true);
     }
+    if pick(rng, 4) == 0 {
+        // Round-trip only: these requests are never executed, so the
+        // deadline just has to survive the wire, not fire.
+        req = req.deadline_ms(1 + pick(rng, 600_000));
+    }
     match pick(rng, 4) {
         0 => req = req.ring_trace(1 + pick(rng, 8_192) as usize),
         1 => {
@@ -114,6 +119,9 @@ fn library_only_and_malformed_forms_are_typed_parse_errors() {
         "src=bench:fp_compute cfg=SpecSched_4 len=w1m2",
         "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 trace=ring:0",
         "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 faults=spike@5x0+1",
+        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 deadline=0",
+        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 deadline=abc",
+        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 deadline=5 deadline=5",
         "src=bench:fp_compute@0xb5 cfg=Nonsense_9 len=w1m2",
         "not a request at all",
     ];
