@@ -57,11 +57,6 @@ pub use diff::DiffChecker;
 pub use fault::{FaultKind, FaultPlan, FaultWindow};
 pub use pipeline::{config_fingerprint, load_snapshot, sections, PipelineSnapshot, Simulator};
 pub use rename::{PhysRef, RenameUnit};
-#[allow(deprecated)]
-pub use runner::{
-    try_run_kernel, try_run_kernel_checked, try_run_kernel_from_snapshot, try_run_trace,
-    try_run_trace_from_snapshot, try_warm_up_kernel, try_warm_up_trace,
-};
 pub use runner::{ParseRequestError, RunLength, RunOutcome, RunRequest, RunSource};
 pub use schedq::SchedQueue;
 pub use ss_types::trace::{NullSink, TraceEvent, TraceSink};

@@ -14,23 +14,27 @@
 //! src=bench:fp_compute@0xb5 cfg=SpecSched_4_Crit len=w1000m5000 check=1
 //! ```
 //!
+//! Real RV32IM programs run through the same front door: `src=rv:…`
+//! resolves a [`ProgramSpec`] (suite program, ELF, or raw binary) into
+//! the functional-frontend trace source, with the [`FrontendOracle`]
+//! standing in for the in-order golden model when `check=1`.
+//!
 //! Library-only capabilities (custom [`SimConfig`]s, in-memory
 //! [`KernelSpec`]s / [`Snapshot`]s, arbitrary [`TraceSource`]s) render
-//! as `<...>` markers the parser rejects — they can run, but not travel.
+//! as `<...>` markers the parser rejects with a typed
+//! [`ParseRequestError`] naming the marker — they can run, but not
+//! travel.
 //!
 //! [`RunRequest::execute_observed`] adds cooperative cancellation (a
 //! [`CancelFlag`] checked between bounded measurement chunks, surfacing
 //! [`SimError::Cancelled`]) and incremental progress callbacks; chunked
 //! execution is bit-identical to a single `try_run_committed` call
 //! because commit targets are computed against absolute commit counts.
-//!
-//! The pre-redesign free functions (`try_run_trace`, `try_run_kernel`,
-//! `try_warm_up_*`, `try_run_*_from_snapshot`, `try_run_kernel_checked`)
-//! survive as `#[deprecated]` one-line forwarders.
 
 use crate::diff::DiffChecker;
 use crate::fault::FaultPlan;
 use crate::pipeline::Simulator;
+use ss_frontend::{FrontendOracle, ProgramSpec, RvTraceSource};
 use ss_oracle::InOrderModel;
 use ss_snapshot::Snapshot;
 use ss_types::persist::PersistState;
@@ -100,6 +104,9 @@ enum Source {
     Bench { name: String, seed: u64 },
     /// A random kernel from the generator (`gen:{seed:#x}`).
     Gen { seed: u64 },
+    /// A real RV32IM program run by the functional frontend
+    /// (`rv:{name}@{seed:#x}` / `rv:elf:{path}` / `rv:bin:{path}@{entry}`).
+    Rv(ProgramSpec),
     /// An in-memory kernel spec (library-only).
     Spec(KernelSpec),
     /// An arbitrary caller trace (library-only; no snapshot forking).
@@ -114,6 +121,7 @@ impl fmt::Debug for Source {
         match self {
             Source::Bench { name, seed } => write!(f, "Bench({name}@{seed:#x})"),
             Source::Gen { seed } => write!(f, "Gen({seed:#x})"),
+            Source::Rv(spec) => write!(f, "Rv({spec})"),
             Source::Spec(spec) => write!(f, "Spec({})", spec.name),
             Source::Trace(t) => write!(f, "Trace({})", t.name()),
             Source::Persist(t) => write!(f, "Persist({})", t.name()),
@@ -128,6 +136,7 @@ impl PartialEq for Source {
                 a == b && x == y
             }
             (Source::Gen { seed: a }, Source::Gen { seed: b }) => a == b,
+            (Source::Rv(a), Source::Rv(b)) => a == b,
             (Source::Spec(a), Source::Spec(b)) => a == b,
             // Opaque sources never compare equal (like NaN): equality is
             // only meaningful for the encodable surface.
@@ -192,6 +201,11 @@ pub struct ParseRequestError {
     pub input: String,
     /// What was wrong with it.
     pub reason: String,
+    /// When the input carried a library-only `<…>` marker (a rendered
+    /// request whose capabilities cannot travel over the wire — e.g.
+    /// `<custom>`, `<spec:…>`, `<snapshot>`, `<unset>`), the marker
+    /// itself; `None` for ordinary syntax errors.
+    pub library_only: Option<String>,
 }
 
 impl fmt::Display for ParseRequestError {
@@ -201,6 +215,21 @@ impl fmt::Display for ParseRequestError {
 }
 
 impl std::error::Error for ParseRequestError {}
+
+/// Lifts a parse failure into the simulator's typed error space:
+/// library-only markers become a [`SimError::ConfigInvalid`] that names
+/// the offending marker, so callers (and wire peers) see *which*
+/// capability failed to travel rather than a generic syntax complaint.
+impl From<ParseRequestError> for SimError {
+    fn from(e: ParseRequestError) -> Self {
+        match &e.library_only {
+            Some(marker) => SimError::ConfigInvalid(format!(
+                "library-only marker `{marker}` cannot travel over the wire: {e}"
+            )),
+            None => SimError::ConfigInvalid(e.to_string()),
+        }
+    }
+}
 
 /// The unified run description: build with the source constructors
 /// ([`bench`](RunRequest::bench), [`generated`](RunRequest::generated),
@@ -252,6 +281,17 @@ impl RunRequest {
     /// ([`ss_workloads::gen::gen_kernel`]).
     pub fn generated(seed: u64) -> Self {
         Self::with_source(Source::Gen { seed })
+    }
+
+    /// A real RV32IM program executed by the functional frontend
+    /// (encodable: `rv:{name}@{seed:#x}`, `rv:elf:{path}`, or
+    /// `rv:bin:{path}@{entry:#x}`). Resolution — suite build or file
+    /// load — happens at [`execute`](RunRequest::execute) time; a
+    /// failure is [`SimError::ConfigInvalid`]. Oracle checking and
+    /// snapshot forking both work: the trace source persists its full
+    /// architectural state, and the oracle re-walks the same program.
+    pub fn program(spec: ProgramSpec) -> Self {
+        Self::with_source(Source::Rv(spec))
     }
 
     /// An in-memory kernel spec (library-only: renders unparseable).
@@ -315,7 +355,8 @@ impl RunRequest {
 
     /// Attaches the differential oracle: every commit is compared
     /// against an in-order golden model; the first mismatch ends the run
-    /// with [`SimError::Divergence`]. Requires a kernel-backed source.
+    /// with [`SimError::Divergence`]. Requires a kernel-backed or
+    /// program-backed ([`program`](RunRequest::program)) source.
     pub fn checked(mut self, on: bool) -> Self {
         self.check = on;
         self
@@ -398,6 +439,7 @@ impl RunRequest {
         match &self.source {
             Source::Bench { name, seed } => format!("bench:{name}@{seed:#x}"),
             Source::Gen { seed } => format!("gen:{seed:#x}"),
+            Source::Rv(spec) => spec.to_string(),
             Source::Spec(spec) => format!("<spec:{}>", spec.name),
             Source::Trace(t) => format!("<trace:{}>", t.name()),
             Source::Persist(t) => format!("<trace:{}>", t.name()),
@@ -505,6 +547,12 @@ impl RunRequest {
                 drive.kernel(cfg, ss_workloads::gen::gen_kernel(&mut rng), check, trace)
             }
             Source::Spec(spec) => drive.kernel(cfg, spec, check, trace),
+            Source::Rv(spec) => {
+                let prog = spec.resolve().map_err(SimError::ConfigInvalid)?;
+                let checker =
+                    check.then(|| DiffChecker::new(Box::new(FrontendOracle::new(prog.clone()))));
+                drive.sink_dispatch(cfg, RvTraceSource::new(prog), checker, trace)
+            }
             Source::Persist(src) => {
                 if check {
                     return Err(SimError::ConfigInvalid(
@@ -851,6 +899,7 @@ impl FromStr for RunRequest {
         let err = |reason: String| ParseRequestError {
             input: s.to_string(),
             reason,
+            library_only: None,
         };
         let mut src: Option<Source> = None;
         let mut cfg: Option<ConfigSpec> = None;
@@ -870,6 +919,20 @@ impl FromStr for RunRequest {
             if !seen.insert(key.to_string()) {
                 return Err(err(format!("duplicate key `{key}`")));
             }
+            // Library-only `<…>` markers (how Display renders requests
+            // that cannot travel: custom configs, in-memory specs and
+            // snapshots, arbitrary trace sources, unset lengths) are a
+            // distinct, typed failure: the caller pasted a rendered
+            // request whose capability has no wire form.
+            if val.starts_with('<') {
+                return Err(ParseRequestError {
+                    input: s.to_string(),
+                    reason: format!(
+                        "`{key}={val}`: `{val}` is a library-only marker, not an encodable value"
+                    ),
+                    library_only: Some(val.to_string()),
+                });
+            }
             match key {
                 "src" => {
                     let parsed = if let Some(rest) = val.strip_prefix("bench:") {
@@ -886,9 +949,15 @@ impl FromStr for RunRequest {
                             seed: parse_u64(seed)
                                 .ok_or_else(|| err(format!("src `{val}`: bad seed")))?,
                         }
+                    } else if val.starts_with("rv:") {
+                        Source::Rv(
+                            val.parse::<ProgramSpec>()
+                                .map_err(|e| err(format!("src `{val}`: {e}")))?,
+                        )
                     } else {
                         return Err(err(format!(
-                            "src `{val}`: expected `bench:{{name}}@{{seed}}` or `gen:{{seed}}`"
+                            "src `{val}`: expected `bench:{{name}}@{{seed}}`, `gen:{{seed}}`, \
+                             or `rv:…`"
                         )));
                     };
                     src = Some(parsed);
@@ -977,125 +1046,6 @@ impl FromStr for RunRequest {
             checkpoint: note,
         })
     }
-}
-
-// ---------------------------------------------------------------------
-// Deprecated pre-redesign entry points, forwarded one-for-one.
-// ---------------------------------------------------------------------
-
-/// Non-panicking trace run.
-#[deprecated(note = "use RunRequest::trace_source(..).custom_config(..).length(..).execute()")]
-pub fn try_run_trace<T: TraceSource + Send + 'static>(
-    cfg: SimConfig,
-    trace: T,
-    len: RunLength,
-) -> Result<SimStats, SimError> {
-    Ok(RunRequest::trace_source(trace)
-        .custom_config(cfg)
-        .length(len)
-        .execute()?
-        .stats)
-}
-
-/// Non-panicking kernel run.
-#[deprecated(note = "use RunRequest::kernel(..).custom_config(..).length(..).execute()")]
-pub fn try_run_kernel(
-    cfg: SimConfig,
-    spec: KernelSpec,
-    len: RunLength,
-) -> Result<SimStats, SimError> {
-    Ok(RunRequest::kernel(spec)
-        .custom_config(cfg)
-        .length(len)
-        .execute()?
-        .stats)
-}
-
-/// Warmup-only run capturing the warm state.
-#[deprecated(note = "use RunRequest::persistent_source(..).capture_warm()")]
-pub fn try_warm_up_trace<T: TraceSource + PersistState + Send + 'static>(
-    cfg: SimConfig,
-    trace: T,
-    warmup: u64,
-) -> Result<Snapshot, SimError> {
-    let outcome = RunRequest::persistent_source(trace)
-        .custom_config(cfg)
-        .length(RunLength { warmup, measure: 0 })
-        .capture_warm()
-        .execute()?;
-    outcome
-        .snapshot
-        .ok_or_else(|| SimError::ConfigInvalid("internal: capture run produced no snapshot".into()))
-}
-
-/// Kernel-spec convenience wrapper over [`try_warm_up_trace`].
-#[deprecated(note = "use RunRequest::kernel(..).capture_warm()")]
-pub fn try_warm_up_kernel(
-    cfg: SimConfig,
-    spec: KernelSpec,
-    warmup: u64,
-) -> Result<Snapshot, SimError> {
-    let outcome = RunRequest::kernel(spec)
-        .custom_config(cfg)
-        .length(RunLength { warmup, measure: 0 })
-        .capture_warm()
-        .execute()?;
-    outcome
-        .snapshot
-        .ok_or_else(|| SimError::ConfigInvalid("internal: capture run produced no snapshot".into()))
-}
-
-/// Measurement run forked off a warm-state snapshot.
-#[deprecated(note = "use RunRequest::persistent_source(..).from_snapshot(..)")]
-pub fn try_run_trace_from_snapshot<T: TraceSource + PersistState + Send + 'static>(
-    cfg: SimConfig,
-    trace: T,
-    snap: &Snapshot,
-    measure: u64,
-    checkpoint: Option<&str>,
-) -> Result<SimStats, SimError> {
-    let mut req = RunRequest::persistent_source(trace)
-        .custom_config(cfg)
-        .length(RunLength { warmup: 0, measure })
-        .from_snapshot(snap.clone());
-    if let Some(cp) = checkpoint {
-        req = req.checkpoint_note(cp);
-    }
-    Ok(req.execute()?.stats)
-}
-
-/// Kernel-spec convenience wrapper over [`try_run_trace_from_snapshot`].
-#[deprecated(note = "use RunRequest::kernel(..).from_snapshot(..)")]
-pub fn try_run_kernel_from_snapshot(
-    cfg: SimConfig,
-    spec: KernelSpec,
-    snap: &Snapshot,
-    measure: u64,
-    checkpoint: Option<&str>,
-) -> Result<SimStats, SimError> {
-    let mut req = RunRequest::kernel(spec)
-        .custom_config(cfg)
-        .length(RunLength { warmup: 0, measure })
-        .from_snapshot(snap.clone());
-    if let Some(cp) = checkpoint {
-        req = req.checkpoint_note(cp);
-    }
-    Ok(req.execute()?.stats)
-}
-
-/// Kernel run with the differential oracle attached.
-#[deprecated(note = "use RunRequest::kernel(..).checked(true)")]
-pub fn try_run_kernel_checked(
-    cfg: SimConfig,
-    spec: KernelSpec,
-    len: RunLength,
-) -> Result<SimStats, SimError> {
-    Ok(RunRequest::kernel(spec)
-        .custom_config(cfg)
-        .length(len)
-        .checked(true)
-        .execute()?
-        .stats)
 }
 
 #[cfg(test)]
@@ -1363,24 +1313,59 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_forwarders_match_request_execution() {
-        let cfg = SimConfig::builder()
-            .sched_policy(SchedPolicyKind::AlwaysHit)
-            .commit_log_window(32)
-            .build();
-        let len = RunLength {
-            warmup: 1_000,
-            measure: 4_000,
-        };
-        let old = try_run_kernel_checked(cfg.clone(), kernels::mix_int(2), len).unwrap();
-        let new = RunRequest::kernel(kernels::mix_int(2))
-            .custom_config(cfg)
-            .length(len)
-            .checked(true)
-            .execute()
+    fn library_only_markers_are_typed_and_convert_to_config_invalid() {
+        let line = RunRequest::kernel(kernels::mix_int(1))
+            .custom_config(SimConfig::default())
+            .length(RunLength::SMOKE)
+            .to_string();
+        let err = line.parse::<RunRequest>().unwrap_err();
+        assert_eq!(err.library_only.as_deref(), Some("<spec:mix_int>"));
+        let sim_err = SimError::from(err);
+        match sim_err {
+            SimError::ConfigInvalid(msg) => {
+                assert!(msg.contains("<spec:mix_int>"), "{msg}");
+                assert!(msg.contains("library-only"), "{msg}");
+            }
+            other => panic!("expected ConfigInvalid, got {other}"),
+        }
+        // Ordinary syntax errors carry no marker.
+        let err = "src=gen:zz cfg=Baseline_4 len=w1m2"
+            .parse::<RunRequest>()
+            .unwrap_err();
+        assert_eq!(err.library_only, None);
+    }
+
+    #[test]
+    fn rv_source_round_trips_the_wire_and_executes() {
+        let req = RunRequest::program(ProgramSpec::suite("sort", 0xb5))
+            .config("SpecSched_4".parse().unwrap())
+            .length(RunLength {
+                warmup: 1_000,
+                measure: 8_000,
+            })
+            .checked(true);
+        let line = req.to_string();
+        assert_eq!(
+            line,
+            "src=rv:sort@0xb5 cfg=SpecSched_4 len=w1000m8000 check=1"
+        );
+        let parsed: RunRequest = line.parse().unwrap();
+        assert_eq!(parsed, req);
+        let stats = parsed.execute().unwrap().stats;
+        assert!(stats.committed_uops >= 8_000 && stats.committed_uops < 8_000 + 8);
+        assert!(stats.ipc() > 0.1 && stats.ipc() < 8.0);
+    }
+
+    #[test]
+    fn rv_unknown_program_is_config_invalid() {
+        let err = "src=rv:nope@0x1 cfg=Baseline_4 len=w100m1000"
+            .parse::<RunRequest>()
             .unwrap()
-            .stats;
-        assert_eq!(old, new, "forwarder must be byte-identical");
+            .execute()
+            .unwrap_err();
+        match err {
+            SimError::ConfigInvalid(msg) => assert!(msg.contains("nope"), "{msg}"),
+            other => panic!("expected ConfigInvalid, got {other}"),
+        }
     }
 }

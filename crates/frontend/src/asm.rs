@@ -1,0 +1,522 @@
+//! A tiny two-pass RV32IM encoder, so the checked-in program suite is
+//! assembled at build time by the crate itself — no external toolchain,
+//! and the workspace stays fully offline.
+//!
+//! The surface is deliberately small: exactly the instructions the
+//! decoder understands, plus `li`/`mv`/`j` pseudo-ops and symbolic
+//! labels for branch/jump targets (resolved by [`Asm::assemble`]).
+
+use std::collections::HashMap;
+
+/// Which immediate encoding a pending label reference patches.
+#[derive(Debug, Clone, Copy)]
+enum Fix {
+    /// B-type conditional branch offset.
+    Branch,
+    /// J-type `jal` offset.
+    Jal,
+}
+
+/// The assembler: instructions are appended with the mnemonic methods,
+/// then [`assemble`](Asm::assemble) resolves labels and returns the
+/// little-endian instruction words.
+#[derive(Debug, Default)]
+pub struct Asm {
+    words: Vec<u32>,
+    labels: HashMap<String, u32>,
+    fixups: Vec<(usize, String, Fix)>,
+}
+
+fn enc_r(funct7: u32, rs2: u8, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    (funct7 << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn enc_i(imm: i32, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    assert!((-2048..2048).contains(&imm), "I-imm {imm} out of range");
+    ((imm as u32 & 0xfff) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn enc_s(imm: i32, rs2: u8, rs1: u8, funct3: u32, opcode: u32) -> u32 {
+    assert!((-2048..2048).contains(&imm), "S-imm {imm} out of range");
+    let imm = imm as u32 & 0xfff;
+    ((imm >> 5) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1f) << 7)
+        | opcode
+}
+
+fn enc_b(imm: i32, rs2: u8, rs1: u8, funct3: u32) -> u32 {
+    assert!(
+        imm % 2 == 0 && (-4096..4096).contains(&imm),
+        "B-imm {imm} out of range"
+    );
+    let imm = imm as u32 & 0x1fff;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3f) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xf) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | 0x63
+}
+
+fn enc_j(imm: i32, rd: u8) -> u32 {
+    assert!(
+        imm % 2 == 0 && (-(1 << 20)..(1 << 20)).contains(&imm),
+        "J-imm {imm} out of range"
+    );
+    let imm = imm as u32 & 0x1f_ffff;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xff) << 12)
+        | ((rd as u32) << 7)
+        | 0x6f
+}
+
+impl Asm {
+    /// A fresh, empty program.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    fn push(&mut self, w: u32) {
+        self.words.push(w);
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate label.
+    pub fn label(&mut self, name: &str) {
+        let at = (self.words.len() * 4) as u32;
+        assert!(
+            self.labels.insert(name.to_string(), at).is_none(),
+            "duplicate label `{name}`"
+        );
+    }
+
+    // --- RV32I base -------------------------------------------------
+
+    /// `lui rd, imm20` (`imm` is the final upper-20 value, low 12 bits 0).
+    pub fn lui(&mut self, rd: u8, imm: u32) {
+        assert_eq!(imm & 0xfff, 0, "lui immediate must be 4 KiB aligned");
+        self.push(imm | ((rd as u32) << 7) | 0x37);
+    }
+
+    /// `auipc rd, imm20`.
+    pub fn auipc(&mut self, rd: u8, imm: u32) {
+        assert_eq!(imm & 0xfff, 0, "auipc immediate must be 4 KiB aligned");
+        self.push(imm | ((rd as u32) << 7) | 0x17);
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.push(enc_i(imm, rs1, 0b000, rd, 0x13));
+    }
+
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.push(enc_i(imm, rs1, 0b111, rd, 0x13));
+    }
+
+    /// `ori rd, rs1, imm`.
+    pub fn ori(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.push(enc_i(imm, rs1, 0b110, rd, 0x13));
+    }
+
+    /// `xori rd, rs1, imm`.
+    pub fn xori(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.push(enc_i(imm, rs1, 0b100, rd, 0x13));
+    }
+
+    /// `slti rd, rs1, imm`.
+    pub fn slti(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.push(enc_i(imm, rs1, 0b010, rd, 0x13));
+    }
+
+    /// `slli rd, rs1, shamt`.
+    pub fn slli(&mut self, rd: u8, rs1: u8, shamt: u8) {
+        assert!(shamt < 32);
+        self.push(enc_i(shamt as i32, rs1, 0b001, rd, 0x13));
+    }
+
+    /// `srli rd, rs1, shamt`.
+    pub fn srli(&mut self, rd: u8, rs1: u8, shamt: u8) {
+        assert!(shamt < 32);
+        self.push(enc_i(shamt as i32, rs1, 0b101, rd, 0x13));
+    }
+
+    /// `srai rd, rs1, shamt`.
+    pub fn srai(&mut self, rd: u8, rs1: u8, shamt: u8) {
+        assert!(shamt < 32);
+        self.push(enc_i(shamt as i32 | 0x400, rs1, 0b101, rd, 0x13));
+    }
+
+    /// R-type ALU op by (funct7, funct3): the named wrappers below cover
+    /// what the suite uses.
+    fn op_r(&mut self, funct7: u32, funct3: u32, rd: u8, rs1: u8, rs2: u8) {
+        self.push(enc_r(funct7, rs2, rs1, funct3, rd, 0x33));
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.op_r(0x00, 0b000, rd, rs1, rs2);
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.op_r(0x20, 0b000, rd, rs1, rs2);
+    }
+
+    /// `xor rd, rs1, rs2`.
+    pub fn xor(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.op_r(0x00, 0b100, rd, rs1, rs2);
+    }
+
+    /// `or rd, rs1, rs2`.
+    pub fn or(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.op_r(0x00, 0b110, rd, rs1, rs2);
+    }
+
+    /// `and rd, rs1, rs2`.
+    pub fn and(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.op_r(0x00, 0b111, rd, rs1, rs2);
+    }
+
+    /// `sltu rd, rs1, rs2`.
+    pub fn sltu(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.op_r(0x00, 0b011, rd, rs1, rs2);
+    }
+
+    /// `sll rd, rs1, rs2`.
+    pub fn sll(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.op_r(0x00, 0b001, rd, rs1, rs2);
+    }
+
+    /// `srl rd, rs1, rs2`.
+    pub fn srl(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.op_r(0x00, 0b101, rd, rs1, rs2);
+    }
+
+    // --- M extension ------------------------------------------------
+
+    /// `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.op_r(0x01, 0b000, rd, rs1, rs2);
+    }
+
+    /// `mulhu rd, rs1, rs2`.
+    pub fn mulhu(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.op_r(0x01, 0b011, rd, rs1, rs2);
+    }
+
+    /// `divu rd, rs1, rs2`.
+    pub fn divu(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.op_r(0x01, 0b101, rd, rs1, rs2);
+    }
+
+    /// `remu rd, rs1, rs2`.
+    pub fn remu(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.op_r(0x01, 0b111, rd, rs1, rs2);
+    }
+
+    // --- memory -----------------------------------------------------
+
+    /// `lw rd, imm(rs1)`.
+    pub fn lw(&mut self, rd: u8, imm: i32, rs1: u8) {
+        self.push(enc_i(imm, rs1, 0b010, rd, 0x03));
+    }
+
+    /// `lbu rd, imm(rs1)`.
+    pub fn lbu(&mut self, rd: u8, imm: i32, rs1: u8) {
+        self.push(enc_i(imm, rs1, 0b100, rd, 0x03));
+    }
+
+    /// `lhu rd, imm(rs1)`.
+    pub fn lhu(&mut self, rd: u8, imm: i32, rs1: u8) {
+        self.push(enc_i(imm, rs1, 0b101, rd, 0x03));
+    }
+
+    /// `sw rs2, imm(rs1)`.
+    pub fn sw(&mut self, rs2: u8, imm: i32, rs1: u8) {
+        self.push(enc_s(imm, rs2, rs1, 0b010, 0x23));
+    }
+
+    /// `sh rs2, imm(rs1)`.
+    pub fn sh(&mut self, rs2: u8, imm: i32, rs1: u8) {
+        self.push(enc_s(imm, rs2, rs1, 0b001, 0x23));
+    }
+
+    /// `sb rs2, imm(rs1)`.
+    pub fn sb(&mut self, rs2: u8, imm: i32, rs1: u8) {
+        self.push(enc_s(imm, rs2, rs1, 0b000, 0x23));
+    }
+
+    // --- control flow -----------------------------------------------
+
+    fn branch(&mut self, funct3: u32, rs1: u8, rs2: u8, label: &str) {
+        self.fixups
+            .push((self.words.len(), label.to_string(), Fix::Branch));
+        self.push(enc_b(0, rs2, rs1, funct3));
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.branch(0b000, rs1, rs2, label);
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.branch(0b001, rs1, rs2, label);
+    }
+
+    /// `blt rs1, rs2, label` (signed).
+    pub fn blt(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.branch(0b100, rs1, rs2, label);
+    }
+
+    /// `bltu rs1, rs2, label` (unsigned).
+    pub fn bltu(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.branch(0b110, rs1, rs2, label);
+    }
+
+    /// `bgeu rs1, rs2, label` (unsigned).
+    pub fn bgeu(&mut self, rs1: u8, rs2: u8, label: &str) {
+        self.branch(0b111, rs1, rs2, label);
+    }
+
+    /// `jal rd, label`.
+    pub fn jal(&mut self, rd: u8, label: &str) {
+        self.fixups
+            .push((self.words.len(), label.to_string(), Fix::Jal));
+        self.push(enc_j(0, rd));
+    }
+
+    /// `jalr rd, imm(rs1)`.
+    pub fn jalr(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.push(enc_i(imm, rs1, 0b000, rd, 0x67));
+    }
+
+    /// `ecall`.
+    pub fn ecall(&mut self) {
+        self.push(0x0000_0073);
+    }
+
+    /// `fence`.
+    pub fn fence(&mut self) {
+        self.push(0x0000_000f);
+    }
+
+    // --- pseudo-ops -------------------------------------------------
+
+    /// `mv rd, rs` (`addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: u8, rs: u8) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// `j label` (`jal x0, label`).
+    pub fn j(&mut self, label: &str) {
+        self.jal(0, label);
+    }
+
+    /// `li rd, value`: `addi` when the constant fits 12 signed bits,
+    /// else `lui` + `addi`.
+    pub fn li(&mut self, rd: u8, value: u32) {
+        let v = value as i32;
+        if (-2048..2048).contains(&v) {
+            self.addi(rd, 0, v);
+        } else {
+            let lo = (v << 20) >> 20; // low 12 bits, sign-extended
+            let hi = (value.wrapping_sub(lo as u32)) & 0xffff_f000;
+            self.lui(rd, hi);
+            if lo != 0 {
+                self.addi(rd, rd, lo);
+            }
+        }
+    }
+
+    /// Resolves labels and returns the instruction words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an undefined label or an out-of-range offset — both are
+    /// build-time programming errors in a checked-in program.
+    pub fn assemble(mut self) -> Vec<u32> {
+        for (idx, label, fix) in std::mem::take(&mut self.fixups) {
+            let target = *self
+                .labels
+                .get(&label)
+                .unwrap_or_else(|| panic!("undefined label `{label}`"));
+            let offset = target as i32 - (idx as i32 * 4);
+            let w = self.words[idx];
+            self.words[idx] = match fix {
+                Fix::Branch => {
+                    let rs2 = ((w >> 20) & 0x1f) as u8;
+                    let rs1 = ((w >> 15) & 0x1f) as u8;
+                    enc_b(offset, rs2, rs1, (w >> 12) & 0x7)
+                }
+                Fix::Jal => enc_j(offset, ((w >> 7) & 0x1f) as u8),
+            };
+        }
+        self.words
+    }
+
+    /// The instruction words as little-endian bytes.
+    pub fn assemble_bytes(self) -> Vec<u8> {
+        self.assemble()
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{decode, BinOp, BrOp, Inst, LdOp, StOp};
+
+    #[test]
+    fn encodings_decode_back() {
+        let mut a = Asm::new();
+        a.label("top");
+        a.addi(5, 0, -3);
+        a.lui(6, 0x1_2000);
+        a.add(7, 5, 6);
+        a.sub(7, 7, 5);
+        a.mul(28, 7, 5);
+        a.remu(29, 28, 7);
+        a.lw(30, -8, 7);
+        a.sb(30, 17, 6);
+        a.bne(5, 6, "top");
+        a.jal(1, "top");
+        a.jalr(0, 1, 0);
+        a.ecall();
+        let words = a.assemble();
+        assert_eq!(
+            decode(words[0]).unwrap(),
+            Inst::OpImm {
+                op: BinOp::Add,
+                rd: 5,
+                rs1: 0,
+                imm: -3
+            }
+        );
+        assert_eq!(
+            decode(words[1]).unwrap(),
+            Inst::Lui {
+                rd: 6,
+                imm: 0x1_2000
+            }
+        );
+        assert_eq!(
+            decode(words[2]).unwrap(),
+            Inst::Op {
+                op: BinOp::Add,
+                rd: 7,
+                rs1: 5,
+                rs2: 6
+            }
+        );
+        assert_eq!(
+            decode(words[3]).unwrap(),
+            Inst::Op {
+                op: BinOp::Sub,
+                rd: 7,
+                rs1: 7,
+                rs2: 5
+            }
+        );
+        assert_eq!(
+            decode(words[4]).unwrap(),
+            Inst::Op {
+                op: BinOp::Mul,
+                rd: 28,
+                rs1: 7,
+                rs2: 5
+            }
+        );
+        assert_eq!(
+            decode(words[5]).unwrap(),
+            Inst::Op {
+                op: BinOp::Remu,
+                rd: 29,
+                rs1: 28,
+                rs2: 7
+            }
+        );
+        assert_eq!(
+            decode(words[6]).unwrap(),
+            Inst::Load {
+                op: LdOp::Lw,
+                rd: 30,
+                rs1: 7,
+                imm: -8
+            }
+        );
+        assert_eq!(
+            decode(words[7]).unwrap(),
+            Inst::Store {
+                op: StOp::Sb,
+                rs1: 6,
+                rs2: 30,
+                imm: 17
+            }
+        );
+        // bne at word 8 jumps back to word 0: offset −32.
+        assert_eq!(
+            decode(words[8]).unwrap(),
+            Inst::Branch {
+                op: BrOp::Bne,
+                rs1: 5,
+                rs2: 6,
+                imm: -32
+            }
+        );
+        assert_eq!(decode(words[9]).unwrap(), Inst::Jal { rd: 1, imm: -36 });
+        assert_eq!(
+            decode(words[10]).unwrap(),
+            Inst::Jalr {
+                rd: 0,
+                rs1: 1,
+                imm: 0
+            }
+        );
+        assert_eq!(decode(words[11]).unwrap(), Inst::Ecall);
+    }
+
+    #[test]
+    fn li_builds_arbitrary_constants() {
+        // Checked against the interpreter in interp.rs tests; here just
+        // verify the shapes decode.
+        for value in [
+            0u32,
+            1,
+            2047,
+            2048,
+            0x8000,
+            0xdead_beef,
+            0xffff_ffff,
+            0x7fff_ffff,
+        ] {
+            let mut a = Asm::new();
+            a.li(10, value);
+            for w in a.assemble() {
+                decode(w).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! RV32IM instruction decoder: one 32-bit little-endian word to a typed
+//! [`Inst`], or a description of why the word is not a valid RV32IM
+//! instruction. Purely combinational — no machine state.
+
+/// Register-register / register-immediate binary operations: the RV32I
+/// OP/OP-IMM arithmetic set plus the M extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+impl BinOp {
+    /// Whether this is an M-extension multiply (long-latency µ-op class).
+    pub fn is_mul(self) -> bool {
+        matches!(
+            self,
+            BinOp::Mul | BinOp::Mulh | BinOp::Mulhsu | BinOp::Mulhu
+        )
+    }
+
+    /// Whether this is an M-extension divide/remainder.
+    pub fn is_div(self) -> bool {
+        matches!(self, BinOp::Div | BinOp::Divu | BinOp::Rem | BinOp::Remu)
+    }
+}
+
+/// Conditional-branch comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BrOp {
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+}
+
+/// Load width/signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum LdOp {
+    Lb,
+    Lh,
+    Lw,
+    Lbu,
+    Lhu,
+}
+
+impl LdOp {
+    /// Access size in bytes.
+    pub fn size(self) -> u8 {
+        match self {
+            LdOp::Lb | LdOp::Lbu => 1,
+            LdOp::Lh | LdOp::Lhu => 2,
+            LdOp::Lw => 4,
+        }
+    }
+}
+
+/// Store width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum StOp {
+    Sb,
+    Sh,
+    Sw,
+}
+
+impl StOp {
+    /// Access size in bytes.
+    pub fn size(self) -> u8 {
+        match self {
+            StOp::Sb => 1,
+            StOp::Sh => 2,
+            StOp::Sw => 4,
+        }
+    }
+}
+
+/// One decoded RV32IM instruction. Register fields are architectural
+/// indices (`x0`–`x31`); immediates are already sign-extended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Inst {
+    Lui {
+        rd: u8,
+        imm: u32,
+    },
+    Auipc {
+        rd: u8,
+        imm: u32,
+    },
+    Jal {
+        rd: u8,
+        imm: i32,
+    },
+    Jalr {
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Branch {
+        op: BrOp,
+        rs1: u8,
+        rs2: u8,
+        imm: i32,
+    },
+    Load {
+        op: LdOp,
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Store {
+        op: StOp,
+        rs1: u8,
+        rs2: u8,
+        imm: i32,
+    },
+    /// OP-IMM: `rd = rs1 <op> imm` (shifts carry the shamt in `imm`).
+    OpImm {
+        op: BinOp,
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Op {
+        op: BinOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Fence,
+    Ecall,
+    Ebreak,
+}
+
+fn rd(w: u32) -> u8 {
+    ((w >> 7) & 0x1f) as u8
+}
+fn rs1(w: u32) -> u8 {
+    ((w >> 15) & 0x1f) as u8
+}
+fn rs2(w: u32) -> u8 {
+    ((w >> 20) & 0x1f) as u8
+}
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+/// I-type immediate, sign-extended.
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+/// S-type immediate, sign-extended.
+fn imm_s(w: u32) -> i32 {
+    let imm = ((w >> 25) << 5) | ((w >> 7) & 0x1f);
+    ((imm << 20) as i32) >> 20
+}
+
+/// B-type immediate (byte offset), sign-extended.
+fn imm_b(w: u32) -> i32 {
+    let imm = ((w >> 31) << 12)
+        | (((w >> 7) & 1) << 11)
+        | (((w >> 25) & 0x3f) << 5)
+        | (((w >> 8) & 0xf) << 1);
+    ((imm << 19) as i32) >> 19
+}
+
+/// J-type immediate (byte offset), sign-extended.
+fn imm_j(w: u32) -> i32 {
+    let imm = ((w >> 31) << 20)
+        | (((w >> 12) & 0xff) << 12)
+        | (((w >> 20) & 1) << 11)
+        | (((w >> 21) & 0x3ff) << 1);
+    ((imm << 11) as i32) >> 11
+}
+
+/// Decodes one instruction word.
+///
+/// # Errors
+///
+/// Returns a human-readable reason when the word is not a valid RV32IM
+/// instruction (unknown opcode, funct3/funct7 combination, or a
+/// non-RV32I fence/system encoding).
+pub fn decode(w: u32) -> Result<Inst, String> {
+    let opcode = w & 0x7f;
+    match opcode {
+        0x37 => Ok(Inst::Lui {
+            rd: rd(w),
+            imm: w & 0xffff_f000,
+        }),
+        0x17 => Ok(Inst::Auipc {
+            rd: rd(w),
+            imm: w & 0xffff_f000,
+        }),
+        0x6f => Ok(Inst::Jal {
+            rd: rd(w),
+            imm: imm_j(w),
+        }),
+        0x67 => match funct3(w) {
+            0 => Ok(Inst::Jalr {
+                rd: rd(w),
+                rs1: rs1(w),
+                imm: imm_i(w),
+            }),
+            f => Err(format!("jalr with funct3 {f}")),
+        },
+        0x63 => {
+            let op = match funct3(w) {
+                0b000 => BrOp::Beq,
+                0b001 => BrOp::Bne,
+                0b100 => BrOp::Blt,
+                0b101 => BrOp::Bge,
+                0b110 => BrOp::Bltu,
+                0b111 => BrOp::Bgeu,
+                f => return Err(format!("branch with funct3 {f}")),
+            };
+            Ok(Inst::Branch {
+                op,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                imm: imm_b(w),
+            })
+        }
+        0x03 => {
+            let op = match funct3(w) {
+                0b000 => LdOp::Lb,
+                0b001 => LdOp::Lh,
+                0b010 => LdOp::Lw,
+                0b100 => LdOp::Lbu,
+                0b101 => LdOp::Lhu,
+                f => return Err(format!("load with funct3 {f}")),
+            };
+            Ok(Inst::Load {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm: imm_i(w),
+            })
+        }
+        0x23 => {
+            let op = match funct3(w) {
+                0b000 => StOp::Sb,
+                0b001 => StOp::Sh,
+                0b010 => StOp::Sw,
+                f => return Err(format!("store with funct3 {f}")),
+            };
+            Ok(Inst::Store {
+                op,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                imm: imm_s(w),
+            })
+        }
+        0x13 => {
+            let (op, imm) = match funct3(w) {
+                0b000 => (BinOp::Add, imm_i(w)),
+                0b010 => (BinOp::Slt, imm_i(w)),
+                0b011 => (BinOp::Sltu, imm_i(w)),
+                0b100 => (BinOp::Xor, imm_i(w)),
+                0b110 => (BinOp::Or, imm_i(w)),
+                0b111 => (BinOp::And, imm_i(w)),
+                0b001 => match funct7(w) {
+                    0 => (BinOp::Sll, rs2(w) as i32),
+                    f => return Err(format!("slli with funct7 {f:#x}")),
+                },
+                0b101 => match funct7(w) {
+                    0x00 => (BinOp::Srl, rs2(w) as i32),
+                    0x20 => (BinOp::Sra, rs2(w) as i32),
+                    f => return Err(format!("srli/srai with funct7 {f:#x}")),
+                },
+                _ => unreachable!("funct3 is 3 bits"),
+            };
+            Ok(Inst::OpImm {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+            })
+        }
+        0x33 => {
+            let op = match (funct7(w), funct3(w)) {
+                (0x00, 0b000) => BinOp::Add,
+                (0x20, 0b000) => BinOp::Sub,
+                (0x00, 0b001) => BinOp::Sll,
+                (0x00, 0b010) => BinOp::Slt,
+                (0x00, 0b011) => BinOp::Sltu,
+                (0x00, 0b100) => BinOp::Xor,
+                (0x00, 0b101) => BinOp::Srl,
+                (0x20, 0b101) => BinOp::Sra,
+                (0x00, 0b110) => BinOp::Or,
+                (0x00, 0b111) => BinOp::And,
+                (0x01, 0b000) => BinOp::Mul,
+                (0x01, 0b001) => BinOp::Mulh,
+                (0x01, 0b010) => BinOp::Mulhsu,
+                (0x01, 0b011) => BinOp::Mulhu,
+                (0x01, 0b100) => BinOp::Div,
+                (0x01, 0b101) => BinOp::Divu,
+                (0x01, 0b110) => BinOp::Rem,
+                (0x01, 0b111) => BinOp::Remu,
+                (f7, f3) => return Err(format!("OP with funct7 {f7:#x} funct3 {f3}")),
+            };
+            Ok(Inst::Op {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            })
+        }
+        0x0f => Ok(Inst::Fence),
+        0x73 => match w {
+            0x0000_0073 => Ok(Inst::Ecall),
+            0x0010_0073 => Ok(Inst::Ebreak),
+            _ => Err(format!("unsupported SYSTEM encoding {w:#010x}")),
+        },
+        op => Err(format!("unknown opcode {op:#04x} (word {w:#010x})")),
+    }
+}

@@ -1,0 +1,180 @@
+//! Minimal ELF32 segment loader (just enough for statically linked
+//! RV32 user binaries): validates the identification bytes, walks the
+//! program headers, and copies `PT_LOAD` segments into a flat image.
+//! No relocation, no dynamic linking, no sections.
+
+use crate::RvProgram;
+
+/// Extra zeroed memory above the highest loaded byte, for stack/heap.
+const SLACK: u32 = 64 * 1024;
+/// Refuse images that would need more than this much memory.
+const MEM_CAP: u32 = 64 * 1024 * 1024;
+
+fn read_u16(b: &[u8], off: usize) -> Result<u16, String> {
+    let s = b
+        .get(off..off + 2)
+        .ok_or_else(|| format!("ELF truncated at offset {off}"))?;
+    Ok(u16::from_le_bytes([s[0], s[1]]))
+}
+
+fn read_u32(b: &[u8], off: usize) -> Result<u32, String> {
+    let s = b
+        .get(off..off + 4)
+        .ok_or_else(|| format!("ELF truncated at offset {off}"))?;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+/// Loads a little-endian ELF32 RISC-V executable into an [`RvProgram`].
+///
+/// # Errors
+///
+/// Returns a description of the first problem found: bad magic, wrong
+/// class/endianness/machine, truncated headers, or an image that would
+/// exceed the memory cap.
+pub fn load_elf(name: &str, bytes: &[u8]) -> Result<RvProgram, String> {
+    if bytes.len() < 52 {
+        return Err("ELF too short for a 52-byte ELF32 header".into());
+    }
+    if &bytes[0..4] != b"\x7fELF" {
+        return Err("bad ELF magic".into());
+    }
+    if bytes[4] != 1 {
+        return Err(format!("not ELF32 (EI_CLASS {})", bytes[4]));
+    }
+    if bytes[5] != 1 {
+        return Err(format!("not little-endian (EI_DATA {})", bytes[5]));
+    }
+    let machine = read_u16(bytes, 18)?;
+    if machine != 243 {
+        return Err(format!("not RISC-V (e_machine {machine})"));
+    }
+    let entry = read_u32(bytes, 24)?;
+    let phoff = read_u32(bytes, 28)? as usize;
+    let phentsize = read_u16(bytes, 42)? as usize;
+    let phnum = read_u16(bytes, 44)? as usize;
+    if phentsize < 32 {
+        return Err(format!("ELF32 phentsize {phentsize} too small"));
+    }
+
+    let mut image: Vec<u8> = Vec::new();
+    let mut top: u32 = 0;
+    for i in 0..phnum {
+        let ph = phoff + i * phentsize;
+        let p_type = read_u32(bytes, ph)?;
+        if p_type != 1 {
+            continue; // not PT_LOAD
+        }
+        let p_offset = read_u32(bytes, ph + 4)? as usize;
+        let p_vaddr = read_u32(bytes, ph + 8)?;
+        let p_filesz = read_u32(bytes, ph + 16)? as usize;
+        let p_memsz = read_u32(bytes, ph + 20)?;
+        if (p_memsz as usize) < p_filesz {
+            return Err(format!("segment {i}: memsz < filesz"));
+        }
+        let end = p_vaddr
+            .checked_add(p_memsz)
+            .ok_or_else(|| format!("segment {i}: vaddr+memsz overflows"))?;
+        if end > MEM_CAP {
+            return Err(format!(
+                "segment {i} ends at {end:#x}, beyond the {MEM_CAP:#x} cap"
+            ));
+        }
+        let data = bytes
+            .get(p_offset..p_offset + p_filesz)
+            .ok_or_else(|| format!("segment {i}: file range out of bounds"))?;
+        if image.len() < end as usize {
+            image.resize(end as usize, 0);
+        }
+        image[p_vaddr as usize..p_vaddr as usize + p_filesz].copy_from_slice(data);
+        top = top.max(end);
+    }
+    if top == 0 {
+        return Err("no PT_LOAD segments".into());
+    }
+    let mem_size = top.saturating_add(SLACK).min(MEM_CAP);
+    Ok(RvProgram {
+        name: name.to_string(),
+        entry,
+        image,
+        mem_size,
+        arg: 0,
+    })
+}
+
+/// Wraps a raw flat binary (loaded at address 0) as an [`RvProgram`].
+///
+/// # Errors
+///
+/// Returns an error for an empty image or one beyond the memory cap.
+pub fn load_bin(name: &str, bytes: &[u8], entry: u32) -> Result<RvProgram, String> {
+    if bytes.is_empty() {
+        return Err("empty binary image".into());
+    }
+    if bytes.len() as u64 > MEM_CAP as u64 {
+        return Err(format!("binary larger than the {MEM_CAP:#x} cap"));
+    }
+    let top = bytes.len() as u32;
+    Ok(RvProgram {
+        name: name.to_string(),
+        entry,
+        image: bytes.to_vec(),
+        mem_size: top.saturating_add(SLACK).min(MEM_CAP),
+        arg: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a one-segment ELF32 RISC-V image around `code` at `vaddr`.
+    fn tiny_elf(code: &[u8], vaddr: u32, entry: u32) -> Vec<u8> {
+        let mut b = vec![0u8; 52 + 32];
+        b[0..4].copy_from_slice(b"\x7fELF");
+        b[4] = 1; // ELF32
+        b[5] = 1; // little-endian
+        b[6] = 1; // EV_CURRENT
+        b[16..18].copy_from_slice(&2u16.to_le_bytes()); // ET_EXEC
+        b[18..20].copy_from_slice(&243u16.to_le_bytes()); // EM_RISCV
+        b[24..28].copy_from_slice(&entry.to_le_bytes());
+        b[28..32].copy_from_slice(&52u32.to_le_bytes()); // phoff
+        b[42..44].copy_from_slice(&32u16.to_le_bytes()); // phentsize
+        b[44..46].copy_from_slice(&1u16.to_le_bytes()); // phnum
+        let off = b.len() as u32;
+        let ph = 52;
+        b[ph..ph + 4].copy_from_slice(&1u32.to_le_bytes()); // PT_LOAD
+        b[ph + 4..ph + 8].copy_from_slice(&off.to_le_bytes());
+        b[ph + 8..ph + 12].copy_from_slice(&vaddr.to_le_bytes());
+        b[ph + 16..ph + 20].copy_from_slice(&(code.len() as u32).to_le_bytes());
+        b[ph + 20..ph + 24].copy_from_slice(&(code.len() as u32 + 8).to_le_bytes()); // bss tail
+        b.extend_from_slice(code);
+        b
+    }
+
+    #[test]
+    fn loads_a_synthesized_elf() {
+        let code = [0x73u8, 0, 0, 0]; // ecall
+        let elf = tiny_elf(&code, 0x200, 0x200);
+        let prog = load_elf("t", &elf).unwrap();
+        assert_eq!(prog.entry, 0x200);
+        assert_eq!(&prog.image[0x200..0x204], &code);
+        assert!(prog.mem_size > 0x200 + 4);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_wrong_machine() {
+        assert!(load_elf("t", b"not an elf at all, sorry").is_err());
+        let mut elf = tiny_elf(&[0; 4], 0, 0);
+        elf[18] = 40; // ARM
+        let err = load_elf("t", &elf).unwrap_err();
+        assert!(err.contains("e_machine"), "{err}");
+    }
+
+    #[test]
+    fn bin_path_loads_at_zero() {
+        let prog = load_bin("raw", &[0x73, 0, 0, 0], 0).unwrap();
+        assert_eq!(prog.entry, 0);
+        assert_eq!(prog.image.len(), 4);
+        assert!(load_bin("empty", &[], 0).is_err());
+    }
+}

@@ -1,0 +1,411 @@
+//! The functional RV32IM interpreter: architectural state only (32
+//! integer registers, PC, flat little-endian memory), no timing. One
+//! [`Interp::step`] retires one instruction and reports everything the
+//! µ-op cracker needs — the resolved next PC and the effective address —
+//! or a typed stop (exit ecall, trap).
+
+use crate::decode::{decode, BinOp, BrOp, Inst, LdOp};
+use crate::RvProgram;
+
+/// The ecall number (in `a7`) for process exit; `a0` carries the code.
+pub const ECALL_EXIT: u32 = 93;
+/// The ecall number (in `a7`) for putchar; `a0` carries the byte.
+pub const ECALL_PUTCHAR: u32 = 11;
+
+/// Cap on bytes the putchar ecall accumulates (beyond it, bytes are
+/// dropped — the trace keeps flowing forever, the buffer must not).
+pub const OUTPUT_CAP: usize = 4096;
+
+/// One retired instruction, with the resolved facts cracking needs.
+#[derive(Debug, Clone, Copy)]
+pub struct Retired {
+    /// The instruction's address.
+    pub pc: u32,
+    /// Where control flow actually went (fall-through or taken target).
+    pub next_pc: u32,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Effective address and size, for loads and stores.
+    pub ea: Option<(u32, u8)>,
+}
+
+/// Why execution stopped instead of retiring.
+#[derive(Debug, Clone)]
+pub enum Stop {
+    /// The program exited via `ecall` (`a7` = [`ECALL_EXIT`]).
+    Exit {
+        /// PC of the exiting ecall.
+        pc: u32,
+        /// Exit code from `a0`.
+        code: u32,
+    },
+    /// A runtime trap: illegal instruction, out-of-bounds access,
+    /// misaligned fetch, or an unknown ecall number.
+    Trap {
+        /// PC of the trapping instruction.
+        pc: u32,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+/// One step's outcome.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// An instruction retired.
+    Retired(Retired),
+    /// Execution stopped (the trace source restarts the program).
+    Stop(Stop),
+}
+
+/// The architectural machine state.
+#[derive(Debug, Clone)]
+pub struct Interp {
+    pub(crate) regs: [u32; 32],
+    pub(crate) pc: u32,
+    pub(crate) mem: Vec<u8>,
+    pub(crate) out: Vec<u8>,
+}
+
+impl Interp {
+    /// Fresh state at the program's entry: memory is the image
+    /// zero-extended to `mem_size`, `a0` holds the program argument,
+    /// `sp` points at the (16-byte aligned) top of memory.
+    pub fn new(prog: &RvProgram) -> Self {
+        let size = (prog.mem_size as usize).max(prog.image.len());
+        let mut mem = vec![0u8; size];
+        mem[..prog.image.len()].copy_from_slice(&prog.image);
+        let mut regs = [0u32; 32];
+        regs[2] = (size as u32).saturating_sub(16) & !0xf; // sp
+        regs[10] = prog.arg; // a0
+        Interp {
+            regs,
+            pc: prog.entry,
+            mem,
+            out: Vec::new(),
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Register `x{i}`.
+    pub fn reg(&self, i: u8) -> u32 {
+        self.regs[i as usize]
+    }
+
+    /// Bytes written through the putchar ecall so far.
+    pub fn output(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Little-endian u32 at `addr`, if in bounds.
+    pub fn read_u32(&self, addr: u32) -> Option<u32> {
+        let a = addr as usize;
+        let bytes = self.mem.get(a..a + 4)?;
+        Some(u32::from_le_bytes(bytes.try_into().ok()?))
+    }
+
+    fn load(&self, addr: u32, size: u8) -> Result<u32, String> {
+        let a = addr as usize;
+        let Some(bytes) = self.mem.get(a..a + size as usize) else {
+            return Err(format!("load of {size} bytes at {addr:#x} out of bounds"));
+        };
+        let mut v = 0u32;
+        for (i, b) in bytes.iter().enumerate() {
+            v |= (*b as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, addr: u32, size: u8, value: u32) -> Result<(), String> {
+        let a = addr as usize;
+        let Some(bytes) = self.mem.get_mut(a..a + size as usize) else {
+            return Err(format!("store of {size} bytes at {addr:#x} out of bounds"));
+        };
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    fn set_reg(&mut self, rd: u8, value: u32) {
+        if rd != 0 {
+            self.regs[rd as usize] = value;
+        }
+    }
+
+    fn binop(op: BinOp, a: u32, b: u32) -> u32 {
+        match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Sll => a.wrapping_shl(b & 31),
+            BinOp::Slt => u32::from((a as i32) < (b as i32)),
+            BinOp::Sltu => u32::from(a < b),
+            BinOp::Xor => a ^ b,
+            BinOp::Srl => a.wrapping_shr(b & 31),
+            BinOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+            BinOp::Or => a | b,
+            BinOp::And => a & b,
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+            BinOp::Mulhsu => (((a as i32 as i64) * (b as i64)) >> 32) as u32,
+            BinOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+            // RISC-V defines division corner cases without trapping.
+            BinOp::Div => {
+                if b == 0 {
+                    u32::MAX
+                } else if a == i32::MIN as u32 && b == u32::MAX {
+                    a
+                } else {
+                    ((a as i32) / (b as i32)) as u32
+                }
+            }
+            BinOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+            BinOp::Rem => {
+                if b == 0 {
+                    a
+                } else if a == i32::MIN as u32 && b == u32::MAX {
+                    0
+                } else {
+                    ((a as i32) % (b as i32)) as u32
+                }
+            }
+            BinOp::Remu => a.checked_rem(b).unwrap_or(a),
+        }
+    }
+
+    fn branch_taken(op: BrOp, a: u32, b: u32) -> bool {
+        match op {
+            BrOp::Beq => a == b,
+            BrOp::Bne => a != b,
+            BrOp::Blt => (a as i32) < (b as i32),
+            BrOp::Bge => (a as i32) >= (b as i32),
+            BrOp::Bltu => a < b,
+            BrOp::Bgeu => a >= b,
+        }
+    }
+
+    /// Executes one instruction.
+    pub fn step(&mut self) -> Step {
+        let pc = self.pc;
+        let trap = |reason: String| Step::Stop(Stop::Trap { pc, reason });
+        if !pc.is_multiple_of(4) {
+            return trap(format!("misaligned fetch at {pc:#x}"));
+        }
+        let word = match self.load(pc, 4) {
+            Ok(w) => w,
+            Err(_) => return trap(format!("fetch at {pc:#x} out of bounds")),
+        };
+        let inst = match decode(word) {
+            Ok(i) => i,
+            Err(e) => return trap(format!("illegal instruction at {pc:#x}: {e}")),
+        };
+        let mut next_pc = pc.wrapping_add(4);
+        let mut ea = None;
+        match inst {
+            Inst::Lui { rd, imm } => self.set_reg(rd, imm),
+            Inst::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add(imm)),
+            Inst::Jal { rd, imm } => {
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(imm as u32);
+            }
+            Inst::Jalr { rd, rs1, imm } => {
+                let target = self.regs[rs1 as usize].wrapping_add(imm as u32) & !1;
+                self.set_reg(rd, pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Inst::Branch { op, rs1, rs2, imm } => {
+                if Self::branch_taken(op, self.regs[rs1 as usize], self.regs[rs2 as usize]) {
+                    next_pc = pc.wrapping_add(imm as u32);
+                }
+            }
+            Inst::Load { op, rd, rs1, imm } => {
+                let addr = self.regs[rs1 as usize].wrapping_add(imm as u32);
+                let size = op.size();
+                let raw = match self.load(addr, size) {
+                    Ok(v) => v,
+                    Err(e) => return trap(e),
+                };
+                let value = match op {
+                    LdOp::Lb => raw as u8 as i8 as i32 as u32,
+                    LdOp::Lh => raw as u16 as i16 as i32 as u32,
+                    LdOp::Lw | LdOp::Lbu | LdOp::Lhu => raw,
+                };
+                self.set_reg(rd, value);
+                ea = Some((addr, size));
+            }
+            Inst::Store { op, rs1, rs2, imm } => {
+                let addr = self.regs[rs1 as usize].wrapping_add(imm as u32);
+                let size = op.size();
+                if let Err(e) = self.store(addr, size, self.regs[rs2 as usize]) {
+                    return trap(e);
+                }
+                ea = Some((addr, size));
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let v = Self::binop(op, self.regs[rs1 as usize], imm as u32);
+                self.set_reg(rd, v);
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let v = Self::binop(op, self.regs[rs1 as usize], self.regs[rs2 as usize]);
+                self.set_reg(rd, v);
+            }
+            Inst::Fence => {}
+            Inst::Ecall => match self.regs[17] {
+                ECALL_EXIT => {
+                    return Step::Stop(Stop::Exit {
+                        pc,
+                        code: self.regs[10],
+                    })
+                }
+                ECALL_PUTCHAR => {
+                    if self.out.len() < OUTPUT_CAP {
+                        self.out.push(self.regs[10] as u8);
+                    }
+                }
+                n => return trap(format!("unknown ecall {n} at {pc:#x}")),
+            },
+            Inst::Ebreak => return trap(format!("ebreak at {pc:#x}")),
+        }
+        self.pc = next_pc;
+        Step::Retired(Retired {
+            pc,
+            next_pc,
+            inst,
+            ea,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn prog_of(a: Asm, arg: u32) -> RvProgram {
+        RvProgram {
+            name: "test".into(),
+            entry: 0,
+            image: a.assemble_bytes(),
+            mem_size: 1 << 14,
+            arg,
+        }
+    }
+
+    fn run_to_exit(prog: &RvProgram, max: u64) -> (Interp, u32) {
+        let mut it = Interp::new(prog);
+        for _ in 0..max {
+            match it.step() {
+                Step::Retired(_) => {}
+                Step::Stop(Stop::Exit { code, .. }) => return (it, code),
+                Step::Stop(Stop::Trap { pc, reason }) => panic!("trap at {pc:#x}: {reason}"),
+            }
+        }
+        panic!("no exit within {max} steps");
+    }
+
+    #[test]
+    fn arithmetic_and_exit_code() {
+        let mut a = Asm::new();
+        a.li(5, 21);
+        a.li(6, 2);
+        a.mul(10, 5, 6); // a0 = 42
+        a.li(17, ECALL_EXIT);
+        a.ecall();
+        let (_, code) = run_to_exit(&prog_of(a, 0), 100);
+        assert_eq!(code, 42);
+    }
+
+    #[test]
+    fn loads_stores_and_branches() {
+        let mut a = Asm::new();
+        // sum bytes 0..10 stored at 0x1000
+        a.li(5, 0x1000);
+        a.li(6, 10);
+        a.mv(7, 5);
+        a.li(28, 0);
+        a.label("st");
+        a.sb(28, 0, 7);
+        a.addi(7, 7, 1);
+        a.addi(28, 28, 1);
+        a.bne(28, 6, "st");
+        a.li(10, 0);
+        a.mv(7, 5);
+        a.label("ld");
+        a.lbu(29, 0, 7);
+        a.add(10, 10, 29);
+        a.addi(7, 7, 1);
+        a.addi(6, 6, -1);
+        a.bne(6, 0, "ld");
+        a.li(17, ECALL_EXIT);
+        a.ecall();
+        let (_, code) = run_to_exit(&prog_of(a, 0), 1000);
+        assert_eq!(code, 45);
+    }
+
+    #[test]
+    fn li_round_trips_constants_through_the_machine() {
+        for value in [
+            0u32,
+            1,
+            2047,
+            2048,
+            0x8000,
+            0xdead_beef,
+            u32::MAX,
+            i32::MAX as u32,
+        ] {
+            let mut a = Asm::new();
+            a.li(10, value);
+            a.li(17, ECALL_EXIT);
+            a.ecall();
+            let (_, code) = run_to_exit(&prog_of(a, 0), 10);
+            assert_eq!(code, value, "li {value:#x}");
+        }
+    }
+
+    #[test]
+    fn putchar_collects_output() {
+        let mut a = Asm::new();
+        a.li(17, ECALL_PUTCHAR);
+        for b in b"ok" {
+            a.li(10, *b as u32);
+            a.ecall();
+        }
+        a.li(17, ECALL_EXIT);
+        a.li(10, 0);
+        a.ecall();
+        let (it, _) = run_to_exit(&prog_of(a, 0), 100);
+        assert_eq!(it.output(), b"ok");
+    }
+
+    #[test]
+    fn division_corner_cases_do_not_trap() {
+        assert_eq!(Interp::binop(BinOp::Div, 7, 0), u32::MAX);
+        assert_eq!(Interp::binop(BinOp::Rem, 7, 0), 7);
+        assert_eq!(
+            Interp::binop(BinOp::Div, i32::MIN as u32, u32::MAX),
+            i32::MIN as u32
+        );
+        assert_eq!(Interp::binop(BinOp::Rem, i32::MIN as u32, u32::MAX), 0);
+        assert_eq!(Interp::binop(BinOp::Divu, 7, 0), u32::MAX);
+        assert_eq!(Interp::binop(BinOp::Remu, 7, 0), 7);
+    }
+
+    #[test]
+    fn out_of_bounds_access_traps() {
+        let mut a = Asm::new();
+        a.li(5, 0x7fff_f000); // low 12 bits zero: a single lui
+        a.lw(6, 0, 5);
+        let prog = prog_of(a, 0);
+        let mut it = Interp::new(&prog);
+        let _ = it.step(); // lui
+        match it.step() {
+            Step::Stop(Stop::Trap { reason, .. }) => assert!(reason.contains("out of bounds")),
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The checked-in real-program suite: four small RV32IM programs
+//! assembled by the in-crate encoder ([`crate::asm`]) — no external
+//! toolchain, so the workspace stays fully offline. Each takes a seed in
+//! `a0`, runs a few thousand dynamic instructions with data-dependent
+//! control flow and addressing, and exits via `ecall` with a small
+//! checksum so the interpreter tests can pin behaviour.
+//!
+//! | name       | behaviour                                              |
+//! |------------|--------------------------------------------------------|
+//! | `sort`     | PRNG-fill 64 words, insertion sort, count inversions   |
+//! | `hashjoin` | build a 256-slot open-addressing table, probe hit+miss |
+//! | `alloc`    | link 256 nodes in a full-cycle list, pointer-chase it  |
+//! | `lz`       | LZ-style match-length scan over a 4-symbol buffer      |
+
+use crate::asm::Asm;
+use crate::RvProgram;
+
+/// Total flat memory for every suite program.
+const MEM_SIZE: u32 = 1 << 16;
+/// Entry point; the image below it is zero.
+const ENTRY: u32 = 0x100;
+/// Base address of each program's working data.
+const DATA: u32 = 0x4000;
+
+// Register aliases (RISC-V ABI names), for readable program text.
+const T0: u8 = 5;
+const T1: u8 = 6;
+const T2: u8 = 7;
+const T3: u8 = 28;
+const T4: u8 = 29;
+const T5: u8 = 30;
+const T6: u8 = 31;
+const A0: u8 = 10;
+const A1: u8 = 11;
+const A2: u8 = 12;
+const A3: u8 = 13;
+const A7: u8 = 17;
+/// The exit ecall number, kept in sync with the interpreter.
+const SYS_EXIT: u32 = crate::interp::ECALL_EXIT;
+
+/// The names of the suite programs, in canonical order.
+pub fn names() -> [&'static str; 4] {
+    ["sort", "hashjoin", "alloc", "lz"]
+}
+
+/// Builds the named suite program with the given seed folded into `a0`.
+/// Returns `None` for an unknown name.
+pub fn build(name: &str, seed: u32) -> Option<RvProgram> {
+    let asm = match name {
+        "sort" => sort(),
+        "hashjoin" => hashjoin(),
+        "alloc" => alloc(),
+        "lz" => lz(),
+        _ => return None,
+    };
+    let code = asm.assemble_bytes();
+    let mut image = vec![0u8; ENTRY as usize];
+    image.extend_from_slice(&code);
+    Some(RvProgram {
+        name: name.to_string(),
+        entry: ENTRY,
+        image,
+        mem_size: MEM_SIZE,
+        arg: seed,
+    })
+}
+
+/// Emits one xorshift32 round on register `s`, clobbering `t`.
+fn xorshift(a: &mut Asm, s: u8, t: u8) {
+    a.slli(t, s, 13);
+    a.xor(s, s, t);
+    a.srli(t, s, 17);
+    a.xor(s, s, t);
+    a.slli(t, s, 5);
+    a.xor(s, s, t);
+}
+
+/// Emits the exit sequence (`a0` already holds the code).
+fn exit(a: &mut Asm) {
+    a.li(A7, SYS_EXIT);
+    a.ecall();
+}
+
+/// PRNG-fill 64 words, insertion-sort them (data-dependent `bgeu` inner
+/// loop), then exit with the number of remaining inversions — always 0.
+fn sort() -> Asm {
+    const N: u32 = 64;
+    let mut a = Asm::new();
+    a.ori(A0, A0, 1); // nonzero PRNG state
+    a.li(T0, DATA);
+    a.li(T1, 0);
+    a.li(T2, N);
+    a.label("fill");
+    xorshift(&mut a, A0, T3);
+    a.slli(T4, T1, 2);
+    a.add(T4, T4, T0);
+    a.sw(A0, 0, T4);
+    a.addi(T1, T1, 1);
+    a.bne(T1, T2, "fill");
+    // Insertion sort: shift elements greater than the key up by one.
+    a.li(T1, 1);
+    a.label("outer");
+    a.slli(T4, T1, 2);
+    a.add(T4, T4, T0);
+    a.lw(A1, 0, T4); // key
+    a.mv(T3, T1); // j
+    a.label("inner");
+    a.beq(T3, 0, "place");
+    a.slli(T5, T3, 2);
+    a.add(T5, T5, T0);
+    a.lw(T6, -4, T5); // data[j-1]
+    a.bgeu(A1, T6, "place");
+    a.sw(T6, 0, T5); // data[j] = data[j-1]
+    a.addi(T3, T3, -1);
+    a.j("inner");
+    a.label("place");
+    a.slli(T5, T3, 2);
+    a.add(T5, T5, T0);
+    a.sw(A1, 0, T5);
+    a.addi(T1, T1, 1);
+    a.bne(T1, T2, "outer");
+    // Count inversions left (must be zero).
+    a.li(T1, 1);
+    a.li(A0, 0);
+    a.label("chk");
+    a.slli(T4, T1, 2);
+    a.add(T4, T4, T0);
+    a.lw(T5, 0, T4);
+    a.lw(T6, -4, T4);
+    a.bgeu(T5, T6, "chk_ok");
+    a.addi(A0, A0, 1);
+    a.label("chk_ok");
+    a.addi(T1, T1, 1);
+    a.bne(T1, T2, "chk");
+    exit(&mut a);
+    a
+}
+
+/// Open-addressing hash join: clear a 256-slot × 8 B table, build 128
+/// keys (Fibonacci-hash `mul` + linear probing with wraparound), then
+/// probe 128 replayed keys (hits) and 128 fresh keys (mostly misses).
+/// Exits with the summed match values folded by `remu`.
+fn hashjoin() -> Asm {
+    const SLOTS: u32 = 256;
+    const TBL_END: u32 = DATA + SLOTS * 8;
+    const BUILD: u32 = 128;
+    /// Emits hash-and-probe: key in `T4` → matching/empty slot in `T6`.
+    /// `hit` receives control with the slot in `T6` when the key is
+    /// found; fall-through means empty slot (insert point / miss).
+    fn lookup(a: &mut Asm, tag: &str, hit: &str) {
+        a.li(T5, 0x9e37_79b1);
+        a.mul(T6, T4, T5);
+        a.srli(T6, T6, 24);
+        a.slli(T6, T6, 3);
+        a.li(T5, DATA);
+        a.add(T6, T6, T5);
+        a.label(tag);
+        a.lw(T3, 0, T6);
+        a.beq(T3, T4, hit);
+        a.beq(T3, 0, &format!("{tag}_empty"));
+        a.addi(T6, T6, 8);
+        a.li(T5, TBL_END);
+        a.bne(T6, T5, tag);
+        a.li(T6, DATA);
+        a.j(tag);
+        a.label(&format!("{tag}_empty"));
+    }
+    let mut a = Asm::new();
+    a.ori(A0, A0, 1);
+    a.li(T0, DATA);
+    a.li(T5, TBL_END);
+    a.label("clr");
+    a.sw(0, 0, T0);
+    a.sw(0, 4, T0);
+    a.addi(T0, T0, 8);
+    a.bne(T0, T5, "clr");
+    // Build phase: keys come from the PRNG stream starting at `a2`.
+    a.mv(A2, A0);
+    a.li(T1, 0);
+    a.li(T2, BUILD);
+    a.label("build");
+    xorshift(&mut a, A0, T3);
+    a.ori(T4, A0, 1);
+    lookup(&mut a, "bprobe", "bprobe_empty"); // keys are unique enough;
+                                              // a duplicate just re-lands
+                                              // on its own slot
+    a.sw(T4, 0, T6);
+    a.sw(T1, 4, T6);
+    a.addi(T1, T1, 1);
+    a.bne(T1, T2, "build");
+    // Probe phase 1: replay the build stream — every key hits.
+    a.mv(A1, A2);
+    a.li(T1, 0);
+    a.li(A3, 0);
+    a.label("probe_h");
+    xorshift(&mut a, A1, T3);
+    a.ori(T4, A1, 1);
+    lookup(&mut a, "hprobe", "hprobe_hit");
+    a.j("h_next"); // empty slot: miss
+    a.label("hprobe_hit");
+    a.lw(T5, 4, T6);
+    a.add(A3, A3, T5);
+    a.label("h_next");
+    a.addi(T1, T1, 1);
+    a.bne(T1, T2, "probe_h");
+    // Probe phase 2: fresh keys — misses walk to an empty slot.
+    a.li(T1, 0);
+    a.label("probe_m");
+    xorshift(&mut a, A0, T3);
+    a.ori(T4, A0, 1);
+    lookup(&mut a, "mprobe", "mprobe_hit");
+    a.j("m_next");
+    a.label("mprobe_hit");
+    a.lw(T5, 4, T6);
+    a.add(A3, A3, T5);
+    a.label("m_next");
+    a.addi(T1, T1, 1);
+    a.bne(T1, T2, "probe_m");
+    a.li(T5, 251);
+    a.remu(A0, A3, T5);
+    exit(&mut a);
+    a
+}
+
+/// Pointer-chasing allocator: 256 fixed-size nodes linked into one
+/// 256-long cycle by a seed-dependent odd stride, then 2048 serially
+/// dependent `lw` chases. Exits with the payload sum folded to a byte.
+fn alloc() -> Asm {
+    const NODES: u32 = 256;
+    const WALK: u32 = 2048;
+    let mut a = Asm::new();
+    a.ori(A0, A0, 1);
+    a.andi(T1, A0, 255);
+    a.ori(T1, T1, 1); // odd stride → full 256-cycle
+    a.li(T0, DATA);
+    a.li(T2, 0);
+    a.li(T3, NODES);
+    a.label("link");
+    a.add(T4, T2, T1);
+    a.andi(T4, T4, 255);
+    a.slli(T4, T4, 4);
+    a.add(T4, T4, T0); // next-node address
+    a.slli(T5, T2, 4);
+    a.add(T5, T5, T0); // this node
+    a.sw(T4, 0, T5);
+    a.sw(T2, 4, T5); // payload
+    a.addi(T2, T2, 1);
+    a.bne(T2, T3, "link");
+    a.li(T2, WALK);
+    a.mv(T4, T0);
+    a.li(A3, 0);
+    a.label("walk");
+    a.lw(T5, 4, T4);
+    a.add(A3, A3, T5);
+    a.lw(T4, 0, T4); // the chase: next load depends on this one
+    a.addi(T2, T2, -1);
+    a.bne(T2, 0, "walk");
+    a.andi(A0, A3, 255);
+    exit(&mut a);
+    a
+}
+
+/// LZ-style inner loop: fill a 512-byte buffer with a 4-symbol alphabet,
+/// then for each position pick a PRNG back-offset 1..=16 and measure the
+/// match length (≤ 16) byte by byte. Exits with the total matched length
+/// folded to a byte.
+fn lz() -> Asm {
+    const LEN: u32 = 512;
+    const MARGIN: u32 = 16;
+    let mut a = Asm::new();
+    a.ori(A0, A0, 1);
+    a.li(T0, DATA);
+    a.li(T1, 0);
+    a.li(T2, LEN);
+    a.label("fillz");
+    xorshift(&mut a, A0, T3);
+    a.andi(T4, A0, 3);
+    a.add(T5, T1, T0);
+    a.sb(T4, 0, T5);
+    a.addi(T1, T1, 1);
+    a.bne(T1, T2, "fillz");
+    a.li(T1, MARGIN);
+    a.li(T2, LEN - MARGIN);
+    a.li(A3, 0);
+    a.label("scan");
+    xorshift(&mut a, A0, T3);
+    a.andi(T4, A0, 15);
+    a.addi(T4, T4, 1); // back-offset 1..=16
+    a.add(T5, T1, T0); // p
+    a.sub(T6, T5, T4); // q = p - offset
+    a.li(T3, 0); // match length
+    a.label("match");
+    a.add(A1, T5, T3);
+    a.lbu(A1, 0, A1);
+    a.add(A2, T6, T3);
+    a.lbu(A2, 0, A2);
+    a.bne(A1, A2, "match_done");
+    a.addi(T3, T3, 1);
+    a.li(A2, MARGIN);
+    a.bne(T3, A2, "match");
+    a.label("match_done");
+    a.add(A3, A3, T3);
+    a.addi(T1, T1, 1);
+    a.bne(T1, T2, "scan");
+    a.andi(A0, A3, 255);
+    exit(&mut a);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interp, Step, Stop};
+
+    fn run(prog: &RvProgram, max: u64) -> (Interp, u32, u64) {
+        let mut it = Interp::new(prog);
+        for n in 0..max {
+            match it.step() {
+                Step::Retired(_) => {}
+                Step::Stop(Stop::Exit { code, .. }) => return (it, code, n),
+                Step::Stop(Stop::Trap { pc, reason }) => {
+                    panic!("{}: trap at {pc:#x}: {reason}", prog.name)
+                }
+            }
+        }
+        panic!("{}: no exit within {max} steps", prog.name);
+    }
+
+    #[test]
+    fn every_program_exits_cleanly_across_seeds() {
+        for name in names() {
+            for seed in [1u32, 7, 0xdead_beef, 0] {
+                let prog = build(name, seed).unwrap();
+                let (_, _, steps) = run(&prog, 1_000_000);
+                assert!(steps > 1_000, "{name}@{seed:#x} too short: {steps}");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_leaves_memory_sorted_and_reports_zero_inversions() {
+        let prog = build("sort", 0x1234).unwrap();
+        let (it, code, _) = run(&prog, 1_000_000);
+        assert_eq!(code, 0, "inversions remain");
+        let mut prev = 0u32;
+        for i in 0..64u32 {
+            let v = it.read_u32(DATA + 4 * i).unwrap();
+            assert!(v >= prev, "data[{i}] = {v:#x} < {prev:#x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_seed_sensitive() {
+        for name in names() {
+            let (_, a, na) = run(&build(name, 42).unwrap(), 1_000_000);
+            let (_, b, nb) = run(&build(name, 42).unwrap(), 1_000_000);
+            assert_eq!((a, na), (b, nb), "{name} not deterministic");
+            // 44, not 43: the programs force the seed odd, so 42 and 43
+            // would collapse to the same PRNG state.
+            let (_, _, nc) = run(&build(name, 44).unwrap(), 1_000_000);
+            // Different seeds take data-dependent paths; step counts of
+            // the sorting/matching loops almost surely differ.
+            assert!(na != nc || name == "alloc", "{name} ignores its seed");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(build("nope", 1).is_none());
+    }
+}

@@ -20,8 +20,10 @@
 //! baseline is an error.
 
 use ss_core::{RunLength, RunRequest};
+use ss_frontend::{ProgramSpec, RvTraceSource};
 use ss_types::SimConfig;
 use ss_workloads::kernels;
+use ss_workloads::TraceSource as _;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -166,6 +168,40 @@ fn run_one(cell: &Cell, legacy: bool, len: RunLength) -> Result<Sample, String> 
     })
 }
 
+/// Measured decode+crack throughput of the RV32IM frontend on its own
+/// (no pipeline attached): µ-ops emitted per second of wall time.
+struct FrontendSample {
+    uops: u64,
+    wall_ms: f64,
+    uops_per_sec: f64,
+}
+
+/// Pulls `uops` µ-ops out of a fresh [`RvTraceSource`] over the suite's
+/// `sort` program — pure interpret+crack cost, the frontend-side ceiling
+/// on real-program simulation speed.
+fn run_frontend(uops: u64) -> Result<FrontendSample, String> {
+    let prog = ProgramSpec::suite("sort", 1).resolve()?;
+    let mut src = RvTraceSource::new(prog);
+    let start = Instant::now();
+    for _ in 0..uops {
+        let u = src.next_uop();
+        std::hint::black_box(&u);
+    }
+    let wall = start.elapsed();
+    Ok(FrontendSample {
+        uops,
+        wall_ms: wall.as_secs_f64() * 1_000.0,
+        uops_per_sec: uops as f64 / wall.as_secs_f64().max(1e-9),
+    })
+}
+
+fn frontend_json(s: &FrontendSample) -> String {
+    format!(
+        "{{\"program\": \"rv:sort@0x1\", \"uops\": {}, \"wall_ms\": {:.3}, \"uops_per_sec\": {:.1}}}",
+        s.uops, s.wall_ms, s.uops_per_sec
+    )
+}
+
 fn sample_json(s: &Sample) -> String {
     format!(
         "{{\"sim_cycles\": {}, \"wall_ms\": {:.3}, \"cycles_per_sec\": {:.1}, \"peak_rss_kb\": {}}}",
@@ -173,8 +209,9 @@ fn sample_json(s: &Sample) -> String {
     )
 }
 
-/// Renders the full report document (schema `bench_sched/v1`).
-fn report_json(results: &[CellResult], len: RunLength) -> String {
+/// Renders the full report document (schema `bench_sched/v1`; the
+/// `frontend` key is additive — the CI gate reads only `cells`).
+fn report_json(results: &[CellResult], frontend: &FrontendSample, len: RunLength) -> String {
     let unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -187,6 +224,7 @@ fn report_json(results: &[CellResult], len: RunLength) -> String {
     let _ = writeln!(out, "  \"unix_time\": {unix},");
     let _ = writeln!(out, "  \"warmup\": {},", len.warmup);
     let _ = writeln!(out, "  \"measure\": {},", len.measure);
+    let _ = writeln!(out, "  \"frontend\": {},", frontend_json(frontend));
     let _ = writeln!(out, "  \"cells\": [");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
@@ -339,7 +377,33 @@ pub fn run_cli(args: &[String]) -> i32 {
         });
     }
 
-    let doc = report_json(&results, len);
+    // Frontend decode+crack throughput: best-of-3, same noise logic as
+    // the scheduler cells.
+    let mut frontend: Option<FrontendSample> = None;
+    for _rep in 0..3 {
+        let s = match run_frontend(len.measure) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: frontend bench: {e}");
+                return 1;
+            }
+        };
+        if frontend
+            .as_ref()
+            .is_none_or(|b| s.uops_per_sec > b.uops_per_sec)
+        {
+            frontend = Some(s);
+        }
+    }
+    let Some(frontend) = frontend else {
+        unreachable!("three reps filled the frontend slot")
+    };
+    println!(
+        "  {:<24} decode+crack {:>10.0} µops/s ({} µops)",
+        "frontend_rv_sort", frontend.uops_per_sec, frontend.uops
+    );
+
+    let doc = report_json(&results, &frontend, len);
     if let Some(dir) = out_path.parent().filter(|d| !d.as_os_str().is_empty()) {
         let _ = std::fs::create_dir_all(dir);
     }
@@ -427,8 +491,14 @@ mod tests {
             },
             speedup: 2.0,
         }];
+        let frontend = FrontendSample {
+            uops: 10_000,
+            wall_ms: 5.0,
+            uops_per_sec: 2_000_000.0,
+        };
         let doc = report_json(
             &results,
+            &frontend,
             RunLength {
                 warmup: 1,
                 measure: 2,
@@ -450,6 +520,22 @@ mod tests {
             Some(500_000.0)
         );
         assert!(parsed.get("schema").and_then(|s| s.as_str()) == Some("bench_sched/v1"));
+        let fe = parsed.get("frontend").expect("frontend row present");
+        assert_eq!(
+            fe.get("program").and_then(|p| p.as_str()),
+            Some("rv:sort@0x1")
+        );
+        assert_eq!(
+            fe.get("uops_per_sec").and_then(|v| v.as_num()),
+            Some(2_000_000.0)
+        );
+    }
+
+    #[test]
+    fn frontend_bench_emits_real_uops() {
+        let s = run_frontend(5_000).expect("suite program resolves");
+        assert_eq!(s.uops, 5_000);
+        assert!(s.uops_per_sec > 0.0);
     }
 
     #[test]

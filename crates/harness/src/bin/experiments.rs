@@ -17,6 +17,8 @@
 //!             [--cancel-after N] [--stats] [--shutdown] [--req TEXT]
 //! experiments run --req TEXT
 //! experiments chaos [--seed N] [--events N] [--dir DIR]
+//! experiments rvrun [--prog SPEC] [--config SPEC]... [--all] [--delay D]
+//!             [--len wNmN] [--smoke] [--no-check] [--jobs N]
 //! ```
 //!
 //! Results print as ASCII tables; CSVs land in `--out` (default
@@ -73,6 +75,10 @@ fn main() {
     // And the service-layer chaos-injection harness.
     if args.first().map(String::as_str) == Some("chaos") {
         std::process::exit(ss_harness::chaos::run_chaos_cli(&args[1..]));
+    }
+    // And the real-program (RV32IM) frontend runner.
+    if args.first().map(String::as_str) == Some("rvrun") {
+        std::process::exit(ss_harness::rvrun::run_cli(&args[1..]));
     }
     let mut which: Vec<String> = Vec::new();
     let mut quick = false;

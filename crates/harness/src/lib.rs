@@ -27,6 +27,10 @@
 //!   Unix-domain socket with priority queues, admission control, and a
 //!   memoized results cache pre-populated from sweep journals.
 //! * [`report`] — tables, gmean, CSV.
+//! * [`rvrun`] — the `experiments rvrun` subcommand: run a real RV32IM
+//!   program from the `ss-frontend` suite through the pipeline under a
+//!   configuration ladder with the commit oracle cross-checking every
+//!   committed µ-op.
 //! * [`tracecmd`] — the `experiments trace` subcommand: capture a µ-op
 //!   window with the `ss-trace` observability sinks and render it as
 //!   Perfetto JSON or an ASCII pipeview (including two-config diffs).
@@ -50,6 +54,7 @@ pub mod experiments;
 pub mod fuzz;
 pub mod journal;
 pub mod report;
+pub mod rvrun;
 pub mod serve;
 pub mod session;
 pub mod snapfuzz;

@@ -956,7 +956,9 @@ fn handle_run(state: &Arc<ServerState>, conn: &Arc<Conn>, rest: &str) {
     let mut req = match req_text.parse::<RunRequest>() {
         Ok(r) => r,
         Err(e) => {
-            send(state, conn, &format!("err {id} {e}"));
+            // Through `SimError`, so a library-only `<…>` marker comes
+            // back as the typed ConfigInvalid that names the marker.
+            send(state, conn, &format!("err {id} {}", SimError::from(e)));
             return;
         }
     };
@@ -1602,7 +1604,7 @@ pub fn run_offline_cli(args: &[String]) -> i32 {
     let parsed = match text.parse::<RunRequest>() {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("run: {e}");
+            eprintln!("run: {}", SimError::from(e));
             return 2;
         }
     };

@@ -20,6 +20,7 @@
 
 pub use ss_bpred as bpred;
 pub use ss_core as core;
+pub use ss_frontend as frontend;
 pub use ss_harness as harness;
 pub use ss_isa as isa;
 pub use ss_mem as mem;

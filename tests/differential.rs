@@ -3,8 +3,15 @@
 //! context dump), a clean pipeline must survive a whole seeded fuzz
 //! campaign, and shrunk repro files must replay to the same
 //! first-divergence commit.
+//!
+//! The real-program frontend rides the same machinery: every µ-op the
+//! RV32IM interpreter cracks must pass [`MicroOp::validate`], and a
+//! frontend-oracle-checked run must stay divergence-free under *every*
+//! named scheduling configuration.
 
-use speculative_scheduling::core::{DiffChecker, Simulator};
+use speculative_scheduling::core::{DiffChecker, RunLength, RunRequest, Simulator};
+use speculative_scheduling::frontend::{programs, ProgramSpec, RvTraceSource};
+use speculative_scheduling::harness::configs::ConfigSpec;
 use speculative_scheduling::harness::fuzz::{
     divergence_seq, replay_repro, run_campaign, write_repro, FuzzOptions,
 };
@@ -130,4 +137,73 @@ fn seeded_campaign_catches_shrinks_and_reproduces() {
         "repro did not reproduce: {:?}",
         replay.outcome
     );
+}
+
+/// Property: every µ-op the frontend emits — across the whole program
+/// suite and several seeds, through at least one restart of each
+/// program — satisfies the same `MicroOp::validate` contract the fetch
+/// boundary enforces, and consecutive µ-ops chain by PC (same µ-op PC
+/// for multi-µ-op instructions, else the predecessor's successor PC).
+#[test]
+fn every_frontend_uop_validates_and_chains_across_the_suite() {
+    use speculative_scheduling::workloads::TraceSource as _;
+    for name in programs::names() {
+        for seed in [1u32, 0xB5, 7_777] {
+            let prog = ProgramSpec::suite(name, seed)
+                .resolve()
+                .expect("suite programs resolve");
+            let mut src = RvTraceSource::new(prog);
+            let mut prev: Option<speculative_scheduling::isa::MicroOp> = None;
+            for i in 0..30_000u64 {
+                let u = src.next_uop();
+                u.validate()
+                    .unwrap_or_else(|e| panic!("{name}@{seed} µ-op {i}: {e} ({u:?})"));
+                if let Some(p) = prev {
+                    assert!(
+                        u.pc == p.pc || u.pc == p.successor_pc(),
+                        "{name}@{seed} µ-op {i}: PC chain broke ({:?} -> {:?})",
+                        p.pc,
+                        u.pc
+                    );
+                }
+                prev = Some(u);
+            }
+            assert!(
+                src.restarts() >= 1,
+                "{name}@{seed}: 30k µ-ops must wrap the program at least once"
+            );
+        }
+    }
+}
+
+/// Every named configuration at the paper's headline delay commits the
+/// exact architectural instruction stream of the functional interpreter:
+/// the frontend oracle re-executes the program and the DiffChecker
+/// compares PC/kind/destination at every single commit. A passing run
+/// also pins the commit *count* to the requested measure window.
+#[test]
+fn frontend_oracle_matches_pipeline_across_the_policy_matrix() {
+    let len = RunLength {
+        warmup: 200,
+        measure: 2_000,
+    };
+    for (i, spec) in ConfigSpec::variants_at(4).into_iter().enumerate() {
+        // Rotate programs through the matrix so every program meets
+        // several policies without multiplying the runtime.
+        let names = programs::names();
+        let prog = ProgramSpec::suite(names[i % names.len()], 0xB5);
+        let outcome = RunRequest::program(prog.clone())
+            .config(spec)
+            .length(len)
+            .checked(true)
+            .execute()
+            .unwrap_or_else(|e| panic!("{spec} on {prog}: {e}"));
+        assert!(
+            outcome.stats.committed_uops >= len.measure,
+            "{spec} on {prog}: committed {} < measure window {}",
+            outcome.stats.committed_uops,
+            len.measure
+        );
+        assert!(outcome.stats.ipc() > 0.0, "{spec} on {prog}: zero IPC");
+    }
 }

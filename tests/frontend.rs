@@ -1,0 +1,110 @@
+//! End-to-end contract of the real-program (RV32IM) frontend:
+//!
+//! * a request built in the library and the same request parsed back off
+//!   the wire execute to **identical** statistics;
+//! * capturing a snapshot mid-program and resuming from it is
+//!   statistics-identical to a run that never stopped (the interpreter's
+//!   full architectural state — registers, PC, memory, pending µ-ops —
+//!   rides inside the pipeline snapshot);
+//! * the deadline-armed (chunked) execution path changes nothing.
+
+use speculative_scheduling::core::{RunLength, RunRequest};
+use speculative_scheduling::frontend::ProgramSpec;
+use speculative_scheduling::harness::configs::ConfigSpec;
+
+fn cfg(name: &str) -> ConfigSpec {
+    name.parse().expect("canonical config name")
+}
+
+#[test]
+fn wire_round_trip_executes_identically() {
+    let req = RunRequest::program(ProgramSpec::suite("hashjoin", 0xB5))
+        .config(cfg("SpecSched_4_Filter"))
+        .length(RunLength {
+            warmup: 500,
+            measure: 5_000,
+        })
+        .checked(true);
+    let text = req.to_string();
+    assert_eq!(
+        text, "src=rv:hashjoin@0xb5 cfg=SpecSched_4_Filter len=w500m5000 check=1",
+        "the canonical wire form is part of the protocol"
+    );
+    let parsed: RunRequest = text.parse().expect("own rendering parses");
+    let direct = req.execute().expect("builder-built run");
+    let viawire = parsed.execute().expect("wire-built run");
+    assert_eq!(
+        direct.stats, viawire.stats,
+        "the wire must not change the simulation"
+    );
+}
+
+#[test]
+fn snapshot_capture_restore_is_stats_identical_mid_program() {
+    let prog = ProgramSpec::suite("alloc", 3);
+    let len = RunLength {
+        warmup: 1_000,
+        measure: 8_000,
+    };
+    let spec = cfg("SpecSched_4_Crit");
+
+    let straight = RunRequest::program(prog.clone())
+        .config(spec)
+        .length(len)
+        .execute()
+        .expect("uninterrupted run");
+
+    let captured = RunRequest::program(prog.clone())
+        .config(spec)
+        .length(len)
+        .capture_warm()
+        .execute()
+        .expect("capturing run");
+    assert_eq!(
+        straight.stats, captured.stats,
+        "capturing a snapshot must not perturb the run"
+    );
+    let snap = captured
+        .snapshot
+        .expect("capture_warm returns the snapshot");
+
+    let resumed = RunRequest::program(prog)
+        .config(spec)
+        .length(RunLength {
+            warmup: 0,
+            measure: len.measure,
+        })
+        .from_snapshot(snap)
+        .execute()
+        .expect("resumed run");
+    assert_eq!(
+        straight.stats, resumed.stats,
+        "resume from mid-program snapshot must be bit-identical"
+    );
+}
+
+#[test]
+fn chunked_deadline_path_is_equivalent() {
+    let prog = ProgramSpec::suite("lz", 9);
+    let len = RunLength {
+        warmup: 500,
+        measure: 6_000,
+    };
+    let plain = RunRequest::program(prog.clone())
+        .config(cfg("SpecSched_4_Combined"))
+        .length(len)
+        .checked(true)
+        .execute()
+        .expect("one-shot run");
+    // A generous deadline arms the between-chunk cancellation checks
+    // without ever firing; the chunked path must be invisible in the
+    // statistics.
+    let chunked = RunRequest::program(prog)
+        .config(cfg("SpecSched_4_Combined"))
+        .length(len)
+        .checked(true)
+        .deadline_ms(600_000)
+        .execute()
+        .expect("deadline-armed run");
+    assert_eq!(plain.stats, chunked.stats, "chunking changed the run");
+}

@@ -5,32 +5,39 @@
 //!   unchanged, across a seeded sweep of the full option space.
 //! * **Rejection** — library-only forms (`<custom>` configs, in-memory
 //!   sources and snapshots), duplicate keys, and unknown keys are typed
-//!   parse errors, never silent defaults.
-//! * **Equivalence** — `RunRequest::execute` reproduces the deprecated
-//!   free-function entry points byte-for-byte, so migrating callers can
-//!   never change a result.
+//!   parse errors, never silent defaults. Library-only `<…>` markers in
+//!   particular carry the marker itself in
+//!   [`ParseRequestError::library_only`], and converting such an error
+//!   into [`SimError`] names the marker.
 
 use speculative_scheduling::core::{FaultPlan, RunLength, RunRequest};
-use speculative_scheduling::harness::configs::{self, ConfigSpec};
-use speculative_scheduling::types::{SimStats, SplitMix64};
-use speculative_scheduling::workloads::{kernels, KernelTrace};
+use speculative_scheduling::frontend::ProgramSpec;
+use speculative_scheduling::harness::configs::ConfigSpec;
+use speculative_scheduling::types::{SimError, SplitMix64};
+use speculative_scheduling::workloads::kernels;
 
 /// Draws a uniform value in `0..n` (n ≤ 2^32 keeps the bias negligible).
 fn pick(rng: &mut SplitMix64, n: u64) -> u64 {
     rng.next_u64() % n
 }
 
-/// A random request over the *encodable* builder surface: benchmark or
-/// generated sources, named config specs, and every wire-visible option.
-/// In-memory sources/snapshots and `<custom>` configs are library-only
-/// by design and excluded.
+/// A random request over the *encodable* builder surface: benchmark,
+/// generated, or real-program sources, named config specs, and every
+/// wire-visible option. In-memory sources/snapshots and `<custom>`
+/// configs are library-only by design and excluded.
 fn random_request(rng: &mut SplitMix64, case: u64) -> RunRequest {
     let names = kernels::benchmark_names();
-    let mut req = if pick(rng, 2) == 0 {
-        let name = names[pick(rng, names.len() as u64) as usize];
-        RunRequest::bench(name, rng.next_u64())
-    } else {
-        RunRequest::generated(rng.next_u64())
+    let progs = speculative_scheduling::frontend::programs::names();
+    let mut req = match pick(rng, 3) {
+        0 => {
+            let name = names[pick(rng, names.len() as u64) as usize];
+            RunRequest::bench(name, rng.next_u64())
+        }
+        1 => RunRequest::generated(rng.next_u64()),
+        _ => {
+            let name = progs[pick(rng, progs.len() as u64) as usize];
+            RunRequest::program(ProgramSpec::suite(name, rng.next_u64() as u32))
+        }
     };
     let variants = ConfigSpec::variants_at(1 + pick(rng, 6));
     req = req.config(variants[pick(rng, variants.len() as u64) as usize]);
@@ -103,94 +110,86 @@ fn display_from_str_round_trips_across_the_encodable_surface() {
 
 #[test]
 fn library_only_and_malformed_forms_are_typed_parse_errors() {
-    let bad = [
-        // Library-only markers must never parse back.
-        "src=<spec:fp_compute> cfg=SpecSched_4 len=w1m2",
-        "src=<trace:loop> cfg=SpecSched_4 len=w1m2",
-        "src=bench:fp_compute@0xb5 cfg=<custom> len=w1m2",
-        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=<unset>",
-        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 fork=<snapshot>",
-        // Structural errors.
-        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 len=w3m4",
-        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 shiny=1",
-        "src=gen:0x1 cfg=SpecSched_4",
-        "cfg=SpecSched_4 len=w1m2",
-        "src=gen:zzz cfg=SpecSched_4 len=w1m2",
-        "src=bench:fp_compute cfg=SpecSched_4 len=w1m2",
-        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 trace=ring:0",
-        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 faults=spike@5x0+1",
-        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 deadline=0",
-        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 deadline=abc",
-        "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 deadline=5 deadline=5",
-        "src=bench:fp_compute@0xb5 cfg=Nonsense_9 len=w1m2",
-        "not a request at all",
+    // (input, the `<…>` marker the typed error must carry; None for
+    // ordinary syntax errors.)
+    let bad: [(&str, Option<&str>); 18] = [
+        // Library-only markers must never parse back — and the parse
+        // error must say *which* marker, typed, not just a string.
+        (
+            "src=<spec:fp_compute> cfg=SpecSched_4 len=w1m2",
+            Some("<spec:fp_compute>"),
+        ),
+        (
+            "src=<trace:loop> cfg=SpecSched_4 len=w1m2",
+            Some("<trace:loop>"),
+        ),
+        (
+            "src=bench:fp_compute@0xb5 cfg=<custom> len=w1m2",
+            Some("<custom>"),
+        ),
+        (
+            "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=<unset>",
+            Some("<unset>"),
+        ),
+        (
+            "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 fork=<snapshot>",
+            Some("<snapshot>"),
+        ),
+        // Structural errors carry no marker.
+        (
+            "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 len=w3m4",
+            None,
+        ),
+        (
+            "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 shiny=1",
+            None,
+        ),
+        ("src=gen:0x1 cfg=SpecSched_4", None),
+        ("cfg=SpecSched_4 len=w1m2", None),
+        ("src=gen:zzz cfg=SpecSched_4 len=w1m2", None),
+        ("src=bench:fp_compute cfg=SpecSched_4 len=w1m2", None),
+        ("src=rv: cfg=SpecSched_4 len=w1m2", None),
+        (
+            "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 trace=ring:0",
+            None,
+        ),
+        (
+            "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 faults=spike@5x0+1",
+            None,
+        ),
+        (
+            "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 deadline=0",
+            None,
+        ),
+        (
+            "src=bench:fp_compute@0xb5 cfg=SpecSched_4 len=w1m2 deadline=5 deadline=5",
+            None,
+        ),
+        ("src=bench:fp_compute@0xb5 cfg=Nonsense_9 len=w1m2", None),
+        ("not a request at all", None),
     ];
-    for text in bad {
+    for (text, marker) in bad {
         let err = text
             .parse::<RunRequest>()
             .expect_err(&format!("`{text}` must be rejected"));
         // The typed error carries the offending input for diagnostics.
         assert_eq!(err.input, text);
         assert!(!err.reason.is_empty());
+        assert_eq!(
+            err.library_only.as_deref(),
+            marker,
+            "`{text}`: wrong library_only classification"
+        );
+        // Crossing into `SimError` keeps the distinction: marker errors
+        // become a `ConfigInvalid` that names the marker.
+        let sim: SimError = err.into();
+        let msg = sim.to_string();
+        match marker {
+            Some(m) => {
+                assert!(msg.contains(m), "`{msg}` must name `{m}`");
+                assert!(msg.contains("library-only"), "`{msg}`");
+            }
+            None => assert!(!msg.contains("library-only"), "`{msg}`"),
+        }
     }
-}
-
-const LEN: RunLength = RunLength {
-    warmup: 1_000,
-    measure: 8_000,
-};
-
-#[test]
-#[allow(deprecated)]
-fn execute_reproduces_try_run_kernel_checked_byte_identically() {
-    for named in [configs::baseline(2), configs::spec_sched_combined(4)] {
-        let spec = kernels::fp_compute(0xB5);
-        let old = speculative_scheduling::core::try_run_kernel_checked(
-            named.config.clone(),
-            spec.clone(),
-            LEN,
-        )
-        .expect("legacy entry point runs");
-        let new: SimStats = RunRequest::kernel(spec)
-            .custom_config(named.config.clone())
-            .length(LEN)
-            .checked(true)
-            .execute()
-            .expect("redesigned entry point runs")
-            .stats;
-        assert_eq!(old, new, "checked-run divergence on {}", named.name);
-    }
-}
-
-#[test]
-#[allow(deprecated)]
-fn execute_reproduces_try_run_trace_from_snapshot_byte_identically() {
-    let named = configs::spec_sched(4, true);
-    let spec = kernels::mix_int(0xB5);
-    let snap = speculative_scheduling::core::try_warm_up_trace(
-        named.config.clone(),
-        KernelTrace::new(spec.clone()),
-        LEN.warmup,
-    )
-    .expect("warmup captures");
-    let old = speculative_scheduling::core::try_run_trace_from_snapshot(
-        named.config.clone(),
-        KernelTrace::new(spec.clone()),
-        &snap,
-        LEN.measure,
-        Some("pinning"),
-    )
-    .expect("legacy restore runs");
-    let new: SimStats = RunRequest::persistent_source(KernelTrace::new(spec))
-        .custom_config(named.config.clone())
-        .length(RunLength {
-            warmup: 0,
-            measure: LEN.measure,
-        })
-        .from_snapshot(snap)
-        .checkpoint_note("pinning")
-        .execute()
-        .expect("redesigned restore runs")
-        .stats;
-    assert_eq!(old, new, "snapshot-restore divergence");
 }
