@@ -1,0 +1,526 @@
+//! The lane engine: one thread steps K independent simulations —
+//! *lanes* — through a single driver loop, sharing one decoded µ-op
+//! stream.
+//!
+//! The experiment matrix runs the same workload under many machine
+//! configurations. Each cell decodes the identical correct-path µ-op
+//! stream (kernel expansion or the RV32IM functional frontend), then
+//! simulates timing that differs per configuration. The lane engine
+//! exploits that: a [`SharedStream`] decodes each µ-op **once** and
+//! serves it to every lane through a bounded ring, and
+//! [`run_lane_batch`] steps the lanes in commit-sliced round-robin so
+//! their ring cursors stay close (the ring holds only the spread
+//! between the slowest and fastest lane, not the whole trace).
+//!
+//! Each lane is a full [`Simulator`] driven by the gated stepper
+//! ([`Simulator::try_run_committed_ff`]), so per-cell statistics are
+//! bit-identical to the one-cell reference path — proven by
+//! `tests/lane_equivalence.rs` across the policy matrix, kernels, and
+//! fault plans. Lanes are failure-isolated: a panicking or erroring
+//! lane retires with its own error and its lane-mates continue
+//! unperturbed (their simulators share nothing but the read-only µ-op
+//! ring).
+//!
+//! When lanes are **not** used: warm-state forks (the snapshot already
+//! skips the shared work), oracle-checked runs (the checker holds its
+//! own golden model per cell), traced runs (sinks are per-cell
+//! observers with their own buffers), and wall-clock-deadline runs
+//! (slicing by commits cannot honor per-cell millisecond budgets
+//! fairly). The harness falls back to the per-cell pool for those —
+//! see DESIGN.md "Lane engine".
+
+use crate::fault::FaultPlan;
+use crate::pipeline::Simulator;
+use crate::runner::RunLength;
+use ss_isa::MicroOp;
+use ss_types::{CancelFlag, SimConfig, SimError, SimStats};
+use ss_workloads::TraceSource;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Upper bound on `--lanes K` accepted by [`validate_lanes`]: beyond
+/// this, per-lane cache/ROB state thrashes one core's cache hierarchy
+/// and the batch is slower than two smaller ones.
+pub const MAX_LANES: usize = 64;
+
+/// Typed validation for the `--lanes K` knob: `K = 0` (no lanes to step)
+/// and absurd `K` are rejected with [`SimError::ConfigInvalid`] before
+/// any simulator is built.
+pub fn validate_lanes(lanes: usize) -> Result<(), SimError> {
+    if lanes == 0 {
+        return Err(SimError::ConfigInvalid(
+            "lanes must be ≥ 1 (0 lanes cannot step any cell)".into(),
+        ));
+    }
+    if lanes > MAX_LANES {
+        return Err(SimError::ConfigInvalid(format!(
+            "lanes {lanes} exceeds the maximum of {MAX_LANES} per batch"
+        )));
+    }
+    Ok(())
+}
+
+/// The default lane count for a batch of `cells` cells: every cell in
+/// one batch, capped at [`MAX_LANES`] (and at least 1 so an empty shape
+/// still validates).
+pub fn default_lanes(cells: usize) -> usize {
+    cells.clamp(1, MAX_LANES)
+}
+
+/// A decode-once µ-op ring shared by the lanes of one batch.
+///
+/// The correct-path µ-op stream is a pure function of the workload —
+/// machine configuration never influences it — so one underlying
+/// [`TraceSource`] can feed every lane. Each lane owns a cursor;
+/// µ-ops are decoded on first demand (when the front-running lane's
+/// cursor passes the ring's end) and retained until the slowest live
+/// cursor passes them ([`SharedStream::trim`]).
+#[derive(Debug)]
+pub struct SharedStream<T> {
+    inner: T,
+    name: String,
+    buf: std::collections::VecDeque<MicroOp>,
+    /// Stream position of `buf[0]`.
+    base: u64,
+    /// Per-lane stream positions; `u64::MAX` marks a retired lane.
+    cursors: Vec<u64>,
+}
+
+impl<T: TraceSource> SharedStream<T> {
+    /// Wraps `inner` as the shared decode source of a new batch.
+    pub fn new(inner: T) -> Self {
+        let name = inner.name().to_string();
+        SharedStream {
+            inner,
+            name,
+            buf: std::collections::VecDeque::new(),
+            base: 0,
+            cursors: Vec::new(),
+        }
+    }
+
+    /// Registers a new lane at stream position 0, returning its id.
+    fn register(&mut self) -> usize {
+        self.cursors.push(0);
+        self.cursors.len() - 1
+    }
+
+    /// Produces the µ-op at `lane`'s cursor, decoding it if this lane is
+    /// the front-runner, and advances the cursor.
+    fn next(&mut self, lane: usize) -> MicroOp {
+        let pos = self.cursors[lane];
+        debug_assert!(pos >= self.base, "cursor behind trimmed ring");
+        while pos >= self.base + self.buf.len() as u64 {
+            let uop = self.inner.next_uop();
+            self.buf.push_back(uop);
+        }
+        self.cursors[lane] = pos + 1;
+        self.buf[(pos - self.base) as usize]
+    }
+
+    /// Marks `lane` finished; its cursor no longer pins the ring.
+    fn retire(&mut self, lane: usize) {
+        self.cursors[lane] = u64::MAX;
+    }
+
+    /// Drops every µ-op all live lanes have consumed. Called by the
+    /// batch driver between slices; the ring then holds only the
+    /// cursor spread, which commit-sliced stepping keeps bounded.
+    fn trim(&mut self) {
+        let min = self.cursors.iter().copied().min().unwrap_or(u64::MAX);
+        if min == u64::MAX {
+            // Every lane retired — nothing will read the ring again.
+            self.base += self.buf.len() as u64;
+            self.buf.clear();
+            return;
+        }
+        while self.base < min && !self.buf.is_empty() {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Current ring occupancy (µ-ops held), for tests and diagnostics.
+    pub fn ring_len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// One lane's view of a [`SharedStream`]: a [`TraceSource`] whose
+/// `next_uop` reads through the shared ring at this lane's cursor.
+///
+/// Holds an `Rc` — lanes of a batch live on one thread (the batch *is*
+/// the unit of cross-thread work distribution), so no locking and no
+/// `unsafe` are needed.
+#[derive(Debug)]
+pub struct LaneStream<T> {
+    shared: Rc<RefCell<SharedStream<T>>>,
+    lane: usize,
+    name: String,
+}
+
+impl<T: TraceSource> TraceSource for LaneStream<T> {
+    fn next_uop(&mut self) -> MicroOp {
+        self.shared.borrow_mut().next(self.lane)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// One cell of a lane batch: the machine to simulate and how long to
+/// run it. Every cell shares the batch's workload; everything else is
+/// per-lane.
+#[derive(Debug, Clone)]
+pub struct LaneCell {
+    /// The machine configuration.
+    pub cfg: SimConfig,
+    /// Warmup/measure budget (committed µ-ops).
+    pub len: RunLength,
+    /// Deterministic fault schedule, if any.
+    pub faults: FaultPlan,
+}
+
+impl LaneCell {
+    /// A plain cell: configuration + length, no faults.
+    pub fn new(cfg: SimConfig, len: RunLength) -> Self {
+        LaneCell {
+            cfg,
+            len,
+            faults: FaultPlan::new(),
+        }
+    }
+}
+
+/// Commits per lane per slice. Small enough to bound the ring spread
+/// between the fastest and slowest lane (≤ ~8·frontier µ-ops per lane
+/// gap), large enough that slice bookkeeping is noise.
+const SLICE: u64 = 8_192;
+
+/// One lane's run plan and progress through it.
+struct Lane<T> {
+    sim: Simulator<LaneStream<T>>,
+    len: RunLength,
+    /// Statistics at the warmup boundary (`None` until reached).
+    warm: Option<SimStats>,
+    /// Actual commit count at measure-phase entry. The reference driver
+    /// targets `n` commits *beyond* phase entry, so a warmup phase that
+    /// overshoots its boundary (commit width > 1 in the final cycle)
+    /// pushes the measure target out by the same overshoot — we must
+    /// carry it identically to stay bit-identical.
+    phase_start: u64,
+}
+
+/// Runs `cells` against one shared workload, `lanes` at a time, on the
+/// calling thread. `make_source` builds the underlying trace source
+/// once per sub-batch of `lanes` cells (each sub-batch owns its ring).
+///
+/// Per-cell results are exactly what the per-cell reference path
+/// ([`crate::RunRequest::execute_observed`] with a fresh fork) returns:
+/// warmup-corrected [`SimStats`] on success, or the run's [`SimError`]
+/// — including [`SimError::Cancelled`] with the cell's committed count
+/// when `cancel` fires, and [`SimError::Panicked`] when a lane's
+/// simulator panics (its lane-mates continue; a panicking lane cannot
+/// poison them, since lanes share only the read-only µ-op ring).
+///
+/// `on_progress(cell_index, done, total)` mirrors the per-cell runner's
+/// progress callback, with the batch-relative cell index attached:
+/// committed µ-ops over the cell's whole warmup + measure budget,
+/// monotone per cell, final call at `done == total`.
+pub fn run_lane_batch<T: TraceSource>(
+    cells: Vec<LaneCell>,
+    lanes: usize,
+    mut make_source: impl FnMut() -> T,
+    cancel: &CancelFlag,
+    mut on_progress: impl FnMut(usize, u64, u64),
+) -> Vec<Result<SimStats, SimError>> {
+    let lanes = lanes.clamp(1, MAX_LANES);
+    let mut results: Vec<Option<Result<SimStats, SimError>>> = (0..cells.len()).map(|_| None).collect();
+    let mut batch_start = 0usize;
+    for chunk in cells.chunks(lanes) {
+        run_one_batch(
+            chunk,
+            batch_start,
+            make_source(),
+            cancel,
+            &mut results,
+            &mut on_progress,
+        );
+        batch_start += chunk.len();
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every lane records a result"))
+        .collect()
+}
+
+/// What one round-robin visit to a lane did.
+enum Visit {
+    /// The lane ran a slice (or hit a phase boundary) and stays live.
+    Stepped,
+    /// The lane recorded its result (success or error) and retired.
+    Retired(Box<Result<SimStats, SimError>>),
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("opaque panic payload")
+        .to_string()
+}
+
+fn run_one_batch<T: TraceSource>(
+    chunk: &[LaneCell],
+    batch_start: usize,
+    source: T,
+    cancel: &CancelFlag,
+    results: &mut [Option<Result<SimStats, SimError>>],
+    on_progress: &mut impl FnMut(usize, u64, u64),
+) {
+    let shared = Rc::new(RefCell::new(SharedStream::new(source)));
+    let mut lanes: Vec<Option<Lane<T>>> = Vec::with_capacity(chunk.len());
+    for (i, cell) in chunk.iter().enumerate() {
+        let (lane_id, name) = {
+            let mut s = shared.borrow_mut();
+            (s.register(), s.name.clone())
+        };
+        debug_assert_eq!(lane_id, i);
+        let stream = LaneStream {
+            shared: Rc::clone(&shared),
+            lane: lane_id,
+            name,
+        };
+        // Config validation and fault-plan installation mirror the
+        // per-cell runner; a cell that fails setup retires immediately
+        // without disturbing its lane-mates.
+        let lane = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<Lane<T>, SimError> {
+                cell.cfg.try_validate()?;
+                let mut sim = Simulator::new(cell.cfg.clone(), stream);
+                if cell.faults != FaultPlan::new() {
+                    sim.set_fault_plan(cell.faults.clone())?;
+                }
+                Ok(Lane {
+                    sim,
+                    len: cell.len,
+                    warm: None,
+                    phase_start: 0,
+                })
+            },
+        ));
+        match lane {
+            Ok(Ok(l)) => lanes.push(Some(l)),
+            Ok(Err(e)) => {
+                results[batch_start + i] = Some(Err(e));
+                shared.borrow_mut().retire(lane_id);
+                lanes.push(None);
+            }
+            Err(payload) => {
+                results[batch_start + i] = Some(Err(SimError::Panicked(panic_message(payload))));
+                shared.borrow_mut().retire(lane_id);
+                lanes.push(None);
+            }
+        }
+    }
+
+    // Commit-sliced round-robin: each live lane advances at most SLICE
+    // commits per visit, clamped to its next phase boundary (warmup end,
+    // then measure end), so boundary statistics land on exactly the
+    // commit counts the reference path samples at. The slice clamp keeps
+    // the lanes' stream cursors close, which keeps the shared ring small.
+    let mut live = lanes.iter().filter(|l| l.is_some()).count();
+    while live > 0 {
+        for (i, slot) in lanes.iter_mut().enumerate() {
+            let Some(lane) = slot else { continue };
+            let cell_idx = batch_start + i;
+            match visit_lane(lane, cell_idx, cancel, on_progress) {
+                Visit::Stepped => {}
+                Visit::Retired(result) => {
+                    let result = *result;
+                    results[cell_idx] = Some(result);
+                    // Drop the retired simulator now: a panicked lane may
+                    // hold inconsistent internal state, but it was never
+                    // able to write into the shared ring (lanes only
+                    // read), so lane-mates are unaffected.
+                    *slot = None;
+                    shared.borrow_mut().retire(i);
+                    live -= 1;
+                }
+            }
+        }
+        shared.borrow_mut().trim();
+    }
+}
+
+/// One round-robin visit: replicates a single `run_chunked` loop
+/// iteration of the reference driver (`RunRequest` fresh-fork path),
+/// including its cancel-before-completion check ordering, per-phase
+/// progress accounting, and warmup-overshoot carry.
+fn visit_lane<T: TraceSource>(
+    lane: &mut Lane<T>,
+    cell_idx: usize,
+    cancel: &CancelFlag,
+    on_progress: &mut impl FnMut(usize, u64, u64),
+) -> Visit {
+    let total = lane.len.warmup + lane.len.measure;
+    loop {
+        let committed = lane.sim.stats().committed_uops;
+        // Phase geometry: (start, budget, progress base).
+        let (start, n, base) = if lane.warm.is_none() {
+            (0, lane.len.warmup, 0)
+        } else {
+            (lane.phase_start, lane.len.measure, lane.len.warmup)
+        };
+        let done = committed.saturating_sub(start).min(n);
+        if cancel.is_cancelled() {
+            return Visit::Retired(Box::new(Err(SimError::Cancelled {
+                committed: base + done,
+            })));
+        }
+        if committed >= start + n {
+            if lane.warm.is_none() {
+                lane.warm = Some(lane.sim.stats());
+                lane.phase_start = committed;
+                continue; // enter the measure phase (recheck cancel)
+            }
+            let end = lane.sim.stats();
+            let warm = lane.warm.take().expect("warm recorded at phase entry");
+            return Visit::Retired(Box::new(Ok(end.delta(&warm))));
+        }
+        let step = SLICE.min(start + n - committed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lane.sim.try_run_committed_ff(step)
+        }));
+        return match outcome {
+            Ok(Ok(_)) => {
+                let done = (lane.sim.stats().committed_uops - start).min(n);
+                on_progress(cell_idx, base + done, total);
+                Visit::Stepped
+            }
+            Ok(Err(e)) => Visit::Retired(Box::new(Err(e))),
+            Err(payload) => Visit::Retired(Box::new(Err(SimError::Panicked(panic_message(payload))))),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunRequest;
+    use ss_workloads::kernels;
+
+    fn cfg(rob: u32, iq: u32) -> SimConfig {
+        SimConfig::builder()
+            .issue_to_execute_delay(4)
+            .rob_entries(rob)
+            .iq_entries(iq)
+            .build()
+    }
+
+    #[test]
+    fn validate_lanes_rejects_degenerate_counts() {
+        assert!(matches!(validate_lanes(0), Err(SimError::ConfigInvalid(_))));
+        assert!(matches!(
+            validate_lanes(MAX_LANES + 1),
+            Err(SimError::ConfigInvalid(_))
+        ));
+        assert!(validate_lanes(1).is_ok());
+        assert!(validate_lanes(MAX_LANES).is_ok());
+        assert_eq!(default_lanes(0), 1);
+        assert_eq!(default_lanes(5), 5);
+        assert_eq!(default_lanes(10_000), MAX_LANES);
+    }
+
+    #[test]
+    fn lane_streams_replay_one_decode() {
+        let spec = kernels::benchmark("mix_int").unwrap();
+        let shared = Rc::new(RefCell::new(SharedStream::new((spec.build)(1).into_source())));
+        let mut a = LaneStream {
+            shared: Rc::clone(&shared),
+            lane: shared.borrow_mut().register(),
+            name: "a".into(),
+        };
+        let mut b = LaneStream {
+            shared: Rc::clone(&shared),
+            lane: shared.borrow_mut().register(),
+            name: "b".into(),
+        };
+        // Advance the lanes unevenly; both must see the one decoded
+        // sequence, equal to a fresh source µ-op for µ-op.
+        let mut fresh = (spec.build)(1).into_source();
+        let mut seen_a = Vec::new();
+        for _ in 0..600 {
+            seen_a.push(a.next_uop());
+        }
+        for uop in &seen_a {
+            assert_eq!(*uop, fresh.next_uop());
+        }
+        for uop in seen_a.iter().take(250) {
+            assert_eq!(*uop, b.next_uop());
+        }
+        // The laggard lane pins the ring; trimming frees what both passed.
+        let held = shared.borrow().ring_len();
+        assert_eq!(held, 600);
+        shared.borrow_mut().trim();
+        assert_eq!(shared.borrow().ring_len(), 350);
+        // Retiring the laggard lets the ring drain fully.
+        shared.borrow_mut().retire(1);
+        shared.borrow_mut().trim();
+        assert_eq!(shared.borrow().ring_len(), 0);
+    }
+
+    #[test]
+    fn ragged_batch_matches_reference_cells() {
+        let spec = kernels::benchmark("mix_int").unwrap();
+        let len_a = RunLength {
+            warmup: 500,
+            measure: 3_000,
+        };
+        let len_b = RunLength {
+            warmup: 1_000,
+            measure: 9_000,
+        };
+        let cells = vec![
+            LaneCell::new(cfg(192, 60), len_a),
+            LaneCell::new(cfg(64, 24), len_b),
+            LaneCell::new(cfg(384, 120), len_a),
+        ];
+        let got = run_lane_batch(
+            cells.clone(),
+            3,
+            || (spec.build)(1).into_source(),
+            &CancelFlag::new(),
+            |_, _, _| {},
+        );
+        for (cell, got) in cells.iter().zip(&got) {
+            let want = RunRequest::kernel((spec.build)(1))
+                .custom_config(cell.cfg.clone())
+                .length(cell.len)
+                .execute()
+                .unwrap()
+                .stats;
+            assert_eq!(got.as_ref().unwrap(), &want);
+        }
+    }
+
+    #[test]
+    fn cancellation_reports_committed_progress() {
+        let spec = kernels::benchmark("mix_int").unwrap();
+        let cancel = CancelFlag::new();
+        cancel.cancel();
+        let got = run_lane_batch(
+            vec![LaneCell::new(cfg(192, 60), RunLength::SMOKE)],
+            1,
+            || (spec.build)(1).into_source(),
+            &cancel,
+            |_, _, _| {},
+        );
+        assert!(matches!(
+            got[0],
+            Err(SimError::Cancelled { committed: 0 })
+        ));
+    }
+}

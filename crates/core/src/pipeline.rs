@@ -44,6 +44,19 @@ use std::collections::VecDeque;
 
 pub use ss_types::PipelineSnapshot;
 
+/// How the issue stage treats the recovery buffer this cycle.
+#[derive(Clone, Copy, PartialEq)]
+enum RecoveryScan {
+    /// Proven empty of selectable members — skip the candidate walk.
+    /// Only the gated stepper can prove this (via its cached horizon).
+    Skip,
+    /// Walk and select (reference behavior, every cycle).
+    Scan,
+    /// Walk, select, and record the buffer's next readiness horizon for
+    /// the gated stepper's cache.
+    ScanTracked,
+}
+
 /// Per-cycle issue-stage context shared by the replay and scheduler
 /// selection loops (drives Schedule Shifting decisions).
 #[derive(Debug, Default)]
@@ -149,6 +162,18 @@ pub struct Simulator<T, S: TraceSink = NullSink> {
     /// fetch boundary), surfaced by [`Simulator::try_run_committed`].
     pending_error: Option<SimError>,
 
+    /// Gated-stepper cache (lane engine, [`Simulator::try_run_committed_ff`]):
+    /// the earliest cycle a recovery-buffer member becomes selectable.
+    /// Pure scratch — reconstructible, never persisted in snapshots.
+    recovery_ready_at: Cycle,
+    /// Whether a stage that can move wake times or recovery membership
+    /// ran since `recovery_ready_at` was computed.
+    step_dirty: bool,
+    /// The cycle the gated stepper last maintained its cache at; a
+    /// mismatch means cycles ran outside the stepper (plain `tick`, or a
+    /// snapshot restore) and the cache must be rebuilt.
+    step_stamp: Cycle,
+
     /// Bounded ring of the last `commit_log_window` committed µ-ops (the
     /// canonical commit log; O(window) memory regardless of run length).
     commit_ring: VecDeque<CommitRecord>,
@@ -230,6 +255,9 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
             degrade_window_start: Cycle::ZERO,
             degrade_window_replays: 0,
             pending_error: None,
+            recovery_ready_at: Cycle::NEVER,
+            step_dirty: true,
+            step_stamp: Cycle::ZERO,
             commit_ring: VecDeque::new(),
             diff: None,
             wakeup_bug_armed: false,
@@ -365,6 +393,324 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
             }
         }
         Ok(self.stats())
+    }
+
+    /// Like [`Self::try_run_committed`], but driven by the lane engine's
+    /// *gated* stepper: each cycle runs only the stages that provably
+    /// have work, the recovery buffer's readiness is tracked by a cached
+    /// horizon instead of a per-cycle scan, and windows where *no* stage
+    /// has work — 30–50% of all cycles on scheduler-bound workloads —
+    /// are fast-forwarded in one jump.
+    ///
+    /// Produces bit-identical [`SimStats`], error values, and failure
+    /// reports to [`Self::try_run_committed`]: a stage is only skipped
+    /// on cycles where the real `tick` would have early-exited it, the
+    /// fast-forward only covers cycles where a real `tick` would have
+    /// advanced the clock and counted `cycles` (plus `degrade_cycles` /
+    /// `dispatch_stall_cycles` where those stalls hold) without touching
+    /// anything else, and the watchdog and periodic invariant checks
+    /// land on exactly the cycles they would have fired on. Falls back
+    /// to the reference loop under `legacy_scan` (the O(ROB) scan
+    /// touches state every cycle) or an enabled trace sink (per-cycle
+    /// occupancy events must be emitted).
+    pub fn try_run_committed_ff(&mut self, n: u64) -> Result<SimStats, SimError> {
+        if self.legacy_scan || S::ENABLED {
+            return self.try_run_committed(n);
+        }
+        let target = self.stats.committed_uops + n;
+        let watchdog = self.cfg.watchdog_cycles;
+        let interval = self.cfg.invariant_check_interval;
+        // Cycles may have been simulated outside this driver (plain
+        // `tick`/`try_run_committed`, or a snapshot restore) since the
+        // cache was last maintained; refresh it before trusting it.
+        if self.step_stamp != self.now {
+            self.step_dirty = true;
+        }
+        while self.stats.committed_uops < target {
+            // Bulk fast-forward, legal only when the cached recovery
+            // horizon is current (no stage ran since it was computed).
+            if !self.step_dirty {
+                if let Some((skip, dispatch_stall)) = self.quiet_skip() {
+                    // Land exactly on the watchdog deadline (the report
+                    // must carry the same cycle the per-tick check would
+                    // see) and on every invariant-check multiple.
+                    let deadline = self.last_commit_at.get().saturating_add(watchdog);
+                    let mut skip = skip.min(deadline - self.now.get());
+                    if let Some(period) = self.now.get().checked_div(interval) {
+                        let next_check = (period + 1) * interval;
+                        skip = skip.min(next_check - self.now.get());
+                    }
+                    self.advance_quiet(skip, dispatch_stall);
+                    self.step_stamp = self.now;
+                    if self.now.since(self.last_commit_at) >= watchdog {
+                        return Err(SimError::Deadlock(Box::new(self.deadlock_report())));
+                    }
+                    if interval > 0 && self.now.get().is_multiple_of(interval) {
+                        self.check_invariants()?;
+                    }
+                    continue;
+                }
+            }
+            self.tick_fast();
+            if let Some(e) = self.pending_error.take() {
+                return Err(e);
+            }
+            if self.now.since(self.last_commit_at) >= watchdog {
+                return Err(SimError::Deadlock(Box::new(self.deadlock_report())));
+            }
+            if interval > 0 && self.now.get().is_multiple_of(interval) {
+                self.check_invariants()?;
+            }
+        }
+        Ok(self.stats())
+    }
+
+    /// One *gated* cycle: advances the clock like [`Self::tick`], then
+    /// runs only the stages whose no-op conditions do not hold. Each
+    /// gate is checked immediately before its stage, in stage order, so
+    /// it sees exactly the state the real stage would (a stage that runs
+    /// can arm the next — commit firing a store release, execute pushing
+    /// a squash into recovery). Gates are conservative: a false positive
+    /// calls a stage that early-exits (harmless); the no-op conditions
+    /// make false negatives impossible:
+    ///
+    /// * deferred wakes — nothing due (`min apply_at > now`);
+    /// * commit — ROB head absent, not `Done`, or `done_at > now`;
+    /// * execute — no in-flight group due (`issue_cycle + delay + 1`);
+    /// * issue — no drainable scheduler event (due timer, woken
+    ///   watcher, store release), empty ready set, and no selectable
+    ///   recovery member (tracked by the cached horizon
+    ///   `recovery_ready_at`, recomputed only on cycles where a stage
+    ///   that can move wake times or recovery membership ran);
+    /// * dispatch — frontend head absent or not ready (no work, no
+    ///   stall stat), or ready but resource-blocked (counts the
+    ///   dispatch stall without walking the stage);
+    /// * fetch — stalled, frontend at capacity, or parked in wrong-path
+    ///   mode with wrong-path fetch disabled.
+    ///
+    /// When a recovery member *is* selectable the full issue stage runs
+    /// with its recovery scan; otherwise the scan (an O(members) walk
+    /// per cycle, the priciest always-on cost of the reference tick
+    /// during replay storms) is skipped.
+    fn tick_fast(&mut self) {
+        self.now += 1;
+        self.stats.cycles += 1;
+        if self.degraded() {
+            self.stats.degrade_cycles += 1;
+        }
+        let now = self.now;
+        let mut dirty = self.step_dirty;
+
+        if self.deferred_wakes.iter().any(|&(at, _, _)| at <= now) {
+            self.apply_deferred_wakes();
+            dirty = true;
+        }
+        if self
+            .rob
+            .front()
+            .is_some_and(|h| h.state == UopState::Done && h.done_at <= now)
+        {
+            self.commit();
+            dirty = true;
+        }
+        if self
+            .inflight
+            .front()
+            .is_some_and(|&(c, _)| c + self.delay < now)
+        {
+            self.execute();
+            dirty = true;
+        }
+        let scan_recovery = if dirty {
+            // Wake times or membership may have moved; the horizon is
+            // stale. An empty buffer needs no walk to re-derive it.
+            if self.recovery.is_empty() {
+                self.recovery_ready_at = Cycle::NEVER;
+                false
+            } else {
+                true
+            }
+        } else {
+            self.recovery_ready_at <= now
+        };
+        let issue_needed = scan_recovery
+            || self.sched.ready_len() > 0
+            || self.rename.has_woken()
+            || self.sched.has_store_woken()
+            || self.sched.next_due().is_some_and(|d| d <= now);
+        let issued_before = self.stats.issued_total;
+        if issue_needed {
+            self.issue_inner(if scan_recovery {
+                RecoveryScan::ScanTracked
+            } else {
+                RecoveryScan::Skip
+            });
+        }
+        // Past this cycle's walk, only an actual issue can move wake
+        // times (wakeup speculation on the issued µ-op's destination);
+        // drains re-park without waking, and dispatch/fetch cannot touch
+        // recovery (new dispatches are IQ-tracked, not recovery members,
+        // and fetch touches only the frontend/predictors/i-cache).
+        self.step_dirty = self.stats.issued_total != issued_before;
+
+        if let Some(f) = self.frontend.front() {
+            if f.ready_at <= now {
+                let blocked = self.rob.len() >= self.cfg.rob_entries as usize
+                    || self.iq_used >= self.cfg.iq_entries
+                    || (f.uop.class.is_load() && self.lq_used >= self.cfg.lq_entries)
+                    || (f.uop.class.is_store() && self.sq_used >= self.cfg.sq_entries)
+                    || f.uop
+                        .dst
+                        .is_some_and(|d| self.rename.free_count(d.class) == 0);
+                if blocked {
+                    // Exactly the reference stage's "stalled with nothing
+                    // dispatched" accounting, without walking the stage.
+                    self.stats.dispatch_stall_cycles += 1;
+                } else {
+                    self.dispatch();
+                }
+            }
+        }
+        if now >= self.fetch_stall_until
+            && self.frontend.len() < self.frontend_cap
+            && (self.cfg.wrong_path || !self.wrong_path_mode)
+        {
+            self.fetch();
+        }
+        self.step_stamp = now;
+    }
+
+    /// [`Self::ready_to_issue`] for recovery members, answering *when*
+    /// instead of *whether*: `None` when the member is unbounded (a
+    /// source with no finite wake time, or an unexecuted predicted store
+    /// dependence — it cannot become selectable without an event that
+    /// re-dirties the stepper cache), otherwise the latest source wake
+    /// (selectable now iff `<= now`). Agrees with `ready_to_issue`
+    /// exactly: `Some(at) && at <= now ⇔ ready`.
+    fn replay_ready_at(&self, seq: SeqNum) -> Option<Cycle> {
+        let e = self.entry(seq).expect("recovery member in ROB");
+        let mut latest = Cycle::ZERO;
+        for s in e.srcs.iter().flatten() {
+            let w = self.rename.wake_at(*s);
+            if w == Cycle::NEVER {
+                return None;
+            }
+            if w > latest {
+                latest = w;
+            }
+        }
+        if e.store_dep.is_some_and(|dep| {
+            self.entry(dep)
+                .is_some_and(|s| s.uop.class.is_store() && !s.store_executed)
+        }) {
+            return None;
+        }
+        Some(latest)
+    }
+
+    /// Probes whether the upcoming cycles are *quiet* — provably free of
+    /// any stage activity — and if so, how many may be skipped. Only
+    /// valid when the cached recovery horizon is current (`!step_dirty`).
+    ///
+    /// Returns `Some((n, dispatch_stall))` when cycles `now+1 ..= now+n`
+    /// are all quiet (`dispatch_stall` reports whether each of them
+    /// would have counted a dispatch stall), `None` when the next cycle
+    /// is (or may be) busy. The per-stage no-op conditions are those of
+    /// [`Self::tick_fast`]; everything else the stages consult
+    /// (scoreboard wake/avail times, memory hierarchy, predictors,
+    /// fault windows) is only read when one of them fires, so the
+    /// earliest stage event bounds the skip. Conservative by
+    /// construction: anything this cannot bound (e.g. a ready-but-port-
+    /// blocked µ-op) reports busy and falls back to a real cycle.
+    fn quiet_skip(&mut self) -> Option<(u64, bool)> {
+        let c = self.now + 1;
+        // Cheapest busy checks first: scheduler events pending this cycle.
+        if self.sched.ready_len() > 0 || self.rename.has_woken() || self.sched.has_store_woken() {
+            return None;
+        }
+        let mut event = self.recovery_ready_at;
+        if event <= c {
+            return None;
+        }
+        if let Some(head) = self.rob.front() {
+            if head.state == UopState::Done {
+                if head.done_at <= c {
+                    return None;
+                }
+                event = event.min(head.done_at);
+            }
+        }
+        if let Some((issued_at, _)) = self.inflight.front() {
+            let due = *issued_at + self.delay + 1;
+            if due <= c {
+                return None;
+            }
+            event = event.min(due);
+        }
+        for &(apply_at, _, _) in &self.deferred_wakes {
+            if apply_at <= c {
+                return None;
+            }
+            event = event.min(apply_at);
+        }
+        if let Some(due) = self.sched.next_due() {
+            if due <= c {
+                return None;
+            }
+            event = event.min(due);
+        }
+        let mut dispatch_stall = false;
+        if let Some(f) = self.frontend.front() {
+            if f.ready_at <= c {
+                let blocked = self.rob.len() >= self.cfg.rob_entries as usize
+                    || self.iq_used >= self.cfg.iq_entries
+                    || (f.uop.class.is_load() && self.lq_used >= self.cfg.lq_entries)
+                    || (f.uop.class.is_store() && self.sq_used >= self.cfg.sq_entries)
+                    || f.uop
+                        .dst
+                        .is_some_and(|d| self.rename.free_count(d.class) == 0);
+                if !blocked {
+                    return None;
+                }
+                dispatch_stall = true;
+            } else {
+                event = event.min(f.ready_at);
+            }
+        }
+        let wp_parked = self.wrong_path_mode && !self.cfg.wrong_path;
+        if self.frontend.len() < self.frontend_cap && !wp_parked {
+            if self.fetch_stall_until <= c {
+                return None;
+            }
+            event = event.min(self.fetch_stall_until);
+        }
+        if event == Cycle::NEVER {
+            // Nothing will ever happen again; the caller's watchdog clamp
+            // bounds the skip and surfaces the deadlock.
+            return Some((u64::MAX, dispatch_stall));
+        }
+        // `event` is the first cycle with work; skip up to just before it.
+        Some((event.get() - self.now.get() - 1, dispatch_stall))
+    }
+
+    /// Advances the clock over `n` quiet cycles, applying exactly the
+    /// statistics a real [`Self::tick`] would have counted on each:
+    /// `cycles` always, `degrade_cycles` while the degradation window is
+    /// active, and `dispatch_stall_cycles` when the probe saw a ready
+    /// frontend head blocked on a structural resource (the condition is
+    /// constant across a quiet window — nothing that feeds it changes).
+    fn advance_quiet(&mut self, n: u64, dispatch_stall: bool) {
+        debug_assert!(n >= 1);
+        self.stats.degrade_cycles += self
+            .degrade_until
+            .get()
+            .saturating_sub(self.now.get() + 1)
+            .min(n);
+        if dispatch_stall {
+            self.stats.dispatch_stall_cycles += n;
+        }
+        self.now += n;
+        self.stats.cycles += n;
     }
 
     /// Captures the current pipeline occupancy (cheap; no simulation
@@ -1466,12 +1812,29 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
     // ------------------------------------------------------------------
 
     fn issue(&mut self) {
+        self.issue_inner(RecoveryScan::Scan);
+    }
+
+    /// The issue stage. [`RecoveryScan::Skip`] omits the recovery-buffer
+    /// candidate walk — only legal when the caller has proven no member
+    /// is selectable this cycle (the walk would inspect every member and
+    /// issue none, mutating nothing); [`RecoveryScan::ScanTracked`]
+    /// additionally records the buffer's next readiness horizon into the
+    /// gated stepper's cache as a byproduct of the walk it was doing
+    /// anyway. The reference `tick` always plain-scans.
+    fn issue_inner(&mut self, scan: RecoveryScan) {
         if !self.legacy_scan {
             self.sched_drain_events();
             #[cfg(debug_assertions)]
             self.sched_cross_check();
         }
         if self.issue_blocked_at == Some(self.now) {
+            // A replay squashed this cycle: selection is suppressed, and
+            // the walk below never ran. Any horizon the caller wanted is
+            // unknown — force a rescan next cycle.
+            if scan == RecoveryScan::ScanTracked {
+                self.recovery_ready_at = Cycle::ZERO;
+            }
             return;
         }
         let mut width = self.cfg.issue_width;
@@ -1490,13 +1853,34 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
         // the buffer carries per-entry ready bits instead — see DESIGN.md.)
         let mut replay_candidates = std::mem::take(&mut self.scratch_candidates);
         replay_candidates.clear();
-        replay_candidates.extend(self.recovery.iter().flat_map(|(_, g)| g.iter().copied()));
+        if scan != RecoveryScan::Skip {
+            replay_candidates.extend(self.recovery.iter().flat_map(|(_, g)| g.iter().copied()));
+        }
+        let tracked = scan == RecoveryScan::ScanTracked;
+        // Next readiness horizon, rebuilt during a tracked walk. Members
+        // that issue leave the buffer and contribute nothing; a member
+        // that is ready but loses arbitration (width/ports) folds a
+        // past cycle in, forcing a rescan next cycle. Exact only when
+        // nothing issues this cycle — any issue can move wake times,
+        // which re-dirties the cache anyway (see `tick_fast`).
+        let mut horizon = Cycle::NEVER;
         let mut replayed_any = false;
         for &seq in &replay_candidates {
             if width == 0 {
+                // Remaining members unexamined; their bounds are unknown.
+                horizon = Cycle::ZERO;
                 break;
             }
-            if !self.ready_to_issue(seq) {
+            if tracked {
+                match self.replay_ready_at(seq) {
+                    None => continue,
+                    Some(at) if at > self.now => {
+                        horizon = horizon.min(at);
+                        continue;
+                    }
+                    Some(at) => horizon = horizon.min(at),
+                }
+            } else if !self.ready_to_issue(seq) {
                 continue;
             }
             if !Self::take_ports(
@@ -1519,6 +1903,9 @@ impl<T: TraceSource, S: TraceSink> Simulator<T, S> {
             self.replayed_marks.insert(seq);
             issued_group.push(seq);
             replayed_any = true;
+        }
+        if tracked {
+            self.recovery_ready_at = horizon;
         }
         if replayed_any {
             // Drop the issued µ-ops from their groups: O(total members)
@@ -2367,6 +2754,8 @@ impl<T: TraceSource + PersistState, S: TraceSink> Simulator<T, S> {
         self.scratch_woken.clear();
         self.scratch_squash.clear();
         self.pending_error = None;
+        // The gated-stepper cache describes the pre-restore machine.
+        self.step_dirty = true;
         Ok(())
     }
 

@@ -118,6 +118,28 @@ impl SchedQueue {
         None
     }
 
+    /// The earliest cycle a *valid* timer-parked entry is due, if any.
+    /// Stale-epoch heap heads are discarded on the way (lazy deletion,
+    /// same as [`Self::pop_due`] — dropping them early is observationally
+    /// identical since a stale pop never produces an event).
+    pub fn next_due(&mut self) -> Option<Cycle> {
+        while let Some((at, seq, epoch)) = self.heap.peek() {
+            if self.epochs.matches(seq, epoch) {
+                return Some(at);
+            }
+            self.heap.pop_head();
+        }
+        None
+    }
+
+    /// Whether store-released waiters are pending re-registration.
+    /// (Always false between ticks — store events drain within the cycle
+    /// that fires them — but the quiet-cycle probe checks rather than
+    /// assumes.)
+    pub fn has_store_woken(&self) -> bool {
+        !self.store_woken.is_empty()
+    }
+
     /// Parks `waiter` until `store` executes or commits.
     pub fn park_on_store(&mut self, store: SeqNum, waiter: SeqNum, epoch: u32) {
         self.store_waiters[(store.get() & self.store_mask) as usize].push((waiter, epoch));

@@ -206,6 +206,18 @@ impl WakeHeap {
         }
     }
 
+    /// The head entry — the earliest `(wake_at, seq, epoch)` parked,
+    /// stale or not — without removing it.
+    pub fn peek(&self) -> Option<(Cycle, SeqNum, u32)> {
+        self.heap.peek().map(|Reverse(e)| *e)
+    }
+
+    /// Removes and returns the head entry regardless of its due time
+    /// (used by owners to discard a head they identified as stale).
+    pub fn pop_head(&mut self) -> Option<(Cycle, SeqNum, u32)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
     /// Entries currently parked (including stale ones awaiting lazy
     /// deletion).
     pub fn len(&self) -> usize {
